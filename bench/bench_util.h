@@ -1,0 +1,106 @@
+// Shared helpers for the table/figure reproduction benches: run each
+// compressor on a dataset and report bits-per-edge / byte sizes in the
+// paper's format, with the published numbers printed alongside.
+//
+// Every bench is a plain executable printing one table; absolute values
+// differ from the paper (synthetic scaled stand-ins, different
+// hardware), the *shape* — who wins and by roughly what factor — is
+// what EXPERIMENTS.md tracks.
+
+#ifndef GREPAIR_BENCH_BENCH_UTIL_H_
+#define GREPAIR_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "src/baselines/hn.h"
+#include "src/baselines/k2_compressor.h"
+#include "src/baselines/lm.h"
+#include "src/baselines/string_repair.h"
+#include "src/datasets/paper_datasets.h"
+#include "src/encoding/grammar_coder.h"
+#include "src/grepair/compressor.h"
+
+namespace grepair {
+namespace bench {
+
+inline double Seconds(std::chrono::steady_clock::time_point a,
+                      std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+/// \brief gRePair end-to-end: compress + binary encode; returns bpe.
+struct GrepairRun {
+  double bpe = 0;
+  size_t bytes = 0;
+  CompressStats stats;
+  GrammarStats grammar;
+  double seconds = 0;
+};
+
+inline GrepairRun RunGrepair(const GeneratedGraph& gg,
+                             CompressOptions options = {}) {
+  auto t0 = std::chrono::steady_clock::now();
+  auto result = Compress(gg.graph, gg.alphabet, options);
+  GrepairRun run;
+  if (!result.ok()) {
+    std::fprintf(stderr, "compress failed on %s: %s\n", gg.name.c_str(),
+                 result.status().ToString().c_str());
+    return run;
+  }
+  auto bytes = EncodeGrammar(result.value().grammar);
+  auto t1 = std::chrono::steady_clock::now();
+  run.bytes = bytes.size();
+  run.bpe = BitsPerEdge(bytes.size(), gg.graph.num_edges());
+  run.stats = result.value().stats;
+  run.grammar = ComputeGrammarStats(result.value().grammar);
+  run.seconds = Seconds(t0, t1);
+  return run;
+}
+
+/// \brief Plain k^2-tree baseline bpe.
+inline double RunK2(const GeneratedGraph& gg) {
+  size_t bytes = K2CompressedSize(gg.graph, gg.alphabet);
+  return BitsPerEdge(bytes, gg.graph.num_edges());
+}
+
+inline size_t RunK2Bytes(const GeneratedGraph& gg) {
+  return K2CompressedSize(gg.graph, gg.alphabet);
+}
+
+/// \brief LM baseline bpe (unlabeled out-adjacency).
+inline double RunLm(const GeneratedGraph& gg) {
+  auto compressed = LmCompress(gg.graph);
+  return BitsPerEdge(compressed.SizeBytes(), gg.graph.num_edges());
+}
+
+/// \brief HN baseline bpe (unlabeled out-adjacency).
+inline double RunHn(const GeneratedGraph& gg) {
+  auto compressed = HnCompress(gg.graph);
+  return BitsPerEdge(compressed.SizeBytes(), gg.graph.num_edges());
+}
+
+/// \brief Adjacency-list RePair (Claude & Navarro) bpe.
+inline double RunAdjRePair(const GeneratedGraph& gg) {
+  return BitsPerEdge(AdjListRePairSizeBytes(gg.graph),
+                     gg.graph.num_edges());
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n== %s ==\n", title.c_str());
+}
+
+inline void PrintScaleNote(const PaperDataset& d) {
+  std::printf("   [%s: stand-in V=%u E=%u, paper V=%llu E=%llu, "
+              "edge scale %.3f]\n",
+              d.paper.name.c_str(), d.data.graph.num_nodes(),
+              d.data.graph.num_edges(),
+              static_cast<unsigned long long>(d.paper.nodes),
+              static_cast<unsigned long long>(d.paper.edges), d.scale);
+}
+
+}  // namespace bench
+}  // namespace grepair
+
+#endif  // GREPAIR_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,39 @@
+// Figure 11: correlation between the number of ~FP equivalence classes
+// and compression. The paper's claim: no graph sits in the lower-right
+// corner — few classes (relative to |V|) always means good compression
+// (low bpe). We print (classes/|V|, bpe) pairs for all 18 stand-ins and
+// check the corner emptiness.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/graph/node_order.h"
+
+using namespace grepair;
+using namespace grepair::bench;
+
+int main() {
+  std::vector<std::string> names;
+  for (const auto& n : NetworkGraphNames()) names.push_back(n);
+  for (const auto& n : RdfGraphNames()) names.push_back(n);
+  for (const auto& n : VersionGraphNames()) names.push_back(n);
+
+  std::printf("Figure 11: ~FP classes vs compression\n");
+  std::printf("%-24s %10s %10s %10s %8s\n", "graph", "classes", "|V|",
+              "cls/|V|", "bpe");
+  bool corner_violated = false;
+  for (const auto& name : names) {
+    PaperDataset d = MakePaperDataset(name);
+    uint32_t classes = CountFpClasses(d.data.graph);
+    double ratio = static_cast<double>(classes) / d.data.graph.num_nodes();
+    GrepairRun run = RunGrepair(d.data);
+    std::printf("%-24s %10u %10u %10.4f %8.3f\n", name.c_str(), classes,
+                d.data.graph.num_nodes(), ratio, run.bpe);
+    // "Lower right corner": few classes but bad compression.
+    if (ratio < 0.05 && run.bpe > 10.0) corner_violated = true;
+  }
+  std::printf("\nlower-right corner (cls/|V| < 0.05 but bpe > 10): %s\n",
+              corner_violated ? "VIOLATED (shape MISMATCH)"
+                              : "empty (shape OK, matches paper)");
+  return 0;
+}

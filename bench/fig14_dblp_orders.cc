@@ -1,0 +1,55 @@
+// Figure 14: compressing a growing version graph (yearly snapshots of a
+// DBLP-like co-authorship network, 1960..1970) under different node
+// orders, against the k2-tree baseline.
+//
+// Paper shape: with the FP order gRePair stays clearly below k2-tree as
+// versions accumulate; BFS and random orders land much closer to the
+// k2-tree curve.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/datasets/generators.h"
+
+using namespace grepair;
+using namespace grepair::bench;
+
+int main() {
+  const uint32_t kYears = 11;  // 1960..1970
+  auto snapshots = CoAuthorshipHistory(kYears, 330, 120, 303);
+
+  std::printf("Figure 14: DBLP-like version growth, bpe per order\n");
+  std::printf("%5s %9s %9s %9s %9s %9s %9s\n", "year", "edges", "fp",
+              "fp0", "bfs", "random", "k2-tree");
+  double fp_sum = 0, random_sum = 0, k2_sum = 0;
+  for (uint32_t upto = 1; upto <= kYears; ++upto) {
+    std::vector<const Hypergraph*> parts;
+    for (uint32_t y = 0; y < upto; ++y) parts.push_back(&snapshots[y]);
+    Alphabet alpha;
+    alpha.Add("e", 2);
+    GeneratedGraph g = DisjointUnion(
+        parts, alpha, "dblp60-" + std::to_string(60 + upto - 1));
+    std::printf("%5u %9u", 60 + upto - 1, g.graph.num_edges());
+    double row[4] = {0, 0, 0, 0};
+    const NodeOrderKind orders[4] = {
+        NodeOrderKind::kFp, NodeOrderKind::kFp0, NodeOrderKind::kBfs,
+        NodeOrderKind::kRandom};
+    for (int oi = 0; oi < 4; ++oi) {
+      CompressOptions options;
+      options.node_order = orders[oi];
+      GrepairRun run = RunGrepair(g, options);
+      row[oi] = run.bpe;
+      std::printf(" %9.2f", run.bpe);
+    }
+    double k2 = RunK2(g);
+    std::printf(" %9.2f\n", k2);
+    fp_sum += row[0];
+    random_sum += row[3];
+    k2_sum += k2;
+  }
+  std::printf("\nshape: avg fp %.2f vs random %.2f vs k2 %.2f — %s "
+              "(paper: fp clearly best, random/bfs close to k2)\n",
+              fp_sum / kYears, random_sum / kYears, k2_sum / kYears,
+              fp_sum < random_sum && fp_sum < k2_sum ? "OK" : "MISMATCH");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Micro-benchmarks for the compression pipeline itself: gRePair
+// end-to-end throughput per workload family, occurrence counting, and
+// the pruning pass.
+
+#include <benchmark/benchmark.h>
+
+#include "src/datasets/generators.h"
+#include "src/encoding/grammar_coder.h"
+#include "src/grepair/compressor.h"
+
+namespace grepair {
+namespace {
+
+void BM_CompressRdfTypes(benchmark::State& state) {
+  auto gg = RdfTypes(static_cast<uint32_t>(state.range(0)), 30, 1);
+  for (auto _ : state) {
+    auto result = Compress(gg.graph, gg.alphabet, {});
+    benchmark::DoNotOptimize(result.value().stats.output_size);
+  }
+  state.SetItemsProcessed(state.iterations() * gg.graph.num_edges());
+}
+BENCHMARK(BM_CompressRdfTypes)->Arg(10000)->Arg(40000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CompressCoauthorship(benchmark::State& state) {
+  auto gg = CoAuthorship(static_cast<uint32_t>(state.range(0)),
+                         static_cast<uint32_t>(state.range(0)) * 2, 2);
+  for (auto _ : state) {
+    auto result = Compress(gg.graph, gg.alphabet, {});
+    benchmark::DoNotOptimize(result.value().stats.output_size);
+  }
+  state.SetItemsProcessed(state.iterations() * gg.graph.num_edges());
+}
+BENCHMARK(BM_CompressCoauthorship)->Arg(500)->Arg(2000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CompressCopies(benchmark::State& state) {
+  auto gg = DisjointCopies(CycleWithDiagonal(),
+                           static_cast<uint32_t>(state.range(0)), "c");
+  for (auto _ : state) {
+    auto result = Compress(gg.graph, gg.alphabet, {});
+    benchmark::DoNotOptimize(result.value().stats.output_size);
+  }
+  state.SetItemsProcessed(state.iterations() * gg.graph.num_edges());
+}
+BENCHMARK(BM_CompressCopies)->Arg(256)->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_EncodeGrammar(benchmark::State& state) {
+  auto gg = RdfEntities(4000, 12, 200, 3);
+  auto result = Compress(gg.graph, gg.alphabet, {});
+  for (auto _ : state) {
+    auto bytes = EncodeGrammar(result.value().grammar);
+    benchmark::DoNotOptimize(bytes.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          result.value().grammar.TotalSize());
+}
+BENCHMARK(BM_EncodeGrammar)->Unit(benchmark::kMillisecond);
+
+void BM_DecodeGrammar(benchmark::State& state) {
+  auto gg = RdfEntities(4000, 12, 200, 3);
+  auto result = Compress(gg.graph, gg.alphabet, {});
+  auto bytes = EncodeGrammar(result.value().grammar);
+  for (auto _ : state) {
+    auto decoded = DecodeGrammar(bytes);
+    benchmark::DoNotOptimize(decoded.ok());
+  }
+  state.SetBytesProcessed(state.iterations() * bytes.size());
+}
+BENCHMARK(BM_DecodeGrammar)->Unit(benchmark::kMillisecond);
+
+void BM_DeriveVal(benchmark::State& state) {
+  auto gg = DisjointCopies(CycleWithDiagonal(), 4096, "c");
+  auto result = Compress(gg.graph, gg.alphabet, {});
+  for (auto _ : state) {
+    auto val = Derive(result.value().grammar);
+    benchmark::DoNotOptimize(val.value().num_edges());
+  }
+  state.SetItemsProcessed(state.iterations() * gg.graph.num_edges());
+}
+BENCHMARK(BM_DeriveVal)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace grepair
+
+BENCHMARK_MAIN();

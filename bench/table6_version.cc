@@ -1,0 +1,56 @@
+// Table VI: version graphs — gRePair vs k2-tree (all four) and LM/HN
+// (the unlabeled DBLP graphs only, as in the paper).
+//
+// Paper shape: gRePair wins everywhere; Tic-Tac-Toe collapses to
+// almost nothing (0.12 bpe vs 9.62 for k2).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace grepair;
+using namespace grepair::bench;
+
+int main() {
+  const double paper_grepair[4] = {0.12, 9.06, 9.54, 13.39};
+  const double paper_k2[4] = {9.62, 13.10, 15.78, 20.80};
+  const double paper_lm[4] = {-1, -1, 16.44, 19.32};
+  const double paper_hn[4] = {-1, -1, 16.65, 18.26};
+
+  std::printf("Table VI: version graphs, bpe (ours; paper in parens)\n");
+  std::printf("%-14s %18s %18s %18s %18s\n", "graph", "gRePair", "k2-tree",
+              "LM", "HN");
+  auto names = VersionGraphNames();
+  int wins = 0;
+  for (size_t i = 0; i < names.size(); ++i) {
+    PaperDataset d = MakePaperDataset(names[i]);
+    GrepairRun run = RunGrepair(d.data);
+    double k2 = RunK2(d.data);
+    bool labeled = d.data.alphabet.size() > 1;
+    double lm = labeled ? -1 : RunLm(d.data);
+    double hn = labeled ? -1 : RunHn(d.data);
+    double best_other = k2;
+    if (lm >= 0) best_other = std::min(best_other, lm);
+    if (hn >= 0) best_other = std::min(best_other, hn);
+    if (run.bpe < best_other) ++wins;
+    auto cell = [](double v, double paper) {
+      static char buf[64];
+      if (v < 0) {
+        std::snprintf(buf, sizeof buf, "%9s %8s", "-", "(-)");
+      } else if (paper < 0) {
+        std::snprintf(buf, sizeof buf, "%9.2f %8s", v, "(-)");
+      } else {
+        std::snprintf(buf, sizeof buf, "%9.2f (%6.2f)", v, paper);
+      }
+      return std::string(buf);
+    };
+    std::printf("%-14s %18s %18s %18s %18s\n", names[i].c_str(),
+                cell(run.bpe, paper_grepair[i]).c_str(),
+                cell(k2, paper_k2[i]).c_str(),
+                cell(lm, paper_lm[i]).c_str(),
+                cell(hn, paper_hn[i]).c_str());
+  }
+  std::printf("\nshape: gRePair best on %d/%zu version graphs "
+              "(paper: 4/4)\n", wins, names.size());
+  return 0;
+}

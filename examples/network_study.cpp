@@ -1,0 +1,68 @@
+// Compressor bake-off on one network graph: run every compressor in the
+// repo on a co-authorship network and print the full comparison,
+// including the parameters' effect (node order x maxRank grid).
+//
+//   ./build/examples/network_study
+
+#include <cstdio>
+
+#include "src/baselines/hn.h"
+#include "src/baselines/k2_compressor.h"
+#include "src/baselines/lm.h"
+#include "src/baselines/string_repair.h"
+#include "src/datasets/generators.h"
+#include "src/encoding/grammar_coder.h"
+#include "src/grepair/compressor.h"
+
+using namespace grepair;
+
+namespace {
+
+double Bpe(size_t bytes, uint64_t edges) { return BitsPerEdge(bytes, edges); }
+
+}  // namespace
+
+int main() {
+  GeneratedGraph g = CoAuthorship(3000, 4500, 7);
+  uint64_t edges = g.graph.num_edges();
+  std::printf("co-authorship network: %u nodes, %llu edges\n",
+              g.graph.num_nodes(), static_cast<unsigned long long>(edges));
+
+  // All compressors at their defaults.
+  auto grepair = Compress(g.graph, g.alphabet, {});
+  auto grepair_bytes = EncodeGrammar(grepair.value().grammar);
+  std::printf("\n%-22s %10s %8s\n", "compressor", "bytes", "bpe");
+  std::printf("%-22s %10zu %8.2f\n", "gRePair",
+              grepair_bytes.size(), Bpe(grepair_bytes.size(), edges));
+  size_t k2 = K2CompressedSize(g.graph, g.alphabet);
+  std::printf("%-22s %10zu %8.2f\n", "k2-tree", k2, Bpe(k2, edges));
+  auto lm = LmCompress(g.graph);
+  std::printf("%-22s %10zu %8.2f\n", "LM (list merge)", lm.SizeBytes(),
+              Bpe(lm.SizeBytes(), edges));
+  auto hn = HnCompress(g.graph);
+  std::printf("%-22s %10zu %8.2f   (%u dense patterns)\n",
+              "HN (virtual nodes)", hn.SizeBytes(),
+              Bpe(hn.SizeBytes(), edges), hn.patterns);
+  size_t rp = AdjListRePairSizeBytes(g.graph);
+  std::printf("%-22s %10zu %8.2f\n", "adj-list RePair", rp,
+              Bpe(rp, edges));
+
+  // Parameter grid for gRePair.
+  std::printf("\ngRePair parameter grid (bpe):\n%-10s", "order\\rank");
+  for (int rank : {2, 3, 4, 6}) std::printf(" %7d", rank);
+  std::printf("\n");
+  for (auto order : {NodeOrderKind::kNatural, NodeOrderKind::kFp0,
+                     NodeOrderKind::kFp}) {
+    std::printf("%-10s", NodeOrderKindName(order).c_str());
+    for (int rank : {2, 3, 4, 6}) {
+      CompressOptions options;
+      options.node_order = order;
+      options.max_rank = rank;
+      auto r = Compress(g.graph, g.alphabet, options);
+      auto bytes = EncodeGrammar(r.value().grammar);
+      std::printf(" %7.2f", Bpe(bytes.size(), edges));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Version-graph scenario (Section IV-C3): archive yearly snapshots of
+// an evolving collaboration network as one disjoint union and compress
+// it, comparing against storing each snapshot separately.
+//
+//   ./build/examples/version_history
+
+#include <cstdio>
+
+#include "src/baselines/k2_compressor.h"
+#include "src/datasets/generators.h"
+#include "src/encoding/grammar_coder.h"
+#include "src/grepair/compressor.h"
+#include "src/query/speedup.h"
+
+using namespace grepair;
+
+int main() {
+  const uint32_t kYears = 8;
+  auto snapshots = CoAuthorshipHistory(kYears, 250, 120, 99);
+  Alphabet alphabet;
+  alphabet.Add("coauthor", 2);
+
+  // Storing every snapshot separately (each as a k2-tree).
+  size_t separate_bytes = 0;
+  for (const auto& snap : snapshots) {
+    separate_bytes += K2CompressedSize(snap, alphabet);
+  }
+
+  // Storing the union as one gRePair grammar: repeated substructure
+  // across versions collapses into shared rules.
+  std::vector<const Hypergraph*> parts;
+  for (const auto& s : snapshots) parts.push_back(&s);
+  GeneratedGraph archive = DisjointUnion(parts, alphabet, "archive");
+  std::printf("archive of %u versions: %u nodes, %u edges\n", kYears,
+              archive.graph.num_nodes(), archive.graph.num_edges());
+
+  auto result = Compress(archive.graph, archive.alphabet, {});
+  auto bytes = EncodeGrammar(result.value().grammar);
+  size_t union_k2 = K2CompressedSize(archive.graph, alphabet);
+
+  std::printf("per-snapshot k2-trees: %zu bytes\n", separate_bytes);
+  std::printf("union as one k2-tree:  %zu bytes\n", union_k2);
+  std::printf("union as gRePair:      %zu bytes (%u rules, %.2f bpe)\n",
+              bytes.size(), result.value().grammar.num_rules(),
+              BitsPerEdge(bytes.size(), archive.graph.num_edges()));
+
+  // Sanity queries on the compressed archive (one pass, Section V):
+  // each version is (at least) one connected component.
+  uint64_t components =
+      CountConnectedComponents(result.value().grammar);
+  auto extrema = ComputeDegreeExtrema(result.value().grammar);
+  std::printf("archive has %llu components; degrees span [%llu, %llu] "
+              "— computed on the grammar without decompression\n",
+              static_cast<unsigned long long>(components),
+              static_cast<unsigned long long>(extrema.min_degree),
+              static_cast<unsigned long long>(extrema.max_degree));
+  return 0;
+}

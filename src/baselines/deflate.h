@@ -1,0 +1,24 @@
+// Thin zlib wrapper: the LM baseline compresses its merged-list stream
+// with a general-purpose compressor (the authors used Deflate/gzip).
+
+#ifndef GREPAIR_BASELINES_DEFLATE_H_
+#define GREPAIR_BASELINES_DEFLATE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace grepair {
+
+/// \brief Deflate-compresses `data` (zlib format, level 9).
+std::vector<uint8_t> DeflateBytes(const std::vector<uint8_t>& data);
+
+/// \brief Inverse of DeflateBytes; `expected_size` must be the original
+/// length (stored out of band by callers).
+Result<std::vector<uint8_t>> InflateBytes(const std::vector<uint8_t>& data,
+                                          size_t expected_size);
+
+}  // namespace grepair
+
+#endif  // GREPAIR_BASELINES_DEFLATE_H_

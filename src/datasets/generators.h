@@ -1,0 +1,101 @@
+// Deterministic synthetic graph generators.
+//
+// The paper evaluates on SNAP network graphs, DBpedia/Identica/Jamendo
+// RDF graphs and Subdue/DBLP version graphs, none of which are available
+// offline. These generators produce structurally matched stand-ins (see
+// DESIGN.md section 4): what drives gRePair is degree structure, label
+// structure and repeated substructure, all of which the generators
+// control explicitly. Every generator is seeded and reproducible.
+
+#ifndef GREPAIR_DATASETS_GENERATORS_H_
+#define GREPAIR_DATASETS_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/graph/hypergraph.h"
+
+namespace grepair {
+
+/// \brief A generated graph with its alphabet and a display name.
+struct GeneratedGraph {
+  std::string name;
+  Hypergraph graph;
+  Alphabet alphabet;
+};
+
+/// \brief G(n, m): m uniform random distinct directed edges, single label.
+GeneratedGraph ErdosRenyi(uint32_t num_nodes, uint32_t num_edges,
+                          uint64_t seed, uint32_t num_labels = 1);
+
+/// \brief Preferential attachment: each new node attaches `edges_per_node`
+/// out-edges to targets drawn by degree (power-law in-degrees; web-like).
+GeneratedGraph BarabasiAlbert(uint32_t num_nodes, uint32_t edges_per_node,
+                              uint64_t seed);
+
+/// \brief Co-authorship model: `papers` papers, each a clique over 2..5
+/// authors drawn with preferential attachment from `num_authors` authors
+/// (CA-* style: clustered, heavy reuse of collaborator sets).
+GeneratedGraph CoAuthorship(uint32_t num_authors, uint32_t papers,
+                            uint64_t seed);
+
+/// \brief Communication network: `num_hubs` hubs receive most traffic
+/// (Zipf-selected endpoints), the rest is sparse random (Email-* style).
+GeneratedGraph HubNetwork(uint32_t num_nodes, uint32_t num_edges,
+                          uint32_t num_hubs, uint64_t seed);
+
+/// \brief RDF "instance types" stand-in: `instances` subjects with
+/// rdf:type edges into `num_types` Zipf-popular type objects (a star
+/// forest, the structure the paper credits for its orders-of-magnitude
+/// wins in Section IV-C2). `mean_types` is the average number of type
+/// edges per instance (>= 1; DBpedia's "de with en" slice has ~3).
+GeneratedGraph RdfTypes(uint32_t instances, uint32_t num_types,
+                        uint64_t seed, double mean_types = 1.03);
+
+/// \brief RDF entity-record stand-in (Identica/Jamendo style): each
+/// subject carries a record of 2..8 predicate edges to shared or
+/// private objects, drawn from `num_templates` record templates.
+GeneratedGraph RdfEntities(uint32_t num_entities, uint32_t num_predicates,
+                           uint32_t num_templates, uint64_t seed);
+
+/// \brief The Figure 13 unit graph: a directed 4-cycle plus one diagonal
+/// (4 nodes, 5 edges), single label.
+GeneratedGraph CycleWithDiagonal();
+
+/// \brief Disjoint union of `copies` copies of `unit` (version-graph
+/// building block; node ids are block-shifted).
+GeneratedGraph DisjointCopies(const GeneratedGraph& unit, uint32_t copies,
+                              const std::string& name);
+
+/// \brief Disjoint union of arbitrary snapshots sharing one alphabet.
+GeneratedGraph DisjointUnion(const std::vector<const Hypergraph*>& parts,
+                             const Alphabet& alphabet,
+                             const std::string& name);
+
+/// \brief Game-position version graph stand-in (Tic-Tac-Toe/Chess): many
+/// small labeled position graphs drawn from `num_templates` templates,
+/// each perturbed (one edge relabeled) with probability `perturb`,
+/// unioned disjointly. Low template count + low perturbation gives the
+/// tiny |[~FP]| of Tic-Tac-Toe; high values give Chess-like diversity.
+GeneratedGraph GamePositions(uint32_t num_positions, uint32_t nodes_per_pos,
+                             uint32_t num_labels, uint32_t num_templates,
+                             uint64_t seed, double perturb = 0.15);
+
+/// \brief Growing co-authorship history: returns per-year snapshots
+/// (cumulative membership; later years extend earlier ones with new
+/// authors and papers). Snapshot i contains the network after year i.
+std::vector<Hypergraph> CoAuthorshipHistory(uint32_t years,
+                                            uint32_t authors_per_year,
+                                            uint32_t papers_per_year,
+                                            uint64_t seed);
+
+/// \brief DBLP-style version graph: the disjoint union of the first
+/// `num_versions` snapshots of CoAuthorshipHistory.
+GeneratedGraph DblpVersions(uint32_t num_versions, uint32_t authors_per_year,
+                            uint32_t papers_per_year, uint64_t seed,
+                            const std::string& name);
+
+}  // namespace grepair
+
+#endif  // GREPAIR_DATASETS_GENERATORS_H_

@@ -1,0 +1,127 @@
+#include "src/datasets/paper_datasets.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+namespace grepair {
+
+namespace {
+
+PaperStats Stats(const char* name, uint64_t nodes, uint64_t edges,
+                 uint32_t labels, uint64_t fp_classes) {
+  return PaperStats{name, nodes, edges, labels, fp_classes};
+}
+
+PaperDataset Wrap(GeneratedGraph data, PaperStats paper) {
+  PaperDataset d;
+  d.paper = std::move(paper);
+  d.scale = d.paper.edges == 0
+                ? 1.0
+                : static_cast<double>(data.graph.num_edges()) /
+                      static_cast<double>(d.paper.edges);
+  data.name = d.paper.name;
+  d.data = std::move(data);
+  return d;
+}
+
+}  // namespace
+
+PaperDataset MakePaperDataset(const std::string& name) {
+  // ---- Table I: network graphs -----------------------------------------
+  if (name == "CA-AstroPh") {
+    return Wrap(CoAuthorship(4700, 9500, 101),
+                Stats("CA-AstroPh", 18772, 396160, 1, 14742));
+  }
+  if (name == "CA-CondMat") {
+    return Wrap(CoAuthorship(5800, 4700, 102),
+                Stats("CA-CondMat", 23133, 186936, 1, 17135));
+  }
+  if (name == "CA-GrQc") {
+    return Wrap(CoAuthorship(5242, 2900, 103),
+                Stats("CA-GrQc", 5242, 28980, 1, 3394));
+  }
+  if (name == "Email-Enron") {
+    return Wrap(HubNetwork(9000, 92000, 150, 104),
+                Stats("Email-Enron", 36692, 367662, 1, 5805));
+  }
+  if (name == "Email-EuAll") {
+    return Wrap(HubNetwork(33000, 52000, 300, 105),
+                Stats("Email-EuAll", 265214, 420045, 1, 28895));
+  }
+  if (name == "NotreDame") {
+    return Wrap(BarabasiAlbert(33000, 5, 106),
+                Stats("NotreDame", 325729, 1497134, 1, 118264));
+  }
+  if (name == "Wiki-Talk") {
+    return Wrap(HubNetwork(60000, 125000, 2000, 107),
+                Stats("Wiki-Talk", 2394385, 5021410, 1, 566846));
+  }
+  if (name == "Wiki-Vote") {
+    return Wrap(HubNetwork(7115, 52000, 400, 108),
+                Stats("Wiki-Vote", 7115, 103689, 1, 5806));
+  }
+
+  // ---- Table II: RDF graphs ---------------------------------------------
+  if (name == "Specific properties en") {
+    return Wrap(RdfEntities(20000, 71, 400, 201),
+                Stats("Specific properties en", 609014, 819764, 71, 236235));
+  }
+  if (name == "Types ru") {
+    return Wrap(RdfTypes(64000, 60, 202, 1.0),
+                Stats("Types ru", 642340, 642364, 1, 79));
+  }
+  if (name == "Types es") {
+    return Wrap(RdfTypes(80000, 300, 203, 1.001),
+                Stats("Types es", 818657, 819780, 1, 336));
+  }
+  if (name == "Types de with en") {
+    return Wrap(RdfTypes(60000, 300, 204, 2.9),
+                Stats("Types de with en", 618708, 1810909, 1, 335));
+  }
+  if (name == "Identica") {
+    return Wrap(RdfEntities(4000, 12, 2000, 205),
+                Stats("Identica", 16355, 29683, 12, 14588));
+  }
+  if (name == "Jamendo") {
+    return Wrap(RdfEntities(30000, 25, 2500, 206),
+                Stats("Jamendo", 438975, 1047898, 25, 396725));
+  }
+
+  // ---- Table III: version graphs -----------------------------------------
+  if (name == "Tic-Tac-Toe") {
+    return Wrap(GamePositions(626, 9, 3, 3, 301, /*perturb=*/0.0),
+                Stats("Tic-Tac-Toe", 5634, 10016, 3, 9));
+  }
+  if (name == "Chess") {
+    return Wrap(GamePositions(6000, 12, 12, 1500, 302, /*perturb=*/0.4),
+                Stats("Chess", 76272, 113039, 12, 74592));
+  }
+  if (name == "DBLP60-70") {
+    return Wrap(DblpVersions(11, 330, 120, 303, "DBLP60-70"),
+                Stats("DBLP60-70", 24246, 23677, 1, 2739));
+  }
+  if (name == "DBLP60-90") {
+    return Wrap(DblpVersions(31, 260, 130, 303, "DBLP60-90"),
+                Stats("DBLP60-90", 658197, 954521, 1, 207305));
+  }
+
+  std::fprintf(stderr, "unknown paper dataset: %s\n", name.c_str());
+  std::abort();
+}
+
+std::vector<std::string> NetworkGraphNames() {
+  return {"CA-AstroPh", "CA-CondMat", "CA-GrQc",  "Email-Enron",
+          "Email-EuAll", "NotreDame",  "Wiki-Talk", "Wiki-Vote"};
+}
+
+std::vector<std::string> RdfGraphNames() {
+  return {"Specific properties en", "Types ru", "Types es",
+          "Types de with en",        "Identica", "Jamendo"};
+}
+
+std::vector<std::string> VersionGraphNames() {
+  return {"Tic-Tac-Toe", "Chess", "DBLP60-70", "DBLP60-90"};
+}
+
+}  // namespace grepair

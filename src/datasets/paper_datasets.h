@@ -1,0 +1,54 @@
+// Named stand-ins for the paper's 18 evaluation graphs (Tables I-III),
+// each paired with the published statistics so bench output can print
+// paper-vs-measured side by side.
+//
+// Large datasets are scaled down (the `scale` field reports the
+// approximate edge-count ratio vs the paper) to keep the full bench
+// suite laptop-scale; generators preserve the structural features that
+// drive compression (degree skew, label usage, repeated components).
+// See DESIGN.md section 4 for the substitution rationale.
+
+#ifndef GREPAIR_DATASETS_PAPER_DATASETS_H_
+#define GREPAIR_DATASETS_PAPER_DATASETS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/datasets/generators.h"
+
+namespace grepair {
+
+/// \brief Published statistics of one paper dataset (Tables I-III).
+struct PaperStats {
+  std::string name;
+  uint64_t nodes = 0;
+  uint64_t edges = 0;
+  uint32_t labels = 1;
+  uint64_t fp_classes = 0;  ///< |[~FP]| column
+};
+
+/// \brief A generated stand-in with its paper counterpart.
+struct PaperDataset {
+  GeneratedGraph data;
+  PaperStats paper;
+  double scale = 1.0;  ///< our edge count / paper edge count (approx.)
+};
+
+/// \brief Builds the stand-in for a paper dataset by its table name
+/// (e.g. "CA-GrQc", "Types ru", "DBLP60-70"). Aborts on unknown names;
+/// use the *Names() lists below to enumerate.
+PaperDataset MakePaperDataset(const std::string& name);
+
+/// \brief Table I names (8 network graphs).
+std::vector<std::string> NetworkGraphNames();
+
+/// \brief Table II names (6 RDF graphs).
+std::vector<std::string> RdfGraphNames();
+
+/// \brief Table III names (4 version graphs).
+std::vector<std::string> VersionGraphNames();
+
+}  // namespace grepair
+
+#endif  // GREPAIR_DATASETS_PAPER_DATASETS_H_

@@ -1,0 +1,440 @@
+#include "src/encoding/grammar_coder.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <numeric>
+
+#include "src/k2tree/k2tree.h"
+#include "src/util/elias.h"
+
+namespace grepair {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x47524731;  // "GRG1"
+
+int IndexBits(size_t dictionary_size) {
+  if (dictionary_size <= 1) return 0;
+  int bits = 0;
+  size_t v = dictionary_size - 1;
+  while (v > 0) {
+    ++bits;
+    v >>= 1;
+  }
+  return bits;
+}
+
+// Writes one production in the paper's format.
+void EncodeRule(const SlhrGrammar& grammar, const Hypergraph& rhs,
+                BitWriter* w) {
+  EliasDeltaEncode(rhs.num_edges() + 1, w);
+  EliasDeltaEncode(rhs.num_nodes() + 1, w);
+  EliasDeltaEncode(rhs.ext().size() + 1, w);
+  uint32_t rank = static_cast<uint32_t>(rhs.ext().size());
+  for (const auto& e : rhs.edges()) {
+    w->PutBit(grammar.IsNonterminal(e.label));
+    EliasDeltaEncode(e.att.size(), w);
+    for (NodeId v : e.att) {
+      w->PutBit(v < rank);  // external marker (canonical form: ids 0..k-1)
+      EliasDeltaEncode(v + 1, w);
+    }
+    EliasDeltaEncode(e.label + 1, w);
+  }
+}
+
+Status DecodeRule(uint32_t num_labels, BitReader* r, Hypergraph* rhs,
+                  uint32_t* rank_out) {
+  uint64_t num_edges = 0, num_nodes = 0, rank = 0;
+  GREPAIR_RETURN_IF_ERROR(EliasDeltaDecode(r, &num_edges));
+  GREPAIR_RETURN_IF_ERROR(EliasDeltaDecode(r, &num_nodes));
+  GREPAIR_RETURN_IF_ERROR(EliasDeltaDecode(r, &rank));
+  if (num_edges == 0 || num_nodes == 0 || rank == 0) {
+    return Status::Corruption("bad rule header");
+  }
+  --num_edges;
+  --num_nodes;
+  --rank;
+  if (rank == 0 || rank > 64) {
+    return Status::Corruption("nonterminal rank out of range");
+  }
+  if (rank > num_nodes) return Status::Corruption("rank exceeds rhs nodes");
+  *rhs = Hypergraph(static_cast<uint32_t>(num_nodes));
+  for (uint64_t i = 0; i < num_edges; ++i) {
+    bool is_nt = false;
+    GREPAIR_RETURN_IF_ERROR(r->ReadBit(&is_nt));
+    uint64_t att_count = 0;
+    GREPAIR_RETURN_IF_ERROR(EliasDeltaDecode(r, &att_count));
+    if (att_count == 0 || att_count > 64) {
+      return Status::Corruption("bad attachment count");
+    }
+    std::vector<NodeId> att(att_count);
+    for (uint64_t a = 0; a < att_count; ++a) {
+      bool external = false;
+      GREPAIR_RETURN_IF_ERROR(r->ReadBit(&external));
+      uint64_t id = 0;
+      GREPAIR_RETURN_IF_ERROR(EliasDeltaDecode(r, &id));
+      if (id == 0 || id > num_nodes) {
+        return Status::Corruption("bad rhs node id");
+      }
+      att[a] = static_cast<NodeId>(id - 1);
+      if (external != (att[a] < rank)) {
+        return Status::Corruption("external marker inconsistent");
+      }
+    }
+    uint64_t label = 0;
+    GREPAIR_RETURN_IF_ERROR(EliasDeltaDecode(r, &label));
+    if (label == 0 || label > num_labels) {
+      return Status::Corruption("bad rhs label");
+    }
+    (void)is_nt;  // redundant with the label range; kept for the format
+    rhs->AddEdge(static_cast<Label>(label - 1), std::move(att));
+  }
+  std::vector<NodeId> ext(rank);
+  std::iota(ext.begin(), ext.end(), 0u);
+  rhs->SetExternal(std::move(ext));
+  *rank_out = static_cast<uint32_t>(rank);
+  return Status::OK();
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeGrammar(const SlhrGrammar& grammar,
+                                   EncodeStats* stats) {
+  const Alphabet& alpha = grammar.alphabet();
+  const Hypergraph& start = grammar.start();
+  BitWriter w;
+
+  // ---- Header -------------------------------------------------------------
+  w.PutBits(kMagic, 32);
+  EliasDeltaEncode(grammar.num_terminals() + 1, &w);
+  for (Label l = 0; l < grammar.num_terminals(); ++l) {
+    EliasDeltaEncode(static_cast<uint64_t>(alpha.rank(l)), &w);
+  }
+  EliasDeltaEncode(grammar.num_rules() + 1, &w);
+  EliasDeltaEncode(start.num_nodes() + 1, &w);
+  size_t header_end = w.bit_size();
+
+  // ---- Rules ----------------------------------------------------------------
+  for (uint32_t j = 0; j < grammar.num_rules(); ++j) {
+    EncodeRule(grammar, grammar.rhs_by_index(j), &w);
+  }
+  size_t rules_end = w.bit_size();
+
+  // ---- Permutation dictionary for start-graph hyperedges -------------------
+  // perm p of edge e: att(e)[i] = sorted(att(e))[p[i]].
+  std::map<std::vector<uint8_t>, uint32_t> perm_ids;
+  std::vector<std::vector<uint8_t>> perms;
+  std::vector<uint32_t> edge_perm(start.num_edges(), 0);
+  for (EdgeId i = 0; i < start.num_edges(); ++i) {
+    const HEdge& e = start.edge(i);
+    if (e.att.size() == 2) continue;
+    std::vector<NodeId> sorted_att = e.att;
+    std::sort(sorted_att.begin(), sorted_att.end());
+    std::vector<uint8_t> perm(e.att.size());
+    for (size_t a = 0; a < e.att.size(); ++a) {
+      perm[a] = static_cast<uint8_t>(
+          std::find(sorted_att.begin(), sorted_att.end(), e.att[a]) -
+          sorted_att.begin());
+    }
+    auto [it, inserted] = perm_ids.emplace(perm, perms.size());
+    if (inserted) perms.push_back(perm);
+    edge_perm[i] = it->second;
+  }
+  EliasDeltaEncode(perms.size() + 1, &w);
+  for (const auto& perm : perms) {
+    EliasDeltaEncode(perm.size(), &w);
+    for (uint8_t p : perm) EliasDeltaEncode(p + 1, &w);
+  }
+  const int perm_bits = IndexBits(perms.size());
+
+  // ---- Start graph: one k^2-tree per label ---------------------------------
+  // Edges must be sorted by (label, att); verify in debug builds.
+#ifndef NDEBUG
+  for (EdgeId i = 1; i < start.num_edges(); ++i) {
+    const HEdge& a = start.edge(i - 1);
+    const HEdge& b = start.edge(i);
+    assert(a.label < b.label || (a.label == b.label && !(b.att < a.att)));
+  }
+#endif
+  for (Label l = 0; l < alpha.size(); ++l) {
+    // Collect this label's edges (contiguous in canonical order).
+    std::vector<EdgeId> label_edges;
+    for (EdgeId i = 0; i < start.num_edges(); ++i) {
+      if (start.edge(i).label == l) label_edges.push_back(i);
+    }
+    w.PutBit(!label_edges.empty());
+    if (label_edges.empty()) continue;
+    if (alpha.rank(l) == 2) {
+      // Adjacency matrix; parallel duplicates patched separately.
+      std::vector<std::pair<uint32_t, uint32_t>> cells;
+      cells.reserve(label_edges.size());
+      for (EdgeId i : label_edges) {
+        cells.push_back({start.edge(i).att[0], start.edge(i).att[1]});
+      }
+      std::vector<std::pair<uint32_t, uint32_t>> unique_cells = cells;
+      std::sort(unique_cells.begin(), unique_cells.end());
+      unique_cells.erase(
+          std::unique(unique_cells.begin(), unique_cells.end()),
+          unique_cells.end());
+      K2Tree tree =
+          K2Tree::Build(start.num_nodes(), start.num_nodes(), unique_cells);
+      tree.Serialize(&w);
+      // Multiplicity patches: (cell rank, extra count).
+      std::map<std::pair<uint32_t, uint32_t>, uint32_t> mult;
+      for (const auto& c : cells) ++mult[c];
+      std::vector<std::pair<uint64_t, uint32_t>> dups;
+      for (size_t ci = 0; ci < unique_cells.size(); ++ci) {
+        uint32_t m = mult[unique_cells[ci]];
+        if (m > 1) dups.push_back({ci, m - 1});
+      }
+      EliasDeltaEncode(dups.size() + 1, &w);
+      for (const auto& [cell_rank, extra] : dups) {
+        EliasDeltaEncode(cell_rank + 1, &w);
+        EliasDeltaEncode(extra, &w);
+      }
+    } else {
+      // Incidence matrix: rows = nodes, cols = this label's edges.
+      std::vector<std::pair<uint32_t, uint32_t>> cells;
+      for (uint32_t col = 0; col < label_edges.size(); ++col) {
+        for (NodeId v : start.edge(label_edges[col]).att) {
+          cells.push_back({v, col});
+        }
+      }
+      K2Tree tree = K2Tree::Build(
+          start.num_nodes(), static_cast<uint32_t>(label_edges.size()),
+          cells);
+      tree.Serialize(&w);
+      for (EdgeId i : label_edges) {
+        w.PutBits(edge_perm[i], perm_bits);
+      }
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->total_bits = w.bit_size();
+    stats->header_bits = header_end;
+    stats->rule_bits = rules_end - header_end;
+    stats->start_graph_bits = w.bit_size() - rules_end;
+  }
+  return w.TakeBytes();
+}
+
+Result<SlhrGrammar> DecodeGrammar(const std::vector<uint8_t>& bytes) {
+  BitReader r(bytes);
+  uint64_t magic = 0;
+  GREPAIR_RETURN_IF_ERROR(r.ReadBits(32, &magic));
+  if (magic != kMagic) return Status::Corruption("bad magic");
+
+  uint64_t num_terminals = 0;
+  GREPAIR_RETURN_IF_ERROR(EliasDeltaDecode(&r, &num_terminals));
+  if (num_terminals == 0) return Status::Corruption("bad terminal count");
+  --num_terminals;
+  Alphabet terminals;
+  for (uint64_t l = 0; l < num_terminals; ++l) {
+    uint64_t rank = 0;
+    GREPAIR_RETURN_IF_ERROR(EliasDeltaDecode(&r, &rank));
+    if (rank == 0 || rank > 64) return Status::Corruption("bad label rank");
+    terminals.Add("t" + std::to_string(l), static_cast<int>(rank));
+  }
+  uint64_t num_rules = 0, start_nodes = 0;
+  GREPAIR_RETURN_IF_ERROR(EliasDeltaDecode(&r, &num_rules));
+  GREPAIR_RETURN_IF_ERROR(EliasDeltaDecode(&r, &start_nodes));
+  if (num_rules == 0 || start_nodes == 0) {
+    return Status::Corruption("bad counts");
+  }
+  --num_rules;
+  --start_nodes;
+
+  SlhrGrammar grammar(std::move(terminals),
+                      Hypergraph(static_cast<uint32_t>(start_nodes)));
+
+  // Rules: decode bodies first, then install (ranks come from the rhs).
+  const uint32_t num_labels =
+      static_cast<uint32_t>(num_terminals + num_rules);
+  std::vector<Hypergraph> rule_bodies(num_rules);
+  for (uint64_t j = 0; j < num_rules; ++j) {
+    uint32_t rank = 0;
+    GREPAIR_RETURN_IF_ERROR(
+        DecodeRule(num_labels, &r, &rule_bodies[j], &rank));
+    Label nt = grammar.AddNonterminal(static_cast<int>(rank));
+    (void)nt;
+  }
+  for (uint64_t j = 0; j < num_rules; ++j) {
+    grammar.SetRule(grammar.NonterminalLabel(static_cast<uint32_t>(j)),
+                    std::move(rule_bodies[j]));
+  }
+
+  // Permutation dictionary.
+  uint64_t num_perms = 0;
+  GREPAIR_RETURN_IF_ERROR(EliasDeltaDecode(&r, &num_perms));
+  if (num_perms == 0) return Status::Corruption("bad perm count");
+  --num_perms;
+  std::vector<std::vector<uint8_t>> perms(num_perms);
+  for (auto& perm : perms) {
+    uint64_t len = 0;
+    GREPAIR_RETURN_IF_ERROR(EliasDeltaDecode(&r, &len));
+    if (len == 0 || len > 64) return Status::Corruption("bad perm length");
+    perm.resize(len);
+    for (auto& p : perm) {
+      uint64_t v = 0;
+      GREPAIR_RETURN_IF_ERROR(EliasDeltaDecode(&r, &v));
+      if (v == 0 || v > len) return Status::Corruption("bad perm entry");
+      p = static_cast<uint8_t>(v - 1);
+    }
+  }
+  const int perm_bits = IndexBits(perms.size());
+
+  // Start graph label sections.
+  Hypergraph* start = grammar.mutable_start();
+  const Alphabet& alpha = grammar.alphabet();
+  for (Label l = 0; l < alpha.size(); ++l) {
+    bool present = false;
+    GREPAIR_RETURN_IF_ERROR(r.ReadBit(&present));
+    if (!present) continue;
+    auto tree = K2Tree::Deserialize(&r);
+    if (!tree.ok()) return tree.status();
+    if (alpha.rank(l) == 2) {
+      auto cells = tree.value().AllCells();
+      uint64_t num_dups = 0;
+      GREPAIR_RETURN_IF_ERROR(EliasDeltaDecode(&r, &num_dups));
+      if (num_dups == 0) return Status::Corruption("bad dup count");
+      --num_dups;
+      std::vector<uint32_t> multiplicity(cells.size(), 1);
+      for (uint64_t d = 0; d < num_dups; ++d) {
+        uint64_t cell_rank = 0, extra = 0;
+        GREPAIR_RETURN_IF_ERROR(EliasDeltaDecode(&r, &cell_rank));
+        GREPAIR_RETURN_IF_ERROR(EliasDeltaDecode(&r, &extra));
+        if (cell_rank == 0 || cell_rank > cells.size()) {
+          return Status::Corruption("bad dup cell");
+        }
+        multiplicity[cell_rank - 1] += static_cast<uint32_t>(extra);
+      }
+      for (size_t ci = 0; ci < cells.size(); ++ci) {
+        for (uint32_t m = 0; m < multiplicity[ci]; ++m) {
+          start->AddEdge(l, {cells[ci].first, cells[ci].second});
+        }
+      }
+    } else {
+      // Incidence: rebuild per-column node sets, then apply perms.
+      uint32_t num_edges = tree.value().num_cols();
+      std::vector<std::vector<NodeId>> cols(num_edges);
+      for (const auto& cell : tree.value().AllCells()) {
+        cols[cell.second].push_back(cell.first);
+      }
+      for (uint32_t col = 0; col < num_edges; ++col) {
+        uint64_t perm_idx = 0;
+        GREPAIR_RETURN_IF_ERROR(r.ReadBits(perm_bits, &perm_idx));
+        if (perms.empty()) {
+          return Status::Corruption("hyperedge without permutations");
+        }
+        if (perm_idx >= perms.size()) {
+          return Status::Corruption("bad perm index");
+        }
+        const auto& perm = perms[perm_idx];
+        std::vector<NodeId>& sorted_att = cols[col];  // rows are sorted
+        if (perm.size() != sorted_att.size()) {
+          return Status::Corruption("perm length mismatch");
+        }
+        std::vector<NodeId> att(sorted_att.size());
+        for (size_t a = 0; a < att.size(); ++a) {
+          att[a] = sorted_att[perm[a]];
+        }
+        start->AddEdge(l, std::move(att));
+      }
+    }
+  }
+
+  // The edge insertion above goes label by label in ascending label
+  // order with ascending attachment within each label: canonical order.
+  GREPAIR_RETURN_IF_ERROR(grammar.Validate());
+  return grammar;
+}
+
+std::vector<uint8_t> EncodeNodeMapping(const SlhrGrammar& grammar,
+                                       const NodeMapping& mapping) {
+  BitWriter w;
+  EliasDeltaEncode(mapping.start_origs.size() + 1, &w);
+  for (NodeId v : mapping.start_origs) EliasDeltaEncode(v + 1, &w);
+  // Record trees flattened in derivation order; the structure (how many
+  // internals / children each record has) is implied by the grammar.
+  std::vector<const DerivationRecord*> stack;
+  const Hypergraph& start = grammar.start();
+  for (EdgeId se = 0; se < start.num_edges(); ++se) {
+    if (!grammar.IsNonterminal(start.edge(se).label)) continue;
+    stack.push_back(&mapping.edge_records[se]);
+    while (!stack.empty()) {
+      const DerivationRecord* rec = stack.back();
+      stack.pop_back();
+      for (NodeId v : rec->internal_origs) EliasDeltaEncode(v + 1, &w);
+      for (size_t c = rec->children.size(); c-- > 0;) {
+        stack.push_back(&rec->children[c]);
+      }
+    }
+  }
+  return w.TakeBytes();
+}
+
+Result<NodeMapping> DecodeNodeMapping(const SlhrGrammar& grammar,
+                                      const std::vector<uint8_t>& bytes) {
+  BitReader r(bytes);
+  uint64_t num_start = 0;
+  GREPAIR_RETURN_IF_ERROR(EliasDeltaDecode(&r, &num_start));
+  if (num_start == 0) return Status::Corruption("bad mapping header");
+  --num_start;
+  if (num_start != grammar.start().num_nodes()) {
+    return Status::Corruption("mapping does not match grammar");
+  }
+  NodeMapping mapping;
+  mapping.start_origs.resize(num_start);
+  for (auto& v : mapping.start_origs) {
+    uint64_t raw = 0;
+    GREPAIR_RETURN_IF_ERROR(EliasDeltaDecode(&r, &raw));
+    if (raw == 0) return Status::Corruption("bad origin id");
+    v = static_cast<NodeId>(raw - 1);
+  }
+  // Rebuild the record trees by walking the grammar structure in the
+  // same derivation order the encoder used.
+  mapping.edge_records.resize(grammar.start().num_edges());
+  struct Frame {
+    DerivationRecord* rec;
+    Label label;
+  };
+  const Hypergraph& start = grammar.start();
+  for (EdgeId se = 0; se < start.num_edges(); ++se) {
+    if (!grammar.IsNonterminal(start.edge(se).label)) continue;
+    std::vector<Frame> stack{{&mapping.edge_records[se],
+                              start.edge(se).label}};
+    while (!stack.empty()) {
+      Frame f = stack.back();
+      stack.pop_back();
+      const Hypergraph& rhs = grammar.rhs(f.label);
+      size_t internal = rhs.num_nodes() - rhs.ext().size();
+      f.rec->internal_origs.resize(internal);
+      for (auto& v : f.rec->internal_origs) {
+        uint64_t raw = 0;
+        GREPAIR_RETURN_IF_ERROR(EliasDeltaDecode(&r, &raw));
+        if (raw == 0) return Status::Corruption("bad origin id");
+        v = static_cast<NodeId>(raw - 1);
+      }
+      std::vector<Label> child_labels;
+      for (const auto& e : rhs.edges()) {
+        if (grammar.IsNonterminal(e.label)) child_labels.push_back(e.label);
+      }
+      f.rec->children.resize(child_labels.size());
+      for (size_t c = child_labels.size(); c-- > 0;) {
+        stack.push_back({&f.rec->children[c], child_labels[c]});
+      }
+    }
+  }
+  GREPAIR_RETURN_IF_ERROR(ValidateMapping(grammar, mapping));
+  return mapping;
+}
+
+double BitsPerEdge(size_t encoded_bytes, uint64_t num_edges) {
+  if (num_edges == 0) return 0.0;
+  return static_cast<double>(encoded_bytes) * 8.0 /
+         static_cast<double>(num_edges);
+}
+
+}  // namespace grepair

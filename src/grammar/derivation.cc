@@ -1,0 +1,303 @@
+#include "src/grammar/derivation.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace grepair {
+
+void CanonicalizeStartEdgeOrder(SlhrGrammar* grammar, NodeMapping* mapping) {
+  const Hypergraph& start = grammar->start();
+  std::vector<EdgeId> order(start.num_edges());
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(), [&](EdgeId a, EdgeId b) {
+    const HEdge& ea = start.edge(a);
+    const HEdge& eb = start.edge(b);
+    if (ea.label != eb.label) return ea.label < eb.label;
+    return ea.att < eb.att;
+  });
+  std::vector<HEdge> sorted;
+  sorted.reserve(order.size());
+  std::vector<DerivationRecord> sorted_records;
+  for (EdgeId e : order) {
+    sorted.push_back(start.edge(e));
+    if (mapping != nullptr) {
+      sorted_records.push_back(std::move(mapping->edge_records[e]));
+    }
+  }
+  grammar->mutable_start()->SetEdges(std::move(sorted));
+  if (mapping != nullptr) mapping->edge_records = std::move(sorted_records);
+}
+
+GeneratedSizes ComputeGeneratedSizes(const SlhrGrammar& grammar) {
+  GeneratedSizes sizes;
+  uint32_t n = grammar.num_rules();
+  sizes.gen_nodes.assign(n, 0);
+  sizes.gen_edges.assign(n, 0);
+  for (uint32_t j = 0; j < n; ++j) {
+    const Hypergraph& rhs = grammar.rhs_by_index(j);
+    sizes.gen_nodes[j] = rhs.num_nodes() - rhs.ext().size();
+    for (const auto& e : rhs.edges()) {
+      if (grammar.IsNonterminal(e.label)) {
+        uint32_t child = grammar.RuleIndex(e.label);
+        assert(child < j);
+        sizes.gen_nodes[j] += sizes.gen_nodes[child];
+        sizes.gen_edges[j] += sizes.gen_edges[child];
+      } else {
+        sizes.gen_edges[j] += 1;
+      }
+    }
+  }
+  return sizes;
+}
+
+uint64_t ValNodeCount(const SlhrGrammar& grammar) {
+  auto sizes = ComputeGeneratedSizes(grammar);
+  uint64_t count = grammar.start().num_nodes();
+  for (const auto& e : grammar.start().edges()) {
+    if (grammar.IsNonterminal(e.label)) {
+      count += sizes.gen_nodes[grammar.RuleIndex(e.label)];
+    }
+  }
+  return count;
+}
+
+uint64_t ValEdgeCount(const SlhrGrammar& grammar) {
+  auto sizes = ComputeGeneratedSizes(grammar);
+  uint64_t count = 0;
+  for (const auto& e : grammar.start().edges()) {
+    if (grammar.IsNonterminal(e.label)) {
+      count += sizes.gen_edges[grammar.RuleIndex(e.label)];
+    } else {
+      count += 1;
+    }
+  }
+  return count;
+}
+
+namespace {
+
+// One suspended rule application during depth-first expansion.
+struct Frame {
+  const Hypergraph* rhs;
+  std::vector<NodeId> node_map;        // rhs node id -> output node id
+  size_t edge_idx = 0;                 // next rhs edge to process
+  const DerivationRecord* record = nullptr;
+  size_t child_idx = 0;                // next record child to consume
+};
+
+// Creates the frame for applying `label`'s rule at attachment `att`.
+// Materializes the rhs's internal nodes immediately (in rhs node order),
+// which is what fixes the derived node IDs.
+Frame MakeFrame(const SlhrGrammar& grammar, Label label,
+                const std::vector<NodeId>& att, Hypergraph* out,
+                const DerivationRecord* record,
+                std::vector<NodeId>* origins) {
+  Frame f;
+  f.rhs = &grammar.rhs(label);
+  f.record = record;
+  uint32_t rank = static_cast<uint32_t>(f.rhs->ext().size());
+  assert(att.size() == rank);
+  f.node_map.resize(f.rhs->num_nodes());
+  // Canonical form: external node i has rhs id i.
+  for (uint32_t i = 0; i < rank; ++i) f.node_map[i] = att[i];
+  for (uint32_t i = rank; i < f.rhs->num_nodes(); ++i) {
+    f.node_map[i] = out->AddNode();
+    if (origins != nullptr) {
+      assert(record != nullptr &&
+             i - rank < record->internal_origs.size());
+      origins->push_back(record->internal_origs[i - rank]);
+    }
+  }
+  return f;
+}
+
+Result<Hypergraph> DeriveImpl(const SlhrGrammar& grammar,
+                              const NodeMapping* mapping,
+                              std::vector<NodeId>* origins,
+                              const DeriveOptions& options) {
+  uint64_t total_nodes = ValNodeCount(grammar);
+  uint64_t total_edges = ValEdgeCount(grammar);
+  if (total_nodes > options.max_nodes) {
+    return Status::OutOfRange("val(G) has " + std::to_string(total_nodes) +
+                              " nodes, above the materialization limit");
+  }
+  if (total_edges > options.max_edges) {
+    return Status::OutOfRange("val(G) has " + std::to_string(total_edges) +
+                              " edges, above the materialization limit");
+  }
+
+  const Hypergraph& start = grammar.start();
+  Hypergraph out(start.num_nodes());
+  if (origins != nullptr) {
+    assert(mapping != nullptr);
+    *origins = mapping->start_origs;
+    origins->reserve(total_nodes);
+  }
+
+  std::vector<Frame> stack;
+  std::vector<NodeId> mapped;
+  for (EdgeId se = 0; se < start.num_edges(); ++se) {
+    const HEdge& e = start.edge(se);
+    if (grammar.IsTerminal(e.label)) {
+      out.AddEdge(e.label, e.att);
+      continue;
+    }
+    const DerivationRecord* rec =
+        mapping != nullptr ? &mapping->edge_records[se] : nullptr;
+    stack.push_back(MakeFrame(grammar, e.label, e.att, &out, rec, origins));
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      if (f.edge_idx >= f.rhs->num_edges()) {
+        stack.pop_back();
+        continue;
+      }
+      const HEdge& he = f.rhs->edge(static_cast<EdgeId>(f.edge_idx++));
+      mapped.clear();
+      for (NodeId v : he.att) mapped.push_back(f.node_map[v]);
+      if (grammar.IsTerminal(he.label)) {
+        out.AddEdge(he.label, mapped);
+      } else {
+        const DerivationRecord* child_rec = nullptr;
+        if (f.record != nullptr) {
+          assert(f.child_idx < f.record->children.size());
+          child_rec = &f.record->children[f.child_idx++];
+        }
+        // Note: push_back may reallocate `stack`; `f` is dead after this.
+        stack.push_back(
+            MakeFrame(grammar, he.label, mapped, &out, child_rec, origins));
+      }
+    }
+  }
+  assert(out.num_nodes() == total_nodes);
+  assert(out.num_edges() == total_edges);
+  return out;
+}
+
+}  // namespace
+
+Result<Hypergraph> Derive(const SlhrGrammar& grammar,
+                          const DeriveOptions& options) {
+  return DeriveImpl(grammar, nullptr, nullptr, options);
+}
+
+Result<DerivedWithOrigins> DeriveWithMapping(const SlhrGrammar& grammar,
+                                             const NodeMapping& mapping,
+                                             const DeriveOptions& options) {
+  GREPAIR_RETURN_IF_ERROR(ValidateMapping(grammar, mapping));
+  DerivedWithOrigins result;
+  auto derived = DeriveImpl(grammar, &mapping, &result.origins, options);
+  if (!derived.ok()) return derived.status();
+  result.graph = std::move(derived).ValueOrDie();
+  return result;
+}
+
+Result<std::vector<NodeId>> FlattenOrigins(const SlhrGrammar& grammar,
+                                           const NodeMapping& mapping,
+                                           const DeriveOptions& options) {
+  GREPAIR_RETURN_IF_ERROR(ValidateMapping(grammar, mapping));
+  uint64_t total = ValNodeCount(grammar);
+  if (total > options.max_nodes) {
+    return Status::OutOfRange("val(G) node count above limit");
+  }
+  std::vector<NodeId> origins = mapping.start_origs;
+  origins.reserve(total);
+  // Depth-first flatten mirroring the derivation order: a record's
+  // internals come first, then its children in rhs edge order.
+  struct Work {
+    const DerivationRecord* rec;
+  };
+  const Hypergraph& start = grammar.start();
+  for (EdgeId se = 0; se < start.num_edges(); ++se) {
+    if (!grammar.IsNonterminal(start.edge(se).label)) continue;
+    std::vector<const DerivationRecord*> stack{&mapping.edge_records[se]};
+    // Children must be visited left-to-right: push in reverse.
+    while (!stack.empty()) {
+      const DerivationRecord* rec = stack.back();
+      stack.pop_back();
+      origins.insert(origins.end(), rec->internal_origs.begin(),
+                     rec->internal_origs.end());
+      for (size_t c = rec->children.size(); c-- > 0;) {
+        stack.push_back(&rec->children[c]);
+      }
+    }
+  }
+  assert(origins.size() == total);
+  return origins;
+}
+
+Result<Hypergraph> DeriveOriginal(const SlhrGrammar& grammar,
+                                  const NodeMapping& mapping,
+                                  const DeriveOptions& options) {
+  auto derived = DeriveWithMapping(grammar, mapping, options);
+  if (!derived.ok()) return derived.status();
+  const Hypergraph& g = derived.value().graph;
+  const std::vector<NodeId>& origins = derived.value().origins;
+
+  // The origins must form a permutation of 0..n-1.
+  std::vector<char> seen(g.num_nodes(), 0);
+  for (NodeId o : origins) {
+    if (o >= g.num_nodes() || seen[o]) {
+      return Status::Corruption("node mapping is not a permutation");
+    }
+    seen[o] = 1;
+  }
+  Hypergraph renamed(g.num_nodes());
+  for (const auto& e : g.edges()) {
+    std::vector<NodeId> att;
+    att.reserve(e.att.size());
+    for (NodeId v : e.att) att.push_back(origins[v]);
+    renamed.AddEdge(e.label, std::move(att));
+  }
+  return renamed;
+}
+
+Status ValidateMapping(const SlhrGrammar& grammar,
+                       const NodeMapping& mapping) {
+  const Hypergraph& start = grammar.start();
+  if (mapping.start_origs.size() != start.num_nodes()) {
+    return Status::InvalidArgument("start_origs size mismatch");
+  }
+  if (mapping.edge_records.size() != start.num_edges()) {
+    return Status::InvalidArgument("edge_records size mismatch");
+  }
+
+  // Iterative structural walk: (record, rule label) pairs.
+  std::vector<std::pair<const DerivationRecord*, Label>> work;
+  for (EdgeId se = 0; se < start.num_edges(); ++se) {
+    const HEdge& e = start.edge(se);
+    if (grammar.IsNonterminal(e.label)) {
+      work.push_back({&mapping.edge_records[se], e.label});
+    } else if (!mapping.edge_records[se].internal_origs.empty() ||
+               !mapping.edge_records[se].children.empty()) {
+      return Status::InvalidArgument("terminal edge has nonempty record");
+    }
+  }
+  while (!work.empty()) {
+    auto [rec, label] = work.back();
+    work.pop_back();
+    const Hypergraph& rhs = grammar.rhs(label);
+    size_t internal = rhs.num_nodes() - rhs.ext().size();
+    if (rec->internal_origs.size() != internal) {
+      return Status::InvalidArgument(
+          "record internal count mismatch for rule " +
+          std::to_string(grammar.RuleIndex(label)));
+    }
+    size_t nt_edges = 0;
+    for (const auto& e : rhs.edges()) {
+      if (grammar.IsNonterminal(e.label)) {
+        if (nt_edges >= rec->children.size()) {
+          return Status::InvalidArgument("record child count mismatch");
+        }
+        work.push_back({&rec->children[nt_edges], e.label});
+        ++nt_edges;
+      }
+    }
+    if (rec->children.size() != nt_edges) {
+      return Status::InvalidArgument("record child count mismatch");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace grepair

@@ -1,0 +1,53 @@
+// Chomsky normal form for SL-HR grammars (Section V / Proposition 5).
+//
+// The paper's CMSO evaluation argument converts the grammar so that
+// "every right-hand side (including the start graph) has at most two
+// edges" (citing Proposition 3.13 of Engelfriet's handbook chapter),
+// which bounds the work per derivation-dag node. This transformation
+// implements that: right-hand sides with more than two edges are split
+// by introducing fresh nonterminals that generate the left part of the
+// edge list, threading the nodes both parts touch through the fresh
+// nonterminal's external sequence. The start graph is split the same
+// way down to `max_edges_start` edges.
+//
+// val(G) is preserved up to isomorphism (fresh internal nodes are
+// created in a different order, so exact node numbering may shift; the
+// tests compare with WL hashes and exact counts).
+
+#ifndef GREPAIR_GRAMMAR_NORMAL_FORM_H_
+#define GREPAIR_GRAMMAR_NORMAL_FORM_H_
+
+#include <cstdint>
+
+#include "src/grammar/grammar.h"
+#include "src/util/status.h"
+
+namespace grepair {
+
+struct NormalFormOptions {
+  /// Maximum edges per right-hand side (>= 2; the paper's form uses 2).
+  uint32_t max_edges = 2;
+  /// Also split the start graph to at most this many edges; 0 leaves S
+  /// untouched (Proposition 5 keeps one nonterminal edge incident with
+  /// all of S's nodes in the worst case, so splitting S can produce
+  /// high-rank nonterminals).
+  uint32_t max_edges_start = 0;
+};
+
+struct NormalFormStats {
+  uint32_t rules_before = 0;
+  uint32_t rules_after = 0;
+  uint32_t max_rank_after = 0;
+};
+
+/// \brief Rewrites `grammar` into (at-most-two-edges) normal form.
+///
+/// Fails with InvalidArgument if a split would require a nonterminal of
+/// rank > 63 (the library-wide rank bound); callers can widen
+/// max_edges to avoid that on degenerate inputs.
+Result<NormalFormStats> NormalizeGrammar(SlhrGrammar* grammar,
+                                         const NormalFormOptions& options = {});
+
+}  // namespace grepair
+
+#endif  // GREPAIR_GRAMMAR_NORMAL_FORM_H_

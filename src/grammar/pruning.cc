@@ -1,0 +1,325 @@
+#include "src/grammar/pruning.h"
+
+#include <cassert>
+#include <utility>
+
+namespace grepair {
+
+namespace {
+
+// Splices record trees at A-application nodes strictly below the roots,
+// i.e. at A-labeled edges inside other rules' right-hand sides. Must run
+// BEFORE any grammar surgery for this inline (it walks the current rule
+// structure). A-labeled edges in the start graph (root records) are
+// handled by InlineIntoStart instead.
+//
+// Splicing a node r whose rule L contains A-edges: for every A-child c
+// of r (ascending child order), c's internal origins are appended to
+// r's (matching the host's internal nodes gaining rhs(A)'s internals at
+// the end, per A-edge in edge order) and c's children replace c in r's
+// child list (matching the in-place edge splice).
+void SpliceDeepRecords(const SlhrGrammar& g, Label A, NodeMapping* mapping) {
+  struct Work {
+    DerivationRecord* rec;
+    Label label;
+    bool expanded;
+  };
+  std::vector<Work> stack;
+  const Hypergraph& start = g.start();
+  for (EdgeId se = 0; se < start.num_edges(); ++se) {
+    if (g.IsNonterminal(start.edge(se).label)) {
+      stack.push_back({&mapping->edge_records[se], start.edge(se).label,
+                       false});
+    }
+  }
+  while (!stack.empty()) {
+    Work w = stack.back();
+    stack.pop_back();
+    const Hypergraph& rhs = g.rhs(w.label);
+    if (!w.expanded) {
+      // Post-order: children first, then splice this node.
+      stack.push_back({w.rec, w.label, true});
+      size_t ci = 0;
+      for (const auto& e : rhs.edges()) {
+        if (g.IsNonterminal(e.label)) {
+          stack.push_back({&w.rec->children[ci], e.label, false});
+          ++ci;
+        }
+      }
+      continue;
+    }
+    // Does rhs(w.label) have any A-edge?
+    bool has_a = false;
+    for (const auto& e : rhs.edges()) {
+      if (e.label == A) {
+        has_a = true;
+        break;
+      }
+    }
+    if (!has_a) continue;
+
+    std::vector<DerivationRecord> new_children;
+    std::vector<NodeId> appendix;
+    size_t ci = 0;
+    for (const auto& e : rhs.edges()) {
+      if (!g.IsNonterminal(e.label)) continue;
+      DerivationRecord child = std::move(w.rec->children[ci++]);
+      if (e.label != A) {
+        new_children.push_back(std::move(child));
+        continue;
+      }
+      appendix.insert(appendix.end(), child.internal_origs.begin(),
+                      child.internal_origs.end());
+      for (auto& grandchild : child.children) {
+        new_children.push_back(std::move(grandchild));
+      }
+    }
+    w.rec->internal_origs.insert(w.rec->internal_origs.end(),
+                                 appendix.begin(), appendix.end());
+    w.rec->children = std::move(new_children);
+  }
+}
+
+// Copies `rhs_a` into `host` in place of edge `e` (an A-edge): external
+// node i of rhs_a merges with e.att[i], internal nodes are appended to
+// the host. Returns the node map used. Emits the replacement edges into
+// `out_edges` in rhs_a edge order.
+void SpliceGraph(Hypergraph* host, const HEdge& e, const Hypergraph& rhs_a,
+                 std::vector<HEdge>* out_edges,
+                 std::vector<NodeId>* new_host_nodes) {
+  uint32_t rank = static_cast<uint32_t>(rhs_a.ext().size());
+  assert(e.att.size() == rank);
+  std::vector<NodeId> node_map(rhs_a.num_nodes());
+  for (uint32_t i = 0; i < rank; ++i) node_map[i] = e.att[i];
+  for (uint32_t i = rank; i < rhs_a.num_nodes(); ++i) {
+    node_map[i] = host->AddNode();
+    if (new_host_nodes != nullptr) new_host_nodes->push_back(node_map[i]);
+  }
+  for (const auto& re : rhs_a.edges()) {
+    HEdge copy;
+    copy.label = re.label;
+    copy.att.reserve(re.att.size());
+    for (NodeId v : re.att) copy.att.push_back(node_map[v]);
+    out_edges->push_back(std::move(copy));
+  }
+}
+
+// Inlines A into the start graph, updating root records and start-graph
+// origins when a mapping is tracked.
+void InlineIntoStart(SlhrGrammar* g, Label A, const Hypergraph& rhs_a,
+                     NodeMapping* mapping) {
+  Hypergraph* host = g->mutable_start();
+  bool has_a = false;
+  for (const auto& e : host->edges()) {
+    if (e.label == A) {
+      has_a = true;
+      break;
+    }
+  }
+  if (!has_a) return;
+
+  std::vector<HEdge> old_edges = host->TakeEdges();
+  std::vector<HEdge> new_edges;
+  new_edges.reserve(old_edges.size());
+  std::vector<DerivationRecord> new_records;
+  const bool track = mapping != nullptr;
+  uint32_t rank = static_cast<uint32_t>(rhs_a.ext().size());
+
+  for (EdgeId i = 0; i < old_edges.size(); ++i) {
+    HEdge e = std::move(old_edges[i]);
+    if (e.label != A) {
+      new_edges.push_back(std::move(e));
+      if (track) {
+        new_records.push_back(std::move(mapping->edge_records[i]));
+      }
+      continue;
+    }
+    DerivationRecord rec;
+    if (track) rec = std::move(mapping->edge_records[i]);
+    std::vector<NodeId> created;
+    SpliceGraph(host, e, rhs_a, &new_edges, &created);
+    if (track) {
+      assert(created.size() == rec.internal_origs.size());
+      for (size_t k = 0; k < created.size(); ++k) {
+        assert(created[k] == mapping->start_origs.size());
+        mapping->start_origs.push_back(rec.internal_origs[k]);
+      }
+      // Distribute the record's children to the spliced nonterminal
+      // edges (rhs_a edge order); terminal splices get empty records.
+      size_t child_idx = 0;
+      for (const auto& re : rhs_a.edges()) {
+        if (g->IsNonterminal(re.label)) {
+          new_records.push_back(std::move(rec.children[child_idx++]));
+        } else {
+          new_records.emplace_back();
+        }
+      }
+      assert(child_idx == rec.children.size());
+    }
+    (void)rank;
+  }
+  host->SetEdges(std::move(new_edges));
+  if (track) mapping->edge_records = std::move(new_records);
+}
+
+// Inlines A into one rule's right-hand side (grammar surgery only; the
+// record side was handled by SpliceDeepRecords).
+void InlineIntoRule(SlhrGrammar* g, Label A, const Hypergraph& rhs_a,
+                    uint32_t host_rule_index) {
+  Hypergraph* host = g->mutable_rhs_by_index(host_rule_index);
+  bool has_a = false;
+  for (const auto& e : host->edges()) {
+    if (e.label == A) {
+      has_a = true;
+      break;
+    }
+  }
+  if (!has_a) return;
+  std::vector<HEdge> old_edges = host->TakeEdges();
+  std::vector<HEdge> new_edges;
+  new_edges.reserve(old_edges.size());
+  for (auto& e : old_edges) {
+    if (e.label != A) {
+      new_edges.push_back(std::move(e));
+      continue;
+    }
+    SpliceGraph(host, e, rhs_a, &new_edges, nullptr);
+  }
+  host->SetEdges(std::move(new_edges));
+}
+
+// Host ids for the reference-location index: 0 is the start graph,
+// 1 + k is rule k.
+constexpr uint32_t kStartHost = 0;
+
+// Inline without compacting rule labels; marks nothing — caller tracks
+// dead rules. The rule's rhs is cleared afterwards. `hosts` restricts
+// the surgery to the hosts known to reference nt (stale or duplicate
+// entries are tolerated — the per-host has_a check skips them); null
+// means "scan everything".
+void InlineRuleNoCompact(SlhrGrammar* grammar, Label nt,
+                         NodeMapping* mapping,
+                         const std::vector<uint32_t>* hosts) {
+  const Hypergraph rhs_a = grammar->rhs(nt);  // copy: source of splices
+  if (mapping != nullptr) {
+    SpliceDeepRecords(*grammar, nt, mapping);
+  }
+  if (hosts != nullptr) {
+    for (uint32_t h : *hosts) {
+      if (h == kStartHost) {
+        InlineIntoStart(grammar, nt, rhs_a, mapping);
+      } else if (h - 1 != grammar->RuleIndex(nt)) {
+        InlineIntoRule(grammar, nt, rhs_a, h - 1);
+      }
+    }
+  } else {
+    InlineIntoStart(grammar, nt, rhs_a, mapping);
+    for (uint32_t j = 0; j < grammar->num_rules(); ++j) {
+      if (j == grammar->RuleIndex(nt)) continue;
+      InlineIntoRule(grammar, nt, rhs_a, j);
+    }
+  }
+  grammar->SetRule(nt, Hypergraph());
+}
+
+}  // namespace
+
+void InlineRuleEverywhere(SlhrGrammar* grammar, Label nt,
+                          NodeMapping* mapping) {
+  InlineRuleNoCompact(grammar, nt, mapping, nullptr);
+  std::vector<char> dead(grammar->num_rules(), 0);
+  dead[grammar->RuleIndex(nt)] = 1;
+  grammar->CompactRules(dead);
+}
+
+PruneStats PruneGrammar(SlhrGrammar* grammar, NodeMapping* mapping,
+                        const PruneOptions& options) {
+  PruneStats stats;
+  stats.size_before = grammar->TotalSize();
+
+  uint32_t n = grammar->num_rules();
+  std::vector<char> dead(n, 0);
+  std::vector<uint64_t> refs = grammar->AllReferenceCounts();
+
+  // Reference-location index: which hosts mention each rule. Entries
+  // can go stale after inlining (tolerated), and hosts gaining
+  // references through an inline are appended.
+  std::vector<std::vector<uint32_t>> host_refs(n);
+  {
+    auto scan = [&](const Hypergraph& g, uint32_t host) {
+      for (const auto& e : g.edges()) {
+        if (grammar->IsNonterminal(e.label)) {
+          auto& list = host_refs[grammar->RuleIndex(e.label)];
+          if (list.empty() || list.back() != host) list.push_back(host);
+        }
+      }
+    };
+    scan(grammar->start(), kStartHost);
+    for (uint32_t j = 0; j < n; ++j) {
+      scan(grammar->rhs_by_index(j), 1 + j);
+    }
+  }
+
+  // Incremental ref maintenance: inlining A with ref(A)=r replaces each
+  // A-edge by a copy of rhs(A), so every nonterminal B referenced k
+  // times in rhs(A) gains r*k references and loses the k references from
+  // the deleted rule itself: refs[B] += (r-1)*k.
+  auto inline_rule = [&](uint32_t j) {
+    Label nt = grammar->NonterminalLabel(j);
+    int64_t r = static_cast<int64_t>(refs[j]);
+    std::vector<uint32_t> children;
+    for (const auto& e : grammar->rhs_by_index(j).edges()) {
+      if (grammar->IsNonterminal(e.label)) {
+        uint32_t child = grammar->RuleIndex(e.label);
+        refs[child] = static_cast<uint64_t>(
+            static_cast<int64_t>(refs[child]) + (r - 1));
+        children.push_back(child);
+      }
+    }
+    std::vector<uint32_t> hosts = std::move(host_refs[j]);
+    host_refs[j].clear();
+    InlineRuleNoCompact(grammar, nt, mapping, &hosts);
+    // The hosts that contained A now contain A's children.
+    for (uint32_t child : children) {
+      for (uint32_t h : hosts) host_refs[child].push_back(h);
+    }
+    refs[j] = 0;
+    dead[j] = 1;
+  };
+
+  bool removed_any = true;
+  bool first_round = true;
+  while (removed_any && (first_round || options.iterate_to_fixpoint)) {
+    removed_any = false;
+    first_round = false;
+
+    if (options.remove_single_refs) {
+      for (uint32_t j = 0; j < n; ++j) {
+        if (dead[j] || refs[j] > 1) continue;
+        // ref==1 never pays for itself; ref==0 is garbage either way.
+        inline_rule(j);
+        ++stats.removed_single_ref;
+        removed_any = true;
+      }
+    }
+
+    if (options.remove_nonpositive) {
+      // Bottom-up <=NT order == ascending rule index.
+      for (uint32_t j = 0; j < n; ++j) {
+        if (dead[j]) continue;
+        Label nt = grammar->NonterminalLabel(j);
+        if (grammar->Contribution(nt, refs[j]) <= 0) {
+          inline_rule(j);
+          ++stats.removed_contribution;
+          removed_any = true;
+        }
+      }
+    }
+  }
+
+  grammar->CompactRules(dead);
+  stats.size_after = grammar->TotalSize();
+  return stats;
+}
+
+}  // namespace grepair

@@ -1,0 +1,56 @@
+// Grammar pruning (Section III-A3).
+//
+// Removes rules that do not contribute to compression:
+//   phase 1: every nonterminal with ref(A) = 1 is inlined (a rule used
+//            once never pays for itself),
+//   phase 2: nonterminals are visited bottom-up in <=NT order and every
+//            rule with contribution con(A) <= 0 is inlined, where
+//            con(A) = ref(A)*(|rhs(A)| - |handle(A)|) - |rhs(A)|.
+// Contributions are recomputed at each visit because inlining changes
+// both |rhs| and ref of the remaining rules.
+//
+// Inlining a rule A replaces every A-labeled edge (in the start graph
+// and in other right-hand sides) by a copy of rhs(A) whose external
+// nodes merge with the edge's attachment. When a NodeMapping is being
+// tracked, the derivation-record trees are spliced in lock-step so that
+// DeriveOriginal still reproduces the input graph exactly after pruning.
+
+#ifndef GREPAIR_GRAMMAR_PRUNING_H_
+#define GREPAIR_GRAMMAR_PRUNING_H_
+
+#include <cstdint>
+
+#include "src/grammar/derivation.h"
+#include "src/grammar/grammar.h"
+
+namespace grepair {
+
+struct PruneOptions {
+  bool remove_single_refs = true;   ///< phase 1 (ref(A) == 1)
+  bool remove_nonpositive = true;   ///< phase 2 (con(A) <= 0)
+  /// Repeat both phases until no rule is removed (extension; the paper
+  /// does a single bottom-up pass).
+  bool iterate_to_fixpoint = false;
+};
+
+struct PruneStats {
+  uint32_t removed_single_ref = 0;
+  uint32_t removed_contribution = 0;
+  uint64_t size_before = 0;  ///< |G| + |S| before pruning
+  uint64_t size_after = 0;   ///< |G| + |S| after pruning
+};
+
+/// \brief Prunes `grammar` in place. `mapping` may be null; when given it
+/// is kept consistent (records spliced along with every inline).
+PruneStats PruneGrammar(SlhrGrammar* grammar, NodeMapping* mapping,
+                        const PruneOptions& options = {});
+
+/// \brief Inlines rule `nt` at every reference and deletes it, keeping
+/// `mapping` consistent. Exposed for tests and for the compressor's
+/// virtual-edge cleanup.
+void InlineRuleEverywhere(SlhrGrammar* grammar, Label nt,
+                          NodeMapping* mapping);
+
+}  // namespace grepair
+
+#endif  // GREPAIR_GRAMMAR_PRUNING_H_

@@ -1,0 +1,179 @@
+#include "src/graph/graph_algos.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "src/util/union_find.h"
+
+namespace grepair {
+
+std::vector<uint32_t> ConnectedComponents(const Hypergraph& g,
+                                          uint32_t* num_components) {
+  UnionFind uf(g.num_nodes());
+  for (const auto& e : g.edges()) {
+    for (size_t i = 1; i < e.att.size(); ++i) {
+      uf.Union(e.att[0], e.att[i]);
+    }
+  }
+  std::vector<uint32_t> comp(g.num_nodes(), 0);
+  std::vector<uint32_t> remap(g.num_nodes(), kInvalidNode);
+  uint32_t next = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    uint32_t root = uf.Find(v);
+    if (remap[root] == kInvalidNode) remap[root] = next++;
+    comp[v] = remap[root];
+  }
+  if (num_components != nullptr) *num_components = next;
+  return comp;
+}
+
+namespace {
+
+// Shared BFS/DFS scaffolding: explores from each unvisited lowest-id root.
+template <bool kBfs>
+std::vector<NodeId> TraversalOrder(const Hypergraph& g) {
+  auto incidence = g.BuildIncidence();
+  std::vector<char> visited(g.num_nodes(), 0);
+  std::vector<NodeId> order;
+  order.reserve(g.num_nodes());
+  std::deque<NodeId> frontier;
+  for (NodeId root = 0; root < g.num_nodes(); ++root) {
+    if (visited[root]) continue;
+    visited[root] = 1;
+    frontier.push_back(root);
+    while (!frontier.empty()) {
+      NodeId v;
+      if constexpr (kBfs) {
+        v = frontier.front();
+        frontier.pop_front();
+      } else {
+        v = frontier.back();
+        frontier.pop_back();
+      }
+      order.push_back(v);
+      for (EdgeId e : incidence[v]) {
+        for (NodeId u : g.edge(e).att) {
+          if (!visited[u]) {
+            visited[u] = 1;
+            frontier.push_back(u);
+          }
+        }
+      }
+    }
+  }
+  return order;
+}
+
+}  // namespace
+
+std::vector<NodeId> BfsOrder(const Hypergraph& g) {
+  return TraversalOrder<true>(g);
+}
+
+std::vector<NodeId> DfsOrder(const Hypergraph& g) {
+  return TraversalOrder<false>(g);
+}
+
+std::vector<std::vector<NodeId>> DirectedAdjacency(const Hypergraph& g) {
+  std::vector<std::vector<NodeId>> adj(g.num_nodes());
+  for (const auto& e : g.edges()) {
+    if (e.att.size() == 2) adj[e.att[0]].push_back(e.att[1]);
+  }
+  return adj;
+}
+
+std::vector<char> DirectedReachable(const Hypergraph& g, NodeId source) {
+  auto adj = DirectedAdjacency(g);
+  std::vector<char> reached(g.num_nodes(), 0);
+  std::vector<NodeId> stack{source};
+  reached[source] = 1;
+  while (!stack.empty()) {
+    NodeId v = stack.back();
+    stack.pop_back();
+    for (NodeId u : adj[v]) {
+      if (!reached[u]) {
+        reached[u] = 1;
+        stack.push_back(u);
+      }
+    }
+  }
+  return reached;
+}
+
+SccResult TarjanScc(const std::vector<std::vector<NodeId>>& adj) {
+  const uint32_t n = static_cast<uint32_t>(adj.size());
+  SccResult result;
+  result.comp.assign(n, kInvalidNode);
+
+  std::vector<uint32_t> index(n, kInvalidNode);
+  std::vector<uint32_t> lowlink(n, 0);
+  std::vector<char> on_stack(n, 0);
+  std::vector<NodeId> stack;
+  uint32_t next_index = 0;
+
+  // Iterative Tarjan: frame = (node, next child position).
+  struct Frame {
+    NodeId v;
+    size_t child;
+  };
+  std::vector<Frame> frames;
+
+  for (NodeId root = 0; root < n; ++root) {
+    if (index[root] != kInvalidNode) continue;
+    frames.push_back({root, 0});
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = 1;
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      NodeId v = f.v;
+      if (f.child < adj[v].size()) {
+        NodeId w = adj[v][f.child++];
+        if (index[w] == kInvalidNode) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = 1;
+          frames.push_back({w, 0});
+        } else if (on_stack[w]) {
+          lowlink[v] = std::min(lowlink[v], index[w]);
+        }
+      } else {
+        if (lowlink[v] == index[v]) {
+          // v is the root of an SCC; pop it.
+          for (;;) {
+            NodeId w = stack.back();
+            stack.pop_back();
+            on_stack[w] = 0;
+            result.comp[w] = result.num_components;
+            if (w == v) break;
+          }
+          ++result.num_components;
+        }
+        frames.pop_back();
+        if (!frames.empty()) {
+          NodeId parent = frames.back().v;
+          lowlink[parent] = std::min(lowlink[parent], lowlink[v]);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+DegreeStats ComputeDegreeStats(const Hypergraph& g) {
+  DegreeStats stats;
+  auto degrees = g.Degrees();
+  if (degrees.empty()) return stats;
+  stats.min_degree = degrees[0];
+  stats.max_degree = degrees[0];
+  uint64_t total = 0;
+  for (uint32_t d : degrees) {
+    stats.min_degree = std::min(stats.min_degree, d);
+    stats.max_degree = std::max(stats.max_degree, d);
+    total += d;
+  }
+  stats.mean_degree = static_cast<double>(total) / degrees.size();
+  return stats;
+}
+
+}  // namespace grepair

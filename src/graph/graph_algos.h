@@ -1,0 +1,63 @@
+// Classic graph algorithms over hypergraphs, used as substrates by
+// gRePair (connected components for the virtual-edge pass), node orders
+// (BFS/DFS traversals) and grammar queries (Tarjan SCC for skeleton
+// graphs, Theorem 6).
+//
+// Connectivity treats a hyperedge as connecting all of its attached
+// nodes; direction is ignored. Directed reachability (BFS/SCC) applies
+// to rank-2 edges interpreted as att[0] -> att[1].
+
+#ifndef GREPAIR_GRAPH_GRAPH_ALGOS_H_
+#define GREPAIR_GRAPH_GRAPH_ALGOS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/hypergraph.h"
+
+namespace grepair {
+
+/// \brief Component id (0-based, dense) per node, undirected hyperedge
+/// connectivity. `num_components` receives the count if non-null.
+std::vector<uint32_t> ConnectedComponents(const Hypergraph& g,
+                                          uint32_t* num_components = nullptr);
+
+/// \brief Nodes in BFS discovery order. Roots are chosen as the
+/// lowest-id unvisited node, so disconnected graphs are fully covered.
+std::vector<NodeId> BfsOrder(const Hypergraph& g);
+
+/// \brief Nodes in DFS discovery (preorder) order, same root policy.
+std::vector<NodeId> DfsOrder(const Hypergraph& g);
+
+/// \brief Directed adjacency lists over the rank-2 edges of g
+/// (att[0] -> att[1]); hyperedges are ignored.
+std::vector<std::vector<NodeId>> DirectedAdjacency(const Hypergraph& g);
+
+/// \brief Set of nodes reachable from `source` following rank-2 edges
+/// forward. Returned as a node-indexed bool mask.
+std::vector<char> DirectedReachable(const Hypergraph& g, NodeId source);
+
+/// \brief Result of Tarjan's strongly-connected-components algorithm.
+struct SccResult {
+  /// Component id per node; components are numbered in reverse
+  /// topological order (an edge u->v implies comp[u] >= comp[v]).
+  std::vector<uint32_t> comp;
+  uint32_t num_components = 0;
+};
+
+/// \brief Tarjan SCC over explicit adjacency lists (iterative, safe for
+/// deep graphs).
+SccResult TarjanScc(const std::vector<std::vector<NodeId>>& adj);
+
+/// \brief Degree distribution summary used by dataset reports.
+struct DegreeStats {
+  uint32_t min_degree = 0;
+  uint32_t max_degree = 0;
+  double mean_degree = 0.0;
+};
+
+DegreeStats ComputeDegreeStats(const Hypergraph& g);
+
+}  // namespace grepair
+
+#endif  // GREPAIR_GRAPH_GRAPH_ALGOS_H_

@@ -1,0 +1,172 @@
+#include "src/graph/hypergraph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/util/hashing.h"
+
+namespace grepair {
+
+Label Alphabet::Add(std::string name, int rank) {
+  assert(rank >= 1 && rank <= 255);
+  ranks_.push_back(static_cast<uint8_t>(rank));
+  names_.push_back(std::move(name));
+  return static_cast<Label>(ranks_.size() - 1);
+}
+
+Label Alphabet::AddSimpleLabels(int count) {
+  Label first = static_cast<Label>(ranks_.size());
+  for (int i = 0; i < count; ++i) {
+    Add("l" + std::to_string(first + i), 2);
+  }
+  return first;
+}
+
+EdgeId Hypergraph::AddEdge(Label label, std::vector<NodeId> att) {
+  HEdge e;
+  e.label = label;
+  e.att = std::move(att);
+  edges_.push_back(std::move(e));
+  return static_cast<EdgeId>(edges_.size() - 1);
+}
+
+uint64_t Hypergraph::EdgeSize() const {
+  uint64_t size = 0;
+  for (const auto& e : edges_) {
+    size += e.att.size() <= 2 ? 1 : e.att.size();
+  }
+  return size;
+}
+
+Status Hypergraph::Validate(const Alphabet& alphabet) const {
+  for (EdgeId i = 0; i < edges_.size(); ++i) {
+    const HEdge& e = edges_[i];
+    if (e.label >= alphabet.size()) {
+      return Status::InvalidArgument("edge " + std::to_string(i) +
+                                     " has unknown label");
+    }
+    if (static_cast<int>(e.att.size()) != alphabet.rank(e.label)) {
+      return Status::InvalidArgument(
+          "edge " + std::to_string(i) + " rank " +
+          std::to_string(e.att.size()) + " != label rank " +
+          std::to_string(alphabet.rank(e.label)));
+    }
+    for (size_t a = 0; a < e.att.size(); ++a) {
+      if (e.att[a] >= num_nodes_) {
+        return Status::InvalidArgument("edge " + std::to_string(i) +
+                                       " references missing node");
+      }
+      for (size_t b = a + 1; b < e.att.size(); ++b) {
+        if (e.att[a] == e.att[b]) {
+          return Status::InvalidArgument(
+              "edge " + std::to_string(i) +
+              " attaches the same node twice (restriction 1)");
+        }
+      }
+    }
+  }
+  std::unordered_set<NodeId> seen;
+  for (NodeId v : ext_) {
+    if (v >= num_nodes_) {
+      return Status::InvalidArgument("external node out of range");
+    }
+    if (!seen.insert(v).second) {
+      return Status::InvalidArgument(
+          "external sequence repeats a node (restriction 2)");
+    }
+  }
+  return Status::OK();
+}
+
+bool Hypergraph::IsSimple() const {
+  std::unordered_set<uint64_t> seen;
+  for (const auto& e : edges_) {
+    if (e.att.size() != 2) return false;
+    uint64_t key = (static_cast<uint64_t>(e.att[0]) << 32) | e.att[1];
+    key = HashCombine(key, e.label);
+    if (!seen.insert(key).second) return false;
+  }
+  return true;
+}
+
+bool Hypergraph::EqualUpToEdgeOrder(const Hypergraph& other) const {
+  if (num_nodes_ != other.num_nodes_ || ext_ != other.ext_ ||
+      edges_.size() != other.edges_.size()) {
+    return false;
+  }
+  auto sorted = [](const std::vector<HEdge>& edges) {
+    std::vector<HEdge> s = edges;
+    std::sort(s.begin(), s.end(), [](const HEdge& a, const HEdge& b) {
+      if (a.label != b.label) return a.label < b.label;
+      return a.att < b.att;
+    });
+    return s;
+  };
+  return sorted(edges_) == sorted(other.edges_);
+}
+
+std::vector<std::vector<EdgeId>> Hypergraph::BuildIncidence() const {
+  std::vector<std::vector<EdgeId>> inc(num_nodes_);
+  for (EdgeId i = 0; i < edges_.size(); ++i) {
+    for (NodeId v : edges_[i].att) inc[v].push_back(i);
+  }
+  return inc;
+}
+
+std::vector<uint32_t> Hypergraph::Degrees() const {
+  std::vector<uint32_t> deg(num_nodes_, 0);
+  for (const auto& e : edges_) {
+    for (NodeId v : e.att) ++deg[v];
+  }
+  return deg;
+}
+
+std::string Hypergraph::ToString(const Alphabet* alphabet) const {
+  std::ostringstream out;
+  out << "n=" << num_nodes_ << " ext=[";
+  for (size_t i = 0; i < ext_.size(); ++i) {
+    if (i) out << " ";
+    out << ext_[i];
+  }
+  out << "] edges:";
+  for (const auto& e : edges_) {
+    out << " ";
+    if (alphabet != nullptr) {
+      out << alphabet->name(e.label);
+    } else {
+      out << "L" << e.label;
+    }
+    out << "(";
+    for (size_t i = 0; i < e.att.size(); ++i) {
+      if (i) out << ",";
+      out << e.att[i];
+    }
+    out << ")";
+  }
+  return out.str();
+}
+
+Hypergraph BuildSimpleGraph(uint32_t num_nodes,
+                            std::vector<std::array<uint32_t, 3>> triples) {
+  Hypergraph g(num_nodes);
+  // Exact dedup: (u,v) pair -> labels already present on that pair.
+  std::unordered_map<uint64_t, std::vector<uint32_t>> seen;
+  seen.reserve(triples.size() * 2);
+  for (const auto& t : triples) {
+    if (t[0] == t[1]) continue;  // self-loop, excluded by restriction (1)
+    if (t[0] >= num_nodes || t[1] >= num_nodes) continue;
+    uint64_t key = (static_cast<uint64_t>(t[0]) << 32) | t[1];
+    std::vector<uint32_t>& labels = seen[key];
+    if (std::find(labels.begin(), labels.end(), t[2]) != labels.end()) {
+      continue;  // duplicate triple
+    }
+    labels.push_back(t[2]);
+    g.AddSimpleEdge(t[0], t[1], t[2]);
+  }
+  return g;
+}
+
+}  // namespace grepair

@@ -1,0 +1,77 @@
+// Node orders for gRePair occurrence counting (Section III-B1).
+//
+// The order omega in which gRePair visits nodes during digram counting is
+// the main quality knob of the greedy non-overlapping-occurrence
+// approximation. The paper evaluates:
+//   * natural  - node IDs as given,
+//   * BFS      - breadth-first traversal order,
+//   * random   - a seeded shuffle (used in Fig. 14),
+//   * FP0      - nodes sorted by degree (iteration 0 of FP),
+//   * FP       - fixpoint of an iterated neighborhood-color refinement
+//                (a 1-dimensional Weisfeiler-Leman refinement seeded with
+//                degrees; Fig. 8 of the paper).
+//
+// FP also induces the equivalence relation ~FP (equal final colors); the
+// number of its classes |[~FP]| is reported in the dataset tables and
+// correlates with compression (Fig. 11).
+
+#ifndef GREPAIR_GRAPH_NODE_ORDER_H_
+#define GREPAIR_GRAPH_NODE_ORDER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/graph/hypergraph.h"
+
+namespace grepair {
+
+/// \brief Available node orders.
+enum class NodeOrderKind {
+  kNatural,
+  kBfs,
+  kDfs,
+  kRandom,
+  kFp0,  ///< degree order (FP iteration 0)
+  kFp,   ///< fixpoint neighborhood refinement
+};
+
+/// \brief Parses "natural"/"bfs"/"dfs"/"random"/"fp0"/"fp".
+bool ParseNodeOrderKind(const std::string& name, NodeOrderKind* kind);
+std::string NodeOrderKindName(NodeOrderKind kind);
+
+/// \brief Result of the FP fixpoint refinement.
+struct FpRefinement {
+  /// Final color per node; colors are dense ranks 0..num_classes-1
+  /// assigned by lexicographic signature order, so they define both the
+  /// FP node order and the ~FP equivalence relation.
+  std::vector<uint32_t> colors;
+  uint32_t num_classes = 0;
+  int iterations = 0;
+};
+
+/// \brief Runs the color refinement of Section III-B1 to its fixpoint
+/// (or until `max_iterations`).
+///
+/// c_0(v) = deg(v); each round maps v to the tuple of its own color and
+/// the colors of its incident edges' attachments (with edge label and
+/// the positions involved, which extends the undirected definition to
+/// directed labeled hypergraphs as the paper prescribes), then replaces
+/// colors by the lexicographic rank of the tuples. Signatures are
+/// compared exactly (no hashing), so |[~FP]| is exact.
+FpRefinement ComputeFpRefinement(const Hypergraph& g,
+                                 int max_iterations = 1 << 20);
+
+/// \brief Number of equivalence classes of ~FP (column |[~FP]| of the
+/// paper's dataset tables).
+uint32_t CountFpClasses(const Hypergraph& g);
+
+/// \brief Computes the visiting order: a permutation `order` with
+/// `order[i]` = the i-th node gRePair should visit. Ties in FP0/FP are
+/// broken by node id; `seed` only affects kRandom.
+std::vector<NodeId> ComputeNodeOrder(const Hypergraph& g, NodeOrderKind kind,
+                                     uint64_t seed = 42);
+
+}  // namespace grepair
+
+#endif  // GREPAIR_GRAPH_NODE_ORDER_H_

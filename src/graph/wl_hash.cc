@@ -1,0 +1,41 @@
+#include "src/graph/wl_hash.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/graph/node_order.h"
+#include "src/util/hashing.h"
+
+namespace grepair {
+
+uint64_t WlHash(const Hypergraph& g) {
+  auto fp = ComputeFpRefinement(g);
+
+  // Hash the multiset of edges rendered with stable node colors, plus the
+  // multiset of node colors (covers isolated nodes) and the external
+  // sequence rendered with colors.
+  std::vector<uint64_t> edge_hashes;
+  edge_hashes.reserve(g.num_edges());
+  for (const auto& e : g.edges()) {
+    uint64_t h = HashCombine(0x9E1Eull, e.label);
+    for (NodeId v : e.att) h = HashCombine(h, fp.colors[v]);
+    edge_hashes.push_back(h);
+  }
+  std::sort(edge_hashes.begin(), edge_hashes.end());
+
+  std::vector<uint64_t> node_colors;
+  node_colors.reserve(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    node_colors.push_back(fp.colors[v]);
+  }
+  std::sort(node_colors.begin(), node_colors.end());
+
+  uint64_t h = HashCombine(0xC0FFEEull, g.num_nodes());
+  h = HashCombine(h, HashVector(edge_hashes));
+  h = HashCombine(h, HashVector(node_colors));
+  for (NodeId v : g.ext()) h = HashCombine(h, fp.colors[v]);
+  h = HashCombine(h, g.ext().size());
+  return h;
+}
+
+}  // namespace grepair

@@ -1,0 +1,25 @@
+// Weisfeiler-Leman style isomorphism-invariant graph hash.
+//
+// Used as a test oracle: the grammar produced by gRePair derives an
+// isomorphic copy of the input (Section III-C2), so round-trip property
+// tests compare WlHash(original) with WlHash(val(grammar)). Isomorphic
+// graphs always hash equal; non-isomorphic graphs hash equal only if
+// they are 1-WL-equivalent AND the final multiset hashes collide, which
+// the tests accept as a vanishing false-negative risk (exact-equality
+// tests via the tracked node mapping cover the rest).
+
+#ifndef GREPAIR_GRAPH_WL_HASH_H_
+#define GREPAIR_GRAPH_WL_HASH_H_
+
+#include <cstdint>
+
+#include "src/graph/hypergraph.h"
+
+namespace grepair {
+
+/// \brief Isomorphism-invariant 64-bit hash of a hypergraph.
+uint64_t WlHash(const Hypergraph& g);
+
+}  // namespace grepair
+
+#endif  // GREPAIR_GRAPH_WL_HASH_H_

@@ -1,0 +1,165 @@
+// Digrams: pairs of connected hyperedges (Definition 2) and occurrences
+// of digrams in a graph (Definition 3).
+//
+// A digram *shape* is what identifies "the same digram" across the
+// graph: the two edge labels with their ranks, which attachment
+// positions coincide (the shared nodes), and which digram nodes are
+// external. Two edges of an occurrence induce a subgraph isomorphic to
+// the digram (conditions 1+2 of Definition 3) and a node of the
+// occurrence is external exactly when it is incident with an edge
+// outside the occurrence (condition 3).
+//
+// Shapes are canonical over the unordered edge pair: the shape is
+// computed for both orderings and the lexicographically smaller one
+// wins, so {e1,e2} and {e2,e1} always map to one digram. The digram's
+// external sequence is fixed as "ascending pre-canonical node id",
+// where pre-canonical ids enumerate edge0's attachments first and then
+// edge1's unshared attachments; the replacement edge attaches its nodes
+// in exactly this order, which makes rule application reproduce the
+// replaced subgraph (Section III).
+//
+// Stability note (why stored occurrences never go stale): for a live
+// occurrence {e1,e2}, a node's externality can never flip. External
+// nodes keep at least one outside edge because any replacement that
+// consumes such an edge attaches the replacement nonterminal edge to
+// the same node (the node is external in that occurrence too, since e1
+// or e2 is its "other" edge). Internal nodes have no edges besides
+// e1,e2, and replacements only ever attach new edges to nodes that had
+// outside edges. Occurrences that share an edge with a replaced
+// occurrence are removed from the index before the replacement, so
+// every stored occurrence refers to live edges with an unchanged shape.
+
+#ifndef GREPAIR_GREPAIR_DIGRAM_H_
+#define GREPAIR_GREPAIR_DIGRAM_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/graph/hypergraph.h"
+
+namespace grepair {
+
+/// \brief Canonical identity of a digram.
+struct DigramShape {
+  Label label0 = kInvalidLabel;
+  Label label1 = kInvalidLabel;
+  uint8_t rank0 = 0;
+  uint8_t rank1 = 0;
+  /// Shared attachment positions, packed (pos_in_edge0 << 8) |
+  /// pos_in_edge1, sorted ascending by pos_in_edge0. Non-empty for any
+  /// valid digram (the edges must be connected).
+  std::vector<uint16_t> shared;
+  /// Externality bitmasks by attachment position (bit i = position i is
+  /// an external node). Shared nodes are flagged in both masks.
+  uint64_t ext0 = 0;
+  uint64_t ext1 = 0;
+
+  bool operator==(const DigramShape& o) const {
+    return label0 == o.label0 && label1 == o.label1 && rank0 == o.rank0 &&
+           rank1 == o.rank1 && ext0 == o.ext0 && ext1 == o.ext1 &&
+           shared == o.shared;
+  }
+
+  /// \brief Lexicographic order used for canonical orientation.
+  bool operator<(const DigramShape& o) const;
+
+  /// \brief Total distinct nodes of the digram.
+  int NumNodes() const {
+    return rank0 + rank1 - static_cast<int>(shared.size());
+  }
+
+  /// \brief Number of external nodes = rank of the digram = rank of the
+  /// nonterminal that replaces its occurrences.
+  int NumExternal() const;
+
+  /// \brief Number of internal (removal) nodes.
+  int NumInternal() const { return NumNodes() - NumExternal(); }
+};
+
+struct DigramShapeHash {
+  size_t operator()(const DigramShape& s) const;
+};
+
+namespace internal {
+
+/// \brief Builds one orientation of the shape (x plays edge0); returns
+/// false when the edges share no node.
+template <typename IsExternal>
+bool ComputeOrientedShape(const HEdge& x, const HEdge& y,
+                          const IsExternal& is_external,
+                          DigramShape* shape) {
+  shape->label0 = x.label;
+  shape->label1 = y.label;
+  shape->rank0 = static_cast<uint8_t>(x.att.size());
+  shape->rank1 = static_cast<uint8_t>(y.att.size());
+  shape->shared.clear();
+  shape->ext0 = 0;
+  shape->ext1 = 0;
+  for (size_t i = 0; i < x.att.size(); ++i) {
+    for (size_t j = 0; j < y.att.size(); ++j) {
+      if (x.att[i] == y.att[j]) {
+        shape->shared.push_back(static_cast<uint16_t>((i << 8) | j));
+      }
+    }
+  }
+  if (shape->shared.empty()) return false;  // not connected: no digram
+  for (size_t i = 0; i < x.att.size(); ++i) {
+    if (is_external(x.att[i])) shape->ext0 |= 1ull << i;
+  }
+  for (size_t j = 0; j < y.att.size(); ++j) {
+    if (is_external(y.att[j])) shape->ext1 |= 1ull << j;
+  }
+  return true;
+}
+
+}  // namespace internal
+
+/// \brief Computes the canonical shape of the edge pair {a, b}.
+///
+/// `is_external(v)` must report whether node v is incident with any live
+/// edge other than a and b. Returns false when the edges share no node
+/// (not a digram). `*swapped` is set when the canonical orientation has
+/// b playing edge0. The predicate is a template parameter: this runs in
+/// the innermost loop of occurrence counting.
+template <typename IsExternal>
+bool ComputeDigramShape(const HEdge& a, const HEdge& b,
+                        const IsExternal& is_external, DigramShape* shape,
+                        bool* swapped) {
+  assert(a.att.size() <= 64 && b.att.size() <= 64);
+  DigramShape forward, backward;
+  if (!internal::ComputeOrientedShape(a, b, is_external, &forward)) {
+    return false;
+  }
+  bool ok = internal::ComputeOrientedShape(b, a, is_external, &backward);
+  assert(ok);
+  (void)ok;
+  if (backward < forward) {
+    *shape = std::move(backward);
+    *swapped = true;
+  } else {
+    *shape = std::move(forward);
+    *swapped = false;
+  }
+  return true;
+}
+
+/// \brief Builds the canonical right-hand side for the digram's rule:
+/// external nodes get ids 0..k-1 (ascending pre-canonical order),
+/// internal nodes follow; edges are [edge0, edge1].
+Hypergraph BuildDigramRhs(const DigramShape& shape);
+
+/// \brief Node correspondence for replacing one occurrence: given the
+/// oriented attachments (att0 belongs to the edge playing edge0), emits
+/// the host-graph nodes the replacement nonterminal edge attaches to
+/// (in external order) and the removal nodes (in internal order, which
+/// equals the rhs's internal node order).
+void MapOccurrenceNodes(const DigramShape& shape,
+                        const std::vector<NodeId>& att0,
+                        const std::vector<NodeId>& att1,
+                        std::vector<NodeId>* attachment_nodes,
+                        std::vector<NodeId>* removal_nodes);
+
+}  // namespace grepair
+
+#endif  // GREPAIR_GREPAIR_DIGRAM_H_

@@ -1,0 +1,42 @@
+#include "src/k2tree/bitvector.h"
+
+#include <cassert>
+
+namespace grepair {
+
+void RankBitVector::Finalize() {
+  super_ranks_.clear();
+  super_ranks_.reserve(words_.size() / 8 + 1);
+  uint64_t ones = 0;
+  for (size_t w = 0; w < words_.size(); ++w) {
+    if (w % 8 == 0) super_ranks_.push_back(ones);
+    ones += static_cast<uint64_t>(__builtin_popcountll(words_[w]));
+  }
+  total_ones_ = ones;
+}
+
+size_t RankBitVector::Rank1(size_t i) const {
+  assert(i <= size_);
+  size_t word = i / 64;
+  size_t super = word / 8;
+  uint64_t ones = super < super_ranks_.size() ? super_ranks_[super] : total_ones_;
+  for (size_t w = super * 8; w < word; ++w) {
+    ones += static_cast<uint64_t>(__builtin_popcountll(words_[w]));
+  }
+  if (i % 64 != 0 && word < words_.size()) {
+    ones += static_cast<uint64_t>(
+        __builtin_popcountll(words_[word] & ((1ull << (i % 64)) - 1)));
+  }
+  return ones;
+}
+
+RankBitVector RankBitVector::FromWords(std::vector<uint64_t> words,
+                                       size_t size) {
+  RankBitVector bv;
+  bv.words_ = std::move(words);
+  bv.size_ = size;
+  bv.Finalize();
+  return bv;
+}
+
+}  // namespace grepair

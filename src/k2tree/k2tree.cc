@@ -1,0 +1,232 @@
+#include "src/k2tree/k2tree.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/util/elias.h"
+
+namespace grepair {
+
+namespace {
+
+using Cell = std::pair<uint32_t, uint32_t>;
+
+// Recursive level-ordered bit emission. `level_bits[d]` accumulates the
+// bits of depth d. Cells are local to the current submatrix.
+void BuildRec(std::vector<Cell>& cells, uint64_t size, int k, size_t depth,
+              std::vector<std::vector<char>>* level_bits) {
+  uint64_t sub = size / static_cast<uint64_t>(k);
+  // Bucket cells into the k^2 quadrants (row-major quadrant order).
+  std::vector<std::vector<Cell>> quads(static_cast<size_t>(k) * k);
+  for (const Cell& c : cells) {
+    uint32_t qr = static_cast<uint32_t>(c.first / sub);
+    uint32_t qc = static_cast<uint32_t>(c.second / sub);
+    quads[qr * k + qc].push_back(
+        {static_cast<uint32_t>(c.first % sub),
+         static_cast<uint32_t>(c.second % sub)});
+  }
+  if (depth >= level_bits->size()) level_bits->resize(depth + 1);
+  for (auto& q : quads) {
+    (*level_bits)[depth].push_back(q.empty() ? 0 : 1);
+  }
+  if (sub == 1) return;  // this was the leaf level: bits are cells
+  for (auto& q : quads) {
+    if (!q.empty()) BuildRec(q, sub, k, depth + 1, level_bits);
+  }
+}
+
+}  // namespace
+
+K2Tree K2Tree::Build(uint32_t num_rows, uint32_t num_cols,
+                     std::vector<Cell> cells, int k) {
+  assert(k >= 2);
+  K2Tree tree;
+  tree.k_ = k;
+  tree.num_rows_ = num_rows;
+  tree.num_cols_ = num_cols;
+
+  std::sort(cells.begin(), cells.end());
+  cells.erase(std::unique(cells.begin(), cells.end()), cells.end());
+  tree.num_cells_ = cells.size();
+
+  uint64_t need = std::max<uint64_t>({num_rows, num_cols, 1});
+  uint64_t size = k;
+  while (size < need) size *= static_cast<uint64_t>(k);
+  tree.size_ = size;
+
+  if (!cells.empty()) {
+    std::vector<std::vector<char>> level_bits;
+    BuildRec(cells, size, k, 0, &level_bits);
+    // Internal levels -> T, deepest level -> L.
+    for (size_t d = 0; d + 1 < level_bits.size(); ++d) {
+      for (char b : level_bits[d]) tree.t_.PushBack(b != 0);
+    }
+    for (char b : level_bits.back()) tree.l_.PushBack(b != 0);
+  }
+  tree.t_.Finalize();
+  tree.l_.Finalize();
+  return tree;
+}
+
+bool K2Tree::Contains(uint32_t row, uint32_t col) const {
+  if (num_cells_ == 0 || row >= num_rows_ || col >= num_cols_) return false;
+  uint64_t size = size_;
+  uint64_t block = 0;
+  uint64_t r = row, c = col;
+  const uint64_t kk = static_cast<uint64_t>(k_) * k_;
+  for (;;) {
+    uint64_t sub = size / k_;
+    uint64_t q = (r / sub) * k_ + (c / sub);
+    uint64_t p = block + q;
+    if (p >= t_.size()) {
+      uint64_t lp = p - t_.size();
+      return lp < l_.size() && l_.Get(lp);
+    }
+    if (!t_.Get(p)) return false;
+    block = t_.Rank1(p + 1) * kk;
+    r %= sub;
+    c %= sub;
+    size = sub;
+  }
+}
+
+namespace {
+
+// Generic DFS over one axis: visits all set cells with the given fixed
+// coordinate. `row_major` selects whether the fixed coordinate is the
+// row (collect columns) or the column (collect rows).
+struct AxisQuery {
+  const RankBitVector* t;
+  const RankBitVector* l;
+  int k;
+  bool row_major;
+  uint32_t limit;  // exclusive bound on the collected coordinate
+  std::vector<uint32_t>* out;
+
+  void Recurse(uint64_t block, uint64_t size, uint64_t fixed,
+               uint64_t base) const {
+    uint64_t sub = size / k;
+    uint64_t fq = fixed / sub;
+    const uint64_t kk = static_cast<uint64_t>(k) * k;
+    for (int i = 0; i < k; ++i) {
+      uint64_t q = row_major ? fq * k + i : static_cast<uint64_t>(i) * k + fq;
+      uint64_t p = block + q;
+      uint64_t coord_base = base + static_cast<uint64_t>(i) * sub;
+      if (p >= t->size()) {
+        uint64_t lp = p - t->size();
+        if (lp < l->size() && l->Get(lp) && coord_base < limit) {
+          out->push_back(static_cast<uint32_t>(coord_base));
+        }
+        continue;
+      }
+      if (!t->Get(p)) continue;
+      Recurse(t->Rank1(p + 1) * kk, sub, fixed % sub, coord_base);
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<uint32_t> K2Tree::RowNeighbors(uint32_t row) const {
+  std::vector<uint32_t> out;
+  if (num_cells_ == 0 || row >= num_rows_) return out;
+  AxisQuery q{&t_, &l_, k_, true, num_cols_, &out};
+  q.Recurse(0, size_, row, 0);
+  return out;
+}
+
+std::vector<uint32_t> K2Tree::ColNeighbors(uint32_t col) const {
+  std::vector<uint32_t> out;
+  if (num_cells_ == 0 || col >= num_cols_) return out;
+  AxisQuery q{&t_, &l_, k_, false, num_rows_, &out};
+  q.Recurse(0, size_, col, 0);
+  return out;
+}
+
+namespace {
+
+void CollectCells(const RankBitVector& t, const RankBitVector& l, int k,
+                  uint64_t block, uint64_t size, uint64_t row_base,
+                  uint64_t col_base,
+                  std::vector<std::pair<uint32_t, uint32_t>>* out) {
+  uint64_t sub = size / k;
+  const uint64_t kk = static_cast<uint64_t>(k) * k;
+  for (int qr = 0; qr < k; ++qr) {
+    for (int qc = 0; qc < k; ++qc) {
+      uint64_t p = block + static_cast<uint64_t>(qr) * k + qc;
+      uint64_t rb = row_base + static_cast<uint64_t>(qr) * sub;
+      uint64_t cb = col_base + static_cast<uint64_t>(qc) * sub;
+      if (p >= t.size()) {
+        uint64_t lp = p - t.size();
+        if (lp < l.size() && l.Get(lp)) {
+          out->push_back({static_cast<uint32_t>(rb),
+                          static_cast<uint32_t>(cb)});
+        }
+        continue;
+      }
+      if (!t.Get(p)) continue;
+      CollectCells(t, l, k, t.Rank1(p + 1) * kk, sub, rb, cb, out);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::pair<uint32_t, uint32_t>> K2Tree::AllCells() const {
+  std::vector<std::pair<uint32_t, uint32_t>> out;
+  if (num_cells_ == 0) return out;
+  out.reserve(num_cells_);
+  CollectCells(t_, l_, k_, 0, size_, 0, 0, &out);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void K2Tree::Serialize(BitWriter* writer) const {
+  EliasDeltaEncode(static_cast<uint64_t>(k_), writer);
+  EliasDeltaEncode(num_rows_ + 1, writer);
+  EliasDeltaEncode(num_cols_ + 1, writer);
+  EliasDeltaEncode(num_cells_ + 1, writer);
+  EliasDeltaEncode(t_.size() + 1, writer);
+  EliasDeltaEncode(l_.size() + 1, writer);
+  for (size_t i = 0; i < t_.size(); ++i) writer->PutBit(t_.Get(i));
+  for (size_t i = 0; i < l_.size(); ++i) writer->PutBit(l_.Get(i));
+}
+
+Result<K2Tree> K2Tree::Deserialize(BitReader* reader) {
+  uint64_t k = 0, rows = 0, cols = 0, cells = 0, t_bits = 0, l_bits = 0;
+  GREPAIR_RETURN_IF_ERROR(EliasDeltaDecode(reader, &k));
+  GREPAIR_RETURN_IF_ERROR(EliasDeltaDecode(reader, &rows));
+  GREPAIR_RETURN_IF_ERROR(EliasDeltaDecode(reader, &cols));
+  GREPAIR_RETURN_IF_ERROR(EliasDeltaDecode(reader, &cells));
+  GREPAIR_RETURN_IF_ERROR(EliasDeltaDecode(reader, &t_bits));
+  GREPAIR_RETURN_IF_ERROR(EliasDeltaDecode(reader, &l_bits));
+  if (k < 2 || k > 16 || rows == 0 || cols == 0 || cells == 0 ||
+      t_bits == 0 || l_bits == 0) {
+    return Status::Corruption("bad k2-tree header");
+  }
+  K2Tree tree;
+  tree.k_ = static_cast<int>(k);
+  tree.num_rows_ = static_cast<uint32_t>(rows - 1);
+  tree.num_cols_ = static_cast<uint32_t>(cols - 1);
+  tree.num_cells_ = cells - 1;
+  uint64_t need =
+      std::max<uint64_t>({tree.num_rows_, tree.num_cols_, 1});
+  uint64_t size = k;
+  while (size < need) size *= k;
+  tree.size_ = size;
+  for (uint64_t i = 0; i + 1 < t_bits; ++i) {
+    bool bit = false;
+    GREPAIR_RETURN_IF_ERROR(reader->ReadBit(&bit));
+    tree.t_.PushBack(bit);
+  }
+  for (uint64_t i = 0; i + 1 < l_bits; ++i) {
+    bool bit = false;
+    GREPAIR_RETURN_IF_ERROR(reader->ReadBit(&bit));
+    tree.l_.PushBack(bit);
+  }
+  tree.t_.Finalize();
+  tree.l_.Finalize();
+  return tree;
+}
+
+}  // namespace grepair

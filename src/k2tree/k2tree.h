@@ -1,0 +1,82 @@
+// k^2-trees (Brisaboa, Ladra & Navarro): compact adjacency/bit-matrix
+// representation with in/out-neighbor queries.
+//
+// The matrix is padded to a power of k and recursively split into k^2
+// quadrants; an all-zero quadrant is a 0-bit, a non-empty quadrant is a
+// 1-bit whose children continue one level down, and the deepest level
+// stores individual cells. Bits are laid out level by level: internal
+// levels in T, the last level in L; the children of the node whose set
+// bit is the j-th 1 of T start at block j+1 (rank-based navigation).
+//
+// Used three ways in this repo:
+//  * the paper's gRePair serializer encodes the (incompressible) start
+//    graph as one k^2-tree per label (Section III-C2),
+//  * the plain "k2-tree" baseline compressor (Section IV) stores the
+//    whole input graph this way,
+//  * hyperedge labels are stored as node x edge incidence matrices
+//    (rectangular matrices are supported via padding).
+
+#ifndef GREPAIR_K2TREE_K2TREE_H_
+#define GREPAIR_K2TREE_K2TREE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/k2tree/bitvector.h"
+#include "src/util/bit_stream.h"
+#include "src/util/status.h"
+
+namespace grepair {
+
+/// \brief Immutable k^2-tree over an num_rows x num_cols 0/1 matrix.
+class K2Tree {
+ public:
+  K2Tree() = default;
+
+  /// \brief Builds from the set cells (row, col); duplicates are merged.
+  /// `k` >= 2; the paper uses k = 2 ("as this provides the best
+  /// compression").
+  static K2Tree Build(uint32_t num_rows, uint32_t num_cols,
+                      std::vector<std::pair<uint32_t, uint32_t>> cells,
+                      int k = 2);
+
+  /// \brief Membership query.
+  bool Contains(uint32_t row, uint32_t col) const;
+
+  /// \brief Columns set in `row` (out-neighbors for adjacency matrices).
+  std::vector<uint32_t> RowNeighbors(uint32_t row) const;
+
+  /// \brief Rows set in `col` (in-neighbors for adjacency matrices).
+  std::vector<uint32_t> ColNeighbors(uint32_t col) const;
+
+  /// \brief All set cells in row-major order.
+  std::vector<std::pair<uint32_t, uint32_t>> AllCells() const;
+
+  uint64_t num_cells() const { return num_cells_; }
+  uint32_t num_rows() const { return num_rows_; }
+  uint32_t num_cols() const { return num_cols_; }
+  int k() const { return k_; }
+
+  /// \brief Structure bits |T| + |L| (the standard k^2-tree size metric).
+  size_t StorageBits() const { return t_.size() + l_.size(); }
+
+  /// \brief Appends a self-delimiting encoding (header + T + L bits).
+  void Serialize(BitWriter* writer) const;
+
+  /// \brief Reads an encoding produced by Serialize.
+  static Result<K2Tree> Deserialize(BitReader* reader);
+
+ private:
+  int k_ = 2;
+  uint32_t num_rows_ = 0;
+  uint32_t num_cols_ = 0;
+  uint64_t size_ = 1;  ///< padded square dimension (power of k)
+  uint64_t num_cells_ = 0;
+  RankBitVector t_;
+  RankBitVector l_;
+};
+
+}  // namespace grepair
+
+#endif  // GREPAIR_K2TREE_K2TREE_H_

@@ -1,0 +1,93 @@
+#include "src/query/compressed_graph.h"
+
+#include <algorithm>
+
+#include "src/encoding/grammar_coder.h"
+#include "src/query/speedup.h"
+
+namespace grepair {
+
+Result<CompressedGraph> CompressedGraph::FromGraph(
+    const Hypergraph& graph, const Alphabet& alphabet,
+    CompressOptions options, bool keep_original_ids) {
+  options.track_node_mapping = keep_original_ids;
+  auto result = Compress(graph, alphabet, options);
+  if (!result.ok()) return result.status();
+
+  CompressedGraph g;
+  g.grammar_ = std::make_unique<SlhrGrammar>(std::move(result.value().grammar));
+  g.mapping_ = std::move(result.value().mapping);
+  g.stats_ = result.value().stats;
+  if (keep_original_ids) {
+    auto origins = FlattenOrigins(*g.grammar_, g.mapping_);
+    if (!origins.ok()) return origins.status();
+    g.to_original_ = std::move(origins).ValueOrDie();
+    g.to_val_.resize(g.to_original_.size());
+    for (uint64_t v = 0; v < g.to_original_.size(); ++v) {
+      g.to_val_[g.to_original_[v]] = v;
+    }
+  }
+  g.BuildIndexes();
+  return g;
+}
+
+Result<CompressedGraph> CompressedGraph::FromGrammar(SlhrGrammar grammar) {
+  GREPAIR_RETURN_IF_ERROR(grammar.Validate());
+  CompressedGraph g;
+  g.grammar_ = std::make_unique<SlhrGrammar>(std::move(grammar));
+  g.BuildIndexes();
+  return g;
+}
+
+void CompressedGraph::BuildIndexes() {
+  num_nodes_ = ValNodeCount(*grammar_);
+  num_edges_ = ValEdgeCount(*grammar_);
+  neighborhood_ = std::make_unique<NeighborhoodIndex>(*grammar_);
+  reachability_ = std::make_unique<ReachabilityIndex>(*grammar_);
+}
+
+std::vector<uint64_t> CompressedGraph::OutNeighbors(uint64_t node) const {
+  auto result = neighborhood_->OutNeighbors(ToVal(node));
+  if (!to_original_.empty()) {
+    for (auto& v : result) v = ToOriginal(v);
+    std::sort(result.begin(), result.end());
+  }
+  return result;
+}
+
+std::vector<uint64_t> CompressedGraph::InNeighbors(uint64_t node) const {
+  auto result = neighborhood_->InNeighbors(ToVal(node));
+  if (!to_original_.empty()) {
+    for (auto& v : result) v = ToOriginal(v);
+    std::sort(result.begin(), result.end());
+  }
+  return result;
+}
+
+bool CompressedGraph::Reachable(uint64_t from, uint64_t to) const {
+  return reachability_->Reachable(ToVal(from), ToVal(to));
+}
+
+uint64_t CompressedGraph::NumConnectedComponents() const {
+  return CountConnectedComponents(*grammar_);
+}
+
+std::vector<uint64_t> CompressedGraph::LabelHistogram() const {
+  return grepair::LabelHistogram(*grammar_);
+}
+
+size_t CompressedGraph::SerializedSize() const {
+  if (!serialized_size_.has_value()) {
+    serialized_size_ = EncodeGrammar(*grammar_).size();
+  }
+  return *serialized_size_;
+}
+
+Result<Hypergraph> CompressedGraph::Decompress() const {
+  if (!to_original_.empty()) {
+    return DeriveOriginal(*grammar_, mapping_);
+  }
+  return Derive(*grammar_);
+}
+
+}  // namespace grepair

@@ -1,0 +1,104 @@
+// CompressedGraph: a graph-shaped facade over an SL-HR grammar.
+//
+// The paper's motivating applications include using the compressed
+// graph "as in-memory representation" — this class bundles the grammar
+// with the query indexes of Section V behind an adjacency-style
+// interface, optionally carrying the psi' mapping so callers can keep
+// using their original node ids. Nothing is ever decompressed; every
+// method delegates to the grammar-side algorithms:
+//
+//   CompressedGraph g = CompressedGraph::FromGraph(input, alphabet);
+//   g.OutNeighbors(v);        // Proposition 4
+//   g.Reachable(u, v);        // Theorem 6
+//   g.NumConnectedComponents(); // one bottom-up pass
+//   g.SerializedSize();       // Section III-C2 format size
+
+#ifndef GREPAIR_QUERY_COMPRESSED_GRAPH_H_
+#define GREPAIR_QUERY_COMPRESSED_GRAPH_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/grepair/compressor.h"
+#include "src/query/neighborhood.h"
+#include "src/query/reachability.h"
+
+namespace grepair {
+
+/// \brief Queryable compressed graph. Movable, not copyable (owns the
+/// lazily built query indexes).
+class CompressedGraph {
+ public:
+  /// \brief Compresses `graph` and wraps the result. When
+  /// `keep_original_ids` is set (default), all query entry points accept
+  /// and return the input graph's node ids; otherwise they use val(G)
+  /// numbering.
+  static Result<CompressedGraph> FromGraph(const Hypergraph& graph,
+                                           const Alphabet& alphabet,
+                                           CompressOptions options = {},
+                                           bool keep_original_ids = true);
+
+  /// \brief Wraps an existing grammar (e.g. from DecodeGrammar);
+  /// queries use val(G) numbering.
+  static Result<CompressedGraph> FromGrammar(SlhrGrammar grammar);
+
+  uint64_t num_nodes() const { return num_nodes_; }
+  uint64_t num_edges() const { return num_edges_; }
+
+  /// \brief Targets of edges leaving `node` (any label), sorted.
+  std::vector<uint64_t> OutNeighbors(uint64_t node) const;
+
+  /// \brief Sources of edges entering `node`, sorted.
+  std::vector<uint64_t> InNeighbors(uint64_t node) const;
+
+  /// \brief Directed reachability (Theorem 6).
+  bool Reachable(uint64_t from, uint64_t to) const;
+
+  /// \brief Connected components of the whole graph, one grammar pass.
+  uint64_t NumConnectedComponents() const;
+
+  /// \brief Edge count per terminal label.
+  std::vector<uint64_t> LabelHistogram() const;
+
+  /// \brief Size of the grammar in the paper's |.| metric.
+  uint64_t GrammarSize() const { return grammar_->TotalSize(); }
+
+  /// \brief Bytes of the binary serialization (computed once).
+  size_t SerializedSize() const;
+
+  /// \brief Materializes the graph (original ids when available).
+  Result<Hypergraph> Decompress() const;
+
+  const SlhrGrammar& grammar() const { return *grammar_; }
+  const CompressStats& stats() const { return stats_; }
+
+ private:
+  CompressedGraph() = default;
+  void BuildIndexes();
+
+  uint64_t ToVal(uint64_t node) const {
+    return to_val_.empty() ? node : to_val_[node];
+  }
+  uint64_t ToOriginal(uint64_t node) const {
+    return to_original_.empty() ? node : to_original_[node];
+  }
+
+  // Heap-allocated so the query indexes' internal pointers stay valid
+  // when the CompressedGraph itself is moved.
+  std::unique_ptr<SlhrGrammar> grammar_;
+  NodeMapping mapping_;  // empty when ids are val(G) numbering
+  CompressStats stats_;
+  uint64_t num_nodes_ = 0;
+  uint64_t num_edges_ = 0;
+  std::vector<NodeId> to_original_;  // val id -> original id
+  std::vector<uint64_t> to_val_;     // original id -> val id
+  std::unique_ptr<NeighborhoodIndex> neighborhood_;
+  std::unique_ptr<ReachabilityIndex> reachability_;
+  mutable std::optional<size_t> serialized_size_;
+};
+
+}  // namespace grepair
+
+#endif  // GREPAIR_QUERY_COMPRESSED_GRAPH_H_

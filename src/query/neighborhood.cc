@@ -1,0 +1,156 @@
+#include "src/query/neighborhood.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace grepair {
+
+NeighborhoodIndex::NeighborhoodIndex(const SlhrGrammar& grammar)
+    : node_map_(grammar) {
+  incidence_.reserve(grammar.num_rules() + 1);
+  incidence_.push_back(grammar.start().BuildIncidence());
+  for (uint32_t j = 0; j < grammar.num_rules(); ++j) {
+    incidence_.push_back(grammar.rhs_by_index(j).BuildIncidence());
+  }
+}
+
+namespace {
+
+// Walking context: the chain of rule applications leading to the rhs
+// currently being examined. Empty chain (start_edge == kInvalidEdge)
+// means the start graph itself.
+struct Ctx {
+  EdgeId start_edge = kInvalidEdge;
+  std::vector<uint32_t> steps;   // rhs edge indices, outermost first
+  std::vector<Label> labels;     // label applied at each level
+};
+
+class Walker {
+ public:
+  Walker(const NodeMap& nm,
+         const std::vector<std::vector<std::vector<EdgeId>>>& incidence,
+         bool out, std::vector<uint64_t>* results)
+      : g_(nm.grammar()),
+        nm_(nm),
+        incidence_(incidence),
+        out_(out),
+        results_(results) {}
+
+  // Global id of node `v` within the rhs instance identified by `ctx`
+  // (or within S when the ctx is empty). External nodes climb to the
+  // parent instance through the nonterminal edge's attachment.
+  uint64_t Resolve(const Ctx& ctx, NodeId v) const {
+    Ctx walk = ctx;
+    for (;;) {
+      if (walk.start_edge == kInvalidEdge) return v;  // start-graph node
+      const Hypergraph& rhs = g_.rhs(walk.labels.back());
+      if (v >= rhs.ext().size()) {
+        GPath p;
+        p.start_edge = walk.start_edge;
+        p.steps = walk.steps;
+        p.node = v;
+        return nm_.IdOf(p);
+      }
+      // External position v: look up the attachment in the parent.
+      if (walk.steps.empty()) {
+        const HEdge& e = g_.start().edge(walk.start_edge);
+        return e.att[v];  // parent is S
+      }
+      const Hypergraph& parent =
+          walk.labels.size() >= 2
+              ? g_.rhs(walk.labels[walk.labels.size() - 2])
+              : g_.rhs(g_.start().edge(walk.start_edge).label);
+      const HEdge& e = parent.edge(walk.steps.back());
+      v = e.att[v];
+      walk.steps.pop_back();
+      walk.labels.pop_back();
+    }
+  }
+
+  // Emits the neighbors of node `v` within the rhs instance `ctx`,
+  // examining only the edges incident with v. `host_index` is 0 for S
+  // and 1 + rule index for right-hand sides.
+  void ScanIncident(const Ctx& ctx, const Hypergraph& host,
+                    size_t host_index, NodeId v) {
+    for (EdgeId ei : incidence_[host_index][v]) {
+      const HEdge& e = host.edge(ei);
+      if (g_.IsTerminal(e.label)) {
+        if (e.att.size() != 2) continue;  // hyperedges carry no direction
+        if (out_ && e.att[0] == v) {
+          results_->push_back(Resolve(ctx, e.att[1]));
+        } else if (!out_ && e.att[1] == v) {
+          results_->push_back(Resolve(ctx, e.att[0]));
+        }
+        continue;
+      }
+      for (size_t q = 0; q < e.att.size(); ++q) {
+        if (e.att[q] == v) {
+          Descend(ctx, ei, e.label, static_cast<uint32_t>(q));
+        }
+      }
+    }
+  }
+
+  // getNeighboring (Section V): neighbors of external position `pos`
+  // inside the subgraph derived from edge `ei` (labeled `label`) of the
+  // instance `ctx`.
+  void Descend(const Ctx& ctx, EdgeId ei, Label label, uint32_t pos) {
+    Ctx child = ctx;
+    if (child.start_edge == kInvalidEdge) {
+      child.start_edge = ei;
+    } else {
+      child.steps.push_back(ei);
+    }
+    child.labels.push_back(label);
+    ScanIncident(child, g_.rhs(label), 1 + g_.RuleIndex(label),
+                 static_cast<NodeId>(pos));
+  }
+
+  // Entry: neighbors of the node addressed by `path`.
+  void Run(const GPath& path) {
+    Ctx ctx;
+    if (path.start_edge == kInvalidEdge) {
+      ScanIncident(ctx, g_.start(), 0, path.node);
+      return;
+    }
+    ctx.start_edge = path.start_edge;
+    Label label = g_.start().edge(path.start_edge).label;
+    ctx.labels.push_back(label);
+    for (uint32_t step : path.steps) {
+      ctx.steps.push_back(step);
+      label = g_.rhs(label).edge(step).label;
+      ctx.labels.push_back(label);
+    }
+    ScanIncident(ctx, g_.rhs(label), 1 + g_.RuleIndex(label), path.node);
+  }
+
+ private:
+  const SlhrGrammar& g_;
+  const NodeMap& nm_;
+  const std::vector<std::vector<std::vector<EdgeId>>>& incidence_;
+  bool out_;
+  std::vector<uint64_t>* results_;
+};
+
+}  // namespace
+
+std::vector<uint64_t> NeighborhoodIndex::NeighborsImpl(uint64_t id,
+                                                       bool out) const {
+  std::vector<uint64_t> results;
+  Walker walker(node_map_, incidence_, out, &results);
+  walker.Run(node_map_.PathOf(id));
+  std::sort(results.begin(), results.end());
+  results.erase(std::unique(results.begin(), results.end()), results.end());
+  return results;
+}
+
+std::vector<uint64_t> NeighborhoodIndex::AllNeighbors(uint64_t id) const {
+  std::vector<uint64_t> out = OutNeighbors(id);
+  std::vector<uint64_t> in = InNeighbors(id);
+  out.insert(out.end(), in.begin(), in.end());
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace grepair

@@ -1,0 +1,61 @@
+// Neighborhood queries over the grammar (Proposition 4).
+//
+// Computes the in/out neighbors of a val(G) node without materializing
+// the graph: locate the node's G-representation, scan the edges of the
+// right-hand side it lives in, resolve external endpoints by climbing
+// toward the start graph, and resolve endpoints hidden behind
+// nonterminal edges by descending into their rules' external nodes
+// (the paper's getNeighboring). Cost O(log l + n*h) for n neighbors at
+// grammar height h.
+//
+// Only rank-2 terminal edges define direction (att[0] -> att[1]); the
+// input graphs of the paper are simple, and nonterminal hyperedges are
+// traversed transparently.
+
+#ifndef GREPAIR_QUERY_NEIGHBORHOOD_H_
+#define GREPAIR_QUERY_NEIGHBORHOOD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/query/node_map.h"
+
+namespace grepair {
+
+/// \brief Neighbor query engine bound to one grammar.
+///
+/// Construction precomputes incidence lists for the start graph and
+/// every right-hand side (O(|G|)), so a query touches only the edges
+/// actually incident with the nodes along its derivation path.
+class NeighborhoodIndex {
+ public:
+  explicit NeighborhoodIndex(const SlhrGrammar& grammar);
+
+  const NodeMap& node_map() const { return node_map_; }
+
+  /// \brief N+(id): targets of terminal edges with source `id`
+  /// (sorted, deduplicated).
+  std::vector<uint64_t> OutNeighbors(uint64_t id) const {
+    return NeighborsImpl(id, /*out=*/true);
+  }
+
+  /// \brief N-(id): sources of terminal edges with target `id`.
+  std::vector<uint64_t> InNeighbors(uint64_t id) const {
+    return NeighborsImpl(id, /*out=*/false);
+  }
+
+  /// \brief Degree-style helper: |N+| + |N-| with duplicates removed.
+  std::vector<uint64_t> AllNeighbors(uint64_t id) const;
+
+ private:
+  friend class NeighborWalker;
+  std::vector<uint64_t> NeighborsImpl(uint64_t id, bool out) const;
+
+  NodeMap node_map_;
+  /// incidence_[0] covers S; incidence_[1 + j] covers rule j.
+  std::vector<std::vector<std::vector<EdgeId>>> incidence_;
+};
+
+}  // namespace grepair
+
+#endif  // GREPAIR_QUERY_NEIGHBORHOOD_H_

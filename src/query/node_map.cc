@@ -1,0 +1,96 @@
+#include "src/query/node_map.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace grepair {
+
+NodeMap::NodeMap(const SlhrGrammar& grammar)
+    : grammar_(&grammar), gen_(ComputeGeneratedSizes(grammar)) {
+  const Hypergraph& start = grammar.start();
+  start_prefix_.resize(start.num_edges() + 1);
+  uint64_t acc = start.num_nodes();
+  for (EdgeId e = 0; e < start.num_edges(); ++e) {
+    start_prefix_[e] = acc;
+    Label l = start.edge(e).label;
+    if (grammar.IsNonterminal(l)) {
+      acc += gen_.gen_nodes[grammar.RuleIndex(l)];
+    }
+  }
+  start_prefix_[start.num_edges()] = acc;
+  total_nodes_ = acc;
+
+  rule_child_prefix_.resize(grammar.num_rules());
+  for (uint32_t j = 0; j < grammar.num_rules(); ++j) {
+    const Hypergraph& rhs = grammar.rhs_by_index(j);
+    auto& prefix = rule_child_prefix_[j];
+    prefix.resize(rhs.num_edges() + 1);
+    uint64_t sum = 0;
+    for (EdgeId e = 0; e < rhs.num_edges(); ++e) {
+      prefix[e] = sum;
+      Label l = rhs.edge(e).label;
+      if (grammar.IsNonterminal(l)) {
+        sum += gen_.gen_nodes[grammar.RuleIndex(l)];
+      }
+    }
+    prefix[rhs.num_edges()] = sum;
+  }
+}
+
+GPath NodeMap::PathOf(uint64_t id) const {
+  assert(id < total_nodes_);
+  GPath path;
+  const Hypergraph& start = grammar_->start();
+  if (id < start.num_nodes()) {
+    path.node = static_cast<NodeId>(id);
+    return path;
+  }
+  // Binary search: last start edge whose block base is <= id.
+  auto it = std::upper_bound(start_prefix_.begin(), start_prefix_.end(), id);
+  EdgeId e = static_cast<EdgeId>(it - start_prefix_.begin()) - 1;
+  path.start_edge = e;
+  uint64_t offset = id - start_prefix_[e];
+
+  Label label = start.edge(e).label;
+  for (;;) {
+    uint32_t j = grammar_->RuleIndex(label);
+    const Hypergraph& rhs = grammar_->rhs_by_index(j);
+    uint64_t internal = rhs.num_nodes() - rhs.ext().size();
+    if (offset < internal) {
+      // Internal node: canonical ids put internals after the rank
+      // externals.
+      path.node = static_cast<NodeId>(rhs.ext().size() + offset);
+      return path;
+    }
+    offset -= internal;
+    const auto& prefix = rule_child_prefix_[j];
+    auto cit = std::upper_bound(prefix.begin(), prefix.end(), offset);
+    EdgeId child = static_cast<EdgeId>(cit - prefix.begin()) - 1;
+    path.steps.push_back(child);
+    offset -= prefix[child];
+    label = rhs.edge(child).label;
+    assert(grammar_->IsNonterminal(label));
+  }
+}
+
+uint64_t NodeMap::IdOf(const GPath& path) const {
+  const Hypergraph& start = grammar_->start();
+  if (path.start_edge == kInvalidEdge) {
+    return path.node;
+  }
+  uint64_t id = start_prefix_[path.start_edge];
+  Label label = start.edge(path.start_edge).label;
+  for (uint32_t step : path.steps) {
+    uint32_t j = grammar_->RuleIndex(label);
+    const Hypergraph& rhs = grammar_->rhs_by_index(j);
+    id += rhs.num_nodes() - rhs.ext().size();
+    id += rule_child_prefix_[j][step];
+    label = rhs.edge(step).label;
+  }
+  const Hypergraph& rhs = grammar_->rhs(label);
+  assert(path.node >= rhs.ext().size() && path.node < rhs.num_nodes());
+  id += path.node - rhs.ext().size();
+  return id;
+}
+
+}  // namespace grepair

@@ -1,0 +1,85 @@
+// G-representations: mapping between val(G) node IDs and derivation
+// paths (Section V).
+//
+// The derived graph's node IDs follow the deterministic layout of
+// derivation.h: start-graph nodes first, then one contiguous block per
+// start-graph nonterminal edge, each block laid out depth-first (rule
+// internals first, then the child blocks in rhs edge order). A
+// G-representation ("GPath") addresses a node by the start edge, the
+// chain of nonterminal rhs-edge indices, and the node inside the final
+// right-hand side. PathOf runs in O(log l + h) via binary search over
+// the start-edge block prefix sums and per-rule child prefix sums;
+// IdOf runs in O(h) (Section V's getID).
+
+#ifndef GREPAIR_QUERY_NODE_MAP_H_
+#define GREPAIR_QUERY_NODE_MAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/grammar/derivation.h"
+#include "src/grammar/grammar.h"
+
+namespace grepair {
+
+/// \brief Derivation path of one val(G) node.
+struct GPath {
+  /// Start-graph edge the node is derived under; kInvalidEdge when the
+  /// node is a start-graph node (then `node` is its start-graph id).
+  EdgeId start_edge = kInvalidEdge;
+  /// Rhs edge indices of the nonterminal edges followed, outermost
+  /// first. Each index is into the corresponding rhs's edge list.
+  std::vector<uint32_t> steps;
+  /// Node id within the innermost rhs (internal node) or within S.
+  NodeId node = kInvalidNode;
+
+  bool operator==(const GPath& o) const {
+    return start_edge == o.start_edge && steps == o.steps && node == o.node;
+  }
+};
+
+/// \brief Precomputed index for PathOf/IdOf on one grammar.
+class NodeMap {
+ public:
+  explicit NodeMap(const SlhrGrammar& grammar);
+
+  const SlhrGrammar& grammar() const { return *grammar_; }
+
+  /// \brief Total nodes of val(G).
+  uint64_t num_nodes() const { return total_nodes_; }
+
+  /// \brief Internal nodes generated under an edge labeled `l`
+  /// (0 for terminals).
+  uint64_t GenNodes(Label l) const {
+    return grammar_->IsNonterminal(l) ? gen_.gen_nodes[grammar_->RuleIndex(l)]
+                                      : 0;
+  }
+
+  /// \brief Derivation path of node `id` (must be < num_nodes()).
+  GPath PathOf(uint64_t id) const;
+
+  /// \brief Inverse of PathOf.
+  uint64_t IdOf(const GPath& path) const;
+
+  /// \brief Global id of the start-graph block base for `start_edge`
+  /// (the first id generated under it).
+  uint64_t BlockBase(EdgeId start_edge) const {
+    return start_prefix_[start_edge];
+  }
+
+ private:
+  const SlhrGrammar* grammar_;
+  GeneratedSizes gen_;
+  uint64_t total_nodes_ = 0;
+  /// start_prefix_[e]: first derived id of start edge e's block (equals
+  /// |V_S| + sum of earlier blocks); defined for all edges (terminal
+  /// edges get empty blocks).
+  std::vector<uint64_t> start_prefix_;
+  /// Per rule: prefix sums over rhs edges of generated node counts,
+  /// used to descend in O(log) per level.
+  std::vector<std::vector<uint64_t>> rule_child_prefix_;
+};
+
+}  // namespace grepair
+
+#endif  // GREPAIR_QUERY_NODE_MAP_H_

@@ -1,0 +1,345 @@
+#include "src/query/path_queries.h"
+
+#include <cassert>
+
+namespace grepair {
+
+std::shared_ptr<PathExpr> PathExpr::Single(Label label) {
+  auto e = std::make_shared<PathExpr>();
+  e->kind = Kind::kLabel;
+  e->label = label;
+  return e;
+}
+std::shared_ptr<PathExpr> PathExpr::Any() {
+  auto e = std::make_shared<PathExpr>();
+  e->kind = Kind::kAnyLabel;
+  return e;
+}
+std::shared_ptr<PathExpr> PathExpr::Concat(std::shared_ptr<PathExpr> a,
+                                           std::shared_ptr<PathExpr> b) {
+  auto e = std::make_shared<PathExpr>();
+  e->kind = Kind::kConcat;
+  e->left = std::move(a);
+  e->right = std::move(b);
+  return e;
+}
+std::shared_ptr<PathExpr> PathExpr::Alt(std::shared_ptr<PathExpr> a,
+                                        std::shared_ptr<PathExpr> b) {
+  auto e = std::make_shared<PathExpr>();
+  e->kind = Kind::kAlt;
+  e->left = std::move(a);
+  e->right = std::move(b);
+  return e;
+}
+std::shared_ptr<PathExpr> PathExpr::Star(std::shared_ptr<PathExpr> a) {
+  auto e = std::make_shared<PathExpr>();
+  e->kind = Kind::kStar;
+  e->left = std::move(a);
+  return e;
+}
+std::shared_ptr<PathExpr> PathExpr::Plus(std::shared_ptr<PathExpr> a) {
+  auto e = std::make_shared<PathExpr>();
+  e->kind = Kind::kPlus;
+  e->left = std::move(a);
+  return e;
+}
+
+namespace {
+
+// Thompson NFA with epsilon edges, then epsilon-eliminated.
+struct EpsNfa {
+  struct Edge {
+    Label label;  // kInvalidLabel - 1 marks epsilon internally
+    uint32_t to;
+  };
+  static constexpr Label kEps = kInvalidLabel - 1;
+  std::vector<std::vector<Edge>> states;
+
+  uint32_t NewState() {
+    states.emplace_back();
+    return static_cast<uint32_t>(states.size() - 1);
+  }
+  void Add(uint32_t from, Label l, uint32_t to) {
+    states[from].push_back({l, to});
+  }
+};
+
+// Builds the fragment for `expr`; returns (in, out) state pair.
+std::pair<uint32_t, uint32_t> BuildFragment(
+    const std::shared_ptr<PathExpr>& expr, EpsNfa* nfa) {
+  uint32_t in = nfa->NewState();
+  uint32_t out = nfa->NewState();
+  switch (expr->kind) {
+    case PathExpr::Kind::kLabel:
+      nfa->Add(in, expr->label, out);
+      break;
+    case PathExpr::Kind::kAnyLabel:
+      nfa->Add(in, kInvalidLabel, out);  // wildcard survives elimination
+      break;
+    case PathExpr::Kind::kConcat: {
+      auto a = BuildFragment(expr->left, nfa);
+      auto b = BuildFragment(expr->right, nfa);
+      nfa->Add(in, EpsNfa::kEps, a.first);
+      nfa->Add(a.second, EpsNfa::kEps, b.first);
+      nfa->Add(b.second, EpsNfa::kEps, out);
+      break;
+    }
+    case PathExpr::Kind::kAlt: {
+      auto a = BuildFragment(expr->left, nfa);
+      auto b = BuildFragment(expr->right, nfa);
+      nfa->Add(in, EpsNfa::kEps, a.first);
+      nfa->Add(in, EpsNfa::kEps, b.first);
+      nfa->Add(a.second, EpsNfa::kEps, out);
+      nfa->Add(b.second, EpsNfa::kEps, out);
+      break;
+    }
+    case PathExpr::Kind::kStar: {
+      auto a = BuildFragment(expr->left, nfa);
+      nfa->Add(in, EpsNfa::kEps, out);
+      nfa->Add(in, EpsNfa::kEps, a.first);
+      nfa->Add(a.second, EpsNfa::kEps, a.first);
+      nfa->Add(a.second, EpsNfa::kEps, out);
+      break;
+    }
+    case PathExpr::Kind::kPlus: {
+      auto a = BuildFragment(expr->left, nfa);
+      nfa->Add(in, EpsNfa::kEps, a.first);
+      nfa->Add(a.second, EpsNfa::kEps, a.first);
+      nfa->Add(a.second, EpsNfa::kEps, out);
+      break;
+    }
+  }
+  return {in, out};
+}
+
+}  // namespace
+
+LabelNfa CompileNfa(const std::shared_ptr<PathExpr>& expr) {
+  EpsNfa eps;
+  auto [in, out] = BuildFragment(expr, &eps);
+
+  // Epsilon closures.
+  uint32_t n = static_cast<uint32_t>(eps.states.size());
+  std::vector<std::vector<uint32_t>> closure(n);
+  for (uint32_t s = 0; s < n; ++s) {
+    std::vector<char> seen(n, 0);
+    std::vector<uint32_t> stack{s};
+    seen[s] = 1;
+    while (!stack.empty()) {
+      uint32_t cur = stack.back();
+      stack.pop_back();
+      closure[s].push_back(cur);
+      for (const auto& edge : eps.states[cur]) {
+        if (edge.label == EpsNfa::kEps && !seen[edge.to]) {
+          seen[edge.to] = 1;
+          stack.push_back(edge.to);
+        }
+      }
+    }
+  }
+
+  LabelNfa nfa;
+  nfa.num_states = n;
+  nfa.start = in;
+  nfa.accepting.assign(n, 0);
+  for (uint32_t s = 0; s < n; ++s) {
+    for (uint32_t c : closure[s]) {
+      if (c == out) nfa.accepting[s] = 1;
+    }
+  }
+  nfa.transitions.resize(n);
+  // label transition q --l--> closure(q') for each labeled edge from
+  // any state in closure(q).
+  for (uint32_t s = 0; s < n; ++s) {
+    for (uint32_t c : closure[s]) {
+      for (const auto& edge : eps.states[c]) {
+        if (edge.label == EpsNfa::kEps) continue;
+        for (uint32_t t : closure[edge.to]) {
+          nfa.transitions[s].push_back({edge.label, t});
+        }
+      }
+    }
+  }
+  return nfa;
+}
+
+std::vector<std::vector<uint32_t>> PathQueryIndex::ProductAdjacency(
+    const Hypergraph& g, bool reverse) const {
+  const uint32_t q = nfa_.num_states;
+  std::vector<std::vector<uint32_t>> adj(
+      static_cast<size_t>(g.num_nodes()) * q);
+  auto add = [&](uint32_t from, uint32_t to) {
+    if (reverse) {
+      adj[to].push_back(from);
+    } else {
+      adj[from].push_back(to);
+    }
+  };
+  for (const auto& e : g.edges()) {
+    if (grammar_->IsTerminal(e.label)) {
+      if (e.att.size() != 2) continue;
+      for (uint32_t s = 0; s < q; ++s) {
+        for (const auto& [label, t] : nfa_.transitions[s]) {
+          if (label == kInvalidLabel || label == e.label) {
+            add(e.att[0] * q + s, e.att[1] * q + t);
+          }
+        }
+      }
+      continue;
+    }
+    const auto& sk = skeletons_[grammar_->RuleIndex(e.label)];
+    const uint32_t rank = static_cast<uint32_t>(e.att.size());
+    for (uint32_t r = 0; r < rank * q; ++r) {
+      uint32_t p = r / q, s = r % q;
+      for (uint32_t c = 0; c < rank * q; ++c) {
+        if (r == c) continue;
+        if ((sk[r][c / 64] >> (c % 64)) & 1) {
+          uint32_t p2 = c / q, s2 = c % q;
+          add(e.att[p] * q + s, e.att[p2] * q + s2);
+        }
+      }
+    }
+  }
+  return adj;
+}
+
+namespace {
+
+std::vector<char> Bfs(const std::vector<std::vector<uint32_t>>& adj,
+                      const std::vector<uint32_t>& seeds) {
+  std::vector<char> reached(adj.size(), 0);
+  std::vector<uint32_t> stack;
+  for (uint32_t s : seeds) {
+    if (!reached[s]) {
+      reached[s] = 1;
+      stack.push_back(s);
+    }
+  }
+  while (!stack.empty()) {
+    uint32_t v = stack.back();
+    stack.pop_back();
+    for (uint32_t u : adj[v]) {
+      if (!reached[u]) {
+        reached[u] = 1;
+        stack.push_back(u);
+      }
+    }
+  }
+  return reached;
+}
+
+}  // namespace
+
+PathQueryIndex::PathQueryIndex(const SlhrGrammar& grammar, LabelNfa nfa)
+    : grammar_(&grammar), node_map_(grammar), nfa_(std::move(nfa)) {
+  const uint32_t q = nfa_.num_states;
+  skeletons_.resize(grammar.num_rules());
+  for (uint32_t j = 0; j < grammar.num_rules(); ++j) {
+    const Hypergraph& rhs = grammar.rhs_by_index(j);
+    auto adj = ProductAdjacency(rhs, false);
+    uint32_t rank = static_cast<uint32_t>(rhs.ext().size());
+    uint32_t dims = rank * q;
+    skeletons_[j].assign(dims,
+                         std::vector<uint64_t>((dims + 63) / 64, 0));
+    for (uint32_t r = 0; r < dims; ++r) {
+      uint32_t p = r / q, s = r % q;
+      auto reached = Bfs(adj, {p * q + s});
+      for (uint32_t c = 0; c < dims; ++c) {
+        uint32_t p2 = c / q, s2 = c % q;
+        if (reached[p2 * q + s2]) {
+          skeletons_[j][r][c / 64] |= 1ull << (c % 64);
+        }
+      }
+    }
+  }
+  start_fwd_ = ProductAdjacency(grammar.start(), false);
+  start_bwd_ = ProductAdjacency(grammar.start(), true);
+}
+
+bool PathQueryIndex::Matches(uint64_t from, uint64_t to) const {
+  if (from == to && nfa_.AcceptsEmpty()) return true;
+  const uint32_t q = nfa_.num_states;
+  GPath pu = node_map_.PathOf(from);
+  GPath pv = node_map_.PathOf(to);
+
+  struct Chain {
+    std::vector<std::vector<char>> levels;  // innermost first
+    std::vector<char> s_reached;
+  };
+  // backward=false: forward reach from (u, start state).
+  // backward=true: co-reach of (v, any accepting state).
+  auto build = [&](const GPath& path, bool backward) {
+    Chain chain;
+    std::vector<uint32_t> seeds;
+    auto seed_states = [&](NodeId node, auto push) {
+      if (backward) {
+        for (uint32_t s = 0; s < q; ++s) {
+          if (nfa_.accepting[s]) push(node * q + s);
+        }
+      } else {
+        push(node * q + nfa_.start);
+      }
+    };
+    if (path.start_edge == kInvalidEdge) {
+      seed_states(path.node,
+                  [&](uint32_t x) { seeds.push_back(x); });
+    } else {
+      std::vector<Label> labels;
+      Label label = grammar_->start().edge(path.start_edge).label;
+      labels.push_back(label);
+      for (uint32_t step : path.steps) {
+        label = grammar_->rhs(label).edge(step).label;
+        labels.push_back(label);
+      }
+      seed_states(path.node,
+                  [&](uint32_t x) { seeds.push_back(x); });
+      for (size_t i = labels.size(); i-- > 0;) {
+        const Hypergraph& rhs = grammar_->rhs(labels[i]);
+        auto adj = ProductAdjacency(rhs, backward);
+        auto reached = Bfs(adj, seeds);
+        const HEdge& edge =
+            i == 0 ? grammar_->start().edge(path.start_edge)
+                   : grammar_->rhs(labels[i - 1]).edge(path.steps[i - 1]);
+        seeds.clear();
+        for (uint32_t p = 0; p < rhs.ext().size(); ++p) {
+          for (uint32_t s = 0; s < q; ++s) {
+            if (reached[p * q + s]) {
+              seeds.push_back(edge.att[p] * q + s);
+            }
+          }
+        }
+        chain.levels.push_back(std::move(reached));
+      }
+    }
+    chain.s_reached = Bfs(backward ? start_bwd_ : start_fwd_, seeds);
+    return chain;
+  };
+
+  Chain cu = build(pu, false);
+  Chain cv = build(pv, true);
+
+  for (size_t x = 0; x < cu.s_reached.size(); ++x) {
+    if (cu.s_reached[x] && cv.s_reached[x]) return true;
+  }
+  if (pu.start_edge != kInvalidEdge && pu.start_edge == pv.start_edge) {
+    size_t lcp = 0;
+    while (lcp < pu.steps.size() && lcp < pv.steps.size() &&
+           pu.steps[lcp] == pv.steps[lcp]) {
+      ++lcp;
+    }
+    size_t common = 1 + lcp;
+    size_t depth_u = 1 + pu.steps.size();
+    size_t depth_v = 1 + pv.steps.size();
+    for (size_t level = common; level >= 1; --level) {
+      const auto& ru = cu.levels[depth_u - level];
+      const auto& rv = cv.levels[depth_v - level];
+      assert(ru.size() == rv.size());
+      for (size_t x = 0; x < ru.size(); ++x) {
+        if (ru[x] && rv[x]) return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace grepair

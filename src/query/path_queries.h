@@ -1,0 +1,95 @@
+// Regular path queries over the grammar (the paper's Section VI future
+// work: "we want to find more query classes with this property (e.g.,
+// regular path queries)").
+//
+// A regular path query asks whether some directed path from s to t
+// spells a word (over edge labels) in a regular language. Like plain
+// reachability (Theorem 6), it evaluates in one bottom-up pass: for
+// every nonterminal we precompute the *product skeleton* — the relation
+// "(external p, automaton state q) reaches (external p', state q')
+// inside the derived subgraph" — and queries run the same up-the-path /
+// meet-at-common-ancestor scheme as ReachabilityIndex, on the product
+// of the graph with the automaton. Cost O(|G| * (rank*|Q|)^2) to build,
+// O((|S| + h*rank) * |Q|) per query.
+//
+// The automaton is a label NFA built from a small regex AST
+// (PathExpr): single labels, concatenation, alternation, Kleene
+// star/plus. Plain reachability is the special case "(any)*".
+
+#ifndef GREPAIR_QUERY_PATH_QUERIES_H_
+#define GREPAIR_QUERY_PATH_QUERIES_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/query/node_map.h"
+
+namespace grepair {
+
+/// \brief Regular expression over edge labels.
+class PathExpr {
+ public:
+  enum class Kind { kLabel, kAnyLabel, kConcat, kAlt, kStar, kPlus };
+
+  static std::shared_ptr<PathExpr> Single(Label label);
+  static std::shared_ptr<PathExpr> Any();
+  static std::shared_ptr<PathExpr> Concat(std::shared_ptr<PathExpr> a,
+                                          std::shared_ptr<PathExpr> b);
+  static std::shared_ptr<PathExpr> Alt(std::shared_ptr<PathExpr> a,
+                                       std::shared_ptr<PathExpr> b);
+  static std::shared_ptr<PathExpr> Star(std::shared_ptr<PathExpr> a);
+  static std::shared_ptr<PathExpr> Plus(std::shared_ptr<PathExpr> a);
+
+  Kind kind;
+  Label label = kInvalidLabel;  // kLabel
+  std::shared_ptr<PathExpr> left, right;
+};
+
+/// \brief Epsilon-free NFA over terminal labels.
+struct LabelNfa {
+  uint32_t num_states = 0;
+  uint32_t start = 0;
+  std::vector<char> accepting;
+  /// transitions[q] = list of (label, q'); kInvalidLabel matches any
+  /// terminal label.
+  std::vector<std::vector<std::pair<Label, uint32_t>>> transitions;
+
+  /// \brief True if the empty word is accepted (s == t counts then).
+  bool AcceptsEmpty() const { return accepting[start]; }
+};
+
+/// \brief Thompson construction + epsilon elimination.
+LabelNfa CompileNfa(const std::shared_ptr<PathExpr>& expr);
+
+/// \brief Regular-path-query oracle bound to one grammar and one NFA.
+class PathQueryIndex {
+ public:
+  PathQueryIndex(const SlhrGrammar& grammar, LabelNfa nfa);
+
+  /// \brief True iff some path from `from` to `to` spells a word of the
+  /// language (ids in val(G) numbering; the empty path counts iff the
+  /// language contains the empty word and from == to).
+  bool Matches(uint64_t from, uint64_t to) const;
+
+  const NodeMap& node_map() const { return node_map_; }
+  const LabelNfa& nfa() const { return nfa_; }
+
+ private:
+  // Product-graph adjacency of a host: nodes are (node * |Q| + state).
+  std::vector<std::vector<uint32_t>> ProductAdjacency(const Hypergraph& g,
+                                                      bool reverse) const;
+
+  const SlhrGrammar* grammar_;
+  NodeMap node_map_;
+  LabelNfa nfa_;
+  /// Per rule: bitset rows indexed (ext*|Q| + state), bit columns
+  /// likewise; row r, bit c set iff product node r reaches c inside.
+  std::vector<std::vector<std::vector<uint64_t>>> skeletons_;
+  std::vector<std::vector<uint32_t>> start_fwd_;
+  std::vector<std::vector<uint32_t>> start_bwd_;
+};
+
+}  // namespace grepair
+
+#endif  // GREPAIR_QUERY_PATH_QUERIES_H_

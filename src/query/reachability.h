@@ -1,0 +1,66 @@
+// (s,t)-reachability over the grammar in time linear in |G|
+// (Theorem 6).
+//
+// Construction computes, bottom-up, a *skeleton* per nonterminal: the
+// reachability relation among the external nodes of its derived
+// subgraph (the paper materializes skeleta as small graphs via SCC
+// condensation; with rank <= maxRank the explicit relation is at most
+// maxRank^2 bits per rule and the overall cost stays O(|G| * rank^2)).
+// The start graph with every nonterminal edge replaced by its skeleton
+// edges (S' in the paper) is materialized once.
+//
+// A query locates both nodes' derivation paths, then propagates
+// forward-reachable external positions up s's path and
+// backward-reachable external positions up t's path, checking at every
+// common ancestor level (innermost common rule first, then up to S')
+// whether the forward set meets the backward set. This extends the
+// paper's Case 2 — which climbs both nodes to S — to the case where
+// both nodes live under the same start-graph edge and the meeting
+// point is inside the shared subtree.
+//
+// Only rank-2 terminal edges induce direction; terminal hyperedges do
+// not contribute paths (the theorem addresses simple graphs).
+
+#ifndef GREPAIR_QUERY_REACHABILITY_H_
+#define GREPAIR_QUERY_REACHABILITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/query/node_map.h"
+
+namespace grepair {
+
+/// \brief Reachability oracle for val(G).
+class ReachabilityIndex {
+ public:
+  explicit ReachabilityIndex(const SlhrGrammar& grammar);
+
+  /// \brief True iff `to` is reachable from `from` in val(G) (ids in
+  /// val(G) numbering; a node reaches itself).
+  bool Reachable(uint64_t from, uint64_t to) const;
+
+  const NodeMap& node_map() const { return node_map_; }
+
+  /// \brief Skeleton relation of rule `j`: bit q of row p set iff
+  /// external p reaches external q inside the derived subgraph.
+  const std::vector<uint64_t>& skeleton(uint32_t j) const {
+    return skeletons_[j];
+  }
+
+ private:
+  // Adjacency of a host graph with nonterminal edges expanded to their
+  // skeleton edges (edges among the host's nodes only).
+  std::vector<std::vector<NodeId>> ExpandedAdjacency(const Hypergraph& g,
+                                                     bool reverse) const;
+
+  const SlhrGrammar* grammar_;
+  NodeMap node_map_;
+  std::vector<std::vector<uint64_t>> skeletons_;  // per rule: rank rows
+  std::vector<std::vector<NodeId>> start_fwd_;    // S' adjacency
+  std::vector<std::vector<NodeId>> start_bwd_;    // reversed S'
+};
+
+}  // namespace grepair
+
+#endif  // GREPAIR_QUERY_REACHABILITY_H_

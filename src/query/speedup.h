@@ -1,0 +1,47 @@
+// Speed-up queries: graph functions evaluated in one pass through the
+// grammar, without decompression (Section V / Proposition 5).
+//
+// These are the paper's examples of CMSO-evaluable functions:
+//   * node / edge counts and per-label edge counts,
+//   * minimal and maximal degree,
+//   * number of connected components.
+// Each is computed bottom-up over the rules (per-rule summaries are
+// combined where nonterminal edges occur), giving O(|G|) evaluation —
+// a speed-up proportional to the compression ratio over running the
+// same computation on val(G).
+
+#ifndef GREPAIR_QUERY_SPEEDUP_H_
+#define GREPAIR_QUERY_SPEEDUP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/grammar/grammar.h"
+
+namespace grepair {
+
+/// \brief How many times each rule is applied when deriving val(G)
+/// (top-down multiplicities; O(|G|)).
+std::vector<uint64_t> RuleMultiplicities(const SlhrGrammar& grammar);
+
+/// \brief Edge count of val(G) per terminal label, via multiplicities.
+std::vector<uint64_t> LabelHistogram(const SlhrGrammar& grammar);
+
+/// \brief Number of connected components of val(G) (undirected
+/// hyperedge connectivity), one bottom-up pass.
+uint64_t CountConnectedComponents(const SlhrGrammar& grammar);
+
+/// \brief Minimal and maximal degree over val(G)'s nodes.
+struct DegreeExtrema {
+  uint64_t min_degree = 0;
+  uint64_t max_degree = 0;
+};
+DegreeExtrema ComputeDegreeExtrema(const SlhrGrammar& grammar);
+
+/// \brief Total degree (sum over nodes) of val(G); equals the sum of
+/// edge ranks, provided for cross-checks.
+uint64_t TotalDegree(const SlhrGrammar& grammar);
+
+}  // namespace grepair
+
+#endif  // GREPAIR_QUERY_SPEEDUP_H_

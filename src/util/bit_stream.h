@@ -1,0 +1,120 @@
+// Bit-granular output/input streams.
+//
+// The grammar serialization format of the paper (Section III-C2) is
+// bit-packed: rules are sequences of Elias delta codes interleaved with
+// single marker bits, and k^2-trees are raw bit arrays. BitWriter and
+// BitReader provide the substrate; Elias codes live in elias.h.
+
+#ifndef GREPAIR_UTIL_BIT_STREAM_H_
+#define GREPAIR_UTIL_BIT_STREAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace grepair {
+
+/// \brief Append-only bit sink backed by a byte buffer.
+///
+/// Bits are appended MSB-first within each byte, so the serialized form
+/// is byte-order independent and the i-th appended bit is bit
+/// `7 - (i % 8)` of byte `i / 8`.
+class BitWriter {
+ public:
+  BitWriter() = default;
+
+  /// \brief Appends a single bit (any nonzero value means 1).
+  void PutBit(bool bit) {
+    if (bit_pos_ == 0) buffer_.push_back(0);
+    if (bit) buffer_.back() |= static_cast<uint8_t>(1u << (7 - bit_pos_));
+    bit_pos_ = (bit_pos_ + 1) & 7;
+  }
+
+  /// \brief Appends the lowest `num_bits` bits of `value`, MSB first.
+  ///
+  /// `num_bits` may be 0 (no-op) up to 64.
+  void PutBits(uint64_t value, int num_bits) {
+    for (int i = num_bits - 1; i >= 0; --i) {
+      PutBit((value >> i) & 1u);
+    }
+  }
+
+  /// \brief Number of bits appended so far.
+  size_t bit_size() const {
+    return buffer_.size() * 8 - (bit_pos_ == 0 ? 0 : (8 - bit_pos_));
+  }
+
+  /// \brief Number of bytes needed to hold the bits (last byte zero-padded).
+  size_t byte_size() const { return buffer_.size(); }
+
+  /// \brief Returns the accumulated bytes; the writer remains usable.
+  const std::vector<uint8_t>& bytes() const { return buffer_; }
+
+  /// \brief Moves the buffer out and resets the writer.
+  std::vector<uint8_t> TakeBytes() {
+    bit_pos_ = 0;
+    return std::move(buffer_);
+  }
+
+  /// \brief Pads with zero bits to the next byte boundary.
+  void AlignToByte() {
+    while (bit_pos_ != 0) PutBit(false);
+  }
+
+ private:
+  std::vector<uint8_t> buffer_;
+  int bit_pos_ = 0;  // next free bit index within the last byte, 0..7
+};
+
+/// \brief Sequential reader over a bit buffer produced by BitWriter.
+class BitReader {
+ public:
+  /// \brief Reads from `data` without copying; `data` must outlive the
+  /// reader. `bit_count` bounds the readable bits (defaults to all).
+  explicit BitReader(const std::vector<uint8_t>& data)
+      : data_(data.data()), bit_count_(data.size() * 8) {}
+  BitReader(const uint8_t* data, size_t bit_count)
+      : data_(data), bit_count_(bit_count) {}
+
+  /// \brief True if at least `n` more bits can be read.
+  bool HasBits(size_t n) const { return pos_ + n <= bit_count_; }
+
+  /// \brief Current read position in bits.
+  size_t position() const { return pos_; }
+
+  /// \brief Reads one bit into `*bit`.
+  Status ReadBit(bool* bit) {
+    if (!HasBits(1)) return Status::OutOfRange("bit stream exhausted");
+    *bit = (data_[pos_ >> 3] >> (7 - (pos_ & 7))) & 1u;
+    ++pos_;
+    return Status::OK();
+  }
+
+  /// \brief Reads `num_bits` (0..64) into `*value`, MSB first.
+  Status ReadBits(int num_bits, uint64_t* value) {
+    if (!HasBits(static_cast<size_t>(num_bits))) {
+      return Status::OutOfRange("bit stream exhausted");
+    }
+    uint64_t v = 0;
+    for (int i = 0; i < num_bits; ++i) {
+      v = (v << 1) | ((data_[pos_ >> 3] >> (7 - (pos_ & 7))) & 1u);
+      ++pos_;
+    }
+    *value = v;
+    return Status::OK();
+  }
+
+  /// \brief Skips forward to the next byte boundary.
+  void AlignToByte() { pos_ = (pos_ + 7) & ~static_cast<size_t>(7); }
+
+ private:
+  const uint8_t* data_;
+  size_t bit_count_;
+  size_t pos_ = 0;
+};
+
+}  // namespace grepair
+
+#endif  // GREPAIR_UTIL_BIT_STREAM_H_

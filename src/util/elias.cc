@@ -1,0 +1,59 @@
+#include "src/util/elias.h"
+
+#include <cassert>
+
+namespace grepair {
+
+int BitLength(uint64_t n) {
+  assert(n >= 1);
+  return 64 - __builtin_clzll(n);
+}
+
+void EliasGammaEncode(uint64_t n, BitWriter* writer) {
+  assert(n >= 1);
+  int len = BitLength(n);
+  for (int i = 0; i < len - 1; ++i) writer->PutBit(false);
+  writer->PutBits(n, len);
+}
+
+void EliasDeltaEncode(uint64_t n, BitWriter* writer) {
+  assert(n >= 1);
+  int len = BitLength(n);
+  EliasGammaEncode(static_cast<uint64_t>(len), writer);
+  // Binary of n without the leading 1-bit.
+  writer->PutBits(n & ~(1ull << (len - 1)), len - 1);
+}
+
+Status EliasGammaDecode(BitReader* reader, uint64_t* n) {
+  int zeros = 0;
+  bool bit = false;
+  for (;;) {
+    GREPAIR_RETURN_IF_ERROR(reader->ReadBit(&bit));
+    if (bit) break;
+    if (++zeros > 63) return Status::Corruption("gamma code too long");
+  }
+  uint64_t rest = 0;
+  GREPAIR_RETURN_IF_ERROR(reader->ReadBits(zeros, &rest));
+  *n = (1ull << zeros) | rest;
+  return Status::OK();
+}
+
+Status EliasDeltaDecode(BitReader* reader, uint64_t* n) {
+  uint64_t len = 0;
+  GREPAIR_RETURN_IF_ERROR(EliasGammaDecode(reader, &len));
+  if (len == 0 || len > 64) return Status::Corruption("bad delta length");
+  uint64_t rest = 0;
+  GREPAIR_RETURN_IF_ERROR(reader->ReadBits(static_cast<int>(len - 1), &rest));
+  *n = (len == 64 ? 0ull : (1ull << (len - 1))) | rest;
+  if (len == 64) *n |= 1ull << 63;
+  return Status::OK();
+}
+
+int EliasGammaLength(uint64_t n) { return 2 * BitLength(n) - 1; }
+
+int EliasDeltaLength(uint64_t n) {
+  int len = BitLength(n);
+  return EliasGammaLength(static_cast<uint64_t>(len)) + len - 1;
+}
+
+}  // namespace grepair

@@ -1,0 +1,45 @@
+// Elias gamma and delta universal integer codes (Elias 1975).
+//
+// The paper stores rule edge lists with variable-length delta codes
+// (Section III-C2): node IDs, labels and edge counts are all delta-coded.
+// Codes are defined for integers >= 1; callers shift 0-based IDs by one.
+
+#ifndef GREPAIR_UTIL_ELIAS_H_
+#define GREPAIR_UTIL_ELIAS_H_
+
+#include <cstdint>
+
+#include "src/util/bit_stream.h"
+#include "src/util/status.h"
+
+namespace grepair {
+
+/// \brief Number of bits in the binary representation of `n` (n >= 1).
+int BitLength(uint64_t n);
+
+/// \brief Appends the Elias gamma code of `n` (n >= 1) to `writer`.
+///
+/// gamma(n) = (len(n)-1) zero bits, then the len(n) bits of n.
+void EliasGammaEncode(uint64_t n, BitWriter* writer);
+
+/// \brief Appends the Elias delta code of `n` (n >= 1) to `writer`.
+///
+/// delta(n) = gamma(len(n)), then the binary of n without its leading
+/// 1-bit. Asymptotically log n + 2 log log n bits.
+void EliasDeltaEncode(uint64_t n, BitWriter* writer);
+
+/// \brief Decodes an Elias gamma code into `*n`.
+Status EliasGammaDecode(BitReader* reader, uint64_t* n);
+
+/// \brief Decodes an Elias delta code into `*n`.
+Status EliasDeltaDecode(BitReader* reader, uint64_t* n);
+
+/// \brief Bit cost of gamma(n) without encoding it.
+int EliasGammaLength(uint64_t n);
+
+/// \brief Bit cost of delta(n) without encoding it.
+int EliasDeltaLength(uint64_t n);
+
+}  // namespace grepair
+
+#endif  // GREPAIR_UTIL_ELIAS_H_

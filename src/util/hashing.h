@@ -1,0 +1,42 @@
+// Hash helpers shared by the digram table, FP-order refinement and the
+// WL isomorphism hash.
+
+#ifndef GREPAIR_UTIL_HASHING_H_
+#define GREPAIR_UTIL_HASHING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace grepair {
+
+/// \brief Mixes a 64-bit value (finalizer of MurmurHash3).
+inline uint64_t Mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDull;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ull;
+  x ^= x >> 33;
+  return x;
+}
+
+/// \brief Combines a hash with a new value (order-sensitive).
+inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  return Mix64(seed ^ (value + 0x9E3779B97F4A7C15ull + (seed << 6) +
+                       (seed >> 2)));
+}
+
+/// \brief Hash of a sequence of 64-bit values.
+inline uint64_t HashSpan(const uint64_t* data, size_t n, uint64_t seed = 0) {
+  uint64_t h = HashCombine(seed, n);
+  for (size_t i = 0; i < n; ++i) h = HashCombine(h, data[i]);
+  return h;
+}
+
+inline uint64_t HashVector(const std::vector<uint64_t>& v, uint64_t seed = 0) {
+  return HashSpan(v.data(), v.size(), seed);
+}
+
+}  // namespace grepair
+
+#endif  // GREPAIR_UTIL_HASHING_H_

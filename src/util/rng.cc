@@ -1,0 +1,11 @@
+#include "src/util/rng.h"
+
+#include <cmath>
+
+namespace grepair {
+
+double Rng::LogApprox(double x) { return std::log(x); }
+double Rng::ExpApprox(double x) { return std::exp(x); }
+double Rng::PowApprox(double x, double y) { return std::pow(x, y); }
+
+}  // namespace grepair

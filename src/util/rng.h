@@ -1,0 +1,126 @@
+// Deterministic pseudo-random number generation for workload synthesis.
+//
+// All dataset generators and randomized property tests seed from explicit
+// constants so that every bench table and test run is reproducible
+// bit-for-bit across machines (std::mt19937 distributions are not
+// guaranteed identical across standard libraries, so we implement the
+// distributions we need on top of SplitMix64/xoshiro256**).
+
+#ifndef GREPAIR_UTIL_RNG_H_
+#define GREPAIR_UTIL_RNG_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace grepair {
+
+/// \brief SplitMix64 step; used for seeding and hashing.
+inline uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97f4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// \brief xoshiro256** deterministic PRNG with explicit distributions.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& s : s_) s = SplitMix64(&sm);
+  }
+
+  /// \brief Uniform 64-bit value.
+  uint64_t Next() {
+    uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// \brief Uniform integer in [0, bound); bound must be positive.
+  uint64_t UniformBounded(uint64_t bound) {
+    assert(bound > 0);
+    // Rejection sampling to avoid modulo bias.
+    uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      uint64_t r = Next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// \brief Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    UniformBounded(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// \brief Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// \brief Bernoulli trial with success probability p.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  /// \brief Geometric-ish value: number of failures before success(p),
+  /// capped at `cap` to bound workload sizes.
+  uint32_t GeometricCapped(double p, uint32_t cap) {
+    uint32_t v = 0;
+    while (v < cap && !Bernoulli(p)) ++v;
+    return v;
+  }
+
+  /// \brief Zipf-like rank in [0, n): rank r drawn with weight 1/(r+1)^s.
+  ///
+  /// Uses the inverse-CDF of the continuous approximation; adequate for
+  /// generating skewed degree distributions in synthetic graphs.
+  uint64_t Zipf(uint64_t n, double s) {
+    assert(n > 0);
+    if (n == 1) return 0;
+    double u = UniformDouble();
+    if (s == 1.0) {
+      double h = u * LogApprox(static_cast<double>(n));
+      double r = ExpApprox(h) - 1.0;
+      uint64_t idx = static_cast<uint64_t>(r);
+      return idx >= n ? n - 1 : idx;
+    }
+    double one_minus_s = 1.0 - s;
+    double hn = (PowApprox(static_cast<double>(n), one_minus_s) - 1.0) /
+                one_minus_s;
+    double r = PowApprox(u * hn * one_minus_s + 1.0, 1.0 / one_minus_s) - 1.0;
+    uint64_t idx = static_cast<uint64_t>(r);
+    return idx >= n ? n - 1 : idx;
+  }
+
+  /// \brief In-place Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformBounded(i));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  // Thin wrappers so <cmath> stays out of this header's public surface.
+  static double LogApprox(double x);
+  static double ExpApprox(double x);
+  static double PowApprox(double x, double y);
+
+  uint64_t s_[4];
+};
+
+}  // namespace grepair
+
+#endif  // GREPAIR_UTIL_RNG_H_

@@ -1,0 +1,68 @@
+// Disjoint-set union with path halving and union by size.
+//
+// Used for connected-component discovery (virtual-edge pass of gRePair,
+// Section III-A) and for the component-counting speed-up query
+// (Section V), where per-rule partitions of external nodes are merged
+// bottom-up through the grammar.
+
+#ifndef GREPAIR_UTIL_UNION_FIND_H_
+#define GREPAIR_UTIL_UNION_FIND_H_
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace grepair {
+
+/// \brief Standard disjoint-set forest over elements 0..n-1.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), 0u);
+  }
+
+  /// \brief Representative of x's set (with path halving).
+  uint32_t Find(uint32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// \brief Merges the sets of a and b; returns true if they were distinct.
+  bool Union(uint32_t a, uint32_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return false;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+    return true;
+  }
+
+  /// \brief True if a and b are in the same set.
+  bool Same(uint32_t a, uint32_t b) { return Find(a) == Find(b); }
+
+  /// \brief Number of elements in x's set.
+  uint32_t SetSize(uint32_t x) { return size_[Find(x)]; }
+
+  size_t num_elements() const { return parent_.size(); }
+
+  /// \brief Number of distinct sets (O(n)).
+  size_t CountSets() {
+    size_t count = 0;
+    for (uint32_t i = 0; i < parent_.size(); ++i) {
+      if (Find(i) == i) ++count;
+    }
+    return count;
+  }
+
+ private:
+  std::vector<uint32_t> parent_;
+  std::vector<uint32_t> size_;
+};
+
+}  // namespace grepair
+
+#endif  // GREPAIR_UTIL_UNION_FIND_H_

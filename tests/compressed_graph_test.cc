@@ -1,0 +1,128 @@
+// Tests for the CompressedGraph facade: original-id transparency,
+// agreement with the uncompressed graph, and serialization.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/datasets/generators.h"
+#include "src/encoding/grammar_coder.h"
+#include "src/graph/graph_algos.h"
+#include "src/query/compressed_graph.h"
+#include "src/util/rng.h"
+
+namespace grepair {
+namespace {
+
+std::vector<uint64_t> BruteOut(const Hypergraph& g, uint64_t node) {
+  std::vector<uint64_t> out;
+  for (const auto& e : g.edges()) {
+    if (e.att.size() == 2 && e.att[0] == node) out.push_back(e.att[1]);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+class CompressedGraphSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CompressedGraphSweep, AgreesWithOriginalIds) {
+  std::string which = GetParam();
+  GeneratedGraph gg;
+  if (which == "coauth") gg = CoAuthorship(140, 200, 61);
+  if (which == "rdf") gg = RdfTypes(400, 8, 62);
+  if (which == "copies") gg = DisjointCopies(CycleWithDiagonal(), 40, "c");
+  if (which == "dblp") gg = DblpVersions(3, 50, 30, 63, "dblp");
+
+  auto cg = CompressedGraph::FromGraph(gg.graph, gg.alphabet);
+  ASSERT_TRUE(cg.ok()) << cg.status().ToString();
+  const CompressedGraph& g = cg.value();
+  EXPECT_EQ(g.num_nodes(), gg.graph.num_nodes());
+  EXPECT_EQ(g.num_edges(), gg.graph.num_edges());
+
+  // Neighborhoods in ORIGINAL ids must match the input graph directly.
+  Rng rng(7);
+  for (int i = 0; i < 60; ++i) {
+    uint64_t v = rng.UniformBounded(gg.graph.num_nodes());
+    ASSERT_EQ(g.OutNeighbors(v), BruteOut(gg.graph, v))
+        << which << " node " << v;
+  }
+
+  // Reachability in original ids vs BFS on the input graph.
+  for (int i = 0; i < 30; ++i) {
+    uint64_t u = rng.UniformBounded(gg.graph.num_nodes());
+    auto truth = DirectedReachable(gg.graph, static_cast<NodeId>(u));
+    for (int j = 0; j < 10; ++j) {
+      uint64_t v = rng.UniformBounded(gg.graph.num_nodes());
+      ASSERT_EQ(g.Reachable(u, v), truth[v] != 0)
+          << which << ": " << u << " -> " << v;
+    }
+  }
+
+  // Aggregates.
+  uint32_t comps = 0;
+  ConnectedComponents(gg.graph, &comps);
+  EXPECT_EQ(g.NumConnectedComponents(), comps);
+  std::vector<uint64_t> hist(gg.alphabet.size(), 0);
+  for (const auto& e : gg.graph.edges()) ++hist[e.label];
+  EXPECT_EQ(g.LabelHistogram(), hist);
+
+  // Decompression returns the exact input.
+  auto back = g.Decompress();
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back.value().EqualUpToEdgeOrder(gg.graph));
+
+  EXPECT_GT(g.SerializedSize(), 0u);
+  EXPECT_EQ(g.SerializedSize(), g.SerializedSize());  // cached
+}
+
+INSTANTIATE_TEST_SUITE_P(Graphs, CompressedGraphSweep,
+                         ::testing::Values("coauth", "rdf", "copies",
+                                           "dblp"));
+
+TEST(CompressedGraphTest, FromGrammarUsesValNumbering) {
+  GeneratedGraph gg = RdfTypes(300, 6, 64);
+  auto compressed = Compress(gg.graph, gg.alphabet, {});
+  ASSERT_TRUE(compressed.ok());
+  auto bytes = EncodeGrammar(compressed.value().grammar);
+  auto decoded = DecodeGrammar(bytes);
+  ASSERT_TRUE(decoded.ok());
+
+  auto cg = CompressedGraph::FromGrammar(std::move(decoded).ValueOrDie());
+  ASSERT_TRUE(cg.ok());
+  EXPECT_EQ(cg.value().num_nodes(), gg.graph.num_nodes());
+  EXPECT_EQ(cg.value().num_edges(), gg.graph.num_edges());
+  // Numbering is val(G)'s: verify against the derived graph.
+  auto val = Derive(cg.value().grammar());
+  ASSERT_TRUE(val.ok());
+  for (uint64_t v = 0; v < 50; ++v) {
+    EXPECT_EQ(cg.value().OutNeighbors(v), BruteOut(val.value(), v));
+  }
+}
+
+TEST(CompressedGraphTest, RejectsInvalidGrammar) {
+  Alphabet alpha;
+  alpha.Add("a", 2);
+  SlhrGrammar bad(alpha, Hypergraph(2));
+  Label nt = bad.AddNonterminal(3, "X");  // rank mismatch with rhs below
+  Hypergraph rhs(2);
+  rhs.AddSimpleEdge(0, 1, 0);
+  rhs.SetExternal({0, 1});
+  bad.SetRule(nt, std::move(rhs));
+  EXPECT_FALSE(CompressedGraph::FromGrammar(std::move(bad)).ok());
+}
+
+TEST(CompressedGraphTest, ValNumberingWhenMappingDisabled) {
+  GeneratedGraph gg = CoAuthorship(80, 100, 65);
+  auto cg = CompressedGraph::FromGraph(gg.graph, gg.alphabet, {},
+                                       /*keep_original_ids=*/false);
+  ASSERT_TRUE(cg.ok());
+  auto val = Derive(cg.value().grammar());
+  ASSERT_TRUE(val.ok());
+  for (uint64_t v = 0; v < 40; ++v) {
+    EXPECT_EQ(cg.value().OutNeighbors(v), BruteOut(val.value(), v));
+  }
+}
+
+}  // namespace
+}  // namespace grepair

@@ -1,0 +1,194 @@
+// Tests for digram shapes (Definitions 2-3): canonical orientation,
+// externality handling, rule construction and occurrence node mapping.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/grepair/digram.h"
+
+namespace grepair {
+namespace {
+
+std::function<bool(NodeId)> ExternalSet(std::set<NodeId> ext) {
+  return [ext = std::move(ext)](NodeId v) { return ext.count(v) > 0; };
+}
+
+HEdge MakeEdge(Label l, std::vector<NodeId> att) {
+  HEdge e;
+  e.label = l;
+  e.att = std::move(att);
+  return e;
+}
+
+TEST(DigramShapeTest, DisconnectedEdgesAreNoDigram) {
+  DigramShape shape;
+  bool swapped;
+  EXPECT_FALSE(ComputeDigramShape(MakeEdge(0, {0, 1}), MakeEdge(0, {2, 3}),
+                                  ExternalSet({}), &shape, &swapped));
+}
+
+TEST(DigramShapeTest, ChainDigram) {
+  // a: 0->1, b: 1->2; middle node internal, ends external.
+  DigramShape shape;
+  bool swapped;
+  ASSERT_TRUE(ComputeDigramShape(MakeEdge(0, {0, 1}), MakeEdge(1, {1, 2}),
+                                 ExternalSet({0, 2}), &shape, &swapped));
+  EXPECT_EQ(shape.NumNodes(), 3);
+  EXPECT_EQ(shape.NumExternal(), 2);
+  EXPECT_EQ(shape.NumInternal(), 1);
+  ASSERT_EQ(shape.shared.size(), 1u);
+}
+
+TEST(DigramShapeTest, CanonicalUnderSwap) {
+  // The same pair given in both orders must produce identical shapes.
+  HEdge a = MakeEdge(0, {0, 1});
+  HEdge b = MakeEdge(1, {1, 2});
+  auto ext = ExternalSet({0, 2});
+  DigramShape s1, s2;
+  bool sw1, sw2;
+  ASSERT_TRUE(ComputeDigramShape(a, b, ext, &s1, &sw1));
+  ASSERT_TRUE(ComputeDigramShape(b, a, ext, &s2, &sw2));
+  EXPECT_TRUE(s1 == s2);
+  EXPECT_NE(sw1, sw2);  // exactly one ordering got swapped
+}
+
+TEST(DigramShapeTest, DirectionDistinguishesShapes) {
+  // a->b chain vs a<-b chain (directions differ) are different digrams.
+  auto ext = ExternalSet({0, 2});
+  DigramShape chain, converge;
+  bool sw;
+  ASSERT_TRUE(ComputeDigramShape(MakeEdge(0, {0, 1}), MakeEdge(0, {1, 2}),
+                                 ext, &chain, &sw));
+  ASSERT_TRUE(ComputeDigramShape(MakeEdge(0, {0, 1}), MakeEdge(0, {2, 1}),
+                                 ext, &converge, &sw));
+  EXPECT_FALSE(chain == converge);
+}
+
+TEST(DigramShapeTest, ExternalityDistinguishesShapes) {
+  // Same topology, but in one occurrence the middle node has outside
+  // edges (Figure 4's two grammars differ exactly this way).
+  DigramShape middle_internal, middle_external;
+  bool sw;
+  ASSERT_TRUE(ComputeDigramShape(MakeEdge(0, {0, 1}), MakeEdge(0, {1, 2}),
+                                 ExternalSet({0, 2}), &middle_internal, &sw));
+  ASSERT_TRUE(ComputeDigramShape(MakeEdge(0, {0, 1}), MakeEdge(0, {1, 2}),
+                                 ExternalSet({0, 1, 2}), &middle_external,
+                                 &sw));
+  EXPECT_FALSE(middle_internal == middle_external);
+  EXPECT_EQ(middle_internal.NumExternal(), 2);
+  EXPECT_EQ(middle_external.NumExternal(), 3);
+}
+
+TEST(DigramShapeTest, EightUnlabeledDigrams) {
+  // Figure 2: with one label and fully external nodes there are exactly
+  // eight digrams over two direction-bearing rank-2 edges sharing one
+  // node (2 orientations of the shared node in each edge x ... = 8,
+  // minus symmetric double counting). Enumerate all oriented pairs and
+  // count canonical shapes.
+  std::set<std::vector<uint64_t>> shapes;
+  auto ext = ExternalSet({0, 1, 2});
+  // Edge x uses nodes {0,1}, edge y uses {1,2}, in all 4 direction
+  // combinations; plus the "parallel" cases where both use {0,1}.
+  std::vector<HEdge> xs = {MakeEdge(0, {0, 1}), MakeEdge(0, {1, 0})};
+  std::vector<HEdge> ys = {MakeEdge(0, {1, 2}), MakeEdge(0, {2, 1}),
+                           MakeEdge(0, {0, 1}), MakeEdge(0, {1, 0})};
+  for (const auto& x : xs) {
+    for (const auto& y : ys) {
+      DigramShape s;
+      bool sw;
+      if (ComputeDigramShape(x, y, ext, &s, &sw)) {
+        std::vector<uint64_t> key{s.label0, s.label1, s.rank0, s.rank1,
+                                  s.ext0, s.ext1};
+        for (auto p : s.shared) key.push_back(p);
+        shapes.insert(key);
+      }
+    }
+  }
+  // Chain (x out of shared node, y in), convergent (both in), divergent
+  // (both out) — head-tail and tail-head chains coincide under the
+  // canonical orientation — plus parallel and antiparallel double
+  // edges: 5 canonical shapes. (The paper's Figure 2 counts 8 possible
+  // digrams for undirected unlabeled edges, a different enumeration
+  // that includes shapes restriction (1) and externality fold together
+  // here.)
+  EXPECT_EQ(shapes.size(), 5u);
+}
+
+TEST(DigramRhsTest, CanonicalFormChain) {
+  DigramShape shape;
+  bool swapped;
+  ASSERT_TRUE(ComputeDigramShape(MakeEdge(0, {10, 11}), MakeEdge(1, {11, 12}),
+                                 ExternalSet({10, 12}), &shape, &swapped));
+  Hypergraph rhs = BuildDigramRhs(shape);
+  EXPECT_EQ(rhs.num_nodes(), 3u);
+  ASSERT_EQ(rhs.ext().size(), 2u);
+  EXPECT_EQ(rhs.ext()[0], 0u);
+  EXPECT_EQ(rhs.ext()[1], 1u);
+  ASSERT_EQ(rhs.num_edges(), 2u);
+  // Rule application must reproduce the chain: one edge enters the
+  // internal node (id 2), the other leaves it.
+  const HEdge* in_edge = nullptr;
+  const HEdge* out_edge = nullptr;
+  for (const auto& e : rhs.edges()) {
+    if (e.att[1] == 2) in_edge = &e;
+    if (e.att[0] == 2) out_edge = &e;
+  }
+  ASSERT_NE(in_edge, nullptr);
+  ASSERT_NE(out_edge, nullptr);
+  EXPECT_EQ(in_edge->label, 0u);
+  EXPECT_EQ(out_edge->label, 1u);
+}
+
+TEST(DigramRhsTest, MapOccurrenceNodesMatchesRhs) {
+  // Star pair: hub external, two leaves internal.
+  HEdge a = MakeEdge(0, {7, 20});
+  HEdge b = MakeEdge(0, {7, 30});
+  DigramShape shape;
+  bool swapped;
+  ASSERT_TRUE(ComputeDigramShape(a, b, ExternalSet({7}), &shape, &swapped));
+  EXPECT_EQ(shape.NumExternal(), 1);
+  EXPECT_EQ(shape.NumInternal(), 2);
+
+  std::vector<NodeId> attachment, removal;
+  const auto& att0 = swapped ? b.att : a.att;
+  const auto& att1 = swapped ? a.att : b.att;
+  MapOccurrenceNodes(shape, att0, att1, &attachment, &removal);
+  EXPECT_EQ(attachment, (std::vector<NodeId>{7}));
+  ASSERT_EQ(removal.size(), 2u);
+  EXPECT_TRUE((removal[0] == 20 && removal[1] == 30) ||
+              (removal[0] == 30 && removal[1] == 20));
+}
+
+TEST(DigramRhsTest, HyperedgePair) {
+  // Rank-3 hyperedge sharing two nodes with a rank-2 edge.
+  HEdge h = MakeEdge(2, {1, 2, 3});
+  HEdge e = MakeEdge(0, {3, 1});
+  DigramShape shape;
+  bool swapped;
+  ASSERT_TRUE(
+      ComputeDigramShape(h, e, ExternalSet({1, 2}), &shape, &swapped));
+  EXPECT_EQ(shape.NumNodes(), 3);
+  EXPECT_EQ(shape.shared.size(), 2u);
+  EXPECT_EQ(shape.NumExternal(), 2);
+  Hypergraph rhs = BuildDigramRhs(shape);
+  EXPECT_EQ(rhs.num_nodes(), 3u);
+  EXPECT_EQ(rhs.ext().size(), 2u);
+  // Total size: 3 nodes + hyperedge (3) + simple edge (1).
+  EXPECT_EQ(rhs.TotalSize(), 7u);
+}
+
+TEST(DigramShapeTest, HashEqualForEqualShapes) {
+  auto ext = ExternalSet({0, 2});
+  DigramShape s1, s2;
+  bool sw;
+  ASSERT_TRUE(ComputeDigramShape(MakeEdge(0, {0, 1}), MakeEdge(1, {1, 2}),
+                                 ext, &s1, &sw));
+  ASSERT_TRUE(ComputeDigramShape(MakeEdge(1, {5, 6}), MakeEdge(0, {4, 5}),
+                                 ExternalSet({4, 6}), &s2, &sw));
+  EXPECT_TRUE(s1 == s2);  // same digram at different nodes
+  EXPECT_EQ(DigramShapeHash()(s1), DigramShapeHash()(s2));
+}
+
+}  // namespace
+}  // namespace grepair

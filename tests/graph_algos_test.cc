@@ -1,0 +1,113 @@
+// Unit tests for the graph-algorithm substrates: connected components
+// over hyperedges, traversal orders, directed reachability and Tarjan
+// SCC (the skeleton-graph building block of Theorem 6).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/graph/graph_algos.h"
+
+namespace grepair {
+namespace {
+
+TEST(ConnectedComponentsTest, HyperedgeConnectsAllAttachments) {
+  Hypergraph g(6);
+  g.AddEdge(0, {0, 1, 2});  // one rank-3 hyperedge
+  g.AddSimpleEdge(3, 4, 1);
+  uint32_t n = 0;
+  auto comp = ConnectedComponents(g, &n);
+  EXPECT_EQ(n, 3u);  // {0,1,2}, {3,4}, {5}
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[1], comp[2]);
+  EXPECT_EQ(comp[3], comp[4]);
+  EXPECT_NE(comp[0], comp[3]);
+  EXPECT_NE(comp[0], comp[5]);
+  EXPECT_NE(comp[3], comp[5]);
+}
+
+TEST(TraversalTest, BfsCoversAllNodesOnce) {
+  Hypergraph g(7);
+  g.AddSimpleEdge(0, 1, 0);
+  g.AddSimpleEdge(1, 2, 0);
+  g.AddSimpleEdge(4, 5, 0);  // second component; 3 and 6 isolated
+  auto order = BfsOrder(g);
+  ASSERT_EQ(order.size(), 7u);
+  std::vector<NodeId> sorted = order;
+  std::sort(sorted.begin(), sorted.end());
+  for (NodeId v = 0; v < 7; ++v) EXPECT_EQ(sorted[v], v);
+  // BFS from node 0 visits 0,1 before 2.
+  auto pos = [&](NodeId v) {
+    return std::find(order.begin(), order.end(), v) - order.begin();
+  };
+  EXPECT_LT(pos(0), pos(1));
+  EXPECT_LT(pos(1), pos(2));
+}
+
+TEST(TraversalTest, DfsIsPermutation) {
+  Hypergraph g(5);
+  g.AddSimpleEdge(0, 1, 0);
+  g.AddSimpleEdge(0, 2, 0);
+  g.AddSimpleEdge(2, 3, 0);
+  auto order = DfsOrder(g);
+  std::vector<NodeId> sorted = order;
+  std::sort(sorted.begin(), sorted.end());
+  ASSERT_EQ(sorted.size(), 5u);
+  for (NodeId v = 0; v < 5; ++v) EXPECT_EQ(sorted[v], v);
+}
+
+TEST(ReachabilityTest, FollowsDirection) {
+  Hypergraph g(4);
+  g.AddSimpleEdge(0, 1, 0);
+  g.AddSimpleEdge(1, 2, 0);
+  g.AddSimpleEdge(3, 2, 0);
+  auto reach = DirectedReachable(g, 0);
+  EXPECT_TRUE(reach[0]);
+  EXPECT_TRUE(reach[1]);
+  EXPECT_TRUE(reach[2]);
+  EXPECT_FALSE(reach[3]);
+}
+
+TEST(SccTest, CycleAndTail) {
+  // 0 -> 1 -> 2 -> 0 cycle, 2 -> 3 tail.
+  std::vector<std::vector<NodeId>> adj{{1}, {2}, {0, 3}, {}};
+  auto scc = TarjanScc(adj);
+  EXPECT_EQ(scc.num_components, 2u);
+  EXPECT_EQ(scc.comp[0], scc.comp[1]);
+  EXPECT_EQ(scc.comp[1], scc.comp[2]);
+  EXPECT_NE(scc.comp[0], scc.comp[3]);
+  // Reverse topological numbering: edge 2->3 implies comp[2] >= comp[3].
+  EXPECT_GE(scc.comp[2], scc.comp[3]);
+}
+
+TEST(SccTest, DagGivesSingletons) {
+  std::vector<std::vector<NodeId>> adj{{1, 2}, {3}, {3}, {}};
+  auto scc = TarjanScc(adj);
+  EXPECT_EQ(scc.num_components, 4u);
+  EXPECT_GE(scc.comp[0], scc.comp[1]);
+  EXPECT_GE(scc.comp[1], scc.comp[3]);
+}
+
+TEST(SccTest, DeepChainDoesNotOverflow) {
+  // 20k-node chain: the iterative implementation must not recurse.
+  const uint32_t n = 20000;
+  std::vector<std::vector<NodeId>> adj(n);
+  for (uint32_t i = 0; i + 1 < n; ++i) adj[i].push_back(i + 1);
+  auto scc = TarjanScc(adj);
+  EXPECT_EQ(scc.num_components, n);
+}
+
+TEST(DegreeStatsTest, Summary) {
+  Hypergraph g(4);
+  g.AddSimpleEdge(0, 1, 0);
+  g.AddSimpleEdge(0, 2, 0);
+  g.AddSimpleEdge(0, 3, 0);
+  auto stats = ComputeDegreeStats(g);
+  EXPECT_EQ(stats.max_degree, 3u);
+  EXPECT_EQ(stats.min_degree, 1u);
+  EXPECT_DOUBLE_EQ(stats.mean_degree, 6.0 / 4.0);
+}
+
+}  // namespace
+}  // namespace grepair

@@ -1,0 +1,125 @@
+// Unit tests for the hypergraph core: size metrics of Section II,
+// validation of restrictions (1)-(3), and simple-graph construction.
+
+#include <gtest/gtest.h>
+
+#include "src/graph/hypergraph.h"
+
+namespace grepair {
+namespace {
+
+Alphabet TwoLabels() {
+  Alphabet a;
+  a.Add("a", 2);
+  a.Add("b", 2);
+  return a;
+}
+
+TEST(HypergraphTest, SizeMetricsFollowPaper) {
+  // |g|_E counts 1 per rank<=2 edge and rank(e) per hyperedge.
+  Alphabet alpha;
+  alpha.Add("a", 2);
+  alpha.Add("u", 1);
+  alpha.Add("H", 3);
+  Hypergraph g(4);
+  g.AddSimpleEdge(0, 1, 0);
+  g.AddEdge(1, {2});
+  g.AddEdge(2, {0, 2, 3});
+  EXPECT_EQ(g.NodeSize(), 4u);
+  EXPECT_EQ(g.EdgeSize(), 1u + 1u + 3u);
+  EXPECT_EQ(g.TotalSize(), 9u);
+  EXPECT_TRUE(g.Validate(alpha).ok());
+}
+
+TEST(HypergraphTest, ValidateRejectsRankMismatch) {
+  Alphabet alpha = TwoLabels();
+  Hypergraph g(3);
+  g.AddEdge(0, {0, 1, 2});  // label "a" has rank 2
+  EXPECT_FALSE(g.Validate(alpha).ok());
+}
+
+TEST(HypergraphTest, ValidateRejectsRepeatedAttachment) {
+  Alphabet alpha = TwoLabels();
+  Hypergraph g(2);
+  g.AddEdge(0, {1, 1});  // restriction (1)
+  EXPECT_FALSE(g.Validate(alpha).ok());
+}
+
+TEST(HypergraphTest, ValidateRejectsRepeatedExternal) {
+  Alphabet alpha = TwoLabels();
+  Hypergraph g(2);
+  g.AddSimpleEdge(0, 1, 0);
+  g.SetExternal({0, 0});  // restriction (2)
+  EXPECT_FALSE(g.Validate(alpha).ok());
+}
+
+TEST(HypergraphTest, ValidateRejectsMissingNode) {
+  Alphabet alpha = TwoLabels();
+  Hypergraph g(2);
+  g.AddSimpleEdge(0, 5, 0);
+  EXPECT_FALSE(g.Validate(alpha).ok());
+}
+
+TEST(HypergraphTest, IsSimple) {
+  Hypergraph g(3);
+  g.AddSimpleEdge(0, 1, 0);
+  g.AddSimpleEdge(1, 0, 0);  // opposite direction: fine
+  g.AddSimpleEdge(0, 1, 1);  // other label: fine
+  EXPECT_TRUE(g.IsSimple());
+  g.AddSimpleEdge(0, 1, 0);  // exact duplicate
+  EXPECT_FALSE(g.IsSimple());
+}
+
+TEST(HypergraphTest, BuildSimpleGraphFiltersLoopsAndDuplicates) {
+  Hypergraph g = BuildSimpleGraph(
+      4, {{0, 1, 0}, {1, 1, 0}, {0, 1, 0}, {0, 1, 1}, {2, 3, 0}});
+  EXPECT_EQ(g.num_edges(), 3u);  // loop and duplicate dropped
+  EXPECT_TRUE(g.IsSimple());
+}
+
+TEST(HypergraphTest, EqualUpToEdgeOrder) {
+  Hypergraph g(3), h(3);
+  g.AddSimpleEdge(0, 1, 0);
+  g.AddSimpleEdge(1, 2, 1);
+  h.AddSimpleEdge(1, 2, 1);
+  h.AddSimpleEdge(0, 1, 0);
+  EXPECT_TRUE(g.EqualUpToEdgeOrder(h));
+  EXPECT_FALSE(g == h);  // order differs
+  h.AddSimpleEdge(2, 0, 0);
+  EXPECT_FALSE(g.EqualUpToEdgeOrder(h));
+}
+
+TEST(HypergraphTest, IncidenceAndDegrees) {
+  Hypergraph g(4);
+  g.AddSimpleEdge(0, 1, 0);
+  g.AddEdge(0, {1, 2});
+  auto inc = g.BuildIncidence();
+  EXPECT_EQ(inc[0].size(), 1u);
+  EXPECT_EQ(inc[1].size(), 2u);
+  EXPECT_EQ(inc[3].size(), 0u);
+  auto deg = g.Degrees();
+  EXPECT_EQ(deg[1], 2u);
+  EXPECT_EQ(deg[3], 0u);
+}
+
+TEST(HypergraphTest, RemoveEdgesIf) {
+  Hypergraph g(3);
+  g.AddSimpleEdge(0, 1, 0);
+  g.AddSimpleEdge(1, 2, 1);
+  g.AddSimpleEdge(2, 0, 0);
+  g.RemoveEdgesIf([](const HEdge& e) { return e.label == 0; });
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.edge(0).label, 1u);
+  EXPECT_EQ(g.num_nodes(), 3u);  // nodes untouched
+}
+
+TEST(HypergraphTest, ExternalNodesAndRank) {
+  Hypergraph g(3);
+  g.AddSimpleEdge(0, 1, 0);
+  g.SetExternal({2, 0});
+  EXPECT_EQ(g.rank(), 2);
+  EXPECT_FALSE(g.AllNodesExternal());
+}
+
+}  // namespace
+}  // namespace grepair

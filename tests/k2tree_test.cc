@@ -1,0 +1,189 @@
+// k^2-tree tests: membership/neighbor queries against brute force over
+// random matrices (parameterized over k and density), edge cases, and
+// serialization round trips.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "src/k2tree/bitvector.h"
+#include "src/k2tree/k2tree.h"
+#include "src/util/rng.h"
+
+namespace grepair {
+namespace {
+
+TEST(RankBitVectorTest, RankMatchesBruteForce) {
+  Rng rng(3);
+  RankBitVector bv;
+  std::vector<bool> bits;
+  for (int i = 0; i < 5000; ++i) {
+    bool b = rng.Bernoulli(0.3);
+    bits.push_back(b);
+    bv.PushBack(b);
+  }
+  bv.Finalize();
+  size_t ones = 0;
+  for (size_t i = 0; i < bits.size(); ++i) {
+    ASSERT_EQ(bv.Rank1(i), ones) << "at " << i;
+    if (bits[i]) ++ones;
+    ASSERT_EQ(bv.Get(i), bits[i]);
+  }
+  EXPECT_EQ(bv.Rank1(bits.size()), ones);
+  EXPECT_EQ(bv.num_ones(), ones);
+}
+
+TEST(RankBitVectorTest, FromWordsRoundTrip) {
+  RankBitVector bv;
+  for (int i = 0; i < 130; ++i) bv.PushBack(i % 3 == 0);
+  bv.Finalize();
+  RankBitVector copy = RankBitVector::FromWords(bv.words(), bv.size());
+  EXPECT_EQ(copy.size(), bv.size());
+  for (size_t i = 0; i < bv.size(); ++i) EXPECT_EQ(copy.Get(i), bv.Get(i));
+  EXPECT_EQ(copy.Rank1(100), bv.Rank1(100));
+}
+
+struct K2Param {
+  int k;
+  uint32_t rows, cols;
+  double density;
+};
+
+class K2TreeRandom : public ::testing::TestWithParam<K2Param> {};
+
+TEST_P(K2TreeRandom, MatchesBruteForce) {
+  const K2Param p = GetParam();
+  Rng rng(static_cast<uint64_t>(p.k) * 1000 + p.rows + p.cols);
+  std::set<std::pair<uint32_t, uint32_t>> truth;
+  uint64_t target = static_cast<uint64_t>(p.rows * p.cols * p.density);
+  while (truth.size() < target) {
+    truth.insert({static_cast<uint32_t>(rng.UniformBounded(p.rows)),
+                  static_cast<uint32_t>(rng.UniformBounded(p.cols))});
+  }
+  std::vector<std::pair<uint32_t, uint32_t>> cells(truth.begin(),
+                                                   truth.end());
+  K2Tree tree = K2Tree::Build(p.rows, p.cols, cells, p.k);
+  EXPECT_EQ(tree.num_cells(), truth.size());
+
+  // Membership on a sample plus all true cells.
+  for (const auto& c : cells) {
+    ASSERT_TRUE(tree.Contains(c.first, c.second));
+  }
+  for (int i = 0; i < 500; ++i) {
+    uint32_t r = static_cast<uint32_t>(rng.UniformBounded(p.rows));
+    uint32_t c = static_cast<uint32_t>(rng.UniformBounded(p.cols));
+    ASSERT_EQ(tree.Contains(r, c), truth.count({r, c}) > 0)
+        << r << "," << c;
+  }
+
+  // Row/column reporting.
+  for (uint32_t r = 0; r < std::min<uint32_t>(p.rows, 40); ++r) {
+    std::vector<uint32_t> expected;
+    for (const auto& c : cells) {
+      if (c.first == r) expected.push_back(c.second);
+    }
+    auto got = tree.RowNeighbors(r);
+    std::sort(got.begin(), got.end());
+    ASSERT_EQ(got, expected) << "row " << r;
+  }
+  for (uint32_t c = 0; c < std::min<uint32_t>(p.cols, 40); ++c) {
+    std::vector<uint32_t> expected;
+    for (const auto& cell : cells) {
+      if (cell.second == c) expected.push_back(cell.first);
+    }
+    auto got = tree.ColNeighbors(c);
+    std::sort(got.begin(), got.end());
+    ASSERT_EQ(got, expected) << "col " << c;
+  }
+
+  // Full reconstruction.
+  EXPECT_EQ(tree.AllCells(), cells);
+
+  // Serialization round trip.
+  BitWriter w;
+  tree.Serialize(&w);
+  auto bytes = w.TakeBytes();
+  BitReader r(bytes);
+  auto back = K2Tree::Deserialize(&r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().AllCells(), cells);
+  EXPECT_EQ(back.value().num_rows(), p.rows);
+  EXPECT_EQ(back.value().num_cols(), p.cols);
+  EXPECT_EQ(back.value().StorageBits(), tree.StorageBits());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, K2TreeRandom,
+    ::testing::Values(K2Param{2, 64, 64, 0.05}, K2Param{2, 100, 100, 0.02},
+                      K2Param{2, 1000, 1000, 0.002},
+                      K2Param{2, 37, 91, 0.05},  // rectangular
+                      K2Param{3, 81, 81, 0.03}, K2Param{4, 256, 256, 0.01},
+                      K2Param{2, 5, 5, 0.5},     // tiny and dense
+                      K2Param{2, 1, 8, 0.5}),    // single row
+    [](const auto& info) {
+      return "k" + std::to_string(info.param.k) + "_" +
+             std::to_string(info.param.rows) + "x" +
+             std::to_string(info.param.cols) + "_d" +
+             std::to_string(static_cast<int>(info.param.density * 1000));
+    });
+
+TEST(K2TreeTest, EmptyMatrix) {
+  K2Tree tree = K2Tree::Build(10, 10, {});
+  EXPECT_EQ(tree.num_cells(), 0u);
+  EXPECT_FALSE(tree.Contains(3, 3));
+  EXPECT_TRUE(tree.RowNeighbors(3).empty());
+  EXPECT_TRUE(tree.AllCells().empty());
+  BitWriter w;
+  tree.Serialize(&w);
+  auto bytes = w.TakeBytes();
+  BitReader r(bytes);
+  auto back = K2Tree::Deserialize(&r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().num_cells(), 0u);
+}
+
+TEST(K2TreeTest, SingleCell) {
+  K2Tree tree = K2Tree::Build(1000, 1000, {{999, 0}});
+  EXPECT_TRUE(tree.Contains(999, 0));
+  EXPECT_FALSE(tree.Contains(0, 999));
+  EXPECT_EQ(tree.RowNeighbors(999), std::vector<uint32_t>{0});
+  EXPECT_EQ(tree.ColNeighbors(0), std::vector<uint32_t>{999});
+}
+
+TEST(K2TreeTest, DuplicateCellsMerged) {
+  K2Tree tree = K2Tree::Build(8, 8, {{1, 2}, {1, 2}, {1, 2}});
+  EXPECT_EQ(tree.num_cells(), 1u);
+}
+
+TEST(K2TreeTest, FullMatrixDense) {
+  std::vector<std::pair<uint32_t, uint32_t>> cells;
+  for (uint32_t r = 0; r < 8; ++r) {
+    for (uint32_t c = 0; c < 8; ++c) cells.push_back({r, c});
+  }
+  K2Tree tree = K2Tree::Build(8, 8, cells);
+  EXPECT_EQ(tree.num_cells(), 64u);
+  EXPECT_EQ(tree.AllCells().size(), 64u);
+  for (uint32_t r = 0; r < 8; ++r) {
+    EXPECT_EQ(tree.RowNeighbors(r).size(), 8u);
+  }
+}
+
+TEST(K2TreeTest, SparseStarIsSmall) {
+  // A star row: structure bits should be near-linear in cells, far
+  // below the 4M-bit dense matrix.
+  std::vector<std::pair<uint32_t, uint32_t>> cells;
+  for (uint32_t c = 0; c < 100; ++c) cells.push_back({0, c * 17 % 2048});
+  K2Tree tree = K2Tree::Build(2048, 2048, cells);
+  EXPECT_LT(tree.StorageBits(), 6000u);
+}
+
+TEST(K2TreeTest, DeserializeGarbageFails) {
+  std::vector<uint8_t> garbage = {0x00, 0x00, 0x00};
+  BitReader r(garbage);
+  auto res = K2Tree::Deserialize(&r);
+  EXPECT_FALSE(res.ok());
+}
+
+}  // namespace
+}  // namespace grepair

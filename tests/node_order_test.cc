@@ -1,0 +1,164 @@
+// Tests for the node orders of Section III-B1, including the paper's
+// Figure 8 FP-refinement example.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/graph/node_order.h"
+
+namespace grepair {
+namespace {
+
+// Figure 8 of the paper: an undirected 4-node graph whose degree
+// coloring is (1,1,3,2)-ish and refines to 4 distinct classes after one
+// iteration. We model undirected edges as two directed labeled edges?
+// No - the figure is unlabeled/undirected; a faithful encoding that
+// keeps the degree structure is a single label with both directions
+// merged into incident-edge tuples. We instead check the invariant the
+// figure demonstrates: the center of a star refines away from leaves,
+// and a path's ends split from its middle.
+TEST(FpRefinementTest, Figure8LikePathStar) {
+  // Graph: leaves 0,1 attach to center 2; 2 attaches to 3 (figure's
+  // shape: degrees 1,1,3,2 after adding edge 3->0? Use the exact figure:
+  // center c with neighbors {a, b, d}, and d-e edge.
+  //      0   1
+  //       \ /
+  //        2 --- 3
+  // degrees: 1,1,3,1 -> classes {0,1,3}, {2}; after refinement leaves
+  // 0,1 (neighbor color of degree-3 node) split from 3? No: 3's only
+  // neighbor is also node 2. So 0,1,3 stay equivalent: 3 classes total?
+  // 0,1,3 all have signature (deg 1, neighbor 2): 2 classes.
+  Hypergraph g(4);
+  g.AddSimpleEdge(0, 2, 0);
+  g.AddSimpleEdge(1, 2, 0);
+  g.AddSimpleEdge(2, 3, 0);
+  auto fp = ComputeFpRefinement(g);
+  // 0 and 1 are genuinely isomorphic (both point into 2).
+  EXPECT_EQ(fp.colors[0], fp.colors[1]);
+  // 3 differs: its edge arrives from 2 (direction differs).
+  EXPECT_NE(fp.colors[3], fp.colors[0]);
+  EXPECT_NE(fp.colors[2], fp.colors[0]);
+  EXPECT_EQ(fp.num_classes, 3u);
+}
+
+TEST(FpRefinementTest, PaperFigure8Undirected) {
+  // The figure's exact graph, edges made symmetric (undirected):
+  // nodes: a(deg1) b(deg1) attached to c(deg3); c attached to d(deg2);
+  // d attached to e(deg1). Start colors (degrees): a=1,b=1,e=1, d=2,
+  // c=3. After one refinement e (neighbor d) splits from a,b
+  // (neighbor c). That matches the figure's final coloring with 4
+  // classes: {a,b}, {e}, {d}, {c}.
+  Hypergraph g(5);
+  auto undirected = [&](NodeId u, NodeId v) {
+    g.AddSimpleEdge(u, v, 0);
+    g.AddSimpleEdge(v, u, 0);
+  };
+  undirected(0, 2);  // a-c
+  undirected(1, 2);  // b-c
+  undirected(2, 3);  // c-d
+  undirected(3, 4);  // d-e
+  auto fp = ComputeFpRefinement(g);
+  EXPECT_EQ(fp.colors[0], fp.colors[1]);
+  EXPECT_NE(fp.colors[4], fp.colors[0]);
+  EXPECT_EQ(fp.num_classes, 4u);
+}
+
+TEST(FpRefinementTest, VertexTransitiveGraphHasOneClass) {
+  // Directed cycle: every node is equivalent.
+  const uint32_t n = 12;
+  Hypergraph g(n);
+  for (uint32_t v = 0; v < n; ++v) g.AddSimpleEdge(v, (v + 1) % n, 0);
+  auto fp = ComputeFpRefinement(g);
+  EXPECT_EQ(fp.num_classes, 1u);
+}
+
+TEST(FpRefinementTest, DisjointCopiesShareClasses) {
+  // Two copies of the same structure: classes must not double.
+  Hypergraph g(8);
+  auto add = [&](NodeId base) {
+    g.AddSimpleEdge(base + 0, base + 1, 0);
+    g.AddSimpleEdge(base + 1, base + 2, 0);
+    g.AddSimpleEdge(base + 2, base + 3, 1);
+  };
+  add(0);
+  add(4);
+  auto fp = ComputeFpRefinement(g);
+  for (NodeId v = 0; v < 4; ++v) {
+    EXPECT_EQ(fp.colors[v], fp.colors[v + 4]) << "node " << v;
+  }
+  EXPECT_EQ(fp.num_classes, 4u);
+}
+
+TEST(FpRefinementTest, LabelsRefine) {
+  // Same topology, different labels must separate nodes.
+  Hypergraph g(4);
+  g.AddSimpleEdge(0, 1, 0);
+  g.AddSimpleEdge(2, 3, 1);
+  auto fp = ComputeFpRefinement(g);
+  EXPECT_NE(fp.colors[0], fp.colors[2]);
+  EXPECT_NE(fp.colors[1], fp.colors[3]);
+}
+
+TEST(FpRefinementTest, PathSplitsToFixpoint) {
+  // Directed path of 7 nodes: FP distinguishes positions pairwise
+  // (7 classes), which plain degree (FP0) cannot (3 classes).
+  Hypergraph g(7);
+  for (uint32_t v = 0; v + 1 < 7; ++v) g.AddSimpleEdge(v, v + 1, 0);
+  auto fp = ComputeFpRefinement(g);
+  EXPECT_EQ(fp.num_classes, 7u);
+  EXPECT_GE(fp.iterations, 2);
+}
+
+class OrderPermutation : public ::testing::TestWithParam<NodeOrderKind> {};
+
+TEST_P(OrderPermutation, IsPermutation) {
+  Hypergraph g(9);
+  g.AddSimpleEdge(0, 1, 0);
+  g.AddSimpleEdge(1, 2, 0);
+  g.AddSimpleEdge(3, 4, 1);
+  g.AddEdge(0, {5, 6});
+  auto order = ComputeNodeOrder(g, GetParam(), 7);
+  ASSERT_EQ(order.size(), 9u);
+  std::vector<NodeId> sorted = order;
+  std::sort(sorted.begin(), sorted.end());
+  for (NodeId v = 0; v < 9; ++v) EXPECT_EQ(sorted[v], v);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, OrderPermutation,
+    ::testing::Values(NodeOrderKind::kNatural, NodeOrderKind::kBfs,
+                      NodeOrderKind::kDfs, NodeOrderKind::kRandom,
+                      NodeOrderKind::kFp0, NodeOrderKind::kFp),
+    [](const auto& info) { return NodeOrderKindName(info.param); });
+
+TEST(NodeOrderTest, Fp0SortsByDegree) {
+  Hypergraph g(4);
+  g.AddSimpleEdge(0, 1, 0);
+  g.AddSimpleEdge(0, 2, 0);
+  g.AddSimpleEdge(0, 3, 0);
+  auto order = ComputeNodeOrder(g, NodeOrderKind::kFp0);
+  EXPECT_EQ(order.back(), 0u);  // the hub has the highest degree
+}
+
+TEST(NodeOrderTest, ParseNames) {
+  NodeOrderKind kind;
+  EXPECT_TRUE(ParseNodeOrderKind("fp", &kind));
+  EXPECT_EQ(kind, NodeOrderKind::kFp);
+  EXPECT_TRUE(ParseNodeOrderKind("bfs", &kind));
+  EXPECT_FALSE(ParseNodeOrderKind("nope", &kind));
+  EXPECT_EQ(NodeOrderKindName(NodeOrderKind::kFp0), "fp0");
+}
+
+TEST(NodeOrderTest, RandomOrderSeedDependent) {
+  Hypergraph g(64);
+  for (uint32_t v = 0; v + 1 < 64; ++v) g.AddSimpleEdge(v, v + 1, 0);
+  auto a = ComputeNodeOrder(g, NodeOrderKind::kRandom, 1);
+  auto b = ComputeNodeOrder(g, NodeOrderKind::kRandom, 2);
+  auto c = ComputeNodeOrder(g, NodeOrderKind::kRandom, 1);
+  EXPECT_EQ(a, c);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace grepair

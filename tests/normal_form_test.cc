@@ -1,0 +1,148 @@
+// Tests for the Chomsky normal form transformation (Section V /
+// Proposition 5): every rhs ends with at most two edges and val(G) is
+// preserved (isomorphism via WL hash, exact node/edge counts).
+
+#include <gtest/gtest.h>
+
+#include "src/datasets/generators.h"
+#include "src/grammar/normal_form.h"
+#include "src/graph/wl_hash.h"
+#include "src/grepair/compressor.h"
+
+namespace grepair {
+namespace {
+
+void CheckNormalized(const SlhrGrammar& grammar,
+                     const NormalFormOptions& options) {
+  for (uint32_t j = 0; j < grammar.num_rules(); ++j) {
+    EXPECT_LE(grammar.rhs_by_index(j).num_edges(), options.max_edges)
+        << "rule " << j;
+  }
+  if (options.max_edges_start >= 2) {
+    EXPECT_LE(grammar.start().num_edges(), options.max_edges_start);
+  }
+}
+
+TEST(NormalFormTest, SplitsWideRule) {
+  // One rule with a 6-edge chain rhs.
+  Alphabet alpha;
+  alpha.Add("a", 2);
+  SlhrGrammar g(alpha, Hypergraph(2));
+  Label nt = g.AddNonterminal(2, "A");
+  Hypergraph rhs(7);
+  for (uint32_t i = 0; i < 6; ++i) {
+    rhs.AddSimpleEdge(i == 0 ? 0 : i + 1, i == 5 ? 1 : i + 2, 0);
+  }
+  rhs.SetExternal({0, 1});
+  g.SetRule(nt, std::move(rhs));
+  g.mutable_start()->AddEdge(nt, {0, 1});
+  g.mutable_start()->AddEdge(nt, {1, 0});
+  ASSERT_TRUE(g.Validate().ok());
+  auto before = Derive(g);
+  ASSERT_TRUE(before.ok());
+
+  auto stats = NormalizeGrammar(&g);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  ASSERT_TRUE(g.Validate().ok()) << g.Validate().ToString();
+  CheckNormalized(g, NormalFormOptions());
+  EXPECT_GT(stats.value().rules_after, stats.value().rules_before);
+
+  auto after = Derive(g);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.value().num_nodes(), before.value().num_nodes());
+  EXPECT_EQ(after.value().num_edges(), before.value().num_edges());
+  EXPECT_EQ(WlHash(after.value()), WlHash(before.value()));
+}
+
+TEST(NormalFormTest, AlreadyNormalIsUntouched) {
+  Alphabet alpha;
+  alpha.Add("a", 2);
+  SlhrGrammar g(alpha, Hypergraph(2));
+  Label nt = g.AddNonterminal(2, "A");
+  Hypergraph rhs(3);
+  rhs.AddSimpleEdge(0, 2, 0);
+  rhs.AddSimpleEdge(2, 1, 0);
+  rhs.SetExternal({0, 1});
+  g.SetRule(nt, std::move(rhs));
+  g.mutable_start()->AddEdge(nt, {0, 1});
+  auto stats = NormalizeGrammar(&g);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().rules_after, stats.value().rules_before);
+}
+
+TEST(NormalFormTest, RejectsTooSmallLimit) {
+  Alphabet alpha;
+  alpha.Add("a", 2);
+  SlhrGrammar g(alpha, Hypergraph(1));
+  NormalFormOptions options;
+  options.max_edges = 1;
+  EXPECT_FALSE(NormalizeGrammar(&g, options).ok());
+}
+
+class NormalFormSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(NormalFormSweep, PreservesValOnCompressedGrammars) {
+  std::string which = GetParam();
+  GeneratedGraph gg;
+  if (which == "coauth") gg = CoAuthorship(150, 220, 71);
+  if (which == "rdf") gg = RdfTypes(500, 10, 72);
+  if (which == "games") gg = GamePositions(40, 8, 3, 5, 73);
+  if (which == "copies") {
+    gg = DisjointCopies(CycleWithDiagonal(), 64, "copies");
+  }
+  auto result = Compress(gg.graph, gg.alphabet, {});
+  ASSERT_TRUE(result.ok());
+  SlhrGrammar grammar = std::move(result.value().grammar);
+  auto before = Derive(grammar);
+  ASSERT_TRUE(before.ok());
+
+  auto stats = NormalizeGrammar(&grammar);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  ASSERT_TRUE(grammar.Validate().ok()) << grammar.Validate().ToString();
+  CheckNormalized(grammar, NormalFormOptions());
+
+  auto after = Derive(grammar);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.value().num_nodes(), before.value().num_nodes());
+  EXPECT_EQ(after.value().num_edges(), before.value().num_edges());
+  EXPECT_EQ(WlHash(after.value()), WlHash(before.value())) << which;
+}
+
+INSTANTIATE_TEST_SUITE_P(Graphs, NormalFormSweep,
+                         ::testing::Values("coauth", "rdf", "games",
+                                           "copies"));
+
+TEST(NormalFormTest, StartGraphSplitting) {
+  GeneratedGraph gg = DisjointCopies(CycleWithDiagonal(), 32, "copies");
+  auto result = Compress(gg.graph, gg.alphabet, {});
+  ASSERT_TRUE(result.ok());
+  SlhrGrammar grammar = std::move(result.value().grammar);
+  auto before = Derive(grammar);
+
+  NormalFormOptions options;
+  options.max_edges_start = 2;
+  auto stats = NormalizeGrammar(&grammar, options);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  ASSERT_TRUE(grammar.Validate().ok());
+  EXPECT_LE(grammar.start().num_edges(), 2u);
+  auto after = Derive(grammar);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(WlHash(after.value()), WlHash(before.value()));
+}
+
+TEST(NormalFormTest, WiderLimit) {
+  GeneratedGraph gg = CoAuthorship(120, 200, 74);
+  auto result = Compress(gg.graph, gg.alphabet, {});
+  SlhrGrammar grammar = std::move(result.value().grammar);
+  auto before = Derive(grammar);
+  NormalFormOptions options;
+  options.max_edges = 4;
+  auto stats = NormalizeGrammar(&grammar, options);
+  ASSERT_TRUE(stats.ok());
+  CheckNormalized(grammar, options);
+  auto after = Derive(grammar);
+  EXPECT_EQ(WlHash(after.value()), WlHash(before.value()));
+}
+
+}  // namespace
+}  // namespace grepair

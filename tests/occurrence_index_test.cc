@@ -1,0 +1,125 @@
+// Direct tests for the occurrence index / priority queue substrate
+// (Section III-C1 data structures).
+
+#include <gtest/gtest.h>
+
+#include "src/grepair/occurrence_index.h"
+
+namespace grepair {
+namespace {
+
+DigramShape ShapeWithLabel(Label l0, Label l1) {
+  DigramShape s;
+  s.label0 = l0;
+  s.label1 = l1;
+  s.rank0 = 2;
+  s.rank1 = 2;
+  s.shared = {0x0100};  // pos1 of edge0 == pos0 of edge1
+  s.ext0 = 0b01;
+  s.ext1 = 0b10;
+  return s;
+}
+
+TEST(OccurrenceIndexTest, PopMaxReturnsMostFrequent) {
+  OccurrenceIndex index(100);
+  DigramShape a = ShapeWithLabel(0, 1);
+  DigramShape b = ShapeWithLabel(0, 2);
+  // a: 3 occurrences, b: 2.
+  index.Add(a, 0, 1);
+  index.Add(a, 2, 3);
+  index.Add(a, 4, 5);
+  index.Add(b, 6, 7);
+  index.Add(b, 8, 9);
+  DigramId top = index.PopMaxDigram();
+  ASSERT_NE(top, kInvalidDigram);
+  EXPECT_TRUE(index.digram(top).shape == a);
+  EXPECT_EQ(index.digram(top).count, 3u);
+  DigramId second = index.PopMaxDigram();
+  EXPECT_TRUE(index.digram(second).shape == b);
+  EXPECT_EQ(index.PopMaxDigram(), kInvalidDigram);
+}
+
+TEST(OccurrenceIndexTest, SingletonsNeverPop) {
+  OccurrenceIndex index(100);
+  index.Add(ShapeWithLabel(0, 1), 0, 1);
+  EXPECT_EQ(index.PopMaxDigram(), kInvalidDigram);
+}
+
+TEST(OccurrenceIndexTest, RemovalDemotesDigram) {
+  OccurrenceIndex index(100);
+  DigramShape a = ShapeWithLabel(0, 1);
+  OccId o1 = index.Add(a, 0, 1);
+  index.Add(a, 2, 3);
+  index.Remove(o1);
+  // Count dropped to 1: no active digram remains.
+  EXPECT_EQ(index.PopMaxDigram(), kInvalidDigram);
+}
+
+TEST(OccurrenceIndexTest, ReAddAfterDrainRevives) {
+  OccurrenceIndex index(100);
+  DigramShape a = ShapeWithLabel(3, 4);
+  OccId o1 = index.Add(a, 0, 1);
+  OccId o2 = index.Add(a, 2, 3);
+  index.Remove(o1);
+  index.Remove(o2);
+  EXPECT_EQ(index.PopMaxDigram(), kInvalidDigram);
+  index.Add(a, 4, 5);
+  index.Add(a, 6, 7);
+  DigramId top = index.PopMaxDigram();
+  ASSERT_NE(top, kInvalidDigram);
+  EXPECT_EQ(index.digram(top).count, 2u);
+}
+
+TEST(OccurrenceIndexTest, ListLinksSurviveMiddleRemoval) {
+  OccurrenceIndex index(100);
+  DigramShape a = ShapeWithLabel(0, 1);
+  index.Add(a, 0, 1);
+  OccId mid = index.Add(a, 2, 3);
+  index.Add(a, 4, 5);
+  index.Remove(mid);
+  DigramId top = index.PopMaxDigram();
+  ASSERT_NE(top, kInvalidDigram);
+  // Walk the list: must see exactly the two surviving occurrences.
+  int count = 0;
+  for (OccId o = index.FirstOccurrence(top); o != kInvalidOcc;
+       o = index.occ(o).next) {
+    ++count;
+    EXPECT_NE(index.occ(o).edge0, 2u);
+  }
+  EXPECT_EQ(count, 2);
+}
+
+TEST(OccurrenceIndexTest, TopBucketScansForTrueMax) {
+  // Bucket cap is sqrt(16) = 4: counts 5 and 7 land in the same top
+  // bucket; PopMax must still return the 7.
+  OccurrenceIndex index(16);
+  DigramShape a = ShapeWithLabel(0, 1);
+  DigramShape b = ShapeWithLabel(0, 2);
+  EdgeId e = 0;
+  for (int i = 0; i < 5; ++i, e += 2) index.Add(a, e, e + 1);
+  for (int i = 0; i < 7; ++i, e += 2) index.Add(b, e, e + 1);
+  DigramId top = index.PopMaxDigram();
+  EXPECT_TRUE(index.digram(top).shape == b);
+  EXPECT_EQ(index.digram(top).count, 7u);
+}
+
+TEST(OccurrenceIndexTest, OccurrenceArenaRecyclesSlots) {
+  OccurrenceIndex index(100);
+  DigramShape a = ShapeWithLabel(0, 1);
+  OccId o1 = index.Add(a, 0, 1);
+  index.Remove(o1);
+  OccId o2 = index.Add(a, 2, 3);
+  EXPECT_EQ(o1, o2);  // freed slot reused
+  EXPECT_EQ(index.total_occurrences_added(), 2u);
+}
+
+TEST(OccurrenceIndexTest, OtherEdgeHelper) {
+  Occurrence o;
+  o.edge0 = 10;
+  o.edge1 = 20;
+  EXPECT_EQ(o.other(10), 20u);
+  EXPECT_EQ(o.other(20), 10u);
+}
+
+}  // namespace
+}  // namespace grepair

@@ -1,0 +1,185 @@
+// Regular path queries over the grammar, verified against brute-force
+// product-automaton BFS on the materialized val(G).
+
+#include <gtest/gtest.h>
+
+#include "src/datasets/generators.h"
+#include "src/grepair/compressor.h"
+#include "src/query/path_queries.h"
+#include "src/util/rng.h"
+
+namespace grepair {
+namespace {
+
+// Brute force: BFS over (node, state) pairs of the explicit graph.
+bool BruteForceMatch(const Hypergraph& g, const LabelNfa& nfa, uint64_t from,
+                     uint64_t to) {
+  if (from == to && nfa.AcceptsEmpty()) return true;
+  const uint32_t q = nfa.num_states;
+  std::vector<std::vector<uint32_t>> adj(
+      static_cast<size_t>(g.num_nodes()) * q);
+  for (const auto& e : g.edges()) {
+    if (e.att.size() != 2) continue;
+    for (uint32_t s = 0; s < q; ++s) {
+      for (const auto& [label, t] : nfa.transitions[s]) {
+        if (label == kInvalidLabel || label == e.label) {
+          adj[e.att[0] * q + s].push_back(
+              static_cast<uint32_t>(e.att[1] * q + t));
+        }
+      }
+    }
+  }
+  std::vector<char> reached(adj.size(), 0);
+  std::vector<uint32_t> stack{static_cast<uint32_t>(from * q + nfa.start)};
+  reached[stack[0]] = 1;
+  while (!stack.empty()) {
+    uint32_t v = stack.back();
+    stack.pop_back();
+    for (uint32_t u : adj[v]) {
+      if (!reached[u]) {
+        reached[u] = 1;
+        stack.push_back(u);
+      }
+    }
+  }
+  for (uint32_t s = 0; s < q; ++s) {
+    if (nfa.accepting[s] && reached[to * q + s]) return true;
+  }
+  return false;
+}
+
+TEST(NfaTest, CompileSingleLabel) {
+  auto nfa = CompileNfa(PathExpr::Single(3));
+  EXPECT_FALSE(nfa.AcceptsEmpty());
+  EXPECT_GT(nfa.num_states, 0u);
+}
+
+TEST(NfaTest, StarAcceptsEmpty) {
+  auto nfa = CompileNfa(PathExpr::Star(PathExpr::Single(0)));
+  EXPECT_TRUE(nfa.AcceptsEmpty());
+  auto plus = CompileNfa(PathExpr::Plus(PathExpr::Single(0)));
+  EXPECT_FALSE(plus.AcceptsEmpty());
+}
+
+TEST(PathQueryTest, ChainOfAlternatingLabels) {
+  // a b a b ... chain; query "a b" must connect exactly stride-2 hops
+  // starting at even positions.
+  GeneratedGraph gg;
+  gg.alphabet.Add("a", 2);
+  gg.alphabet.Add("b", 2);
+  const uint32_t n = 64;
+  gg.graph = Hypergraph(n);
+  for (uint32_t v = 0; v + 1 < n; ++v) {
+    gg.graph.AddSimpleEdge(v, v + 1, v % 2);
+  }
+  auto result = Compress(gg.graph, gg.alphabet, {});
+  ASSERT_TRUE(result.ok());
+  const SlhrGrammar& grammar = result.value().grammar;
+  auto derived = Derive(grammar);
+  const Hypergraph& val = derived.value();
+
+  auto ab = CompileNfa(
+      PathExpr::Concat(PathExpr::Single(0), PathExpr::Single(1)));
+  PathQueryIndex index(grammar, ab);
+  int matches = 0;
+  for (uint64_t u = 0; u < val.num_nodes(); ++u) {
+    for (uint64_t v = 0; v < val.num_nodes(); ++v) {
+      bool got = index.Matches(u, v);
+      bool want = BruteForceMatch(val, ab, u, v);
+      ASSERT_EQ(got, want) << u << " -> " << v;
+      matches += got;
+    }
+  }
+  // Every even-position node except the last reaches exactly one node.
+  EXPECT_EQ(matches, static_cast<int>(n / 2 - 1));
+}
+
+TEST(PathQueryTest, AnyStarEqualsReachability) {
+  GeneratedGraph gg = ErdosRenyi(120, 360, 81, 2);
+  auto result = Compress(gg.graph, gg.alphabet, {});
+  const SlhrGrammar& grammar = result.value().grammar;
+  auto derived = Derive(grammar);
+  auto any_star = CompileNfa(PathExpr::Star(PathExpr::Any()));
+  PathQueryIndex index(grammar, any_star);
+  Rng rng(5);
+  for (int i = 0; i < 300; ++i) {
+    uint64_t u = rng.UniformBounded(derived.value().num_nodes());
+    uint64_t v = rng.UniformBounded(derived.value().num_nodes());
+    ASSERT_EQ(index.Matches(u, v),
+              BruteForceMatch(derived.value(), any_star, u, v))
+        << u << " -> " << v;
+  }
+}
+
+struct QueryCase {
+  const char* name;
+  std::shared_ptr<PathExpr> (*make)();
+};
+
+std::shared_ptr<PathExpr> MakeAStar() {
+  return PathExpr::Star(PathExpr::Single(0));
+}
+std::shared_ptr<PathExpr> MakeAPlusB() {
+  return PathExpr::Concat(PathExpr::Plus(PathExpr::Single(0)),
+                          PathExpr::Single(1));
+}
+std::shared_ptr<PathExpr> MakeAltStar() {
+  return PathExpr::Star(
+      PathExpr::Alt(PathExpr::Single(0), PathExpr::Single(1)));
+}
+std::shared_ptr<PathExpr> MakeAnyAnyA() {
+  return PathExpr::Concat(PathExpr::Concat(PathExpr::Any(), PathExpr::Any()),
+                          PathExpr::Single(0));
+}
+
+class PathQuerySweep : public ::testing::TestWithParam<QueryCase> {};
+
+TEST_P(PathQuerySweep, MatchesBruteForceOnRandomGraphs) {
+  auto expr = GetParam().make();
+  auto nfa = CompileNfa(expr);
+  for (uint64_t seed : {11ull, 12ull}) {
+    GeneratedGraph gg = ErdosRenyi(90, 280, seed, 3);
+    auto result = Compress(gg.graph, gg.alphabet, {});
+    ASSERT_TRUE(result.ok());
+    const SlhrGrammar& grammar = result.value().grammar;
+    auto derived = Derive(grammar);
+    PathQueryIndex index(grammar, nfa);
+    Rng rng(seed * 31);
+    for (int i = 0; i < 200; ++i) {
+      uint64_t u = rng.UniformBounded(derived.value().num_nodes());
+      uint64_t v = rng.UniformBounded(derived.value().num_nodes());
+      ASSERT_EQ(index.Matches(u, v),
+                BruteForceMatch(derived.value(), nfa, u, v))
+          << GetParam().name << ": " << u << " -> " << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Exprs, PathQuerySweep,
+    ::testing::Values(QueryCase{"a_star", &MakeAStar},
+                      QueryCase{"a_plus_b", &MakeAPlusB},
+                      QueryCase{"alt_star", &MakeAltStar},
+                      QueryCase{"any_any_a", &MakeAnyAnyA}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+TEST(PathQueryTest, VersionGraphLabeledPaths) {
+  // Game positions: labeled edges within repeated components.
+  GeneratedGraph gg = GamePositions(30, 8, 3, 4, 82);
+  auto result = Compress(gg.graph, gg.alphabet, {});
+  const SlhrGrammar& grammar = result.value().grammar;
+  auto derived = Derive(grammar);
+  auto nfa = CompileNfa(PathExpr::Concat(
+      PathExpr::Single(0), PathExpr::Star(PathExpr::Single(1))));
+  PathQueryIndex index(grammar, nfa);
+  Rng rng(9);
+  for (int i = 0; i < 250; ++i) {
+    uint64_t u = rng.UniformBounded(derived.value().num_nodes());
+    uint64_t v = rng.UniformBounded(derived.value().num_nodes());
+    ASSERT_EQ(index.Matches(u, v),
+              BruteForceMatch(derived.value(), nfa, u, v));
+  }
+}
+
+}  // namespace
+}  // namespace grepair

@@ -1,0 +1,187 @@
+// Pruning tests (Section III-A3): inlining preserves val(G) and the
+// node mapping, ref==1 rules disappear, contribution-based removal
+// matches the formula, and full pipelines stay exact.
+
+#include <gtest/gtest.h>
+
+#include "src/datasets/generators.h"
+#include "src/graph/wl_hash.h"
+#include "src/grammar/pruning.h"
+#include "src/grepair/compressor.h"
+
+namespace grepair {
+namespace {
+
+Alphabet AbAlphabet() {
+  Alphabet a;
+  a.Add("a", 2);
+  a.Add("b", 2);
+  return a;
+}
+
+// S --B--> with B -> A A and A -> a a: A is referenced twice, B once.
+SlhrGrammar ChainedGrammar() {
+  SlhrGrammar g(AbAlphabet(), Hypergraph(2));
+  Label a_nt = g.AddNonterminal(2, "A");
+  {
+    Hypergraph rhs(3);
+    rhs.AddSimpleEdge(0, 2, 0);
+    rhs.AddSimpleEdge(2, 1, 0);
+    rhs.SetExternal({0, 1});
+    g.SetRule(a_nt, std::move(rhs));
+  }
+  Label b_nt = g.AddNonterminal(2, "B");
+  {
+    Hypergraph rhs(3);
+    rhs.AddEdge(a_nt, {0, 2});
+    rhs.AddEdge(a_nt, {2, 1});
+    rhs.SetExternal({0, 1});
+    g.SetRule(b_nt, std::move(rhs));
+  }
+  g.mutable_start()->AddEdge(b_nt, {0, 1});
+  return g;
+}
+
+TEST(PruningTest, InlinePreservesDerivation) {
+  SlhrGrammar g = ChainedGrammar();
+  auto before = Derive(g);
+  ASSERT_TRUE(before.ok());
+
+  InlineRuleEverywhere(&g, g.NonterminalLabel(0), nullptr);  // inline A
+  ASSERT_TRUE(g.Validate().ok()) << g.Validate().ToString();
+  EXPECT_EQ(g.num_rules(), 1u);  // only B remains
+  auto after = Derive(g);
+  ASSERT_TRUE(after.ok());
+  EXPECT_TRUE(before.value().EqualUpToEdgeOrder(after.value()));
+}
+
+TEST(PruningTest, InlineTopRulePreservesDerivation) {
+  SlhrGrammar g = ChainedGrammar();
+  auto before = Derive(g);
+  ASSERT_TRUE(before.ok());
+  InlineRuleEverywhere(&g, g.NonterminalLabel(1), nullptr);  // inline B
+  ASSERT_TRUE(g.Validate().ok());
+  EXPECT_EQ(g.num_rules(), 1u);  // A remains, now referenced from S
+  auto after = Derive(g);
+  ASSERT_TRUE(after.ok());
+  EXPECT_TRUE(before.value().EqualUpToEdgeOrder(after.value()));
+}
+
+TEST(PruningTest, SingleRefRuleRemoved) {
+  SlhrGrammar g = ChainedGrammar();
+  auto before = Derive(g);
+  ASSERT_TRUE(before.ok());
+  PruneOptions options;
+  options.remove_nonpositive = false;  // isolate phase 1
+  auto stats = PruneGrammar(&g, nullptr, options);
+  EXPECT_GE(stats.removed_single_ref, 1u);  // B had ref 1
+  ASSERT_TRUE(g.Validate().ok());
+  auto after = Derive(g);
+  ASSERT_TRUE(after.ok());
+  EXPECT_TRUE(before.value().EqualUpToEdgeOrder(after.value()));
+}
+
+TEST(PruningTest, NonContributingRuleRemoved) {
+  // A referenced twice with |rhs|=5, handle=3: con = 2*(5-3)-5 = -1,
+  // so phase 2 must inline it.
+  SlhrGrammar g(AbAlphabet(), Hypergraph(4));
+  Label a_nt = g.AddNonterminal(2, "A");
+  Hypergraph rhs(3);
+  rhs.AddSimpleEdge(0, 2, 0);
+  rhs.AddSimpleEdge(2, 1, 0);
+  rhs.SetExternal({0, 1});
+  g.SetRule(a_nt, std::move(rhs));
+  g.mutable_start()->AddEdge(a_nt, {0, 1});
+  g.mutable_start()->AddEdge(a_nt, {2, 3});
+  EXPECT_EQ(g.Contribution(a_nt, 2), -1);
+
+  auto before = Derive(g);
+  ASSERT_TRUE(before.ok());
+  PruneOptions options;
+  options.remove_single_refs = false;
+  auto stats = PruneGrammar(&g, nullptr, options);
+  EXPECT_EQ(stats.removed_contribution, 1u);
+  EXPECT_EQ(g.num_rules(), 0u);
+  auto after = Derive(g);
+  ASSERT_TRUE(after.ok());
+  EXPECT_TRUE(before.value().EqualUpToEdgeOrder(after.value()));
+}
+
+TEST(PruningTest, ContributingRuleKept) {
+  // Four references: con = 4*(5-3)-5 = 3 > 0, rule survives.
+  SlhrGrammar g(AbAlphabet(), Hypergraph(8));
+  Label a_nt = g.AddNonterminal(2, "A");
+  Hypergraph rhs(3);
+  rhs.AddSimpleEdge(0, 2, 0);
+  rhs.AddSimpleEdge(2, 1, 0);
+  rhs.SetExternal({0, 1});
+  g.SetRule(a_nt, std::move(rhs));
+  for (uint32_t i = 0; i < 4; ++i) {
+    g.mutable_start()->AddEdge(a_nt, {2 * i, 2 * i + 1});
+  }
+  uint64_t size_before = g.TotalSize();
+  auto stats = PruneGrammar(&g, nullptr, PruneOptions());
+  EXPECT_EQ(g.num_rules(), 1u);
+  EXPECT_EQ(stats.size_after, size_before);
+}
+
+TEST(PruningTest, MappingSplicedThroughInline) {
+  // Full pipeline with tracking: compress (no prune), then prune with
+  // the mapping and check exact reconstruction still works.
+  GeneratedGraph gg = CoAuthorship(120, 200, 31);
+  CompressOptions options;
+  options.prune = false;
+  options.track_node_mapping = true;
+  auto result = Compress(gg.graph, gg.alphabet, options);
+  ASSERT_TRUE(result.ok());
+  SlhrGrammar grammar = std::move(result.value().grammar);
+  NodeMapping mapping = std::move(result.value().mapping);
+  ASSERT_TRUE(ValidateMapping(grammar, mapping).ok());
+
+  PruneGrammar(&grammar, &mapping, PruneOptions());
+  ASSERT_TRUE(grammar.Validate().ok());
+  ASSERT_TRUE(ValidateMapping(grammar, mapping).ok());
+  auto original = DeriveOriginal(grammar, mapping);
+  ASSERT_TRUE(original.ok()) << original.status().ToString();
+  EXPECT_TRUE(original.value().EqualUpToEdgeOrder(gg.graph));
+}
+
+TEST(PruningTest, FixpointIterationIsSafe) {
+  GeneratedGraph gg = GamePositions(30, 8, 3, 4, 33);
+  CompressOptions options;
+  options.prune = false;
+  options.track_node_mapping = true;
+  auto result = Compress(gg.graph, gg.alphabet, options);
+  ASSERT_TRUE(result.ok());
+  SlhrGrammar grammar = std::move(result.value().grammar);
+  NodeMapping mapping = std::move(result.value().mapping);
+
+  PruneOptions prune;
+  prune.iterate_to_fixpoint = true;
+  PruneGrammar(&grammar, &mapping, prune);
+  ASSERT_TRUE(grammar.Validate().ok());
+  auto original = DeriveOriginal(grammar, mapping);
+  ASSERT_TRUE(original.ok());
+  EXPECT_TRUE(original.value().EqualUpToEdgeOrder(gg.graph));
+}
+
+TEST(PruningTest, PruningNeverGrowsGrammar) {
+  for (uint64_t seed : {1ull, 2ull, 3ull}) {
+    GeneratedGraph gg = ErdosRenyi(200, 600, seed, 2);
+    CompressOptions options;
+    options.prune = false;
+    auto result = Compress(gg.graph, gg.alphabet, options);
+    ASSERT_TRUE(result.ok());
+    SlhrGrammar grammar = std::move(result.value().grammar);
+    uint64_t before = grammar.TotalSize();
+    auto stats = PruneGrammar(&grammar, nullptr, PruneOptions());
+    EXPECT_LE(stats.size_after, before);
+    EXPECT_EQ(stats.size_before, before);
+    auto derived = Derive(grammar);
+    ASSERT_TRUE(derived.ok());
+    EXPECT_EQ(WlHash(derived.value()), WlHash(gg.graph));
+  }
+}
+
+}  // namespace
+}  // namespace grepair

@@ -1,0 +1,117 @@
+// Parameterized sweeps for the one-pass speed-up queries across all
+// workload families and option combinations: components, degree
+// extrema, histograms and total degree must match brute force on
+// val(G) for every configuration.
+
+#include <gtest/gtest.h>
+
+#include "src/datasets/generators.h"
+#include "src/graph/graph_algos.h"
+#include "src/grepair/compressor.h"
+#include "src/query/speedup.h"
+
+namespace grepair {
+namespace {
+
+struct SweepCase {
+  const char* dataset;
+  int max_rank;
+  bool prune;
+};
+
+GeneratedGraph MakeGraph(const std::string& name) {
+  if (name == "er") return ErdosRenyi(220, 700, 201, 3);
+  if (name == "star") return RdfTypes(400, 6, 202);
+  if (name == "entities") return RdfEntities(100, 9, 15, 203);
+  if (name == "coauth") return CoAuthorship(130, 190, 204);
+  if (name == "copies") {
+    return DisjointCopies(CycleWithDiagonal(), 56, "c56");
+  }
+  if (name == "games") return GamePositions(35, 7, 3, 5, 205);
+  ADD_FAILURE() << "unknown dataset " << name;
+  return GeneratedGraph();
+}
+
+class SpeedupSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(SpeedupSweep, AllAggregatesMatchBruteForce) {
+  const SweepCase& c = GetParam();
+  GeneratedGraph gg = MakeGraph(c.dataset);
+  CompressOptions options;
+  options.max_rank = c.max_rank;
+  options.prune = c.prune;
+  auto result = Compress(gg.graph, gg.alphabet, options);
+  ASSERT_TRUE(result.ok());
+  const SlhrGrammar& grammar = result.value().grammar;
+  auto derived = Derive(grammar);
+  ASSERT_TRUE(derived.ok());
+  const Hypergraph& val = derived.value();
+
+  // Components.
+  uint32_t comps = 0;
+  ConnectedComponents(val, &comps);
+  EXPECT_EQ(CountConnectedComponents(grammar), comps);
+
+  // Degree extrema.
+  auto stats = ComputeDegreeStats(val);
+  auto extrema = ComputeDegreeExtrema(grammar);
+  EXPECT_EQ(extrema.min_degree, stats.min_degree);
+  EXPECT_EQ(extrema.max_degree, stats.max_degree);
+
+  // Label histogram + total degree.
+  std::vector<uint64_t> hist(grammar.num_terminals(), 0);
+  uint64_t total_degree = 0;
+  for (const auto& e : val.edges()) {
+    ++hist[e.label];
+    total_degree += e.att.size();
+  }
+  EXPECT_EQ(LabelHistogram(grammar), hist);
+  EXPECT_EQ(TotalDegree(grammar), total_degree);
+
+  // Multiplicities are consistent with the histogram totals.
+  auto mult = RuleMultiplicities(grammar);
+  uint64_t derived_edges = 0;
+  for (const auto& e : grammar.start().edges()) {
+    if (grammar.IsTerminal(e.label)) ++derived_edges;
+  }
+  for (uint32_t j = 0; j < grammar.num_rules(); ++j) {
+    for (const auto& e : grammar.rhs_by_index(j).edges()) {
+      if (grammar.IsTerminal(e.label)) derived_edges += mult[j];
+    }
+  }
+  EXPECT_EQ(derived_edges, val.num_edges());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Battery, SpeedupSweep,
+    ::testing::Values(SweepCase{"er", 4, true}, SweepCase{"er", 2, false},
+                      SweepCase{"star", 4, true},
+                      SweepCase{"star", 3, false},
+                      SweepCase{"entities", 4, true},
+                      SweepCase{"coauth", 4, true},
+                      SweepCase{"coauth", 6, false},
+                      SweepCase{"copies", 4, true},
+                      SweepCase{"copies", 2, true},
+                      SweepCase{"games", 4, true}),
+    [](const auto& info) {
+      const SweepCase& c = info.param;
+      std::string name = std::string(c.dataset) + "_r" +
+                         std::to_string(c.max_rank) +
+                         (c.prune ? "_prune" : "_noprune");
+      return name;
+    });
+
+TEST(SpeedupEdgeCases, EmptyGrammar) {
+  Alphabet alpha;
+  alpha.Add("a", 2);
+  SlhrGrammar g(alpha, Hypergraph(5));  // 5 isolated nodes, no edges
+  EXPECT_EQ(CountConnectedComponents(g), 5u);
+  auto extrema = ComputeDegreeExtrema(g);
+  EXPECT_EQ(extrema.min_degree, 0u);
+  EXPECT_EQ(extrema.max_degree, 0u);
+  EXPECT_EQ(TotalDegree(g), 0u);
+  EXPECT_EQ(LabelHistogram(g), std::vector<uint64_t>{0});
+}
+
+}  // namespace
+}  // namespace grepair

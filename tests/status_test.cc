@@ -1,0 +1,100 @@
+// Tests for the Status/Result error-handling primitives and the
+// Alphabet ranked-label table.
+
+#include <gtest/gtest.h>
+
+#include "src/graph/hypergraph.h"
+#include "src/util/status.h"
+
+namespace grepair {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::Corruption("bad magic");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+  EXPECT_EQ(s.message(), "bad magic");
+  EXPECT_EQ(s.ToString(), "Corruption: bad magic");
+}
+
+TEST(StatusTest, AllConstructors) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+Status Propagates(bool fail) {
+  GREPAIR_RETURN_IF_ERROR(fail ? Status::NotFound("inner") : Status::OK());
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  EXPECT_TRUE(Propagates(false).ok());
+  Status s = Propagates(true);
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "inner");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  r.value() = 43;
+  EXPECT_EQ(std::move(r).ValueOrDie(), 43);
+}
+
+TEST(ResultTest, HoldsStatus) {
+  Result<int> r(Status::OutOfRange("too big"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  auto p = std::move(r).ValueOrDie();
+  EXPECT_EQ(*p, 7);
+}
+
+TEST(AlphabetTest, AddAndQuery) {
+  Alphabet a;
+  Label x = a.Add("edge", 2);
+  Label y = a.Add("hyper", 3);
+  EXPECT_EQ(x, 0u);
+  EXPECT_EQ(y, 1u);
+  EXPECT_EQ(a.rank(x), 2);
+  EXPECT_EQ(a.rank(y), 3);
+  EXPECT_EQ(a.name(y), "hyper");
+  EXPECT_EQ(a.size(), 2u);
+}
+
+TEST(AlphabetTest, SimpleLabelsBatch) {
+  Alphabet a;
+  a.Add("first", 4);
+  Label base = a.AddSimpleLabels(3);
+  EXPECT_EQ(base, 1u);
+  EXPECT_EQ(a.size(), 4u);
+  for (Label l = base; l < a.size(); ++l) EXPECT_EQ(a.rank(l), 2);
+}
+
+TEST(AlphabetTest, EqualityIgnoresNames) {
+  Alphabet a, b;
+  a.Add("x", 2);
+  b.Add("y", 2);
+  EXPECT_TRUE(a == b);  // ranks define compatibility
+  b.Add("z", 3);
+  EXPECT_FALSE(a == b);
+}
+
+}  // namespace
+}  // namespace grepair

@@ -1,0 +1,191 @@
+// Unit tests for bit streams, Elias codes, RNG determinism and
+// union-find.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/util/bit_stream.h"
+#include "src/util/elias.h"
+#include "src/util/rng.h"
+#include "src/util/union_find.h"
+
+namespace grepair {
+namespace {
+
+TEST(BitStreamTest, SingleBitsRoundTrip) {
+  BitWriter w;
+  std::vector<bool> bits = {1, 0, 0, 1, 1, 1, 0, 1, 0, 0, 1};
+  for (bool b : bits) w.PutBit(b);
+  EXPECT_EQ(w.bit_size(), bits.size());
+  BitReader r(w.bytes());
+  for (bool expected : bits) {
+    bool b = false;
+    ASSERT_TRUE(r.ReadBit(&b).ok());
+    EXPECT_EQ(b, expected);
+  }
+  bool overflow = false;
+  // Byte padding remains readable, but the 17th bit is out of range.
+  for (size_t i = bits.size(); i < 16; ++i) {
+    ASSERT_TRUE(r.ReadBit(&overflow).ok());
+    EXPECT_FALSE(overflow);  // padding is zero
+  }
+  EXPECT_FALSE(r.ReadBit(&overflow).ok());
+}
+
+TEST(BitStreamTest, MultiBitValues) {
+  BitWriter w;
+  w.PutBits(0b1011, 4);
+  w.PutBits(0xFFFFFFFFull, 32);
+  w.PutBits(0, 7);
+  w.PutBits(1, 1);
+  BitReader r(w.bytes());
+  uint64_t v = 0;
+  ASSERT_TRUE(r.ReadBits(4, &v).ok());
+  EXPECT_EQ(v, 0b1011u);
+  ASSERT_TRUE(r.ReadBits(32, &v).ok());
+  EXPECT_EQ(v, 0xFFFFFFFFull);
+  ASSERT_TRUE(r.ReadBits(8, &v).ok());
+  EXPECT_EQ(v, 1u);
+}
+
+TEST(BitStreamTest, AlignToByte) {
+  BitWriter w;
+  w.PutBit(true);
+  w.AlignToByte();
+  EXPECT_EQ(w.bit_size(), 8u);
+  w.PutBits(0xAB, 8);
+  BitReader r(w.bytes());
+  bool b;
+  ASSERT_TRUE(r.ReadBit(&b).ok());
+  r.AlignToByte();
+  uint64_t v;
+  ASSERT_TRUE(r.ReadBits(8, &v).ok());
+  EXPECT_EQ(v, 0xABu);
+}
+
+TEST(EliasTest, KnownGammaCodes) {
+  // gamma(1) = "1", gamma(2) = "010", gamma(5) = "00101".
+  BitWriter w;
+  EliasGammaEncode(1, &w);
+  EXPECT_EQ(w.bit_size(), 1u);
+  EliasGammaEncode(2, &w);
+  EliasGammaEncode(5, &w);
+  EXPECT_EQ(w.bit_size(), 1u + 3u + 5u);
+  BitReader r(w.bytes());
+  uint64_t v;
+  ASSERT_TRUE(EliasGammaDecode(&r, &v).ok());
+  EXPECT_EQ(v, 1u);
+  ASSERT_TRUE(EliasGammaDecode(&r, &v).ok());
+  EXPECT_EQ(v, 2u);
+  ASSERT_TRUE(EliasGammaDecode(&r, &v).ok());
+  EXPECT_EQ(v, 5u);
+}
+
+TEST(EliasTest, DeltaLengthsMatchEncoder) {
+  BitWriter w;
+  size_t before = 0;
+  for (uint64_t n : {1ull, 2ull, 3ull, 17ull, 128ull, 12345ull}) {
+    EliasDeltaEncode(n, &w);
+    EXPECT_EQ(static_cast<int>(w.bit_size() - before), EliasDeltaLength(n))
+        << "n=" << n;
+    before = w.bit_size();
+  }
+}
+
+class EliasRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EliasRoundTrip, GammaAndDelta) {
+  uint64_t n = GetParam();
+  BitWriter w;
+  EliasGammaEncode(n, &w);
+  EliasDeltaEncode(n, &w);
+  BitReader r(w.bytes());
+  uint64_t g = 0, d = 0;
+  ASSERT_TRUE(EliasGammaDecode(&r, &g).ok());
+  ASSERT_TRUE(EliasDeltaDecode(&r, &d).ok());
+  EXPECT_EQ(g, n);
+  EXPECT_EQ(d, n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, EliasRoundTrip,
+                         ::testing::Values(1, 2, 3, 4, 7, 8, 15, 16, 63, 64,
+                                           100, 1023, 1024, 65535, 1u << 20,
+                                           (1ull << 32) - 1, 1ull << 40,
+                                           ~0ull >> 1));
+
+TEST(EliasTest, RandomizedRoundTrip) {
+  Rng rng(7);
+  BitWriter w;
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 2000; ++i) {
+    uint64_t n = (rng.Next() >> (rng.Next() % 60)) + 1;
+    values.push_back(n);
+    EliasDeltaEncode(n, &w);
+  }
+  BitReader r(w.bytes());
+  for (uint64_t expected : values) {
+    uint64_t v = 0;
+    ASSERT_TRUE(EliasDeltaDecode(&r, &v).ok());
+    ASSERT_EQ(v, expected);
+  }
+}
+
+TEST(EliasTest, DecodeCorruptStreamFails) {
+  // 70 zero bits: no gamma terminator.
+  BitWriter w;
+  for (int i = 0; i < 70; ++i) w.PutBit(false);
+  BitReader r(w.bytes());
+  uint64_t v;
+  EXPECT_FALSE(EliasGammaDecode(&r, &v).ok());
+}
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, UniformBoundedInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.UniformBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, ZipfSkewsLow) {
+  Rng rng(9);
+  int low = 0;
+  const int kTrials = 4000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (rng.Zipf(1000, 1.1) < 10) ++low;
+  }
+  // Zipf mass concentrates on small ranks; uniform would give ~1%.
+  EXPECT_GT(low, kTrials / 10);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(11);
+  std::vector<int> v(50);
+  for (int i = 0; i < 50; ++i) v[i] = i;
+  rng.Shuffle(&v);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(UnionFindTest, BasicMerging) {
+  UnionFind uf(6);
+  EXPECT_EQ(uf.CountSets(), 6u);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_TRUE(uf.Union(2, 3));
+  EXPECT_FALSE(uf.Union(1, 0));
+  EXPECT_TRUE(uf.Same(0, 1));
+  EXPECT_FALSE(uf.Same(0, 2));
+  EXPECT_TRUE(uf.Union(0, 2));
+  EXPECT_TRUE(uf.Same(1, 3));
+  EXPECT_EQ(uf.CountSets(), 3u);
+  EXPECT_EQ(uf.SetSize(3), 4u);
+}
+
+}  // namespace
+}  // namespace grepair

@@ -1,0 +1,312 @@
+// grepair — command-line driver for the library.
+//
+// Usage:
+//   grepair compress <in.graph> <out.grg> [--order KIND] [--max-rank N]
+//           [--no-prune] [--no-virtual] [--mapping out.map]
+//   grepair decompress <in.grg> <out.graph> [--mapping in.map]
+//   grepair stats <in.grg>
+//   grepair reach <in.grg> <from> <to>
+//   grepair neighbors <in.grg> <node>
+//   grepair components <in.grg>
+//   grepair gen <kind> <out.graph> [size]
+//
+// Graph files use the native text format of src/graph/graph_io.h; .grg
+// files are the paper's binary grammar format. `gen` kinds: er, ba,
+// coauth, rdf-types, rdf-entities, copies, dblp.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/datasets/generators.h"
+#include "src/encoding/grammar_coder.h"
+#include "src/graph/graph_io.h"
+#include "src/grepair/compressor.h"
+#include "src/query/neighborhood.h"
+#include "src/query/reachability.h"
+#include "src/query/speedup.h"
+
+using namespace grepair;
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: grepair <command> ...\n"
+      "  compress <in.graph> <out.grg> [--order natural|bfs|dfs|random|"
+      "fp0|fp] [--max-rank N] [--no-prune] [--no-virtual] "
+      "[--mapping out.map]\n"
+      "  decompress <in.grg> <out.graph> [--mapping in.map]\n"
+      "  stats <in.grg>\n"
+      "  reach <in.grg> <from> <to>\n"
+      "  neighbors <in.grg> <node>\n"
+      "  components <in.grg>\n"
+      "  gen <er|ba|coauth|rdf-types|rdf-entities|copies|dblp> "
+      "<out.graph> [size]\n");
+  return 2;
+}
+
+bool WriteBytes(const std::string& path, const std::vector<uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  return static_cast<bool>(out);
+}
+
+bool ReadBytes(const std::string& path, std::vector<uint8_t>* bytes) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  bytes->assign(std::istreambuf_iterator<char>(in),
+                std::istreambuf_iterator<char>());
+  return true;
+}
+
+Result<SlhrGrammar> LoadGrammar(const std::string& path) {
+  std::vector<uint8_t> bytes;
+  if (!ReadBytes(path, &bytes)) {
+    return Status::NotFound("cannot read " + path);
+  }
+  return DecodeGrammar(bytes);
+}
+
+int CmdCompress(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  CompressOptions options;
+  std::string mapping_path;
+  for (int i = 4; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--order" && i + 1 < argc) {
+      if (!ParseNodeOrderKind(argv[++i], &options.node_order)) {
+        std::fprintf(stderr, "unknown order %s\n", argv[i]);
+        return 2;
+      }
+    } else if (arg == "--max-rank" && i + 1 < argc) {
+      options.max_rank = std::atoi(argv[++i]);
+    } else if (arg == "--no-prune") {
+      options.prune = false;
+    } else if (arg == "--no-virtual") {
+      options.connect_components = false;
+    } else if (arg == "--mapping" && i + 1 < argc) {
+      mapping_path = argv[++i];
+      options.track_node_mapping = true;
+    } else {
+      return Usage();
+    }
+  }
+  auto loaded = LoadGraphText(argv[2]);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  auto result =
+      Compress(loaded.value().graph, loaded.value().alphabet, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  EncodeStats stats;
+  auto bytes = EncodeGrammar(result.value().grammar, &stats);
+  if (!WriteBytes(argv[3], bytes)) {
+    std::fprintf(stderr, "cannot write %s\n", argv[3]);
+    return 1;
+  }
+  if (!mapping_path.empty()) {
+    auto map_bytes =
+        EncodeNodeMapping(result.value().grammar, result.value().mapping);
+    if (!WriteBytes(mapping_path, map_bytes)) {
+      std::fprintf(stderr, "cannot write %s\n", mapping_path.c_str());
+      return 1;
+    }
+  }
+  std::printf("%u edges -> %zu bytes (%.3f bpe), %u rules\n",
+              loaded.value().graph.num_edges(), bytes.size(),
+              BitsPerEdge(bytes.size(), loaded.value().graph.num_edges()),
+              result.value().grammar.num_rules());
+  return 0;
+}
+
+int CmdDecompress(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  std::string mapping_path;
+  for (int i = 4; i < argc; ++i) {
+    if (std::string(argv[i]) == "--mapping" && i + 1 < argc) {
+      mapping_path = argv[++i];
+    } else {
+      return Usage();
+    }
+  }
+  auto grammar = LoadGrammar(argv[2]);
+  if (!grammar.ok()) {
+    std::fprintf(stderr, "%s\n", grammar.status().ToString().c_str());
+    return 1;
+  }
+  Result<Hypergraph> graph = Status::OK();
+  if (mapping_path.empty()) {
+    graph = Derive(grammar.value());
+  } else {
+    std::vector<uint8_t> map_bytes;
+    if (!ReadBytes(mapping_path, &map_bytes)) {
+      std::fprintf(stderr, "cannot read %s\n", mapping_path.c_str());
+      return 1;
+    }
+    auto mapping = DecodeNodeMapping(grammar.value(), map_bytes);
+    if (!mapping.ok()) {
+      std::fprintf(stderr, "%s\n", mapping.status().ToString().c_str());
+      return 1;
+    }
+    graph = DeriveOriginal(grammar.value(), mapping.value());
+  }
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  // Reconstruct a terminal-only alphabet for saving.
+  Alphabet terminals;
+  for (Label l = 0; l < grammar.value().num_terminals(); ++l) {
+    terminals.Add(grammar.value().alphabet().name(l),
+                  grammar.value().alphabet().rank(l));
+  }
+  auto status = SaveGraphText(graph.value(), terminals, argv[3]);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %u nodes, %u edges\n", graph.value().num_nodes(),
+              graph.value().num_edges());
+  return 0;
+}
+
+int CmdStats(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  auto grammar = LoadGrammar(argv[2]);
+  if (!grammar.ok()) {
+    std::fprintf(stderr, "%s\n", grammar.status().ToString().c_str());
+    return 1;
+  }
+  auto s = ComputeGrammarStats(grammar.value());
+  std::printf("rules:            %u\n", s.num_rules);
+  std::printf("height:           %u\n", s.height);
+  std::printf("max NT rank:      %u\n", s.max_nonterminal_rank);
+  std::printf("|G| (rules):      %llu\n",
+              static_cast<unsigned long long>(s.rule_size));
+  std::printf("|S| (start):      %llu (%u nodes, %u edges)\n",
+              static_cast<unsigned long long>(s.start_size), s.start_nodes,
+              s.start_edges);
+  std::printf("val(G):           %llu nodes, %llu edges\n",
+              static_cast<unsigned long long>(ValNodeCount(grammar.value())),
+              static_cast<unsigned long long>(ValEdgeCount(grammar.value())));
+  return 0;
+}
+
+int CmdReach(int argc, char** argv) {
+  if (argc < 5) return Usage();
+  auto grammar = LoadGrammar(argv[2]);
+  if (!grammar.ok()) {
+    std::fprintf(stderr, "%s\n", grammar.status().ToString().c_str());
+    return 1;
+  }
+  ReachabilityIndex index(grammar.value());
+  uint64_t from = std::strtoull(argv[3], nullptr, 10);
+  uint64_t to = std::strtoull(argv[4], nullptr, 10);
+  if (from >= index.node_map().num_nodes() ||
+      to >= index.node_map().num_nodes()) {
+    std::fprintf(stderr, "node out of range (val has %llu nodes)\n",
+                 static_cast<unsigned long long>(
+                     index.node_map().num_nodes()));
+    return 1;
+  }
+  std::printf("%llu -> %llu: %s\n",
+              static_cast<unsigned long long>(from),
+              static_cast<unsigned long long>(to),
+              index.Reachable(from, to) ? "reachable" : "not reachable");
+  return 0;
+}
+
+int CmdNeighbors(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  auto grammar = LoadGrammar(argv[2]);
+  if (!grammar.ok()) {
+    std::fprintf(stderr, "%s\n", grammar.status().ToString().c_str());
+    return 1;
+  }
+  NeighborhoodIndex index(grammar.value());
+  uint64_t node = std::strtoull(argv[3], nullptr, 10);
+  if (node >= index.node_map().num_nodes()) {
+    std::fprintf(stderr, "node out of range\n");
+    return 1;
+  }
+  auto out = index.OutNeighbors(node);
+  auto in = index.InNeighbors(node);
+  std::printf("out (%zu):", out.size());
+  for (uint64_t v : out) std::printf(" %llu", (unsigned long long)v);
+  std::printf("\nin  (%zu):", in.size());
+  for (uint64_t v : in) std::printf(" %llu", (unsigned long long)v);
+  std::printf("\n");
+  return 0;
+}
+
+int CmdComponents(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  auto grammar = LoadGrammar(argv[2]);
+  if (!grammar.ok()) {
+    std::fprintf(stderr, "%s\n", grammar.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%llu connected components\n",
+              static_cast<unsigned long long>(
+                  CountConnectedComponents(grammar.value())));
+  return 0;
+}
+
+int CmdGen(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  std::string kind = argv[2];
+  uint32_t size = argc >= 5 ? static_cast<uint32_t>(std::atoi(argv[4])) : 0;
+  GeneratedGraph g;
+  if (kind == "er") {
+    uint32_t n = size ? size : 1000;
+    g = ErdosRenyi(n, n * 4, 1);
+  } else if (kind == "ba") {
+    g = BarabasiAlbert(size ? size : 1000, 4, 1);
+  } else if (kind == "coauth") {
+    uint32_t n = size ? size : 1000;
+    g = CoAuthorship(n, n * 3 / 2, 1);
+  } else if (kind == "rdf-types") {
+    g = RdfTypes(size ? size : 10000, 50, 1);
+  } else if (kind == "rdf-entities") {
+    g = RdfEntities(size ? size : 2000, 12, 100, 1);
+  } else if (kind == "copies") {
+    g = DisjointCopies(CycleWithDiagonal(), size ? size : 256, "copies");
+  } else if (kind == "dblp") {
+    g = DblpVersions(size ? size : 8, 200, 100, 1, "dblp");
+  } else {
+    return Usage();
+  }
+  auto status = SaveGraphText(g.graph, g.alphabet, argv[3]);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s: %u nodes, %u edges, %zu labels\n", argv[3],
+              g.graph.num_nodes(), g.graph.num_edges(), g.alphabet.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string cmd = argv[1];
+  if (cmd == "compress") return CmdCompress(argc, argv);
+  if (cmd == "decompress") return CmdDecompress(argc, argv);
+  if (cmd == "stats") return CmdStats(argc, argv);
+  if (cmd == "reach") return CmdReach(argc, argv);
+  if (cmd == "neighbors") return CmdNeighbors(argc, argv);
+  if (cmd == "components") return CmdComponents(argc, argv);
+  if (cmd == "gen") return CmdGen(argc, argv);
+  return Usage();
+}
