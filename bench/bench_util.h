@@ -14,10 +14,7 @@
 #include <cstdio>
 #include <string>
 
-#include "src/baselines/hn.h"
-#include "src/baselines/k2_compressor.h"
-#include "src/baselines/lm.h"
-#include "src/baselines/string_repair.h"
+#include "src/api/grepair_api.h"
 #include "src/datasets/paper_datasets.h"
 #include "src/encoding/grammar_coder.h"
 #include "src/grepair/compressor.h"
@@ -59,32 +56,68 @@ inline GrepairRun RunGrepair(const GeneratedGraph& gg,
   return run;
 }
 
+/// \brief One registry codec's run over a dataset.
+struct CodecRun {
+  bool ok = false;       ///< false: failed or not applicable to the input
+  std::string error;     ///< status message when !ok
+  size_t bytes = 0;      ///< ByteSize(), the tables' size metric
+  double bpe = 0;
+  double seconds = 0;
+};
+
+/// \brief Runs any registered codec (by name) over `gg`; the generic
+/// replacement for the old per-baseline Run* glue.
+inline CodecRun RunCodec(const std::string& backend,
+                         const GeneratedGraph& gg,
+                         const std::string& option_spec = "") {
+  CodecRun run;
+  auto codec = api::CodecRegistry::Create(backend);
+  if (!codec.ok()) {
+    run.error = codec.status().ToString();
+    return run;
+  }
+  auto options = api::CodecOptions::Parse(option_spec);
+  if (!options.ok()) {
+    run.error = options.status().ToString();
+    return run;
+  }
+  auto t0 = std::chrono::steady_clock::now();
+  auto rep =
+      codec.value()->Compress(gg.graph, gg.alphabet, options.value());
+  auto t1 = std::chrono::steady_clock::now();
+  if (!rep.ok()) {
+    run.error = rep.status().ToString();
+    return run;
+  }
+  run.ok = true;
+  run.bytes = rep.value()->ByteSize();
+  run.bpe = BitsPerEdge(run.bytes, gg.graph.num_edges());
+  run.seconds = Seconds(t0, t1);
+  return run;
+}
+
 /// \brief Plain k^2-tree baseline bpe.
 inline double RunK2(const GeneratedGraph& gg) {
-  size_t bytes = K2CompressedSize(gg.graph, gg.alphabet);
-  return BitsPerEdge(bytes, gg.graph.num_edges());
+  return RunCodec("k2", gg).bpe;
 }
 
 inline size_t RunK2Bytes(const GeneratedGraph& gg) {
-  return K2CompressedSize(gg.graph, gg.alphabet);
+  return RunCodec("k2", gg).bytes;
 }
 
 /// \brief LM baseline bpe (unlabeled out-adjacency).
 inline double RunLm(const GeneratedGraph& gg) {
-  auto compressed = LmCompress(gg.graph);
-  return BitsPerEdge(compressed.SizeBytes(), gg.graph.num_edges());
+  return RunCodec("lm", gg).bpe;
 }
 
 /// \brief HN baseline bpe (unlabeled out-adjacency).
 inline double RunHn(const GeneratedGraph& gg) {
-  auto compressed = HnCompress(gg.graph);
-  return BitsPerEdge(compressed.SizeBytes(), gg.graph.num_edges());
+  return RunCodec("hn", gg).bpe;
 }
 
 /// \brief Adjacency-list RePair (Claude & Navarro) bpe.
 inline double RunAdjRePair(const GeneratedGraph& gg) {
-  return BitsPerEdge(AdjListRePairSizeBytes(gg.graph),
-                     gg.graph.num_edges());
+  return RunCodec("repair-adj", gg).bpe;
 }
 
 inline void PrintHeader(const std::string& title) {

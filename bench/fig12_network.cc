@@ -1,11 +1,14 @@
-// Figure 12: network graphs — gRePair vs k2-tree vs LM vs HN (bpe).
+// Figure 12: network graphs — every registered codec, bpe.
 //
 // Paper shape: gRePair beats the plain k2-tree on all graphs except
 // NotreDame, but generally loses to LM and HN on network graphs
-// (Email-EuAll and CA-GrQc being its exceptions). We additionally print
-// the adjacency-list RePair baseline the paper mentions and omits.
+// (Email-EuAll and CA-GrQc being its exceptions). The codec set comes
+// from the CodecRegistry, so newly registered compressors show up in
+// this table automatically (the paper-era fixed columns included the
+// adjacency-list RePair baseline the paper mentions and omits).
 
 #include <cstdio>
+#include <map>
 
 #include "bench/bench_util.h"
 
@@ -13,24 +16,38 @@ using namespace grepair;
 using namespace grepair::bench;
 
 int main() {
-  std::printf("Figure 12: network graphs, bpe by compressor\n");
-  std::printf("%-14s %9s %9s %9s %9s %9s   %s\n", "graph", "gRePair",
-              "k2-tree", "LM", "HN", "adjRP", "gRePair<=k2?");
+  auto codecs = api::CodecRegistry::Names();
+  std::printf("Figure 12: network graphs, bpe by registered codec\n");
+  std::printf("%-14s", "graph");
+  for (const auto& codec : codecs) std::printf(" %10s", codec.c_str());
+  std::printf("   %s\n", "gRePair<=k2?");
+
   int grepair_beats_k2 = 0;
   int lm_or_hn_beats_grepair = 0;
   auto names = NetworkGraphNames();
   for (const auto& name : names) {
     PaperDataset d = MakePaperDataset(name);
-    GrepairRun run = RunGrepair(d.data);
-    double k2 = RunK2(d.data);
-    double lm = RunLm(d.data);
-    double hn = RunHn(d.data);
-    double rp = RunAdjRePair(d.data);
-    bool beats_k2 = run.bpe <= k2 + 1e-9;
+    std::map<std::string, CodecRun> runs;
+    for (const auto& codec : codecs) runs[codec] = RunCodec(codec, d.data);
+    bool comparable = runs["grepair"].ok && runs["k2"].ok;
+    bool beats_k2 =
+        comparable && runs["grepair"].bpe <= runs["k2"].bpe + 1e-9;
     if (beats_k2) ++grepair_beats_k2;
-    if (lm < run.bpe || hn < run.bpe) ++lm_or_hn_beats_grepair;
-    std::printf("%-14s %9.2f %9.2f %9.2f %9.2f %9.2f   %s\n", name.c_str(),
-                run.bpe, k2, lm, hn, rp, beats_k2 ? "yes" : "no");
+    if (runs["grepair"].ok &&
+        ((runs["lm"].ok && runs["lm"].bpe < runs["grepair"].bpe) ||
+         (runs["hn"].ok && runs["hn"].bpe < runs["grepair"].bpe))) {
+      ++lm_or_hn_beats_grepair;
+    }
+    std::printf("%-14s", name.c_str());
+    for (const auto& codec : codecs) {
+      if (runs[codec].ok) {
+        std::printf(" %10.2f", runs[codec].bpe);
+      } else {
+        std::printf(" %10s", "n/a");
+      }
+    }
+    std::printf("   %s\n",
+                comparable ? (beats_k2 ? "yes" : "no") : "n/a");
   }
   std::printf("\nshape: gRePair <= k2 on %d/%zu graphs (paper: 7/8); "
               "LM or HN beat gRePair on %d/%zu (paper: 6/8)\n",

@@ -25,11 +25,10 @@ int main() {
         DisjointCopies(unit, copies, "c" + std::to_string(copies));
     GrepairRun run = RunGrepair(g);
     size_t k2 = RunK2Bytes(g);
-    auto lm = LmCompress(g.graph);
-    auto hn = HnCompress(g.graph);
+    CodecRun lm = RunCodec("lm", g);
+    CodecRun hn = RunCodec("hn", g);
     std::printf("%6u %9u %9zu %9zu %9zu %9zu\n", copies,
-                g.graph.num_edges(), run.bytes, k2, lm.SizeBytes(),
-                hn.SizeBytes());
+                g.graph.num_edges(), run.bytes, k2, lm.bytes, hn.bytes);
     if (copies == 8) {
       first_grepair = run.bytes;
       first_k2 = k2;

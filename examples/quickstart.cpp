@@ -1,12 +1,15 @@
-// Quickstart: build a graph, compress it with gRePair, inspect the
-// grammar, serialize it, and reconstruct the original exactly.
+// Quickstart for the public API (src/api/grepair_api.h): build a
+// graph, compress it with the gRePair codec from the registry, query
+// it without decompressing, serialize it, round-trip it back, and
+// compare against every other registered backend.
 //
 //   ./build/examples/quickstart
+//
+// Runs as a ctest smoke test, so this example cannot silently rot.
 
 #include <cstdio>
 
-#include "src/encoding/grammar_coder.h"
-#include "src/grepair/compressor.h"
+#include "src/api/grepair_api.h"
 
 using namespace grepair;
 
@@ -30,41 +33,69 @@ int main() {
               graph.num_edges(),
               static_cast<unsigned long long>(graph.TotalSize()));
 
-  // Compress. track_node_mapping lets us reconstruct the exact input
-  // (otherwise val(G) is an isomorphic copy, Section III-C2).
-  CompressOptions options;
-  options.track_node_mapping = true;
-  auto result = Compress(graph, alphabet, options);
-  if (!result.ok()) {
-    std::fprintf(stderr, "compression failed: %s\n",
-                 result.status().ToString().c_str());
+  // Compress through the registry: one line per backend, no
+  // codec-specific glue.
+  auto codec = api::CodecRegistry::Create("grepair");
+  if (!codec.ok()) {
+    std::fprintf(stderr, "%s\n", codec.status().ToString().c_str());
     return 1;
   }
-  const SlhrGrammar& grammar = result.value().grammar;
-  std::printf("grammar: %u rules, |G|+|S| = %llu (%.0f%% of input)\n",
-              grammar.num_rules(),
-              static_cast<unsigned long long>(grammar.TotalSize()),
-              100.0 * grammar.TotalSize() / graph.TotalSize());
-  std::printf("%s\n", grammar.ToString().c_str());
+  auto rep = codec.value()->Compress(graph, alphabet);
+  if (!rep.ok()) {
+    std::fprintf(stderr, "compression failed: %s\n",
+                 rep.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("grepair: %zu bytes (%.2f bits/edge)\n",
+              rep.value()->ByteSize(),
+              BitsPerEdge(rep.value()->ByteSize(), graph.num_edges()));
 
-  // Serialize to the paper's binary format.
-  EncodeStats stats;
-  auto bytes = EncodeGrammar(grammar, &stats);
-  std::printf("encoded: %zu bytes (%.2f bits/edge); start graph holds "
-              "%.0f%% of the bits\n",
-              bytes.size(),
-              BitsPerEdge(bytes.size(), graph.num_edges()),
-              100.0 * stats.start_graph_bits / stats.total_bits);
+  // Query without decompressing: the hub's out-neighbors are the 50
+  // triangle entry points (Proposition 4 of the paper).
+  auto hub_out = rep.value()->OutNeighbors(0);
+  auto reach = rep.value()->Reachable(0, graph.num_nodes() - 1);
+  if (!hub_out.ok() || !reach.ok()) {
+    std::fprintf(stderr, "query failed\n");
+    return 1;
+  }
+  std::printf("hub out-degree (queried compressed): %zu; hub reaches "
+              "last node: %s\n",
+              hub_out.value().size(), reach.value() ? "yes" : "no");
+  if (hub_out.value().size() != 50 || !reach.value()) {
+    std::fprintf(stderr, "unexpected query results\n");
+    return 1;
+  }
 
-  // Decode and derive: the decoded grammar regenerates val(G) exactly.
-  auto decoded = DecodeGrammar(bytes);
-  auto derived = Derive(decoded.value());
-  std::printf("decoded grammar derives %u nodes / %u edges\n",
-              derived.value().num_nodes(), derived.value().num_edges());
+  // Serialize, round-trip, and reconstruct the exact input (the psi'
+  // node mapping rides along in the serialization by default).
+  auto bytes = rep.value()->Serialize();
+  auto back = codec.value()->Deserialize(bytes);
+  if (!back.ok()) {
+    std::fprintf(stderr, "%s\n", back.status().ToString().c_str());
+    return 1;
+  }
+  auto restored = back.value()->Decompress();
+  if (!restored.ok()) {
+    std::fprintf(stderr, "%s\n", restored.status().ToString().c_str());
+    return 1;
+  }
+  bool exact = restored.value().EqualUpToEdgeOrder(graph);
+  std::printf("serialize -> deserialize -> decompress matches input: %s\n",
+              exact ? "yes" : "NO");
+  if (!exact) return 1;
 
-  // And with the tracked mapping we get the *original* node ids back.
-  auto original = DeriveOriginal(grammar, result.value().mapping);
-  std::printf("exact reconstruction matches input: %s\n",
-              original.value().EqualUpToEdgeOrder(graph) ? "yes" : "NO");
+  // Every other registered backend, one loop.
+  std::printf("\nall registered codecs on this graph:\n");
+  for (const auto& name : api::CodecRegistry::Names()) {
+    auto other = api::CodecRegistry::Create(name).ValueOrDie();
+    auto other_rep = other->Compress(graph, alphabet);
+    if (other_rep.ok()) {
+      std::printf("  %-12s %6zu bytes\n", name.c_str(),
+                  other_rep.value()->ByteSize());
+    } else {
+      std::printf("  %-12s n/a (%s)\n", name.c_str(),
+                  other_rep.status().message().c_str());
+    }
+  }
   return 0;
 }

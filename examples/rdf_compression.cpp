@@ -1,19 +1,16 @@
-// RDF-graph compression scenario (Section IV-C2).
+// RDF-graph compression scenario (Section IV-C2), on the public API.
 //
 // Builds a DBpedia-style instance-types graph (a star forest: many
-// subjects, few popular type objects), compresses it with gRePair and
-// with the plain k^2-tree baseline, and answers triple-pattern queries
-// (s type ?o / ?s type o) on both representations.
+// subjects, few popular type objects), compresses it with the gRePair
+// and k^2-tree codecs from the registry, and answers triple-pattern
+// queries (s type ?o / ?s type o) on both compressed representations
+// through the same interface — no decompression, no per-baseline glue.
 //
 //   ./build/examples/rdf_compression
 
 #include <cstdio>
 
-#include "src/baselines/k2_compressor.h"
-#include "src/datasets/generators.h"
-#include "src/encoding/grammar_coder.h"
-#include "src/grepair/compressor.h"
-#include "src/query/neighborhood.h"
+#include "src/api/grepair_api.h"
 
 using namespace grepair;
 
@@ -24,45 +21,60 @@ int main() {
   std::printf("RDF graph: %u nodes, %u triples\n", rdf.graph.num_nodes(),
               rdf.graph.num_edges());
 
-  CompressOptions options;
-  options.track_node_mapping = true;  // lets us query by original id
-  auto result = Compress(rdf.graph, rdf.alphabet, options);
-  auto bytes = EncodeGrammar(result.value().grammar);
-  size_t k2_bytes = K2CompressedSize(rdf.graph, rdf.alphabet);
+  auto grepair_codec = api::CodecRegistry::Create("grepair").ValueOrDie();
+  auto k2_codec = api::CodecRegistry::Create("k2").ValueOrDie();
+  auto grepair_rep = grepair_codec->Compress(rdf.graph, rdf.alphabet);
+  auto k2_rep = k2_codec->Compress(rdf.graph, rdf.alphabet);
+  if (!grepair_rep.ok() || !k2_rep.ok()) {
+    std::fprintf(stderr, "compression failed\n");
+    return 1;
+  }
+  size_t grepair_bytes = grepair_rep.value()->ByteSize();
+  size_t k2_bytes = k2_rep.value()->ByteSize();
   std::printf("gRePair: %zu bytes (%.3f bpe)   k2-tree: %zu bytes "
               "(%.2f bpe)   -> %.0fx smaller\n",
-              bytes.size(), BitsPerEdge(bytes.size(), rdf.graph.num_edges()),
-              k2_bytes, BitsPerEdge(k2_bytes, rdf.graph.num_edges()),
-              static_cast<double>(k2_bytes) / bytes.size());
+              grepair_bytes,
+              BitsPerEdge(grepair_bytes, rdf.graph.num_edges()), k2_bytes,
+              BitsPerEdge(k2_bytes, rdf.graph.num_edges()),
+              static_cast<double>(k2_bytes) / grepair_bytes);
 
-  // Triple patterns over the *grammar* (no decompression). val(G) uses
-  // its own node numbering; the tracked psi' mapping translates the
-  // original RDF dictionary ids into it (no edges are materialized).
-  NeighborhoodIndex index(result.value().grammar);
-  auto origins =
-      FlattenOrigins(result.value().grammar, result.value().mapping);
-  std::vector<uint64_t> to_val(origins.value().size());
-  for (uint64_t v = 0; v < origins.value().size(); ++v) {
-    to_val[origins.value()[v]] = v;
+  // Triple patterns over both compressed representations through the
+  // same interface. The gRePair codec answers them on the *grammar*
+  // (Section V), translating original RDF dictionary ids via the
+  // tracked psi' mapping; the k2 codec walks its per-label trees. No
+  // edges are materialized by either.
+  uint64_t subject = 40 + 12345;  // some instance
+  auto grepair_types = grepair_rep.value()->OutNeighbors(subject);
+  auto k2_types = k2_rep.value()->OutNeighbors(subject);
+  if (!grepair_types.ok() || !k2_types.ok()) {
+    std::fprintf(stderr, "query failed\n");
+    return 1;
   }
-  uint64_t original_subject = 40 + 12345;  // some instance
-  uint64_t subject = to_val[original_subject];
-  auto types = index.OutNeighbors(subject);
   std::printf("(s, type, ?o) for s=%llu: %zu type(s), first = %llu\n",
-              static_cast<unsigned long long>(subject), types.size(),
-              types.empty() ? 0ull
-                            : static_cast<unsigned long long>(types[0]));
+              static_cast<unsigned long long>(subject),
+              grepair_types.value().size(),
+              grepair_types.value().empty()
+                  ? 0ull
+                  : static_cast<unsigned long long>(
+                        grepair_types.value()[0]));
 
-  auto members = index.InNeighbors(types.empty() ? 0 : types[0]);
+  uint64_t type = grepair_types.value().empty()
+                      ? 0
+                      : grepair_types.value()[0];
+  auto members = grepair_rep.value()->InNeighbors(type);
+  if (!members.ok()) {
+    std::fprintf(stderr, "query failed\n");
+    return 1;
+  }
   std::printf("(?s, type, o) for that type: %zu instances\n",
-              members.size());
+              members.value().size());
 
-  // Cross-check against the k2-tree representation's native queries,
-  // which operate on original ids directly.
-  auto k2 = K2GraphRepresentation::Build(rdf.graph, rdf.alphabet);
-  auto k2_types =
-      k2.OutNeighbors(static_cast<uint32_t>(original_subject), 0);
-  std::printf("k2-tree agrees on the subject's types: %s\n",
-              k2_types.size() == types.size() ? "yes" : "NO");
-  return 0;
+  // The two codecs must agree on every answer.
+  bool agree = grepair_types.value() == k2_types.value();
+  auto k2_members = k2_rep.value()->InNeighbors(type);
+  agree = agree && k2_members.ok() &&
+          members.value() == k2_members.value();
+  std::printf("k2-tree agrees on both queries: %s\n",
+              agree ? "yes" : "NO");
+  return agree ? 0 : 1;
 }

@@ -1,0 +1,75 @@
+#include "src/api/codec_registry.h"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+
+namespace grepair {
+namespace api {
+
+namespace internal {
+// Defined in builtin_codecs.cc. Called through a hard symbol reference
+// (not static initializers alone) so the builtin adapters are linked
+// in even from a static library, where the linker drops object files
+// nothing refers to.
+void RegisterBuiltinCodecs();
+}  // namespace internal
+
+namespace {
+
+std::map<std::string, CodecRegistry::Factory>& FactoryMap() {
+  static auto* factories =
+      new std::map<std::string, CodecRegistry::Factory>();
+  return *factories;
+}
+
+std::mutex& RegistryMutex() {
+  static auto* mutex = new std::mutex();
+  return *mutex;
+}
+
+void EnsureBuiltins() {
+  static std::once_flag once;
+  std::call_once(once, internal::RegisterBuiltinCodecs);
+}
+
+}  // namespace
+
+bool CodecRegistry::Register(const std::string& name, Factory factory) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  FactoryMap()[name] = factory;
+  return true;
+}
+
+Result<std::unique_ptr<GraphCodec>> CodecRegistry::Create(
+    const std::string& name) {
+  EnsureBuiltins();
+  Factory factory = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(RegistryMutex());
+    auto it = FactoryMap().find(name);
+    if (it != FactoryMap().end()) factory = it->second;
+  }
+  if (factory == nullptr) {
+    std::string known;
+    for (const auto& n : Names()) {
+      if (!known.empty()) known += ", ";
+      known += n;
+    }
+    return Status::NotFound("no codec named '" + name + "' (known: " +
+                            known + ")");
+  }
+  return factory();
+}
+
+std::vector<std::string> CodecRegistry::Names() {
+  EnsureBuiltins();
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  std::vector<std::string> names;
+  names.reserve(FactoryMap().size());
+  for (const auto& [name, factory] : FactoryMap()) names.push_back(name);
+  return names;  // std::map iterates sorted
+}
+
+}  // namespace api
+}  // namespace grepair

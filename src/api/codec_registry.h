@@ -1,0 +1,52 @@
+// CodecRegistry: name -> GraphCodec factory.
+//
+// All built-in codecs ("grepair", "k2", "hn", "lm", "repair-adj",
+// "deflate") are registered on first use; additional codecs register
+// themselves from any translation unit with GREPAIR_REGISTER_CODEC.
+// The registry is what lets the CLI's --backend flag, the bench
+// tables, and the parameterized round-trip tests enumerate every
+// compressor without naming any of them.
+
+#ifndef GREPAIR_API_CODEC_REGISTRY_H_
+#define GREPAIR_API_CODEC_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/api/graph_codec.h"
+#include "src/util/status.h"
+
+namespace grepair {
+namespace api {
+
+class CodecRegistry {
+ public:
+  using Factory = std::unique_ptr<GraphCodec> (*)();
+
+  /// \brief Registers `factory` under `name`; later registrations of
+  /// the same name win (lets tests shadow a builtin). Returns true so
+  /// it can initialize a static (see GREPAIR_REGISTER_CODEC).
+  static bool Register(const std::string& name, Factory factory);
+
+  /// \brief Instantiates the codec registered under `name`;
+  /// kNotFound (listing the known names) when there is none.
+  static Result<std::unique_ptr<GraphCodec>> Create(const std::string& name);
+
+  /// \brief All registered names, sorted.
+  static std::vector<std::string> Names();
+};
+
+/// \brief Registers `CodecClass` (default-constructible GraphCodec
+/// subclass) under `name` at static-initialization time.
+#define GREPAIR_REGISTER_CODEC(name, CodecClass)                         \
+  static const bool grepair_codec_registrar_##CodecClass =               \
+      ::grepair::api::CodecRegistry::Register(                           \
+          name, []() -> std::unique_ptr<::grepair::api::GraphCodec> {    \
+            return std::make_unique<CodecClass>();                       \
+          })
+
+}  // namespace api
+}  // namespace grepair
+
+#endif  // GREPAIR_API_CODEC_REGISTRY_H_

@@ -1,0 +1,88 @@
+#include "src/api/graph_codec.h"
+
+#include <cerrno>
+#include <cstdlib>
+
+namespace grepair {
+namespace api {
+
+Result<CodecOptions> CodecOptions::Parse(const std::string& spec) {
+  CodecOptions options;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t end = spec.find(',', pos);
+    if (end == std::string::npos) end = spec.size();
+    std::string item = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (item.empty()) continue;
+    size_t eq = item.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument("bad option '" + item +
+                                     "' (want key=value)");
+    }
+    options.Set(item.substr(0, eq), item.substr(eq + 1));
+  }
+  return options;
+}
+
+Result<int64_t> CodecOptions::GetInt(const std::string& key,
+                                     int64_t def) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(it->second.c_str(), &end, 10);
+  if (errno != 0 || end == it->second.c_str() || *end != '\0') {
+    return Status::InvalidArgument("option " + key + "=" + it->second +
+                                   " is not an integer");
+  }
+  return static_cast<int64_t>(v);
+}
+
+Result<bool> CodecOptions::GetBool(const std::string& key, bool def) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  if (it->second == "true" || it->second == "1") return true;
+  if (it->second == "false" || it->second == "0") return false;
+  return Status::InvalidArgument("option " + key + "=" + it->second +
+                                 " is not a boolean");
+}
+
+std::string CodecOptions::GetString(const std::string& key,
+                                    const std::string& def) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? def : it->second;
+}
+
+Status CodecOptions::ExpectKeys(
+    const std::vector<std::string>& allowed) const {
+  for (const auto& [key, value] : values_) {
+    bool known = false;
+    for (const auto& a : allowed) {
+      if (key == a) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      return Status::InvalidArgument("unknown codec option '" + key + "'");
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<uint64_t>> CompressedRep::OutNeighbors(uint64_t) const {
+  return Status::Unimplemented("codec does not support neighbor queries");
+}
+
+Result<std::vector<uint64_t>> CompressedRep::InNeighbors(uint64_t) const {
+  return Status::Unimplemented("codec does not support neighbor queries");
+}
+
+Result<bool> CompressedRep::Reachable(uint64_t, uint64_t) const {
+  return Status::Unimplemented(
+      "codec does not support reachability queries");
+}
+
+}  // namespace api
+}  // namespace grepair

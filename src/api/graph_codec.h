@@ -1,0 +1,144 @@
+// GraphCodec: the one polymorphic compress/query/serialize interface
+// every compressor in this repo sits behind.
+//
+// The paper's comparison — gRePair vs the k^2-tree family vs LM/HN vs
+// string RePair vs Deflate — is a comparison of *codecs*: each takes a
+// hypergraph, produces a compressed representation with a byte size,
+// and (for some) answers neighborhood/reachability queries without
+// decompression. This header abstracts exactly that contract so bench
+// tables, examples and the CLI iterate one registry instead of
+// hand-rolling per-baseline glue:
+//
+//   auto codec = CodecRegistry::Create("k2").ValueOrDie();
+//   auto rep = codec->Compress(graph, alphabet, options).ValueOrDie();
+//   rep->Serialize();               // round-trippable bytes
+//   rep->ByteSize();                // the bench tables' size metric
+//   rep->OutNeighbors(v);           // capability-gated, may be
+//                                   //   Unimplemented for this codec
+//   rep->Decompress();              // exact graph reconstruction
+//
+// Capability flags say up front what a codec can do (labels,
+// hyperedges, queries); the query entry points additionally return
+// Status::Unimplemented when unsupported, so callers may either check
+// capabilities() or just handle the status.
+
+#ifndef GREPAIR_API_GRAPH_CODEC_H_
+#define GREPAIR_API_GRAPH_CODEC_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/graph/hypergraph.h"
+#include "src/util/status.h"
+
+namespace grepair {
+namespace api {
+
+/// \brief String-keyed codec options ("k=4,prune=false"), parsed and
+/// validated per codec. Unknown keys are rejected by the codec, not
+/// silently dropped, so typos fail loudly.
+class CodecOptions {
+ public:
+  CodecOptions() = default;
+
+  /// \brief Parses a comma-separated "key=value,..." spec (the CLI's
+  /// --options syntax). Empty spec yields empty options.
+  static Result<CodecOptions> Parse(const std::string& spec);
+
+  void Set(const std::string& key, std::string value) {
+    values_[key] = std::move(value);
+  }
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+  bool empty() const { return values_.empty(); }
+  const std::map<std::string, std::string>& entries() const {
+    return values_;
+  }
+
+  /// \brief Integer option or `def` when absent; kInvalidArgument on a
+  /// non-numeric value.
+  Result<int64_t> GetInt(const std::string& key, int64_t def) const;
+
+  /// \brief Boolean option ("true"/"false"/"1"/"0") or `def`.
+  Result<bool> GetBool(const std::string& key, bool def) const;
+
+  /// \brief String option or `def`.
+  std::string GetString(const std::string& key,
+                        const std::string& def) const;
+
+  /// \brief kInvalidArgument if any present key is not in `allowed`
+  /// (each codec calls this with its full key list).
+  Status ExpectKeys(const std::vector<std::string>& allowed) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+/// \brief What a codec supports, beyond compress + serialize +
+/// decompress (which every codec must provide).
+enum CodecCapability : uint32_t {
+  kSupportsLabels = 1u << 0,      ///< preserves edge labels
+  kSupportsHyperedges = 1u << 1,  ///< accepts edges of rank != 2
+  kNeighborQueries = 1u << 2,     ///< Out/InNeighbors without decompression
+  kReachabilityQueries = 1u << 3, ///< Reachable without decompression
+};
+
+/// \brief A compressed graph representation produced by one codec.
+///
+/// Serialize() must round-trip through GraphCodec::Deserialize back to
+/// an equivalent representation; Decompress() must reproduce the input
+/// graph's node count and edge set (labels preserved only when the
+/// codec has kSupportsLabels). ByteSize() is the size metric the bench
+/// tables report; it may be smaller than Serialize().size() when a
+/// codec excludes bookkeeping the paper's metric excludes (e.g. gRePair
+/// excludes the optional psi' node mapping, as the paper does).
+class CompressedRep {
+ public:
+  virtual ~CompressedRep() = default;
+
+  virtual std::vector<uint8_t> Serialize() const = 0;
+  virtual size_t ByteSize() const = 0;
+  virtual Result<Hypergraph> Decompress() const = 0;
+  virtual uint64_t num_nodes() const = 0;
+
+  /// \brief Targets of edges leaving `node` (any label), sorted.
+  /// Default: Unimplemented (codec lacks kNeighborQueries).
+  virtual Result<std::vector<uint64_t>> OutNeighbors(uint64_t node) const;
+
+  /// \brief Sources of edges entering `node`, sorted.
+  virtual Result<std::vector<uint64_t>> InNeighbors(uint64_t node) const;
+
+  /// \brief Directed reachability. Default: Unimplemented.
+  virtual Result<bool> Reachable(uint64_t from, uint64_t to) const;
+};
+
+/// \brief A graph compression algorithm. Stateless; Compress may be
+/// called concurrently from multiple threads.
+class GraphCodec {
+ public:
+  virtual ~GraphCodec() = default;
+
+  /// \brief Registry name ("grepair", "k2", ...).
+  virtual const char* name() const = 0;
+
+  /// \brief OR of CodecCapability flags.
+  virtual uint32_t capabilities() const = 0;
+
+  /// \brief Compresses `graph` (over `alphabet`). kInvalidArgument when
+  /// the graph needs a capability this codec lacks (e.g. hyperedges
+  /// into the k^2-tree) or when `options` has unknown/bad keys.
+  virtual Result<std::unique_ptr<CompressedRep>> Compress(
+      const Hypergraph& graph, const Alphabet& alphabet,
+      const CodecOptions& options = CodecOptions()) const = 0;
+
+  /// \brief Reconstructs a representation from Serialize() output.
+  virtual Result<std::unique_ptr<CompressedRep>> Deserialize(
+      const std::vector<uint8_t>& bytes) const = 0;
+};
+
+}  // namespace api
+}  // namespace grepair
+
+#endif  // GREPAIR_API_GRAPH_CODEC_H_

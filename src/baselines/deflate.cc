@@ -20,6 +20,12 @@ std::vector<uint8_t> DeflateBytes(const std::vector<uint8_t>& data) {
 
 Result<std::vector<uint8_t>> InflateBytes(const std::vector<uint8_t>& data,
                                           size_t expected_size) {
+  // zlib's worst-case expansion is ~1032:1; an `expected_size` beyond
+  // that is a corrupt (or hostile) header, and front-allocating it
+  // would abort on bad_alloc before uncompress could fail cleanly.
+  if (expected_size > data.size() * 1032 + 64) {
+    return Status::Corruption("implausible inflate size");
+  }
   std::vector<uint8_t> out(expected_size);
   uLongf size = static_cast<uLongf>(expected_size);
   int rc = uncompress(out.data(), &size, data.data(),

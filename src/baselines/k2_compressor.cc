@@ -53,6 +53,12 @@ Result<K2GraphRepresentation> K2GraphRepresentation::Deserialize(
     if (present) {
       auto tree = K2Tree::Deserialize(&r);
       if (!tree.ok()) return tree.status();
+      // Every per-label tree spans the full adjacency matrix; anything
+      // else is corrupt and would let ToGraph emit out-of-range ids.
+      if (tree.value().num_rows() != rep.num_nodes_ ||
+          tree.value().num_cols() != rep.num_nodes_) {
+        return Status::Corruption("k2 tree dimensions mismatch header");
+      }
       rep.trees_.push_back(std::move(tree).ValueOrDie());
     } else {
       rep.trees_.push_back(K2Tree::Build(rep.num_nodes_, rep.num_nodes_, {}));

@@ -37,17 +37,23 @@ class K2GraphRepresentation {
   /// order).
   Hypergraph ToGraph() const;
 
-  /// \brief Out-neighbors of `v` under `label`.
+  /// \brief Out-neighbors of `v` under `label`; empty for labels or
+  /// nodes outside the represented ranges.
   std::vector<uint32_t> OutNeighbors(uint32_t v, Label label) const {
+    if (label >= trees_.size() || v >= num_nodes_) return {};
     return trees_[label].RowNeighbors(v);
   }
 
-  /// \brief In-neighbors of `v` under `label`.
+  /// \brief In-neighbors of `v` under `label`; empty out of range.
   std::vector<uint32_t> InNeighbors(uint32_t v, Label label) const {
+    if (label >= trees_.size() || v >= num_nodes_) return {};
     return trees_[label].ColNeighbors(v);
   }
 
   bool HasEdge(uint32_t u, uint32_t v, Label label) const {
+    if (label >= trees_.size() || u >= num_nodes_ || v >= num_nodes_) {
+      return false;
+    }
     return trees_[label].Contains(u, v);
   }
 

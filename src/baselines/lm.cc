@@ -5,6 +5,7 @@
 
 #include "src/baselines/deflate.h"
 #include "src/util/bit_stream.h"
+#include "src/util/byte_io.h"
 #include "src/util/elias.h"
 
 namespace grepair {
@@ -77,6 +78,11 @@ Result<Hypergraph> LmDecompress(const LmCompressed& compressed) {
     GREPAIR_RETURN_IF_ERROR(EliasDeltaDecode(&r, &merged_size));
     if (merged_size == 0) return Status::Corruption("bad merged size");
     --merged_size;
+    // Each merged entry costs at least one bit in the stream; a larger
+    // count is corrupt and would front-allocate attacker-chosen memory.
+    if (merged_size > inflated.value().size() * 8) {
+      return Status::Corruption("merged size exceeds stream");
+    }
     std::vector<uint32_t> merged(merged_size);
     uint32_t prev = 0;
     for (uint64_t m = 0; m < merged_size; ++m) {
@@ -107,6 +113,33 @@ Result<Hypergraph> LmDecompress(const LmCompressed& compressed) {
     }
   }
   return g;
+}
+
+std::vector<uint8_t> LmSerialize(const LmCompressed& compressed) {
+  std::vector<uint8_t> out;
+  PutU32LE(compressed.num_nodes, &out);
+  PutU32LE(compressed.chunk_size, &out);
+  PutU64LE(compressed.num_edges, &out);
+  PutU64LE(compressed.raw_stream_size, &out);
+  out.insert(out.end(), compressed.deflated.begin(),
+             compressed.deflated.end());
+  return out;
+}
+
+Result<LmCompressed> LmDeserialize(const std::vector<uint8_t>& bytes) {
+  LmCompressed c;
+  size_t pos = 0;
+  uint64_t raw_size = 0;
+  GREPAIR_RETURN_IF_ERROR(GetU32LE(bytes, &pos, &c.num_nodes));
+  GREPAIR_RETURN_IF_ERROR(GetU32LE(bytes, &pos, &c.chunk_size));
+  GREPAIR_RETURN_IF_ERROR(GetU64LE(bytes, &pos, &c.num_edges));
+  GREPAIR_RETURN_IF_ERROR(GetU64LE(bytes, &pos, &raw_size));
+  if (c.chunk_size < 1 || c.chunk_size > 64) {
+    return Status::Corruption("LM chunk size out of range");
+  }
+  c.raw_stream_size = raw_size;
+  c.deflated.assign(bytes.begin() + pos, bytes.end());
+  return c;
 }
 
 }  // namespace grepair

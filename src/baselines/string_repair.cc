@@ -140,7 +140,7 @@ size_t StringRePairResult::EstimateBits() const {
   return bits;
 }
 
-size_t AdjListRePairSizeBytes(const Hypergraph& g) {
+AdjRePairCompressed AdjListRePairCompress(const Hypergraph& g) {
   // Concatenated sorted adjacency lists; a unique separator per list
   // (symbol n + u) prevents pairs from spanning lists.
   std::vector<std::vector<uint32_t>> adj(g.num_nodes());
@@ -156,8 +156,115 @@ size_t AdjListRePairSizeBytes(const Hypergraph& g) {
     seq.insert(seq.end(), list.begin(), list.end());
     seq.push_back(g.num_nodes() + u);
   }
-  auto result = StringRePair(seq, 2 * g.num_nodes());
-  return (result.EstimateBits() + 7) / 8;
+  AdjRePairCompressed out;
+  out.num_nodes = g.num_nodes();
+  out.repair = StringRePair(seq, 2 * g.num_nodes());
+  return out;
+}
+
+Result<Hypergraph> AdjListRePairDecompress(
+    const AdjRePairCompressed& compressed) {
+  const uint32_t n = compressed.num_nodes;
+  // Bound the expansion before materializing it: nested rules can blow
+  // up exponentially (rule i = (i-1, i-1) doubles each level), so a
+  // tiny hostile payload could otherwise OOM. The cap mirrors
+  // DeriveOptions::max_edges plus one separator per node.
+  const uint64_t limit = 500'000'000ull + n + 1;
+  const auto& rules = compressed.repair.rules;
+  const uint32_t alpha = compressed.repair.alphabet_size;
+  std::vector<uint64_t> expanded_len(rules.size());
+  auto symbol_len = [&](uint32_t s) {
+    return s < alpha ? 1 : expanded_len[s - alpha];
+  };
+  for (size_t i = 0; i < rules.size(); ++i) {
+    expanded_len[i] = std::min(
+        symbol_len(rules[i].first) + symbol_len(rules[i].second),
+        limit + 1);
+  }
+  uint64_t total = 0;
+  for (uint32_t s : compressed.repair.sequence) {
+    total = std::min(total + symbol_len(s), limit + 1);
+  }
+  if (total > limit) {
+    return Status::Corruption("RePair expansion exceeds size limit");
+  }
+  std::vector<uint32_t> seq = StringRePairExpand(compressed.repair);
+  Hypergraph g(n);
+  std::vector<uint32_t> targets;
+  for (uint32_t s : seq) {
+    if (s < n) {
+      targets.push_back(s);
+    } else if (s < 2 * n) {
+      uint32_t u = s - n;
+      for (uint32_t t : targets) g.AddSimpleEdge(u, t, 0);
+      targets.clear();
+    } else {
+      return Status::Corruption("RePair symbol out of range");
+    }
+  }
+  if (!targets.empty()) {
+    return Status::Corruption("adjacency list missing its separator");
+  }
+  return g;
+}
+
+std::vector<uint8_t> AdjRePairSerialize(const AdjRePairCompressed& c) {
+  BitWriter w;
+  EliasDeltaEncode(c.num_nodes + 1, &w);
+  EliasDeltaEncode(c.repair.alphabet_size + 1, &w);
+  EliasDeltaEncode(c.repair.rules.size() + 1, &w);
+  for (const auto& [a, b] : c.repair.rules) {
+    EliasDeltaEncode(a + 1, &w);
+    EliasDeltaEncode(b + 1, &w);
+  }
+  EliasDeltaEncode(c.repair.sequence.size() + 1, &w);
+  for (uint32_t s : c.repair.sequence) EliasDeltaEncode(s + 1, &w);
+  return w.TakeBytes();
+}
+
+Result<AdjRePairCompressed> AdjRePairDeserialize(
+    const std::vector<uint8_t>& bytes) {
+  BitReader r(bytes);
+  AdjRePairCompressed c;
+  uint64_t num_nodes = 0, alphabet_size = 0, num_rules = 0, seq_len = 0;
+  GREPAIR_RETURN_IF_ERROR(EliasDeltaDecode(&r, &num_nodes));
+  GREPAIR_RETURN_IF_ERROR(EliasDeltaDecode(&r, &alphabet_size));
+  GREPAIR_RETURN_IF_ERROR(EliasDeltaDecode(&r, &num_rules));
+  if (num_nodes == 0 || alphabet_size == 0 || num_rules == 0) {
+    return Status::Corruption("bad RePair header");
+  }
+  c.num_nodes = static_cast<uint32_t>(num_nodes - 1);
+  c.repair.alphabet_size = static_cast<uint32_t>(alphabet_size - 1);
+  // RePair invariant: rule i references only terminals and earlier
+  // rules; enforcing it here keeps StringRePairExpand in-bounds and
+  // terminating on untrusted input.
+  for (uint64_t i = 0; i + 1 < num_rules; ++i) {
+    uint64_t a = 0, b = 0;
+    GREPAIR_RETURN_IF_ERROR(EliasDeltaDecode(&r, &a));
+    GREPAIR_RETURN_IF_ERROR(EliasDeltaDecode(&r, &b));
+    uint64_t limit = alphabet_size - 1 + i;
+    if (a == 0 || b == 0 || a - 1 >= limit || b - 1 >= limit) {
+      return Status::Corruption("RePair rule symbol out of range");
+    }
+    c.repair.rules.push_back({static_cast<uint32_t>(a - 1),
+                              static_cast<uint32_t>(b - 1)});
+  }
+  GREPAIR_RETURN_IF_ERROR(EliasDeltaDecode(&r, &seq_len));
+  if (seq_len == 0) return Status::Corruption("bad RePair sequence");
+  uint64_t symbol_limit = alphabet_size - 1 + c.repair.rules.size();
+  for (uint64_t i = 0; i + 1 < seq_len; ++i) {
+    uint64_t s = 0;
+    GREPAIR_RETURN_IF_ERROR(EliasDeltaDecode(&r, &s));
+    if (s == 0 || s - 1 >= symbol_limit) {
+      return Status::Corruption("RePair sequence symbol out of range");
+    }
+    c.repair.sequence.push_back(static_cast<uint32_t>(s - 1));
+  }
+  return c;
+}
+
+size_t AdjListRePairSizeBytes(const Hypergraph& g) {
+  return AdjRePairSerialize(AdjListRePairCompress(g)).size();
 }
 
 }  // namespace grepair

@@ -38,9 +38,31 @@ StringRePairResult StringRePair(const std::vector<uint32_t>& input,
 /// \brief Expands the grammar back to the original sequence.
 std::vector<uint32_t> StringRePairExpand(const StringRePairResult& result);
 
-/// \brief Claude-Navarro style graph compression: concatenated
-/// adjacency lists with per-list unique separators, compressed with
-/// RePair; returns the size estimate in bytes.
+/// \brief Claude-Navarro style graph compression: concatenated sorted
+/// adjacency lists with per-list unique separators (symbol n + u ends
+/// node u's list), compressed with RePair.
+struct AdjRePairCompressed {
+  uint32_t num_nodes = 0;
+  StringRePairResult repair;
+};
+
+/// \brief Compresses the unlabeled out-adjacency structure of `g`.
+AdjRePairCompressed AdjListRePairCompress(const Hypergraph& g);
+
+/// \brief Expands the RePair grammar and re-splits the separator-coded
+/// sequence back into adjacency lists (unlabeled graph, sorted lists).
+Result<Hypergraph> AdjListRePairDecompress(
+    const AdjRePairCompressed& compressed);
+
+/// \brief Delta-coded byte serialization; inverse of
+/// AdjRePairDeserialize. Used by the "repair-adj" GraphCodec adapter.
+std::vector<uint8_t> AdjRePairSerialize(const AdjRePairCompressed& c);
+
+Result<AdjRePairCompressed> AdjRePairDeserialize(
+    const std::vector<uint8_t>& bytes);
+
+/// \brief One-shot: serialized size in bytes of the adjacency-list
+/// RePair baseline (thin wrapper over AdjListRePairCompress).
 size_t AdjListRePairSizeBytes(const Hypergraph& g);
 
 }  // namespace grepair

@@ -177,6 +177,15 @@ std::vector<std::pair<uint32_t, uint32_t>> K2Tree::AllCells() const {
   if (num_cells_ == 0) return out;
   out.reserve(num_cells_);
   CollectCells(t_, l_, k_, 0, size_, 0, 0, &out);
+  // Build() never sets bits in the padding beyond (num_rows, num_cols),
+  // but a deserialized tree from corrupt bytes can; dropping such cells
+  // keeps every consumer's coordinate arithmetic in bounds.
+  out.erase(std::remove_if(out.begin(), out.end(),
+                           [this](const std::pair<uint32_t, uint32_t>& c) {
+                             return c.first >= num_rows_ ||
+                                    c.second >= num_cols_;
+                           }),
+            out.end());
   std::sort(out.begin(), out.end());
   return out;
 }

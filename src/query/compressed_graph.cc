@@ -4,8 +4,36 @@
 
 #include "src/encoding/grammar_coder.h"
 #include "src/query/speedup.h"
+#include "src/util/byte_io.h"
 
 namespace grepair {
+
+namespace {
+
+// Fills the val<->original id translation tables from a psi' mapping.
+// The origins must form a permutation of [0, |val(G)|_V); Deserialize
+// feeds this untrusted bytes, so out-of-range or duplicate ids are
+// Corruption, not UB.
+Status BuildIdTranslation(std::vector<NodeId>* to_original,
+                          std::vector<uint64_t>* to_val,
+                          const SlhrGrammar& grammar,
+                          const NodeMapping& mapping) {
+  auto origins = FlattenOrigins(grammar, mapping);
+  if (!origins.ok()) return origins.status();
+  *to_original = std::move(origins).ValueOrDie();
+  constexpr uint64_t kUnset = ~0ull;
+  to_val->assign(to_original->size(), kUnset);
+  for (uint64_t v = 0; v < to_original->size(); ++v) {
+    NodeId orig = (*to_original)[v];
+    if (orig >= to_original->size() || (*to_val)[orig] != kUnset) {
+      return Status::Corruption("psi' mapping is not a permutation");
+    }
+    (*to_val)[orig] = v;
+  }
+  return Status::OK();
+}
+
+}  // namespace
 
 Result<CompressedGraph> CompressedGraph::FromGraph(
     const Hypergraph& graph, const Alphabet& alphabet,
@@ -19,13 +47,8 @@ Result<CompressedGraph> CompressedGraph::FromGraph(
   g.mapping_ = std::move(result.value().mapping);
   g.stats_ = result.value().stats;
   if (keep_original_ids) {
-    auto origins = FlattenOrigins(*g.grammar_, g.mapping_);
-    if (!origins.ok()) return origins.status();
-    g.to_original_ = std::move(origins).ValueOrDie();
-    g.to_val_.resize(g.to_original_.size());
-    for (uint64_t v = 0; v < g.to_original_.size(); ++v) {
-      g.to_val_[g.to_original_[v]] = v;
-    }
+    GREPAIR_RETURN_IF_ERROR(BuildIdTranslation(
+        &g.to_original_, &g.to_val_, *g.grammar_, g.mapping_));
   }
   g.BuildIndexes();
   return g;
@@ -37,6 +60,57 @@ Result<CompressedGraph> CompressedGraph::FromGrammar(SlhrGrammar grammar) {
   g.grammar_ = std::make_unique<SlhrGrammar>(std::move(grammar));
   g.BuildIndexes();
   return g;
+}
+
+Result<CompressedGraph> CompressedGraph::FromGrammar(SlhrGrammar grammar,
+                                                     NodeMapping mapping) {
+  if (mapping.empty()) return FromGrammar(std::move(grammar));
+  GREPAIR_RETURN_IF_ERROR(grammar.Validate());
+  CompressedGraph g;
+  g.grammar_ = std::make_unique<SlhrGrammar>(std::move(grammar));
+  g.mapping_ = std::move(mapping);
+  GREPAIR_RETURN_IF_ERROR(BuildIdTranslation(
+      &g.to_original_, &g.to_val_, *g.grammar_, g.mapping_));
+  g.BuildIndexes();
+  return g;
+}
+
+std::vector<uint8_t> CompressedGraph::Serialize() const {
+  auto grammar_bytes = EncodeGrammar(*grammar_);
+  std::vector<uint8_t> out;
+  out.push_back(mapping_.empty() ? 0 : 1);
+  PutU64LE(grammar_bytes.size(), &out);
+  out.insert(out.end(), grammar_bytes.begin(), grammar_bytes.end());
+  if (!mapping_.empty()) {
+    auto mapping_bytes = EncodeNodeMapping(*grammar_, mapping_);
+    out.insert(out.end(), mapping_bytes.begin(), mapping_bytes.end());
+  }
+  return out;
+}
+
+Result<CompressedGraph> CompressedGraph::Deserialize(
+    const std::vector<uint8_t>& bytes) {
+  if (bytes.empty()) return Status::Corruption("empty serialization");
+  bool has_mapping = bytes[0] != 0;
+  size_t pos = 1;
+  uint64_t grammar_len = 0;
+  GREPAIR_RETURN_IF_ERROR(GetU64LE(bytes, &pos, &grammar_len));
+  if (grammar_len > bytes.size() - pos) {  // overflow-safe bounds check
+    return Status::Corruption("grammar frame overruns buffer");
+  }
+  std::vector<uint8_t> grammar_bytes(bytes.begin() + pos,
+                                     bytes.begin() + pos + grammar_len);
+  auto grammar = DecodeGrammar(grammar_bytes);
+  if (!grammar.ok()) return grammar.status();
+  if (!has_mapping) {
+    return FromGrammar(std::move(grammar).ValueOrDie());
+  }
+  std::vector<uint8_t> mapping_bytes(bytes.begin() + pos + grammar_len,
+                                     bytes.end());
+  auto mapping = DecodeNodeMapping(grammar.value(), mapping_bytes);
+  if (!mapping.ok()) return mapping.status();
+  return FromGrammar(std::move(grammar).ValueOrDie(),
+                     std::move(mapping).ValueOrDie());
 }
 
 void CompressedGraph::BuildIndexes() {

@@ -44,6 +44,20 @@ class CompressedGraph {
   /// queries use val(G) numbering.
   static Result<CompressedGraph> FromGrammar(SlhrGrammar grammar);
 
+  /// \brief Wraps a grammar together with a psi' node mapping (must
+  /// structurally match); queries use original-graph ids.
+  static Result<CompressedGraph> FromGrammar(SlhrGrammar grammar,
+                                             NodeMapping mapping);
+
+  /// \brief Self-contained serialization: the paper's binary grammar
+  /// format, framed together with the psi' mapping when one is carried
+  /// (the paper keeps the mapping out of band; SerializedSize() still
+  /// reports the grammar alone). Inverse of Deserialize.
+  std::vector<uint8_t> Serialize() const;
+
+  static Result<CompressedGraph> Deserialize(
+      const std::vector<uint8_t>& bytes);
+
   uint64_t num_nodes() const { return num_nodes_; }
   uint64_t num_edges() const { return num_edges_; }
 
@@ -73,6 +87,9 @@ class CompressedGraph {
 
   const SlhrGrammar& grammar() const { return *grammar_; }
   const CompressStats& stats() const { return stats_; }
+
+  /// \brief True when queries and Decompress use original-graph ids.
+  bool has_original_ids() const { return !to_original_.empty(); }
 
  private:
   CompressedGraph() = default;

@@ -1,0 +1,54 @@
+// Little-endian fixed-width byte encoding helpers.
+//
+// The baseline compressors' serialized headers (HN, LM, and the
+// codec-API container frames) are a handful of fixed-width integers in
+// front of an opaque payload; these helpers keep those headers
+// byte-order independent without pulling in the bit-stream machinery.
+
+#ifndef GREPAIR_UTIL_BYTE_IO_H_
+#define GREPAIR_UTIL_BYTE_IO_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace grepair {
+
+inline void PutU32LE(uint32_t v, std::vector<uint8_t>* out) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+inline void PutU64LE(uint64_t v, std::vector<uint8_t>* out) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+inline Status GetU32LE(const std::vector<uint8_t>& in, size_t* pos,
+                       uint32_t* v) {
+  if (*pos + 4 > in.size()) return Status::Corruption("truncated u32");
+  *v = 0;
+  for (int i = 0; i < 4; ++i) {
+    *v |= static_cast<uint32_t>(in[*pos + i]) << (8 * i);
+  }
+  *pos += 4;
+  return Status::OK();
+}
+
+inline Status GetU64LE(const std::vector<uint8_t>& in, size_t* pos,
+                       uint64_t* v) {
+  if (*pos + 8 > in.size()) return Status::Corruption("truncated u64");
+  *v = 0;
+  for (int i = 0; i < 8; ++i) {
+    *v |= static_cast<uint64_t>(in[*pos + i]) << (8 * i);
+  }
+  *pos += 8;
+  return Status::OK();
+}
+
+}  // namespace grepair
+
+#endif  // GREPAIR_UTIL_BYTE_IO_H_

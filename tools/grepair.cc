@@ -1,19 +1,33 @@
 // grepair — command-line driver for the library.
 //
 // Usage:
-//   grepair compress <in.graph> <out.grg> [--order KIND] [--max-rank N]
+//   grepair compress <in.graph> <out> [--backend NAME]
+//           [--options k=v,...] [--order KIND] [--max-rank N]
 //           [--no-prune] [--no-virtual] [--mapping out.map]
-//   grepair decompress <in.grg> <out.graph> [--mapping in.map]
+//   grepair decompress <in> <out.graph> [--mapping in.map]
+//   grepair bench --backend NAME|all --gen KIND [--size N]
+//           [--options k=v,...]
+//   grepair backends
 //   grepair stats <in.grg>
 //   grepair reach <in.grg> <from> <to>
 //   grepair neighbors <in.grg> <node>
 //   grepair components <in.grg>
 //   grepair gen <kind> <out.graph> [size]
 //
-// Graph files use the native text format of src/graph/graph_io.h; .grg
-// files are the paper's binary grammar format. `gen` kinds: er, ba,
-// coauth, rdf-types, rdf-entities, copies, dblp.
+// Every compressor in the repo sits behind the GraphCodec registry
+// (src/api/): `--backend` selects one ("grepair", "k2", "hn", "lm",
+// "repair-adj", "deflate"; see `grepair backends`), `--options` passes
+// codec-specific key=value options, and `bench` runs any backend (or
+// all of them) over any generated dataset with a round-trip check.
+// Backend output files carry a small container header naming the
+// codec, so `decompress` routes automatically; without --backend,
+// compress writes the paper's raw .grg binary grammar format as
+// before. Graph files use the native text format of
+// src/graph/graph_io.h. `gen` kinds: er, ba, coauth, rdf-types,
+// rdf-entities, copies, dblp.
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -21,9 +35,8 @@
 #include <string>
 #include <vector>
 
-#include "src/datasets/generators.h"
+#include "src/api/grepair_api.h"
 #include "src/encoding/grammar_coder.h"
-#include "src/graph/graph_io.h"
 #include "src/grepair/compressor.h"
 #include "src/query/neighborhood.h"
 #include "src/query/reachability.h"
@@ -33,20 +46,35 @@ using namespace grepair;
 
 namespace {
 
+// Container header for backend-tagged output files: magic, codec name
+// length, codec name, then the codec's Serialize() payload.
+constexpr char kCodecMagic[] = "GRPCODEC";
+constexpr size_t kCodecMagicLen = sizeof(kCodecMagic) - 1;
+
 int Usage() {
+  std::string backends;
+  for (const auto& name : api::CodecRegistry::Names()) {
+    if (!backends.empty()) backends += "|";
+    backends += name;
+  }
   std::fprintf(
       stderr,
       "usage: grepair <command> ...\n"
-      "  compress <in.graph> <out.grg> [--order natural|bfs|dfs|random|"
-      "fp0|fp] [--max-rank N] [--no-prune] [--no-virtual] "
-      "[--mapping out.map]\n"
-      "  decompress <in.grg> <out.graph> [--mapping in.map]\n"
+      "  compress <in.graph> <out> [--backend %s]\n"
+      "           [--options k=v,...] [--order natural|bfs|dfs|random|"
+      "fp0|fp] [--max-rank N]\n"
+      "           [--no-prune] [--no-virtual] [--mapping out.map]\n"
+      "  decompress <in> <out.graph> [--mapping in.map]\n"
+      "  bench --backend NAME|all --gen KIND [--size N] "
+      "[--options k=v,...]\n"
+      "  backends\n"
       "  stats <in.grg>\n"
       "  reach <in.grg> <from> <to>\n"
       "  neighbors <in.grg> <node>\n"
       "  components <in.grg>\n"
       "  gen <er|ba|coauth|rdf-types|rdf-entities|copies|dblp> "
-      "<out.graph> [size]\n");
+      "<out.graph> [size]\n",
+      backends.c_str());
   return 2;
 }
 
@@ -73,29 +101,130 @@ Result<SlhrGrammar> LoadGrammar(const std::string& path) {
   return DecodeGrammar(bytes);
 }
 
+// Wraps a codec payload in the tagged container format.
+std::vector<uint8_t> WrapCodecPayload(const std::string& backend,
+                                      const std::vector<uint8_t>& payload) {
+  std::vector<uint8_t> out(kCodecMagic, kCodecMagic + kCodecMagicLen);
+  out.push_back(static_cast<uint8_t>(backend.size()));
+  out.insert(out.end(), backend.begin(), backend.end());
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+// Splits a tagged container into backend name + payload; false when
+// `bytes` is not in the container format (e.g. a raw .grg file).
+bool UnwrapCodecPayload(const std::vector<uint8_t>& bytes,
+                        std::string* backend,
+                        std::vector<uint8_t>* payload) {
+  if (bytes.size() < kCodecMagicLen + 1 ||
+      std::memcmp(bytes.data(), kCodecMagic, kCodecMagicLen) != 0) {
+    return false;
+  }
+  size_t name_len = bytes[kCodecMagicLen];
+  if (bytes.size() < kCodecMagicLen + 1 + name_len) return false;
+  backend->assign(bytes.begin() + kCodecMagicLen + 1,
+                  bytes.begin() + kCodecMagicLen + 1 + name_len);
+  payload->assign(bytes.begin() + kCodecMagicLen + 1 + name_len,
+                  bytes.end());
+  return true;
+}
+
+int CompressWithBackend(const std::string& backend,
+                        const std::string& option_spec, const char* in_path,
+                        const char* out_path) {
+  auto loaded = LoadGraphText(in_path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  auto codec = api::CodecRegistry::Create(backend);
+  if (!codec.ok()) {
+    std::fprintf(stderr, "%s\n", codec.status().ToString().c_str());
+    return 1;
+  }
+  auto options = api::CodecOptions::Parse(option_spec);
+  if (!options.ok()) {
+    std::fprintf(stderr, "%s\n", options.status().ToString().c_str());
+    return 1;
+  }
+  auto rep = codec.value()->Compress(loaded.value().graph,
+                                     loaded.value().alphabet,
+                                     options.value());
+  if (!rep.ok()) {
+    std::fprintf(stderr, "%s\n", rep.status().ToString().c_str());
+    return 1;
+  }
+  auto bytes = WrapCodecPayload(backend, rep.value()->Serialize());
+  if (!WriteBytes(out_path, bytes)) {
+    std::fprintf(stderr, "cannot write %s\n", out_path);
+    return 1;
+  }
+  std::printf("[%s] %u edges -> %zu bytes on disk (%.3f bpe as measured "
+              "by the bench tables)\n",
+              backend.c_str(), loaded.value().graph.num_edges(),
+              bytes.size(),
+              BitsPerEdge(rep.value()->ByteSize(),
+                          loaded.value().graph.num_edges()));
+  return 0;
+}
+
 int CmdCompress(int argc, char** argv) {
   if (argc < 4) return Usage();
   CompressOptions options;
   std::string mapping_path;
+  std::string backend;
+  std::string option_spec;
+  bool legacy_flags = false;
   for (int i = 4; i < argc; ++i) {
     std::string arg = argv[i];
-    if (arg == "--order" && i + 1 < argc) {
+    if (arg == "--backend" && i + 1 < argc) {
+      backend = argv[++i];
+    } else if (arg == "--options" && i + 1 < argc) {
+      option_spec = argv[++i];
+    } else if (arg == "--order" && i + 1 < argc) {
       if (!ParseNodeOrderKind(argv[++i], &options.node_order)) {
         std::fprintf(stderr, "unknown order %s\n", argv[i]);
         return 2;
       }
+      legacy_flags = true;
     } else if (arg == "--max-rank" && i + 1 < argc) {
       options.max_rank = std::atoi(argv[++i]);
+      legacy_flags = true;
     } else if (arg == "--no-prune") {
       options.prune = false;
+      legacy_flags = true;
     } else if (arg == "--no-virtual") {
       options.connect_components = false;
+      legacy_flags = true;
     } else if (arg == "--mapping" && i + 1 < argc) {
       mapping_path = argv[++i];
       options.track_node_mapping = true;
     } else {
       return Usage();
     }
+  }
+  if (!backend.empty()) {
+    if (!mapping_path.empty()) {
+      std::fprintf(stderr,
+                   "--mapping is not used with --backend (the grepair "
+                   "backend embeds the mapping in its output)\n");
+      return 2;
+    }
+    if (legacy_flags) {
+      std::fprintf(stderr,
+                   "--order/--max-rank/--no-prune/--no-virtual are not "
+                   "used with --backend; pass them via --options "
+                   "(e.g. --options order=bfs,max-rank=3,prune=false,"
+                   "virtual=false)\n");
+      return 2;
+    }
+    return CompressWithBackend(backend, option_spec, argv[2], argv[3]);
+  }
+  if (!option_spec.empty()) {
+    std::fprintf(stderr,
+                 "--options requires --backend (the legacy path takes "
+                 "--order/--max-rank/... flags)\n");
+    return 2;
   }
   auto loaded = LoadGraphText(argv[2]);
   if (!loaded.ok()) {
@@ -129,6 +258,49 @@ int CmdCompress(int argc, char** argv) {
   return 0;
 }
 
+// Minimal alphabet covering the labels a codec's Decompress emits
+// (codec payloads do not carry label names).
+Alphabet InferAlphabet(const Hypergraph& g) {
+  Label max_label = 0;
+  for (const auto& e : g.edges()) max_label = std::max(max_label, e.label);
+  std::vector<int> ranks(g.num_edges() ? max_label + 1 : 0, 2);
+  for (const auto& e : g.edges()) ranks[e.label] = e.rank();
+  Alphabet alphabet;
+  for (size_t l = 0; l < ranks.size(); ++l) {
+    alphabet.Add("l" + std::to_string(l), ranks[l]);
+  }
+  return alphabet;
+}
+
+int DecompressWithBackend(const std::string& backend,
+                          const std::vector<uint8_t>& payload,
+                          const char* out_path) {
+  auto codec = api::CodecRegistry::Create(backend);
+  if (!codec.ok()) {
+    std::fprintf(stderr, "%s\n", codec.status().ToString().c_str());
+    return 1;
+  }
+  auto rep = codec.value()->Deserialize(payload);
+  if (!rep.ok()) {
+    std::fprintf(stderr, "%s\n", rep.status().ToString().c_str());
+    return 1;
+  }
+  auto graph = rep.value()->Decompress();
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  auto status =
+      SaveGraphText(graph.value(), InferAlphabet(graph.value()), out_path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("[%s] wrote %u nodes, %u edges\n", backend.c_str(),
+              graph.value().num_nodes(), graph.value().num_edges());
+  return 0;
+}
+
 int CmdDecompress(int argc, char** argv) {
   if (argc < 4) return Usage();
   std::string mapping_path;
@@ -139,7 +311,25 @@ int CmdDecompress(int argc, char** argv) {
       return Usage();
     }
   }
-  auto grammar = LoadGrammar(argv[2]);
+  std::vector<uint8_t> bytes;
+  if (!ReadBytes(argv[2], &bytes)) {
+    std::fprintf(stderr, "cannot read %s\n", argv[2]);
+    return 1;
+  }
+  {
+    std::string backend;
+    std::vector<uint8_t> payload;
+    if (UnwrapCodecPayload(bytes, &backend, &payload)) {
+      if (!mapping_path.empty()) {
+        std::fprintf(stderr,
+                     "--mapping is not used with backend-tagged files "
+                     "(any mapping is embedded in the payload)\n");
+        return 2;
+      }
+      return DecompressWithBackend(backend, payload, argv[3]);
+    }
+  }
+  auto grammar = DecodeGrammar(bytes);
   if (!grammar.ok()) {
     std::fprintf(stderr, "%s\n", grammar.status().ToString().c_str());
     return 1;
@@ -262,30 +452,37 @@ int CmdComponents(int argc, char** argv) {
   return 0;
 }
 
-int CmdGen(int argc, char** argv) {
-  if (argc < 4) return Usage();
-  std::string kind = argv[2];
-  uint32_t size = argc >= 5 ? static_cast<uint32_t>(std::atoi(argv[4])) : 0;
-  GeneratedGraph g;
+// Builds the named synthetic dataset; false on unknown kind. `size`
+// is the kind's primary scale knob (0 = default).
+bool MakeGenerated(const std::string& kind, uint32_t size,
+                   GeneratedGraph* g) {
   if (kind == "er") {
     uint32_t n = size ? size : 1000;
-    g = ErdosRenyi(n, n * 4, 1);
+    *g = ErdosRenyi(n, n * 4, 1);
   } else if (kind == "ba") {
-    g = BarabasiAlbert(size ? size : 1000, 4, 1);
+    *g = BarabasiAlbert(size ? size : 1000, 4, 1);
   } else if (kind == "coauth") {
     uint32_t n = size ? size : 1000;
-    g = CoAuthorship(n, n * 3 / 2, 1);
+    *g = CoAuthorship(n, n * 3 / 2, 1);
   } else if (kind == "rdf-types") {
-    g = RdfTypes(size ? size : 10000, 50, 1);
+    *g = RdfTypes(size ? size : 10000, 50, 1);
   } else if (kind == "rdf-entities") {
-    g = RdfEntities(size ? size : 2000, 12, 100, 1);
+    *g = RdfEntities(size ? size : 2000, 12, 100, 1);
   } else if (kind == "copies") {
-    g = DisjointCopies(CycleWithDiagonal(), size ? size : 256, "copies");
+    *g = DisjointCopies(CycleWithDiagonal(), size ? size : 256, "copies");
   } else if (kind == "dblp") {
-    g = DblpVersions(size ? size : 8, 200, 100, 1, "dblp");
+    *g = DblpVersions(size ? size : 8, 200, 100, 1, "dblp");
   } else {
-    return Usage();
+    return false;
   }
+  return true;
+}
+
+int CmdGen(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  uint32_t size = argc >= 5 ? static_cast<uint32_t>(std::atoi(argv[4])) : 0;
+  GeneratedGraph g;
+  if (!MakeGenerated(argv[2], size, &g)) return Usage();
   auto status = SaveGraphText(g.graph, g.alphabet, argv[3]);
   if (!status.ok()) {
     std::fprintf(stderr, "%s\n", status.ToString().c_str());
@@ -296,6 +493,139 @@ int CmdGen(int argc, char** argv) {
   return 0;
 }
 
+// Sorted unique (source, target) pairs; the round-trip invariant every
+// codec guarantees (the unlabeled baselines drop labels, so the bench
+// check compares structure, not labels).
+std::vector<std::pair<uint32_t, uint32_t>> UnlabeledEdgeSet(
+    const Hypergraph& g) {
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
+  for (const auto& e : g.edges()) {
+    if (e.att.size() == 2) edges.push_back({e.att[0], e.att[1]});
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  return edges;
+}
+
+// Runs one codec over a generated dataset: compress, size, timing, and
+// a full serialize -> deserialize -> decompress round-trip check.
+// Returns 1 on hard failure, 0 on success or not-applicable.
+int BenchOne(const std::string& backend, const GeneratedGraph& gg,
+             const api::CodecOptions& options, bool* applicable) {
+  *applicable = false;
+  auto codec = api::CodecRegistry::Create(backend);
+  if (!codec.ok()) {
+    std::fprintf(stderr, "%s\n", codec.status().ToString().c_str());
+    return 1;
+  }
+  auto t0 = std::chrono::steady_clock::now();
+  auto rep = codec.value()->Compress(gg.graph, gg.alphabet, options);
+  auto t1 = std::chrono::steady_clock::now();
+  if (!rep.ok()) {
+    if (rep.status().code() == StatusCode::kInvalidArgument) {
+      std::printf("%-12s %12s   (%s)\n", backend.c_str(), "n/a",
+                  rep.status().message().c_str());
+      return 0;
+    }
+    std::fprintf(stderr, "%s: %s\n", backend.c_str(),
+                 rep.status().ToString().c_str());
+    return 1;
+  }
+  *applicable = true;
+  auto bytes = rep.value()->Serialize();
+  auto round = codec.value()->Deserialize(bytes);
+  const char* roundtrip = "FAIL";
+  if (round.ok()) {
+    auto back = round.value()->Decompress();
+    if (back.ok() && back.value().num_nodes() == gg.graph.num_nodes() &&
+        UnlabeledEdgeSet(back.value()) == UnlabeledEdgeSet(gg.graph)) {
+      roundtrip = "ok";
+    }
+  }
+  double seconds = std::chrono::duration<double>(t1 - t0).count();
+  std::printf("%-12s %12zu %9.3f %10.1f %10s %10s\n", backend.c_str(),
+              rep.value()->ByteSize(),
+              BitsPerEdge(rep.value()->ByteSize(), gg.graph.num_edges()),
+              seconds * 1e3,
+              (codec.value()->capabilities() & api::kNeighborQueries)
+                  ? "yes"
+                  : "no",
+              roundtrip);
+  return std::strcmp(roundtrip, "ok") == 0 ? 0 : 1;
+}
+
+int CmdBench(int argc, char** argv) {
+  std::string backend = "all";
+  std::string kind;
+  std::string option_spec;
+  uint32_t size = 0;
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--backend" && i + 1 < argc) {
+      backend = argv[++i];
+    } else if (arg == "--gen" && i + 1 < argc) {
+      kind = argv[++i];
+    } else if (arg == "--size" && i + 1 < argc) {
+      size = static_cast<uint32_t>(std::atoi(argv[++i]));
+    } else if (arg == "--options" && i + 1 < argc) {
+      option_spec = argv[++i];
+    } else {
+      return Usage();
+    }
+  }
+  if (kind.empty()) return Usage();
+  GeneratedGraph gg;
+  if (!MakeGenerated(kind, size, &gg)) {
+    std::fprintf(stderr, "unknown dataset kind %s\n", kind.c_str());
+    return 2;
+  }
+  auto options = api::CodecOptions::Parse(option_spec);
+  if (!options.ok()) {
+    std::fprintf(stderr, "%s\n", options.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("dataset %s: %u nodes, %u edges, %zu labels\n",
+              gg.name.c_str(), gg.graph.num_nodes(), gg.graph.num_edges(),
+              gg.alphabet.size());
+  std::printf("%-12s %12s %9s %10s %10s %10s\n", "backend", "bytes", "bpe",
+              "ms", "queries", "roundtrip");
+  int rc = 0;
+  if (backend == "all") {
+    bool any_applicable = false;
+    for (const auto& name : api::CodecRegistry::Names()) {
+      bool applicable = false;
+      rc |= BenchOne(name, gg, options.value(), &applicable);
+      any_applicable |= applicable;
+    }
+    if (!any_applicable && rc == 0) {
+      // Every codec refusing usually means the --options spec itself is
+      // bad (a typo'd key rejects everywhere), not a benign mismatch.
+      std::fprintf(stderr, "no codec ran; check --options\n");
+      rc = 1;
+    }
+  } else {
+    bool applicable = false;
+    rc |= BenchOne(backend, gg, options.value(), &applicable);
+    if (rc == 0 && !applicable) rc = 1;  // asked-for backend must run
+  }
+  return rc;
+}
+
+int CmdBackends() {
+  for (const auto& name : api::CodecRegistry::Names()) {
+    auto codec = api::CodecRegistry::Create(name).ValueOrDie();
+    uint32_t caps = codec->capabilities();
+    std::printf("%-12s labels=%s hyperedges=%s neighbors=%s "
+                "reachability=%s\n",
+                name.c_str(),
+                (caps & api::kSupportsLabels) ? "yes" : "no",
+                (caps & api::kSupportsHyperedges) ? "yes" : "no",
+                (caps & api::kNeighborQueries) ? "yes" : "no",
+                (caps & api::kReachabilityQueries) ? "yes" : "no");
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -303,6 +633,8 @@ int main(int argc, char** argv) {
   std::string cmd = argv[1];
   if (cmd == "compress") return CmdCompress(argc, argv);
   if (cmd == "decompress") return CmdDecompress(argc, argv);
+  if (cmd == "bench") return CmdBench(argc, argv);
+  if (cmd == "backends") return CmdBackends();
   if (cmd == "stats") return CmdStats(argc, argv);
   if (cmd == "reach") return CmdReach(argc, argv);
   if (cmd == "neighbors") return CmdNeighbors(argc, argv);
