@@ -56,6 +56,13 @@ inline GrepairRun RunGrepair(const GeneratedGraph& gg,
   return run;
 }
 
+/// \brief Registry names without the sharded:<inner> meta-variants —
+/// the paper-table reproductions compare the paper's codecs;
+/// bench/shard_scaling.cc covers the sharded layer.
+inline std::vector<std::string> PaperCodecNames() {
+  return api::CodecRegistry::BaseNames();
+}
+
 /// \brief One registry codec's run over a dataset.
 struct CodecRun {
   bool ok = false;       ///< false: failed or not applicable to the input

@@ -16,7 +16,7 @@ using namespace grepair;
 using namespace grepair::bench;
 
 int main() {
-  auto codecs = api::CodecRegistry::Names();
+  auto codecs = PaperCodecNames();
   std::printf("Figure 12: network graphs, bpe by registered codec\n");
   std::printf("%-14s", "graph");
   for (const auto& codec : codecs) std::printf(" %10s", codec.c_str());

@@ -6,6 +6,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
 #include "src/api/grepair_api.h"
 #include "src/encoding/grammar_coder.h"
 #include "src/grepair/compressor.h"
@@ -100,7 +101,7 @@ void BM_CodecCompress(benchmark::State& state, std::string codec_name) {
 }
 
 void RegisterCodecBenchmarks() {
-  for (const auto& name : api::CodecRegistry::Names()) {
+  for (const auto& name : bench::PaperCodecNames()) {
     benchmark::RegisterBenchmark(("BM_CodecCompress/" + name).c_str(),
                                  BM_CodecCompress, name)
         ->Unit(benchmark::kMillisecond);

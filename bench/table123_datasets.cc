@@ -18,7 +18,7 @@ using namespace grepair::bench;
 namespace {
 
 void PrintTable(const char* title, const std::vector<std::string>& names) {
-  auto codecs = api::CodecRegistry::Names();
+  auto codecs = PaperCodecNames();
   std::printf("\n== %s ==\n", title);
   std::printf("%-24s %10s %10s %5s %12s %8s | %12s %8s |", "graph", "|V|",
               "|E|", "|S|", "classes", "cls/|V|", "paper cls",

@@ -31,6 +31,7 @@
 #include "src/baselines/string_repair.h"
 #include "src/graph/node_order.h"
 #include "src/query/compressed_graph.h"
+#include "src/shard/sharded_codec.h"
 #include "src/util/byte_io.h"
 #include "src/util/elias.h"
 
@@ -544,6 +545,29 @@ void RegisterBuiltinCodecs() {
   });
   CodecRegistry::Register("deflate", [] {
     return std::unique_ptr<GraphCodec>(new DeflateCodec());
+  });
+  // Sharded meta-variants of every builtin, so Names() (and with it
+  // `bench --backend all` and the parameterized round-trip tests)
+  // covers them. Factories are function pointers, hence one literal
+  // per name instead of a loop.
+  CodecRegistry::Register("sharded:grepair", [] {
+    return std::unique_ptr<GraphCodec>(new shard::ShardedCodec("grepair"));
+  });
+  CodecRegistry::Register("sharded:k2", [] {
+    return std::unique_ptr<GraphCodec>(new shard::ShardedCodec("k2"));
+  });
+  CodecRegistry::Register("sharded:hn", [] {
+    return std::unique_ptr<GraphCodec>(new shard::ShardedCodec("hn"));
+  });
+  CodecRegistry::Register("sharded:lm", [] {
+    return std::unique_ptr<GraphCodec>(new shard::ShardedCodec("lm"));
+  });
+  CodecRegistry::Register("sharded:repair-adj", [] {
+    return std::unique_ptr<GraphCodec>(
+        new shard::ShardedCodec("repair-adj"));
+  });
+  CodecRegistry::Register("sharded:deflate", [] {
+    return std::unique_ptr<GraphCodec>(new shard::ShardedCodec("deflate"));
   });
 }
 

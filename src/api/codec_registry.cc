@@ -4,6 +4,8 @@
 #include <map>
 #include <mutex>
 
+#include "src/shard/sharded_codec.h"
+
 namespace grepair {
 namespace api {
 
@@ -50,6 +52,21 @@ Result<std::unique_ptr<GraphCodec>> CodecRegistry::Create(
     auto it = FactoryMap().find(name);
     if (it != FactoryMap().end()) factory = it->second;
   }
+  // "sharded:<inner>" resolves for ANY registered inner codec, not
+  // just the pre-registered builtin variants (one level of nesting;
+  // a sharded shard would just pay the container tax twice).
+  constexpr char kShardedPrefix[] = "sharded:";
+  if (factory == nullptr && name.rfind(kShardedPrefix, 0) == 0) {
+    std::string inner = name.substr(sizeof(kShardedPrefix) - 1);
+    if (inner.rfind(kShardedPrefix, 0) == 0) {
+      return Status::InvalidArgument(
+          "a sharded inner codec cannot itself be sharded ('" + name + "')");
+    }
+    auto inner_codec = Create(inner);
+    if (!inner_codec.ok()) return inner_codec.status();
+    return std::unique_ptr<GraphCodec>(new shard::ShardedCodec(
+        inner, std::move(inner_codec).ValueOrDie()));
+  }
   if (factory == nullptr) {
     std::string known;
     for (const auto& n : Names()) {
@@ -69,6 +86,14 @@ std::vector<std::string> CodecRegistry::Names() {
   names.reserve(FactoryMap().size());
   for (const auto& [name, factory] : FactoryMap()) names.push_back(name);
   return names;  // std::map iterates sorted
+}
+
+std::vector<std::string> CodecRegistry::BaseNames() {
+  std::vector<std::string> names;
+  for (auto& name : Names()) {
+    if (name.rfind("sharded:", 0) != 0) names.push_back(std::move(name));
+  }
+  return names;
 }
 
 }  // namespace api

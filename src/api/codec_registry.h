@@ -35,6 +35,10 @@ class CodecRegistry {
 
   /// \brief All registered names, sorted.
   static std::vector<std::string> Names();
+
+  /// \brief Names() without the "sharded:<inner>" meta-variants — the
+  /// base compressors themselves.
+  static std::vector<std::string> BaseNames();
 };
 
 /// \brief Registers `CodecClass` (default-constructible GraphCodec

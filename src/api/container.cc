@@ -1,0 +1,44 @@
+#include "src/api/container.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace grepair {
+namespace api {
+
+const char kCodecContainerMagic[8] = {'G', 'R', 'P', 'C', 'O', 'D', 'E', 'C'};
+
+std::vector<uint8_t> WrapCodecPayload(const std::string& name,
+                                      const std::vector<uint8_t>& payload) {
+  assert(name.size() <= 255);
+  std::vector<uint8_t> out(kCodecContainerMagic, kCodecContainerMagic + 8);
+  out.push_back(static_cast<uint8_t>(name.size()));
+  out.insert(out.end(), name.begin(), name.end());
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+bool IsCodecContainer(const std::vector<uint8_t>& bytes) {
+  return bytes.size() >= 8 &&
+         std::memcmp(bytes.data(), kCodecContainerMagic, 8) == 0;
+}
+
+Status UnwrapCodecPayload(const std::vector<uint8_t>& bytes,
+                          std::string* name, std::vector<uint8_t>* payload) {
+  if (!IsCodecContainer(bytes)) {
+    return Status::InvalidArgument("not a codec container (bad magic)");
+  }
+  if (bytes.size() < 9) {
+    return Status::Corruption("codec container truncated before name");
+  }
+  size_t name_len = bytes[8];
+  if (name_len == 0 || bytes.size() < 9 + name_len) {
+    return Status::Corruption("codec container truncated inside name");
+  }
+  name->assign(bytes.begin() + 9, bytes.begin() + 9 + name_len);
+  payload->assign(bytes.begin() + 9 + name_len, bytes.end());
+  return Status::OK();
+}
+
+}  // namespace api
+}  // namespace grepair

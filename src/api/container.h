@@ -1,0 +1,46 @@
+// Tagged codec container: the on-disk framing for backend-tagged
+// compressed files.
+//
+// A container is `magic "GRPCODEC" | u8 name_len | name | payload`,
+// where `name` is the registry name of the codec that produced
+// `payload` (its CompressedRep::Serialize() bytes). The CLI writes
+// this frame so `decompress` can route to the right backend without
+// being told; the sharded meta-codec nests its own per-shard payloads
+// inside one. The layout is a stability surface: golden-file tests
+// (tests/container_format_test.cc) pin the exact bytes, so any change
+// here must bump the magic, not mutate the existing frame.
+
+#ifndef GREPAIR_API_CONTAINER_H_
+#define GREPAIR_API_CONTAINER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace grepair {
+namespace api {
+
+/// \brief The 8-byte frame magic ("GRPCODEC", no terminator).
+extern const char kCodecContainerMagic[8];
+
+/// \brief Frames `payload` as a backend-tagged container. `name` must
+/// be a registry-style codec name of at most 255 bytes.
+std::vector<uint8_t> WrapCodecPayload(const std::string& name,
+                                      const std::vector<uint8_t>& payload);
+
+/// \brief True if `bytes` starts with the container magic.
+bool IsCodecContainer(const std::vector<uint8_t>& bytes);
+
+/// \brief Splits a tagged container into codec name + payload.
+/// kInvalidArgument when the magic is absent (the file is some other
+/// format, e.g. a raw .grg grammar); kCorruption when the magic is
+/// present but the frame is truncated.
+Status UnwrapCodecPayload(const std::vector<uint8_t>& bytes,
+                          std::string* name, std::vector<uint8_t>* payload);
+
+}  // namespace api
+}  // namespace grepair
+
+#endif  // GREPAIR_API_CONTAINER_H_

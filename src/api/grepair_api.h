@@ -3,6 +3,9 @@
 // Downstream users include this one header and get:
 //   * the polymorphic codec API (GraphCodec, CompressedRep,
 //     CodecOptions, CodecRegistry) over gRePair and every baseline,
+//   * the sharded parallel-compression layer (PartitionGraph,
+//     ParallelCompressor, the "sharded:<inner>" meta-codecs) and the
+//     tagged container framing,
 //   * CompressedGraph, the queryable gRePair representation,
 //   * hypergraph + alphabet types and text/SNAP graph IO,
 //   * the deterministic dataset generators used by the benches.
@@ -21,12 +24,16 @@
 #define GREPAIR_API_GREPAIR_API_H_
 
 #include "src/api/codec_registry.h"
+#include "src/api/container.h"
 #include "src/api/graph_codec.h"
 #include "src/datasets/generators.h"
 #include "src/encoding/grammar_coder.h"
 #include "src/graph/graph_io.h"
 #include "src/graph/hypergraph.h"
 #include "src/query/compressed_graph.h"
+#include "src/shard/parallel_compressor.h"
+#include "src/shard/partitioner.h"
+#include "src/shard/sharded_codec.h"
 #include "src/util/status.h"
 
 #endif  // GREPAIR_API_GREPAIR_API_H_

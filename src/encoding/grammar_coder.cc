@@ -55,6 +55,9 @@ Status DecodeRule(uint32_t num_labels, BitReader* r, Hypergraph* rhs,
   --num_edges;
   --num_nodes;
   --rank;
+  if (num_nodes > 0xFFFFFFFFull) {
+    return Status::Corruption("rhs node count out of range");
+  }
   if (rank == 0 || rank > 64) {
     return Status::Corruption("nonterminal rank out of range");
   }
@@ -157,6 +160,8 @@ std::vector<uint8_t> EncodeGrammar(const SlhrGrammar& grammar,
     assert(a.label < b.label || (a.label == b.label && !(b.att < a.att)));
   }
 #endif
+  uint64_t encoded_dup_edges = 0;  // whole-grammar budget, see header
+  (void)encoded_dup_edges;
   for (Label l = 0; l < alpha.size(); ++l) {
     // Collect this label's edges (contiguous in canonical order).
     std::vector<EdgeId> label_edges;
@@ -186,8 +191,16 @@ std::vector<uint8_t> EncodeGrammar(const SlhrGrammar& grammar,
       std::vector<std::pair<uint64_t, uint32_t>> dups;
       for (size_t ci = 0; ci < unique_cells.size(); ++ci) {
         uint32_t m = mult[unique_cells[ci]];
-        if (m > 1) dups.push_back({ci, m - 1});
+        if (m > 1) {
+          dups.push_back({ci, m - 1});
+          encoded_dup_edges += m - 1;
+        }
       }
+      // Format limit mirrored by the decoder's corruption guard
+      // (kMaxDupEdges, global across label sections). Graphs past it
+      // would serialize into undecodable files; Compress() rejects
+      // them with a Status, so here it is an encoder invariant.
+      assert(encoded_dup_edges <= kMaxDupEdges);
       EliasDeltaEncode(dups.size() + 1, &w);
       for (const auto& [cell_rank, extra] : dups) {
         EliasDeltaEncode(cell_rank + 1, &w);
@@ -245,18 +258,34 @@ Result<SlhrGrammar> DecodeGrammar(const std::vector<uint8_t>& bytes) {
   }
   --num_rules;
   --start_nodes;
+  // Untrusted counts that size an allocation are bounded by what the
+  // remaining input could possibly encode (>= 1 bit per decoded item);
+  // a corrupted Elias code can otherwise claim 2^50 rules and take the
+  // process down with bad_alloc before any per-item decode fails.
+  const uint64_t total_bits = bytes.size() * 8;
+  if (start_nodes > 0xFFFFFFFFull) {
+    return Status::Corruption("start node count out of range");
+  }
+  if (num_rules > total_bits) {
+    return Status::Corruption("rule count exceeds input size");
+  }
 
   SlhrGrammar grammar(std::move(terminals),
                       Hypergraph(static_cast<uint32_t>(start_nodes)));
 
   // Rules: decode bodies first, then install (ranks come from the rhs).
+  // The body vector grows per successfully decoded rule instead of
+  // being sized from the untrusted count: a corrupt count within the
+  // total_bits bound could still claim ~56 bytes of Hypergraph per
+  // input BIT, a ~450x allocation amplification.
   const uint32_t num_labels =
       static_cast<uint32_t>(num_terminals + num_rules);
-  std::vector<Hypergraph> rule_bodies(num_rules);
+  std::vector<Hypergraph> rule_bodies;
   for (uint64_t j = 0; j < num_rules; ++j) {
     uint32_t rank = 0;
-    GREPAIR_RETURN_IF_ERROR(
-        DecodeRule(num_labels, &r, &rule_bodies[j], &rank));
+    Hypergraph body;
+    GREPAIR_RETURN_IF_ERROR(DecodeRule(num_labels, &r, &body, &rank));
+    rule_bodies.push_back(std::move(body));
     Label nt = grammar.AddNonterminal(static_cast<int>(rank));
     (void)nt;
   }
@@ -270,24 +299,30 @@ Result<SlhrGrammar> DecodeGrammar(const std::vector<uint8_t>& bytes) {
   GREPAIR_RETURN_IF_ERROR(EliasDeltaDecode(&r, &num_perms));
   if (num_perms == 0) return Status::Corruption("bad perm count");
   --num_perms;
-  std::vector<std::vector<uint8_t>> perms(num_perms);
-  for (auto& perm : perms) {
+  if (num_perms > total_bits) {
+    return Status::Corruption("perm count exceeds input size");
+  }
+  // Grown per decoded entry, not sized up front (see rule_bodies).
+  std::vector<std::vector<uint8_t>> perms;
+  for (uint64_t i = 0; i < num_perms; ++i) {
     uint64_t len = 0;
     GREPAIR_RETURN_IF_ERROR(EliasDeltaDecode(&r, &len));
     if (len == 0 || len > 64) return Status::Corruption("bad perm length");
-    perm.resize(len);
+    std::vector<uint8_t> perm(len);
     for (auto& p : perm) {
       uint64_t v = 0;
       GREPAIR_RETURN_IF_ERROR(EliasDeltaDecode(&r, &v));
       if (v == 0 || v > len) return Status::Corruption("bad perm entry");
       p = static_cast<uint8_t>(v - 1);
     }
+    perms.push_back(std::move(perm));
   }
   const int perm_bits = IndexBits(perms.size());
 
   // Start graph label sections.
   Hypergraph* start = grammar.mutable_start();
   const Alphabet& alpha = grammar.alphabet();
+  uint64_t decoded_dup_edges = 0;  // whole-grammar budget, see header
   for (Label l = 0; l < alpha.size(); ++l) {
     bool present = false;
     GREPAIR_RETURN_IF_ERROR(r.ReadBit(&present));
@@ -301,6 +336,13 @@ Result<SlhrGrammar> DecodeGrammar(const std::vector<uint8_t>& bytes) {
       if (num_dups == 0) return Status::Corruption("bad dup count");
       --num_dups;
       std::vector<uint32_t> multiplicity(cells.size(), 1);
+      // Distinct cells are input-proportional (each costs >= 1 tree
+      // bit), so only the duplicate count needs an absolute cap: dup
+      // entries amplify by design (one Elias code can claim many
+      // parallel edges), and a crafted 60-byte file aiming at parser
+      // OOM must die here instead of in AddEdge. The budget
+      // (kMaxDupEdges) is global across label sections — per-section
+      // budgets could be evaded by declaring many labels.
       for (uint64_t d = 0; d < num_dups; ++d) {
         uint64_t cell_rank = 0, extra = 0;
         GREPAIR_RETURN_IF_ERROR(EliasDeltaDecode(&r, &cell_rank));
@@ -308,6 +350,16 @@ Result<SlhrGrammar> DecodeGrammar(const std::vector<uint8_t>& bytes) {
         if (cell_rank == 0 || cell_rank > cells.size()) {
           return Status::Corruption("bad dup cell");
         }
+        // Caps materialized duplicates and keeps both this sum and
+        // the uint32 multiplicity accumulator from wrapping on
+        // corrupt input; checked as `extra > budget` because a near-
+        // 2^64 extra would wrap `decoded_dup_edges += extra` back
+        // under the cap (defined unsigned arithmetic, invisible to
+        // UBSan).
+        if (extra > kMaxDupEdges - decoded_dup_edges) {
+          return Status::Corruption("edge multiplicity overflow");
+        }
+        decoded_dup_edges += extra;
         multiplicity[cell_rank - 1] += static_cast<uint32_t>(extra);
       }
       for (size_t ci = 0; ci < cells.size(); ++ci) {
@@ -317,9 +369,20 @@ Result<SlhrGrammar> DecodeGrammar(const std::vector<uint8_t>& bytes) {
       }
     } else {
       // Incidence: rebuild per-column node sets, then apply perms.
+      // Every edge column holds >= 1 incidence cell, so the claimed
+      // column count is bounded by the (input-bounded) cell count —
+      // sizing `cols` straight from the header would amplify each
+      // input bit into a 24-byte empty vector.
       uint32_t num_edges = tree.value().num_cols();
+      auto incidence_cells = tree.value().AllCells();
+      if (num_edges > incidence_cells.size()) {
+        return Status::Corruption("hyperedge count exceeds incidence cells");
+      }
       std::vector<std::vector<NodeId>> cols(num_edges);
-      for (const auto& cell : tree.value().AllCells()) {
+      for (const auto& cell : incidence_cells) {
+        if (cell.second >= num_edges) {
+          return Status::Corruption("incidence cell column out of range");
+        }
         cols[cell.second].push_back(cell.first);
       }
       for (uint32_t col = 0; col < num_edges; ++col) {

@@ -43,15 +43,28 @@ struct EncodeStats {
   size_t start_graph_bits = 0;
 };
 
+/// \brief Format capacity limit: total duplicate parallel rank-2
+/// edges per encoded grammar (summed over all label sections, so a
+/// crafted file cannot evade it by spreading duplicates across many
+/// sections). DecodeGrammar rejects files beyond it as corrupt (the
+/// multiplicity field is how crafted input requests parser OOM),
+/// Compress() returns InvalidArgument for graphs that would exceed
+/// it, and EncodeGrammar asserts it as an invariant.
+inline constexpr uint64_t kMaxDupEdges = 1ull << 24;
+
 /// \brief Serializes the grammar to the paper's bit format.
 ///
 /// The grammar must be valid (SlhrGrammar::Validate) and its start
-/// graph must be in canonical edge order.
+/// graph must be in canonical edge order; see kMaxDupEdges for the
+/// parallel-edge capacity limit.
 std::vector<uint8_t> EncodeGrammar(const SlhrGrammar& grammar,
                                    EncodeStats* stats = nullptr);
 
 /// \brief Parses a grammar from EncodeGrammar's output. Label names are
-/// synthetic (they are not serialized).
+/// synthetic (they are not serialized). Treats `bytes` as untrusted:
+/// counts that size allocations are bounded by the input size and the
+/// capacity limits above, so corrupt or crafted input yields a clean
+/// Status instead of unbounded allocation.
 Result<SlhrGrammar> DecodeGrammar(const std::vector<uint8_t>& bytes);
 
 /// \brief Convenience: bits-per-edge of an encoded grammar for a graph

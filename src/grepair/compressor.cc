@@ -5,6 +5,7 @@
 #include <map>
 #include <memory>
 
+#include "src/encoding/grammar_coder.h"
 #include "src/graph/graph_algos.h"
 #include "src/grepair/occurrence_index.h"
 
@@ -576,6 +577,22 @@ Result<CompressResult> Compress(const Hypergraph& graph,
   }
   Compressor compressor(graph, alphabet, options);
   CompressResult result = compressor.Run();
+  // The binary format caps total duplicate parallel rank-2 edges at
+  // kMaxDupEdges (grammar_coder.h); enforce it here, where there is
+  // an error channel, so EncodeGrammar can never emit a file its own
+  // decoder rejects. Start edges are in canonical (label, attachment)
+  // order, so duplicates are adjacent.
+  const Hypergraph& start = result.grammar.start();
+  uint64_t dup_edges = 0;
+  for (uint32_t i = 1; i < start.num_edges(); ++i) {
+    if (start.edge(i).rank() == 2 && start.edge(i) == start.edge(i - 1)) {
+      if (++dup_edges > kMaxDupEdges) {
+        return Status::InvalidArgument(
+            "graph exceeds the grammar format's capacity of " +
+            std::to_string(kMaxDupEdges) + " duplicate parallel edges");
+      }
+    }
+  }
   return result;
 }
 

@@ -1,0 +1,90 @@
+// Graph partitioning for sharded compression.
+//
+// Both strategies split a Hypergraph into `num_shards` edge-disjoint
+// subgraphs plus one cut-edge remainder shard (always present, often
+// empty), so the downstream ParallelCompressor and ShardedRep treat
+// every partition uniformly as K+1 shards:
+//
+//   * kEdgeRange (vertex-cut): edges are split into num_shards
+//     contiguous index ranges. A node appears in every shard whose
+//     edge range touches it; the cut shard is empty. Partitioning is
+//     O(|E|), and because loaders and generators emit edges in node
+//     order, contiguous edge ranges track the graph's natural
+//     locality (a DBLP-style version graph splits almost exactly at
+//     version boundaries).
+//
+//   * kGreedyBfs (edge-cut, METIS-style greedy growth): nodes are
+//     assigned to num_shards balanced regions by repeated BFS from
+//     the lowest unvisited node, capping each region at
+//     ceil(|V|/num_shards). An edge whose attachments all land in one
+//     region goes to that region's shard; every other edge goes to
+//     the cut shard. Each node is owned by exactly one region.
+//
+// Shard subgraphs are renumbered to compact local IDs (0..n_k-1); the
+// sorted global-ID list `nodes` maps local back to global
+// (local id == index into `nodes`). Renumbering is what makes
+// sharding pay: per-shard node IDs are small again, so the inner
+// codec's delta codes stay short.
+
+#ifndef GREPAIR_SHARD_PARTITIONER_H_
+#define GREPAIR_SHARD_PARTITIONER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/graph/hypergraph.h"
+#include "src/util/status.h"
+
+namespace grepair {
+namespace shard {
+
+/// \brief Upper bound on num_shards, shared by PartitionGraph, the
+/// sharded container parser (which allows one extra cut shard), and
+/// the CLI flag validation — one constant so they cannot drift.
+inline constexpr int kMaxShards = 1 << 20;
+
+enum class PartitionStrategy {
+  kEdgeRange,
+  kGreedyBfs,
+};
+
+/// \brief Parses "edge-range" / "bfs"; false on unknown names.
+bool ParsePartitionStrategy(const std::string& name, PartitionStrategy* out);
+
+/// \brief Canonical CLI name of `strategy`.
+const char* PartitionStrategyName(PartitionStrategy strategy);
+
+struct PartitionOptions {
+  int num_shards = 4;
+  PartitionStrategy strategy = PartitionStrategy::kEdgeRange;
+};
+
+/// \brief One shard: a compact-ID subgraph plus its global node list.
+struct Shard {
+  /// Sorted global node IDs; local node i is global nodes[i].
+  std::vector<NodeId> nodes;
+  /// Subgraph over local IDs (num_nodes() == nodes.size()).
+  Hypergraph graph;
+};
+
+/// \brief A partition: num_shards data shards followed by the cut
+/// shard (shards.back(), possibly edgeless). Every input edge appears
+/// in exactly one shard.
+struct GraphPartition {
+  uint32_t num_nodes = 0;  ///< global node count
+  std::vector<Shard> shards;
+  uint32_t num_cut_edges = 0;  ///< edges in the cut shard
+
+  const Shard& cut_shard() const { return shards.back(); }
+};
+
+/// \brief Partitions `graph` per `options`. The graph must have no
+/// external nodes (rank 0); num_shards must be in [1, 1 << 20].
+/// Deterministic: equal inputs yield equal partitions.
+Result<GraphPartition> PartitionGraph(const Hypergraph& graph,
+                                      const PartitionOptions& options);
+
+}  // namespace shard
+}  // namespace grepair
+
+#endif  // GREPAIR_SHARD_PARTITIONER_H_

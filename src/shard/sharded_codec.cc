@@ -1,0 +1,430 @@
+#include "src/shard/sharded_codec.h"
+
+#include <algorithm>
+#include <cstring>
+#include <deque>
+#include <thread>
+#include <unordered_set>
+
+#include "src/api/codec_registry.h"
+#include "src/shard/parallel_compressor.h"
+#include "src/shard/partitioner.h"
+#include "src/util/byte_io.h"
+#include "src/util/elias.h"
+
+namespace grepair {
+namespace shard {
+
+const char kShardContainerMagic[8] = {'G', 'R', 'S', 'H', 'A', 'R', 'D',
+                                      '1'};
+
+namespace {
+
+// Data shards + the cut shard.
+constexpr size_t kMaxShardCount = static_cast<size_t>(kMaxShards) + 1;
+
+// Appends the sorted node map as Elias-delta gaps (ids shifted by one,
+// gaps strictly positive), byte-aligned so payloads stay addressable.
+void EncodeNodeMap(const std::vector<NodeId>& nodes,
+                   std::vector<uint8_t>* out) {
+  BitWriter w;
+  uint64_t prev = 0;
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    uint64_t shifted = static_cast<uint64_t>(nodes[i]) + 1;
+    EliasDeltaEncode(i == 0 ? shifted : shifted - prev, &w);
+    prev = shifted;
+  }
+  w.AlignToByte();
+  auto bytes = w.TakeBytes();
+  out->insert(out->end(), bytes.begin(), bytes.end());
+}
+
+Status DecodeNodeMap(const std::vector<uint8_t>& in, size_t* pos,
+                     uint64_t count, uint64_t num_nodes,
+                     std::vector<NodeId>* nodes) {
+  if (count > num_nodes) {
+    return Status::Corruption("shard node map larger than graph");
+  }
+  // num_nodes is itself untrusted (isolated nodes are free, so it
+  // cannot be bounded by input size) — bound the allocation-driving
+  // count by the remaining input instead: every map entry costs at
+  // least one bit.
+  if (count > (in.size() - *pos) * 8) {
+    return Status::Corruption("shard node map exceeds input size");
+  }
+  BitReader r(in.data() + *pos, (in.size() - *pos) * 8);
+  nodes->clear();
+  // Capped reserve: sizing 4 bytes per claimed 1-bit entry up front
+  // would hand crafted input a 32x allocation amplifier before any
+  // gap is validated. Growth past the cap is pay-as-you-decode —
+  // memory stays proportional to input actually consumed (the
+  // residual is ordinary decompression-bomb density, not a free
+  // allocation).
+  nodes->reserve(static_cast<size_t>(std::min<uint64_t>(count, 1u << 16)));
+  uint64_t prev = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t gap = 0;
+    GREPAIR_RETURN_IF_ERROR(EliasDeltaDecode(&r, &gap));
+    // Checked as `gap > limit`, not `prev + gap > num_nodes`: a gap
+    // near 2^64 would wrap the sum back into range and smuggle in an
+    // unsorted map that LocalId's binary search cannot query.
+    if (gap > num_nodes - prev) {
+      return Status::Corruption("shard node map id out of range");
+    }
+    uint64_t shifted = prev + gap;  // >= 1: Elias codes are >= 1
+    nodes->push_back(static_cast<NodeId>(shifted - 1));
+    prev = shifted;
+  }
+  *pos += (r.position() + 7) / 8;
+  return Status::OK();
+}
+
+// Binary search of a global id in a shard's sorted map; kInvalidNode
+// when absent.
+NodeId LocalId(const std::vector<NodeId>& nodes, uint64_t global) {
+  auto it = std::lower_bound(nodes.begin(), nodes.end(),
+                             static_cast<NodeId>(global));
+  if (it == nodes.end() || *it != static_cast<NodeId>(global)) {
+    return kInvalidNode;
+  }
+  return static_cast<NodeId>(it - nodes.begin());
+}
+
+}  // namespace
+
+ShardedRep::ShardedRep(std::string inner_name, uint32_t inner_capabilities,
+                       uint64_t num_nodes, std::vector<Entry> entries)
+    : inner_name_(std::move(inner_name)),
+      inner_capabilities_(inner_capabilities),
+      num_nodes_(num_nodes),
+      entries_(std::move(entries)) {}
+
+void ShardedRep::set_decompress_threads(int threads) {
+  decompress_threads_ = std::max(1, std::min(threads, 256));
+}
+
+// Serialize rebuilds the container from the per-shard payloads each
+// call (deterministic, so repeated calls are byte-identical) instead
+// of caching a second full copy of the compressed bytes for the rep's
+// lifetime; ByteSize computes the exact container size arithmetically
+// without materializing anything. Both are safe to call concurrently
+// on a shared rep (no mutable state).
+std::vector<uint8_t> ShardedRep::Serialize() const {
+  std::vector<uint8_t> out(kShardContainerMagic, kShardContainerMagic + 8);
+  out.push_back(static_cast<uint8_t>(inner_name_.size()));
+  out.insert(out.end(), inner_name_.begin(), inner_name_.end());
+  PutU64LE(num_nodes_, &out);
+  PutU32LE(static_cast<uint32_t>(entries_.size()), &out);
+  for (const Entry& entry : entries_) {
+    PutU64LE(entry.nodes.size(), &out);
+    EncodeNodeMap(entry.nodes, &out);
+    PutU64LE(entry.payload.size(), &out);
+    out.insert(out.end(), entry.payload.begin(), entry.payload.end());
+  }
+  return out;
+}
+
+size_t ShardedRep::ByteSize() const {
+  size_t size = 8 + 1 + inner_name_.size() + 8 + 4;  // container header
+  for (const Entry& entry : entries_) {
+    size_t map_bits = 0;
+    uint64_t prev = 0;
+    for (size_t i = 0; i < entry.nodes.size(); ++i) {
+      uint64_t shifted = static_cast<uint64_t>(entry.nodes[i]) + 1;
+      map_bits += EliasDeltaLength(i == 0 ? shifted : shifted - prev);
+      prev = shifted;
+    }
+    size += 8 + (map_bits + 7) / 8 + 8 + entry.payload.size();
+  }
+  return size;
+}
+
+Result<Hypergraph> ShardedRep::Decompress() const {
+  size_t count = entries_.size();
+  // Sentinel status keeps Result's value-or-error contract honest for
+  // slots the workers never fill (edgeless shards with a null rep).
+  std::vector<Result<Hypergraph>> locals(
+      count, Status::Internal("shard not decompressed"));
+
+  RunIndexedOnPool(count, decompress_threads_, [&](size_t i) {
+    if (entries_[i].rep != nullptr) {
+      locals[i] = entries_[i].rep->Decompress();
+    }
+  });
+
+  Hypergraph global(static_cast<uint32_t>(num_nodes_));
+  for (size_t i = 0; i < count; ++i) {
+    const Entry& entry = entries_[i];
+    if (entry.rep == nullptr) continue;
+    if (!locals[i].ok()) return locals[i].status();
+    const Hypergraph& local = locals[i].value();
+    if (local.num_nodes() != entry.nodes.size()) {
+      return Status::Corruption(
+          "shard " + std::to_string(i) +
+          " decompressed node count does not match its node map");
+    }
+    for (const HEdge& edge : local.edges()) {
+      std::vector<NodeId> att;
+      att.reserve(edge.att.size());
+      for (NodeId v : edge.att) {
+        if (v >= entry.nodes.size()) {
+          return Status::Corruption("shard-local node id out of range");
+        }
+        att.push_back(entry.nodes[v]);
+      }
+      global.AddEdge(edge.label, std::move(att));
+    }
+  }
+  return global;
+}
+
+// Shared routing for Out/InNeighbors: look the global node up in
+// every shard that contains it, query locally, map back, merge.
+Result<std::vector<uint64_t>> ShardedRep::RoutedNeighbors(uint64_t node,
+                                                          bool out) const {
+  if (!(inner_capabilities_ & api::kNeighborQueries)) {
+    return Status::Unimplemented("inner codec '" + inner_name_ +
+                                 "' does not answer neighbor queries");
+  }
+  if (node >= num_nodes_) return Status::OutOfRange("node id out of range");
+  std::vector<uint64_t> all;
+  for (const Entry& entry : entries_) {
+    if (entry.rep == nullptr) continue;
+    NodeId local = LocalId(entry.nodes, node);
+    if (local == kInvalidNode) continue;
+    auto part = out ? entry.rep->OutNeighbors(local)
+                    : entry.rep->InNeighbors(local);
+    if (!part.ok()) return part.status();
+    for (uint64_t u : part.value()) {
+      if (u >= entry.nodes.size()) {
+        return Status::Corruption("shard neighbor id out of range");
+      }
+      all.push_back(entry.nodes[u]);
+    }
+  }
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  return all;
+}
+
+Result<std::vector<uint64_t>> ShardedRep::OutNeighbors(uint64_t node) const {
+  return RoutedNeighbors(node, /*out=*/true);
+}
+
+Result<std::vector<uint64_t>> ShardedRep::InNeighbors(uint64_t node) const {
+  return RoutedNeighbors(node, /*out=*/false);
+}
+
+Result<bool> ShardedRep::Reachable(uint64_t from, uint64_t to) const {
+  if (!(inner_capabilities_ & api::kNeighborQueries)) {
+    return Status::Unimplemented(
+        "sharded reachability needs an inner codec with neighbor queries");
+  }
+  if (from >= num_nodes_ || to >= num_nodes_) {
+    return Status::OutOfRange("node id out of range");
+  }
+  if (from == to) return true;
+  // Cross-shard BFS over routed neighbor queries. The visited set is
+  // sized by what the search touches, not by the container's
+  // (untrusted, possibly huge) num_nodes header — a |V|-sized bitmap
+  // would let a 40-byte crafted container allocate 512 MiB per query.
+  std::unordered_set<uint64_t> visited{from};
+  std::deque<uint64_t> frontier{from};
+  while (!frontier.empty()) {
+    uint64_t v = frontier.front();
+    frontier.pop_front();
+    auto out = OutNeighbors(v);
+    if (!out.ok()) return out.status();
+    for (uint64_t u : out.value()) {
+      if (u == to) return true;
+      if (visited.insert(u).second) frontier.push_back(u);
+    }
+  }
+  return false;
+}
+
+Result<std::unique_ptr<ShardedRep>> ShardedRep::Deserialize(
+    const std::vector<uint8_t>& bytes) {
+  if (bytes.size() < 9 ||
+      std::memcmp(bytes.data(), kShardContainerMagic, 7) != 0) {
+    return Status::Corruption("bad sharded container magic");
+  }
+  if (bytes[7] != kShardContainerMagic[7]) {
+    return Status::Corruption(
+        "unsupported sharded container version (expected '1')");
+  }
+  size_t pos = 8;
+  size_t name_len = bytes[pos++];
+  if (name_len == 0 || pos + name_len > bytes.size()) {
+    return Status::Corruption("sharded container truncated in codec name");
+  }
+  std::string inner_name(bytes.begin() + pos, bytes.begin() + pos + name_len);
+  pos += name_len;
+  // The inner name is untrusted: a nested "sharded:*" inner would
+  // recurse through this parser once per container level, and a
+  // crafted deeply-nested file becomes a stack overflow instead of a
+  // Status. Compression never produces nested containers (the
+  // registry refuses sharded-of-sharded), so reject them up front.
+  if (inner_name.rfind("sharded:", 0) == 0) {
+    return Status::Corruption(
+        "nested sharded containers are not supported");
+  }
+
+  uint64_t num_nodes = 0;
+  uint32_t shard_count = 0;
+  GREPAIR_RETURN_IF_ERROR(GetU64LE(bytes, &pos, &num_nodes));
+  GREPAIR_RETURN_IF_ERROR(GetU32LE(bytes, &pos, &shard_count));
+  if (num_nodes > 0xFFFFFFFFull) {
+    return Status::Corruption("sharded container node count out of range");
+  }
+  if (shard_count < 1 || shard_count > kMaxShardCount) {
+    return Status::Corruption("sharded container shard count out of range");
+  }
+
+  auto inner = api::CodecRegistry::Create(inner_name);
+  if (!inner.ok()) return inner.status();
+
+  // Grown per parsed shard (each consumes >= 16 header bytes, so
+  // growth is input-bounded) rather than reserved from the untrusted
+  // count — a 25-byte container claiming 2^20 shards must not
+  // allocate 2^20 Entry slots up front.
+  std::vector<Entry> entries;
+  for (uint32_t i = 0; i < shard_count; ++i) {
+    Entry entry;
+    uint64_t node_count = 0;
+    GREPAIR_RETURN_IF_ERROR(GetU64LE(bytes, &pos, &node_count));
+    GREPAIR_RETURN_IF_ERROR(
+        DecodeNodeMap(bytes, &pos, node_count, num_nodes, &entry.nodes));
+    uint64_t payload_len = 0;
+    GREPAIR_RETURN_IF_ERROR(GetU64LE(bytes, &pos, &payload_len));
+    if (payload_len > bytes.size() - pos) {
+      return Status::Corruption("sharded container payload truncated");
+    }
+    if (payload_len > 0) {
+      entry.payload.assign(bytes.begin() + pos,
+                           bytes.begin() + pos + payload_len);
+      pos += payload_len;
+      auto rep = inner.value()->Deserialize(entry.payload);
+      if (!rep.ok()) return rep.status();
+      entry.rep = std::move(rep).ValueOrDie();
+      if (entry.rep->num_nodes() != entry.nodes.size()) {
+        return Status::Corruption(
+            "shard payload node count does not match its node map");
+      }
+    }
+    entries.push_back(std::move(entry));
+  }
+  if (pos != bytes.size()) {
+    return Status::Corruption("sharded container has trailing bytes");
+  }
+  return std::make_unique<ShardedRep>(inner_name,
+                                      inner.value()->capabilities(),
+                                      num_nodes, std::move(entries));
+}
+
+// ---------------------------------------------------------------------------
+// ShardedCodec
+
+ShardedCodec::ShardedCodec(std::string inner_name)
+    : inner_name_(std::move(inner_name)), name_("sharded:" + inner_name_) {
+  auto inner = api::CodecRegistry::Create(inner_name_);
+  if (inner.ok()) inner_ = std::move(inner).ValueOrDie();
+}
+
+ShardedCodec::ShardedCodec(std::string inner_name,
+                           std::unique_ptr<api::GraphCodec> inner)
+    : inner_name_(std::move(inner_name)),
+      name_("sharded:" + inner_name_),
+      inner_(std::move(inner)) {}
+
+uint32_t ShardedCodec::capabilities() const {
+  if (inner_ == nullptr) return 0;
+  uint32_t caps = inner_->capabilities();
+  // Cross-shard BFS turns inner neighbor queries into reachability.
+  if (caps & api::kNeighborQueries) caps |= api::kReachabilityQueries;
+  return caps;
+}
+
+Result<std::unique_ptr<api::CompressedRep>> ShardedCodec::Compress(
+    const Hypergraph& graph, const Alphabet& alphabet,
+    const api::CodecOptions& options) const {
+  if (inner_name_.size() > 255) {
+    // The container stores the name length as one byte; a longer name
+    // would serialize into a self-corrupt container.
+    return Status::InvalidArgument(
+        "inner codec name exceeds 255 bytes: " + inner_name_);
+  }
+  if (inner_ == nullptr) {
+    return Status::NotFound("no codec named '" + inner_name_ + "'");
+  }
+
+  PartitionOptions part_options;
+  int threads = 0;
+  api::CodecOptions inner_options;
+  for (const auto& [key, value] : options.entries()) {
+    if (key == "shards" || key == "threads" || key == "strategy") continue;
+    inner_options.Set(key, value);
+  }
+  auto shards = options.GetInt("shards", part_options.num_shards);
+  if (!shards.ok()) return shards.status();
+  if (shards.value() < 1 || shards.value() > kMaxShards) {
+    return Status::InvalidArgument("option shards out of range [1, " +
+                                   std::to_string(kMaxShards) + "]");
+  }
+  part_options.num_shards = static_cast<int>(shards.value());
+  auto threads_opt = options.GetInt("threads", 0);
+  if (!threads_opt.ok()) return threads_opt.status();
+  if (threads_opt.value() < 0 || threads_opt.value() > 256) {
+    return Status::InvalidArgument("option threads out of range [0, 256]");
+  }
+  threads = static_cast<int>(threads_opt.value());
+  if (threads == 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    threads = static_cast<int>(
+        std::min<unsigned>(std::max(1u, hw),
+                           static_cast<unsigned>(part_options.num_shards)));
+  }
+  std::string strategy = options.GetString(
+      "strategy", PartitionStrategyName(part_options.strategy));
+  if (!ParsePartitionStrategy(strategy, &part_options.strategy)) {
+    return Status::InvalidArgument("unknown partition strategy '" +
+                                   strategy + "' (edge-range|bfs)");
+  }
+
+  GREPAIR_RETURN_IF_ERROR(graph.Validate(alphabet));
+  auto partition = PartitionGraph(graph, part_options);
+  if (!partition.ok()) return partition.status();
+
+  ParallelCompressor compressor(*inner_, threads);
+  auto compressed = compressor.CompressShards(partition.value(), alphabet,
+                                              inner_options);
+  if (!compressed.ok()) return compressed.status();
+
+  std::vector<ShardedRep::Entry> entries;
+  entries.reserve(partition.value().shards.size());
+  for (size_t i = 0; i < partition.value().shards.size(); ++i) {
+    ShardedRep::Entry entry;
+    entry.nodes = std::move(partition.value().shards[i].nodes);
+    entry.payload = std::move(compressed.value()[i].payload);
+    entry.rep = std::move(compressed.value()[i].rep);
+    entries.push_back(std::move(entry));
+  }
+  return std::unique_ptr<api::CompressedRep>(new ShardedRep(
+      inner_name_, inner_->capabilities(), graph.num_nodes(),
+      std::move(entries)));
+}
+
+Result<std::unique_ptr<api::CompressedRep>> ShardedCodec::Deserialize(
+    const std::vector<uint8_t>& bytes) const {
+  auto rep = ShardedRep::Deserialize(bytes);
+  if (!rep.ok()) return rep.status();
+  if (rep.value()->inner_name() != inner_name_) {
+    return Status::InvalidArgument(
+        "container was produced by 'sharded:" + rep.value()->inner_name() +
+        "', not '" + name_ + "'");
+  }
+  return std::unique_ptr<api::CompressedRep>(std::move(rep).ValueOrDie());
+}
+
+}  // namespace shard
+}  // namespace grepair

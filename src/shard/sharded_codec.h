@@ -1,0 +1,134 @@
+// Sharded meta-codec: compresses a graph as K+1 independently
+// compressed shards behind the same GraphCodec/CompressedRep API as
+// every single-shard codec.
+//
+// Registry names are "sharded:<inner>" ("sharded:grepair",
+// "sharded:k2", ...); the sharded variants of all builtins are
+// registered, and CodecRegistry::Create additionally resolves the
+// prefix for any other registered inner codec. Options:
+//
+//   shards=K        number of data shards (default 4)
+//   threads=T       compression thread-pool size (default: min(K, hw))
+//   strategy=S      edge-range | bfs (default edge-range)
+//   <anything else> forwarded to the inner codec
+//
+// Container layout (version 1, little-endian, pinned by golden tests
+// in tests/container_format_test.cc — bump the magic to change it):
+//
+//   magic   "GRSHARD1"                        8 bytes
+//   u8      inner codec name length (> 0)
+//   bytes   inner codec name
+//   u64     global node count
+//   u32     shard count (K data shards + 1 cut shard)
+//   per shard:
+//     u64   node-map length n_k
+//     bits  Elias-delta node map: first global id + 1, then gaps
+//           (strictly increasing), zero-padded to a byte boundary
+//     u64   payload length (0 = edgeless shard, no inner payload)
+//     bytes inner codec payload (inner CompressedRep::Serialize())
+//
+// Queries route through the node maps: a global node is looked up in
+// every shard that contains it (vertex-cut shards may share nodes) and
+// the cut shard, results are mapped back to global IDs and merged.
+// Reachability is a BFS over the routed neighbor queries, so it works
+// across shard boundaries and is available whenever the inner codec
+// answers neighbor queries.
+
+#ifndef GREPAIR_SHARD_SHARDED_CODEC_H_
+#define GREPAIR_SHARD_SHARDED_CODEC_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/api/graph_codec.h"
+#include "src/graph/hypergraph.h"
+#include "src/util/status.h"
+
+namespace grepair {
+namespace shard {
+
+/// \brief The 8-byte sharded-container magic ("GRSHARD1").
+extern const char kShardContainerMagic[8];
+
+/// \brief Multi-shard compressed representation (container format
+/// above). Implements the full CompressedRep query surface by routing
+/// to the owning shards.
+class ShardedRep : public api::CompressedRep {
+ public:
+  struct Entry {
+    std::vector<NodeId> nodes;          ///< sorted global IDs
+    std::vector<uint8_t> payload;       ///< inner bytes; empty = edgeless
+    std::unique_ptr<api::CompressedRep> rep;  ///< null iff payload empty
+  };
+
+  ShardedRep(std::string inner_name, uint32_t inner_capabilities,
+             uint64_t num_nodes, std::vector<Entry> entries);
+
+  std::vector<uint8_t> Serialize() const override;
+  size_t ByteSize() const override;
+  Result<Hypergraph> Decompress() const override;
+  uint64_t num_nodes() const override { return num_nodes_; }
+
+  Result<std::vector<uint64_t>> OutNeighbors(uint64_t node) const override;
+  Result<std::vector<uint64_t>> InNeighbors(uint64_t node) const override;
+  Result<bool> Reachable(uint64_t from, uint64_t to) const override;
+
+  /// \brief Parses a version-1 container and reconstructs every inner
+  /// rep through the registry. Clean kCorruption on truncated or
+  /// inconsistent input.
+  static Result<std::unique_ptr<ShardedRep>> Deserialize(
+      const std::vector<uint8_t>& bytes);
+
+  /// \brief Thread-pool size for Decompress (default 1; the CLI's
+  /// `decompress --threads` sets it).
+  void set_decompress_threads(int threads);
+
+  const std::string& inner_name() const { return inner_name_; }
+  size_t num_shards() const { return entries_.size(); }
+  const Entry& entry(size_t i) const { return entries_[i]; }
+
+ private:
+  Result<std::vector<uint64_t>> RoutedNeighbors(uint64_t node,
+                                                bool out) const;
+
+  std::string inner_name_;
+  uint32_t inner_capabilities_ = 0;
+  uint64_t num_nodes_ = 0;
+  std::vector<Entry> entries_;  // K data shards, then the cut shard
+  int decompress_threads_ = 1;
+};
+
+/// \brief The "sharded:<inner>" meta-codec.
+class ShardedCodec : public api::GraphCodec {
+ public:
+  /// \brief Resolves `inner_name` through the registry once; an
+  /// unknown name yields a codec whose capabilities() are 0 and whose
+  /// Compress/Deserialize return the lookup error.
+  explicit ShardedCodec(std::string inner_name);
+
+  /// \brief Wraps an already-constructed inner codec (the registry's
+  /// prefix-resolution path, which has just created it anyway).
+  ShardedCodec(std::string inner_name,
+               std::unique_ptr<api::GraphCodec> inner);
+
+  const char* name() const override { return name_.c_str(); }
+  uint32_t capabilities() const override;
+
+  Result<std::unique_ptr<api::CompressedRep>> Compress(
+      const Hypergraph& graph, const Alphabet& alphabet,
+      const api::CodecOptions& options) const override;
+
+  Result<std::unique_ptr<api::CompressedRep>> Deserialize(
+      const std::vector<uint8_t>& bytes) const override;
+
+ private:
+  std::string inner_name_;
+  std::string name_;  // "sharded:" + inner_name_
+  std::unique_ptr<api::GraphCodec> inner_;  // null if inner_name_ unknown
+};
+
+}  // namespace shard
+}  // namespace grepair
+
+#endif  // GREPAIR_SHARD_SHARDED_CODEC_H_

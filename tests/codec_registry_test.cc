@@ -105,6 +105,7 @@ INSTANTIATE_TEST_SUITE_P(AllCodecs, CodecRoundTrip,
                          [](const auto& info) {
                            std::string name = info.param;
                            std::replace(name.begin(), name.end(), '-', '_');
+                           std::replace(name.begin(), name.end(), ':', '_');
                            return name;
                          });
 

@@ -1,0 +1,216 @@
+// Differential property suite over the whole codec registry.
+//
+// Two properties, checked for every registered codec (the sharded
+// meta-variants included) across every dataset generator at several
+// sizes and seeds:
+//
+//   1. Round-trip: Decompress(Deserialize(Serialize(Compress(G)))) is
+//      edge-set-identical to G (labeled sets for label-preserving
+//      codecs, unlabeled (u, v) sets otherwise) with the node count
+//      preserved.
+//   2. Differential: sharded:<inner> reproduces exactly the graph
+//      <inner> reproduces, for both partitioning strategies — the
+//      replacement-strategy variants MR-RePair-style systems get
+//      subtly wrong are exactly what this cross-check catches.
+//
+// Codecs that reject a dataset up front (e.g. unlabeled baselines on
+// labeled graphs) must do so with kInvalidArgument, which the suite
+// treats as a verified skip, not a pass.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "src/api/grepair_api.h"
+
+namespace grepair {
+namespace api {
+namespace {
+
+struct Dataset {
+  std::string label;
+  GeneratedGraph gg;
+};
+
+// Every generator family, two scales, two seeds (kept small enough
+// that the full 12-codec sweep stays fast under TSan).
+const std::vector<Dataset>& AllDatasets() {
+  static const std::vector<Dataset>* datasets = [] {
+    auto* out = new std::vector<Dataset>();
+    for (uint32_t n : {48u, 160u}) {
+      for (uint64_t seed : {1ull, 5ull}) {
+        std::string tag =
+            "_n" + std::to_string(n) + "_s" + std::to_string(seed);
+        out->push_back({"er" + tag, ErdosRenyi(n, n * 3, seed)});
+        out->push_back({"ba" + tag, BarabasiAlbert(n, 3, seed)});
+        out->push_back({"coauth" + tag, CoAuthorship(n, n, seed)});
+        out->push_back({"rdf_types" + tag, RdfTypes(n * 3, 12, seed)});
+        out->push_back({"rdf_entities" + tag,
+                        RdfEntities(n, 6, 12, seed)});  // labeled
+        out->push_back(
+            {"dblp" + tag, DblpVersions(3, n / 4, n / 8, seed, "dblp")});
+      }
+    }
+    out->push_back(
+        {"copies", DisjointCopies(CycleWithDiagonal(), 40, "copies")});
+    return out;
+  }();
+  return *datasets;
+}
+
+using LabeledEdge = std::pair<Label, std::vector<NodeId>>;
+
+// Sorted multisets, deliberately NOT deduplicated: the format
+// supports parallel edges, so a codec that silently collapses
+// multiplicity must fail these comparisons.
+std::vector<LabeledEdge> LabeledEdgeSet(const Hypergraph& g) {
+  std::vector<LabeledEdge> edges;
+  for (const HEdge& e : g.edges()) edges.push_back({e.label, e.att});
+  std::sort(edges.begin(), edges.end());
+  return edges;
+}
+
+std::vector<std::pair<NodeId, NodeId>> UnlabeledEdgeSet(const Hypergraph& g) {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (const HEdge& e : g.edges()) {
+    if (e.att.size() == 2) edges.push_back({e.att[0], e.att[1]});
+  }
+  std::sort(edges.begin(), edges.end());
+  return edges;
+}
+
+class DifferentialRoundTrip : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DifferentialRoundTrip, EveryDatasetRoundTripsExactly) {
+  auto codec = CodecRegistry::Create(GetParam());
+  ASSERT_TRUE(codec.ok()) << codec.status().ToString();
+  bool compressed_any = false;
+  for (const Dataset& dataset : AllDatasets()) {
+    SCOPED_TRACE(dataset.label);
+    auto rep = codec.value()->Compress(dataset.gg.graph,
+                                       dataset.gg.alphabet);
+    if (!rep.ok()) {
+      // A capability mismatch must be a clean, typed rejection.
+      EXPECT_EQ(rep.status().code(), StatusCode::kInvalidArgument)
+          << rep.status().ToString();
+      continue;
+    }
+    compressed_any = true;
+    EXPECT_EQ(rep.value()->num_nodes(), dataset.gg.graph.num_nodes());
+
+    auto bytes = rep.value()->Serialize();
+    ASSERT_FALSE(bytes.empty());
+    auto back = codec.value()->Deserialize(bytes);
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    auto decompressed = back.value()->Decompress();
+    ASSERT_TRUE(decompressed.ok()) << decompressed.status().ToString();
+
+    EXPECT_EQ(decompressed.value().num_nodes(), dataset.gg.graph.num_nodes());
+    if (codec.value()->capabilities() & kSupportsLabels) {
+      EXPECT_EQ(LabeledEdgeSet(decompressed.value()),
+                LabeledEdgeSet(dataset.gg.graph));
+    } else {
+      EXPECT_EQ(UnlabeledEdgeSet(decompressed.value()),
+                UnlabeledEdgeSet(dataset.gg.graph));
+    }
+  }
+  EXPECT_TRUE(compressed_any)
+      << GetParam() << " rejected every dataset in the suite";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCodecs, DifferentialRoundTrip,
+                         ::testing::ValuesIn(CodecRegistry::Names()),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           std::replace(name.begin(), name.end(), '-', '_');
+                           std::replace(name.begin(), name.end(), ':', '_');
+                           return name;
+                         });
+
+class ShardedAgreesWithInner : public ::testing::TestWithParam<std::string> {
+};
+
+TEST_P(ShardedAgreesWithInner, SameGraphBothStrategies) {
+  auto inner = CodecRegistry::Create(GetParam()).ValueOrDie();
+  auto sharded = CodecRegistry::Create("sharded:" + GetParam());
+  ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+  for (const Dataset& dataset : AllDatasets()) {
+    SCOPED_TRACE(dataset.label);
+    auto inner_rep =
+        inner->Compress(dataset.gg.graph, dataset.gg.alphabet);
+    for (const char* strategy : {"edge-range", "bfs"}) {
+      CodecOptions options;
+      options.Set("shards", "3");
+      options.Set("threads", "2");
+      options.Set("strategy", strategy);
+      auto sharded_rep = sharded.value()->Compress(
+          dataset.gg.graph, dataset.gg.alphabet, options);
+      // Sharding must not change which inputs a codec accepts.
+      ASSERT_EQ(inner_rep.ok(), sharded_rep.ok())
+          << strategy << ": inner=" << inner_rep.status().ToString()
+          << " sharded=" << sharded_rep.status().ToString();
+      if (!inner_rep.ok()) continue;
+
+      auto inner_graph = inner_rep.value()->Decompress();
+      auto sharded_graph = sharded_rep.value()->Decompress();
+      ASSERT_TRUE(inner_graph.ok()) << inner_graph.status().ToString();
+      ASSERT_TRUE(sharded_graph.ok()) << sharded_graph.status().ToString();
+      EXPECT_EQ(sharded_graph.value().num_nodes(),
+                inner_graph.value().num_nodes());
+      if (inner->capabilities() & kSupportsLabels) {
+        EXPECT_EQ(LabeledEdgeSet(sharded_graph.value()),
+                  LabeledEdgeSet(inner_graph.value()))
+            << strategy;
+      } else {
+        EXPECT_EQ(UnlabeledEdgeSet(sharded_graph.value()),
+                  UnlabeledEdgeSet(inner_graph.value()))
+            << strategy;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BaseCodecs, ShardedAgreesWithInner,
+                         ::testing::ValuesIn(CodecRegistry::BaseNames()),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           std::replace(name.begin(), name.end(), '-', '_');
+                           return name;
+                         });
+
+// Sharded neighbor queries must agree with the ground-truth adjacency
+// of the input graph, across shard boundaries.
+TEST(ShardedQueryDifferentialTest, NeighborsMatchGroundTruth) {
+  GeneratedGraph gg = BarabasiAlbert(220, 3, 29);
+  for (const char* backend : {"sharded:grepair", "sharded:k2"}) {
+    auto codec = CodecRegistry::Create(backend).ValueOrDie();
+    CodecOptions options;
+    options.Set("shards", "4");
+    options.Set("strategy", "bfs");
+    auto rep = codec->Compress(gg.graph, gg.alphabet, options);
+    ASSERT_TRUE(rep.ok()) << backend << ": " << rep.status().ToString();
+    for (NodeId v = 0; v < gg.graph.num_nodes(); v += 7) {
+      std::vector<uint64_t> expected_out, expected_in;
+      for (const HEdge& e : gg.graph.edges()) {
+        if (e.att[0] == v) expected_out.push_back(e.att[1]);
+        if (e.att[1] == v) expected_in.push_back(e.att[0]);
+      }
+      for (auto* vec : {&expected_out, &expected_in}) {
+        std::sort(vec->begin(), vec->end());
+        vec->erase(std::unique(vec->begin(), vec->end()), vec->end());
+      }
+      auto out = rep.value()->OutNeighbors(v);
+      auto in = rep.value()->InNeighbors(v);
+      ASSERT_TRUE(out.ok()) << backend;
+      ASSERT_TRUE(in.ok()) << backend;
+      EXPECT_EQ(out.value(), expected_out) << backend << " node " << v;
+      EXPECT_EQ(in.value(), expected_in) << backend << " node " << v;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace api
+}  // namespace grepair

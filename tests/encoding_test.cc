@@ -8,6 +8,7 @@
 #include "src/datasets/generators.h"
 #include "src/encoding/grammar_coder.h"
 #include "src/grepair/compressor.h"
+#include "src/util/elias.h"
 
 namespace grepair {
 namespace {
@@ -168,6 +169,35 @@ TEST(EncodingTest, CorruptionRejected) {
       EXPECT_TRUE(decoded.value().Validate().ok());
     }
   }
+}
+
+TEST(EncodingTest, HugeClaimedCountsRejectedWithoutAllocating) {
+  // Regression: a corrupted Elias code used to size an allocation
+  // directly (e.g. a rule count of 2^50 -> std::bad_alloc took the
+  // process down before any per-rule decode could fail). Counts that
+  // drive allocations must be rejected against the input size first.
+  // Found by the dense bit-flip sweep in container_format_test.
+  BitWriter w;
+  w.PutBits(0x47524731, 32);          // format magic
+  EliasDeltaEncode(2, &w);            // one terminal label
+  EliasDeltaEncode(2, &w);            // ... of rank 1
+  EliasDeltaEncode((1ull << 50) + 1, &w);  // 2^50 rules
+  EliasDeltaEncode(10, &w);           // 9 start nodes
+  auto decoded = DecodeGrammar(w.TakeBytes());
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption);
+
+  // Same for the permutation dictionary: no rules, huge perm count.
+  BitWriter w2;
+  w2.PutBits(0x47524731, 32);
+  EliasDeltaEncode(2, &w2);           // one terminal label
+  EliasDeltaEncode(2, &w2);           // ... of rank 1
+  EliasDeltaEncode(1, &w2);           // zero rules
+  EliasDeltaEncode(10, &w2);          // 9 start nodes
+  EliasDeltaEncode((1ull << 50) + 1, &w2);  // 2^50 permutations
+  auto decoded2 = DecodeGrammar(w2.TakeBytes());
+  ASSERT_FALSE(decoded2.ok());
+  EXPECT_EQ(decoded2.status().code(), StatusCode::kCorruption);
 }
 
 TEST(EncodingTest, BitsPerEdgeHelper) {

@@ -2,11 +2,14 @@
 //
 // Usage:
 //   grepair compress <in.graph> <out> [--backend NAME]
-//           [--options k=v,...] [--order KIND] [--max-rank N]
+//           [--options k=v,...] [--shards K] [--threads T]
+//           [--strategy edge-range|bfs]
+//           [--order KIND] [--max-rank N]
 //           [--no-prune] [--no-virtual] [--mapping out.map]
-//   grepair decompress <in> <out.graph> [--mapping in.map]
+//   grepair decompress <in> <out.graph> [--mapping in.map] [--threads T]
 //   grepair bench --backend NAME|all --gen KIND [--size N]
-//           [--options k=v,...]
+//           [--options k=v,...] [--shards K] [--threads T]
+//           [--strategy edge-range|bfs]
 //   grepair backends
 //   grepair stats <in.grg>
 //   grepair reach <in.grg> <from> <to>
@@ -16,13 +19,16 @@
 //
 // Every compressor in the repo sits behind the GraphCodec registry
 // (src/api/): `--backend` selects one ("grepair", "k2", "hn", "lm",
-// "repair-adj", "deflate"; see `grepair backends`), `--options` passes
+// "repair-adj", "deflate", or a sharded meta-variant
+// "sharded:<inner>"; see `grepair backends`), `--options` passes
 // codec-specific key=value options, and `bench` runs any backend (or
 // all of them) over any generated dataset with a round-trip check.
-// Backend output files carry a small container header naming the
-// codec, so `decompress` routes automatically; without --backend,
-// compress writes the paper's raw .grg binary grammar format as
-// before. Graph files use the native text format of
+// `--shards`/`--threads`/`--strategy` rewrite the backend to its
+// sharded variant (src/shard/); `decompress --threads` parallelizes
+// sharded containers. Backend output files carry a small container
+// header naming the codec, so `decompress` routes automatically;
+// without --backend, compress writes the paper's raw .grg binary
+// grammar format as before. Graph files use the native text format of
 // src/graph/graph_io.h. `gen` kinds: er, ba, coauth, rdf-types,
 // rdf-entities, copies, dblp.
 
@@ -46,11 +52,6 @@ using namespace grepair;
 
 namespace {
 
-// Container header for backend-tagged output files: magic, codec name
-// length, codec name, then the codec's Serialize() payload.
-constexpr char kCodecMagic[] = "GRPCODEC";
-constexpr size_t kCodecMagicLen = sizeof(kCodecMagic) - 1;
-
 int Usage() {
   std::string backends;
   for (const auto& name : api::CodecRegistry::Names()) {
@@ -61,12 +62,15 @@ int Usage() {
       stderr,
       "usage: grepair <command> ...\n"
       "  compress <in.graph> <out> [--backend %s]\n"
-      "           [--options k=v,...] [--order natural|bfs|dfs|random|"
+      "           [--options k=v,...] [--shards K] [--threads T]\n"
+      "           [--strategy edge-range|bfs]\n"
+      "           [--order natural|bfs|dfs|random|"
       "fp0|fp] [--max-rank N]\n"
       "           [--no-prune] [--no-virtual] [--mapping out.map]\n"
-      "  decompress <in> <out.graph> [--mapping in.map]\n"
+      "  decompress <in> <out.graph> [--mapping in.map] [--threads T]\n"
       "  bench --backend NAME|all --gen KIND [--size N] "
       "[--options k=v,...]\n"
+      "        [--shards K] [--threads T] [--strategy edge-range|bfs]\n"
       "  backends\n"
       "  stats <in.grg>\n"
       "  reach <in.grg> <from> <to>\n"
@@ -101,50 +105,99 @@ Result<SlhrGrammar> LoadGrammar(const std::string& path) {
   return DecodeGrammar(bytes);
 }
 
-// Wraps a codec payload in the tagged container format.
-std::vector<uint8_t> WrapCodecPayload(const std::string& backend,
-                                      const std::vector<uint8_t>& payload) {
-  std::vector<uint8_t> out(kCodecMagic, kCodecMagic + kCodecMagicLen);
-  out.push_back(static_cast<uint8_t>(backend.size()));
-  out.insert(out.end(), backend.begin(), backend.end());
-  out.insert(out.end(), payload.begin(), payload.end());
-  return out;
-}
+// Sharding knobs shared by compress and bench: --shards/--threads/
+// --strategy rewrite `backend` to its sharded:<inner> variant and land
+// in `options` as codec options. Returns false (after printing) on a
+// bad combination.
+struct ShardFlags {
+  int shards = 0;            // 0 = not requested
+  int threads = 0;           // 0 = not requested
+  std::string strategy;      // empty = not requested
+};
 
-// Splits a tagged container into backend name + payload; false when
-// `bytes` is not in the container format (e.g. a raw .grg file).
-bool UnwrapCodecPayload(const std::vector<uint8_t>& bytes,
-                        std::string* backend,
-                        std::vector<uint8_t>* payload) {
-  if (bytes.size() < kCodecMagicLen + 1 ||
-      std::memcmp(bytes.data(), kCodecMagic, kCodecMagicLen) != 0) {
+// Strictly positive integer flag value; atoi would silently turn
+// "--shards abc" into an unsharded run and "--shards -8" into the
+// default shard count. `max` matches the codec's own validation so
+// out-of-range values fail fast here instead of deep in Compress.
+bool ParseCountFlag(const char* flag, const char* text, int max, int* out) {
+  char* end = nullptr;
+  long value = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0' || value < 1 || value > max) {
+    std::fprintf(stderr, "%s expects an integer in [1, %d], got '%s'\n",
+                 flag, max, text);
     return false;
   }
-  size_t name_len = bytes[kCodecMagicLen];
-  if (bytes.size() < kCodecMagicLen + 1 + name_len) return false;
-  backend->assign(bytes.begin() + kCodecMagicLen + 1,
-                  bytes.begin() + kCodecMagicLen + 1 + name_len);
-  payload->assign(bytes.begin() + kCodecMagicLen + 1 + name_len,
-                  bytes.end());
+  *out = static_cast<int>(value);
   return true;
 }
 
-int CompressWithBackend(const std::string& backend,
-                        const std::string& option_spec, const char* in_path,
+constexpr int kMaxShards = shard::kMaxShards;
+constexpr int kMaxThreads = 256;  // ParallelCompressor's clamp
+
+// Consumes one --shards/--threads/--strategy argument pair shared by
+// CmdCompress and CmdBench (one parser, so the two commands cannot
+// drift apart). Advances *i past the flag's value on a match.
+enum class ShardFlagParse { kNoMatch, kOk, kError };
+
+ShardFlagParse MatchShardFlag(const std::string& arg, int argc, char** argv,
+                              int* i, ShardFlags* flags) {
+  if (arg == "--shards" && *i + 1 < argc) {
+    return ParseCountFlag("--shards", argv[++*i], kMaxShards,
+                          &flags->shards)
+               ? ShardFlagParse::kOk
+               : ShardFlagParse::kError;
+  }
+  if (arg == "--threads" && *i + 1 < argc) {
+    return ParseCountFlag("--threads", argv[++*i], kMaxThreads,
+                          &flags->threads)
+               ? ShardFlagParse::kOk
+               : ShardFlagParse::kError;
+  }
+  if (arg == "--strategy" && *i + 1 < argc) {
+    flags->strategy = argv[++*i];
+    return ShardFlagParse::kOk;
+  }
+  return ShardFlagParse::kNoMatch;
+}
+
+bool ApplyShardFlags(const ShardFlags& flags, std::string* backend,
+                     api::CodecOptions* options) {
+  if (flags.shards == 0 && flags.threads == 0 && flags.strategy.empty()) {
+    return true;
+  }
+  if (backend->empty()) {
+    std::fprintf(stderr,
+                 "--shards/--threads/--strategy require --backend\n");
+    return false;
+  }
+  if (backend->rfind("sharded:", 0) != 0) {
+    *backend = "sharded:" + *backend;
+  }
+  if (flags.shards > 0) options->Set("shards", std::to_string(flags.shards));
+  if (flags.threads > 0) {
+    options->Set("threads", std::to_string(flags.threads));
+  }
+  if (!flags.strategy.empty()) options->Set("strategy", flags.strategy);
+  return true;
+}
+
+int CompressWithBackend(std::string backend, const std::string& option_spec,
+                        const ShardFlags& shard_flags, const char* in_path,
                         const char* out_path) {
   auto loaded = LoadGraphText(in_path);
   if (!loaded.ok()) {
     std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
     return 1;
   }
-  auto codec = api::CodecRegistry::Create(backend);
-  if (!codec.ok()) {
-    std::fprintf(stderr, "%s\n", codec.status().ToString().c_str());
-    return 1;
-  }
   auto options = api::CodecOptions::Parse(option_spec);
   if (!options.ok()) {
     std::fprintf(stderr, "%s\n", options.status().ToString().c_str());
+    return 1;
+  }
+  if (!ApplyShardFlags(shard_flags, &backend, &options.value())) return 2;
+  auto codec = api::CodecRegistry::Create(backend);
+  if (!codec.ok()) {
+    std::fprintf(stderr, "%s\n", codec.status().ToString().c_str());
     return 1;
   }
   auto rep = codec.value()->Compress(loaded.value().graph,
@@ -154,7 +207,7 @@ int CompressWithBackend(const std::string& backend,
     std::fprintf(stderr, "%s\n", rep.status().ToString().c_str());
     return 1;
   }
-  auto bytes = WrapCodecPayload(backend, rep.value()->Serialize());
+  auto bytes = api::WrapCodecPayload(backend, rep.value()->Serialize());
   if (!WriteBytes(out_path, bytes)) {
     std::fprintf(stderr, "cannot write %s\n", out_path);
     return 1;
@@ -174,6 +227,7 @@ int CmdCompress(int argc, char** argv) {
   std::string mapping_path;
   std::string backend;
   std::string option_spec;
+  ShardFlags shard_flags;
   bool legacy_flags = false;
   for (int i = 4; i < argc; ++i) {
     std::string arg = argv[i];
@@ -181,6 +235,10 @@ int CmdCompress(int argc, char** argv) {
       backend = argv[++i];
     } else if (arg == "--options" && i + 1 < argc) {
       option_spec = argv[++i];
+    } else if (ShardFlagParse m =
+                   MatchShardFlag(arg, argc, argv, &i, &shard_flags);
+               m != ShardFlagParse::kNoMatch) {
+      if (m == ShardFlagParse::kError) return 2;
     } else if (arg == "--order" && i + 1 < argc) {
       if (!ParseNodeOrderKind(argv[++i], &options.node_order)) {
         std::fprintf(stderr, "unknown order %s\n", argv[i]);
@@ -218,12 +276,20 @@ int CmdCompress(int argc, char** argv) {
                    "virtual=false)\n");
       return 2;
     }
-    return CompressWithBackend(backend, option_spec, argv[2], argv[3]);
+    return CompressWithBackend(backend, option_spec, shard_flags, argv[2],
+                               argv[3]);
   }
   if (!option_spec.empty()) {
     std::fprintf(stderr,
                  "--options requires --backend (the legacy path takes "
                  "--order/--max-rank/... flags)\n");
+    return 2;
+  }
+  if (shard_flags.shards != 0 || shard_flags.threads != 0 ||
+      !shard_flags.strategy.empty()) {
+    std::fprintf(stderr,
+                 "--shards/--threads/--strategy require --backend "
+                 "(e.g. --backend grepair --shards 8)\n");
     return 2;
   }
   auto loaded = LoadGraphText(argv[2]);
@@ -273,7 +339,7 @@ Alphabet InferAlphabet(const Hypergraph& g) {
 }
 
 int DecompressWithBackend(const std::string& backend,
-                          const std::vector<uint8_t>& payload,
+                          const std::vector<uint8_t>& payload, int threads,
                           const char* out_path) {
   auto codec = api::CodecRegistry::Create(backend);
   if (!codec.ok()) {
@@ -284,6 +350,16 @@ int DecompressWithBackend(const std::string& backend,
   if (!rep.ok()) {
     std::fprintf(stderr, "%s\n", rep.status().ToString().c_str());
     return 1;
+  }
+  if (threads > 1) {
+    if (auto* sharded = dynamic_cast<shard::ShardedRep*>(rep.value().get())) {
+      sharded->set_decompress_threads(threads);
+    } else {
+      std::fprintf(stderr,
+                   "note: --threads only parallelizes sharded containers; "
+                   "'%s' decompresses single-threaded\n",
+                   backend.c_str());
+    }
   }
   auto graph = rep.value()->Decompress();
   if (!graph.ok()) {
@@ -304,9 +380,13 @@ int DecompressWithBackend(const std::string& backend,
 int CmdDecompress(int argc, char** argv) {
   if (argc < 4) return Usage();
   std::string mapping_path;
+  int threads = 0;
   for (int i = 4; i < argc; ++i) {
-    if (std::string(argv[i]) == "--mapping" && i + 1 < argc) {
+    std::string arg = argv[i];
+    if (arg == "--mapping" && i + 1 < argc) {
       mapping_path = argv[++i];
+    } else if (arg == "--threads" && i + 1 < argc) {
+      if (!ParseCountFlag("--threads", argv[++i], kMaxThreads, &threads)) return 2;
     } else {
       return Usage();
     }
@@ -316,18 +396,26 @@ int CmdDecompress(int argc, char** argv) {
     std::fprintf(stderr, "cannot read %s\n", argv[2]);
     return 1;
   }
-  {
+  if (api::IsCodecContainer(bytes)) {
     std::string backend;
     std::vector<uint8_t> payload;
-    if (UnwrapCodecPayload(bytes, &backend, &payload)) {
-      if (!mapping_path.empty()) {
-        std::fprintf(stderr,
-                     "--mapping is not used with backend-tagged files "
-                     "(any mapping is embedded in the payload)\n");
-        return 2;
-      }
-      return DecompressWithBackend(backend, payload, argv[3]);
+    auto status = api::UnwrapCodecPayload(bytes, &backend, &payload);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
     }
+    if (!mapping_path.empty()) {
+      std::fprintf(stderr,
+                   "--mapping is not used with backend-tagged files "
+                   "(any mapping is embedded in the payload)\n");
+      return 2;
+    }
+    return DecompressWithBackend(backend, payload, threads, argv[3]);
+  }
+  if (threads > 1) {
+    std::fprintf(stderr,
+                 "note: --threads only parallelizes sharded containers; "
+                 "raw .grg grammars decompress single-threaded\n");
   }
   auto grammar = DecodeGrammar(bytes);
   if (!grammar.ok()) {
@@ -558,6 +646,7 @@ int CmdBench(int argc, char** argv) {
   std::string backend = "all";
   std::string kind;
   std::string option_spec;
+  ShardFlags shard_flags;
   uint32_t size = 0;
   for (int i = 2; i < argc; ++i) {
     std::string arg = argv[i];
@@ -566,14 +655,29 @@ int CmdBench(int argc, char** argv) {
     } else if (arg == "--gen" && i + 1 < argc) {
       kind = argv[++i];
     } else if (arg == "--size" && i + 1 < argc) {
-      size = static_cast<uint32_t>(std::atoi(argv[++i]));
+      int parsed = 0;
+      if (!ParseCountFlag("--size", argv[++i], 1 << 30, &parsed)) return 2;
+      size = static_cast<uint32_t>(parsed);
     } else if (arg == "--options" && i + 1 < argc) {
       option_spec = argv[++i];
+    } else if (ShardFlagParse m =
+                   MatchShardFlag(arg, argc, argv, &i, &shard_flags);
+               m != ShardFlagParse::kNoMatch) {
+      if (m == ShardFlagParse::kError) return 2;
     } else {
       return Usage();
     }
   }
   if (kind.empty()) return Usage();
+  bool sharding_requested = shard_flags.shards != 0 ||
+                            shard_flags.threads != 0 ||
+                            !shard_flags.strategy.empty();
+  if (sharding_requested && backend == "all") {
+    std::fprintf(stderr,
+                 "--shards/--threads/--strategy need a single --backend "
+                 "(run e.g. --backend grepair --shards 8)\n");
+    return 2;
+  }
   GeneratedGraph gg;
   if (!MakeGenerated(kind, size, &gg)) {
     std::fprintf(stderr, "unknown dataset kind %s\n", kind.c_str());
@@ -583,6 +687,10 @@ int CmdBench(int argc, char** argv) {
   if (!options.ok()) {
     std::fprintf(stderr, "%s\n", options.status().ToString().c_str());
     return 1;
+  }
+  if (sharding_requested &&
+      !ApplyShardFlags(shard_flags, &backend, &options.value())) {
+    return 2;
   }
   std::printf("dataset %s: %u nodes, %u edges, %zu labels\n",
               gg.name.c_str(), gg.graph.num_nodes(), gg.graph.num_edges(),
