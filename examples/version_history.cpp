@@ -49,10 +49,14 @@ int main() {
   uint64_t components =
       CountConnectedComponents(result.value().grammar);
   auto extrema = ComputeDegreeExtrema(result.value().grammar);
+  if (!extrema.ok()) {
+    std::fprintf(stderr, "%s\n", extrema.status().ToString().c_str());
+    return 1;
+  }
   std::printf("archive has %llu components; degrees span [%llu, %llu] "
               "— computed on the grammar without decompression\n",
               static_cast<unsigned long long>(components),
-              static_cast<unsigned long long>(extrema.min_degree),
-              static_cast<unsigned long long>(extrema.max_degree));
+              static_cast<unsigned long long>(extrema.value().min_degree),
+              static_cast<unsigned long long>(extrema.value().max_degree));
   return 0;
 }

@@ -19,8 +19,10 @@
 // them on unlabeled graphs.
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <optional>
+#include <utility>
 
 #include "src/api/codec_registry.h"
 #include "src/api/graph_codec.h"
@@ -92,31 +94,77 @@ class GrepairRep : public CompressedRep {
   uint64_t num_nodes() const override { return graph_.num_nodes(); }
 
   Result<std::vector<uint64_t>> OutNeighbors(uint64_t node) const override {
-    GREPAIR_RETURN_IF_ERROR(CheckNode(node));
+    GREPAIR_RETURN_IF_ERROR(CheckNodeId(node, graph_.num_nodes()));
+    singles_.fetch_add(1, std::memory_order_relaxed);
     return graph_.OutNeighbors(node);
   }
   Result<std::vector<uint64_t>> InNeighbors(uint64_t node) const override {
-    GREPAIR_RETURN_IF_ERROR(CheckNode(node));
+    GREPAIR_RETURN_IF_ERROR(CheckNodeId(node, graph_.num_nodes()));
+    singles_.fetch_add(1, std::memory_order_relaxed);
     return graph_.InNeighbors(node);
   }
   Result<bool> Reachable(uint64_t from, uint64_t to) const override {
-    GREPAIR_RETURN_IF_ERROR(CheckNode(from));
-    GREPAIR_RETURN_IF_ERROR(CheckNode(to));
+    GREPAIR_RETURN_IF_ERROR(CheckNodeId(from, graph_.num_nodes()));
+    GREPAIR_RETURN_IF_ERROR(CheckNodeId(to, graph_.num_nodes()));
+    singles_.fetch_add(1, std::memory_order_relaxed);
     return graph_.Reachable(from, to);
+  }
+
+  Result<std::vector<std::vector<uint64_t>>> OutNeighborsBatch(
+      const std::vector<uint64_t>& nodes) const override {
+    // Validate the whole batch up front so no answer is computed for a
+    // batch that fails; the memo tables make repeats within the batch
+    // cheap without extra bookkeeping here.
+    for (uint64_t node : nodes) {
+      GREPAIR_RETURN_IF_ERROR(CheckNodeId(node, graph_.num_nodes()));
+    }
+    batch_calls_.fetch_add(1, std::memory_order_relaxed);
+    batch_items_.fetch_add(nodes.size(), std::memory_order_relaxed);
+    std::vector<std::vector<uint64_t>> results;
+    results.reserve(nodes.size());
+    for (uint64_t node : nodes) {
+      results.push_back(graph_.OutNeighbors(node));
+    }
+    return results;
+  }
+
+  Result<std::vector<uint8_t>> ReachableBatch(
+      const std::vector<std::pair<uint64_t, uint64_t>>& pairs)
+      const override {
+    for (const auto& [from, to] : pairs) {
+      GREPAIR_RETURN_IF_ERROR(CheckNodeId(from, graph_.num_nodes()));
+      GREPAIR_RETURN_IF_ERROR(CheckNodeId(to, graph_.num_nodes()));
+    }
+    batch_calls_.fetch_add(1, std::memory_order_relaxed);
+    batch_items_.fetch_add(pairs.size(), std::memory_order_relaxed);
+    std::vector<uint8_t> results;
+    results.reserve(pairs.size());
+    for (const auto& [from, to] : pairs) {
+      results.push_back(graph_.Reachable(from, to) ? 1 : 0);
+    }
+    return results;
+  }
+
+  QueryStats query_stats() const override {
+    QueryStats stats;
+    stats.single_queries = singles_.load(std::memory_order_relaxed);
+    stats.batch_calls = batch_calls_.load(std::memory_order_relaxed);
+    stats.batch_items = batch_items_.load(std::memory_order_relaxed);
+    stats.memo_entries = graph_.neighborhood().memo_entries() +
+                         graph_.reachability().memo_entries();
+    stats.memo_hits = graph_.neighborhood().memo_hits() +
+                      graph_.reachability().memo_hits();
+    return stats;
   }
 
   const CompressedGraph& graph() const { return graph_; }
 
  private:
-  Status CheckNode(uint64_t node) const {
-    if (node >= graph_.num_nodes()) {
-      return Status::OutOfRange("node id out of range");
-    }
-    return Status::OK();
-  }
-
   CompressedGraph graph_;
   mutable std::optional<std::vector<uint8_t>> serialized_;
+  mutable std::atomic<uint64_t> singles_{0};
+  mutable std::atomic<uint64_t> batch_calls_{0};
+  mutable std::atomic<uint64_t> batch_items_{0};
 };
 
 class GrepairCodec : public GraphCodec {
@@ -199,9 +247,7 @@ class K2Rep : public CompressedRep {
 
  private:
   Result<std::vector<uint64_t>> Union(uint64_t node, bool out) const {
-    if (node >= rep_.num_nodes()) {
-      return Status::OutOfRange("node id out of range");
-    }
+    GREPAIR_RETURN_IF_ERROR(CheckNodeId(node, rep_.num_nodes()));
     std::vector<uint64_t> all;
     auto v = static_cast<uint32_t>(node);
     for (Label l = 0; l < rep_.num_labels(); ++l) {

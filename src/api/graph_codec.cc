@@ -65,8 +65,26 @@ Status CodecOptions::ExpectKeys(
       }
     }
     if (!known) {
-      return Status::InvalidArgument("unknown codec option '" + key + "'");
+      // List what the codec does accept: a typo'd key should not send
+      // the user to the sources to find the option table.
+      std::string accepted;
+      for (const auto& a : allowed) {
+        if (!accepted.empty()) accepted += ", ";
+        accepted += a;
+      }
+      if (accepted.empty()) accepted = "none";
+      return Status::InvalidArgument("unknown codec option '" + key +
+                                     "' (accepted keys: " + accepted + ")");
     }
+  }
+  return Status::OK();
+}
+
+Status CheckNodeId(uint64_t node, uint64_t num_nodes) {
+  if (node >= num_nodes) {
+    return Status::InvalidArgument(
+        "node id " + std::to_string(node) + " out of range [0, " +
+        std::to_string(num_nodes) + ")");
   }
   return Status::OK();
 }
@@ -82,6 +100,30 @@ Result<std::vector<uint64_t>> CompressedRep::InNeighbors(uint64_t) const {
 Result<bool> CompressedRep::Reachable(uint64_t, uint64_t) const {
   return Status::Unimplemented(
       "codec does not support reachability queries");
+}
+
+Result<std::vector<std::vector<uint64_t>>> CompressedRep::OutNeighborsBatch(
+    const std::vector<uint64_t>& nodes) const {
+  std::vector<std::vector<uint64_t>> results;
+  results.reserve(nodes.size());
+  for (uint64_t node : nodes) {
+    auto r = OutNeighbors(node);
+    if (!r.ok()) return r.status();
+    results.push_back(std::move(r).ValueOrDie());
+  }
+  return results;
+}
+
+Result<std::vector<uint8_t>> CompressedRep::ReachableBatch(
+    const std::vector<std::pair<uint64_t, uint64_t>>& pairs) const {
+  std::vector<uint8_t> results;
+  results.reserve(pairs.size());
+  for (const auto& [from, to] : pairs) {
+    auto r = Reachable(from, to);
+    if (!r.ok()) return r.status();
+    results.push_back(r.value() ? 1 : 0);
+  }
+  return results;
 }
 
 }  // namespace api

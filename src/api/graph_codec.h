@@ -29,6 +29,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/graph/hypergraph.h"
@@ -85,6 +86,31 @@ enum CodecCapability : uint32_t {
   kReachabilityQueries = 1u << 3, ///< Reachable without decompression
 };
 
+/// \brief Counters exposed by the query subsystem of a CompressedRep.
+///
+/// All counters are cumulative since construction. Codecs without
+/// caches/memoization report zeros; the sharded meta-codec and gRePair
+/// fill in what applies to them. Snapshots are cheap and safe to take
+/// concurrently with queries.
+struct QueryStats {
+  uint64_t single_queries = 0;  ///< Out/InNeighbors + Reachable calls
+  uint64_t batch_calls = 0;     ///< batch entry-point invocations
+  uint64_t batch_items = 0;     ///< nodes/pairs answered through batches
+  uint64_t cache_hits = 0;      ///< per-shard neighborhood cache hits
+  uint64_t cache_misses = 0;    ///< per-shard neighborhood cache misses
+  uint64_t shard_decodes = 0;   ///< shards decoded into the cache
+  uint64_t cache_evictions = 0; ///< cached shards evicted by the budget
+  uint64_t cache_bytes_used = 0;///< current cache footprint
+  uint64_t memo_entries = 0;    ///< grammar memo-table entries built
+  uint64_t memo_hits = 0;       ///< queries answered from memo tables
+};
+
+/// \brief Uniform out-of-range check for query entry points: every
+/// query-capable codec rejects ids >= num_nodes with exactly this
+/// kInvalidArgument status (codecs without query support stay
+/// capability-gated behind Unimplemented instead).
+Status CheckNodeId(uint64_t node, uint64_t num_nodes);
+
 /// \brief A compressed graph representation produced by one codec.
 ///
 /// Serialize() must round-trip through GraphCodec::Deserialize back to
@@ -94,6 +120,11 @@ enum CodecCapability : uint32_t {
 /// tables report; it may be smaller than Serialize().size() when a
 /// codec excludes bookkeeping the paper's metric excludes (e.g. gRePair
 /// excludes the optional psi' node mapping, as the paper does).
+///
+/// Query entry points are safe to call concurrently from multiple
+/// threads on a shared rep (internal caches are synchronized), and any
+/// node id >= num_nodes() yields kInvalidArgument on query-capable
+/// codecs (see CheckNodeId).
 class CompressedRep {
  public:
   virtual ~CompressedRep() = default;
@@ -112,6 +143,24 @@ class CompressedRep {
 
   /// \brief Directed reachability. Default: Unimplemented.
   virtual Result<bool> Reachable(uint64_t from, uint64_t to) const;
+
+  /// \brief Out-neighbors of every node in `nodes`, result i for node
+  /// i. Whole-batch failure on the first invalid id (so callers never
+  /// see partial answers). Default: a loop over OutNeighbors;
+  /// overridden where batching pays (the sharded codec amortizes
+  /// shard decoding and fans out over its thread pool).
+  virtual Result<std::vector<std::vector<uint64_t>>> OutNeighborsBatch(
+      const std::vector<uint64_t>& nodes) const;
+
+  /// \brief Reachability verdict per (from, to) pair, result i for
+  /// pair i (1 = reachable). Same whole-batch failure contract as
+  /// OutNeighborsBatch. Default: a loop over Reachable.
+  virtual Result<std::vector<uint8_t>> ReachableBatch(
+      const std::vector<std::pair<uint64_t, uint64_t>>& pairs) const;
+
+  /// \brief Snapshot of this rep's query counters (zeros when the
+  /// codec tracks nothing).
+  virtual QueryStats query_stats() const { return QueryStats(); }
 };
 
 /// \brief A graph compression algorithm. Stateless; Compress may be

@@ -88,6 +88,11 @@ class CompressedGraph {
   const SlhrGrammar& grammar() const { return *grammar_; }
   const CompressStats& stats() const { return stats_; }
 
+  /// \brief The underlying query indexes (their memo-table counters
+  /// feed the api-level QueryStats surface).
+  const NeighborhoodIndex& neighborhood() const { return *neighborhood_; }
+  const ReachabilityIndex& reachability() const { return *reachability_; }
+
   /// \brief True when queries and Decompress use original-graph ids.
   bool has_original_ids() const { return !to_original_.empty(); }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <mutex>
 
 namespace grepair {
 
@@ -12,6 +13,100 @@ NeighborhoodIndex::NeighborhoodIndex(const SlhrGrammar& grammar)
   for (uint32_t j = 0; j < grammar.num_rules(); ++j) {
     incidence_.push_back(grammar.rhs_by_index(j).BuildIncidence());
   }
+}
+
+namespace {
+
+// Memo key for (rule, ext position, direction). Ranks are stored as
+// uint8 so pos fits in 8 bits with room to spare.
+uint64_t MemoKey(uint32_t rule, uint32_t pos, bool out) {
+  return (static_cast<uint64_t>(rule) << 9) |
+         (static_cast<uint64_t>(pos) << 1) | (out ? 1 : 0);
+}
+
+}  // namespace
+
+const std::vector<NeighborhoodIndex::RelNeighbor>&
+NeighborhoodIndex::DescendMemo(Label label, uint32_t pos, bool out) const {
+  // Warm fast path: concurrent lookups share the lock.
+  uint64_t key = MemoKey(node_map_.grammar().RuleIndex(label), pos, out);
+  {
+    std::shared_lock<std::shared_mutex> read_lock(memo_mutex_);
+    auto it = memo_.find(key);
+    if (it != memo_.end()) {
+      memo_hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  std::unique_lock<std::shared_mutex> write_lock(memo_mutex_);
+  return DescendMemoLocked(label, pos, out);
+}
+
+// Builds (or returns) the instance-relative neighbor table of external
+// position `pos` of nonterminal `label`. Rules only reference rules of
+// lower index, so the recursion terminates; the lock is held across
+// the whole recursive build (DescendMemoLocked assumes it).
+const std::vector<NeighborhoodIndex::RelNeighbor>&
+NeighborhoodIndex::DescendMemoLocked(Label label, uint32_t pos,
+                                     bool out) const {
+  const SlhrGrammar& g = node_map_.grammar();
+  uint32_t rule = g.RuleIndex(label);
+  uint64_t key = MemoKey(rule, pos, out);
+  auto it = memo_.find(key);
+  if (it != memo_.end()) {
+    memo_hits_.fetch_add(1, std::memory_order_relaxed);
+    return it->second;
+  }
+
+  const Hypergraph& rhs = g.rhs(label);
+  size_t ext_count = rhs.ext().size();
+  // Normal form pins external nodes to ids [0, ext); anything above is
+  // internal to this rhs and addressed by an empty relative path.
+  auto classify = [&](NodeId u) {
+    RelNeighbor rn;
+    if (u < ext_count) {
+      rn.ext_pos = u;
+    } else {
+      rn.node = u;
+    }
+    return rn;
+  };
+
+  std::vector<RelNeighbor> entries;
+  for (EdgeId ei : incidence_[1 + rule][pos]) {
+    const HEdge& e = rhs.edge(ei);
+    if (g.IsTerminal(e.label)) {
+      if (e.att.size() != 2) continue;  // hyperedges carry no direction
+      if (out && e.att[0] == static_cast<NodeId>(pos)) {
+        entries.push_back(classify(e.att[1]));
+      } else if (!out && e.att[1] == static_cast<NodeId>(pos)) {
+        entries.push_back(classify(e.att[0]));
+      }
+      continue;
+    }
+    for (uint32_t q = 0; q < e.att.size(); ++q) {
+      if (e.att[q] != static_cast<NodeId>(pos)) continue;
+      // References into memo_ stay valid across later insertions
+      // (unordered_map values are node-based), and `child` is fully
+      // consumed before the next recursive build can run.
+      const std::vector<RelNeighbor>& child =
+          DescendMemoLocked(e.label, q, out);
+      for (const RelNeighbor& c : child) {
+        if (c.ext_pos != RelNeighbor::kNotExternal) {
+          entries.push_back(classify(e.att[c.ext_pos]));
+        } else {
+          RelNeighbor rn;
+          rn.steps.reserve(1 + c.steps.size());
+          rn.steps.push_back(ei);
+          rn.steps.insert(rn.steps.end(), c.steps.begin(), c.steps.end());
+          rn.node = c.node;
+          entries.push_back(std::move(rn));
+        }
+      }
+    }
+  }
+  memo_entries_.fetch_add(1, std::memory_order_relaxed);
+  return memo_.emplace(key, std::move(entries)).first->second;
 }
 
 namespace {
@@ -27,10 +122,11 @@ struct Ctx {
 
 class Walker {
  public:
-  Walker(const NodeMap& nm,
+  Walker(const NeighborhoodIndex& index, const NodeMap& nm,
          const std::vector<std::vector<std::vector<EdgeId>>>& incidence,
          bool out, std::vector<uint64_t>* results)
-      : g_(nm.grammar()),
+      : index_(index),
+        g_(nm.grammar()),
         nm_(nm),
         incidence_(incidence),
         out_(out),
@@ -69,7 +165,8 @@ class Walker {
 
   // Emits the neighbors of node `v` within the rhs instance `ctx`,
   // examining only the edges incident with v. `host_index` is 0 for S
-  // and 1 + rule index for right-hand sides.
+  // and 1 + rule index for right-hand sides. Nonterminal edges resolve
+  // through the per-rule memo tables instead of a recursive descent.
   void ScanIncident(const Ctx& ctx, const Hypergraph& host,
                     size_t host_index, NodeId v) {
     for (EdgeId ei : incidence_[host_index][v]) {
@@ -85,25 +182,39 @@ class Walker {
       }
       for (size_t q = 0; q < e.att.size(); ++q) {
         if (e.att[q] == v) {
-          Descend(ctx, ei, e.label, static_cast<uint32_t>(q));
+          ApplyMemo(ctx, ei, e, static_cast<uint32_t>(q));
         }
       }
     }
   }
 
-  // getNeighboring (Section V): neighbors of external position `pos`
-  // inside the subgraph derived from edge `ei` (labeled `label`) of the
-  // instance `ctx`.
-  void Descend(const Ctx& ctx, EdgeId ei, Label label, uint32_t pos) {
-    Ctx child = ctx;
-    if (child.start_edge == kInvalidEdge) {
-      child.start_edge = ei;
-    } else {
-      child.steps.push_back(ei);
+  // getNeighboring (Section V) via the memo table: neighbors of
+  // external position `pos` inside the subgraph derived from edge `ei`
+  // of the instance `ctx`, translated from instance-relative form to
+  // global ids.
+  void ApplyMemo(const Ctx& ctx, EdgeId ei, const HEdge& e, uint32_t pos) {
+    const auto& entries = index_.DescendMemo(e.label, pos, out_);
+    for (const NeighborhoodIndex::RelNeighbor& rn : entries) {
+      if (rn.ext_pos != NeighborhoodIndex::RelNeighbor::kNotExternal) {
+        // A neighbor that is external to the child instance sits on
+        // the nonterminal edge's attachment in the current host.
+        results_->push_back(Resolve(ctx, e.att[rn.ext_pos]));
+        continue;
+      }
+      GPath p;
+      if (ctx.start_edge == kInvalidEdge) {
+        p.start_edge = ei;
+        p.steps = rn.steps;
+      } else {
+        p.start_edge = ctx.start_edge;
+        p.steps.reserve(ctx.steps.size() + 1 + rn.steps.size());
+        p.steps = ctx.steps;
+        p.steps.push_back(ei);
+        p.steps.insert(p.steps.end(), rn.steps.begin(), rn.steps.end());
+      }
+      p.node = rn.node;
+      results_->push_back(nm_.IdOf(p));
     }
-    child.labels.push_back(label);
-    ScanIncident(child, g_.rhs(label), 1 + g_.RuleIndex(label),
-                 static_cast<NodeId>(pos));
   }
 
   // Entry: neighbors of the node addressed by `path`.
@@ -125,6 +236,7 @@ class Walker {
   }
 
  private:
+  const NeighborhoodIndex& index_;
   const SlhrGrammar& g_;
   const NodeMap& nm_;
   const std::vector<std::vector<std::vector<EdgeId>>>& incidence_;
@@ -137,7 +249,7 @@ class Walker {
 std::vector<uint64_t> NeighborhoodIndex::NeighborsImpl(uint64_t id,
                                                        bool out) const {
   std::vector<uint64_t> results;
-  Walker walker(node_map_, incidence_, out, &results);
+  Walker walker(*this, node_map_, incidence_, out, &results);
   walker.Run(node_map_.PathOf(id));
   std::sort(results.begin(), results.end());
   results.erase(std::unique(results.begin(), results.end()), results.end());

@@ -1,12 +1,22 @@
-// Neighborhood queries over the grammar (Proposition 4).
+// Neighborhood queries over the grammar (Proposition 4), memoized.
 //
 // Computes the in/out neighbors of a val(G) node without materializing
 // the graph: locate the node's G-representation, scan the edges of the
 // right-hand side it lives in, resolve external endpoints by climbing
 // toward the start graph, and resolve endpoints hidden behind
-// nonterminal edges by descending into their rules' external nodes
-// (the paper's getNeighboring). Cost O(log l + n*h) for n neighbors at
-// grammar height h.
+// nonterminal edges via per-rule *memo tables* (the paper's
+// getNeighboring, precomputed per nonterminal as in Maneth & Peternek,
+// arXiv:1704.05254). The table for (rule A, external position p,
+// direction) lists the neighbors of ext node p inside val(A) in
+// instance-relative form — either another external position of A or a
+// derivation-path suffix below A — so a query resolves each
+// nonterminal incident edge with one table lookup instead of a
+// recursive descent. Tables are built lazily on first use, shared by
+// all subsequent queries, and never invalidated (grammars are
+// immutable); total table size is bounded by the neighbor sets of the
+// rules' external nodes, the same tradeoff the paper's precomputed
+// tables make. First-touch cost matches the old recursive walk; every
+// repeat is O(answer * h) path arithmetic.
 //
 // Only rank-2 terminal edges define direction (att[0] -> att[1]); the
 // input graphs of the paper are simple, and nonterminal hyperedges are
@@ -15,7 +25,10 @@
 #ifndef GREPAIR_QUERY_NEIGHBORHOOD_H_
 #define GREPAIR_QUERY_NEIGHBORHOOD_H_
 
+#include <atomic>
 #include <cstdint>
+#include <shared_mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "src/query/node_map.h"
@@ -27,6 +40,8 @@ namespace grepair {
 /// Construction precomputes incidence lists for the start graph and
 /// every right-hand side (O(|G|)), so a query touches only the edges
 /// actually incident with the nodes along its derivation path.
+/// Queries are safe to run concurrently on a shared index; the lazy
+/// memo tables are mutex-guarded.
 class NeighborhoodIndex {
  public:
   explicit NeighborhoodIndex(const SlhrGrammar& grammar);
@@ -47,13 +62,57 @@ class NeighborhoodIndex {
   /// \brief Degree-style helper: |N+| + |N-| with duplicates removed.
   std::vector<uint64_t> AllNeighbors(uint64_t id) const;
 
+  /// \brief Memo-table entries built so far (one per distinct
+  /// (rule, ext position, direction) touched by queries).
+  uint64_t memo_entries() const {
+    return memo_entries_.load(std::memory_order_relaxed);
+  }
+
+  /// \brief Nonterminal-edge resolutions answered from an existing
+  /// memo entry (vs. `memo_entries()` builds).
+  uint64_t memo_hits() const {
+    return memo_hits_.load(std::memory_order_relaxed);
+  }
+
+  /// \brief One memoized neighbor of a rule's external node, relative
+  /// to an instance of that rule. Either another external position
+  /// (`ext_pos != kNotExternal`) or an internal derived node addressed
+  /// by rhs-edge steps below the instance plus the node id in the
+  /// final right-hand side.
+  struct RelNeighbor {
+    static constexpr uint32_t kNotExternal = ~0u;
+    uint32_t ext_pos = kNotExternal;
+    std::vector<uint32_t> steps;
+    NodeId node = kInvalidNode;
+  };
+
+  /// \brief Memo lookup-or-build for (nonterminal `label`, ext
+  /// position `pos`, direction). Returned reference stays valid for
+  /// the index's lifetime (entries are never removed or mutated once
+  /// built). Exposed for the query walker; not a user entry point.
+  const std::vector<RelNeighbor>& DescendMemo(Label label, uint32_t pos,
+                                              bool out) const;
+
  private:
-  friend class NeighborWalker;
   std::vector<uint64_t> NeighborsImpl(uint64_t id, bool out) const;
+
+  const std::vector<RelNeighbor>& DescendMemoLocked(Label label,
+                                                    uint32_t pos,
+                                                    bool out) const;
 
   NodeMap node_map_;
   /// incidence_[0] covers S; incidence_[1 + j] covers rule j.
   std::vector<std::vector<std::vector<EdgeId>>> incidence_;
+
+  /// Memo tables, keyed by (rule index, ext position, direction).
+  /// Values are immutable once inserted; the mutex guards map access
+  /// only (unordered_map never invalidates value references). Shared
+  /// mutex: warm-path lookups from concurrent queries take the shared
+  /// side and do not serialize each other; only builds are exclusive.
+  mutable std::shared_mutex memo_mutex_;
+  mutable std::unordered_map<uint64_t, std::vector<RelNeighbor>> memo_;
+  mutable std::atomic<uint64_t> memo_entries_{0};
+  mutable std::atomic<uint64_t> memo_hits_{0};
 };
 
 }  // namespace grepair

@@ -1,6 +1,7 @@
 #include "src/query/reachability.h"
 
 #include <cassert>
+#include <mutex>
 
 namespace grepair {
 
@@ -75,6 +76,31 @@ ReachabilityIndex::ReachabilityIndex(const SlhrGrammar& grammar)
   }
   start_fwd_ = ExpandedAdjacency(grammar.start(), false);
   start_bwd_ = ExpandedAdjacency(grammar.start(), true);
+  rule_adj_.resize(2 * static_cast<size_t>(grammar.num_rules()));
+}
+
+const std::vector<std::vector<NodeId>>& ReachabilityIndex::LevelAdjacency(
+    Label label, bool reverse) const {
+  size_t slot = 2 * static_cast<size_t>(grammar_->RuleIndex(label)) +
+                (reverse ? 1 : 0);
+  {
+    // Warm fast path: concurrent lookups share the lock.
+    std::shared_lock<std::shared_mutex> read_lock(memo_mutex_);
+    if (rule_adj_[slot] != nullptr) {
+      memo_hits_.fetch_add(1, std::memory_order_relaxed);
+      return *rule_adj_[slot];
+    }
+  }
+  std::unique_lock<std::shared_mutex> write_lock(memo_mutex_);
+  if (rule_adj_[slot] == nullptr) {
+    rule_adj_[slot] =
+        std::make_unique<const std::vector<std::vector<NodeId>>>(
+            ExpandedAdjacency(grammar_->rhs(label), reverse));
+    memo_entries_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    memo_hits_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return *rule_adj_[slot];
 }
 
 namespace {
@@ -116,7 +142,7 @@ bool ReachabilityIndex::Reachable(uint64_t from, uint64_t to) const {
       seeds = {path.node};
       for (size_t i = labels.size(); i-- > 0;) {
         const Hypergraph& rhs = grammar_->rhs(labels[i]);
-        auto adj = ExpandedAdjacency(rhs, backward);
+        const auto& adj = LevelAdjacency(labels[i], backward);
         LevelInfo info;
         info.reached = Bfs(adj, seeds);
         // External positions reaching/reachable become parent seeds via

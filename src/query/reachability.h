@@ -24,14 +24,19 @@
 #ifndef GREPAIR_QUERY_REACHABILITY_H_
 #define GREPAIR_QUERY_REACHABILITY_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <shared_mutex>
 #include <vector>
 
 #include "src/query/node_map.h"
 
 namespace grepair {
 
-/// \brief Reachability oracle for val(G).
+/// \brief Reachability oracle for val(G). Queries are safe to run
+/// concurrently on a shared index; the lazily built per-rule
+/// adjacency tables are mutex-guarded.
 class ReachabilityIndex {
  public:
   explicit ReachabilityIndex(const SlhrGrammar& grammar);
@@ -48,17 +53,45 @@ class ReachabilityIndex {
     return skeletons_[j];
   }
 
+  /// \brief Per-(rule, direction) expanded adjacencies memoized so far
+  /// (each was previously rebuilt on every query touching its level).
+  uint64_t memo_entries() const {
+    return memo_entries_.load(std::memory_order_relaxed);
+  }
+
+  /// \brief Query levels answered from a memoized adjacency.
+  uint64_t memo_hits() const {
+    return memo_hits_.load(std::memory_order_relaxed);
+  }
+
  private:
   // Adjacency of a host graph with nonterminal edges expanded to their
   // skeleton edges (edges among the host's nodes only).
   std::vector<std::vector<NodeId>> ExpandedAdjacency(const Hypergraph& g,
                                                      bool reverse) const;
 
+  // Memoized ExpandedAdjacency of rule `label`'s rhs: built on first
+  // use, immutable afterwards, reused by every later query climbing
+  // through that rule (build-once; reps are immutable so it is never
+  // invalidated).
+  const std::vector<std::vector<NodeId>>& LevelAdjacency(Label label,
+                                                         bool reverse) const;
+
   const SlhrGrammar* grammar_;
   NodeMap node_map_;
   std::vector<std::vector<uint64_t>> skeletons_;  // per rule: rank rows
   std::vector<std::vector<NodeId>> start_fwd_;    // S' adjacency
   std::vector<std::vector<NodeId>> start_bwd_;    // reversed S'
+
+  // Slot [2 * rule + reverse]; null until built. The mutex guards slot
+  // installation; the pointed-to adjacency never changes after that.
+  // Shared mutex: warm-path reads from concurrent queries share the
+  // lock; only the one-time builds are exclusive.
+  mutable std::shared_mutex memo_mutex_;
+  mutable std::vector<std::unique_ptr<const std::vector<std::vector<NodeId>>>>
+      rule_adj_;
+  mutable std::atomic<uint64_t> memo_entries_{0};
+  mutable std::atomic<uint64_t> memo_hits_{0};
 };
 
 }  // namespace grepair

@@ -160,28 +160,25 @@ DegreeSummary SummarizeDegrees(const SlhrGrammar& grammar,
 
 }  // namespace
 
-DegreeExtrema ComputeDegreeExtrema(const SlhrGrammar& grammar) {
+Result<DegreeExtrema> ComputeDegreeExtrema(const SlhrGrammar& grammar) {
   std::vector<DegreeSummary> summaries(grammar.num_rules());
-  auto mult = RuleMultiplicities(grammar);
   for (uint32_t j = 0; j < grammar.num_rules(); ++j) {
     summaries[j] =
         SummarizeDegrees(grammar, grammar.rhs_by_index(j), summaries);
   }
+  // The start graph has no external nodes, so every val(G) node
+  // surfaces as "internal" in the top summary; unapplied rules never
+  // flow into it.
   DegreeSummary top =
       SummarizeDegrees(grammar, grammar.start(), summaries);
+  if (!top.has_internal) {
+    return Status::InvalidArgument(
+        "grammar derives an empty graph (no nodes): degree extrema are "
+        "undefined");
+  }
   DegreeExtrema extrema;
-  extrema.min_degree = std::numeric_limits<uint64_t>::max();
-  extrema.max_degree = 0;
-  if (top.has_internal) {
-    extrema.min_degree = top.min_internal;
-    extrema.max_degree = top.max_internal;
-  }
-  // Unapplied rules (multiplicity 0) must not contribute; applied rules
-  // already flowed into `top` through the recursion.
-  (void)mult;
-  if (extrema.min_degree == std::numeric_limits<uint64_t>::max()) {
-    extrema.min_degree = 0;
-  }
+  extrema.min_degree = top.min_internal;
+  extrema.max_degree = top.max_internal;
   return extrema;
 }
 

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "src/grammar/grammar.h"
+#include "src/util/status.h"
 
 namespace grepair {
 
@@ -36,7 +37,12 @@ struct DegreeExtrema {
   uint64_t min_degree = 0;
   uint64_t max_degree = 0;
 };
-DegreeExtrema ComputeDegreeExtrema(const SlhrGrammar& grammar);
+
+/// \brief Degree extrema of val(G). A grammar deriving no nodes at all
+/// has no extrema and yields kInvalidArgument — previously that case
+/// silently reported min = max = 0, indistinguishable from a graph of
+/// isolated nodes (which legitimately has min_degree 0).
+Result<DegreeExtrema> ComputeDegreeExtrema(const SlhrGrammar& grammar);
 
 /// \brief Total degree (sum over nodes) of val(G); equals the sum of
 /// edge ranks, provided for cross-checks.

@@ -90,6 +90,74 @@ NodeId LocalId(const std::vector<NodeId>& nodes, uint64_t global) {
   return static_cast<NodeId>(it - nodes.begin());
 }
 
+// Cheap pre-filter before the binary search: shard maps are sorted, so
+// most shards are rejected by two comparisons instead of a full
+// lower_bound (edge-range partitions make the ranges disjoint; the
+// query routing loop runs this once per shard per node).
+bool ShardMayContain(const std::vector<NodeId>& nodes, uint64_t global) {
+  return !nodes.empty() && global >= nodes.front() &&
+         global <= nodes.back();
+}
+
+}  // namespace
+
+// A shard's decoded adjacency. Built from the inner rep's Decompress
+// once, then shared read-only by every query that touches the shard:
+// out[local] / in[local] are this shard's sorted, deduplicated
+// global-id neighbor contributions for the node at local index.
+struct ShardedRep::ShardNeighborhoods {
+  std::vector<std::vector<uint64_t>> out;
+  std::vector<std::vector<uint64_t>> in;
+  size_t bytes = 0;
+};
+
+namespace {
+
+// Single-query misses a shard accumulates before it is promoted into
+// the cache (one decode amortized over this many grammar walks); a
+// batch putting at least this many queries on a shard decodes it
+// immediately.
+constexpr uint32_t kDecodeAfterMisses = 8;
+constexpr size_t kBatchDecodeThreshold = 2;
+
+// Miss-credit sentinel for a shard whose decoded form did not fit the
+// budget: never try decoding it again (until the budget changes), or
+// every 8th query would pay a whole-shard decode just to discard it.
+constexpr uint32_t kUncacheable = ~0u;
+
+// Decodes shard `entry` into its neighborhood form; null on any
+// decode/consistency failure (callers fall back to per-node routing,
+// which surfaces the error through the normal query path).
+std::shared_ptr<const ShardedRep::ShardNeighborhoods> DecodeNeighborhoods(
+    const ShardedRep::Entry& entry) {
+  auto local = entry.rep->Decompress();
+  if (!local.ok()) return nullptr;
+  size_t n = entry.nodes.size();
+  if (local.value().num_nodes() != n) return nullptr;
+  auto sn = std::make_shared<ShardedRep::ShardNeighborhoods>();
+  sn->out.resize(n);
+  sn->in.resize(n);
+  for (const HEdge& e : local.value().edges()) {
+    if (e.att.size() != 2) continue;  // hyperedges carry no direction
+    NodeId u = e.att[0], v = e.att[1];
+    if (u >= n || v >= n) return nullptr;
+    sn->out[u].push_back(entry.nodes[v]);
+    sn->in[v].push_back(entry.nodes[u]);
+  }
+  size_t items = 0;
+  for (auto* lists : {&sn->out, &sn->in}) {
+    for (auto& list : *lists) {
+      std::sort(list.begin(), list.end());
+      list.erase(std::unique(list.begin(), list.end()), list.end());
+      items += list.size();
+    }
+  }
+  // Footprint estimate: elements + two vector headers per node.
+  sn->bytes = items * sizeof(uint64_t) +
+              2 * n * sizeof(std::vector<uint64_t>);
+  return sn;
+}
+
 }  // namespace
 
 ShardedRep::ShardedRep(std::string inner_name, uint32_t inner_capabilities,
@@ -97,10 +165,138 @@ ShardedRep::ShardedRep(std::string inner_name, uint32_t inner_capabilities,
     : inner_name_(std::move(inner_name)),
       inner_capabilities_(inner_capabilities),
       num_nodes_(num_nodes),
-      entries_(std::move(entries)) {}
+      entries_(std::move(entries)),
+      cache_slots_(entries_.size()),
+      cache_last_use_(entries_.size(), 0),
+      cache_miss_credit_(entries_.size(), 0) {}
 
 void ShardedRep::set_decompress_threads(int threads) {
   decompress_threads_ = std::max(1, std::min(threads, 256));
+}
+
+void ShardedRep::set_query_threads(int threads) {
+  query_threads_.store(std::max(1, std::min(threads, 256)),
+                       std::memory_order_relaxed);
+}
+
+// The byte budget is split between the two tiers: the node-result LRU
+// gets a quarter, decoded shard neighborhoods the rest.
+namespace {
+size_t ResultBudget(size_t limit) { return limit / 4; }
+size_t ShardBudget(size_t limit) { return limit - limit / 4; }
+}  // namespace
+
+void ShardedRep::EvictShardsLocked(size_t target) const {
+  while (cache_bytes_used_ > target) {
+    size_t victim = cache_slots_.size();
+    uint64_t oldest = ~0ull;
+    for (size_t i = 0; i < cache_slots_.size(); ++i) {
+      if (cache_slots_[i] != nullptr && cache_last_use_[i] < oldest) {
+        oldest = cache_last_use_[i];
+        victim = i;
+      }
+    }
+    if (victim == cache_slots_.size()) break;
+    cache_bytes_used_ -= cache_slots_[victim]->bytes;
+    cache_slots_[victim] = nullptr;
+    stat_evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void ShardedRep::EvictResultsLocked(size_t target) const {
+  while (result_bytes_used_ > target && !result_lru_.empty()) {
+    uint64_t victim = result_lru_.back();
+    result_lru_.pop_back();
+    auto it = results_.find(victim);
+    result_bytes_used_ -= it->second.bytes;
+    results_.erase(it);
+    stat_evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void ShardedRep::set_query_cache_bytes(size_t bytes) {
+  cache_bytes_limit_.store(bytes, std::memory_order_relaxed);
+  // Shrink both tiers to the new budget immediately, LRU first, and
+  // let previously uncacheable shards try again under the new budget.
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  EvictShardsLocked(ShardBudget(bytes));
+  EvictResultsLocked(ResultBudget(bytes));
+  std::fill(cache_miss_credit_.begin(), cache_miss_credit_.end(), 0u);
+}
+
+std::shared_ptr<const std::vector<uint64_t>> ShardedRep::LookupResult(
+    uint64_t key) const {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  auto it = results_.find(key);
+  if (it == results_.end()) return nullptr;
+  result_lru_.splice(result_lru_.begin(), result_lru_, it->second.lru_it);
+  return it->second.value;
+}
+
+void ShardedRep::StoreResult(
+    uint64_t key,
+    std::shared_ptr<const std::vector<uint64_t>> value) const {
+  size_t bytes = value->size() * sizeof(uint64_t) + 80;  // + map overhead
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  size_t budget =
+      ResultBudget(cache_bytes_limit_.load(std::memory_order_relaxed));
+  if (budget == 0 || bytes > budget) return;
+  if (results_.count(key) > 0) return;  // racing store: first one wins
+  result_lru_.push_front(key);
+  results_.emplace(key,
+                   ResultEntry{result_lru_.begin(), std::move(value), bytes});
+  result_bytes_used_ += bytes;
+  // The new entry is at the LRU front and fits the budget by itself,
+  // so it can never be its own victim here.
+  EvictResultsLocked(budget);
+}
+
+std::shared_ptr<const ShardedRep::ShardNeighborhoods>
+ShardedRep::GetOrDecodeShard(size_t shard, size_t pending) const {
+  const Entry& entry = entries_[shard];
+  if (entry.rep == nullptr) return nullptr;
+  if (cache_bytes_limit_.load(std::memory_order_relaxed) == 0) {
+    return nullptr;
+  }
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    if (cache_slots_[shard] != nullptr) {
+      cache_last_use_[shard] = ++cache_tick_;
+      return cache_slots_[shard];
+    }
+    if (cache_miss_credit_[shard] == kUncacheable) return nullptr;
+    cache_miss_credit_[shard] +=
+        static_cast<uint32_t>(std::min<size_t>(pending, kDecodeAfterMisses));
+    if (pending < kBatchDecodeThreshold &&
+        cache_miss_credit_[shard] < kDecodeAfterMisses) {
+      return nullptr;
+    }
+  }
+  // Decode outside the lock: it runs inner decompression and must not
+  // serialize concurrent queries on other shards. A racing decode of
+  // the same shard wastes work but stays correct (first insert wins).
+  auto decoded = DecodeNeighborhoods(entry);
+  if (decoded == nullptr) return nullptr;
+  stat_decodes_.fetch_add(1, std::memory_order_relaxed);
+
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  if (cache_slots_[shard] != nullptr) return cache_slots_[shard];
+  size_t budget =
+      ShardBudget(cache_bytes_limit_.load(std::memory_order_relaxed));
+  // A shard that cannot fit the budget must not flush everyone else
+  // on every decode: it is returned for this call, not retained,
+  // nothing is evicted for it, and it is marked uncacheable so the
+  // decode is not endlessly repeated and discarded.
+  if (decoded->bytes > budget) {
+    cache_miss_credit_[shard] = kUncacheable;
+    return decoded;
+  }
+  cache_miss_credit_[shard] = 0;
+  EvictShardsLocked(budget - decoded->bytes);
+  cache_slots_[shard] = decoded;
+  cache_last_use_[shard] = ++cache_tick_;
+  cache_bytes_used_ += decoded->bytes;
+  return decoded;
 }
 
 // Serialize rebuilds the container from the per-shard payloads each
@@ -178,20 +374,37 @@ Result<Hypergraph> ShardedRep::Decompress() const {
   return global;
 }
 
-// Shared routing for Out/InNeighbors: look the global node up in
-// every shard that contains it, query locally, map back, merge.
+// Shared routing for Out/InNeighbors: first the node-result cache
+// (repeat queries are one hash lookup), then per owning shard either
+// the decoded-neighborhood tier (promoting hot shards after repeated
+// misses) or the inner rep, map back, merge, memoize.
 Result<std::vector<uint64_t>> ShardedRep::RoutedNeighbors(uint64_t node,
                                                           bool out) const {
   if (!(inner_capabilities_ & api::kNeighborQueries)) {
     return Status::Unimplemented("inner codec '" + inner_name_ +
                                  "' does not answer neighbor queries");
   }
-  if (node >= num_nodes_) return Status::OutOfRange("node id out of range");
+  GREPAIR_RETURN_IF_ERROR(api::CheckNodeId(node, num_nodes_));
+  uint64_t result_key = node * 2 + (out ? 1 : 0);
+  if (auto memoized = LookupResult(result_key)) {
+    stat_hits_.fetch_add(1, std::memory_order_relaxed);
+    return *memoized;
+  }
   std::vector<uint64_t> all;
-  for (const Entry& entry : entries_) {
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& entry = entries_[i];
     if (entry.rep == nullptr) continue;
+    if (!ShardMayContain(entry.nodes, node)) continue;
     NodeId local = LocalId(entry.nodes, node);
     if (local == kInvalidNode) continue;
+    auto cached = GetOrDecodeShard(i, 1);
+    if (cached != nullptr) {
+      stat_hits_.fetch_add(1, std::memory_order_relaxed);
+      const auto& list = out ? cached->out[local] : cached->in[local];
+      all.insert(all.end(), list.begin(), list.end());
+      continue;
+    }
+    stat_misses_.fetch_add(1, std::memory_order_relaxed);
     auto part = out ? entry.rep->OutNeighbors(local)
                     : entry.rep->InNeighbors(local);
     if (!part.ok()) return part.status();
@@ -204,25 +417,28 @@ Result<std::vector<uint64_t>> ShardedRep::RoutedNeighbors(uint64_t node,
   }
   std::sort(all.begin(), all.end());
   all.erase(std::unique(all.begin(), all.end()), all.end());
-  return all;
+  auto value = std::make_shared<std::vector<uint64_t>>(std::move(all));
+  StoreResult(result_key, value);
+  return *value;
 }
 
 Result<std::vector<uint64_t>> ShardedRep::OutNeighbors(uint64_t node) const {
+  stat_singles_.fetch_add(1, std::memory_order_relaxed);
   return RoutedNeighbors(node, /*out=*/true);
 }
 
 Result<std::vector<uint64_t>> ShardedRep::InNeighbors(uint64_t node) const {
+  stat_singles_.fetch_add(1, std::memory_order_relaxed);
   return RoutedNeighbors(node, /*out=*/false);
 }
 
-Result<bool> ShardedRep::Reachable(uint64_t from, uint64_t to) const {
+Result<bool> ShardedRep::ReachableImpl(uint64_t from, uint64_t to) const {
   if (!(inner_capabilities_ & api::kNeighborQueries)) {
     return Status::Unimplemented(
         "sharded reachability needs an inner codec with neighbor queries");
   }
-  if (from >= num_nodes_ || to >= num_nodes_) {
-    return Status::OutOfRange("node id out of range");
-  }
+  GREPAIR_RETURN_IF_ERROR(api::CheckNodeId(from, num_nodes_));
+  GREPAIR_RETURN_IF_ERROR(api::CheckNodeId(to, num_nodes_));
   if (from == to) return true;
   // Cross-shard BFS over routed neighbor queries. The visited set is
   // sized by what the search touches, not by the container's
@@ -233,7 +449,7 @@ Result<bool> ShardedRep::Reachable(uint64_t from, uint64_t to) const {
   while (!frontier.empty()) {
     uint64_t v = frontier.front();
     frontier.pop_front();
-    auto out = OutNeighbors(v);
+    auto out = RoutedNeighbors(v, /*out=*/true);
     if (!out.ok()) return out.status();
     for (uint64_t u : out.value()) {
       if (u == to) return true;
@@ -241,6 +457,182 @@ Result<bool> ShardedRep::Reachable(uint64_t from, uint64_t to) const {
     }
   }
   return false;
+}
+
+Result<bool> ShardedRep::Reachable(uint64_t from, uint64_t to) const {
+  stat_singles_.fetch_add(1, std::memory_order_relaxed);
+  return ReachableImpl(from, to);
+}
+
+Result<std::vector<std::vector<uint64_t>>> ShardedRep::OutNeighborsBatch(
+    const std::vector<uint64_t>& nodes) const {
+  if (!(inner_capabilities_ & api::kNeighborQueries)) {
+    return Status::Unimplemented("inner codec '" + inner_name_ +
+                                 "' does not answer neighbor queries");
+  }
+  for (uint64_t node : nodes) {
+    GREPAIR_RETURN_IF_ERROR(api::CheckNodeId(node, num_nodes_));
+  }
+  stat_batch_calls_.fetch_add(1, std::memory_order_relaxed);
+  stat_batch_items_.fetch_add(nodes.size(), std::memory_order_relaxed);
+
+  // Answer each distinct node once; real batch workloads repeat hot
+  // nodes, and duplicates are expanded from the unique answers at the
+  // end.
+  std::vector<uint64_t> uniq(nodes);
+  std::sort(uniq.begin(), uniq.end());
+  uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
+
+  size_t shard_count = entries_.size();
+  // Group the unique nodes by owning shard: (unique index, local id)
+  // per shard. Vertex-cut shards may share nodes, so one node can
+  // appear in several groups.
+  std::vector<std::vector<std::pair<size_t, NodeId>>> groups(shard_count);
+  std::vector<uint32_t> owner_count(uniq.size(), 0);
+  for (size_t u = 0; u < uniq.size(); ++u) {
+    for (size_t i = 0; i < shard_count; ++i) {
+      if (entries_[i].rep == nullptr) continue;
+      if (!ShardMayContain(entries_[i].nodes, uniq[u])) continue;
+      NodeId local = LocalId(entries_[i].nodes, uniq[u]);
+      if (local != kInvalidNode) {
+        groups[i].emplace_back(u, local);
+        ++owner_count[u];
+      }
+    }
+  }
+
+  // Per-shard answers, filled by the pool workers into per-shard
+  // slots and merged single-threaded afterwards, so the result is
+  // byte-identical for every thread count. For shards served from the
+  // decoded-neighborhood cache the worker only records the cache
+  // handle; the merge reads the lists in place.
+  std::vector<std::vector<std::vector<uint64_t>>> partial(shard_count);
+  std::vector<std::shared_ptr<const ShardNeighborhoods>> used_cache(
+      shard_count);
+  std::vector<Status> shard_status(shard_count, Status::OK());
+  RunIndexedOnPool(shard_count,
+                   query_threads_.load(std::memory_order_relaxed),
+                   [&](size_t i) {
+    if (groups[i].empty()) return;
+    const Entry& entry = entries_[i];
+    used_cache[i] = GetOrDecodeShard(i, groups[i].size());
+    if (used_cache[i] != nullptr) {
+      stat_hits_.fetch_add(groups[i].size(), std::memory_order_relaxed);
+      return;
+    }
+    stat_misses_.fetch_add(groups[i].size(), std::memory_order_relaxed);
+    partial[i].resize(groups[i].size());
+    for (size_t k = 0; k < groups[i].size(); ++k) {
+      auto part = entry.rep->OutNeighbors(groups[i][k].second);
+      if (!part.ok()) {
+        shard_status[i] = part.status();
+        return;
+      }
+      for (uint64_t u : part.value()) {
+        if (u >= entry.nodes.size()) {
+          shard_status[i] =
+              Status::Corruption("shard neighbor id out of range");
+          return;
+        }
+        // entry.nodes is increasing, so the mapped list stays sorted
+        // and deduplicated — single-owner answers need no re-sort.
+        partial[i][k].push_back(entry.nodes[u]);
+      }
+    }
+  });
+  for (size_t i = 0; i < shard_count; ++i) {
+    if (!shard_status[i].ok()) return shard_status[i];
+  }
+
+  // Merge the per-shard contributions per unique node (shards in
+  // fixed order). Single-owner nodes copy their already-sorted list;
+  // only genuinely cut nodes pay a sort + dedup.
+  std::vector<std::vector<uint64_t>> uniq_results(uniq.size());
+  for (size_t i = 0; i < shard_count; ++i) {
+    for (size_t k = 0; k < groups[i].size(); ++k) {
+      size_t u = groups[i][k].first;
+      const std::vector<uint64_t>& list =
+          used_cache[i] != nullptr ? used_cache[i]->out[groups[i][k].second]
+                                   : partial[i][k];
+      auto& dest = uniq_results[u];
+      if (dest.empty()) {
+        dest = list;
+      } else {
+        dest.insert(dest.end(), list.begin(), list.end());
+      }
+    }
+  }
+  for (size_t u = 0; u < uniq.size(); ++u) {
+    if (owner_count[u] > 1) {
+      auto& list = uniq_results[u];
+      std::sort(list.begin(), list.end());
+      list.erase(std::unique(list.begin(), list.end()), list.end());
+    }
+  }
+
+  std::vector<std::vector<uint64_t>> results(nodes.size());
+  for (size_t j = 0; j < nodes.size(); ++j) {
+    size_t u = static_cast<size_t>(
+        std::lower_bound(uniq.begin(), uniq.end(), nodes[j]) -
+        uniq.begin());
+    results[j] = uniq_results[u];
+  }
+  return results;
+}
+
+Result<std::vector<uint8_t>> ShardedRep::ReachableBatch(
+    const std::vector<std::pair<uint64_t, uint64_t>>& pairs) const {
+  if (!(inner_capabilities_ & api::kNeighborQueries)) {
+    return Status::Unimplemented(
+        "sharded reachability needs an inner codec with neighbor queries");
+  }
+  for (const auto& [from, to] : pairs) {
+    GREPAIR_RETURN_IF_ERROR(api::CheckNodeId(from, num_nodes_));
+    GREPAIR_RETURN_IF_ERROR(api::CheckNodeId(to, num_nodes_));
+  }
+  stat_batch_calls_.fetch_add(1, std::memory_order_relaxed);
+  stat_batch_items_.fetch_add(pairs.size(), std::memory_order_relaxed);
+
+  std::vector<uint8_t> results(pairs.size(), 0);
+  std::vector<Status> pair_status(pairs.size(), Status::OK());
+  RunIndexedOnPool(pairs.size(),
+                   query_threads_.load(std::memory_order_relaxed),
+                   [&](size_t k) {
+    auto r = ReachableImpl(pairs[k].first, pairs[k].second);
+    if (!r.ok()) {
+      pair_status[k] = r.status();
+      return;
+    }
+    results[k] = r.value() ? 1 : 0;
+  });
+  for (size_t k = 0; k < pairs.size(); ++k) {
+    if (!pair_status[k].ok()) return pair_status[k];
+  }
+  return results;
+}
+
+api::QueryStats ShardedRep::query_stats() const {
+  api::QueryStats stats;
+  stats.single_queries = stat_singles_.load(std::memory_order_relaxed);
+  stats.batch_calls = stat_batch_calls_.load(std::memory_order_relaxed);
+  stats.batch_items = stat_batch_items_.load(std::memory_order_relaxed);
+  stats.cache_hits = stat_hits_.load(std::memory_order_relaxed);
+  stats.cache_misses = stat_misses_.load(std::memory_order_relaxed);
+  stats.shard_decodes = stat_decodes_.load(std::memory_order_relaxed);
+  stats.cache_evictions = stat_evictions_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    stats.cache_bytes_used = cache_bytes_used_ + result_bytes_used_;
+  }
+  // Aggregate the inner reps' memo-table counters (grepair inners
+  // build grammar memo tables of their own).
+  for (const Entry& entry : entries_) {
+    if (entry.rep == nullptr) continue;
+    api::QueryStats inner = entry.rep->query_stats();
+    stats.memo_entries += inner.memo_entries;
+    stats.memo_hits += inner.memo_hits;
+  }
+  return stats;
 }
 
 Result<std::unique_ptr<ShardedRep>> ShardedRep::Deserialize(

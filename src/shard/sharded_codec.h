@@ -33,12 +33,29 @@
 // Reachability is a BFS over the routed neighbor queries, so it works
 // across shard boundaries and is available whenever the inner codec
 // answers neighbor queries.
+//
+// Query caching: each rep carries a bounded LRU cache of *decoded
+// shard neighborhoods* — a shard's full out/in adjacency in global
+// ids, materialized once from the inner rep. Batch queries decode
+// every shard they touch densely enough (amortizing the decode over
+// the batch) and fan out over the compression thread pool
+// (set_query_threads); single queries fall back to grammar-direct
+// routing but promote a shard into the cache after repeated misses.
+// The budget (set_query_cache_bytes, 0 = disabled) evicts whole
+// shards, least-recently-used first. Cached answers are byte-identical
+// to uncached ones and the cache never serializes.
 
 #ifndef GREPAIR_SHARD_SHARDED_CODEC_H_
 #define GREPAIR_SHARD_SHARDED_CODEC_H_
 
+#include <atomic>
+#include <cstdint>
+#include <list>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/api/graph_codec.h"
@@ -50,6 +67,9 @@ namespace shard {
 
 /// \brief The 8-byte sharded-container magic ("GRSHARD1").
 extern const char kShardContainerMagic[8];
+
+/// \brief Default byte budget of the per-shard query cache.
+inline constexpr size_t kDefaultQueryCacheBytes = 64ull << 20;
 
 /// \brief Multi-shard compressed representation (container format
 /// above). Implements the full CompressedRep query surface by routing
@@ -74,6 +94,22 @@ class ShardedRep : public api::CompressedRep {
   Result<std::vector<uint64_t>> InNeighbors(uint64_t node) const override;
   Result<bool> Reachable(uint64_t from, uint64_t to) const override;
 
+  /// \brief Batch neighbor queries: nodes grouped by owning shard,
+  /// shards decoded into the cache where the batch amortizes it, work
+  /// fanned out over the query thread pool. Result order follows the
+  /// input order and is identical for every thread count.
+  Result<std::vector<std::vector<uint64_t>>> OutNeighborsBatch(
+      const std::vector<uint64_t>& nodes) const override;
+
+  /// \brief Batch reachability: pairs fanned out over the query
+  /// thread pool (each BFS shares the shard cache). Deterministic
+  /// result order; on failures the lowest pair index's status wins.
+  Result<std::vector<uint8_t>> ReachableBatch(
+      const std::vector<std::pair<uint64_t, uint64_t>>& pairs)
+      const override;
+
+  api::QueryStats query_stats() const override;
+
   /// \brief Parses a version-1 container and reconstructs every inner
   /// rep through the registry. Clean kCorruption on truncated or
   /// inconsistent input.
@@ -84,19 +120,89 @@ class ShardedRep : public api::CompressedRep {
   /// `decompress --threads` sets it).
   void set_decompress_threads(int threads);
 
+  /// \brief Thread-pool size for batch queries (default 1, clamped to
+  /// [1, 256]).
+  void set_query_threads(int threads);
+
+  /// \brief Byte budget of the decoded-neighborhood cache; 0 disables
+  /// caching entirely (every query routes to the inner reps).
+  void set_query_cache_bytes(size_t bytes);
+  size_t query_cache_bytes() const {
+    return cache_bytes_limit_.load(std::memory_order_relaxed);
+  }
+
   const std::string& inner_name() const { return inner_name_; }
   size_t num_shards() const { return entries_.size(); }
   const Entry& entry(size_t i) const { return entries_[i]; }
 
+  /// \brief A shard's decoded adjacency: per local node the sorted
+  /// global-id out/in neighbor contributions of this shard. Immutable
+  /// once built; defined in the .cc (implementation detail).
+  struct ShardNeighborhoods;
+
  private:
   Result<std::vector<uint64_t>> RoutedNeighbors(uint64_t node,
                                                 bool out) const;
+  Result<bool> ReachableImpl(uint64_t from, uint64_t to) const;
+
+  /// Cache lookup; on miss, charges `pending` queries against the
+  /// shard's miss budget and decodes the whole shard once the batch
+  /// (or accumulated single-query misses) amortizes it. Returns null
+  /// when caching is disabled, the decode is not yet worth it, or the
+  /// decode failed (callers then fall back to per-node routing).
+  std::shared_ptr<const ShardNeighborhoods> GetOrDecodeShard(
+      size_t shard, size_t pending) const;
 
   std::string inner_name_;
   uint32_t inner_capabilities_ = 0;
   uint64_t num_nodes_ = 0;
   std::vector<Entry> entries_;  // K data shards, then the cut shard
   int decompress_threads_ = 1;
+  // Atomics: the knobs may be retuned while queries are in flight on
+  // other threads (query_stats()/monitoring alongside batches).
+  std::atomic<int> query_threads_{1};
+  std::atomic<size_t> cache_bytes_limit_{kDefaultQueryCacheBytes};
+
+  /// Tier-1 node-result cache: merged, sorted answers of single
+  /// queries keyed by (node, direction). Shares the byte budget with
+  /// the shard tier; LRU within the tier.
+  struct ResultEntry {
+    std::list<uint64_t>::iterator lru_it;
+    std::shared_ptr<const std::vector<uint64_t>> value;
+    size_t bytes = 0;
+  };
+
+  std::shared_ptr<const std::vector<uint64_t>> LookupResult(
+      uint64_t key) const;
+  void StoreResult(uint64_t key,
+                   std::shared_ptr<const std::vector<uint64_t>> value) const;
+
+  /// LRU eviction down to `target` bytes per tier; cache_mutex_ held.
+  void EvictShardsLocked(size_t target) const;
+  void EvictResultsLocked(size_t target) const;
+
+  // Cache state: one decoded-neighborhood slot per shard plus LRU
+  // stamps, and the node-result LRU map, all guarded by cache_mutex_;
+  // the pointed-to data is immutable, so readers only hold the lock
+  // for the lookup.
+  mutable std::mutex cache_mutex_;
+  mutable std::vector<std::shared_ptr<const ShardNeighborhoods>>
+      cache_slots_;
+  mutable std::vector<uint64_t> cache_last_use_;
+  mutable std::vector<uint32_t> cache_miss_credit_;
+  mutable uint64_t cache_tick_ = 0;
+  mutable size_t cache_bytes_used_ = 0;
+  mutable std::list<uint64_t> result_lru_;  // most recent first
+  mutable std::unordered_map<uint64_t, ResultEntry> results_;
+  mutable size_t result_bytes_used_ = 0;
+
+  mutable std::atomic<uint64_t> stat_singles_{0};
+  mutable std::atomic<uint64_t> stat_batch_calls_{0};
+  mutable std::atomic<uint64_t> stat_batch_items_{0};
+  mutable std::atomic<uint64_t> stat_hits_{0};
+  mutable std::atomic<uint64_t> stat_misses_{0};
+  mutable std::atomic<uint64_t> stat_decodes_{0};
+  mutable std::atomic<uint64_t> stat_evictions_{0};
 };
 
 /// \brief The "sharded:<inner>" meta-codec.

@@ -20,6 +20,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -177,6 +178,63 @@ INSTANTIATE_TEST_SUITE_P(BaseCodecs, ShardedAgreesWithInner,
                          [](const auto& info) {
                            std::string name = info.param;
                            std::replace(name.begin(), name.end(), '-', '_');
+                           return name;
+                         });
+
+// Every codec must reject out-of-range node ids the same way:
+// kInvalidArgument when it answers the query kind at all (CheckNodeId
+// contract), kUnimplemented otherwise — never silence, never a crash,
+// and never a divergent code per backend. Swept over ids at and past
+// the boundary, including UINT64_MAX (which would truncate to a valid
+// id if any codec narrowed before checking).
+class AdversarialIdSweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(AdversarialIdSweep, OutOfRangeIdsRejectUniformly) {
+  GeneratedGraph gg = BarabasiAlbert(60, 3, 11);
+  auto codec = CodecRegistry::Create(GetParam()).ValueOrDie();
+  CodecOptions options;
+  if (GetParam().rfind("sharded:", 0) == 0) {
+    options.Set("shards", "3");
+  }
+  auto rep = codec->Compress(gg.graph, gg.alphabet, options);
+  ASSERT_TRUE(rep.ok()) << rep.status().ToString();
+  uint64_t n = rep.value()->num_nodes();
+  ASSERT_EQ(n, gg.graph.num_nodes());
+
+  bool neighbors = codec->capabilities() & kNeighborQueries;
+  bool reach = codec->capabilities() & kReachabilityQueries;
+  auto expect_code = [&](const Status& status, bool supported,
+                         const std::string& what) {
+    EXPECT_EQ(status.code(), supported ? StatusCode::kInvalidArgument
+                                       : StatusCode::kUnimplemented)
+        << what << ": " << status.ToString();
+  };
+
+  for (uint64_t bad : {n, n + 1, std::numeric_limits<uint64_t>::max()}) {
+    SCOPED_TRACE("id=" + std::to_string(bad));
+    expect_code(rep.value()->OutNeighbors(bad).status(), neighbors, "out");
+    expect_code(rep.value()->InNeighbors(bad).status(), neighbors, "in");
+    expect_code(rep.value()->Reachable(0, bad).status(), reach,
+                "reach-to");
+    expect_code(rep.value()->Reachable(bad, 0).status(), reach,
+                "reach-from");
+    // A bad id poisons the whole batch, valid neighbors included.
+    expect_code(rep.value()->OutNeighborsBatch({0, bad}).status(),
+                neighbors, "batch");
+    expect_code(rep.value()->ReachableBatch({{0, 0}, {bad, 0}}).status(),
+                reach, "reach-batch");
+    // Even from == to must validate before the trivial-true answer.
+    expect_code(rep.value()->Reachable(bad, bad).status(), reach,
+                "reach-self");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCodecs, AdversarialIdSweep,
+                         ::testing::ValuesIn(CodecRegistry::Names()),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           std::replace(name.begin(), name.end(), '-', '_');
+                           std::replace(name.begin(), name.end(), ':', '_');
                            return name;
                          });
 

@@ -97,9 +97,10 @@ TEST_P(FuzzRoundTrip, FullPipeline) {
   ConnectedComponents(val_a.value(), &comps);
   EXPECT_EQ(CountConnectedComponents(grammar), comps);
   auto extrema = ComputeDegreeExtrema(grammar);
+  ASSERT_TRUE(extrema.ok()) << extrema.status().ToString();
   auto stats = ComputeDegreeStats(val_a.value());
-  EXPECT_EQ(extrema.min_degree, stats.min_degree);
-  EXPECT_EQ(extrema.max_degree, stats.max_degree);
+  EXPECT_EQ(extrema.value().min_degree, stats.min_degree);
+  EXPECT_EQ(extrema.value().max_degree, stats.max_degree);
 
   // Reachability spot checks.
   ReachabilityIndex reach(grammar);

@@ -1,0 +1,276 @@
+// The memoized batch query engine, end to end:
+//
+//   * cached (warm) and batched answers are byte-identical to fresh
+//     uncached single-call answers, against ground truth,
+//   * for every query thread count (1 vs 8) and cache configuration
+//     (default, tiny-budget eviction path, disabled),
+//   * the grammar-direct memo tables (grepair) change nothing about
+//     answers while filling their counters,
+//   * batches reject invalid input as a whole and handle empties.
+//
+// Everything here runs on small generated graphs so the suite stays
+// fast under TSan; bench/query_speedup.cc owns the timing claims.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "src/api/grepair_api.h"
+
+namespace grepair {
+namespace api {
+namespace {
+
+// Ground-truth sorted unique out/in neighbors from the input graph.
+std::vector<uint64_t> TruthNeighbors(const Hypergraph& g, uint64_t node,
+                                     bool out) {
+  std::vector<uint64_t> result;
+  for (const HEdge& e : g.edges()) {
+    if (e.att.size() != 2) continue;
+    if (out && e.att[0] == node) result.push_back(e.att[1]);
+    if (!out && e.att[1] == node) result.push_back(e.att[0]);
+  }
+  std::sort(result.begin(), result.end());
+  result.erase(std::unique(result.begin(), result.end()), result.end());
+  return result;
+}
+
+std::unique_ptr<CompressedRep> MakeSharded(const GeneratedGraph& gg,
+                                           const char* backend = "sharded:grepair",
+                                           int shards = 4) {
+  auto codec = CodecRegistry::Create(backend).ValueOrDie();
+  CodecOptions options;
+  options.Set("shards", std::to_string(shards));
+  options.Set("strategy", "bfs");
+  auto rep = codec->Compress(gg.graph, gg.alphabet, options);
+  EXPECT_TRUE(rep.ok()) << rep.status().ToString();
+  return std::move(rep).ValueOrDie();
+}
+
+shard::ShardedRep* AsSharded(CompressedRep* rep) {
+  auto* sharded = dynamic_cast<shard::ShardedRep*>(rep);
+  EXPECT_NE(sharded, nullptr);
+  return sharded;
+}
+
+TEST(QueryCacheTest, WarmAnswersIdenticalToColdAndGroundTruth) {
+  GeneratedGraph gg = BarabasiAlbert(150, 3, 5);
+  auto rep = MakeSharded(gg);
+  for (int pass = 0; pass < 3; ++pass) {
+    for (uint64_t v = 0; v < gg.graph.num_nodes(); ++v) {
+      auto out = rep->OutNeighbors(v);
+      auto in = rep->InNeighbors(v);
+      ASSERT_TRUE(out.ok()) << out.status().ToString();
+      ASSERT_TRUE(in.ok()) << in.status().ToString();
+      EXPECT_EQ(out.value(), TruthNeighbors(gg.graph, v, true))
+          << "pass " << pass << " node " << v;
+      EXPECT_EQ(in.value(), TruthNeighbors(gg.graph, v, false))
+          << "pass " << pass << " node " << v;
+    }
+  }
+  // Three full passes over every node must have warmed the cache.
+  QueryStats stats = rep->query_stats();
+  EXPECT_GT(stats.cache_hits, 0u);
+  EXPECT_GT(stats.single_queries, 0u);
+}
+
+TEST(QueryCacheTest, BatchMatchesSinglesAndIsThreadCountInvariant) {
+  GeneratedGraph gg = CoAuthorship(200, 260, 17);
+  auto rep_single = MakeSharded(gg);
+  auto rep_t1 = MakeSharded(gg);
+  auto rep_t8 = MakeSharded(gg);
+  AsSharded(rep_t1.get())->set_query_threads(1);
+  AsSharded(rep_t8.get())->set_query_threads(8);
+
+  std::vector<uint64_t> nodes;
+  for (uint64_t v = 0; v < gg.graph.num_nodes(); ++v) {
+    nodes.push_back(v);
+    if (v % 3 == 0) nodes.push_back(v);  // repeats exercise the dedup
+  }
+  auto b1 = rep_t1->OutNeighborsBatch(nodes);
+  auto b8 = rep_t8->OutNeighborsBatch(nodes);
+  ASSERT_TRUE(b1.ok()) << b1.status().ToString();
+  ASSERT_TRUE(b8.ok()) << b8.status().ToString();
+  EXPECT_EQ(b1.value(), b8.value());
+  for (size_t j = 0; j < nodes.size(); ++j) {
+    auto single = rep_single->OutNeighbors(nodes[j]);
+    ASSERT_TRUE(single.ok());
+    EXPECT_EQ(b1.value()[j], single.value()) << "batch index " << j;
+    EXPECT_EQ(b1.value()[j], TruthNeighbors(gg.graph, nodes[j], true));
+  }
+  QueryStats stats = rep_t8->query_stats();
+  EXPECT_EQ(stats.batch_calls, 1u);
+  EXPECT_EQ(stats.batch_items, nodes.size());
+}
+
+TEST(QueryCacheTest, DisabledAndTinyCachesStayCorrect) {
+  GeneratedGraph gg = ErdosRenyi(120, 360, 23);
+  auto rep_default = MakeSharded(gg);
+  auto rep_disabled = MakeSharded(gg);
+  auto rep_tiny = MakeSharded(gg);
+  AsSharded(rep_disabled.get())->set_query_cache_bytes(0);
+  // A budget that fits roughly one decoded shard forces the eviction
+  // path on every shard change.
+  AsSharded(rep_tiny.get())->set_query_cache_bytes(4096);
+
+  std::vector<uint64_t> nodes;
+  for (uint64_t v = 0; v < gg.graph.num_nodes(); ++v) nodes.push_back(v);
+  for (int pass = 0; pass < 2; ++pass) {
+    auto d = rep_default->OutNeighborsBatch(nodes);
+    auto off = rep_disabled->OutNeighborsBatch(nodes);
+    auto tiny = rep_tiny->OutNeighborsBatch(nodes);
+    ASSERT_TRUE(d.ok() && off.ok() && tiny.ok());
+    EXPECT_EQ(d.value(), off.value());
+    EXPECT_EQ(d.value(), tiny.value());
+  }
+  // Disabled means disabled: no decodes, no hits, no footprint.
+  QueryStats off_stats = rep_disabled->query_stats();
+  EXPECT_EQ(off_stats.shard_decodes, 0u);
+  EXPECT_EQ(off_stats.cache_hits, 0u);
+  EXPECT_EQ(off_stats.cache_bytes_used, 0u);
+  QueryStats tiny_stats = rep_tiny->query_stats();
+  EXPECT_LE(tiny_stats.cache_bytes_used, 4096u);
+}
+
+TEST(QueryCacheTest, ReachableBatchMatchesSinglesAcrossThreads) {
+  GeneratedGraph gg = BarabasiAlbert(90, 2, 31);
+  auto rep_single = MakeSharded(gg);
+  auto rep_batch = MakeSharded(gg);
+  AsSharded(rep_batch.get())->set_query_threads(8);
+
+  std::vector<std::pair<uint64_t, uint64_t>> pairs;
+  for (uint64_t v = 0; v < gg.graph.num_nodes(); v += 2) {
+    pairs.push_back({v, (v * 7 + 3) % gg.graph.num_nodes()});
+  }
+  auto batch = rep_batch->ReachableBatch(pairs);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  ASSERT_EQ(batch.value().size(), pairs.size());
+  for (size_t k = 0; k < pairs.size(); ++k) {
+    auto single = rep_single->Reachable(pairs[k].first, pairs[k].second);
+    ASSERT_TRUE(single.ok());
+    EXPECT_EQ(batch.value()[k] != 0, single.value()) << "pair " << k;
+  }
+}
+
+TEST(QueryCacheTest, ConcurrentMixedQueriesAgreeWithTruth) {
+  GeneratedGraph gg = BarabasiAlbert(120, 3, 41);
+  auto rep = MakeSharded(gg);
+  AsSharded(rep.get())->set_query_threads(4);
+  // Hammer one shared rep from several threads mixing batch and
+  // single calls; the cache tiers fill concurrently underneath.
+  std::vector<std::thread> workers;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&, t] {
+      std::vector<uint64_t> nodes;
+      for (uint64_t v = t; v < gg.graph.num_nodes(); v += 2) {
+        nodes.push_back(v % gg.graph.num_nodes());
+      }
+      for (int round = 0; round < 3; ++round) {
+        auto batch = rep->OutNeighborsBatch(nodes);
+        if (!batch.ok()) {
+          ++failures;
+          return;
+        }
+        for (size_t j = 0; j < nodes.size(); ++j) {
+          if (batch.value()[j] != TruthNeighbors(gg.graph, nodes[j], true)) {
+            ++failures;
+            return;
+          }
+        }
+        for (uint64_t v : {uint64_t(t), uint64_t(t + 11)}) {
+          auto single = rep->OutNeighbors(v % gg.graph.num_nodes());
+          if (!single.ok()) ++failures;
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(QueryCacheTest, GrepairMemoTablesAreTransparent) {
+  GeneratedGraph gg = RdfTypes(300, 9, 77);
+  auto codec = CodecRegistry::Create("grepair").ValueOrDie();
+  auto rep_a = codec->Compress(gg.graph, gg.alphabet).ValueOrDie();
+  for (int pass = 0; pass < 2; ++pass) {
+    // A fresh rep per pass: its first-touch answers are the memo-free
+    // reference for rep_a's warmed tables.
+    auto rep_fresh = codec->Compress(gg.graph, gg.alphabet).ValueOrDie();
+    for (uint64_t v = 0; v < gg.graph.num_nodes(); v += 5) {
+      auto warmed = rep_a->OutNeighbors(v);
+      auto fresh = rep_fresh->OutNeighbors(v);
+      ASSERT_TRUE(warmed.ok() && fresh.ok());
+      EXPECT_EQ(warmed.value(), fresh.value()) << "node " << v;
+      EXPECT_EQ(warmed.value(), TruthNeighbors(gg.graph, v, true));
+    }
+  }
+  QueryStats stats = rep_a->query_stats();
+  EXPECT_GT(stats.single_queries, 0u);
+  // Star-shaped RDF grammars force descents through nonterminals, so
+  // tables must have been built and re-used across the two passes.
+  EXPECT_GT(stats.memo_entries, 0u);
+  EXPECT_GT(stats.memo_hits, 0u);
+}
+
+TEST(QueryCacheTest, BatchRejectsInvalidInputWholesale) {
+  GeneratedGraph gg = BarabasiAlbert(40, 2, 3);
+  auto rep = MakeSharded(gg);
+  uint64_t n = gg.graph.num_nodes();
+  auto bad = rep->OutNeighborsBatch({0, 1, n});
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  auto bad_pairs = rep->ReachableBatch({{0, 1}, {1, n}});
+  EXPECT_EQ(bad_pairs.status().code(), StatusCode::kInvalidArgument);
+  // Nothing should have been answered or cached for a failed batch.
+  EXPECT_EQ(rep->query_stats().batch_calls, 0u);
+}
+
+TEST(QueryCacheTest, EmptyBatchesSucceed) {
+  GeneratedGraph gg = BarabasiAlbert(40, 2, 3);
+  auto rep = MakeSharded(gg);
+  auto out = rep->OutNeighborsBatch({});
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out.value().empty());
+  auto reach = rep->ReachableBatch({});
+  ASSERT_TRUE(reach.ok());
+  EXPECT_TRUE(reach.value().empty());
+}
+
+TEST(QueryCacheTest, DefaultBatchFallbackMatchesSingles) {
+  // k2 has no batch override: the API's default loop must behave
+  // exactly like hand-looped singles.
+  GeneratedGraph gg = ErdosRenyi(80, 200, 9);
+  auto codec = CodecRegistry::Create("k2").ValueOrDie();
+  auto rep = codec->Compress(gg.graph, gg.alphabet).ValueOrDie();
+  std::vector<uint64_t> nodes = {0, 5, 5, 17, 79};
+  auto batch = rep->OutNeighborsBatch(nodes);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  for (size_t j = 0; j < nodes.size(); ++j) {
+    auto single = rep->OutNeighbors(nodes[j]);
+    ASSERT_TRUE(single.ok());
+    EXPECT_EQ(batch.value()[j], single.value());
+  }
+}
+
+TEST(QueryCacheTest, OptionErrorsListAcceptedKeys) {
+  GeneratedGraph gg = BarabasiAlbert(30, 2, 1);
+  auto codec = CodecRegistry::Create("k2").ValueOrDie();
+  CodecOptions options;
+  options.Set("kk", "3");  // typo'd key
+  auto rep = codec->Compress(gg.graph, gg.alphabet, options);
+  ASSERT_FALSE(rep.ok());
+  EXPECT_EQ(rep.status().code(), StatusCode::kInvalidArgument);
+  // The error must name the offender and list what is accepted.
+  EXPECT_NE(rep.status().message().find("kk"), std::string::npos)
+      << rep.status().message();
+  EXPECT_NE(rep.status().message().find("accepted keys"), std::string::npos)
+      << rep.status().message();
+  EXPECT_NE(rep.status().message().find("k"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace api
+}  // namespace grepair

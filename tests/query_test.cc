@@ -210,8 +210,9 @@ TEST(SpeedupTest, DegreeExtremaMatchBruteForce) {
     ASSERT_TRUE(derived.ok());
     auto truth = ComputeDegreeStats(derived.value());
     auto got = ComputeDegreeExtrema(grammar);
-    EXPECT_EQ(got.min_degree, truth.min_degree) << which;
-    EXPECT_EQ(got.max_degree, truth.max_degree) << which;
+    ASSERT_TRUE(got.ok()) << which << ": " << got.status().ToString();
+    EXPECT_EQ(got.value().min_degree, truth.min_degree) << which;
+    EXPECT_EQ(got.value().max_degree, truth.max_degree) << which;
   }
 }
 

@@ -55,8 +55,9 @@ TEST_P(SpeedupSweep, AllAggregatesMatchBruteForce) {
   // Degree extrema.
   auto stats = ComputeDegreeStats(val);
   auto extrema = ComputeDegreeExtrema(grammar);
-  EXPECT_EQ(extrema.min_degree, stats.min_degree);
-  EXPECT_EQ(extrema.max_degree, stats.max_degree);
+  ASSERT_TRUE(extrema.ok()) << extrema.status().ToString();
+  EXPECT_EQ(extrema.value().min_degree, stats.min_degree);
+  EXPECT_EQ(extrema.value().max_degree, stats.max_degree);
 
   // Label histogram + total degree.
   std::vector<uint64_t> hist(grammar.num_terminals(), 0);
@@ -101,16 +102,43 @@ INSTANTIATE_TEST_SUITE_P(
       return name;
     });
 
-TEST(SpeedupEdgeCases, EmptyGrammar) {
+TEST(SpeedupEdgeCases, IsolatedNodesHaveZeroDegreeExtrema) {
   Alphabet alpha;
   alpha.Add("a", 2);
   SlhrGrammar g(alpha, Hypergraph(5));  // 5 isolated nodes, no edges
   EXPECT_EQ(CountConnectedComponents(g), 5u);
+  // Isolated nodes are a *legitimate* min_degree = 0, not an error.
   auto extrema = ComputeDegreeExtrema(g);
-  EXPECT_EQ(extrema.min_degree, 0u);
-  EXPECT_EQ(extrema.max_degree, 0u);
+  ASSERT_TRUE(extrema.ok()) << extrema.status().ToString();
+  EXPECT_EQ(extrema.value().min_degree, 0u);
+  EXPECT_EQ(extrema.value().max_degree, 0u);
   EXPECT_EQ(TotalDegree(g), 0u);
   EXPECT_EQ(LabelHistogram(g), std::vector<uint64_t>{0});
+}
+
+TEST(SpeedupEdgeCases, MixedIsolatedAndConnectedNodes) {
+  Alphabet alpha;
+  alpha.Add("a", 2);
+  Hypergraph start(4);  // nodes 2 and 3 stay isolated
+  start.AddSimpleEdge(0, 1, 0);
+  SlhrGrammar g(alpha, std::move(start));
+  auto extrema = ComputeDegreeExtrema(g);
+  ASSERT_TRUE(extrema.ok()) << extrema.status().ToString();
+  EXPECT_EQ(extrema.value().min_degree, 0u);  // the isolated nodes
+  EXPECT_EQ(extrema.value().max_degree, 1u);
+}
+
+TEST(SpeedupEdgeCases, TrulyEmptyGrammarIsAnError) {
+  Alphabet alpha;
+  alpha.Add("a", 2);
+  SlhrGrammar g(alpha, Hypergraph(0));  // derives no nodes at all
+  // Previously this reported min = max = 0, indistinguishable from a
+  // graph of isolated nodes; now the empty case is a typed error.
+  auto extrema = ComputeDegreeExtrema(g);
+  ASSERT_FALSE(extrema.ok());
+  EXPECT_EQ(extrema.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(CountConnectedComponents(g), 0u);
+  EXPECT_EQ(TotalDegree(g), 0u);
 }
 
 }  // namespace

@@ -11,6 +11,8 @@
 //           [--options k=v,...] [--shards K] [--threads T]
 //           [--strategy edge-range|bfs]
 //   grepair backends
+//   grepair query <in> [--nodes 1,2,3] [--pairs 1:2,3:4] [--batch]
+//           [--cache-bytes N] [--threads T]
 //   grepair stats <in.grg>
 //   grepair reach <in.grg> <from> <to>
 //   grepair neighbors <in.grg> <node>
@@ -31,8 +33,17 @@
 // grammar format as before. Graph files use the native text format of
 // src/graph/graph_io.h. `gen` kinds: er, ba, coauth, rdf-types,
 // rdf-entities, copies, dblp.
+//
+// `query` answers neighbor/reachability queries on a compressed file
+// without decompressing it: --nodes asks for out-neighbors, --pairs
+// for reachability, --batch switches to the batched entry points
+// (shard-parallel on sharded containers), --cache-bytes/--threads tune
+// the sharded query cache and pool. Raw .grg grammars are queried
+// through the grepair backend. A query-stats line (cache hits/misses,
+// shard decodes, memo-table sizes) is printed at the end.
 
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -72,6 +83,8 @@ int Usage() {
       "[--options k=v,...]\n"
       "        [--shards K] [--threads T] [--strategy edge-range|bfs]\n"
       "  backends\n"
+      "  query <in> [--nodes 1,2,3] [--pairs 1:2,3:4] [--batch]\n"
+      "        [--cache-bytes N] [--threads T]\n"
       "  stats <in.grg>\n"
       "  reach <in.grg> <from> <to>\n"
       "  neighbors <in.grg> <node>\n"
@@ -458,6 +471,224 @@ int CmdDecompress(int argc, char** argv) {
   return 0;
 }
 
+// Strict unsigned integer parse for query ids and byte budgets; atoi
+// would silently accept "12abc" and negative values.
+bool ParseU64(const std::string& text, uint64_t* out) {
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (errno != 0 || end == text.c_str() || *end != '\0' ||
+      text[0] == '-') {
+    return false;
+  }
+  *out = static_cast<uint64_t>(v);
+  return true;
+}
+
+// "1,2,3" -> ids. Malformed entries are a hard error, not a skip.
+bool ParseNodeList(const std::string& spec, std::vector<uint64_t>* out) {
+  size_t pos = 0;
+  while (pos <= spec.size()) {
+    size_t end = spec.find(',', pos);
+    if (end == std::string::npos) end = spec.size();
+    uint64_t v = 0;
+    if (!ParseU64(spec.substr(pos, end - pos), &v)) {
+      std::fprintf(stderr, "--nodes expects comma-separated ids, got '%s'\n",
+                   spec.c_str());
+      return false;
+    }
+    out->push_back(v);
+    pos = end + 1;
+  }
+  return true;
+}
+
+// "1:2,3:4" -> (from, to) pairs.
+bool ParsePairList(const std::string& spec,
+                   std::vector<std::pair<uint64_t, uint64_t>>* out) {
+  size_t pos = 0;
+  while (pos <= spec.size()) {
+    size_t end = spec.find(',', pos);
+    if (end == std::string::npos) end = spec.size();
+    std::string item = spec.substr(pos, end - pos);
+    size_t colon = item.find(':');
+    uint64_t from = 0, to = 0;
+    if (colon == std::string::npos ||
+        !ParseU64(item.substr(0, colon), &from) ||
+        !ParseU64(item.substr(colon + 1), &to)) {
+      std::fprintf(stderr,
+                   "--pairs expects comma-separated from:to pairs, got "
+                   "'%s'\n",
+                   spec.c_str());
+      return false;
+    }
+    out->push_back({from, to});
+    pos = end + 1;
+  }
+  return true;
+}
+
+void PrintNeighborLine(uint64_t node, const std::vector<uint64_t>& out) {
+  std::printf("out[%llu] (%zu):", static_cast<unsigned long long>(node),
+              out.size());
+  for (uint64_t v : out) std::printf(" %llu", (unsigned long long)v);
+  std::printf("\n");
+}
+
+int CmdQuery(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  std::string nodes_spec, pairs_spec;
+  bool batch = false;
+  int threads = 0;
+  bool have_cache_bytes = false;
+  uint64_t cache_bytes = 0;
+  for (int i = 3; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--nodes" && i + 1 < argc) {
+      nodes_spec = argv[++i];
+    } else if (arg == "--pairs" && i + 1 < argc) {
+      pairs_spec = argv[++i];
+    } else if (arg == "--batch") {
+      batch = true;
+    } else if (arg == "--threads" && i + 1 < argc) {
+      if (!ParseCountFlag("--threads", argv[++i], kMaxThreads, &threads)) {
+        return 2;
+      }
+    } else if (arg == "--cache-bytes" && i + 1 < argc) {
+      if (!ParseU64(argv[++i], &cache_bytes)) {
+        std::fprintf(stderr, "--cache-bytes expects a byte count, got "
+                             "'%s'\n", argv[i]);
+        return 2;
+      }
+      have_cache_bytes = true;
+    } else {
+      return Usage();
+    }
+  }
+  if (nodes_spec.empty() && pairs_spec.empty()) {
+    std::fprintf(stderr, "query needs --nodes and/or --pairs\n");
+    return 2;
+  }
+  std::vector<uint64_t> nodes;
+  std::vector<std::pair<uint64_t, uint64_t>> pairs;
+  if (!nodes_spec.empty() && !ParseNodeList(nodes_spec, &nodes)) return 2;
+  if (!pairs_spec.empty() && !ParsePairList(pairs_spec, &pairs)) return 2;
+
+  std::vector<uint8_t> bytes;
+  if (!ReadBytes(argv[2], &bytes)) {
+    std::fprintf(stderr, "cannot read %s\n", argv[2]);
+    return 1;
+  }
+  std::string backend;
+  std::vector<uint8_t> payload;
+  if (api::IsCodecContainer(bytes)) {
+    auto status = api::UnwrapCodecPayload(bytes, &backend, &payload);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+  } else {
+    // Raw .grg grammar: frame it as the grepair backend's payload
+    // (no-mapping flag + length-prefixed grammar) so one query path
+    // serves both file kinds.
+    backend = "grepair";
+    payload.push_back(0);
+    uint64_t len = bytes.size();
+    for (int b = 0; b < 8; ++b) {
+      payload.push_back(static_cast<uint8_t>(len >> (8 * b)));
+    }
+    payload.insert(payload.end(), bytes.begin(), bytes.end());
+  }
+  auto codec = api::CodecRegistry::Create(backend);
+  if (!codec.ok()) {
+    std::fprintf(stderr, "%s\n", codec.status().ToString().c_str());
+    return 1;
+  }
+  auto rep = codec.value()->Deserialize(payload);
+  if (!rep.ok()) {
+    std::fprintf(stderr, "%s\n", rep.status().ToString().c_str());
+    return 1;
+  }
+  if (auto* sharded = dynamic_cast<shard::ShardedRep*>(rep.value().get())) {
+    if (threads > 1) sharded->set_query_threads(threads);
+    if (have_cache_bytes) {
+      sharded->set_query_cache_bytes(static_cast<size_t>(cache_bytes));
+    }
+  } else if (threads > 1 || have_cache_bytes) {
+    std::fprintf(stderr,
+                 "note: --threads/--cache-bytes tune sharded containers; "
+                 "'%s' queries ignore them\n",
+                 backend.c_str());
+  }
+  std::printf("[%s] %llu nodes\n", backend.c_str(),
+              static_cast<unsigned long long>(rep.value()->num_nodes()));
+
+  if (!nodes.empty()) {
+    if (batch) {
+      auto results = rep.value()->OutNeighborsBatch(nodes);
+      if (!results.ok()) {
+        std::fprintf(stderr, "%s\n", results.status().ToString().c_str());
+        return 1;
+      }
+      for (size_t j = 0; j < nodes.size(); ++j) {
+        PrintNeighborLine(nodes[j], results.value()[j]);
+      }
+    } else {
+      for (uint64_t node : nodes) {
+        auto out = rep.value()->OutNeighbors(node);
+        if (!out.ok()) {
+          std::fprintf(stderr, "%s\n", out.status().ToString().c_str());
+          return 1;
+        }
+        PrintNeighborLine(node, out.value());
+      }
+    }
+  }
+  if (!pairs.empty()) {
+    std::vector<uint8_t> verdicts;
+    if (batch) {
+      auto results = rep.value()->ReachableBatch(pairs);
+      if (!results.ok()) {
+        std::fprintf(stderr, "%s\n", results.status().ToString().c_str());
+        return 1;
+      }
+      verdicts = std::move(results).ValueOrDie();
+    } else {
+      for (const auto& [from, to] : pairs) {
+        auto r = rep.value()->Reachable(from, to);
+        if (!r.ok()) {
+          std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
+          return 1;
+        }
+        verdicts.push_back(r.value() ? 1 : 0);
+      }
+    }
+    for (size_t k = 0; k < pairs.size(); ++k) {
+      std::printf("reach %llu -> %llu: %s\n",
+                  static_cast<unsigned long long>(pairs[k].first),
+                  static_cast<unsigned long long>(pairs[k].second),
+                  verdicts[k] ? "yes" : "no");
+    }
+  }
+  api::QueryStats stats = rep.value()->query_stats();
+  std::printf("stats: singles=%llu batch_calls=%llu batch_items=%llu "
+              "cache_hits=%llu cache_misses=%llu shard_decodes=%llu "
+              "evictions=%llu cache_bytes=%llu memo_entries=%llu "
+              "memo_hits=%llu\n",
+              (unsigned long long)stats.single_queries,
+              (unsigned long long)stats.batch_calls,
+              (unsigned long long)stats.batch_items,
+              (unsigned long long)stats.cache_hits,
+              (unsigned long long)stats.cache_misses,
+              (unsigned long long)stats.shard_decodes,
+              (unsigned long long)stats.cache_evictions,
+              (unsigned long long)stats.cache_bytes_used,
+              (unsigned long long)stats.memo_entries,
+              (unsigned long long)stats.memo_hits);
+  return 0;
+}
+
 int CmdStats(int argc, char** argv) {
   if (argc < 3) return Usage();
   auto grammar = LoadGrammar(argv[2]);
@@ -743,6 +974,7 @@ int main(int argc, char** argv) {
   if (cmd == "decompress") return CmdDecompress(argc, argv);
   if (cmd == "bench") return CmdBench(argc, argv);
   if (cmd == "backends") return CmdBackends();
+  if (cmd == "query") return CmdQuery(argc, argv);
   if (cmd == "stats") return CmdStats(argc, argv);
   if (cmd == "reach") return CmdReach(argc, argv);
   if (cmd == "neighbors") return CmdNeighbors(argc, argv);
