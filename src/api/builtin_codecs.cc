@@ -216,6 +216,13 @@ class GrepairCodec : public GraphCodec {
 
   Result<std::unique_ptr<CompressedRep>> Deserialize(
       const std::vector<uint8_t>& bytes) const override {
+    return DeserializeSpan(SpanOf(bytes));
+  }
+
+  // Span-native: the grammar coder decodes straight out of the view,
+  // so a lazily faulted shard payload never gets copied on its way in.
+  Result<std::unique_ptr<CompressedRep>> DeserializeSpan(
+      ByteSpan bytes) const override {
     auto graph = CompressedGraph::Deserialize(bytes);
     if (!graph.ok()) return graph.status();
     return std::unique_ptr<CompressedRep>(

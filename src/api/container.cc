@@ -2,6 +2,10 @@
 
 #include <cassert>
 #include <cstring>
+#include <utility>
+
+#include "src/api/codec_registry.h"
+#include "src/api/graph_codec.h"
 
 namespace grepair {
 namespace api {
@@ -18,26 +22,59 @@ std::vector<uint8_t> WrapCodecPayload(const std::string& name,
   return out;
 }
 
+bool IsCodecContainer(ByteSpan bytes) {
+  return bytes.size >= 8 &&
+         std::memcmp(bytes.data, kCodecContainerMagic, 8) == 0;
+}
+
 bool IsCodecContainer(const std::vector<uint8_t>& bytes) {
-  return bytes.size() >= 8 &&
-         std::memcmp(bytes.data(), kCodecContainerMagic, 8) == 0;
+  return IsCodecContainer(SpanOf(bytes));
+}
+
+Status UnwrapCodecPayloadView(ByteSpan bytes, std::string* name,
+                              ByteSpan* payload) {
+  if (!IsCodecContainer(bytes)) {
+    return Status::InvalidArgument("not a codec container (bad magic)");
+  }
+  if (bytes.size < 9) {
+    return Status::Corruption("codec container truncated before name");
+  }
+  size_t name_len = bytes[8];
+  if (name_len == 0 || bytes.size < 9 + name_len) {
+    return Status::Corruption("codec container truncated inside name");
+  }
+  name->assign(bytes.begin() + 9, bytes.begin() + 9 + name_len);
+  *payload = bytes.subspan(9 + name_len, bytes.size - 9 - name_len);
+  return Status::OK();
 }
 
 Status UnwrapCodecPayload(const std::vector<uint8_t>& bytes,
                           std::string* name, std::vector<uint8_t>* payload) {
-  if (!IsCodecContainer(bytes)) {
-    return Status::InvalidArgument("not a codec container (bad magic)");
-  }
-  if (bytes.size() < 9) {
-    return Status::Corruption("codec container truncated before name");
-  }
-  size_t name_len = bytes[8];
-  if (name_len == 0 || bytes.size() < 9 + name_len) {
-    return Status::Corruption("codec container truncated inside name");
-  }
-  name->assign(bytes.begin() + 9, bytes.begin() + 9 + name_len);
-  payload->assign(bytes.begin() + 9 + name_len, bytes.end());
+  ByteSpan view;
+  GREPAIR_RETURN_IF_ERROR(UnwrapCodecPayloadView(SpanOf(bytes), name, &view));
+  payload->assign(view.begin(), view.end());
   return Status::OK();
+}
+
+Result<std::unique_ptr<CompressedRep>> OpenCompressedFile(
+    const std::string& path, std::string* backend_name) {
+  auto file = MmapFile::Open(path);
+  if (!file.ok()) return file.status();
+  ByteSpan bytes = file.value()->span();
+  std::string name;
+  ByteSpan payload;
+  auto unwrap = UnwrapCodecPayloadView(bytes, &name, &payload);
+  if (!unwrap.ok()) {
+    if (unwrap.code() == StatusCode::kInvalidArgument) {
+      return Status::InvalidArgument(
+          path + " is not a backend-tagged container");
+    }
+    return Status::Corruption(path + ": " + unwrap.message());
+  }
+  auto codec = CodecRegistry::Create(name);
+  if (!codec.ok()) return codec.status();
+  if (backend_name != nullptr) *backend_name = name;
+  return codec.value()->OpenPayload(std::move(file).ValueOrDie(), payload);
 }
 
 }  // namespace api

@@ -14,13 +14,18 @@
 #define GREPAIR_API_CONTAINER_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "src/util/byte_io.h"
+#include "src/util/mmap_file.h"
 #include "src/util/status.h"
 
 namespace grepair {
 namespace api {
+
+class CompressedRep;
 
 /// \brief The 8-byte frame magic ("GRPCODEC", no terminator).
 extern const char kCodecContainerMagic[8];
@@ -31,6 +36,7 @@ std::vector<uint8_t> WrapCodecPayload(const std::string& name,
                                       const std::vector<uint8_t>& payload);
 
 /// \brief True if `bytes` starts with the container magic.
+bool IsCodecContainer(ByteSpan bytes);
 bool IsCodecContainer(const std::vector<uint8_t>& bytes);
 
 /// \brief Splits a tagged container into codec name + payload.
@@ -39,6 +45,21 @@ bool IsCodecContainer(const std::vector<uint8_t>& bytes);
 /// present but the frame is truncated.
 Status UnwrapCodecPayload(const std::vector<uint8_t>& bytes,
                           std::string* name, std::vector<uint8_t>* payload);
+
+/// \brief Zero-copy unwrap: same contract as UnwrapCodecPayload, but
+/// `*payload` is a borrowed view into `bytes` — nothing is copied, so
+/// a multi-gigabyte mapped container costs only the name parse here.
+Status UnwrapCodecPayloadView(ByteSpan bytes, std::string* name,
+                              ByteSpan* payload);
+
+/// \brief Opens a backend-tagged compressed file via mmap, resolving
+/// the codec named in the frame through the registry; the codec's
+/// OpenPayload decides eager vs lazy materialization (the sharded
+/// GRSHARD2 path stays lazy and keeps the mapping alive). On success
+/// `*backend_name` (optional) receives the embedded codec name.
+/// kInvalidArgument when the file is not a tagged container.
+Result<std::unique_ptr<CompressedRep>> OpenCompressedFile(
+    const std::string& path, std::string* backend_name = nullptr);
 
 }  // namespace api
 }  // namespace grepair

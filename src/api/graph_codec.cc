@@ -3,6 +3,8 @@
 #include <cerrno>
 #include <cstdlib>
 
+#include "src/api/container.h"
+
 namespace grepair {
 namespace api {
 
@@ -124,6 +126,35 @@ Result<std::vector<uint8_t>> CompressedRep::ReachableBatch(
     results.push_back(r.value() ? 1 : 0);
   }
   return results;
+}
+
+Result<std::unique_ptr<CompressedRep>> GraphCodec::DeserializeSpan(
+    ByteSpan bytes) const {
+  return Deserialize(bytes.ToVector());
+}
+
+Result<std::unique_ptr<CompressedRep>> GraphCodec::OpenPayload(
+    std::shared_ptr<MmapFile> /*file*/, ByteSpan payload) const {
+  return DeserializeSpan(payload);
+}
+
+Result<std::unique_ptr<CompressedRep>> GraphCodec::Open(
+    const std::string& path) const {
+  auto file = MmapFile::Open(path);
+  if (!file.ok()) return file.status();
+  ByteSpan bytes = file.value()->span();
+  ByteSpan payload = bytes;
+  if (IsCodecContainer(bytes)) {
+    std::string tagged_name;
+    GREPAIR_RETURN_IF_ERROR(
+        UnwrapCodecPayloadView(bytes, &tagged_name, &payload));
+    if (tagged_name != name()) {
+      return Status::InvalidArgument(
+          path + " was produced by codec '" + tagged_name + "', not '" +
+          name() + "'");
+    }
+  }
+  return OpenPayload(std::move(file).ValueOrDie(), payload);
 }
 
 }  // namespace api

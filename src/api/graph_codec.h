@@ -33,6 +33,8 @@
 #include <vector>
 
 #include "src/graph/hypergraph.h"
+#include "src/util/byte_io.h"
+#include "src/util/mmap_file.h"
 #include "src/util/status.h"
 
 namespace grepair {
@@ -103,6 +105,8 @@ struct QueryStats {
   uint64_t cache_bytes_used = 0;///< current cache footprint
   uint64_t memo_entries = 0;    ///< grammar memo-table entries built
   uint64_t memo_hits = 0;       ///< queries answered from memo tables
+  uint64_t shard_faults = 0;    ///< lazy shards materialized on demand
+  uint64_t shards_prefetched = 0; ///< shards warmed by the prefetch pool
 };
 
 /// \brief Uniform out-of-range check for query entry points: every
@@ -185,6 +189,29 @@ class GraphCodec {
   /// \brief Reconstructs a representation from Serialize() output.
   virtual Result<std::unique_ptr<CompressedRep>> Deserialize(
       const std::vector<uint8_t>& bytes) const = 0;
+
+  /// \brief Zero-copy variant of Deserialize: parses a representation
+  /// from a borrowed byte view. The default copies into an owned
+  /// buffer and delegates to Deserialize; codecs with span-native
+  /// parsers (grepair's grammar coder, the sharded container) override
+  /// to read in place. `bytes` only needs to stay alive for the call —
+  /// the returned rep owns (or re-derives) everything it keeps.
+  virtual Result<std::unique_ptr<CompressedRep>> DeserializeSpan(
+      ByteSpan bytes) const;
+
+  /// \brief Opens a payload whose storage is a shared mapped file.
+  /// Reps that borrow from the mapping (the lazy GRSHARD2 path) retain
+  /// `file` so the bytes outlive them; the default ignores `file` and
+  /// parses eagerly via DeserializeSpan.
+  virtual Result<std::unique_ptr<CompressedRep>> OpenPayload(
+      std::shared_ptr<MmapFile> file, ByteSpan payload) const;
+
+  /// \brief Opens an on-disk compressed file through this codec via
+  /// mmap: a backend-tagged "GRPCODEC" container must name this codec
+  /// (kInvalidArgument otherwise); any other file is treated as a bare
+  /// payload. Lazy-capable codecs materialize shards on first touch
+  /// instead of decoding the whole file here.
+  Result<std::unique_ptr<CompressedRep>> Open(const std::string& path) const;
 };
 
 }  // namespace api

@@ -234,7 +234,11 @@ std::vector<uint8_t> EncodeGrammar(const SlhrGrammar& grammar,
 }
 
 Result<SlhrGrammar> DecodeGrammar(const std::vector<uint8_t>& bytes) {
-  BitReader r(bytes);
+  return DecodeGrammar(SpanOf(bytes));
+}
+
+Result<SlhrGrammar> DecodeGrammar(ByteSpan bytes) {
+  BitReader r(bytes.data, bytes.size * 8);
   uint64_t magic = 0;
   GREPAIR_RETURN_IF_ERROR(r.ReadBits(32, &magic));
   if (magic != kMagic) return Status::Corruption("bad magic");
@@ -262,7 +266,7 @@ Result<SlhrGrammar> DecodeGrammar(const std::vector<uint8_t>& bytes) {
   // remaining input could possibly encode (>= 1 bit per decoded item);
   // a corrupted Elias code can otherwise claim 2^50 rules and take the
   // process down with bad_alloc before any per-item decode fails.
-  const uint64_t total_bits = bytes.size() * 8;
+  const uint64_t total_bits = bytes.size * 8;
   if (start_nodes > 0xFFFFFFFFull) {
     return Status::Corruption("start node count out of range");
   }
@@ -440,7 +444,12 @@ std::vector<uint8_t> EncodeNodeMapping(const SlhrGrammar& grammar,
 
 Result<NodeMapping> DecodeNodeMapping(const SlhrGrammar& grammar,
                                       const std::vector<uint8_t>& bytes) {
-  BitReader r(bytes);
+  return DecodeNodeMapping(grammar, SpanOf(bytes));
+}
+
+Result<NodeMapping> DecodeNodeMapping(const SlhrGrammar& grammar,
+                                      ByteSpan bytes) {
+  BitReader r(bytes.data, bytes.size * 8);
   uint64_t num_start = 0;
   GREPAIR_RETURN_IF_ERROR(EliasDeltaDecode(&r, &num_start));
   if (num_start == 0) return Status::Corruption("bad mapping header");

@@ -30,6 +30,7 @@
 
 #include "src/grammar/derivation.h"
 #include "src/grammar/grammar.h"
+#include "src/util/byte_io.h"
 #include "src/util/status.h"
 
 namespace grepair {
@@ -67,6 +68,12 @@ std::vector<uint8_t> EncodeGrammar(const SlhrGrammar& grammar,
 /// Status instead of unbounded allocation.
 Result<SlhrGrammar> DecodeGrammar(const std::vector<uint8_t>& bytes);
 
+/// \brief Zero-copy overload: decodes straight out of a borrowed view
+/// (an mmap'd file, a shard payload inside a mapped container). The
+/// bytes are only read during the call; the returned grammar owns all
+/// of its state.
+Result<SlhrGrammar> DecodeGrammar(ByteSpan bytes);
+
 /// \brief Convenience: bits-per-edge of an encoded grammar for a graph
 /// with `num_edges` edges (the paper's compression metric).
 double BitsPerEdge(size_t encoded_bytes, uint64_t num_edges);
@@ -84,6 +91,10 @@ std::vector<uint8_t> EncodeNodeMapping(const SlhrGrammar& grammar,
 /// the mapping was encoded against (validated structurally).
 Result<NodeMapping> DecodeNodeMapping(const SlhrGrammar& grammar,
                                       const std::vector<uint8_t>& bytes);
+
+/// \brief Zero-copy overload of DecodeNodeMapping (see DecodeGrammar).
+Result<NodeMapping> DecodeNodeMapping(const SlhrGrammar& grammar,
+                                      ByteSpan bytes);
 
 }  // namespace grepair
 

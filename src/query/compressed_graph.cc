@@ -90,23 +90,24 @@ std::vector<uint8_t> CompressedGraph::Serialize() const {
 
 Result<CompressedGraph> CompressedGraph::Deserialize(
     const std::vector<uint8_t>& bytes) {
-  if (bytes.empty()) return Status::Corruption("empty serialization");
-  bool has_mapping = bytes[0] != 0;
-  size_t pos = 1;
+  return Deserialize(SpanOf(bytes));
+}
+
+Result<CompressedGraph> CompressedGraph::Deserialize(ByteSpan bytes) {
+  ByteSource src(bytes, "grepair payload");
+  uint8_t mapping_flag = 0;
+  GREPAIR_RETURN_IF_ERROR(src.ReadU8(&mapping_flag));
   uint64_t grammar_len = 0;
-  GREPAIR_RETURN_IF_ERROR(GetU64LE(bytes, &pos, &grammar_len));
-  if (grammar_len > bytes.size() - pos) {  // overflow-safe bounds check
-    return Status::Corruption("grammar frame overruns buffer");
-  }
-  std::vector<uint8_t> grammar_bytes(bytes.begin() + pos,
-                                     bytes.begin() + pos + grammar_len);
+  GREPAIR_RETURN_IF_ERROR(src.ReadU64LE(&grammar_len));
+  ByteSpan grammar_bytes;
+  GREPAIR_RETURN_IF_ERROR(src.ReadSpan(grammar_len, &grammar_bytes));
   auto grammar = DecodeGrammar(grammar_bytes);
   if (!grammar.ok()) return grammar.status();
-  if (!has_mapping) {
+  if (mapping_flag == 0) {
     return FromGrammar(std::move(grammar).ValueOrDie());
   }
-  std::vector<uint8_t> mapping_bytes(bytes.begin() + pos + grammar_len,
-                                     bytes.end());
+  ByteSpan mapping_bytes;
+  GREPAIR_RETURN_IF_ERROR(src.ReadSpan(src.remaining(), &mapping_bytes));
   auto mapping = DecodeNodeMapping(grammar.value(), mapping_bytes);
   if (!mapping.ok()) return mapping.status();
   return FromGrammar(std::move(grammar).ValueOrDie(),

@@ -24,6 +24,7 @@
 #include "src/grepair/compressor.h"
 #include "src/query/neighborhood.h"
 #include "src/query/reachability.h"
+#include "src/util/byte_io.h"
 
 namespace grepair {
 
@@ -57,6 +58,12 @@ class CompressedGraph {
 
   static Result<CompressedGraph> Deserialize(
       const std::vector<uint8_t>& bytes);
+
+  /// \brief Zero-copy overload: parses straight out of a borrowed view
+  /// (e.g. a shard payload inside an mmap'd container) without the
+  /// grammar/mapping frame copies of the vector overload. The view is
+  /// only read during the call.
+  static Result<CompressedGraph> Deserialize(ByteSpan bytes);
 
   uint64_t num_nodes() const { return num_nodes_; }
   uint64_t num_edges() const { return num_edges_; }

@@ -1,6 +1,7 @@
 #include "src/shard/sharded_codec.h"
 
 #include <algorithm>
+#include <condition_variable>
 #include <cstring>
 #include <deque>
 #include <thread>
@@ -11,17 +12,24 @@
 #include "src/shard/partitioner.h"
 #include "src/util/byte_io.h"
 #include "src/util/elias.h"
+#include "src/util/hashing.h"
 
 namespace grepair {
 namespace shard {
 
 const char kShardContainerMagic[8] = {'G', 'R', 'S', 'H', 'A', 'R', 'D',
                                       '1'};
+const char kShardContainerMagicV2[8] = {'G', 'R', 'S', 'H', 'A', 'R', 'D',
+                                        '2'};
 
 namespace {
 
 // Data shards + the cut shard.
 constexpr size_t kMaxShardCount = static_cast<size_t>(kMaxShards) + 1;
+
+// v2 trailer: u64 directory offset + u64 directory length + u64
+// directory checksum.
+constexpr size_t kV2TrailerBytes = 24;
 
 // Appends the sorted node map as Elias-delta gaps (ids shifted by one,
 // gaps strictly positive), byte-aligned so payloads stay addressable.
@@ -39,20 +47,22 @@ void EncodeNodeMap(const std::vector<NodeId>& nodes,
   out->insert(out->end(), bytes.begin(), bytes.end());
 }
 
-Status DecodeNodeMap(const std::vector<uint8_t>& in, size_t* pos,
-                     uint64_t count, uint64_t num_nodes,
+// Decodes a node map off the cursor's remaining window, advancing it
+// past the (data-dependent, byte-aligned) consumed length.
+Status DecodeNodeMap(ByteSource* src, uint64_t count, uint64_t num_nodes,
                      std::vector<NodeId>* nodes) {
   if (count > num_nodes) {
     return Status::Corruption("shard node map larger than graph");
   }
+  ByteSpan in = src->PeekRemaining();
   // num_nodes is itself untrusted (isolated nodes are free, so it
   // cannot be bounded by input size) — bound the allocation-driving
   // count by the remaining input instead: every map entry costs at
   // least one bit.
-  if (count > (in.size() - *pos) * 8) {
+  if (count > in.size * 8) {
     return Status::Corruption("shard node map exceeds input size");
   }
-  BitReader r(in.data() + *pos, (in.size() - *pos) * 8);
+  BitReader r(in.data, in.size * 8);
   nodes->clear();
   // Capped reserve: sizing 4 bytes per claimed 1-bit entry up front
   // would hand crafted input a 32x allocation amplifier before any
@@ -75,8 +85,7 @@ Status DecodeNodeMap(const std::vector<uint8_t>& in, size_t* pos,
     nodes->push_back(static_cast<NodeId>(shifted - 1));
     prev = shifted;
   }
-  *pos += (r.position() + 7) / 8;
-  return Status::OK();
+  return src->Skip((r.position() + 7) / 8);
 }
 
 // Binary search of a global id in a shard's sorted map; kInvalidNode
@@ -97,6 +106,38 @@ NodeId LocalId(const std::vector<NodeId>& nodes, uint64_t global) {
 bool ShardMayContain(const std::vector<NodeId>& nodes, uint64_t global) {
   return !nodes.empty() && global >= nodes.front() &&
          global <= nodes.back();
+}
+
+// Version dispatch: the first 7 magic bytes select the family, the
+// eighth selects the parser.
+Result<int> ContainerVersion(ByteSpan bytes) {
+  if (bytes.size < 8 ||
+      std::memcmp(bytes.data, kShardContainerMagic, 7) != 0) {
+    return Status::Corruption("bad sharded container magic");
+  }
+  if (bytes[7] == kShardContainerMagic[7]) return 1;
+  if (bytes[7] == kShardContainerMagicV2[7]) return 2;
+  return Status::Corruption(
+      "unsupported sharded container version (expected '1' or '2')");
+}
+
+// The inner name is untrusted: a nested "sharded:*" inner would
+// recurse through this parser once per container level, and a crafted
+// deeply-nested file becomes a stack overflow instead of a Status.
+// Compression never produces nested containers (the registry refuses
+// sharded-of-sharded), so reject them up front.
+Status RejectNestedInner(const std::string& inner_name) {
+  if (inner_name.rfind("sharded:", 0) == 0) {
+    return Status::Corruption("nested sharded containers are not supported");
+  }
+  return Status::OK();
+}
+
+std::string Hex64(uint64_t v) {
+  char buf[19];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
 }
 
 }  // namespace
@@ -125,12 +166,12 @@ constexpr size_t kBatchDecodeThreshold = 2;
 // every 8th query would pay a whole-shard decode just to discard it.
 constexpr uint32_t kUncacheable = ~0u;
 
-// Decodes shard `entry` into its neighborhood form; null on any
-// decode/consistency failure (callers fall back to per-node routing,
-// which surfaces the error through the normal query path).
+// Decodes shard `entry` via `rep` into its neighborhood form; null on
+// any decode/consistency failure (callers fall back to per-node
+// routing, which surfaces the error through the normal query path).
 std::shared_ptr<const ShardedRep::ShardNeighborhoods> DecodeNeighborhoods(
-    const ShardedRep::Entry& entry) {
-  auto local = entry.rep->Decompress();
+    const ShardedRep::Entry& entry, const api::CompressedRep& rep) {
+  auto local = rep.Decompress();
   if (!local.ok()) return nullptr;
   size_t n = entry.nodes.size();
   if (local.value().num_nodes() != n) return nullptr;
@@ -160,15 +201,100 @@ std::shared_ptr<const ShardedRep::ShardNeighborhoods> DecodeNeighborhoods(
 
 }  // namespace
 
+// ---------------------------------------------------------------------------
+// Prefetch pool
+
+// Fixed worker pool draining a shard-index queue: each worker faults
+// one shard's inner rep at a time so foreground queries find it
+// resident. Lifetime: owned by the rep (declared last, so destroyed —
+// and joined — before any state the workers touch).
+class ShardedRep::Prefetcher {
+ public:
+  Prefetcher(const ShardedRep* rep, int threads) : rep_(rep) {
+    for (int i = 0; i < threads; ++i) {
+      workers_.emplace_back([this] { Worker(); });
+    }
+  }
+
+  ~Prefetcher() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto& t : workers_) t.join();
+  }
+
+  void Enqueue(const std::vector<size_t>& shards) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (size_t s : shards) {
+        queue_.push_back(s);
+        ++pending_;
+      }
+    }
+    cv_.notify_all();
+  }
+
+  void WaitIdle() {
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait(lock, [this] { return pending_ == 0 || stop_; });
+  }
+
+ private:
+  void Worker() {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (true) {
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_) break;
+      size_t shard = queue_.front();
+      queue_.pop_front();
+      lock.unlock();
+      rep_->PrefetchOne(shard);
+      lock.lock();
+      if (--pending_ == 0) idle_cv_.notify_all();
+    }
+    // Wake any WaitIdle caller racing a shutdown (queued work is
+    // dropped; nobody can observe the rep after destruction anyway).
+    idle_cv_.notify_all();
+  }
+
+  const ShardedRep* rep_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::deque<size_t> queue_;
+  size_t pending_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+// ---------------------------------------------------------------------------
+// ShardedRep
+
 ShardedRep::ShardedRep(std::string inner_name, uint32_t inner_capabilities,
                        uint64_t num_nodes, std::vector<Entry> entries)
     : inner_name_(std::move(inner_name)),
       inner_capabilities_(inner_capabilities),
       num_nodes_(num_nodes),
       entries_(std::move(entries)),
+      lazy_slots_(entries_.size()),
+      lazy_published_(
+          new std::atomic<const api::CompressedRep*>[entries_.size() == 0
+                                                         ? 1
+                                                         : entries_.size()]),
+      fault_mutexes_(new std::mutex[entries_.size() == 0 ? 1
+                                                         : entries_.size()]),
       cache_slots_(entries_.size()),
       cache_last_use_(entries_.size(), 0),
-      cache_miss_credit_(entries_.size(), 0) {}
+      cache_miss_credit_(entries_.size(), 0) {
+  size_t slots = entries_.size() == 0 ? 1 : entries_.size();
+  for (size_t i = 0; i < slots; ++i) {
+    lazy_published_[i].store(nullptr, std::memory_order_relaxed);
+  }
+}
+
+ShardedRep::~ShardedRep() = default;
 
 void ShardedRep::set_decompress_threads(int threads) {
   decompress_threads_ = std::max(1, std::min(threads, 256));
@@ -177,6 +303,115 @@ void ShardedRep::set_decompress_threads(int threads) {
 void ShardedRep::set_query_threads(int threads) {
   query_threads_.store(std::max(1, std::min(threads, 256)),
                        std::memory_order_relaxed);
+}
+
+void ShardedRep::set_prefetch_threads(int threads) {
+  std::lock_guard<std::mutex> lock(prefetch_mutex_);
+  prefetcher_.reset();  // join the old pool before any resize
+  if (threads > 0) {
+    prefetcher_ = std::make_unique<Prefetcher>(this, std::min(threads, 64));
+  }
+}
+
+void ShardedRep::Prefetch(const std::vector<size_t>& shards) const {
+  std::vector<size_t> valid;
+  valid.reserve(shards.size());
+  for (size_t s : shards) {
+    if (s < entries_.size()) valid.push_back(s);
+  }
+  if (valid.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(prefetch_mutex_);
+    if (prefetcher_ != nullptr) {
+      prefetcher_->Enqueue(valid);
+      return;
+    }
+  }
+  // No pool: warm synchronously so the call still means "make these
+  // resident".
+  for (size_t s : valid) PrefetchOne(s);
+}
+
+void ShardedRep::PrefetchAll() const {
+  std::vector<size_t> all;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].has_payload()) all.push_back(i);
+  }
+  Prefetch(all);
+}
+
+void ShardedRep::WaitForPrefetch() const {
+  std::lock_guard<std::mutex> lock(prefetch_mutex_);
+  if (prefetcher_ != nullptr) prefetcher_->WaitIdle();
+}
+
+bool ShardedRep::ShardResident(size_t i) const {
+  const Entry& entry = entries_[i];
+  if (entry.rep != nullptr) return true;
+  if (!entry.has_payload()) return true;  // nothing to fault
+  return lazy_published_[i].load(std::memory_order_acquire) != nullptr;
+}
+
+void ShardedRep::PrefetchOne(size_t shard) const {
+  if (shard >= entries_.size() || ShardResident(shard)) return;
+  bool faulted = false;
+  auto rep = ShardRepFor(shard, &faulted);
+  (void)rep;  // errors resurface on the foreground query that needs it
+  if (faulted) stat_prefetched_.fetch_add(1, std::memory_order_relaxed);
+}
+
+Result<const api::CompressedRep*> ShardedRep::ShardRepFor(
+    size_t shard, bool* faulted) const {
+  if (faulted != nullptr) *faulted = false;
+  const Entry& entry = entries_[shard];
+  if (entry.rep != nullptr) {
+    return static_cast<const api::CompressedRep*>(entry.rep.get());
+  }
+  ByteSpan payload = entry.payload_bytes();
+  if (payload.size == 0) {
+    return static_cast<const api::CompressedRep*>(nullptr);  // edgeless
+  }
+  // Lock-free resident fast path: slots are never reset, so a
+  // published pointer is valid for the rep's lifetime and hot shards
+  // cost one acquire-load per touch, same as the eager entry.rep path.
+  if (const api::CompressedRep* published =
+          lazy_published_[shard].load(std::memory_order_acquire)) {
+    return published;
+  }
+  if (inner_codec_ == nullptr) {
+    return Status::Internal("lazy shard without an inner codec");
+  }
+  // Fault path: per-shard mutex so concurrent touches of one shard
+  // deserialize it exactly once while other shards fault in parallel.
+  std::lock_guard<std::mutex> lock(fault_mutexes_[shard]);
+  if (lazy_slots_[shard] != nullptr) {
+    return static_cast<const api::CompressedRep*>(lazy_slots_[shard].get());
+  }
+  // Fail closed on payload corruption before handing the bytes to the
+  // inner parser.
+  uint64_t actual = HashBytes(payload.data, payload.size);
+  if (actual != entry.checksum) {
+    return Status::Corruption(
+        "shard " + std::to_string(shard) +
+        " payload checksum mismatch (expected " + Hex64(entry.checksum) +
+        ", got " + Hex64(actual) + " over " + std::to_string(payload.size) +
+        " bytes)");
+  }
+  auto rep = inner_codec_->DeserializeSpan(payload);
+  if (!rep.ok()) return rep.status();
+  if (rep.value()->num_nodes() != entry.nodes.size()) {
+    return Status::Corruption(
+        "shard " + std::to_string(shard) + " payload node count " +
+        std::to_string(rep.value()->num_nodes()) +
+        " does not match its node map (" +
+        std::to_string(entry.nodes.size()) + ")");
+  }
+  stat_faults_.fetch_add(1, std::memory_order_relaxed);
+  if (faulted != nullptr) *faulted = true;
+  lazy_slots_[shard] = std::move(rep).ValueOrDie();
+  lazy_published_[shard].store(lazy_slots_[shard].get(),
+                               std::memory_order_release);
+  return static_cast<const api::CompressedRep*>(lazy_slots_[shard].get());
 }
 
 // The byte budget is split between the two tiers: the node-result LRU
@@ -254,7 +489,7 @@ void ShardedRep::StoreResult(
 std::shared_ptr<const ShardedRep::ShardNeighborhoods>
 ShardedRep::GetOrDecodeShard(size_t shard, size_t pending) const {
   const Entry& entry = entries_[shard];
-  if (entry.rep == nullptr) return nullptr;
+  if (!entry.has_payload()) return nullptr;
   if (cache_bytes_limit_.load(std::memory_order_relaxed) == 0) {
     return nullptr;
   }
@@ -272,10 +507,15 @@ ShardedRep::GetOrDecodeShard(size_t shard, size_t pending) const {
       return nullptr;
     }
   }
-  // Decode outside the lock: it runs inner decompression and must not
-  // serialize concurrent queries on other shards. A racing decode of
-  // the same shard wastes work but stays correct (first insert wins).
-  auto decoded = DecodeNeighborhoods(entry);
+  // Decode outside the lock: it runs inner decompression (and on lazy
+  // reps may fault the shard in first) and must not serialize
+  // concurrent queries on other shards. A racing decode of the same
+  // shard wastes work but stays correct (first insert wins).
+  auto rep = ShardRepFor(shard);
+  if (!rep.ok() || rep.value() == nullptr) {
+    return nullptr;  // fault errors resurface via per-node routing
+  }
+  auto decoded = DecodeNeighborhoods(entry, *rep.value());
   if (decoded == nullptr) return nullptr;
   stat_decodes_.fetch_add(1, std::memory_order_relaxed);
 
@@ -299,12 +539,13 @@ ShardedRep::GetOrDecodeShard(size_t shard, size_t pending) const {
   return decoded;
 }
 
-// Serialize rebuilds the container from the per-shard payloads each
-// call (deterministic, so repeated calls are byte-identical) instead
-// of caching a second full copy of the compressed bytes for the rep's
-// lifetime; ByteSize computes the exact container size arithmetically
-// without materializing anything. Both are safe to call concurrently
-// on a shared rep (no mutable state).
+// Serialize rebuilds the container from the per-shard payload bytes
+// each call (deterministic, so repeated calls are byte-identical)
+// instead of caching a second full copy of the compressed bytes for
+// the rep's lifetime; ByteSize computes the exact container size
+// arithmetically without materializing anything. Both are safe to call
+// concurrently on a shared rep (no mutable state) and never fault a
+// lazy shard — the payload bytes are already at hand either way.
 std::vector<uint8_t> ShardedRep::Serialize() const {
   std::vector<uint8_t> out(kShardContainerMagic, kShardContainerMagic + 8);
   out.push_back(static_cast<uint8_t>(inner_name_.size()));
@@ -314,9 +555,49 @@ std::vector<uint8_t> ShardedRep::Serialize() const {
   for (const Entry& entry : entries_) {
     PutU64LE(entry.nodes.size(), &out);
     EncodeNodeMap(entry.nodes, &out);
-    PutU64LE(entry.payload.size(), &out);
-    out.insert(out.end(), entry.payload.begin(), entry.payload.end());
+    ByteSpan payload = entry.payload_bytes();
+    PutU64LE(payload.size, &out);
+    out.insert(out.end(), payload.begin(), payload.end());
   }
+  return out;
+}
+
+std::vector<uint8_t> ShardedRep::SerializeV2() const {
+  std::vector<uint8_t> out(kShardContainerMagicV2,
+                           kShardContainerMagicV2 + 8);
+  // Payload blobs first, back to back, recording the directory rows.
+  std::vector<ShardDirEntry> dir(entries_.size());
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    ByteSpan payload = entries_[i].payload_bytes();
+    dir[i].node_count = entries_[i].nodes.size();
+    if (payload.size == 0) continue;
+    dir[i].offset = out.size();
+    dir[i].length = payload.size;
+    dir[i].checksum = HashBytes(payload.data, payload.size);
+    out.insert(out.end(), payload.begin(), payload.end());
+  }
+  // Footer directory.
+  size_t dir_off = out.size();
+  out.push_back(static_cast<uint8_t>(inner_name_.size()));
+  out.insert(out.end(), inner_name_.begin(), inner_name_.end());
+  PutU64LE(num_nodes_, &out);
+  PutU32LE(static_cast<uint32_t>(entries_.size()), &out);
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    PutU64LE(dir[i].offset, &out);
+    PutU64LE(dir[i].length, &out);
+    PutU64LE(dir[i].checksum, &out);
+    PutU64LE(dir[i].node_count, &out);
+    std::vector<uint8_t> map;
+    EncodeNodeMap(entries_[i].nodes, &map);
+    PutU32LE(static_cast<uint32_t>(map.size()), &out);
+    out.insert(out.end(), map.begin(), map.end());
+  }
+  // Trailer: directory offset + length + checksum.
+  uint64_t dir_len = out.size() - dir_off;
+  uint64_t dir_checksum = HashBytes(out.data() + dir_off, dir_len);
+  PutU64LE(dir_off, &out);
+  PutU64LE(dir_len, &out);
+  PutU64LE(dir_checksum, &out);
   return out;
 }
 
@@ -330,7 +611,7 @@ size_t ShardedRep::ByteSize() const {
       map_bits += EliasDeltaLength(i == 0 ? shifted : shifted - prev);
       prev = shifted;
     }
-    size += 8 + (map_bits + 7) / 8 + 8 + entry.payload.size();
+    size += 8 + (map_bits + 7) / 8 + 8 + entry.payload_bytes().size;
   }
   return size;
 }
@@ -338,20 +619,23 @@ size_t ShardedRep::ByteSize() const {
 Result<Hypergraph> ShardedRep::Decompress() const {
   size_t count = entries_.size();
   // Sentinel status keeps Result's value-or-error contract honest for
-  // slots the workers never fill (edgeless shards with a null rep).
+  // slots the workers never fill (edgeless shards with no payload).
   std::vector<Result<Hypergraph>> locals(
       count, Status::Internal("shard not decompressed"));
 
   RunIndexedOnPool(count, decompress_threads_, [&](size_t i) {
-    if (entries_[i].rep != nullptr) {
-      locals[i] = entries_[i].rep->Decompress();
+    auto rep = ShardRepFor(i);  // faults lazy shards in parallel
+    if (!rep.ok()) {
+      locals[i] = rep.status();
+    } else if (rep.value() != nullptr) {
+      locals[i] = rep.value()->Decompress();
     }
   });
 
   Hypergraph global(static_cast<uint32_t>(num_nodes_));
   for (size_t i = 0; i < count; ++i) {
     const Entry& entry = entries_[i];
-    if (entry.rep == nullptr) continue;
+    if (!entry.has_payload()) continue;
     if (!locals[i].ok()) return locals[i].status();
     const Hypergraph& local = locals[i].value();
     if (local.num_nodes() != entry.nodes.size()) {
@@ -377,7 +661,8 @@ Result<Hypergraph> ShardedRep::Decompress() const {
 // Shared routing for Out/InNeighbors: first the node-result cache
 // (repeat queries are one hash lookup), then per owning shard either
 // the decoded-neighborhood tier (promoting hot shards after repeated
-// misses) or the inner rep, map back, merge, memoize.
+// misses) or the inner rep — faulted in on first touch for lazy reps —
+// map back, merge, memoize.
 Result<std::vector<uint64_t>> ShardedRep::RoutedNeighbors(uint64_t node,
                                                           bool out) const {
   if (!(inner_capabilities_ & api::kNeighborQueries)) {
@@ -393,7 +678,7 @@ Result<std::vector<uint64_t>> ShardedRep::RoutedNeighbors(uint64_t node,
   std::vector<uint64_t> all;
   for (size_t i = 0; i < entries_.size(); ++i) {
     const Entry& entry = entries_[i];
-    if (entry.rep == nullptr) continue;
+    if (!entry.has_payload()) continue;
     if (!ShardMayContain(entry.nodes, node)) continue;
     NodeId local = LocalId(entry.nodes, node);
     if (local == kInvalidNode) continue;
@@ -405,8 +690,10 @@ Result<std::vector<uint64_t>> ShardedRep::RoutedNeighbors(uint64_t node,
       continue;
     }
     stat_misses_.fetch_add(1, std::memory_order_relaxed);
-    auto part = out ? entry.rep->OutNeighbors(local)
-                    : entry.rep->InNeighbors(local);
+    auto rep = ShardRepFor(i);
+    if (!rep.ok()) return rep.status();
+    auto part = out ? rep.value()->OutNeighbors(local)
+                    : rep.value()->InNeighbors(local);
     if (!part.ok()) return part.status();
     for (uint64_t u : part.value()) {
       if (u >= entry.nodes.size()) {
@@ -491,13 +778,28 @@ Result<std::vector<std::vector<uint64_t>>> ShardedRep::OutNeighborsBatch(
   std::vector<uint32_t> owner_count(uniq.size(), 0);
   for (size_t u = 0; u < uniq.size(); ++u) {
     for (size_t i = 0; i < shard_count; ++i) {
-      if (entries_[i].rep == nullptr) continue;
+      if (!entries_[i].has_payload()) continue;
       if (!ShardMayContain(entries_[i].nodes, uniq[u])) continue;
       NodeId local = LocalId(entries_[i].nodes, uniq[u]);
       if (local != kInvalidNode) {
         groups[i].emplace_back(u, local);
         ++owner_count[u];
       }
+    }
+  }
+
+  // Hand the batch's un-faulted shards to the prefetch pool (when one
+  // is running) so they warm while earlier shards are queried; the
+  // per-shard fault mutex makes the handoff race-free, and workers
+  // that lose the race simply find the shard resident.
+  if (is_lazy()) {
+    std::vector<size_t> cold;
+    for (size_t i = 0; i < shard_count; ++i) {
+      if (!groups[i].empty() && !ShardResident(i)) cold.push_back(i);
+    }
+    if (!cold.empty()) {
+      std::lock_guard<std::mutex> lock(prefetch_mutex_);
+      if (prefetcher_ != nullptr) prefetcher_->Enqueue(cold);
     }
   }
 
@@ -521,9 +823,14 @@ Result<std::vector<std::vector<uint64_t>>> ShardedRep::OutNeighborsBatch(
       return;
     }
     stat_misses_.fetch_add(groups[i].size(), std::memory_order_relaxed);
+    auto rep = ShardRepFor(i);
+    if (!rep.ok()) {
+      shard_status[i] = rep.status();
+      return;
+    }
     partial[i].resize(groups[i].size());
     for (size_t k = 0; k < groups[i].size(); ++k) {
-      auto part = entry.rep->OutNeighbors(groups[i][k].second);
+      auto part = rep.value()->OutNeighbors(groups[i][k].second);
       if (!part.ok()) {
         shard_status[i] = part.status();
         return;
@@ -620,58 +927,69 @@ api::QueryStats ShardedRep::query_stats() const {
   stats.cache_misses = stat_misses_.load(std::memory_order_relaxed);
   stats.shard_decodes = stat_decodes_.load(std::memory_order_relaxed);
   stats.cache_evictions = stat_evictions_.load(std::memory_order_relaxed);
+  stats.shard_faults = stat_faults_.load(std::memory_order_relaxed);
+  stats.shards_prefetched =
+      stat_prefetched_.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(cache_mutex_);
     stats.cache_bytes_used = cache_bytes_used_ + result_bytes_used_;
   }
   // Aggregate the inner reps' memo-table counters (grepair inners
-  // build grammar memo tables of their own).
-  for (const Entry& entry : entries_) {
-    if (entry.rep == nullptr) continue;
-    api::QueryStats inner = entry.rep->query_stats();
+  // build grammar memo tables of their own). Only resident reps are
+  // consulted — stats must never fault a shard in.
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    const api::CompressedRep* rep = entries_[i].rep.get();
+    if (rep == nullptr) {
+      rep = lazy_published_[i].load(std::memory_order_acquire);
+    }
+    if (rep == nullptr) continue;
+    api::QueryStats inner = rep->query_stats();
     stats.memo_entries += inner.memo_entries;
     stats.memo_hits += inner.memo_hits;
   }
   return stats;
 }
 
-Result<std::unique_ptr<ShardedRep>> ShardedRep::Deserialize(
-    const std::vector<uint8_t>& bytes) {
-  if (bytes.size() < 9 ||
-      std::memcmp(bytes.data(), kShardContainerMagic, 7) != 0) {
-    return Status::Corruption("bad sharded container magic");
-  }
-  if (bytes[7] != kShardContainerMagic[7]) {
-    return Status::Corruption(
-        "unsupported sharded container version (expected '1')");
-  }
-  size_t pos = 8;
-  size_t name_len = bytes[pos++];
-  if (name_len == 0 || pos + name_len > bytes.size()) {
-    return Status::Corruption("sharded container truncated in codec name");
-  }
-  std::string inner_name(bytes.begin() + pos, bytes.begin() + pos + name_len);
-  pos += name_len;
-  // The inner name is untrusted: a nested "sharded:*" inner would
-  // recurse through this parser once per container level, and a
-  // crafted deeply-nested file becomes a stack overflow instead of a
-  // Status. Compression never produces nested containers (the
-  // registry refuses sharded-of-sharded), so reject them up front.
-  if (inner_name.rfind("sharded:", 0) == 0) {
-    return Status::Corruption(
-        "nested sharded containers are not supported");
-  }
+// ---------------------------------------------------------------------------
+// Parsing (v1 eager, v2 lazy) and inspection
 
-  uint64_t num_nodes = 0;
-  uint32_t shard_count = 0;
-  GREPAIR_RETURN_IF_ERROR(GetU64LE(bytes, &pos, &num_nodes));
-  GREPAIR_RETURN_IF_ERROR(GetU32LE(bytes, &pos, &shard_count));
-  if (num_nodes > 0xFFFFFFFFull) {
+namespace {
+
+// Shared v1 header walk (ParseV1 + the v1 Inspect scan): magic skip,
+// inner name, global node count, shard count — with the untrusted-
+// input hardening both consumers need.
+Status ReadV1Head(ByteSource* src, std::string* inner_name,
+                  uint64_t* num_nodes, uint32_t* shard_count) {
+  GREPAIR_RETURN_IF_ERROR(src->Skip(8));  // magic, checked by caller
+  uint8_t name_len = 0;
+  GREPAIR_RETURN_IF_ERROR(src->ReadU8(&name_len));
+  if (name_len == 0) {
+    return Status::Corruption("sharded container has empty codec name");
+  }
+  ByteSpan name_span;
+  GREPAIR_RETURN_IF_ERROR(src->ReadSpan(name_len, &name_span));
+  inner_name->assign(name_span.begin(), name_span.end());
+  GREPAIR_RETURN_IF_ERROR(src->ReadU64LE(num_nodes));
+  GREPAIR_RETURN_IF_ERROR(src->ReadU32LE(shard_count));
+  if (*num_nodes > 0xFFFFFFFFull) {
     return Status::Corruption("sharded container node count out of range");
   }
-  if (shard_count < 1 || shard_count > kMaxShardCount) {
+  if (*shard_count < 1 || *shard_count > kMaxShardCount) {
     return Status::Corruption("sharded container shard count out of range");
   }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ShardedRep>> ShardedRep::ParseV1(ByteSpan bytes) {
+  ByteSource src(bytes, "sharded container");
+  std::string inner_name;
+  uint64_t num_nodes = 0;
+  uint32_t shard_count = 0;
+  GREPAIR_RETURN_IF_ERROR(
+      ReadV1Head(&src, &inner_name, &num_nodes, &shard_count));
+  GREPAIR_RETURN_IF_ERROR(RejectNestedInner(inner_name));
 
   auto inner = api::CodecRegistry::Create(inner_name);
   if (!inner.ok()) return inner.status();
@@ -684,19 +1002,17 @@ Result<std::unique_ptr<ShardedRep>> ShardedRep::Deserialize(
   for (uint32_t i = 0; i < shard_count; ++i) {
     Entry entry;
     uint64_t node_count = 0;
-    GREPAIR_RETURN_IF_ERROR(GetU64LE(bytes, &pos, &node_count));
+    GREPAIR_RETURN_IF_ERROR(src.ReadU64LE(&node_count));
     GREPAIR_RETURN_IF_ERROR(
-        DecodeNodeMap(bytes, &pos, node_count, num_nodes, &entry.nodes));
+        DecodeNodeMap(&src, node_count, num_nodes, &entry.nodes));
     uint64_t payload_len = 0;
-    GREPAIR_RETURN_IF_ERROR(GetU64LE(bytes, &pos, &payload_len));
-    if (payload_len > bytes.size() - pos) {
-      return Status::Corruption("sharded container payload truncated");
-    }
+    GREPAIR_RETURN_IF_ERROR(src.ReadU64LE(&payload_len));
     if (payload_len > 0) {
-      entry.payload.assign(bytes.begin() + pos,
-                           bytes.begin() + pos + payload_len);
-      pos += payload_len;
-      auto rep = inner.value()->Deserialize(entry.payload);
+      ByteSpan payload_span;
+      GREPAIR_RETURN_IF_ERROR(src.ReadSpan(payload_len, &payload_span));
+      entry.payload = payload_span.ToVector();
+      auto rep = inner.value()->DeserializeSpan(
+          ByteSpan(entry.payload.data(), entry.payload.size()));
       if (!rep.ok()) return rep.status();
       entry.rep = std::move(rep).ValueOrDie();
       if (entry.rep->num_nodes() != entry.nodes.size()) {
@@ -706,12 +1022,217 @@ Result<std::unique_ptr<ShardedRep>> ShardedRep::Deserialize(
     }
     entries.push_back(std::move(entry));
   }
-  if (pos != bytes.size()) {
-    return Status::Corruption("sharded container has trailing bytes");
-  }
+  GREPAIR_RETURN_IF_ERROR(src.ExpectExhausted("sharded container"));
   return std::make_unique<ShardedRep>(inner_name,
                                       inner.value()->capabilities(),
                                       num_nodes, std::move(entries));
+}
+
+namespace {
+
+// Shared v2 footer walk: validates magic/trailer/directory checksum
+// and hands the caller a cursor positioned at the directory start plus
+// the directory offset. Every failure names expected vs actual sizes.
+Status LocateV2Directory(ByteSpan bytes, uint64_t* dir_off_out,
+                         ByteSource* dir_out) {
+  if (bytes.size < 8 + kV2TrailerBytes) {
+    return Status::Corruption(
+        "sharded v2 container truncated: " + std::to_string(bytes.size) +
+        " byte(s), need at least " +
+        std::to_string(8 + kV2TrailerBytes));
+  }
+  ByteSource trailer(
+      bytes.subspan(bytes.size - kV2TrailerBytes, kV2TrailerBytes),
+      "sharded v2 trailer");
+  uint64_t dir_off = 0, dir_len = 0, dir_checksum = 0;
+  GREPAIR_RETURN_IF_ERROR(trailer.ReadU64LE(&dir_off));
+  GREPAIR_RETURN_IF_ERROR(trailer.ReadU64LE(&dir_len));
+  GREPAIR_RETURN_IF_ERROR(trailer.ReadU64LE(&dir_checksum));
+  uint64_t body_end = bytes.size - kV2TrailerBytes;
+  if (dir_off < 8 || dir_off > body_end || dir_len != body_end - dir_off) {
+    return Status::Corruption(
+        "sharded v2 directory out of range: offset " +
+        std::to_string(dir_off) + " + length " + std::to_string(dir_len) +
+        " must end at byte " + std::to_string(body_end) + " of " +
+        std::to_string(bytes.size));
+  }
+  uint64_t actual = HashBytes(bytes.data + dir_off, dir_len);
+  if (actual != dir_checksum) {
+    return Status::Corruption(
+        "sharded v2 directory checksum mismatch (expected " +
+        Hex64(dir_checksum) + ", got " + Hex64(actual) + ")");
+  }
+  *dir_off_out = dir_off;
+  *dir_out = ByteSource(bytes.subspan(dir_off, dir_len),
+                        "sharded v2 directory");
+  return Status::OK();
+}
+
+// Reads the fixed head of the v2 directory (inner name, node count,
+// shard count) with the same hardening as the v1 parser.
+Status ReadV2DirectoryHead(ByteSource* dir, std::string* inner_name,
+                           uint64_t* num_nodes, uint32_t* shard_count) {
+  uint8_t name_len = 0;
+  GREPAIR_RETURN_IF_ERROR(dir->ReadU8(&name_len));
+  if (name_len == 0) {
+    return Status::Corruption("sharded v2 container has empty codec name");
+  }
+  ByteSpan name_span;
+  GREPAIR_RETURN_IF_ERROR(dir->ReadSpan(name_len, &name_span));
+  inner_name->assign(name_span.begin(), name_span.end());
+  GREPAIR_RETURN_IF_ERROR(dir->ReadU64LE(num_nodes));
+  GREPAIR_RETURN_IF_ERROR(dir->ReadU32LE(shard_count));
+  if (*num_nodes > 0xFFFFFFFFull) {
+    return Status::Corruption("sharded container node count out of range");
+  }
+  if (*shard_count < 1 || *shard_count > kMaxShardCount) {
+    return Status::Corruption("sharded container shard count out of range");
+  }
+  return Status::OK();
+}
+
+// One directory row: the fixed fields plus the node-map sub-span.
+Status ReadV2DirectoryRow(ByteSource* dir, uint64_t dir_off, size_t shard,
+                          ShardDirEntry* row, ByteSpan* map) {
+  GREPAIR_RETURN_IF_ERROR(dir->ReadU64LE(&row->offset));
+  GREPAIR_RETURN_IF_ERROR(dir->ReadU64LE(&row->length));
+  GREPAIR_RETURN_IF_ERROR(dir->ReadU64LE(&row->checksum));
+  GREPAIR_RETURN_IF_ERROR(dir->ReadU64LE(&row->node_count));
+  uint32_t map_len = 0;
+  GREPAIR_RETURN_IF_ERROR(dir->ReadU32LE(&map_len));
+  GREPAIR_RETURN_IF_ERROR(dir->ReadSpan(map_len, map));
+  if (row->length == 0) {
+    // Edgeless shards pin their unused fields to zero so single-bit
+    // corruption there cannot hide until (a nonexistent) fault time.
+    if (row->offset != 0 || row->checksum != 0) {
+      return Status::Corruption(
+          "shard " + std::to_string(shard) +
+          " is edgeless but has nonzero payload offset/checksum");
+    }
+    return Status::OK();
+  }
+  if (row->offset < 8 || row->offset > dir_off ||
+      row->length > dir_off - row->offset) {
+    return Status::Corruption(
+        "shard " + std::to_string(shard) + " payload out of range: offset " +
+        std::to_string(row->offset) + " + length " +
+        std::to_string(row->length) + " exceeds the payload region [8, " +
+        std::to_string(dir_off) + ")");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ShardedRep>> ShardedRep::ParseV2(
+    ByteSpan bytes, std::shared_ptr<MmapFile> file,
+    std::shared_ptr<std::vector<uint8_t>> owned) {
+  uint64_t dir_off = 0;
+  ByteSource dir(ByteSpan{});
+  GREPAIR_RETURN_IF_ERROR(LocateV2Directory(bytes, &dir_off, &dir));
+  std::string inner_name;
+  uint64_t num_nodes = 0;
+  uint32_t shard_count = 0;
+  GREPAIR_RETURN_IF_ERROR(
+      ReadV2DirectoryHead(&dir, &inner_name, &num_nodes, &shard_count));
+  GREPAIR_RETURN_IF_ERROR(RejectNestedInner(inner_name));
+
+  auto inner = api::CodecRegistry::Create(inner_name);
+  if (!inner.ok()) return inner.status();
+
+  std::vector<Entry> entries;
+  for (uint32_t i = 0; i < shard_count; ++i) {
+    ShardDirEntry row;
+    ByteSpan map;
+    GREPAIR_RETURN_IF_ERROR(ReadV2DirectoryRow(&dir, dir_off, i, &row, &map));
+    Entry entry;
+    ByteSource map_src(map, "shard " + std::to_string(i) + " node map");
+    GREPAIR_RETURN_IF_ERROR(
+        DecodeNodeMap(&map_src, row.node_count, num_nodes, &entry.nodes));
+    GREPAIR_RETURN_IF_ERROR(map_src.ExpectExhausted("node map"));
+    if (row.length > 0) {
+      entry.view = bytes.subspan(row.offset, row.length);
+      entry.checksum = row.checksum;
+    }
+    entries.push_back(std::move(entry));
+  }
+  GREPAIR_RETURN_IF_ERROR(dir.ExpectExhausted("sharded v2 directory"));
+
+  auto rep = std::make_unique<ShardedRep>(inner_name,
+                                          inner.value()->capabilities(),
+                                          num_nodes, std::move(entries));
+  rep->inner_codec_ = std::move(inner).ValueOrDie();
+  rep->backing_file_ = std::move(file);
+  rep->backing_bytes_ = std::move(owned);
+  return rep;
+}
+
+Result<std::unique_ptr<ShardedRep>> ShardedRep::Deserialize(
+    const std::vector<uint8_t>& bytes) {
+  return Deserialize(SpanOf(bytes));
+}
+
+Result<std::unique_ptr<ShardedRep>> ShardedRep::Deserialize(ByteSpan bytes) {
+  auto version = ContainerVersion(bytes);
+  if (!version.ok()) return version.status();
+  if (version.value() == 1) return ParseV1(bytes);
+  // v2 from an unmapped buffer: copy once into an owned backing store
+  // the lazy payload views can borrow from for the rep's lifetime.
+  auto owned = std::make_shared<std::vector<uint8_t>>(bytes.ToVector());
+  ByteSpan span = SpanOf(*owned);
+  return ParseV2(span, nullptr, std::move(owned));
+}
+
+Result<std::unique_ptr<ShardedRep>> ShardedRep::Open(
+    std::shared_ptr<MmapFile> file, ByteSpan bytes) {
+  auto version = ContainerVersion(bytes);
+  if (!version.ok()) return version.status();
+  if (version.value() == 1) return ParseV1(bytes);  // no directory to seek by
+  return ParseV2(bytes, std::move(file), nullptr);
+}
+
+Result<ShardContainerInfo> ShardedRep::Inspect(ByteSpan bytes) {
+  auto version = ContainerVersion(bytes);
+  if (!version.ok()) return version.status();
+  ShardContainerInfo info;
+  info.version = version.value();
+  if (info.version == 2) {
+    uint64_t dir_off = 0;
+    ByteSource dir(ByteSpan{});
+    GREPAIR_RETURN_IF_ERROR(LocateV2Directory(bytes, &dir_off, &dir));
+    uint32_t shard_count = 0;
+    GREPAIR_RETURN_IF_ERROR(ReadV2DirectoryHead(&dir, &info.inner_name,
+                                                &info.num_nodes,
+                                                &shard_count));
+    for (uint32_t i = 0; i < shard_count; ++i) {
+      ShardDirEntry row;
+      ByteSpan map;
+      GREPAIR_RETURN_IF_ERROR(
+          ReadV2DirectoryRow(&dir, dir_off, i, &row, &map));
+      info.shards.push_back(row);
+    }
+    GREPAIR_RETURN_IF_ERROR(dir.ExpectExhausted("sharded v2 directory"));
+    return info;
+  }
+  // v1: a header scan — node maps must be decoded to find their length,
+  // but payloads are only skipped, never handed to an inner codec.
+  ByteSource src(bytes, "sharded container");
+  uint32_t shard_count = 0;
+  GREPAIR_RETURN_IF_ERROR(
+      ReadV1Head(&src, &info.inner_name, &info.num_nodes, &shard_count));
+  for (uint32_t i = 0; i < shard_count; ++i) {
+    ShardDirEntry row;
+    GREPAIR_RETURN_IF_ERROR(src.ReadU64LE(&row.node_count));
+    std::vector<NodeId> nodes;
+    GREPAIR_RETURN_IF_ERROR(
+        DecodeNodeMap(&src, row.node_count, info.num_nodes, &nodes));
+    GREPAIR_RETURN_IF_ERROR(src.ReadU64LE(&row.length));
+    row.offset = row.length > 0 ? src.position() : 0;
+    GREPAIR_RETURN_IF_ERROR(src.Skip(row.length));
+    info.shards.push_back(row);
+  }
+  GREPAIR_RETURN_IF_ERROR(src.ExpectExhausted("sharded container"));
+  return info;
 }
 
 // ---------------------------------------------------------------------------
@@ -806,15 +1327,35 @@ Result<std::unique_ptr<api::CompressedRep>> ShardedCodec::Compress(
       std::move(entries)));
 }
 
-Result<std::unique_ptr<api::CompressedRep>> ShardedCodec::Deserialize(
-    const std::vector<uint8_t>& bytes) const {
-  auto rep = ShardedRep::Deserialize(bytes);
-  if (!rep.ok()) return rep.status();
-  if (rep.value()->inner_name() != inner_name_) {
+Status ShardedCodec::CheckInnerName(const ShardedRep& rep) const {
+  if (rep.inner_name() != inner_name_) {
     return Status::InvalidArgument(
-        "container was produced by 'sharded:" + rep.value()->inner_name() +
+        "container was produced by 'sharded:" + rep.inner_name() +
         "', not '" + name_ + "'");
   }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<api::CompressedRep>> ShardedCodec::Deserialize(
+    const std::vector<uint8_t>& bytes) const {
+  return DeserializeSpan(SpanOf(bytes));
+}
+
+Result<std::unique_ptr<api::CompressedRep>> ShardedCodec::DeserializeSpan(
+    ByteSpan bytes) const {
+  // v1 parses in place; v2 copies the span once into its owned
+  // backing store (the lazy views must outlive this call).
+  auto rep = ShardedRep::Deserialize(bytes);
+  if (!rep.ok()) return rep.status();
+  GREPAIR_RETURN_IF_ERROR(CheckInnerName(*rep.value()));
+  return std::unique_ptr<api::CompressedRep>(std::move(rep).ValueOrDie());
+}
+
+Result<std::unique_ptr<api::CompressedRep>> ShardedCodec::OpenPayload(
+    std::shared_ptr<MmapFile> file, ByteSpan payload) const {
+  auto rep = ShardedRep::Open(std::move(file), payload);
+  if (!rep.ok()) return rep.status();
+  GREPAIR_RETURN_IF_ERROR(CheckInnerName(*rep.value()));
   return std::unique_ptr<api::CompressedRep>(std::move(rep).ValueOrDie());
 }
 

@@ -12,8 +12,9 @@
 //   strategy=S      edge-range | bfs (default edge-range)
 //   <anything else> forwarded to the inner codec
 //
-// Container layout (version 1, little-endian, pinned by golden tests
-// in tests/container_format_test.cc — bump the magic to change it):
+// Container layouts. Version 1 ("GRSHARD1", little-endian, pinned by
+// golden tests in tests/container_format_test.cc — bump the magic to
+// change it) interleaves node maps and payloads and is parsed eagerly:
 //
 //   magic   "GRSHARD1"                        8 bytes
 //   u8      inner codec name length (> 0)
@@ -27,12 +28,31 @@
 //     u64   payload length (0 = edgeless shard, no inner payload)
 //     bytes inner codec payload (inner CompressedRep::Serialize())
 //
+// Version 2 ("GRSHARD2") is the zero-copy layout: shard payloads sit
+// back-to-back after the magic, and a footer directory of per-shard
+// {offset, length, checksum, node map} plus a checksummed trailer lets
+// Open() map the file and materialize shards lazily on first touch —
+// opening a 16-shard container costs a directory parse, not 16 inner
+// deserializations (see src/shard/README.md for the exact layout).
+// Serialize() always emits version 1 (the byte-stable interchange
+// form); SerializeV2() emits the footer form the CLI writes by
+// default for sharded backends.
+//
 // Queries route through the node maps: a global node is looked up in
 // every shard that contains it (vertex-cut shards may share nodes) and
 // the cut shard, results are mapped back to global IDs and merged.
 // Reachability is a BFS over the routed neighbor queries, so it works
 // across shard boundaries and is available whenever the inner codec
 // answers neighbor queries.
+//
+// Lazy shards and prefetch: a rep opened from a v2 container holds
+// borrowed payload views into the backing store (an MmapFile or an
+// owned buffer) and faults each shard's inner rep in on first touch —
+// checksum-verified, guarded by a per-shard mutex, counted in
+// QueryStats::shard_faults. set_prefetch_threads() starts a background
+// pool that warms shards ahead of demand (batch queries enqueue the
+// shards they are about to touch; Prefetch/PrefetchAll warm
+// explicitly); answers are byte-identical with or without prefetch.
 //
 // Query caching: each rep carries a bounded LRU cache of *decoded
 // shard neighborhoods* — a shard's full out/in adjacency in global
@@ -42,8 +62,12 @@
 // (set_query_threads); single queries fall back to grammar-direct
 // routing but promote a shard into the cache after repeated misses.
 // The budget (set_query_cache_bytes, 0 = disabled) evicts whole
-// shards, least-recently-used first. Cached answers are byte-identical
-// to uncached ones and the cache never serializes.
+// decoded shards, least-recently-used first; the next touch of an
+// evicted shard re-decodes it from the resident inner rep. Faulted
+// inner reps themselves (compressed-size, not decoded-size) are
+// retained for the rep's lifetime — the byte budget governs the
+// decoded tier, not the compressed one. Cached answers are
+// byte-identical to uncached ones and the cache never serializes.
 
 #ifndef GREPAIR_SHARD_SHARDED_CODEC_H_
 #define GREPAIR_SHARD_SHARDED_CODEC_H_
@@ -60,32 +84,76 @@
 
 #include "src/api/graph_codec.h"
 #include "src/graph/hypergraph.h"
+#include "src/util/byte_io.h"
+#include "src/util/mmap_file.h"
 #include "src/util/status.h"
 
 namespace grepair {
 namespace shard {
 
-/// \brief The 8-byte sharded-container magic ("GRSHARD1").
-extern const char kShardContainerMagic[8];
+/// \brief The 8-byte sharded-container magics (version byte last).
+extern const char kShardContainerMagic[8];    ///< "GRSHARD1" (eager)
+extern const char kShardContainerMagicV2[8];  ///< "GRSHARD2" (lazy/footer)
 
 /// \brief Default byte budget of the per-shard query cache.
 inline constexpr size_t kDefaultQueryCacheBytes = 64ull << 20;
 
-/// \brief Multi-shard compressed representation (container format
+/// \brief Directory metadata of one shard inside a container, as
+/// reported by ShardedRep::Inspect (the CLI's `info` subcommand).
+struct ShardDirEntry {
+  uint64_t offset = 0;      ///< payload offset from container start
+  uint64_t length = 0;      ///< payload byte length (0 = edgeless)
+  uint64_t checksum = 0;    ///< payload checksum (v2; 0 in v1)
+  uint64_t node_count = 0;  ///< node-map length n_k
+};
+
+/// \brief Whole-container directory metadata (no shard is decoded to
+/// produce this — Inspect reads headers and the v2 footer only).
+struct ShardContainerInfo {
+  int version = 0;  ///< 1 or 2
+  std::string inner_name;
+  uint64_t num_nodes = 0;
+  std::vector<ShardDirEntry> shards;
+};
+
+/// \brief Multi-shard compressed representation (container formats
 /// above). Implements the full CompressedRep query surface by routing
-/// to the owning shards.
+/// to the owning shards; shards may be eager (v1, Compress) or lazy
+/// (v2), and every query path faults lazy shards in transparently.
 class ShardedRep : public api::CompressedRep {
  public:
   struct Entry {
-    std::vector<NodeId> nodes;          ///< sorted global IDs
-    std::vector<uint8_t> payload;       ///< inner bytes; empty = edgeless
-    std::unique_ptr<api::CompressedRep> rep;  ///< null iff payload empty
+    std::vector<NodeId> nodes;     ///< sorted global IDs
+    std::vector<uint8_t> payload;  ///< owned inner bytes (eager path)
+    ByteSpan view;       ///< borrowed inner bytes (lazy path); the rep
+                         ///< pins the backing store alive
+    uint64_t checksum = 0;  ///< v2 payload checksum, verified at fault
+    std::unique_ptr<api::CompressedRep> rep;  ///< eager rep; null when
+                                              ///< lazy or edgeless
+
+    /// \brief The payload bytes regardless of ownership mode.
+    ByteSpan payload_bytes() const {
+      return view.data != nullptr ? view
+                                  : ByteSpan(payload.data(), payload.size());
+    }
+    bool has_payload() const { return payload_bytes().size != 0; }
   };
 
   ShardedRep(std::string inner_name, uint32_t inner_capabilities,
              uint64_t num_nodes, std::vector<Entry> entries);
+  ~ShardedRep() override;
 
+  /// \brief Always emits the version-1 container (the byte-stable
+  /// interchange form; golden-pinned). Works on lazy reps without
+  /// faulting anything — payload bytes are copied straight out of the
+  /// backing store.
   std::vector<uint8_t> Serialize() const override;
+
+  /// \brief Emits the version-2 footer-directory container (payload
+  /// blobs, then directory with per-shard offset/length/checksum/node
+  /// map, then a checksummed trailer). Deterministic; never faults.
+  std::vector<uint8_t> SerializeV2() const;
+
   size_t ByteSize() const override;
   Result<Hypergraph> Decompress() const override;
   uint64_t num_nodes() const override { return num_nodes_; }
@@ -96,8 +164,10 @@ class ShardedRep : public api::CompressedRep {
 
   /// \brief Batch neighbor queries: nodes grouped by owning shard,
   /// shards decoded into the cache where the batch amortizes it, work
-  /// fanned out over the query thread pool. Result order follows the
-  /// input order and is identical for every thread count.
+  /// fanned out over the query thread pool (un-faulted shards the
+  /// batch touches are handed to the prefetch pool first when one is
+  /// running). Result order follows the input order and is identical
+  /// for every thread count.
   Result<std::vector<std::vector<uint64_t>>> OutNeighborsBatch(
       const std::vector<uint64_t>& nodes) const override;
 
@@ -110,11 +180,32 @@ class ShardedRep : public api::CompressedRep {
 
   api::QueryStats query_stats() const override;
 
-  /// \brief Parses a version-1 container and reconstructs every inner
-  /// rep through the registry. Clean kCorruption on truncated or
+  /// \brief Parses a version-1 or version-2 container. Version 1
+  /// reconstructs every inner rep eagerly through the registry;
+  /// version 2 copies the bytes into an owned backing store and
+  /// materializes shards lazily. Clean kCorruption on truncated or
   /// inconsistent input.
   static Result<std::unique_ptr<ShardedRep>> Deserialize(
       const std::vector<uint8_t>& bytes);
+
+  /// \brief Span overload: v1 parses in place; v2 copies the span
+  /// once into an owned backing store and opens lazily over it.
+  static Result<std::unique_ptr<ShardedRep>> Deserialize(ByteSpan bytes);
+
+  /// \brief Zero-copy open: `bytes` must be a view into `file`'s
+  /// mapping (e.g. the payload of a backend-tagged frame). A v2
+  /// container is opened in O(directory) time — shard payloads stay
+  /// borrowed windows into the map until first touch — and `file` is
+  /// retained for the rep's lifetime. A v1 container is parsed eagerly
+  /// (it has no directory to seek by).
+  static Result<std::unique_ptr<ShardedRep>> Open(
+      std::shared_ptr<MmapFile> file, ByteSpan bytes);
+
+  /// \brief Reads a container's directory — version, inner codec,
+  /// node/shard counts, per-shard offsets/lengths/checksums — without
+  /// constructing a single inner rep (v2 reads only the footer; v1 is
+  /// a header scan).
+  static Result<ShardContainerInfo> Inspect(ByteSpan bytes);
 
   /// \brief Thread-pool size for Decompress (default 1; the CLI's
   /// `decompress --threads` sets it).
@@ -123,6 +214,23 @@ class ShardedRep : public api::CompressedRep {
   /// \brief Thread-pool size for batch queries (default 1, clamped to
   /// [1, 256]).
   void set_query_threads(int threads);
+
+  /// \brief Starts (or resizes, or with 0 stops) the background shard
+  /// prefetch pool. Workers fault queued shards' inner reps so
+  /// foreground queries find them resident; safe to toggle while
+  /// queries run.
+  void set_prefetch_threads(int threads);
+
+  /// \brief Queues `shards` (indices) for background warming; faults
+  /// inline when no pool is running. Out-of-range indices are ignored.
+  void Prefetch(const std::vector<size_t>& shards) const;
+
+  /// \brief Queues every shard with a payload.
+  void PrefetchAll() const;
+
+  /// \brief Blocks until the prefetch queue is drained (test/bench
+  /// hook; no-op without a pool).
+  void WaitForPrefetch() const;
 
   /// \brief Byte budget of the decoded-neighborhood cache; 0 disables
   /// caching entirely (every query routes to the inner reps).
@@ -135,15 +243,42 @@ class ShardedRep : public api::CompressedRep {
   size_t num_shards() const { return entries_.size(); }
   const Entry& entry(size_t i) const { return entries_[i]; }
 
+  /// \brief True when this rep materializes shards on first touch
+  /// (opened from a v2 container) rather than holding them decoded.
+  bool is_lazy() const { return inner_codec_ != nullptr; }
+
   /// \brief A shard's decoded adjacency: per local node the sorted
   /// global-id out/in neighbor contributions of this shard. Immutable
   /// once built; defined in the .cc (implementation detail).
   struct ShardNeighborhoods;
 
  private:
+  class Prefetcher;
+
   Result<std::vector<uint64_t>> RoutedNeighbors(uint64_t node,
                                                 bool out) const;
   Result<bool> ReachableImpl(uint64_t from, uint64_t to) const;
+
+  /// The shard's inner rep, faulting it in (checksum-verified, mutex
+  /// per shard) when lazy. nullptr value = edgeless shard. `faulted`
+  /// (optional) reports whether this call performed the
+  /// materialization.
+  Result<const api::CompressedRep*> ShardRepFor(size_t shard,
+                                                bool* faulted = nullptr)
+      const;
+
+  /// True when shard `i`'s inner rep is resident (eager, or already
+  /// faulted) — never triggers a fault.
+  bool ShardResident(size_t i) const;
+
+  /// Prefetch-worker body for one shard (ignores fault errors — the
+  /// foreground query that needs the shard will surface them).
+  void PrefetchOne(size_t shard) const;
+
+  static Result<std::unique_ptr<ShardedRep>> ParseV1(ByteSpan bytes);
+  static Result<std::unique_ptr<ShardedRep>> ParseV2(
+      ByteSpan bytes, std::shared_ptr<MmapFile> file,
+      std::shared_ptr<std::vector<uint8_t>> owned);
 
   /// Cache lookup; on miss, charges `pending` queries against the
   /// shard's miss budget and decodes the whole shard once the batch
@@ -162,6 +297,20 @@ class ShardedRep : public api::CompressedRep {
   // other threads (query_stats()/monitoring alongside batches).
   std::atomic<int> query_threads_{1};
   std::atomic<size_t> cache_bytes_limit_{kDefaultQueryCacheBytes};
+
+  // Lazy-open state: the inner codec that faults shards in, the
+  // backing store the payload views borrow from (exactly one of file /
+  // owned bytes is set for lazy reps), per-shard materialization slots
+  // and their mutexes. Faulted reps are immutable once published, and
+  // slots are never reset, so the raw published pointer (the lock-free
+  // resident fast path) stays valid for the rep's lifetime.
+  std::unique_ptr<api::GraphCodec> inner_codec_;  // null = eager rep
+  std::shared_ptr<MmapFile> backing_file_;
+  std::shared_ptr<std::vector<uint8_t>> backing_bytes_;
+  mutable std::vector<std::shared_ptr<api::CompressedRep>> lazy_slots_;
+  mutable std::unique_ptr<std::atomic<const api::CompressedRep*>[]>
+      lazy_published_;
+  mutable std::unique_ptr<std::mutex[]> fault_mutexes_;
 
   /// Tier-1 node-result cache: merged, sorted answers of single
   /// queries keyed by (node, direction). Shares the byte budget with
@@ -203,6 +352,14 @@ class ShardedRep : public api::CompressedRep {
   mutable std::atomic<uint64_t> stat_misses_{0};
   mutable std::atomic<uint64_t> stat_decodes_{0};
   mutable std::atomic<uint64_t> stat_evictions_{0};
+  mutable std::atomic<uint64_t> stat_faults_{0};
+  mutable std::atomic<uint64_t> stat_prefetched_{0};
+
+  // Prefetch pool; guarded by prefetch_mutex_ (knob retunes race with
+  // batch enqueues). Declared last so workers are joined before the
+  // state they touch is torn down.
+  mutable std::mutex prefetch_mutex_;
+  mutable std::unique_ptr<Prefetcher> prefetcher_;
 };
 
 /// \brief The "sharded:<inner>" meta-codec.
@@ -228,7 +385,18 @@ class ShardedCodec : public api::GraphCodec {
   Result<std::unique_ptr<api::CompressedRep>> Deserialize(
       const std::vector<uint8_t>& bytes) const override;
 
+  Result<std::unique_ptr<api::CompressedRep>> DeserializeSpan(
+      ByteSpan bytes) const override;
+
+  /// \brief Lazy mmap-backed open for v2 payloads: the returned rep
+  /// borrows shard payloads from `file` and faults them on first
+  /// touch. v1 payloads fall back to the eager parse.
+  Result<std::unique_ptr<api::CompressedRep>> OpenPayload(
+      std::shared_ptr<MmapFile> file, ByteSpan payload) const override;
+
  private:
+  Status CheckInnerName(const ShardedRep& rep) const;
+
   std::string inner_name_;
   std::string name_;  // "sharded:" + inner_name_
   std::unique_ptr<api::GraphCodec> inner_;  // null if inner_name_ unknown

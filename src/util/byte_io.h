@@ -1,19 +1,186 @@
-// Little-endian fixed-width byte encoding helpers.
+// Byte-level IO primitives: little-endian fixed-width helpers plus the
+// zero-copy ByteSpan / ByteSource / ByteSink trio the storage layer is
+// built on.
 //
-// The baseline compressors' serialized headers (HN, LM, and the
-// codec-API container frames) are a handful of fixed-width integers in
-// front of an opaque payload; these helpers keep those headers
-// byte-order independent without pulling in the bit-stream machinery.
+// ByteSpan is a non-owning view of bytes (an mmap'd file, a slice of a
+// container, a vector's contents). ByteSource is a bounded cursor over
+// a span: every read is range-checked and failures carry the source's
+// context label, the byte offset, and expected-vs-actual sizes, so a
+// truncated file names exactly where it ran out. ByteSink is the
+// append-side twin over a growable buffer. None of the three ever copy
+// payload bytes; ReadSpan hands back a sub-view into the original
+// storage, which is what lets a GRSHARD2 shard payload stay a borrowed
+// window into the mapped container until it is faulted in.
+//
+// The free PutU*/GetU* helpers predate the cursor types and remain for
+// the handful of fixed-width headers that build vectors directly.
 
 #ifndef GREPAIR_UTIL_BYTE_IO_H_
 #define GREPAIR_UTIL_BYTE_IO_H_
 
 #include <cstdint>
+#include <cstring>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "src/util/status.h"
 
 namespace grepair {
+
+/// \brief Non-owning view of a byte range. The pointed-to storage must
+/// outlive every span (and every rep borrowing from it) derived from
+/// it; whoever hands out spans owns that lifetime contract.
+struct ByteSpan {
+  const uint8_t* data = nullptr;
+  size_t size = 0;
+
+  ByteSpan() = default;
+  ByteSpan(const uint8_t* d, size_t n) : data(d), size(n) {}
+
+  bool empty() const { return size == 0; }
+  const uint8_t* begin() const { return data; }
+  const uint8_t* end() const { return data + size; }
+  uint8_t operator[](size_t i) const { return data[i]; }
+
+  /// \brief Sub-view [offset, offset+len); caller checks bounds.
+  ByteSpan subspan(size_t offset, size_t len) const {
+    return ByteSpan(data + offset, len);
+  }
+
+  std::vector<uint8_t> ToVector() const {
+    return std::vector<uint8_t>(data, data + size);
+  }
+};
+
+/// \brief View of a vector's contents (kept as a named helper instead
+/// of an implicit conversion so overload sets stay unambiguous).
+inline ByteSpan SpanOf(const std::vector<uint8_t>& v) {
+  return ByteSpan(v.data(), v.size());
+}
+
+/// \brief Bounded, zero-copy read cursor over a ByteSpan.
+///
+/// All reads validate against the remaining window and return
+/// kCorruption with the context label ("path/to/file"), the current
+/// offset and need-vs-have byte counts on overrun. ReadSpan returns a
+/// borrowed sub-view (no copy); callers that need ownership copy
+/// explicitly.
+class ByteSource {
+ public:
+  explicit ByteSource(ByteSpan span, std::string context = "")
+      : span_(span), context_(std::move(context)) {}
+
+  size_t position() const { return pos_; }
+  size_t remaining() const { return span_.size - pos_; }
+  size_t size() const { return span_.size; }
+  const std::string& context() const { return context_; }
+
+  Status ReadU8(uint8_t* v) {
+    GREPAIR_RETURN_IF_ERROR(Check("u8", 1));
+    *v = span_[pos_++];
+    return Status::OK();
+  }
+
+  Status ReadU32LE(uint32_t* v) {
+    GREPAIR_RETURN_IF_ERROR(Check("u32", 4));
+    *v = 0;
+    for (int i = 0; i < 4; ++i) {
+      *v |= static_cast<uint32_t>(span_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 4;
+    return Status::OK();
+  }
+
+  Status ReadU64LE(uint64_t* v) {
+    GREPAIR_RETURN_IF_ERROR(Check("u64", 8));
+    *v = 0;
+    for (int i = 0; i < 8; ++i) {
+      *v |= static_cast<uint64_t>(span_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 8;
+    return Status::OK();
+  }
+
+  /// \brief Borrows the next `n` bytes as a sub-view (zero-copy).
+  Status ReadSpan(size_t n, ByteSpan* out) {
+    GREPAIR_RETURN_IF_ERROR(Check("byte range", n));
+    *out = span_.subspan(pos_, n);
+    pos_ += n;
+    return Status::OK();
+  }
+
+  /// \brief Borrows everything from the cursor to the end without
+  /// advancing — for decoders that consume a data-dependent prefix
+  /// (pair with Skip once the consumed length is known).
+  ByteSpan PeekRemaining() const {
+    return span_.subspan(pos_, span_.size - pos_);
+  }
+
+  Status Skip(size_t n) {
+    GREPAIR_RETURN_IF_ERROR(Check("skip", n));
+    pos_ += n;
+    return Status::OK();
+  }
+
+  /// \brief kCorruption naming the trailing byte count unless the
+  /// cursor consumed the whole span.
+  Status ExpectExhausted(const char* what) {
+    if (pos_ != span_.size) {
+      return Status::Corruption(Where() + std::string(what) + " has " +
+                                std::to_string(span_.size - pos_) +
+                                " trailing byte(s) at offset " +
+                                std::to_string(pos_));
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::string Where() const {
+    return context_.empty() ? std::string() : context_ + ": ";
+  }
+
+  Status Check(const char* what, size_t need) const {
+    if (need > remaining()) {
+      return Status::Corruption(
+          Where() + "truncated " + what + " at offset " +
+          std::to_string(pos_) + ": need " + std::to_string(need) +
+          " byte(s), have " + std::to_string(remaining()));
+    }
+    return Status::OK();
+  }
+
+  ByteSpan span_;
+  size_t pos_ = 0;
+  std::string context_;
+};
+
+/// \brief Append-only byte buffer, the write-side twin of ByteSource.
+class ByteSink {
+ public:
+  void PutU8(uint8_t v) { bytes_.push_back(v); }
+  void PutU32LE(uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      bytes_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+  }
+  void PutU64LE(uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      bytes_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+  }
+  void Append(ByteSpan span) {
+    bytes_.insert(bytes_.end(), span.begin(), span.end());
+  }
+  void Append(const std::vector<uint8_t>& v) { Append(SpanOf(v)); }
+
+  size_t size() const { return bytes_.size(); }
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+  std::vector<uint8_t> TakeBytes() { return std::move(bytes_); }
+
+ private:
+  std::vector<uint8_t> bytes_;
+};
 
 inline void PutU32LE(uint32_t v, std::vector<uint8_t>* out) {
   for (int i = 0; i < 4; ++i) {

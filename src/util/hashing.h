@@ -37,6 +37,30 @@ inline uint64_t HashVector(const std::vector<uint64_t>& v, uint64_t seed = 0) {
   return HashSpan(v.data(), v.size(), seed);
 }
 
+/// \brief Hash of a raw byte range (little-endian 8-byte words plus a
+/// zero-padded tail). Used as the container checksum for GRSHARD2
+/// shard payloads and directories; deterministic across platforms, not
+/// cryptographic.
+inline uint64_t HashBytes(const uint8_t* data, size_t n, uint64_t seed = 0) {
+  uint64_t h = HashCombine(seed, n);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    uint64_t word = 0;
+    for (int b = 0; b < 8; ++b) {
+      word |= static_cast<uint64_t>(data[i + b]) << (8 * b);
+    }
+    h = HashCombine(h, word);
+  }
+  if (i < n) {
+    uint64_t word = 0;
+    for (int b = 0; i + b < n; ++b) {
+      word |= static_cast<uint64_t>(data[i + b]) << (8 * b);
+    }
+    h = HashCombine(h, word);
+  }
+  return h;
+}
+
 }  // namespace grepair
 
 #endif  // GREPAIR_UTIL_HASHING_H_

@@ -1,0 +1,137 @@
+#include "src/util/mmap_file.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#if defined(_WIN32)
+#define GREPAIR_HAVE_MMAP 0
+#else
+#define GREPAIR_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace grepair {
+
+namespace {
+
+std::string ErrnoText() {
+  return std::string(std::strerror(errno));
+}
+
+}  // namespace
+
+MmapFile::~MmapFile() {
+#if GREPAIR_HAVE_MMAP
+  if (mapped_ && data_ != nullptr) {
+    munmap(const_cast<void*>(data_), size_);
+  }
+#endif
+}
+
+Result<std::shared_ptr<MmapFile>> MmapFile::Open(const std::string& path) {
+#if GREPAIR_HAVE_MMAP
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::NotFound("cannot open " + path + ": " + ErrnoText());
+  }
+  struct stat st;
+  if (fstat(fd, &st) != 0) {
+    Status status =
+        Status::NotFound("cannot stat " + path + ": " + ErrnoText());
+    ::close(fd);
+    return status;
+  }
+  if (!S_ISREG(st.st_mode)) {
+    ::close(fd);
+    return Status::InvalidArgument(path + " is not a regular file");
+  }
+  auto file = std::shared_ptr<MmapFile>(new MmapFile());
+  file->path_ = path;
+  file->size_ = static_cast<size_t>(st.st_size);
+  if (file->size_ == 0) {
+    ::close(fd);
+    return file;  // empty file: empty span, nothing to map
+  }
+  void* map = mmap(nullptr, file->size_, PROT_READ, MAP_PRIVATE, fd, 0);
+  if (map != MAP_FAILED) {
+    ::close(fd);  // the mapping outlives the descriptor
+    file->data_ = map;
+    file->mapped_ = true;
+    return file;
+  }
+  // mmap refused (unusual filesystem, resource limits): fall back to a
+  // heap read so callers keep the same span contract.
+  file->fallback_.resize(file->size_);
+  size_t off = 0;
+  while (off < file->size_) {
+    ssize_t n = pread(fd, file->fallback_.data() + off, file->size_ - off,
+                      static_cast<off_t>(off));
+    if (n <= 0) {
+      Status status = Status::Corruption(
+          "short read of " + path + " at offset " + std::to_string(off) +
+          ": " + (n < 0 ? ErrnoText() : "unexpected EOF"));
+      ::close(fd);
+      return status;
+    }
+    off += static_cast<size_t>(n);
+  }
+  ::close(fd);
+  file->data_ = file->fallback_.data();
+  return file;
+#else
+  auto bytes = ReadFileBytes(path);
+  if (!bytes.ok()) return bytes.status();
+  auto file = std::shared_ptr<MmapFile>(new MmapFile());
+  file->path_ = path;
+  file->fallback_ = std::move(bytes).ValueOrDie();
+  file->size_ = file->fallback_.size();
+  file->data_ = file->fallback_.data();
+  return file;
+#endif
+}
+
+Result<std::vector<uint8_t>> ReadFileBytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("cannot open " + path + ": " + ErrnoText());
+  }
+  std::vector<uint8_t> bytes;
+  uint8_t buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    bytes.insert(bytes.end(), buf, buf + n);
+  }
+  bool bad = std::ferror(f) != 0;
+  std::fclose(f);
+  if (bad) {
+    return Status::Corruption("read error in " + path + " at offset " +
+                              std::to_string(bytes.size()));
+  }
+  return bytes;
+}
+
+Status WriteFileBytes(const std::string& path,
+                      const std::vector<uint8_t>& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::InvalidArgument("cannot write " + path + ": " +
+                                   ErrnoText());
+  }
+  // bytes.data() may be null for an empty vector; fwrite's nonnull
+  // contract makes that UB even with size 0.
+  size_t written =
+      bytes.empty() ? 0 : std::fwrite(bytes.data(), 1, bytes.size(), f);
+  bool bad = written != bytes.size() || std::fclose(f) != 0;
+  if (bad) {
+    return Status::Internal("short write to " + path + " (" +
+                            std::to_string(written) + " of " +
+                            std::to_string(bytes.size()) + " bytes)");
+  }
+  return Status::OK();
+}
+
+}  // namespace grepair

@@ -1,7 +1,7 @@
-// Golden-file format-stability tests for the two container formats:
-// the backend-tagged frame ("GRPCODEC", src/api/container.h) and the
-// sharded multi-shard container ("GRSHARD1",
-// src/shard/sharded_codec.h).
+// Golden-file format-stability tests for the container formats: the
+// backend-tagged frame ("GRPCODEC", src/api/container.h) and the two
+// sharded multi-shard containers ("GRSHARD1" eager, "GRSHARD2"
+// footer-directory/lazy; src/shard/sharded_codec.h).
 //
 // The golden byte arrays below are checked-in fixtures. If one of
 // these tests fails after an intentional format change, do NOT update
@@ -78,6 +78,34 @@ std::vector<uint8_t> GoldenSharded() {
       kGoldenShardedContainer + sizeof(kGoldenShardedContainer));
 }
 
+// SerializeV2() of the same sharded:k2 fixture: payload blobs after
+// the magic, footer directory (name, counts, per-shard offset/length/
+// checksum/node map), 24-byte trailer (directory offset/length/
+// checksum). Pinned like the v1 bytes: change only with a magic bump.
+const uint8_t kGoldenShardedV2Container[] = {
+    0x47, 0x52, 0x53, 0x48, 0x41, 0x52, 0x44, 0x32, 0x6A, 0x51, 0xAD, 0x63,
+    0x49, 0x75, 0x09, 0x00, 0x6A, 0x51, 0xAD, 0x63, 0x49, 0x5C, 0x89, 0x00,
+    0x02, 0x6B, 0x32, 0x06, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x03,
+    0x00, 0x00, 0x00, 0x08, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x08,
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xAD, 0x00, 0x37, 0xC1, 0x5B,
+    0x39, 0x5F, 0x88, 0x04, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x01,
+    0x00, 0x00, 0x00, 0xF0, 0x10, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+    0x08, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x68, 0x24, 0x52, 0x8F,
+    0xFB, 0xD9, 0x2F, 0x81, 0x04, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+    0x01, 0x00, 0x00, 0x00, 0xAE, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x18, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+    0x00, 0x7D, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x57, 0x5D, 0xAF,
+    0xCD, 0x7E, 0x0B, 0xF0, 0x2F,
+};
+
+std::vector<uint8_t> GoldenShardedV2() {
+  return std::vector<uint8_t>(
+      kGoldenShardedV2Container,
+      kGoldenShardedV2Container + sizeof(kGoldenShardedV2Container));
+}
+
 TEST(TaggedContainerTest, GoldenBytesAreStable) {
   auto bytes = api::WrapCodecPayload("grepair", {0xDE, 0xAD, 0xBE, 0xEF});
   ASSERT_EQ(bytes.size(), sizeof(kGoldenTaggedContainer));
@@ -147,12 +175,120 @@ TEST(ShardedContainerTest, GoldenBytesDeserializeToTheFixture) {
 
 TEST(ShardedContainerTest, VersionDriftFailsLoudly) {
   auto bytes = GoldenSharded();
-  bytes[7] = '2';  // future container version
+  bytes[7] = '3';  // future container version ('2' is now real)
   auto rep = shard::ShardedRep::Deserialize(bytes);
   ASSERT_FALSE(rep.ok());
   EXPECT_EQ(rep.status().code(), StatusCode::kCorruption);
   EXPECT_NE(rep.status().message().find("version"), std::string::npos)
       << rep.status().ToString();
+}
+
+TEST(ShardedV2ContainerTest, GoldenBytesAreStable) {
+  auto codec = api::CodecRegistry::Create("sharded:k2").ValueOrDie();
+  api::CodecOptions options;
+  options.Set("shards", "2");
+  options.Set("threads", "1");
+  auto rep = codec->Compress(FixtureGraph(), FixtureAlphabet(), options);
+  ASSERT_TRUE(rep.ok()) << rep.status().ToString();
+  auto* sharded = dynamic_cast<shard::ShardedRep*>(rep.value().get());
+  ASSERT_NE(sharded, nullptr);
+  auto bytes = sharded->SerializeV2();
+  ASSERT_EQ(bytes.size(), sizeof(kGoldenShardedV2Container))
+      << "sharded v2 container size drifted";
+  EXPECT_EQ(0, std::memcmp(bytes.data(), kGoldenShardedV2Container,
+                           bytes.size()))
+      << "sharded v2 container layout drifted; bump the 'GRSHARD2' magic "
+         "instead of changing version 2 in place";
+}
+
+TEST(ShardedV2ContainerTest, GoldenBytesDeserializeToTheFixture) {
+  auto codec = api::CodecRegistry::Create("sharded:k2").ValueOrDie();
+  auto rep = codec->Deserialize(GoldenShardedV2());
+  ASSERT_TRUE(rep.ok()) << rep.status().ToString();
+  EXPECT_EQ(rep.value()->num_nodes(), 6u);
+  auto graph = rep.value()->Decompress();
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  EXPECT_TRUE(graph.value().EqualUpToEdgeOrder(FixtureGraph()));
+
+  // Serialize() of a v2-opened rep emits the byte-stable v1 form, and
+  // SerializeV2 round-trips byte-identically.
+  auto* sharded = dynamic_cast<shard::ShardedRep*>(rep.value().get());
+  ASSERT_NE(sharded, nullptr);
+  EXPECT_EQ(sharded->Serialize(), GoldenSharded());
+  EXPECT_EQ(sharded->SerializeV2(), GoldenShardedV2());
+}
+
+TEST(ShardedV2ContainerTest, InspectReadsTheDirectoryWithoutDecoding) {
+  auto info = shard::ShardedRep::Inspect(
+      ByteSpan(kGoldenShardedV2Container,
+               sizeof(kGoldenShardedV2Container)));
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info.value().version, 2);
+  EXPECT_EQ(info.value().inner_name, "k2");
+  EXPECT_EQ(info.value().num_nodes, 6u);
+  ASSERT_EQ(info.value().shards.size(), 3u);
+  EXPECT_EQ(info.value().shards[0].offset, 8u);
+  EXPECT_EQ(info.value().shards[0].length, 8u);
+  EXPECT_EQ(info.value().shards[0].node_count, 4u);
+  EXPECT_EQ(info.value().shards[1].offset, 16u);
+  EXPECT_EQ(info.value().shards[1].length, 8u);
+  EXPECT_EQ(info.value().shards[2].length, 0u);  // empty cut shard
+
+  // The v1 container inspects too (a header scan, no inner decode).
+  auto v1 = shard::ShardedRep::Inspect(
+      ByteSpan(kGoldenShardedContainer, sizeof(kGoldenShardedContainer)));
+  ASSERT_TRUE(v1.ok()) << v1.status().ToString();
+  EXPECT_EQ(v1.value().version, 1);
+  EXPECT_EQ(v1.value().inner_name, "k2");
+  ASSERT_EQ(v1.value().shards.size(), 3u);
+  EXPECT_EQ(v1.value().shards[0].length, 8u);
+}
+
+TEST(ShardedV2ContainerTest, EveryTruncationFailsCleanly) {
+  auto good = GoldenShardedV2();
+  for (size_t len = 0; len < good.size(); ++len) {
+    std::vector<uint8_t> cut(good.begin(), good.begin() + len);
+    auto rep = shard::ShardedRep::Deserialize(cut);
+    EXPECT_FALSE(rep.ok()) << "truncation to " << len
+                           << " bytes parsed successfully";
+  }
+  // Trailing garbage shifts the trailer out of alignment: an error,
+  // not silently ignored.
+  auto extended = good;
+  extended.push_back(0x00);
+  EXPECT_FALSE(shard::ShardedRep::Deserialize(extended).ok());
+}
+
+TEST(ShardedV2ContainerTest, EveryBitFlipFailsClosed) {
+  // Stronger than the v1 sweep: v2 carries payload and directory
+  // checksums, so EVERY single-byte corruption must surface as a
+  // clean error — at open time for directory/trailer flips, at fault
+  // time (first decompression/query) for payload flips. Never a
+  // silently different answer.
+  GeneratedGraph gg = BarabasiAlbert(60, 2, 31);
+  for (const char* strategy : {"edge-range", "bfs"}) {
+    auto codec = api::CodecRegistry::Create("sharded:grepair").ValueOrDie();
+    api::CodecOptions options;
+    options.Set("shards", "3");
+    options.Set("strategy", strategy);
+    auto rep = codec->Compress(gg.graph, gg.alphabet, options);
+    ASSERT_TRUE(rep.ok());
+    auto* sharded = dynamic_cast<shard::ShardedRep*>(rep.value().get());
+    ASSERT_NE(sharded, nullptr);
+    auto bytes = sharded->SerializeV2();
+    for (size_t off = 8; off < bytes.size(); ++off) {
+      auto bad = bytes;
+      bad[off] ^= 0xFF;
+      auto back = codec->Deserialize(bad);
+      if (!back.ok()) continue;  // caught at open
+      auto graph = back.value()->Decompress();
+      EXPECT_FALSE(graph.ok())
+          << strategy << ": flip at offset " << off
+          << " survived open AND decompression";
+      auto neighbors = back.value()->OutNeighbors(0);  // must not crash
+      (void)neighbors;
+    }
+  }
 }
 
 TEST(ShardedContainerTest, WrongInnerCodecIsRejected) {

@@ -1,0 +1,326 @@
+// Lazy-open semantics of the zero-copy storage layer: a GRSHARD2
+// container opened via mmap (or from memory) materializes exactly the
+// shards queries touch, evicted shards re-fault byte-identically,
+// payload corruption fails closed at fault time, and concurrent
+// queriers/prefetchers on one mapping are race-free (the TSan CI leg
+// runs this file). Also covers MmapFile's error surface and the
+// api-level Open entry points.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <thread>
+
+#include "src/api/grepair_api.h"
+#include "src/util/mmap_file.h"
+
+namespace grepair {
+namespace {
+
+// Two disjoint directed 4-cliques over nodes {0..3} and {4..7}, edges
+// emitted clique-by-clique so an edge-range split into 2 shards puts
+// each clique in exactly one shard (shard 0 owns {0..3}, shard 1 owns
+// {4..7}, cut shard empty) — which is what lets the tests pin "one
+// query faults exactly one shard".
+Hypergraph TwoCliqueGraph() {
+  Hypergraph g(8);
+  for (NodeId base : {NodeId{0}, NodeId{4}}) {
+    for (NodeId u = 0; u < 4; ++u) {
+      for (NodeId v = 0; v < 4; ++v) {
+        if (u != v) g.AddSimpleEdge(base + u, base + v, 0);
+      }
+    }
+  }
+  return g;
+}
+
+Alphabet OneLabel() {
+  Alphabet a;
+  a.Add("e", 2);
+  return a;
+}
+
+// A sharded:grepair rep of the two-clique fixture (2 data shards).
+std::unique_ptr<api::CompressedRep> CompressTwoClique() {
+  auto codec = api::CodecRegistry::Create("sharded:grepair").ValueOrDie();
+  api::CodecOptions options;
+  options.Set("shards", "2");
+  options.Set("threads", "1");
+  auto rep = codec->Compress(TwoCliqueGraph(), OneLabel(), options);
+  EXPECT_TRUE(rep.ok()) << rep.status().ToString();
+  return std::move(rep).ValueOrDie();
+}
+
+shard::ShardedRep* AsSharded(api::CompressedRep* rep) {
+  auto* sharded = dynamic_cast<shard::ShardedRep*>(rep);
+  EXPECT_NE(sharded, nullptr);
+  return sharded;
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "grepair_lazy_" +
+         std::to_string(::getpid()) + "_" + name;
+}
+
+TEST(LazyOpenTest, QueryingOneNodeFaultsExactlyOneShard) {
+  auto eager = CompressTwoClique();
+  auto v2 = AsSharded(eager.get())->SerializeV2();
+
+  auto rep = shard::ShardedRep::Deserialize(v2);
+  ASSERT_TRUE(rep.ok()) << rep.status().ToString();
+  ASSERT_TRUE(rep.value()->is_lazy());
+  EXPECT_EQ(rep.value()->query_stats().shard_faults, 0u);
+
+  // Node 0 lives only in shard 0: exactly one fault.
+  auto out = rep.value()->OutNeighbors(0);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(out.value(), std::vector<uint64_t>({1, 2, 3}));
+  EXPECT_EQ(rep.value()->query_stats().shard_faults, 1u);
+
+  // More queries inside the same clique: still one fault.
+  for (uint64_t v : {1, 2, 3}) {
+    ASSERT_TRUE(rep.value()->OutNeighbors(v).ok());
+  }
+  EXPECT_EQ(rep.value()->query_stats().shard_faults, 1u);
+
+  // Crossing into the other clique faults the second shard.
+  auto out4 = rep.value()->OutNeighbors(4);
+  ASSERT_TRUE(out4.ok());
+  EXPECT_EQ(out4.value(), std::vector<uint64_t>({5, 6, 7}));
+  EXPECT_EQ(rep.value()->query_stats().shard_faults, 2u);
+}
+
+TEST(LazyOpenTest, MmapOpenFaultsLazilyThroughTheCodecApi) {
+  auto eager = CompressTwoClique();
+  auto wrapped = api::WrapCodecPayload("sharded:grepair",
+                                       AsSharded(eager.get())->SerializeV2());
+  std::string path = TempPath("open.bin");
+  ASSERT_TRUE(WriteFileBytes(path, wrapped).ok());
+
+  std::string backend;
+  auto rep = api::OpenCompressedFile(path, &backend);
+  ASSERT_TRUE(rep.ok()) << rep.status().ToString();
+  EXPECT_EQ(backend, "sharded:grepair");
+  auto* sharded = AsSharded(rep.value().get());
+  ASSERT_TRUE(sharded->is_lazy());
+
+  auto out = rep.value()->OutNeighbors(5);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value(), std::vector<uint64_t>({4, 6, 7}));
+  EXPECT_EQ(rep.value()->query_stats().shard_faults, 1u);
+
+  // GraphCodec::Open enforces the frame's backend tag.
+  auto wrong = api::CodecRegistry::Create("sharded:k2").ValueOrDie();
+  auto mismatch = wrong->Open(path);
+  ASSERT_FALSE(mismatch.ok());
+  EXPECT_EQ(mismatch.status().code(), StatusCode::kInvalidArgument);
+
+  // The right codec's Open works and stays lazy.
+  auto right = api::CodecRegistry::Create("sharded:grepair").ValueOrDie();
+  auto reopened = right->Open(path);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(reopened.value()->query_stats().shard_faults, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(LazyOpenTest, V1AndV2AnswersAndSerializationAgree) {
+  GeneratedGraph gg = BarabasiAlbert(80, 3, 7);
+  auto codec = api::CodecRegistry::Create("sharded:grepair").ValueOrDie();
+  api::CodecOptions options;
+  options.Set("shards", "3");
+  auto eager = codec->Compress(gg.graph, gg.alphabet, options);
+  ASSERT_TRUE(eager.ok());
+  auto* eager_sharded = AsSharded(eager.value().get());
+
+  auto lazy = shard::ShardedRep::Deserialize(eager_sharded->SerializeV2());
+  ASSERT_TRUE(lazy.ok()) << lazy.status().ToString();
+
+  // Serialize() of the lazy rep is the byte-stable v1 form — without
+  // faulting a single shard.
+  EXPECT_EQ(lazy.value()->Serialize(), eager_sharded->Serialize());
+  EXPECT_EQ(lazy.value()->query_stats().shard_faults, 0u);
+  EXPECT_EQ(lazy.value()->ByteSize(), eager_sharded->ByteSize());
+
+  for (uint64_t v = 0; v < gg.graph.num_nodes(); ++v) {
+    auto a = eager.value()->OutNeighbors(v);
+    auto b = lazy.value()->OutNeighbors(v);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(a.value(), b.value()) << "node " << v;
+    auto ai = eager.value()->InNeighbors(v);
+    auto bi = lazy.value()->InNeighbors(v);
+    ASSERT_TRUE(ai.ok() && bi.ok());
+    EXPECT_EQ(ai.value(), bi.value()) << "node " << v;
+  }
+  auto ga = eager.value()->Decompress();
+  auto gb = lazy.value()->Decompress();
+  ASSERT_TRUE(ga.ok() && gb.ok());
+  EXPECT_TRUE(ga.value().EqualUpToEdgeOrder(gb.value()));
+}
+
+TEST(LazyOpenTest, EvictionThenRefaultIsByteIdentical) {
+  auto eager = CompressTwoClique();
+  auto rep = shard::ShardedRep::Deserialize(
+      AsSharded(eager.get())->SerializeV2());
+  ASSERT_TRUE(rep.ok());
+
+  // Ground truth from the eager rep with caching disabled.
+  std::vector<std::vector<uint64_t>> truth(8);
+  for (uint64_t v = 0; v < 8; ++v) {
+    auto r = eager->OutNeighbors(v);
+    ASSERT_TRUE(r.ok());
+    truth[v] = r.value();
+  }
+
+  // A tiny budget forces decoded-neighborhood evictions between
+  // queries; every re-fault must reproduce the same answers.
+  rep.value()->set_query_cache_bytes(700);
+  for (int round = 0; round < 4; ++round) {
+    for (uint64_t v = 0; v < 8; ++v) {
+      auto r = rep.value()->OutNeighbors(v);
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      EXPECT_EQ(r.value(), truth[v]) << "round " << round << " node " << v;
+    }
+  }
+  // With a 700-byte budget the two clique shards cannot both stay
+  // resident once promoted, so the sweep above must have evicted.
+  auto stats = rep.value()->query_stats();
+  EXPECT_GT(stats.cache_evictions, 0u);
+  EXPECT_GT(stats.shard_decodes, 1u);
+}
+
+TEST(LazyOpenTest, PayloadCorruptionFailsClosedAtFaultTime) {
+  auto eager = CompressTwoClique();
+  auto v2 = AsSharded(eager.get())->SerializeV2();
+  auto info = shard::ShardedRep::Inspect(SpanOf(v2));
+  ASSERT_TRUE(info.ok());
+  // Corrupt one byte inside shard 0's payload: the open (directory
+  // only) must still succeed, the first touch of shard 0 must fail
+  // with a checksum error, and shard 1 must stay fully queryable.
+  v2[info.value().shards[0].offset] ^= 0x01;
+  auto rep = shard::ShardedRep::Deserialize(v2);
+  ASSERT_TRUE(rep.ok()) << rep.status().ToString();
+  auto bad = rep.value()->OutNeighbors(0);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(bad.status().message().find("checksum"), std::string::npos)
+      << bad.status().ToString();
+  auto good = rep.value()->OutNeighbors(4);
+  ASSERT_TRUE(good.ok()) << good.status().ToString();
+  EXPECT_EQ(good.value(), std::vector<uint64_t>({5, 6, 7}));
+  EXPECT_FALSE(rep.value()->Decompress().ok());
+}
+
+TEST(LazyOpenTest, PrefetchWarmsShardsAheadOfQueries) {
+  auto eager = CompressTwoClique();
+  auto rep = shard::ShardedRep::Deserialize(
+      AsSharded(eager.get())->SerializeV2());
+  ASSERT_TRUE(rep.ok());
+
+  rep.value()->set_prefetch_threads(2);
+  rep.value()->PrefetchAll();
+  rep.value()->WaitForPrefetch();
+  auto stats = rep.value()->query_stats();
+  EXPECT_EQ(stats.shard_faults, 2u);       // both data shards warmed
+  EXPECT_EQ(stats.shards_prefetched, 2u);  // ...by the pool
+
+  // Queries find everything resident: no further faults.
+  for (uint64_t v = 0; v < 8; ++v) {
+    ASSERT_TRUE(rep.value()->OutNeighbors(v).ok());
+  }
+  EXPECT_EQ(rep.value()->query_stats().shard_faults, 2u);
+  rep.value()->set_prefetch_threads(0);  // clean shutdown while warm
+}
+
+TEST(LazyOpenTest, ConcurrentQueriersAndPrefetchersAreRaceFree) {
+  GeneratedGraph gg = BarabasiAlbert(120, 3, 11);
+  auto codec = api::CodecRegistry::Create("sharded:grepair").ValueOrDie();
+  api::CodecOptions options;
+  options.Set("shards", "4");
+  auto eager = codec->Compress(gg.graph, gg.alphabet, options);
+  ASSERT_TRUE(eager.ok());
+  auto* eager_sharded = AsSharded(eager.value().get());
+
+  std::vector<std::vector<uint64_t>> truth(gg.graph.num_nodes());
+  for (uint64_t v = 0; v < gg.graph.num_nodes(); ++v) {
+    auto r = eager.value()->OutNeighbors(v);
+    ASSERT_TRUE(r.ok());
+    truth[v] = r.value();
+  }
+
+  auto lazy = shard::ShardedRep::Deserialize(eager_sharded->SerializeV2());
+  ASSERT_TRUE(lazy.ok());
+  lazy.value()->set_query_threads(4);
+  lazy.value()->set_prefetch_threads(2);
+
+  // 8 threads race single queries, batches and prefetches over one
+  // cold mapping; every shard fault is contended.
+  std::vector<uint64_t> all_nodes(gg.graph.num_nodes());
+  for (uint64_t v = 0; v < all_nodes.size(); ++v) all_nodes[v] = v;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      if (t == 0) lazy.value()->PrefetchAll();
+      if (t % 2 == 0) {
+        auto batch = lazy.value()->OutNeighborsBatch(all_nodes);
+        if (!batch.ok()) {
+          ++failures;
+          return;
+        }
+        for (uint64_t v = 0; v < all_nodes.size(); ++v) {
+          if (batch.value()[v] != truth[v]) ++failures;
+        }
+      } else {
+        for (uint64_t v = t; v < all_nodes.size(); v += 3) {
+          auto r = lazy.value()->OutNeighbors(v);
+          if (!r.ok() || r.value() != truth[v]) ++failures;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  // Each shard faulted at most once no matter how many threads raced.
+  auto stats = lazy.value()->query_stats();
+  EXPECT_LE(stats.shard_faults, lazy.value()->num_shards());
+}
+
+TEST(MmapFileTest, ErrorsNameThePath) {
+  auto missing = MmapFile::Open("/nonexistent/grepair-no-such-file");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(missing.status().message().find("grepair-no-such-file"),
+            std::string::npos);
+
+  std::string path = TempPath("bytes.bin");
+  std::vector<uint8_t> payload = {1, 2, 3, 4, 5};
+  ASSERT_TRUE(WriteFileBytes(path, payload).ok());
+  auto file = MmapFile::Open(path);
+  ASSERT_TRUE(file.ok());
+  EXPECT_EQ(file.value()->span().ToVector(), payload);
+  EXPECT_EQ(file.value()->path(), path);
+
+  // Empty files open cleanly with an empty span.
+  ASSERT_TRUE(WriteFileBytes(path, {}).ok());
+  auto empty = MmapFile::Open(path);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty.value()->size(), 0u);
+  std::remove(path.c_str());
+
+  auto bad_read = ReadFileBytes("/nonexistent/grepair-no-such-file");
+  ASSERT_FALSE(bad_read.ok());
+  EXPECT_EQ(bad_read.status().code(), StatusCode::kNotFound);
+}
+
+TEST(OpenCompressedFileTest, RejectsNonContainersWithCleanStatus) {
+  std::string path = TempPath("raw.bin");
+  ASSERT_TRUE(WriteFileBytes(path, {0x01, 0x02, 0x03}).ok());
+  auto rep = api::OpenCompressedFile(path);
+  ASSERT_FALSE(rep.ok());
+  EXPECT_EQ(rep.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(rep.status().message().find(path), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace grepair

@@ -1,17 +1,90 @@
-// Unit tests for bit streams, Elias codes, RNG determinism and
-// union-find.
+// Unit tests for bit streams, byte spans/cursors, Elias codes, RNG
+// determinism and union-find.
 
 #include <gtest/gtest.h>
 
 #include <vector>
 
 #include "src/util/bit_stream.h"
+#include "src/util/byte_io.h"
 #include "src/util/elias.h"
+#include "src/util/hashing.h"
 #include "src/util/rng.h"
 #include "src/util/union_find.h"
 
 namespace grepair {
 namespace {
+
+TEST(ByteSourceTest, ReadsAreZeroCopyAndBounded) {
+  std::vector<uint8_t> data;
+  PutU32LE(0xDEADBEEFu, &data);
+  PutU64LE(42, &data);
+  data.insert(data.end(), {9, 8, 7});
+  ByteSource src(SpanOf(data), "test-buffer");
+  uint32_t u32 = 0;
+  uint64_t u64 = 0;
+  ASSERT_TRUE(src.ReadU32LE(&u32).ok());
+  ASSERT_TRUE(src.ReadU64LE(&u64).ok());
+  EXPECT_EQ(u32, 0xDEADBEEFu);
+  EXPECT_EQ(u64, 42u);
+  ByteSpan tail;
+  ASSERT_TRUE(src.ReadSpan(3, &tail).ok());
+  EXPECT_EQ(tail.data, data.data() + 12);  // a borrowed view, no copy
+  EXPECT_TRUE(src.ExpectExhausted("test-buffer").ok());
+}
+
+TEST(ByteSourceTest, TruncationErrorsNameContextOffsetAndSizes) {
+  std::vector<uint8_t> data = {1, 2, 3};
+  ByteSource src(SpanOf(data), "shard.bin");
+  uint64_t v = 0;
+  auto status = src.ReadU64LE(&v);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kCorruption);
+  // The error names the source, the failing offset, and
+  // expected-vs-actual byte counts.
+  EXPECT_NE(status.message().find("shard.bin"), std::string::npos);
+  EXPECT_NE(status.message().find("offset 0"), std::string::npos);
+  EXPECT_NE(status.message().find("need 8"), std::string::npos);
+  EXPECT_NE(status.message().find("have 3"), std::string::npos);
+
+  ASSERT_TRUE(src.Skip(2).ok());
+  auto trailing = src.ExpectExhausted("frame");
+  ASSERT_FALSE(trailing.ok());
+  EXPECT_NE(trailing.message().find("1 trailing byte"), std::string::npos);
+}
+
+TEST(ByteSinkTest, MirrorsTheFreeHelpers) {
+  ByteSink sink;
+  sink.PutU8(7);
+  sink.PutU32LE(0x01020304u);
+  sink.PutU64LE(0x0102030405060708ull);
+  std::vector<uint8_t> expected = {7};
+  PutU32LE(0x01020304u, &expected);
+  PutU64LE(0x0102030405060708ull, &expected);
+  EXPECT_EQ(sink.bytes(), expected);
+  ByteSink other;
+  other.Append(SpanOf(expected));
+  EXPECT_EQ(other.TakeBytes(), expected);
+}
+
+TEST(HashBytesTest, DetectsEverySingleByteChange) {
+  std::vector<uint8_t> data(57);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<uint8_t>(i * 37);
+  }
+  uint64_t base = HashBytes(data.data(), data.size());
+  EXPECT_EQ(base, HashBytes(data.data(), data.size()));  // deterministic
+  for (size_t i = 0; i < data.size(); ++i) {
+    auto tweaked = data;
+    tweaked[i] ^= 0x10;
+    EXPECT_NE(HashBytes(tweaked.data(), tweaked.size()), base)
+        << "byte " << i;
+  }
+  // Length is part of the hash (zero-padded tails must not collide).
+  std::vector<uint8_t> padded = data;
+  padded.push_back(0);
+  EXPECT_NE(HashBytes(padded.data(), padded.size()), base);
+}
 
 TEST(BitStreamTest, SingleBitsRoundTrip) {
   BitWriter w;

@@ -3,7 +3,7 @@
 // Usage:
 //   grepair compress <in.graph> <out> [--backend NAME]
 //           [--options k=v,...] [--shards K] [--threads T]
-//           [--strategy edge-range|bfs]
+//           [--strategy edge-range|bfs] [--container v1|v2]
 //           [--order KIND] [--max-rank N]
 //           [--no-prune] [--no-virtual] [--mapping out.map]
 //   grepair decompress <in> <out.graph> [--mapping in.map] [--threads T]
@@ -12,7 +12,8 @@
 //           [--strategy edge-range|bfs]
 //   grepair backends
 //   grepair query <in> [--nodes 1,2,3] [--pairs 1:2,3:4] [--batch]
-//           [--cache-bytes N] [--threads T]
+//           [--cache-bytes N] [--threads T] [--prefetch P]
+//   grepair info <in>
 //   grepair stats <in.grg>
 //   grepair reach <in.grg> <from> <to>
 //   grepair neighbors <in.grg> <node>
@@ -38,9 +39,18 @@
 // without decompressing it: --nodes asks for out-neighbors, --pairs
 // for reachability, --batch switches to the batched entry points
 // (shard-parallel on sharded containers), --cache-bytes/--threads tune
-// the sharded query cache and pool. Raw .grg grammars are queried
-// through the grepair backend. A query-stats line (cache hits/misses,
-// shard decodes, memo-table sizes) is printed at the end.
+// the sharded query cache and pool, --prefetch starts a background
+// pool that warms the shards batches touch. Raw .grg grammars are
+// queried through the grepair backend. A query-stats line (cache
+// hits/misses, shard decodes/faults, memo-table sizes) is printed at
+// the end.
+//
+// Zero-copy storage: every compressed file is opened via mmap, and
+// sharded backends write the GRSHARD2 footer-directory container by
+// default (`--container v1` forces the legacy eager layout), so
+// `decompress`/`query` on a v2 container materialize only the shards
+// they touch. `info` prints a container's directory — backend, shard
+// offsets/lengths/checksums — without decoding a single shard.
 
 #include <algorithm>
 #include <cerrno>
@@ -74,7 +84,7 @@ int Usage() {
       "usage: grepair <command> ...\n"
       "  compress <in.graph> <out> [--backend %s]\n"
       "           [--options k=v,...] [--shards K] [--threads T]\n"
-      "           [--strategy edge-range|bfs]\n"
+      "           [--strategy edge-range|bfs] [--container v1|v2]\n"
       "           [--order natural|bfs|dfs|random|"
       "fp0|fp] [--max-rank N]\n"
       "           [--no-prune] [--no-virtual] [--mapping out.map]\n"
@@ -84,7 +94,8 @@ int Usage() {
       "        [--shards K] [--threads T] [--strategy edge-range|bfs]\n"
       "  backends\n"
       "  query <in> [--nodes 1,2,3] [--pairs 1:2,3:4] [--batch]\n"
-      "        [--cache-bytes N] [--threads T]\n"
+      "        [--cache-bytes N] [--threads T] [--prefetch P]\n"
+      "  info <in>\n"
       "  stats <in.grg>\n"
       "  reach <in.grg> <from> <to>\n"
       "  neighbors <in.grg> <node>\n"
@@ -95,27 +106,22 @@ int Usage() {
   return 2;
 }
 
+// All file loading routes through the zero-copy storage layer:
+// MmapFile + ByteSource give Status errors naming the path and byte
+// offset instead of the old unchecked ifstream slurp.
 bool WriteBytes(const std::string& path, const std::vector<uint8_t>& bytes) {
-  std::ofstream out(path, std::ios::binary);
-  out.write(reinterpret_cast<const char*>(bytes.data()),
-            static_cast<std::streamsize>(bytes.size()));
-  return static_cast<bool>(out);
-}
-
-bool ReadBytes(const std::string& path, std::vector<uint8_t>* bytes) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return false;
-  bytes->assign(std::istreambuf_iterator<char>(in),
-                std::istreambuf_iterator<char>());
+  auto status = WriteFileBytes(path, bytes);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return false;
+  }
   return true;
 }
 
 Result<SlhrGrammar> LoadGrammar(const std::string& path) {
-  std::vector<uint8_t> bytes;
-  if (!ReadBytes(path, &bytes)) {
-    return Status::NotFound("cannot read " + path);
-  }
-  return DecodeGrammar(bytes);
+  auto file = MmapFile::Open(path);
+  if (!file.ok()) return file.status();
+  return DecodeGrammar(file.value()->span());
 }
 
 // Sharding knobs shared by compress and bench: --shards/--threads/
@@ -195,8 +201,9 @@ bool ApplyShardFlags(const ShardFlags& flags, std::string* backend,
 }
 
 int CompressWithBackend(std::string backend, const std::string& option_spec,
-                        const ShardFlags& shard_flags, const char* in_path,
-                        const char* out_path) {
+                        const ShardFlags& shard_flags,
+                        const std::string& container_version,
+                        const char* in_path, const char* out_path) {
   auto loaded = LoadGraphText(in_path);
   if (!loaded.ok()) {
     std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
@@ -220,17 +227,33 @@ int CompressWithBackend(std::string backend, const std::string& option_spec,
     std::fprintf(stderr, "%s\n", rep.status().ToString().c_str());
     return 1;
   }
-  auto bytes = api::WrapCodecPayload(backend, rep.value()->Serialize());
-  if (!WriteBytes(out_path, bytes)) {
-    std::fprintf(stderr, "cannot write %s\n", out_path);
-    return 1;
+  // Sharded backends default to the GRSHARD2 footer container so the
+  // file opens lazily; --container v1 forces the legacy eager layout.
+  // Single-shard codecs only have one serialized form.
+  std::vector<uint8_t> payload;
+  const char* layout = "";
+  auto* sharded = dynamic_cast<shard::ShardedRep*>(rep.value().get());
+  if (sharded != nullptr && container_version != "v1") {
+    payload = sharded->SerializeV2();
+    layout = ", GRSHARD2 lazy container";
+  } else {
+    if (sharded == nullptr && !container_version.empty()) {
+      std::fprintf(stderr,
+                   "note: --container only affects sharded backends; "
+                   "'%s' has a single serialized form\n",
+                   backend.c_str());
+    }
+    payload = rep.value()->Serialize();
   }
+  auto bytes = api::WrapCodecPayload(backend, payload);
+  if (!WriteBytes(out_path, bytes)) return 1;
   std::printf("[%s] %u edges -> %zu bytes on disk (%.3f bpe as measured "
-              "by the bench tables)\n",
+              "by the bench tables%s)\n",
               backend.c_str(), loaded.value().graph.num_edges(),
               bytes.size(),
               BitsPerEdge(rep.value()->ByteSize(),
-                          loaded.value().graph.num_edges()));
+                          loaded.value().graph.num_edges()),
+              layout);
   return 0;
 }
 
@@ -240,6 +263,7 @@ int CmdCompress(int argc, char** argv) {
   std::string mapping_path;
   std::string backend;
   std::string option_spec;
+  std::string container_version;
   ShardFlags shard_flags;
   bool legacy_flags = false;
   for (int i = 4; i < argc; ++i) {
@@ -248,6 +272,13 @@ int CmdCompress(int argc, char** argv) {
       backend = argv[++i];
     } else if (arg == "--options" && i + 1 < argc) {
       option_spec = argv[++i];
+    } else if (arg == "--container" && i + 1 < argc) {
+      container_version = argv[++i];
+      if (container_version != "v1" && container_version != "v2") {
+        std::fprintf(stderr, "--container expects v1 or v2, got '%s'\n",
+                     container_version.c_str());
+        return 2;
+      }
     } else if (ShardFlagParse m =
                    MatchShardFlag(arg, argc, argv, &i, &shard_flags);
                m != ShardFlagParse::kNoMatch) {
@@ -289,8 +320,14 @@ int CmdCompress(int argc, char** argv) {
                    "virtual=false)\n");
       return 2;
     }
-    return CompressWithBackend(backend, option_spec, shard_flags, argv[2],
-                               argv[3]);
+    return CompressWithBackend(backend, option_spec, shard_flags,
+                               container_version, argv[2], argv[3]);
+  }
+  if (!container_version.empty()) {
+    std::fprintf(stderr,
+                 "--container requires --backend (the legacy path writes "
+                 "raw .grg grammars)\n");
+    return 2;
   }
   if (!option_spec.empty()) {
     std::fprintf(stderr,
@@ -318,17 +355,11 @@ int CmdCompress(int argc, char** argv) {
   }
   EncodeStats stats;
   auto bytes = EncodeGrammar(result.value().grammar, &stats);
-  if (!WriteBytes(argv[3], bytes)) {
-    std::fprintf(stderr, "cannot write %s\n", argv[3]);
-    return 1;
-  }
+  if (!WriteBytes(argv[3], bytes)) return 1;
   if (!mapping_path.empty()) {
     auto map_bytes =
         EncodeNodeMapping(result.value().grammar, result.value().mapping);
-    if (!WriteBytes(mapping_path, map_bytes)) {
-      std::fprintf(stderr, "cannot write %s\n", mapping_path.c_str());
-      return 1;
-    }
+    if (!WriteBytes(mapping_path, map_bytes)) return 1;
   }
   std::printf("%u edges -> %zu bytes (%.3f bpe), %u rules\n",
               loaded.value().graph.num_edges(), bytes.size(),
@@ -352,14 +383,17 @@ Alphabet InferAlphabet(const Hypergraph& g) {
 }
 
 int DecompressWithBackend(const std::string& backend,
-                          const std::vector<uint8_t>& payload, int threads,
-                          const char* out_path) {
+                          std::shared_ptr<MmapFile> file, ByteSpan payload,
+                          int threads, const char* out_path) {
   auto codec = api::CodecRegistry::Create(backend);
   if (!codec.ok()) {
     std::fprintf(stderr, "%s\n", codec.status().ToString().c_str());
     return 1;
   }
-  auto rep = codec.value()->Deserialize(payload);
+  // OpenPayload keeps the mapping alive for reps that borrow from it;
+  // a GRSHARD2 payload opens lazily and Decompress faults the shards
+  // on the decompress thread pool.
+  auto rep = codec.value()->OpenPayload(std::move(file), payload);
   if (!rep.ok()) {
     std::fprintf(stderr, "%s\n", rep.status().ToString().c_str());
     return 1;
@@ -404,17 +438,18 @@ int CmdDecompress(int argc, char** argv) {
       return Usage();
     }
   }
-  std::vector<uint8_t> bytes;
-  if (!ReadBytes(argv[2], &bytes)) {
-    std::fprintf(stderr, "cannot read %s\n", argv[2]);
+  auto file = MmapFile::Open(argv[2]);
+  if (!file.ok()) {
+    std::fprintf(stderr, "%s\n", file.status().ToString().c_str());
     return 1;
   }
+  ByteSpan bytes = file.value()->span();
   if (api::IsCodecContainer(bytes)) {
     std::string backend;
-    std::vector<uint8_t> payload;
-    auto status = api::UnwrapCodecPayload(bytes, &backend, &payload);
+    ByteSpan payload;
+    auto status = api::UnwrapCodecPayloadView(bytes, &backend, &payload);
     if (!status.ok()) {
-      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      std::fprintf(stderr, "%s: %s\n", argv[2], status.ToString().c_str());
       return 1;
     }
     if (!mapping_path.empty()) {
@@ -423,7 +458,8 @@ int CmdDecompress(int argc, char** argv) {
                    "(any mapping is embedded in the payload)\n");
       return 2;
     }
-    return DecompressWithBackend(backend, payload, threads, argv[3]);
+    return DecompressWithBackend(backend, std::move(file).ValueOrDie(),
+                                 payload, threads, argv[3]);
   }
   if (threads > 1) {
     std::fprintf(stderr,
@@ -435,16 +471,16 @@ int CmdDecompress(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", grammar.status().ToString().c_str());
     return 1;
   }
-  Result<Hypergraph> graph = Status::OK();
+  Result<Hypergraph> graph = Status::Internal("graph not derived");
   if (mapping_path.empty()) {
     graph = Derive(grammar.value());
   } else {
-    std::vector<uint8_t> map_bytes;
-    if (!ReadBytes(mapping_path, &map_bytes)) {
-      std::fprintf(stderr, "cannot read %s\n", mapping_path.c_str());
+    auto map_bytes = ReadFileBytes(mapping_path);
+    if (!map_bytes.ok()) {
+      std::fprintf(stderr, "%s\n", map_bytes.status().ToString().c_str());
       return 1;
     }
-    auto mapping = DecodeNodeMapping(grammar.value(), map_bytes);
+    auto mapping = DecodeNodeMapping(grammar.value(), map_bytes.value());
     if (!mapping.ok()) {
       std::fprintf(stderr, "%s\n", mapping.status().ToString().c_str());
       return 1;
@@ -541,6 +577,7 @@ int CmdQuery(int argc, char** argv) {
   std::string nodes_spec, pairs_spec;
   bool batch = false;
   int threads = 0;
+  int prefetch = 0;
   bool have_cache_bytes = false;
   uint64_t cache_bytes = 0;
   for (int i = 3; i < argc; ++i) {
@@ -562,6 +599,10 @@ int CmdQuery(int argc, char** argv) {
         return 2;
       }
       have_cache_bytes = true;
+    } else if (arg == "--prefetch" && i + 1 < argc) {
+      if (!ParseCountFlag("--prefetch", argv[++i], 64, &prefetch)) {
+        return 2;
+      }
     } else {
       return Usage();
     }
@@ -575,37 +616,49 @@ int CmdQuery(int argc, char** argv) {
   if (!nodes_spec.empty() && !ParseNodeList(nodes_spec, &nodes)) return 2;
   if (!pairs_spec.empty() && !ParsePairList(pairs_spec, &pairs)) return 2;
 
-  std::vector<uint8_t> bytes;
-  if (!ReadBytes(argv[2], &bytes)) {
-    std::fprintf(stderr, "cannot read %s\n", argv[2]);
+  auto file = MmapFile::Open(argv[2]);
+  if (!file.ok()) {
+    std::fprintf(stderr, "%s\n", file.status().ToString().c_str());
     return 1;
   }
+  ByteSpan bytes = file.value()->span();
   std::string backend;
-  std::vector<uint8_t> payload;
+  Result<std::unique_ptr<api::CompressedRep>> rep =
+      Status::Internal("rep not opened");
   if (api::IsCodecContainer(bytes)) {
-    auto status = api::UnwrapCodecPayload(bytes, &backend, &payload);
+    ByteSpan payload;
+    auto status = api::UnwrapCodecPayloadView(bytes, &backend, &payload);
     if (!status.ok()) {
-      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      std::fprintf(stderr, "%s: %s\n", argv[2], status.ToString().c_str());
       return 1;
     }
+    auto codec = api::CodecRegistry::Create(backend);
+    if (!codec.ok()) {
+      std::fprintf(stderr, "%s\n", codec.status().ToString().c_str());
+      return 1;
+    }
+    // Lazy for GRSHARD2 payloads: only the shards the queries below
+    // actually touch are materialized from the mapping.
+    rep = codec.value()->OpenPayload(std::move(file).ValueOrDie(), payload);
   } else {
     // Raw .grg grammar: frame it as the grepair backend's payload
     // (no-mapping flag + length-prefixed grammar) so one query path
     // serves both file kinds.
     backend = "grepair";
+    std::vector<uint8_t> payload;
     payload.push_back(0);
-    uint64_t len = bytes.size();
+    uint64_t len = bytes.size;
     for (int b = 0; b < 8; ++b) {
       payload.push_back(static_cast<uint8_t>(len >> (8 * b)));
     }
     payload.insert(payload.end(), bytes.begin(), bytes.end());
+    auto codec = api::CodecRegistry::Create(backend);
+    if (!codec.ok()) {
+      std::fprintf(stderr, "%s\n", codec.status().ToString().c_str());
+      return 1;
+    }
+    rep = codec.value()->Deserialize(payload);
   }
-  auto codec = api::CodecRegistry::Create(backend);
-  if (!codec.ok()) {
-    std::fprintf(stderr, "%s\n", codec.status().ToString().c_str());
-    return 1;
-  }
-  auto rep = codec.value()->Deserialize(payload);
   if (!rep.ok()) {
     std::fprintf(stderr, "%s\n", rep.status().ToString().c_str());
     return 1;
@@ -615,10 +668,11 @@ int CmdQuery(int argc, char** argv) {
     if (have_cache_bytes) {
       sharded->set_query_cache_bytes(static_cast<size_t>(cache_bytes));
     }
-  } else if (threads > 1 || have_cache_bytes) {
+    if (prefetch > 0) sharded->set_prefetch_threads(prefetch);
+  } else if (threads > 1 || have_cache_bytes || prefetch > 0) {
     std::fprintf(stderr,
-                 "note: --threads/--cache-bytes tune sharded containers; "
-                 "'%s' queries ignore them\n",
+                 "note: --threads/--cache-bytes/--prefetch tune sharded "
+                 "containers; '%s' queries ignore them\n",
                  backend.c_str());
   }
   std::printf("[%s] %llu nodes\n", backend.c_str(),
@@ -675,7 +729,7 @@ int CmdQuery(int argc, char** argv) {
   std::printf("stats: singles=%llu batch_calls=%llu batch_items=%llu "
               "cache_hits=%llu cache_misses=%llu shard_decodes=%llu "
               "evictions=%llu cache_bytes=%llu memo_entries=%llu "
-              "memo_hits=%llu\n",
+              "memo_hits=%llu shard_faults=%llu prefetched=%llu\n",
               (unsigned long long)stats.single_queries,
               (unsigned long long)stats.batch_calls,
               (unsigned long long)stats.batch_items,
@@ -685,7 +739,65 @@ int CmdQuery(int argc, char** argv) {
               (unsigned long long)stats.cache_evictions,
               (unsigned long long)stats.cache_bytes_used,
               (unsigned long long)stats.memo_entries,
-              (unsigned long long)stats.memo_hits);
+              (unsigned long long)stats.memo_hits,
+              (unsigned long long)stats.shard_faults,
+              (unsigned long long)stats.shards_prefetched);
+  return 0;
+}
+
+// `info`: the container directory without decoding anything — the
+// backend tag, and for sharded payloads the per-shard
+// offset/length/checksum/node-count table straight from the v2 footer
+// (or a v1 header scan). No inner rep is ever constructed.
+int CmdInfo(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  auto file = MmapFile::Open(argv[2]);
+  if (!file.ok()) {
+    std::fprintf(stderr, "%s\n", file.status().ToString().c_str());
+    return 1;
+  }
+  ByteSpan bytes = file.value()->span();
+  std::printf("%s: %zu bytes (%s)\n", argv[2], bytes.size,
+              file.value()->is_mapped() ? "mmap" : "heap");
+  std::string backend;
+  ByteSpan payload = bytes;
+  if (api::IsCodecContainer(bytes)) {
+    auto status = api::UnwrapCodecPayloadView(bytes, &backend, &payload);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s: %s\n", argv[2], status.ToString().c_str());
+      return 1;
+    }
+    std::printf("backend: %s (payload %zu bytes at offset %zu)\n",
+                backend.c_str(), payload.size, bytes.size - payload.size);
+  }
+  bool sharded_magic =
+      payload.size >= 7 &&
+      std::memcmp(payload.data, shard::kShardContainerMagic, 7) == 0;
+  if (!sharded_magic) {
+    std::printf("payload: %s\n",
+                backend.empty() ? "raw .grg grammar (no directory)"
+                                : "single-shard codec (no directory)");
+    return 0;
+  }
+  auto info = shard::ShardedRep::Inspect(payload);
+  if (!info.ok()) {
+    std::fprintf(stderr, "%s: %s\n", argv[2],
+                 info.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("sharded container v%d: inner=%s nodes=%llu shards=%zu\n",
+              info.value().version, info.value().inner_name.c_str(),
+              static_cast<unsigned long long>(info.value().num_nodes),
+              info.value().shards.size());
+  std::printf("%6s %10s %10s %18s %10s\n", "shard", "offset", "length",
+              "checksum", "nodes");
+  for (size_t i = 0; i < info.value().shards.size(); ++i) {
+    const auto& s = info.value().shards[i];
+    std::printf("%6zu %10llu %10llu 0x%016llx %10llu\n", i,
+                (unsigned long long)s.offset, (unsigned long long)s.length,
+                (unsigned long long)s.checksum,
+                (unsigned long long)s.node_count);
+  }
   return 0;
 }
 
@@ -975,6 +1087,7 @@ int main(int argc, char** argv) {
   if (cmd == "bench") return CmdBench(argc, argv);
   if (cmd == "backends") return CmdBackends();
   if (cmd == "query") return CmdQuery(argc, argv);
+  if (cmd == "info") return CmdInfo(argc, argv);
   if (cmd == "stats") return CmdStats(argc, argv);
   if (cmd == "reach") return CmdReach(argc, argv);
   if (cmd == "neighbors") return CmdNeighbors(argc, argv);
