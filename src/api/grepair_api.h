@@ -6,6 +6,8 @@
 //   * the sharded parallel-compression layer (PartitionGraph,
 //     ParallelCompressor, the "sharded:<inner>" meta-codecs) and the
 //     tagged container framing,
+//   * remote shard serving (api::OpenRemote over src/net/'s
+//     ShardServer / RemoteShardSource),
 //   * CompressedGraph, the queryable gRePair representation,
 //   * hypergraph + alphabet types and text/SNAP graph IO,
 //   * the deterministic dataset generators used by the benches.
@@ -26,6 +28,7 @@
 #include "src/api/codec_registry.h"
 #include "src/api/container.h"
 #include "src/api/graph_codec.h"
+#include "src/api/remote.h"
 #include "src/datasets/generators.h"
 #include "src/encoding/grammar_coder.h"
 #include "src/graph/graph_io.h"

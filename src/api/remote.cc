@@ -1,0 +1,16 @@
+#include "src/api/remote.h"
+
+#include "src/net/remote_source.h"
+
+namespace grepair {
+namespace api {
+
+Result<std::unique_ptr<CompressedRep>> OpenRemote(
+    const std::string& host_port, int io_timeout_ms) {
+  net::RemoteShardSource::Options options;
+  options.io_timeout_ms = io_timeout_ms;
+  return net::OpenRemoteContainer(host_port, options);
+}
+
+}  // namespace api
+}  // namespace grepair

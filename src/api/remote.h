@@ -1,0 +1,35 @@
+// api::OpenRemote — open a compressed graph served by `grepair serve`
+// on another machine, behind the same CompressedRep interface as a
+// local file:
+//
+//   auto rep = grepair::api::OpenRemote("10.0.0.7:9000");
+//   rep.value()->OutNeighbors(42);   // faults one shard over TCP
+//
+// The returned rep is the lazy sharded rep: the directory is fetched
+// at open, each cold shard faults across the network on first touch
+// (checksum-verified like a local fault), and the prefetch pool,
+// query caches and QueryStats counters work unchanged —
+// remote_fetches/remote_bytes say what crossed the wire.
+
+#ifndef GREPAIR_API_REMOTE_H_
+#define GREPAIR_API_REMOTE_H_
+
+#include <memory>
+#include <string>
+
+#include "src/api/graph_codec.h"
+#include "src/util/status.h"
+
+namespace grepair {
+namespace api {
+
+/// \brief Opens the GRSHARD2 container served at "host:port".
+/// `io_timeout_ms` bounds the connect and every shard fetch —
+/// a stalled or dead server is a kUnavailable Status, never a hang.
+Result<std::unique_ptr<CompressedRep>> OpenRemote(
+    const std::string& host_port, int io_timeout_ms = 30000);
+
+}  // namespace api
+}  // namespace grepair
+
+#endif  // GREPAIR_API_REMOTE_H_

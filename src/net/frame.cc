@@ -1,0 +1,185 @@
+#include "src/net/frame.h"
+
+#include <cstring>
+
+#include "src/util/hashing.h"
+
+namespace grepair {
+namespace net {
+
+namespace {
+
+void PutHeader(uint8_t type, uint32_t body_len, std::vector<uint8_t>* out) {
+  PutU32LE(kFrameMagic, out);
+  out->push_back(kProtocolVersion);
+  out->push_back(type);
+  PutU32LE(body_len, out);
+}
+
+bool KnownType(uint8_t type) {
+  return type >= kGetDir && type <= kError;
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeFrame(uint8_t type, ByteSpan body) {
+  std::vector<uint8_t> out;
+  out.reserve(kFrameHeaderBytes + body.size + kFrameChecksumBytes);
+  PutHeader(type, static_cast<uint32_t>(body.size), &out);
+  out.insert(out.end(), body.begin(), body.end());
+  PutU64LE(HashBytes(out.data(), out.size()), &out);
+  return out;
+}
+
+Status ValidateFrameHeader(const uint8_t* header, uint8_t* type,
+                           uint32_t* body_len) {
+  ByteSource src(ByteSpan(header, kFrameHeaderBytes), "frame header");
+  uint32_t magic = 0;
+  uint8_t version = 0;
+  uint8_t raw_type = 0;
+  uint32_t len = 0;
+  GREPAIR_RETURN_IF_ERROR(src.ReadU32LE(&magic));
+  GREPAIR_RETURN_IF_ERROR(src.ReadU8(&version));
+  GREPAIR_RETURN_IF_ERROR(src.ReadU8(&raw_type));
+  GREPAIR_RETURN_IF_ERROR(src.ReadU32LE(&len));
+  if (magic != kFrameMagic) {
+    return Status::Corruption("bad frame magic " + HexU64(magic) +
+                              " (expected " + HexU64(kFrameMagic) + ")");
+  }
+  if (version != kProtocolVersion) {
+    return Status::Corruption("unsupported frame protocol version " +
+                              std::to_string(version) + " (expected " +
+                              std::to_string(kProtocolVersion) + ")");
+  }
+  if (!KnownType(raw_type)) {
+    return Status::Corruption("unknown frame type " +
+                              std::to_string(raw_type));
+  }
+  if (len > kMaxFrameBody) {
+    return Status::Corruption(
+        "frame body length " + std::to_string(len) + " exceeds the " +
+        std::to_string(kMaxFrameBody) + "-byte bound");
+  }
+  *type = raw_type;
+  *body_len = len;
+  return Status::OK();
+}
+
+Result<Frame> DecodeFrame(ByteSpan bytes, size_t* consumed) {
+  if (bytes.size < kFrameHeaderBytes) {
+    return Status::Corruption("truncated frame header: have " +
+                              std::to_string(bytes.size) + " of " +
+                              std::to_string(kFrameHeaderBytes) +
+                              " byte(s)");
+  }
+  uint8_t type = 0;
+  uint32_t body_len = 0;
+  GREPAIR_RETURN_IF_ERROR(ValidateFrameHeader(bytes.data, &type, &body_len));
+  size_t total = kFrameHeaderBytes + body_len + kFrameChecksumBytes;
+  if (bytes.size < total) {
+    return Status::Corruption("truncated frame: have " +
+                              std::to_string(bytes.size) + " of " +
+                              std::to_string(total) + " byte(s)");
+  }
+  size_t checked = kFrameHeaderBytes + body_len;
+  ByteSource trailer(bytes.subspan(checked, kFrameChecksumBytes),
+                     "frame checksum");
+  uint64_t expected = 0;
+  GREPAIR_RETURN_IF_ERROR(trailer.ReadU64LE(&expected));
+  uint64_t actual = HashBytes(bytes.data, checked);
+  if (actual != expected) {
+    return Status::Corruption("frame checksum mismatch (expected " +
+                              HexU64(expected) + ", got " + HexU64(actual) +
+                              " over " + std::to_string(checked) +
+                              " byte(s))");
+  }
+  Frame frame;
+  frame.type = type;
+  frame.body.assign(bytes.data + kFrameHeaderBytes,
+                    bytes.data + kFrameHeaderBytes + body_len);
+  if (consumed != nullptr) *consumed = total;
+  return frame;
+}
+
+Status WriteFrame(Socket* socket, uint8_t type, ByteSpan body) {
+  auto bytes = EncodeFrame(type, body);
+  return socket->SendAll(SpanOf(bytes));
+}
+
+Result<Frame> ReadFrame(Socket* socket, bool* clean_eof) {
+  if (clean_eof != nullptr) *clean_eof = false;
+  uint8_t header[kFrameHeaderBytes];
+  GREPAIR_RETURN_IF_ERROR(
+      socket->RecvAll(header, kFrameHeaderBytes, clean_eof));
+  uint8_t type = 0;
+  uint32_t body_len = 0;
+  GREPAIR_RETURN_IF_ERROR(ValidateFrameHeader(header, &type, &body_len));
+  // One contiguous buffer so the checksum covers header + body exactly
+  // as DecodeFrame sees it.
+  std::vector<uint8_t> checked(kFrameHeaderBytes + body_len);
+  std::memcpy(checked.data(), header, kFrameHeaderBytes);
+  if (body_len > 0) {
+    GREPAIR_RETURN_IF_ERROR(
+        socket->RecvAll(checked.data() + kFrameHeaderBytes, body_len));
+  }
+  uint8_t trailer[kFrameChecksumBytes];
+  GREPAIR_RETURN_IF_ERROR(socket->RecvAll(trailer, kFrameChecksumBytes));
+  ByteSource trailer_src(ByteSpan(trailer, kFrameChecksumBytes),
+                         "frame checksum");
+  uint64_t expected = 0;
+  GREPAIR_RETURN_IF_ERROR(trailer_src.ReadU64LE(&expected));
+  uint64_t actual = HashBytes(checked.data(), checked.size());
+  if (actual != expected) {
+    return Status::Corruption("frame checksum mismatch (expected " +
+                              HexU64(expected) + ", got " + HexU64(actual) +
+                              " over " + std::to_string(checked.size()) +
+                              " byte(s))");
+  }
+  Frame frame;
+  frame.type = type;
+  frame.body.assign(checked.begin() + kFrameHeaderBytes, checked.end());
+  return frame;
+}
+
+std::vector<uint8_t> EncodeErrorBody(const Status& status) {
+  const std::string& message = status.message();
+  std::vector<uint8_t> body;
+  body.reserve(1 + message.size());
+  body.push_back(static_cast<uint8_t>(status.code()));
+  body.insert(body.end(), message.begin(), message.end());
+  return body;
+}
+
+Status DecodeErrorBody(ByteSpan body) {
+  if (body.size < 1) {
+    return Status::Corruption("empty error frame from shard server");
+  }
+  std::string message = "shard server: " +
+                        std::string(body.begin() + 1, body.end());
+  switch (static_cast<StatusCode>(body[0])) {
+    case StatusCode::kInvalidArgument:
+      return Status::InvalidArgument(std::move(message));
+    case StatusCode::kCorruption:
+      return Status::Corruption(std::move(message));
+    case StatusCode::kNotFound:
+      return Status::NotFound(std::move(message));
+    case StatusCode::kOutOfRange:
+      return Status::OutOfRange(std::move(message));
+    case StatusCode::kUnimplemented:
+      return Status::Unimplemented(std::move(message));
+    case StatusCode::kUnavailable:
+      return Status::Unavailable(std::move(message));
+    case StatusCode::kInternal:
+      return Status::Internal(std::move(message));
+    case StatusCode::kOk:
+    default:
+      // An "error" frame claiming OK (or an unknown code) is itself a
+      // protocol violation.
+      return Status::Corruption("malformed error frame from shard server" +
+                                std::string(" (code ") +
+                                std::to_string(body[0]) + "): " + message);
+  }
+}
+
+}  // namespace net
+}  // namespace grepair

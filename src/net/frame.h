@@ -1,0 +1,104 @@
+// GRNF wire frames: the length-prefixed, checksummed protocol the
+// shard server and remote client speak over TCP.
+//
+// Every message is one frame (little-endian):
+//
+//   u32  magic    "GRNF"  (0x464E5247)
+//   u8   version  1
+//   u8   type     FrameType below
+//   u32  len      body byte length (<= kMaxFrameBody)
+//   ...  body     `len` bytes
+//   u64  checksum HashBytes over header + body (bytes [0, 10+len))
+//
+// Request/response pairs (client speaks first, one request in flight
+// per connection):
+//
+//   kGetDir   c->s  empty body
+//   kDir      s->c  u64 directory offset + the container's raw
+//                   GRSHARD2 footer-directory bytes, verbatim — the
+//                   client reparses them with the same hardened parser
+//                   the file path uses (shard::ParseV2Directory)
+//   kGetShard c->s  u32 shard index
+//   kShard    s->c  u32 echoed shard index + the shard's payload bytes
+//   kError    s->c  u8 StatusCode + UTF-8 message (any request can
+//                   fail; the client surfaces it as that Status)
+//
+// The frame checksum fails closed on transport corruption; shard
+// payload integrity is additionally pinned end-to-end by the GRSHARD2
+// directory checksum the client verifies at fault time, so a server
+// that sends a well-framed wrong payload is still caught.
+//
+// DecodeFrame is a pure function over a byte buffer (the fuzz harness
+// drives it directly); ReadFrame/WriteFrame are the socket bindings.
+
+#ifndef GREPAIR_NET_FRAME_H_
+#define GREPAIR_NET_FRAME_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/byte_io.h"
+#include "src/util/socket.h"
+#include "src/util/status.h"
+
+namespace grepair {
+namespace net {
+
+inline constexpr uint32_t kFrameMagic = 0x464E5247u;  // "GRNF"
+inline constexpr uint8_t kProtocolVersion = 1;
+inline constexpr size_t kFrameHeaderBytes = 10;
+inline constexpr size_t kFrameChecksumBytes = 8;
+
+/// \brief Body-length bound: a lying length field must not drive a
+/// giant allocation. Shard payloads are compressed, so 64 MiB is far
+/// above any real shard; larger shards are a server-side error frame.
+inline constexpr size_t kMaxFrameBody = 64u << 20;
+
+enum FrameType : uint8_t {
+  kGetDir = 1,
+  kDir = 2,
+  kGetShard = 3,
+  kShard = 4,
+  kError = 5,
+};
+
+/// \brief One decoded frame.
+struct Frame {
+  uint8_t type = 0;
+  std::vector<uint8_t> body;
+};
+
+/// \brief Encodes a complete frame (header + body + checksum).
+std::vector<uint8_t> EncodeFrame(uint8_t type, ByteSpan body);
+
+/// \brief Validates a frame header (magic, version, known type, body
+/// bound). On success *type/*body_len receive the parsed fields.
+Status ValidateFrameHeader(const uint8_t* header, uint8_t* type,
+                           uint32_t* body_len);
+
+/// \brief Decodes one frame from the front of `bytes` (checksum
+/// verified). *consumed (when non-null) receives the frame's total
+/// size on success. Clean kCorruption on anything malformed.
+Result<Frame> DecodeFrame(ByteSpan bytes, size_t* consumed = nullptr);
+
+/// \brief Sends one frame; kUnavailable on IO failure/timeout.
+Status WriteFrame(Socket* socket, uint8_t type, ByteSpan body);
+
+/// \brief Receives exactly one frame. A clean EOF at a frame boundary
+/// sets *clean_eof (the server's normal end-of-connection signal);
+/// mid-frame EOF, timeouts and malformed bytes are non-OK without it.
+Result<Frame> ReadFrame(Socket* socket, bool* clean_eof = nullptr);
+
+/// \brief kError body encoding: u8 StatusCode + message bytes.
+std::vector<uint8_t> EncodeErrorBody(const Status& status);
+
+/// \brief Reconstructs the Status carried by a kError body (prefixed
+/// with "shard server: " so callers can tell remote from local
+/// failures). Malformed bodies decode to kCorruption.
+Status DecodeErrorBody(ByteSpan body);
+
+}  // namespace net
+}  // namespace grepair
+
+#endif  // GREPAIR_NET_FRAME_H_

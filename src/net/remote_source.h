@@ -1,0 +1,108 @@
+// RemoteShardSource: the network implementation of the ShardSource
+// seam — a ShardedRep whose cold shards fault across TCP instead of
+// from a local mapping.
+//
+// Connect() dials a ShardServer, fetches and reparses the container's
+// footer directory (the same hardened parser the file path uses), and
+// keeps one connection open. Each FetchShard is one request/response
+// round trip, serialized on an internal mutex (concurrent faults of
+// distinct shards queue here; the per-shard fault mutex above already
+// guarantees a shard is fetched at most once). A dropped connection
+// (servers reap idle peers; networks flap) is redialed once per
+// request — safe because every request is a pure read — so a
+// long-lived, sparsely queried rep survives server idle timeouts;
+// only a redial that itself fails surfaces as kUnavailable.
+//
+// Fail-closed all the way down: frame checksums catch transport
+// corruption, the directory checksum was verified before parsing, the
+// echoed shard index must match the request, the payload length must
+// match the directory, and the caller (ShardedRep) verifies the
+// directory's payload checksum before the bytes reach any parser. Any
+// IO error marks the connection broken so every later fetch fails
+// fast with the same kUnavailable instead of hammering a dead peer.
+
+#ifndef GREPAIR_NET_REMOTE_SOURCE_H_
+#define GREPAIR_NET_REMOTE_SOURCE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/net/frame.h"
+#include "src/shard/sharded_codec.h"
+#include "src/util/socket.h"
+#include "src/util/status.h"
+
+namespace grepair {
+namespace net {
+
+class RemoteShardSource : public shard::ShardSource {
+ public:
+  struct Options {
+    int io_timeout_ms = 30000;  ///< connect + per-request IO bound
+  };
+
+  /// \brief Dials "host:port" and fetches the served container's
+  /// directory. kUnavailable when the peer is unreachable or stalls;
+  /// kCorruption when it serves malformed frames or a bad directory.
+  static Result<std::shared_ptr<RemoteShardSource>> Connect(
+      const std::string& host_port, const Options& options);
+  static Result<std::shared_ptr<RemoteShardSource>> Connect(
+      const std::string& host_port) {
+    return Connect(host_port, Options());
+  }
+
+  const char* kind() const override { return "remote"; }
+
+  /// \brief Moves out the directory fetched at connect time (what
+  /// ShardedRep::OpenFromSource consumes). The source retains only
+  /// the per-shard payload lengths it needs for FetchShard — the
+  /// node maps live once, in the rep, not twice. Call at most once.
+  shard::ParsedDirectory TakeDirectory();
+
+  Result<ByteSpan> FetchShard(size_t shard,
+                              std::vector<uint8_t>* owned) override;
+
+ private:
+  RemoteShardSource(std::string host, uint16_t port, std::string peer,
+                    int io_timeout_ms)
+      : host_(std::move(host)),
+        port_(port),
+        peer_(std::move(peer)),
+        io_timeout_ms_(io_timeout_ms) {}
+
+  /// One request/response exchange; non-error response must have
+  /// `expect` type. Dials (or redials a broken connection) first and
+  /// retries transport failures once on a fresh connection.
+  Result<Frame> Call(uint8_t type, ByteSpan body, uint8_t expect);
+
+  std::mutex mutex_;  // one in-flight request per connection
+  Socket socket_;
+  bool broken_ = true;  // no connection yet; Call dials on demand
+  std::string host_;
+  uint16_t port_ = 0;
+  std::string peer_;  // "host:port" for error context
+  int io_timeout_ms_ = 30000;
+  shard::ParsedDirectory directory_;     // until TakeDirectory
+  std::vector<uint64_t> shard_lengths_;  // rows[i].length, kept always
+};
+
+/// \brief Opens the remote container as a lazy CompressedRep: shard
+/// metadata from the server's directory, payloads faulted over the
+/// network on first touch (prefetch pool, query caches and QueryStats
+/// all work unchanged). The convenience entry point is
+/// api::OpenRemote (src/api/remote.h).
+Result<std::unique_ptr<api::CompressedRep>> OpenRemoteContainer(
+    const std::string& host_port,
+    const RemoteShardSource::Options& options);
+inline Result<std::unique_ptr<api::CompressedRep>> OpenRemoteContainer(
+    const std::string& host_port) {
+  return OpenRemoteContainer(host_port, RemoteShardSource::Options());
+}
+
+}  // namespace net
+}  // namespace grepair
+
+#endif  // GREPAIR_NET_REMOTE_SOURCE_H_

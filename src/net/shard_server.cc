@@ -1,0 +1,297 @@
+#include "src/net/shard_server.h"
+
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "src/api/container.h"
+
+namespace grepair {
+namespace net {
+
+Result<std::unique_ptr<ShardServer>> ShardServer::Start(
+    const std::string& path, const Options& options) {
+  auto file = MmapFile::Open(path);
+  if (!file.ok()) return file.status();
+  ByteSpan bytes = file.value()->span();
+  ByteSpan payload = bytes;
+  if (api::IsCodecContainer(bytes)) {
+    std::string backend;
+    GREPAIR_RETURN_IF_ERROR(
+        api::UnwrapCodecPayloadView(bytes, &backend, &payload));
+  }
+  return Serve(std::move(file).ValueOrDie(), payload, options);
+}
+
+Result<std::unique_ptr<ShardServer>> ShardServer::Serve(
+    std::shared_ptr<MmapFile> file, ByteSpan payload,
+    const Options& options) {
+  auto server = std::unique_ptr<ShardServer>(new ShardServer());
+  GREPAIR_RETURN_IF_ERROR(
+      server->Init(std::move(file), payload, options));
+  return server;
+}
+
+Status ShardServer::Init(std::shared_ptr<MmapFile> file, ByteSpan payload,
+                         const Options& options) {
+  // v1 containers have no directory to serve; raw grammars and
+  // single-shard payloads have no shards. Fail with advice, not a
+  // generic corruption.
+  if (payload.size >= 8 &&
+      std::memcmp(payload.data, shard::kShardContainerMagic, 8) == 0) {
+    return Status::InvalidArgument(
+        "cannot serve a GRSHARD1 container (no footer directory); "
+        "recompress with --container v2");
+  }
+  auto region = shard::LocateV2DirectoryRegion(payload, &dir_off_);
+  if (!region.ok()) {
+    if (region.status().code() == StatusCode::kCorruption &&
+        payload.size >= 8 &&
+        std::memcmp(payload.data, shard::kShardContainerMagicV2, 8) != 0) {
+      return Status::InvalidArgument(
+          "not a sharded v2 container; `serve` serves GRSHARD2 files "
+          "(compress with a sharded backend)");
+    }
+    return region.status();
+  }
+  // Full parse up front: a corrupt container is refused at Start, not
+  // discovered by the first client.
+  auto dir = shard::ParseV2Directory(region.value(), dir_off_);
+  if (!dir.ok()) return dir.status();
+  // Everything this server will ever put in a frame must fit the
+  // frame bound — refuse oversized containers here with a clear error
+  // instead of letting clients misdiagnose a too-long kDir/kShard
+  // frame as wire corruption.
+  if (8 + region.value().size > kMaxFrameBody) {
+    return Status::InvalidArgument(
+        "container directory (" + std::to_string(region.value().size) +
+        " bytes) exceeds the " + std::to_string(kMaxFrameBody) +
+        "-byte frame bound; re-shard with more shards");
+  }
+  for (size_t i = 0; i < dir.value().rows.size(); ++i) {
+    if (4 + dir.value().rows[i].length > kMaxFrameBody) {
+      return Status::InvalidArgument(
+          "shard " + std::to_string(i) + " payload (" +
+          std::to_string(dir.value().rows[i].length) +
+          " bytes) exceeds the " + std::to_string(kMaxFrameBody) +
+          "-byte frame bound; re-shard with more shards");
+    }
+  }
+
+  file_ = std::move(file);
+  payload_ = payload;
+  dir_region_ = region.value();
+  inner_name_ = std::move(dir.value().inner_name);
+  rows_ = std::move(dir.value().rows);
+  host_ = options.host;
+  io_timeout_ms_ = options.io_timeout_ms;
+
+  auto listener = Socket::ListenTcp(options.host, options.port, &port_);
+  if (!listener.ok()) return listener.status();
+  listener_ = std::move(listener).ValueOrDie();
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+ShardServer::~ShardServer() { Stop(); }
+
+void ShardServer::Stop() {
+  // One teardown at a time; later callers wait for it and return to a
+  // fully stopped server (the destructor relies on that).
+  std::lock_guard<std::mutex> stop_lock(stop_mutex_);
+  if (stopping_.exchange(true)) return;
+  // Unblock the accept loop and every parked recv. Shutdown only —
+  // Close() writes the fd and would race the accept thread's read of
+  // it; the descriptors are closed after the joins below. Some BSDs
+  // refuse shutdown() on a listening socket (ENOTCONN) and leave
+  // accept parked, so a best-effort self-connect wakes it portably.
+  listener_.ShutdownBoth();
+  {
+    auto wake = Socket::ConnectTcp(host_, port_, /*timeout_ms=*/1000);
+    (void)wake;  // accepted (and dropped) or refused — either unparks
+  }
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    for (auto& socket : conn_sockets_) {
+      if (socket != nullptr) socket->ShutdownBoth();
+    }
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.Close();
+  // Joining with conn_mutex_ held would deadlock against a freshly
+  // spawned ServeConnection blocked on that mutex at entry — move the
+  // handles out first (stopping_ is set, so no new threads appear).
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    threads.swap(conn_threads_);
+  }
+  for (auto& t : threads) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void ShardServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    auto conn = listener_.Accept();
+    if (stopping_.load(std::memory_order_relaxed)) break;
+    if (!conn.ok()) {
+      // Transient accept failure (e.g. EMFILE): back off briefly so a
+      // persistent error cannot busy-spin the loop, then keep serving.
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      continue;
+    }
+    Status t = conn.value().SetTimeouts(io_timeout_ms_);
+    if (!t.ok()) continue;
+    stat_connections_.fetch_add(1, std::memory_order_relaxed);
+    // Reap connections that already finished (their fds are closed at
+    // exit; this bounds the thread handles a long-lived server holds).
+    std::vector<std::thread> finished;
+    {
+      std::lock_guard<std::mutex> lock(conn_mutex_);
+      if (stopping_.load(std::memory_order_relaxed)) break;
+      for (size_t slot : finished_slots_) {
+        finished.push_back(std::move(conn_threads_[slot]));
+      }
+      finished_slots_.clear();
+      size_t slot = conn_sockets_.size();
+      conn_sockets_.push_back(
+          std::make_unique<Socket>(std::move(conn).ValueOrDie()));
+      conn_threads_.emplace_back([this, slot] { ServeConnection(slot); });
+    }
+    for (auto& t : finished) {
+      if (t.joinable()) t.join();
+    }
+  }
+}
+
+void ShardServer::ServeConnection(size_t slot) {
+  Socket* socket;
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    socket = conn_sockets_[slot].get();
+  }
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    bool clean_eof = false;
+    auto frame = ReadFrame(socket, &clean_eof);
+    if (!frame.ok()) {
+      if (!clean_eof) {
+        stat_errors_.fetch_add(1, std::memory_order_relaxed);
+        // Malformed bytes: the stream cannot be resynced — tell the
+        // peer why (best effort) and drop the connection.
+        if (frame.status().code() == StatusCode::kCorruption) {
+          (void)SendError(socket, frame.status());
+        }
+      }
+      break;
+    }
+    if (!HandleFrame(socket, frame.value())) break;
+  }
+  socket->ShutdownBoth();
+  // Release the descriptor now (a long-running server must not hold
+  // one fd per past connection until Stop) and offer this thread's
+  // handle to the accept loop for reaping.
+  std::lock_guard<std::mutex> lock(conn_mutex_);
+  socket->Close();
+  finished_slots_.push_back(slot);
+}
+
+bool ShardServer::HandleFrame(Socket* socket, const Frame& frame) {
+  switch (frame.type) {
+    case kGetDir: {
+      if (!frame.body.empty()) {
+        return SendError(socket, Status::InvalidArgument(
+                                     "GetDir carries no body")).ok();
+      }
+      std::vector<uint8_t> body;
+      body.reserve(8 + dir_region_.size);
+      PutU64LE(dir_off_, &body);
+      body.insert(body.end(), dir_region_.begin(), dir_region_.end());
+      stat_requests_.fetch_add(1, std::memory_order_relaxed);
+      return SendFrame(socket, kDir, SpanOf(body)).ok();
+    }
+    case kGetShard: {
+      if (frame.body.size() != 4) {
+        return SendError(socket,
+                         Status::InvalidArgument(
+                             "GetShard body must be a u32 shard index"))
+            .ok();
+      }
+      ByteSource body_src(SpanOf(frame.body), "GetShard body");
+      uint32_t index = 0;
+      if (!body_src.ReadU32LE(&index).ok()) {
+        return SendError(socket, Status::InvalidArgument(
+                                     "GetShard body unreadable")).ok();
+      }
+      if (index >= rows_.size()) {
+        return SendError(
+                   socket,
+                   Status::InvalidArgument(
+                       "shard index " + std::to_string(index) +
+                       " out of range [0, " +
+                       std::to_string(rows_.size()) + ")"))
+            .ok();
+      }
+      const shard::ShardDirEntry& row = rows_[index];
+      if (row.length == 0) {
+        return SendError(socket,
+                         Status::InvalidArgument(
+                             "shard " + std::to_string(index) +
+                             " is edgeless (no payload)"))
+            .ok();
+      }
+      if (4 + row.length > kMaxFrameBody) {
+        return SendError(socket,
+                         Status::OutOfRange(
+                             "shard " + std::to_string(index) +
+                             " payload (" + std::to_string(row.length) +
+                             " bytes) exceeds the frame bound"))
+            .ok();
+      }
+      std::vector<uint8_t> body;
+      body.reserve(4 + row.length);
+      PutU32LE(index, &body);
+      ByteSpan blob = payload_.subspan(row.offset, row.length);
+      body.insert(body.end(), blob.begin(), blob.end());
+      stat_requests_.fetch_add(1, std::memory_order_relaxed);
+      return SendFrame(socket, kShard, SpanOf(body)).ok();
+    }
+    default:
+      // Well-framed but senseless (a client frame type we don't
+      // originate, say): answer with an error and keep the
+      // connection — the stream is still in sync.
+      return SendError(socket,
+                       Status::InvalidArgument(
+                           "unexpected frame type " +
+                           std::to_string(frame.type)))
+          .ok();
+  }
+}
+
+Status ShardServer::SendFrame(Socket* socket, uint8_t type, ByteSpan body) {
+  Status status = WriteFrame(socket, type, body);
+  if (status.ok()) {
+    stat_bytes_sent_.fetch_add(
+        kFrameHeaderBytes + body.size + kFrameChecksumBytes,
+        std::memory_order_relaxed);
+  }
+  return status;
+}
+
+Status ShardServer::SendError(Socket* socket, const Status& status) {
+  stat_errors_.fetch_add(1, std::memory_order_relaxed);
+  auto body = EncodeErrorBody(status);
+  return SendFrame(socket, kError, SpanOf(body));
+}
+
+ShardServer::Stats ShardServer::stats() const {
+  Stats s;
+  s.connections = stat_connections_.load(std::memory_order_relaxed);
+  s.requests = stat_requests_.load(std::memory_order_relaxed);
+  s.bytes_sent = stat_bytes_sent_.load(std::memory_order_relaxed);
+  s.errors = stat_errors_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace net
+}  // namespace grepair

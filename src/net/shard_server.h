@@ -1,0 +1,148 @@
+// ShardServer: serves one GRSHARD2 container over TCP so a fleet of
+// query frontends can share a single compressed corpus.
+//
+// The server mmaps the container once, validates its checksummed
+// footer directory up front, and then answers two requests (see
+// src/net/frame.h for the framing):
+//
+//   kGetDir   -> the raw directory byte region (+ its offset), which
+//                the client reparses with the same hardened parser
+//                the local file path uses
+//   kGetShard -> one shard's payload blob, straight out of the
+//                mapping (no shard is ever decoded server-side)
+//
+// Serving is therefore O(directory) at startup and O(payload bytes)
+// per request — the server never pays an inner deserialization, which
+// is exactly the paper's point: the compressed form is the wire form.
+//
+// Concurrency: one accept thread plus one thread per connection, each
+// handling requests sequentially. Stop() (and the destructor) shuts
+// down the listener and every live connection and joins all threads;
+// it is safe to call while requests are in flight.
+
+#ifndef GREPAIR_NET_SHARD_SERVER_H_
+#define GREPAIR_NET_SHARD_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/net/frame.h"
+#include "src/shard/sharded_codec.h"
+#include "src/util/byte_io.h"
+#include "src/util/mmap_file.h"
+#include "src/util/socket.h"
+#include "src/util/status.h"
+
+namespace grepair {
+namespace net {
+
+class ShardServer {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";  ///< bind address (loopback default)
+    uint16_t port = 0;               ///< 0 = pick an ephemeral port
+    int io_timeout_ms = 30000;       ///< per-connection send/recv bound
+  };
+
+  /// \brief Opens `path` via mmap — a backend-tagged ("GRPCODEC")
+  /// file or a bare container — and serves its GRSHARD2 payload.
+  /// kInvalidArgument for v1 containers (no directory to serve; ask
+  /// for `--container v2`) and non-sharded payloads.
+  static Result<std::unique_ptr<ShardServer>> Start(
+      const std::string& path, const Options& options);
+  static Result<std::unique_ptr<ShardServer>> Start(
+      const std::string& path) {
+    return Start(path, Options());
+  }
+
+  /// \brief Serves an already-available container payload. `file`
+  /// (may be null) pins `payload`'s storage for the server's
+  /// lifetime; with a null file the caller owns that lifetime (the
+  /// in-process test path serving a serialized buffer).
+  static Result<std::unique_ptr<ShardServer>> Serve(
+      std::shared_ptr<MmapFile> file, ByteSpan payload,
+      const Options& options);
+  static Result<std::unique_ptr<ShardServer>> Serve(
+      std::shared_ptr<MmapFile> file, ByteSpan payload) {
+    return Serve(std::move(file), payload, Options());
+  }
+
+  ~ShardServer();
+
+  ShardServer(const ShardServer&) = delete;
+  ShardServer& operator=(const ShardServer&) = delete;
+
+  const std::string& host() const { return host_; }
+  uint16_t port() const { return port_; }
+  std::string host_port() const {
+    return host_ + ":" + std::to_string(port_);
+  }
+  const std::string& inner_name() const { return inner_name_; }
+  size_t num_shards() const { return rows_.size(); }
+
+  /// \brief Shuts the listener and every live connection down and
+  /// joins all worker threads. Idempotent.
+  void Stop();
+
+  /// \brief Monotonic counters since Start (safe to read while
+  /// serving).
+  struct Stats {
+    uint64_t connections = 0;  ///< connections accepted
+    uint64_t requests = 0;     ///< well-formed frames answered
+    uint64_t bytes_sent = 0;   ///< response bytes (frames included)
+    uint64_t errors = 0;       ///< error frames sent + dropped conns
+  };
+  Stats stats() const;
+
+ private:
+  ShardServer() = default;
+
+  Status Init(std::shared_ptr<MmapFile> file, ByteSpan payload,
+              const Options& options);
+  void AcceptLoop();
+  void ServeConnection(size_t slot);
+  // One request -> one response frame (or error frame). Returns false
+  // when the connection must close (unsyncable input stream).
+  bool HandleFrame(Socket* socket, const Frame& frame);
+  Status SendFrame(Socket* socket, uint8_t type, ByteSpan body);
+  Status SendError(Socket* socket, const Status& status);
+
+  std::shared_ptr<MmapFile> file_;  // pins payload_ when non-null
+  ByteSpan payload_;                // the GRSHARD2 container bytes
+  ByteSpan dir_region_;             // footer directory inside payload_
+  uint64_t dir_off_ = 0;
+  std::string inner_name_;
+  std::vector<shard::ShardDirEntry> rows_;
+
+  std::string host_;
+  uint16_t port_ = 0;
+  int io_timeout_ms_ = 30000;
+  Socket listener_;
+  std::thread accept_thread_;
+  std::mutex stop_mutex_;  // serializes Stop callers
+  std::atomic<bool> stopping_{false};
+
+  // Live connections: sockets stay owned here so Stop can shut them
+  // down mid-recv; slots are append-only. Finished connections close
+  // their fd and park their slot in finished_slots_ for the accept
+  // loop to reap (join) — Stop joins whatever remains.
+  std::mutex conn_mutex_;
+  std::vector<std::unique_ptr<Socket>> conn_sockets_;
+  std::vector<std::thread> conn_threads_;
+  std::vector<size_t> finished_slots_;
+
+  mutable std::atomic<uint64_t> stat_connections_{0};
+  mutable std::atomic<uint64_t> stat_requests_{0};
+  mutable std::atomic<uint64_t> stat_bytes_sent_{0};
+  mutable std::atomic<uint64_t> stat_errors_{0};
+};
+
+}  // namespace net
+}  // namespace grepair
+
+#endif  // GREPAIR_NET_SHARD_SERVER_H_

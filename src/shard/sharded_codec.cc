@@ -74,7 +74,15 @@ Status DecodeNodeMap(ByteSource* src, uint64_t count, uint64_t num_nodes,
   uint64_t prev = 0;
   for (uint64_t i = 0; i < count; ++i) {
     uint64_t gap = 0;
-    GREPAIR_RETURN_IF_ERROR(EliasDeltaDecode(&r, &gap));
+    Status decoded = EliasDeltaDecode(&r, &gap);
+    if (!decoded.ok()) {
+      // Normalize the bit reader's kOutOfRange exhaustion: to callers
+      // (including remote clients parsing a served directory) a map
+      // that ends early is corrupt input, full stop.
+      return Status::Corruption("shard node map truncated at entry " +
+                                std::to_string(i) + ": " +
+                                decoded.message());
+    }
     // Checked as `gap > limit`, not `prev + gap > num_nodes`: a gap
     // near 2^64 would wrap the sum back into range and smuggle in an
     // unsorted map that LocalId's binary search cannot query.
@@ -131,13 +139,6 @@ Status RejectNestedInner(const std::string& inner_name) {
     return Status::Corruption("nested sharded containers are not supported");
   }
   return Status::OK();
-}
-
-std::string Hex64(uint64_t v) {
-  char buf[19];
-  std::snprintf(buf, sizeof(buf), "0x%016llx",
-                static_cast<unsigned long long>(v));
-  return buf;
 }
 
 }  // namespace
@@ -354,10 +355,59 @@ bool ShardedRep::ShardResident(size_t i) const {
 
 void ShardedRep::PrefetchOne(size_t shard) const {
   if (shard >= entries_.size() || ShardResident(shard)) return;
+  // Readahead hint first: on mapped sources the kernel starts paging
+  // the payload in while this worker is still in the deserializer's
+  // early bytes.
+  if (source_ != nullptr) {
+    uint64_t hinted = source_->AdviseShard(shard);
+    if (hinted > 0) {
+      stat_hinted_.fetch_add(hinted, std::memory_order_relaxed);
+    }
+  }
   bool faulted = false;
   auto rep = ShardRepFor(shard, &faulted);
   (void)rep;  // errors resurface on the foreground query that needs it
   if (faulted) stat_prefetched_.fetch_add(1, std::memory_order_relaxed);
+}
+
+Result<ByteSpan> ShardedRep::VerifiedPayload(
+    size_t shard, std::vector<uint8_t>* owned) const {
+  const Entry& entry = entries_[shard];
+  ByteSpan payload = entry.payload_bytes();
+  if (payload.size == 0 && entry.length > 0) {
+    // Source-only shard (remote): fetch the bytes now. The span the
+    // source returns either borrows its own pinned storage or points
+    // into *owned.
+    if (source_ == nullptr) {
+      return Status::Internal("source-only shard without a source");
+    }
+    auto fetched = source_->FetchShard(shard, owned);
+    if (!fetched.ok()) return fetched.status();
+    payload = fetched.value();
+    stat_remote_fetches_.fetch_add(1, std::memory_order_relaxed);
+    stat_remote_bytes_.fetch_add(payload.size, std::memory_order_relaxed);
+    if (payload.size != entry.length) {
+      return Status::Corruption(
+          "shard " + std::to_string(shard) + " fetch returned " +
+          std::to_string(payload.size) + " byte(s), directory says " +
+          std::to_string(entry.length));
+    }
+  }
+  // Fail closed on payload corruption before anyone parses the bytes.
+  // Eager entries (checksum 0, bytes straight from Compress or the
+  // already-validated v1 parse) skip the check; every directory-backed
+  // entry carries the v2 checksum.
+  if (entry.checksum != 0 || is_lazy()) {
+    uint64_t actual = HashBytes(payload.data, payload.size);
+    if (actual != entry.checksum) {
+      return Status::Corruption(
+          "shard " + std::to_string(shard) +
+          " payload checksum mismatch (expected " + HexU64(entry.checksum) +
+          ", got " + HexU64(actual) + " over " + std::to_string(payload.size) +
+          " bytes)");
+    }
+  }
+  return payload;
 }
 
 Result<const api::CompressedRep*> ShardedRep::ShardRepFor(
@@ -367,8 +417,7 @@ Result<const api::CompressedRep*> ShardedRep::ShardRepFor(
   if (entry.rep != nullptr) {
     return static_cast<const api::CompressedRep*>(entry.rep.get());
   }
-  ByteSpan payload = entry.payload_bytes();
-  if (payload.size == 0) {
+  if (!entry.has_payload()) {
     return static_cast<const api::CompressedRep*>(nullptr);  // edgeless
   }
   // Lock-free resident fast path: slots are never reset, so a
@@ -382,22 +431,16 @@ Result<const api::CompressedRep*> ShardedRep::ShardRepFor(
     return Status::Internal("lazy shard without an inner codec");
   }
   // Fault path: per-shard mutex so concurrent touches of one shard
-  // deserialize it exactly once while other shards fault in parallel.
+  // deserialize (and, for remote sources, fetch) it exactly once
+  // while other shards fault in parallel.
   std::lock_guard<std::mutex> lock(fault_mutexes_[shard]);
   if (lazy_slots_[shard] != nullptr) {
     return static_cast<const api::CompressedRep*>(lazy_slots_[shard].get());
   }
-  // Fail closed on payload corruption before handing the bytes to the
-  // inner parser.
-  uint64_t actual = HashBytes(payload.data, payload.size);
-  if (actual != entry.checksum) {
-    return Status::Corruption(
-        "shard " + std::to_string(shard) +
-        " payload checksum mismatch (expected " + Hex64(entry.checksum) +
-        ", got " + Hex64(actual) + " over " + std::to_string(payload.size) +
-        " bytes)");
-  }
-  auto rep = inner_codec_->DeserializeSpan(payload);
+  std::vector<uint8_t> fetched;
+  auto payload = VerifiedPayload(shard, &fetched);
+  if (!payload.ok()) return payload.status();
+  auto rep = inner_codec_->DeserializeSpan(payload.value());
   if (!rep.ok()) return rep.status();
   if (rep.value()->num_nodes() != entry.nodes.size()) {
     return Status::Corruption(
@@ -544,18 +587,32 @@ ShardedRep::GetOrDecodeShard(size_t shard, size_t pending) const {
 // instead of caching a second full copy of the compressed bytes for
 // the rep's lifetime; ByteSize computes the exact container size
 // arithmetically without materializing anything. Both are safe to call
-// concurrently on a shared rep (no mutable state) and never fault a
-// lazy shard — the payload bytes are already at hand either way.
+// concurrently on a shared rep and never fault a lazy shard — locally
+// backed payload bytes are already at hand; source-only (remote)
+// shards are fetched through the source, and any fetch failure yields
+// an empty result (an empty buffer never parses as a container, so
+// the failure stays closed).
 std::vector<uint8_t> ShardedRep::Serialize() const {
   std::vector<uint8_t> out(kShardContainerMagic, kShardContainerMagic + 8);
   out.push_back(static_cast<uint8_t>(inner_name_.size()));
   out.insert(out.end(), inner_name_.begin(), inner_name_.end());
   PutU64LE(num_nodes_, &out);
   PutU32LE(static_cast<uint32_t>(entries_.size()), &out);
-  for (const Entry& entry : entries_) {
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& entry = entries_[i];
     PutU64LE(entry.nodes.size(), &out);
     EncodeNodeMap(entry.nodes, &out);
-    ByteSpan payload = entry.payload_bytes();
+    std::vector<uint8_t> fetched;
+    ByteSpan payload;
+    if (entry.has_payload()) {
+      // The per-shard fault mutex upholds ShardSource's contract
+      // (FetchShard is never called concurrently for one shard) when
+      // a serialize races a query faulting the same shard.
+      std::lock_guard<std::mutex> shard_lock(fault_mutexes_[i]);
+      auto verified = VerifiedPayload(i, &fetched);
+      if (!verified.ok()) return {};
+      payload = verified.value();
+    }
     PutU64LE(payload.size, &out);
     out.insert(out.end(), payload.begin(), payload.end());
   }
@@ -568,12 +625,21 @@ std::vector<uint8_t> ShardedRep::SerializeV2() const {
   // Payload blobs first, back to back, recording the directory rows.
   std::vector<ShardDirEntry> dir(entries_.size());
   for (size_t i = 0; i < entries_.size(); ++i) {
-    ByteSpan payload = entries_[i].payload_bytes();
     dir[i].node_count = entries_[i].nodes.size();
-    if (payload.size == 0) continue;
+    if (!entries_[i].has_payload()) continue;
+    std::vector<uint8_t> fetched;
+    std::lock_guard<std::mutex> shard_lock(fault_mutexes_[i]);
+    auto verified = VerifiedPayload(i, &fetched);
+    if (!verified.ok()) return {};
+    ByteSpan payload = verified.value();
     dir[i].offset = out.size();
     dir[i].length = payload.size;
-    dir[i].checksum = HashBytes(payload.data, payload.size);
+    // Entries with a directory checksum were just verified against it
+    // by VerifiedPayload — reuse it instead of hashing the bytes a
+    // second time; only eager entries (checksum 0) compute fresh.
+    dir[i].checksum = entries_[i].checksum != 0
+                          ? entries_[i].checksum
+                          : HashBytes(payload.data, payload.size);
     out.insert(out.end(), payload.begin(), payload.end());
   }
   // Footer directory.
@@ -611,13 +677,31 @@ size_t ShardedRep::ByteSize() const {
       map_bits += EliasDeltaLength(i == 0 ? shifted : shifted - prev);
       prev = shifted;
     }
-    size += 8 + (map_bits + 7) / 8 + 8 + entry.payload_bytes().size;
+    size += 8 + (map_bits + 7) / 8 + 8 +
+            static_cast<size_t>(entry.payload_length());
   }
   return size;
 }
 
 Result<Hypergraph> ShardedRep::Decompress() const {
   size_t count = entries_.size();
+  // A full decompression walks every payload front to back: tell the
+  // kernel so readahead runs ahead of the workers. Restored to
+  // MADV_NORMAL on every exit path so a long-lived rep's later
+  // point-query faults are not stuck with sequential readahead.
+  struct SequentialHint {
+    ShardSource* source;
+    ~SequentialHint() {
+      if (source != nullptr) (void)source->AdviseNormal();
+    }
+  } hint{nullptr};
+  if (source_ != nullptr) {
+    uint64_t hinted = source_->AdviseSequential();
+    if (hinted > 0) {
+      stat_hinted_.fetch_add(hinted, std::memory_order_relaxed);
+      hint.source = source_.get();
+    }
+  }
   // Sentinel status keeps Result's value-or-error contract honest for
   // slots the workers never fill (edgeless shards with no payload).
   std::vector<Result<Hypergraph>> locals(
@@ -930,6 +1014,10 @@ api::QueryStats ShardedRep::query_stats() const {
   stats.shard_faults = stat_faults_.load(std::memory_order_relaxed);
   stats.shards_prefetched =
       stat_prefetched_.load(std::memory_order_relaxed);
+  stats.bytes_hinted = stat_hinted_.load(std::memory_order_relaxed);
+  stats.remote_fetches =
+      stat_remote_fetches_.load(std::memory_order_relaxed);
+  stats.remote_bytes = stat_remote_bytes_.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(cache_mutex_);
     stats.cache_bytes_used = cache_bytes_used_ + result_bytes_used_;
@@ -1028,18 +1116,18 @@ Result<std::unique_ptr<ShardedRep>> ShardedRep::ParseV1(ByteSpan bytes) {
                                       num_nodes, std::move(entries));
 }
 
-namespace {
-
 // Shared v2 footer walk: validates magic/trailer/directory checksum
-// and hands the caller a cursor positioned at the directory start plus
-// the directory offset. Every failure names expected vs actual sizes.
-Status LocateV2Directory(ByteSpan bytes, uint64_t* dir_off_out,
-                         ByteSource* dir_out) {
-  if (bytes.size < 8 + kV2TrailerBytes) {
+// and hands back the raw directory byte region plus its offset. Every
+// failure names expected vs actual sizes. Public because the shard
+// server ships exactly this region to remote clients.
+Result<ByteSpan> LocateV2DirectoryRegion(ByteSpan bytes,
+                                         uint64_t* dir_off_out) {
+  if (bytes.size < 8 + kV2TrailerBytes ||
+      std::memcmp(bytes.data, kShardContainerMagicV2, 8) != 0) {
     return Status::Corruption(
-        "sharded v2 container truncated: " + std::to_string(bytes.size) +
-        " byte(s), need at least " +
-        std::to_string(8 + kV2TrailerBytes));
+        "not a sharded v2 container (bad magic or " +
+        std::to_string(bytes.size) + " byte(s), need at least " +
+        std::to_string(8 + kV2TrailerBytes) + ")");
   }
   ByteSource trailer(
       bytes.subspan(bytes.size - kV2TrailerBytes, kV2TrailerBytes),
@@ -1060,13 +1148,13 @@ Status LocateV2Directory(ByteSpan bytes, uint64_t* dir_off_out,
   if (actual != dir_checksum) {
     return Status::Corruption(
         "sharded v2 directory checksum mismatch (expected " +
-        Hex64(dir_checksum) + ", got " + Hex64(actual) + ")");
+        HexU64(dir_checksum) + ", got " + HexU64(actual) + ")");
   }
   *dir_off_out = dir_off;
-  *dir_out = ByteSource(bytes.subspan(dir_off, dir_len),
-                        "sharded v2 directory");
-  return Status::OK();
+  return bytes.subspan(dir_off, dir_len);
 }
+
+namespace {
 
 // Reads the fixed head of the v2 directory (inner name, node count,
 // shard count) with the same hardening as the v1 parser.
@@ -1124,46 +1212,150 @@ Status ReadV2DirectoryRow(ByteSource* dir, uint64_t dir_off, size_t shard,
 
 }  // namespace
 
-Result<std::unique_ptr<ShardedRep>> ShardedRep::ParseV2(
-    ByteSpan bytes, std::shared_ptr<MmapFile> file,
-    std::shared_ptr<std::vector<uint8_t>> owned) {
-  uint64_t dir_off = 0;
-  ByteSource dir(ByteSpan{});
-  GREPAIR_RETURN_IF_ERROR(LocateV2Directory(bytes, &dir_off, &dir));
-  std::string inner_name;
-  uint64_t num_nodes = 0;
+Result<ParsedDirectory> ParseV2Directory(ByteSpan dir_bytes,
+                                         uint64_t dir_off) {
+  ByteSource dir(dir_bytes, "sharded v2 directory");
+  ParsedDirectory parsed;
   uint32_t shard_count = 0;
-  GREPAIR_RETURN_IF_ERROR(
-      ReadV2DirectoryHead(&dir, &inner_name, &num_nodes, &shard_count));
-  GREPAIR_RETURN_IF_ERROR(RejectNestedInner(inner_name));
-
-  auto inner = api::CodecRegistry::Create(inner_name);
-  if (!inner.ok()) return inner.status();
-
-  std::vector<Entry> entries;
+  GREPAIR_RETURN_IF_ERROR(ReadV2DirectoryHead(
+      &dir, &parsed.inner_name, &parsed.num_nodes, &shard_count));
   for (uint32_t i = 0; i < shard_count; ++i) {
     ShardDirEntry row;
     ByteSpan map;
     GREPAIR_RETURN_IF_ERROR(ReadV2DirectoryRow(&dir, dir_off, i, &row, &map));
-    Entry entry;
+    std::vector<NodeId> nodes;
     ByteSource map_src(map, "shard " + std::to_string(i) + " node map");
-    GREPAIR_RETURN_IF_ERROR(
-        DecodeNodeMap(&map_src, row.node_count, num_nodes, &entry.nodes));
+    GREPAIR_RETURN_IF_ERROR(DecodeNodeMap(&map_src, row.node_count,
+                                          parsed.num_nodes, &nodes));
     GREPAIR_RETURN_IF_ERROR(map_src.ExpectExhausted("node map"));
+    parsed.rows.push_back(row);
+    parsed.node_maps.push_back(std::move(nodes));
+  }
+  GREPAIR_RETURN_IF_ERROR(dir.ExpectExhausted("sharded v2 directory"));
+  return parsed;
+}
+
+namespace {
+
+// The local payload source: pins the mmap (or the owned buffer) a v2
+// container was opened over and hands out borrowed views. The remote
+// twin lives in src/net/remote_source.{h,cc}.
+class LocalShardSource : public ShardSource {
+ public:
+  LocalShardSource(std::shared_ptr<MmapFile> file,
+                   std::shared_ptr<std::vector<uint8_t>> owned,
+                   std::vector<ByteSpan> payloads)
+      : file_(std::move(file)),
+        owned_(std::move(owned)),
+        payloads_(std::move(payloads)) {}
+
+  const char* kind() const override {
+    return file_ != nullptr && file_->is_mapped() ? "local-mmap"
+                                                  : "local-heap";
+  }
+
+  Result<ByteSpan> FetchShard(size_t shard,
+                              std::vector<uint8_t>* owned) override {
+    (void)owned;  // the backing store outlives the rep; no copy needed
+    if (shard >= payloads_.size()) {
+      return Status::Internal("shard index out of range in local source");
+    }
+    return payloads_[shard];
+  }
+
+  uint64_t AdviseShard(size_t shard) override {
+    if (file_ == nullptr || shard >= payloads_.size()) return 0;
+    ByteSpan payload = payloads_[shard];
+    if (payload.size == 0) return 0;
+    ByteSpan map = file_->span();
+    if (payload.data < map.data || payload.data + payload.size >
+                                       map.data + map.size) {
+      return 0;  // heap-owned container bytes: nothing to madvise
+    }
+    return file_->AdviseWillNeed(
+        static_cast<size_t>(payload.data - map.data), payload.size);
+  }
+
+  uint64_t AdviseSequential() override {
+    return file_ != nullptr ? file_->AdviseSequential() : 0;
+  }
+
+  uint64_t AdviseNormal() override {
+    return file_ != nullptr ? file_->AdviseNormal() : 0;
+  }
+
+ private:
+  std::shared_ptr<MmapFile> file_;
+  std::shared_ptr<std::vector<uint8_t>> owned_;
+  std::vector<ByteSpan> payloads_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<ShardedRep>> ShardedRep::ParseV2(
+    ByteSpan bytes, std::shared_ptr<MmapFile> file,
+    std::shared_ptr<std::vector<uint8_t>> owned) {
+  uint64_t dir_off = 0;
+  auto region = LocateV2DirectoryRegion(bytes, &dir_off);
+  if (!region.ok()) return region.status();
+  auto dir = ParseV2Directory(region.value(), dir_off);
+  if (!dir.ok()) return dir.status();
+  GREPAIR_RETURN_IF_ERROR(RejectNestedInner(dir.value().inner_name));
+
+  auto inner = api::CodecRegistry::Create(dir.value().inner_name);
+  if (!inner.ok()) return inner.status();
+
+  std::vector<Entry> entries;
+  std::vector<ByteSpan> payloads;
+  for (size_t i = 0; i < dir.value().rows.size(); ++i) {
+    const ShardDirEntry& row = dir.value().rows[i];
+    Entry entry;
+    entry.nodes = std::move(dir.value().node_maps[i]);
     if (row.length > 0) {
       entry.view = bytes.subspan(row.offset, row.length);
       entry.checksum = row.checksum;
     }
+    payloads.push_back(entry.view);
     entries.push_back(std::move(entry));
   }
-  GREPAIR_RETURN_IF_ERROR(dir.ExpectExhausted("sharded v2 directory"));
 
-  auto rep = std::make_unique<ShardedRep>(inner_name,
+  auto rep = std::make_unique<ShardedRep>(dir.value().inner_name,
                                           inner.value()->capabilities(),
-                                          num_nodes, std::move(entries));
+                                          dir.value().num_nodes,
+                                          std::move(entries));
   rep->inner_codec_ = std::move(inner).ValueOrDie();
-  rep->backing_file_ = std::move(file);
-  rep->backing_bytes_ = std::move(owned);
+  rep->source_ = std::make_shared<LocalShardSource>(
+      std::move(file), std::move(owned), std::move(payloads));
+  return rep;
+}
+
+Result<std::unique_ptr<ShardedRep>> ShardedRep::OpenFromSource(
+    std::shared_ptr<ShardSource> source, ParsedDirectory dir) {
+  if (source == nullptr) {
+    return Status::InvalidArgument("OpenFromSource needs a source");
+  }
+  GREPAIR_RETURN_IF_ERROR(RejectNestedInner(dir.inner_name));
+  if (dir.rows.size() != dir.node_maps.size() || dir.rows.empty() ||
+      dir.rows.size() > kMaxShardCount) {
+    return Status::Corruption("sharded directory shard count out of range");
+  }
+  auto inner = api::CodecRegistry::Create(dir.inner_name);
+  if (!inner.ok()) return inner.status();
+
+  std::vector<Entry> entries;
+  for (size_t i = 0; i < dir.rows.size(); ++i) {
+    Entry entry;
+    entry.nodes = std::move(dir.node_maps[i]);
+    entry.length = dir.rows[i].length;
+    entry.checksum = dir.rows[i].checksum;
+    entries.push_back(std::move(entry));
+  }
+  auto rep = std::make_unique<ShardedRep>(dir.inner_name,
+                                          inner.value()->capabilities(),
+                                          dir.num_nodes,
+                                          std::move(entries));
+  rep->inner_codec_ = std::move(inner).ValueOrDie();
+  rep->source_ = std::move(source);
   return rep;
 }
 
@@ -1198,8 +1390,11 @@ Result<ShardContainerInfo> ShardedRep::Inspect(ByteSpan bytes) {
   info.version = version.value();
   if (info.version == 2) {
     uint64_t dir_off = 0;
-    ByteSource dir(ByteSpan{});
-    GREPAIR_RETURN_IF_ERROR(LocateV2Directory(bytes, &dir_off, &dir));
+    auto region = LocateV2DirectoryRegion(bytes, &dir_off);
+    if (!region.ok()) return region.status();
+    // Row walk only — the node-map bits are length-prefixed and
+    // skipped undecoded, so `info` stays O(directory), not O(nodes).
+    ByteSource dir(region.value(), "sharded v2 directory");
     uint32_t shard_count = 0;
     GREPAIR_RETURN_IF_ERROR(ReadV2DirectoryHead(&dir, &info.inner_name,
                                                 &info.num_nodes,

@@ -54,6 +54,12 @@
 // shards they are about to touch; Prefetch/PrefetchAll warm
 // explicitly); answers are byte-identical with or without prefetch.
 //
+// Where a faulting shard's bytes come from is the ShardSource seam
+// (below): the local backing store and the remote TCP client
+// (src/net/) implement the same interface, so a rep opened via
+// api::OpenRemote faults shards across the network through exactly
+// this machinery — same verification, same caches, same stats.
+//
 // Query caching: each rep carries a bounded LRU cache of *decoded
 // shard neighborhoods* — a shard's full out/in adjacency in global
 // ids, materialized once from the inner rep. Batch queries decode
@@ -98,6 +104,49 @@ extern const char kShardContainerMagicV2[8];  ///< "GRSHARD2" (lazy/footer)
 /// \brief Default byte budget of the per-shard query cache.
 inline constexpr size_t kDefaultQueryCacheBytes = 64ull << 20;
 
+/// \brief Where a lazy ShardedRep's payload bytes come from — the
+/// seam the local mmap backing store, the remote TCP client
+/// (net::RemoteShardSource) and any future tiered backend implement.
+/// A rep holds exactly one source for its lifetime; the source owns
+/// (or pins) whatever storage its returned spans borrow from.
+class ShardSource {
+ public:
+  virtual ~ShardSource() = default;
+
+  /// \brief Human-readable backend kind ("local-mmap", "local-heap",
+  /// "remote") for the CLI and logs.
+  virtual const char* kind() const = 0;
+
+  /// \brief Fetches shard `shard`'s payload bytes. Sources that must
+  /// materialize a copy (remote) place it in *owned and return a view
+  /// of it; sources whose storage outlives the rep (local mmap)
+  /// return a borrowed view and leave *owned untouched. Must be safe
+  /// to call concurrently for distinct shards (the caller serializes
+  /// per-shard). Checksum verification stays with the caller
+  /// (ShardedRep), so every source gets it for free.
+  virtual Result<ByteSpan> FetchShard(size_t shard,
+                                      std::vector<uint8_t>* owned) = 0;
+
+  /// \brief Readahead hint for one shard's payload (MADV_WILLNEED on
+  /// mapped sources). Returns the number of bytes hinted (0 = no-op);
+  /// the rep accumulates this into QueryStats::bytes_hinted.
+  virtual uint64_t AdviseShard(size_t shard) {
+    (void)shard;
+    return 0;
+  }
+
+  /// \brief Whole-container sequential-access hint (MADV_SEQUENTIAL
+  /// on mapped sources, ahead of a full Decompress walk). Returns
+  /// bytes hinted.
+  virtual uint64_t AdviseSequential() { return 0; }
+
+  /// \brief Undoes AdviseSequential once the walk is done
+  /// (MADV_NORMAL), so a long-lived mapping returns to the default
+  /// readahead that random point-query faults want. Returns bytes
+  /// covered.
+  virtual uint64_t AdviseNormal() { return 0; }
+};
+
 /// \brief Directory metadata of one shard inside a container, as
 /// reported by ShardedRep::Inspect (the CLI's `info` subcommand).
 struct ShardDirEntry {
@@ -116,6 +165,33 @@ struct ShardContainerInfo {
   std::vector<ShardDirEntry> shards;
 };
 
+/// \brief A fully parsed GRSHARD2 footer directory: everything a lazy
+/// rep needs except the payload bytes themselves. This is the unit
+/// the shard server ships to remote clients (as the verbatim
+/// directory byte region), so the network path reuses exactly the
+/// hardened parser the file path uses.
+struct ParsedDirectory {
+  std::string inner_name;
+  uint64_t num_nodes = 0;
+  std::vector<ShardDirEntry> rows;
+  std::vector<std::vector<NodeId>> node_maps;  ///< rows.size() entries
+};
+
+/// \brief Locates the checksummed footer directory of a GRSHARD2
+/// container: validates the magic, the trailer, and the directory
+/// checksum, and returns the raw directory byte region. *dir_off
+/// receives the region's offset inside the container.
+Result<ByteSpan> LocateV2DirectoryRegion(ByteSpan container,
+                                         uint64_t* dir_off);
+
+/// \brief Parses raw GRSHARD2 directory bytes (the region
+/// LocateV2DirectoryRegion returns) with full untrusted-input
+/// hardening: shard/node-count bounds, node-map range checks, payload
+/// ranges confined to [8, dir_off), no trailing bytes. `dir_off` is
+/// the directory's offset inside its container (remote clients pass
+/// the server-reported value; they never dereference the offsets).
+Result<ParsedDirectory> ParseV2Directory(ByteSpan dir, uint64_t dir_off);
+
 /// \brief Multi-shard compressed representation (container formats
 /// above). Implements the full CompressedRep query surface by routing
 /// to the owning shards; shards may be eager (v1, Compress) or lazy
@@ -126,17 +202,27 @@ class ShardedRep : public api::CompressedRep {
     std::vector<NodeId> nodes;     ///< sorted global IDs
     std::vector<uint8_t> payload;  ///< owned inner bytes (eager path)
     ByteSpan view;       ///< borrowed inner bytes (lazy path); the rep
-                         ///< pins the backing store alive
+                         ///< pins the backing store (source) alive
+    uint64_t length = 0;    ///< directory payload length for shards
+                            ///< whose bytes live behind the source
+                            ///< only (remote); 0 when resident/edgeless
     uint64_t checksum = 0;  ///< v2 payload checksum, verified at fault
     std::unique_ptr<api::CompressedRep> rep;  ///< eager rep; null when
                                               ///< lazy or edgeless
 
-    /// \brief The payload bytes regardless of ownership mode.
+    /// \brief The locally resident payload bytes (empty for
+    /// source-only shards, whose bytes are fetched at fault time).
     ByteSpan payload_bytes() const {
       return view.data != nullptr ? view
                                   : ByteSpan(payload.data(), payload.size());
     }
-    bool has_payload() const { return payload_bytes().size != 0; }
+    /// \brief Byte length regardless of residency (the directory
+    /// length for source-only shards).
+    uint64_t payload_length() const {
+      ByteSpan resident = payload_bytes();
+      return resident.size != 0 ? resident.size : length;
+    }
+    bool has_payload() const { return payload_length() != 0; }
   };
 
   ShardedRep(std::string inner_name, uint32_t inner_capabilities,
@@ -146,12 +232,16 @@ class ShardedRep : public api::CompressedRep {
   /// \brief Always emits the version-1 container (the byte-stable
   /// interchange form; golden-pinned). Works on lazy reps without
   /// faulting anything — payload bytes are copied straight out of the
-  /// backing store.
+  /// backing store. Shards whose bytes are not locally resident
+  /// (remote sources) are fetched and checksum-verified through the
+  /// source; if any fetch fails the result is an empty vector, which
+  /// never parses as a container, so failure stays closed.
   std::vector<uint8_t> Serialize() const override;
 
   /// \brief Emits the version-2 footer-directory container (payload
   /// blobs, then directory with per-shard offset/length/checksum/node
   /// map, then a checksummed trailer). Deterministic; never faults.
+  /// Same remote-fetch contract as Serialize().
   std::vector<uint8_t> SerializeV2() const;
 
   size_t ByteSize() const override;
@@ -207,6 +297,15 @@ class ShardedRep : public api::CompressedRep {
   /// a header scan).
   static Result<ShardContainerInfo> Inspect(ByteSpan bytes);
 
+  /// \brief Opens a lazy rep over an arbitrary payload source: shard
+  /// metadata comes from `dir` (a parsed GRSHARD2 directory — local
+  /// file or fetched over the network), and each shard's bytes are
+  /// pulled from `source` on first touch, checksum-verified against
+  /// the directory like any other fault. This is how a remote
+  /// container plugs in behind the existing lazy-fault machinery.
+  static Result<std::unique_ptr<ShardedRep>> OpenFromSource(
+      std::shared_ptr<ShardSource> source, ParsedDirectory dir);
+
   /// \brief Thread-pool size for Decompress (default 1; the CLI's
   /// `decompress --threads` sets it).
   void set_decompress_threads(int threads);
@@ -244,8 +343,15 @@ class ShardedRep : public api::CompressedRep {
   const Entry& entry(size_t i) const { return entries_[i]; }
 
   /// \brief True when this rep materializes shards on first touch
-  /// (opened from a v2 container) rather than holding them decoded.
+  /// (opened from a v2 container or a remote source) rather than
+  /// holding them decoded.
   bool is_lazy() const { return inner_codec_ != nullptr; }
+
+  /// \brief The payload source's kind ("local-mmap", "local-heap",
+  /// "remote"), or "resident" for eager reps with no source.
+  const char* source_kind() const {
+    return source_ != nullptr ? source_->kind() : "resident";
+  }
 
   /// \brief A shard's decoded adjacency: per local node the sorted
   /// global-id out/in neighbor contributions of this shard. Immutable
@@ -266,6 +372,13 @@ class ShardedRep : public api::CompressedRep {
   Result<const api::CompressedRep*> ShardRepFor(size_t shard,
                                                 bool* faulted = nullptr)
       const;
+
+  /// Shard `shard`'s payload bytes, checksum-verified: the resident
+  /// view/buffer when there is one, otherwise a source fetch into
+  /// *owned (counted in the remote-fetch stats). Never faults an
+  /// inner rep.
+  Result<ByteSpan> VerifiedPayload(size_t shard,
+                                   std::vector<uint8_t>* owned) const;
 
   /// True when shard `i`'s inner rep is resident (eager, or already
   /// faulted) — never triggers a fault.
@@ -299,14 +412,15 @@ class ShardedRep : public api::CompressedRep {
   std::atomic<size_t> cache_bytes_limit_{kDefaultQueryCacheBytes};
 
   // Lazy-open state: the inner codec that faults shards in, the
-  // backing store the payload views borrow from (exactly one of file /
-  // owned bytes is set for lazy reps), per-shard materialization slots
-  // and their mutexes. Faulted reps are immutable once published, and
-  // slots are never reset, so the raw published pointer (the lock-free
-  // resident fast path) stays valid for the rep's lifetime.
+  // payload source the shards' bytes come from (the local backing
+  // store for v2 files/buffers, the TCP client for remote reps — the
+  // source pins whatever storage entry views borrow), per-shard
+  // materialization slots and their mutexes. Faulted reps are
+  // immutable once published, and slots are never reset, so the raw
+  // published pointer (the lock-free resident fast path) stays valid
+  // for the rep's lifetime.
   std::unique_ptr<api::GraphCodec> inner_codec_;  // null = eager rep
-  std::shared_ptr<MmapFile> backing_file_;
-  std::shared_ptr<std::vector<uint8_t>> backing_bytes_;
+  std::shared_ptr<ShardSource> source_;
   mutable std::vector<std::shared_ptr<api::CompressedRep>> lazy_slots_;
   mutable std::unique_ptr<std::atomic<const api::CompressedRep*>[]>
       lazy_published_;
@@ -354,6 +468,9 @@ class ShardedRep : public api::CompressedRep {
   mutable std::atomic<uint64_t> stat_evictions_{0};
   mutable std::atomic<uint64_t> stat_faults_{0};
   mutable std::atomic<uint64_t> stat_prefetched_{0};
+  mutable std::atomic<uint64_t> stat_hinted_{0};
+  mutable std::atomic<uint64_t> stat_remote_fetches_{0};
+  mutable std::atomic<uint64_t> stat_remote_bytes_{0};
 
   // Prefetch pool; guarded by prefetch_mutex_ (knob retunes race with
   // batch enqueues). Declared last so workers are joined before the

@@ -6,9 +6,20 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstdio>
+#include <string>
 #include <vector>
 
 namespace grepair {
+
+/// \brief "0x%016x" rendering of a 64-bit value — the one way every
+/// checksum-mismatch error prints expected vs actual.
+inline std::string HexU64(uint64_t v) {
+  char buf[19];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
 
 /// \brief Mixes a 64-bit value (finalizer of MurmurHash3).
 inline uint64_t Mix64(uint64_t x) {

@@ -1,5 +1,6 @@
 #include "src/util/mmap_file.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -23,6 +24,66 @@ std::string ErrnoText() {
 }
 
 }  // namespace
+
+namespace {
+
+#if GREPAIR_HAVE_MMAP
+size_t PageSize() {
+  long page = sysconf(_SC_PAGESIZE);
+  return page > 0 ? static_cast<size_t>(page) : 4096;
+}
+#endif
+
+}  // namespace
+
+size_t MmapFile::AdviseWillNeed(size_t offset, size_t length) const {
+#if GREPAIR_HAVE_MMAP
+  if (!mapped_ || data_ == nullptr || length == 0 || offset >= size_) {
+    return 0;
+  }
+  length = std::min(length, size_ - offset);
+  // madvise wants a page-aligned start; widen the range to page
+  // boundaries (the mapping itself is page-aligned, so aligning down
+  // from offset stays inside it).
+  size_t page = PageSize();
+  size_t begin = offset - offset % page;
+  size_t end = std::min(size_, offset + length);
+  size_t span = end - begin;
+  const char* base = static_cast<const char*>(data_) + begin;
+  if (madvise(const_cast<char*>(base), span, MADV_WILLNEED) != 0) {
+    return 0;
+  }
+  return span;
+#else
+  (void)offset;
+  (void)length;
+  return 0;
+#endif
+}
+
+size_t MmapFile::AdviseSequential() const {
+#if GREPAIR_HAVE_MMAP
+  if (!mapped_ || data_ == nullptr || size_ == 0) return 0;
+  if (madvise(const_cast<void*>(data_), size_, MADV_SEQUENTIAL) != 0) {
+    return 0;
+  }
+  return size_;
+#else
+  return 0;
+#endif
+}
+
+size_t MmapFile::AdviseNormal() const {
+#if GREPAIR_HAVE_MMAP
+  if (!mapped_ || data_ == nullptr || size_ == 0) return 0;
+  if (madvise(const_cast<void*>(data_), size_, MADV_NORMAL) != 0) {
+    return 0;
+  }
+  return size_;
+#else
+  return 0;
+#endif
+}
 
 MmapFile::~MmapFile() {
 #if GREPAIR_HAVE_MMAP

@@ -50,6 +50,24 @@ class MmapFile {
   /// heap fallback (exposed for tests and the CLI's `info` output).
   bool is_mapped() const { return mapped_; }
 
+  /// \brief MADV_WILLNEED over the page-aligned range covering
+  /// [offset, offset+length) — kicks off readahead so an imminent
+  /// shard fault finds its pages resident. Returns the number of
+  /// bytes actually hinted (0 on the heap fallback, an empty range,
+  /// or a refused madvise; hints are best-effort by design).
+  size_t AdviseWillNeed(size_t offset, size_t length) const;
+
+  /// \brief MADV_SEQUENTIAL over the whole mapping (ahead of a
+  /// front-to-back walk such as a full Decompress). Returns bytes
+  /// hinted, 0 when not mapped or refused.
+  size_t AdviseSequential() const;
+
+  /// \brief MADV_NORMAL over the whole mapping — undoes
+  /// AdviseSequential once the walk is done, so a long-lived mapping
+  /// goes back to the default readahead that random point-query
+  /// faults want. Returns bytes covered, 0 when not mapped/refused.
+  size_t AdviseNormal() const;
+
  private:
   MmapFile() = default;
 

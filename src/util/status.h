@@ -24,6 +24,7 @@ enum class StatusCode {
   kOutOfRange,
   kUnimplemented,
   kInternal,
+  kUnavailable,
 };
 
 /// \brief Result status of a fallible operation.
@@ -54,6 +55,12 @@ class [[nodiscard]] Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  /// \brief Transient external failure (network timeout, closed
+  /// connection, refused endpoint): retrying against a healthy peer
+  /// may succeed, unlike kCorruption, which says the bytes are bad.
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -71,6 +78,7 @@ class [[nodiscard]] Status {
       case StatusCode::kOutOfRange: name = "OutOfRange"; break;
       case StatusCode::kUnimplemented: name = "Unimplemented"; break;
       case StatusCode::kInternal: name = "Internal"; break;
+      case StatusCode::kUnavailable: name = "Unavailable"; break;
     }
     return name + ": " + message_;
   }

@@ -231,6 +231,40 @@ TEST(LazyOpenTest, PrefetchWarmsShardsAheadOfQueries) {
   rep.value()->set_prefetch_threads(0);  // clean shutdown while warm
 }
 
+TEST(LazyOpenTest, PrefetchOverMmapHintsReadaheadBytes) {
+  auto eager = CompressTwoClique();
+  auto wrapped = api::WrapCodecPayload("sharded:grepair",
+                                       AsSharded(eager.get())->SerializeV2());
+  std::string path = TempPath("hints.bin");
+  ASSERT_TRUE(WriteFileBytes(path, wrapped).ok());
+
+  auto file = MmapFile::Open(path);
+  ASSERT_TRUE(file.ok());
+  bool mapped = file.value()->is_mapped();
+
+  auto rep = api::OpenCompressedFile(path);
+  ASSERT_TRUE(rep.ok()) << rep.status().ToString();
+  auto* sharded = AsSharded(rep.value().get());
+  EXPECT_STREQ(sharded->source_kind(), mapped ? "local-mmap" : "local-heap");
+
+  // Prefetch routes a WILLNEED hint through the source before each
+  // fault; Decompress advises the whole mapping SEQUENTIAL. On the
+  // (rare) heap fallback both are no-ops and the counter stays 0.
+  sharded->PrefetchAll();
+  ASSERT_TRUE(rep.value()->Decompress().ok());
+  auto stats = rep.value()->query_stats();
+  if (mapped) {
+    EXPECT_GT(stats.bytes_hinted, 0u);
+  } else {
+    EXPECT_EQ(stats.bytes_hinted, 0u);
+  }
+  // Answers are unaffected by hinting.
+  auto out = rep.value()->OutNeighbors(0);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value(), std::vector<uint64_t>({1, 2, 3}));
+  std::remove(path.c_str());
+}
+
 TEST(LazyOpenTest, ConcurrentQueriersAndPrefetchersAreRaceFree) {
   GeneratedGraph gg = BarabasiAlbert(120, 3, 11);
   auto codec = api::CodecRegistry::Create("sharded:grepair").ValueOrDie();

@@ -1,0 +1,362 @@
+// Fault injection for the shard-serving path: a misbehaving-server
+// shim feeds the client every class of wire-level lie — truncated
+// frames, bit-flipped payloads, wrong shard ids, premature closes,
+// stalled writes, garbage frames, corrupted frame checksums — and
+// every one must surface as a clean Status (kCorruption or
+// kUnavailable), never a crash, hang, or silently wrong answer. The
+// real server is also attacked from the client side (garbage bytes,
+// out-of-range requests, silent connections) and must keep serving
+// well-behaved peers. Runs under the ASan/UBSan and TSan CI legs.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "src/api/grepair_api.h"
+#include "src/net/frame.h"
+#include "src/net/remote_source.h"
+#include "src/net/shard_server.h"
+
+namespace grepair {
+namespace {
+
+// A small real container to lie about: 2 data shards + cut shard.
+std::vector<uint8_t> MakeContainer() {
+  GeneratedGraph gg = BarabasiAlbert(60, 3, 53);
+  auto codec = api::CodecRegistry::Create("sharded:grepair").ValueOrDie();
+  api::CodecOptions options;
+  options.Set("shards", "2");
+  auto rep = codec->Compress(gg.graph, gg.alphabet, options);
+  EXPECT_TRUE(rep.ok()) << rep.status().ToString();
+  return dynamic_cast<shard::ShardedRep*>(rep.value().get())->SerializeV2();
+}
+
+enum class Fault {
+  kNone,               // behave (baseline for the shim itself)
+  kTruncatedFrame,     // half a shard frame, then close
+  kBitFlippedPayload,  // well-framed payload with one flipped bit
+  kWrongShardId,       // echoes index+1
+  kPrematureClose,     // close instead of answering GetShard
+  kStalledWrite,       // sleep past the client's timeout
+  kGarbageFrame,       // non-frame bytes
+  kBadFrameChecksum,   // valid frame, last checksum byte flipped
+  kCorruptDirectory,   // truncated directory at connect time
+};
+
+// Serves the real directory, then applies `fault` to GetShard (or, for
+// kCorruptDirectory, to GetDir). Single-connection, joins on Stop.
+class MisbehavingServer {
+ public:
+  MisbehavingServer(std::vector<uint8_t> container, Fault fault)
+      : container_(std::move(container)), fault_(fault) {
+    uint64_t dir_off = 0;
+    auto region =
+        shard::LocateV2DirectoryRegion(SpanOf(container_), &dir_off);
+    EXPECT_TRUE(region.ok());
+    dir_off_ = dir_off;
+    dir_region_ = region.value();
+    auto rows = shard::ParseV2Directory(dir_region_, dir_off_);
+    EXPECT_TRUE(rows.ok());
+    rows_ = std::move(rows).ValueOrDie().rows;
+    auto listener = Socket::ListenTcp("127.0.0.1", 0, &port_);
+    EXPECT_TRUE(listener.ok()) << listener.status().ToString();
+    listener_ = std::move(listener).ValueOrDie();
+    thread_ = std::thread([this] { Run(); });
+  }
+
+  ~MisbehavingServer() {
+    stopping_.store(true);
+    // Shutdown only: Close() writes the fd and would race the server
+    // thread's Accept; descriptors close with the Socket members
+    // after the join.
+    listener_.ShutdownBoth();
+    {
+      // conn_ is moved into by the server thread between connections;
+      // the shutdown that unblocks its recv must not race that.
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      conn_.ShutdownBoth();
+    }
+    if (thread_.joinable()) thread_.join();
+  }
+
+  std::string host_port() const {
+    return "127.0.0.1:" + std::to_string(port_);
+  }
+
+ private:
+  void Run() {
+    while (!stopping_.load()) {
+      auto conn = listener_.Accept();
+      if (!conn.ok()) return;
+      {
+        std::lock_guard<std::mutex> lock(conn_mu_);
+        conn_ = std::move(conn).ValueOrDie();
+      }
+      (void)conn_.SetTimeouts(2000);
+      ServeOne();
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      conn_.ShutdownBoth();  // a refused answer is a closed connection
+      conn_.Close();
+    }
+  }
+
+  void ServeOne() {
+    while (!stopping_.load()) {
+      bool clean_eof = false;
+      auto frame = net::ReadFrame(&conn_, &clean_eof);
+      if (!frame.ok()) return;
+      if (frame.value().type == net::kGetDir) {
+        std::vector<uint8_t> body;
+        PutU64LE(dir_off_, &body);
+        body.insert(body.end(), dir_region_.begin(), dir_region_.end());
+        if (fault_ == Fault::kCorruptDirectory) {
+          body.resize(body.size() / 2);  // truncated directory
+        }
+        (void)net::WriteFrame(&conn_, net::kDir, SpanOf(body));
+        continue;
+      }
+      if (frame.value().type != net::kGetShard ||
+          frame.value().body.size() != 4) {
+        return;
+      }
+      uint32_t index = 0;
+      for (int i = 0; i < 4; ++i) {
+        index |= static_cast<uint32_t>(frame.value().body[i]) << (8 * i);
+      }
+      if (!Misbehave(index)) return;
+    }
+  }
+
+  // One faulty GetShard answer; false = close the connection.
+  bool Misbehave(uint32_t index) {
+    std::vector<uint8_t> body;
+    PutU32LE(index, &body);
+    if (index < rows_.size() && rows_[index].length > 0) {
+      ByteSpan blob = SpanOf(container_)
+                          .subspan(rows_[index].offset, rows_[index].length);
+      body.insert(body.end(), blob.begin(), blob.end());
+    }
+    switch (fault_) {
+      case Fault::kNone:
+      case Fault::kCorruptDirectory:
+        return net::WriteFrame(&conn_, net::kShard, SpanOf(body)).ok();
+      case Fault::kTruncatedFrame: {
+        auto bytes = net::EncodeFrame(net::kShard, SpanOf(body));
+        bytes.resize(bytes.size() / 2);
+        (void)conn_.SendAll(SpanOf(bytes));
+        return false;
+      }
+      case Fault::kBitFlippedPayload:
+        // Flip one payload bit, then frame normally: the frame
+        // checksum is consistent with the flipped bytes, so only the
+        // directory's payload checksum can catch it.
+        body[4 + body.size() / 2] ^= 0x10;
+        return net::WriteFrame(&conn_, net::kShard, SpanOf(body)).ok();
+      case Fault::kWrongShardId: {
+        std::vector<uint8_t> wrong;
+        PutU32LE(index + 1, &wrong);
+        wrong.insert(wrong.end(), body.begin() + 4, body.end());
+        return net::WriteFrame(&conn_, net::kShard, SpanOf(wrong)).ok();
+      }
+      case Fault::kPrematureClose:
+        return false;
+      case Fault::kStalledWrite:
+        // Far past the client's 300 ms timeout; bounded so teardown
+        // stays fast.
+        for (int i = 0; i < 20 && !stopping_.load(); ++i) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        }
+        return net::WriteFrame(&conn_, net::kShard, SpanOf(body)).ok();
+      case Fault::kGarbageFrame: {
+        std::vector<uint8_t> garbage(32, 0x5A);
+        (void)conn_.SendAll(SpanOf(garbage));
+        return false;
+      }
+      case Fault::kBadFrameChecksum: {
+        auto bytes = net::EncodeFrame(net::kShard, SpanOf(body));
+        bytes.back() ^= 0xFF;
+        (void)conn_.SendAll(SpanOf(bytes));
+        return false;
+      }
+    }
+    return false;
+  }
+
+  std::vector<uint8_t> container_;
+  Fault fault_;
+  uint64_t dir_off_ = 0;
+  ByteSpan dir_region_;
+  std::vector<shard::ShardDirEntry> rows_;
+  uint16_t port_ = 0;
+  Socket listener_;
+  std::mutex conn_mu_;  // guards moves/closes of conn_, not its IO
+  Socket conn_;
+  std::atomic<bool> stopping_{false};
+  std::thread thread_;
+};
+
+class NetFaultTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    container_ = new std::vector<uint8_t>(MakeContainer());
+  }
+  static void TearDownTestSuite() {
+    delete container_;
+    container_ = nullptr;
+  }
+  static std::vector<uint8_t>* container_;
+};
+
+std::vector<uint8_t>* NetFaultTest::container_ = nullptr;
+
+// Expects OpenRemote to succeed and the first query to fail with a
+// clean, descriptive Status of an expected code.
+void ExpectQueryFailsClosed(const std::string& host_port,
+                            std::initializer_list<StatusCode> codes) {
+  net::RemoteShardSource::Options options;
+  options.io_timeout_ms = 300;
+  auto rep = net::OpenRemoteContainer(host_port, options);
+  ASSERT_TRUE(rep.ok()) << rep.status().ToString();
+  auto out = rep.value()->OutNeighbors(0);
+  ASSERT_FALSE(out.ok()) << "query must fail closed";
+  bool expected = false;
+  for (StatusCode code : codes) {
+    if (out.status().code() == code) expected = true;
+  }
+  EXPECT_TRUE(expected) << out.status().ToString();
+  EXPECT_FALSE(out.status().message().empty());
+  // The failure must not poison the error contract: a second query is
+  // still a clean Status (fail-fast on the broken connection or a
+  // fresh failure), never a crash.
+  auto again = rep.value()->OutNeighbors(0);
+  EXPECT_FALSE(again.ok());
+}
+
+TEST_F(NetFaultTest, ShimBaselineBehaves) {
+  MisbehavingServer server(*container_, Fault::kNone);
+  auto rep = net::OpenRemoteContainer(server.host_port());
+  ASSERT_TRUE(rep.ok()) << rep.status().ToString();
+  auto out = rep.value()->OutNeighbors(0);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+}
+
+TEST_F(NetFaultTest, TruncatedFrameFailsClosed) {
+  MisbehavingServer server(*container_, Fault::kTruncatedFrame);
+  ExpectQueryFailsClosed(server.host_port(), {StatusCode::kUnavailable});
+}
+
+TEST_F(NetFaultTest, BitFlippedPayloadFailsChecksum) {
+  MisbehavingServer server(*container_, Fault::kBitFlippedPayload);
+  net::RemoteShardSource::Options options;
+  options.io_timeout_ms = 2000;
+  auto rep = net::OpenRemoteContainer(server.host_port(), options);
+  ASSERT_TRUE(rep.ok()) << rep.status().ToString();
+  auto out = rep.value()->OutNeighbors(0);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(out.status().message().find("checksum"), std::string::npos)
+      << out.status().ToString();
+}
+
+TEST_F(NetFaultTest, WrongShardIdIsCorruption) {
+  MisbehavingServer server(*container_, Fault::kWrongShardId);
+  ExpectQueryFailsClosed(server.host_port(), {StatusCode::kCorruption});
+}
+
+TEST_F(NetFaultTest, PrematureCloseIsUnavailable) {
+  MisbehavingServer server(*container_, Fault::kPrematureClose);
+  ExpectQueryFailsClosed(server.host_port(), {StatusCode::kUnavailable});
+}
+
+TEST_F(NetFaultTest, StalledWriteTimesOutInsteadOfHanging) {
+  MisbehavingServer server(*container_, Fault::kStalledWrite);
+  auto start = std::chrono::steady_clock::now();
+  ExpectQueryFailsClosed(server.host_port(), {StatusCode::kUnavailable});
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  // 300 ms timeout, generous margin for loaded runners — the point is
+  // "bounded", not "fast".
+  EXPECT_LT(std::chrono::duration<double>(elapsed).count(), 10.0);
+}
+
+TEST_F(NetFaultTest, GarbageFrameIsCorruption) {
+  MisbehavingServer server(*container_, Fault::kGarbageFrame);
+  ExpectQueryFailsClosed(
+      server.host_port(),
+      {StatusCode::kCorruption, StatusCode::kUnavailable});
+}
+
+TEST_F(NetFaultTest, CorruptedFrameChecksumIsCorruption) {
+  MisbehavingServer server(*container_, Fault::kBadFrameChecksum);
+  ExpectQueryFailsClosed(server.host_port(), {StatusCode::kCorruption});
+}
+
+TEST_F(NetFaultTest, CorruptDirectoryFailsAtConnect) {
+  MisbehavingServer server(*container_, Fault::kCorruptDirectory);
+  net::RemoteShardSource::Options options;
+  options.io_timeout_ms = 2000;
+  auto rep = net::OpenRemoteContainer(server.host_port(), options);
+  ASSERT_FALSE(rep.ok());
+  EXPECT_EQ(rep.status().code(), StatusCode::kCorruption);
+}
+
+// --- attacks against the real server -------------------------------------
+
+TEST_F(NetFaultTest, RealServerSurvivesGarbageAndKeepsServing) {
+  auto server = net::ShardServer::Serve(nullptr, SpanOf(*container_));
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  // Garbage connection: raw non-frame bytes.
+  {
+    auto conn = Socket::ConnectTcp("127.0.0.1", server.value()->port(),
+                                   2000);
+    ASSERT_TRUE(conn.ok());
+    std::vector<uint8_t> garbage(64, 0xFF);
+    ASSERT_TRUE(conn.value().SendAll(SpanOf(garbage)).ok());
+  }
+  // Out-of-range and edgeless shard requests: error frames, and the
+  // connection stays usable afterwards.
+  {
+    auto conn = Socket::ConnectTcp("127.0.0.1", server.value()->port(),
+                                   2000);
+    ASSERT_TRUE(conn.ok());
+    ASSERT_TRUE(conn.value().SetTimeouts(2000).ok());
+    std::vector<uint8_t> body;
+    PutU32LE(999, &body);
+    ASSERT_TRUE(
+        net::WriteFrame(&conn.value(), net::kGetShard, SpanOf(body)).ok());
+    auto reply = net::ReadFrame(&conn.value());
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    ASSERT_EQ(reply.value().type, net::kError);
+    Status decoded = net::DecodeErrorBody(SpanOf(reply.value().body));
+    EXPECT_EQ(decoded.code(), StatusCode::kInvalidArgument);
+    // Same connection, now a valid request.
+    ASSERT_TRUE(
+        net::WriteFrame(&conn.value(), net::kGetDir, ByteSpan{}).ok());
+    auto dir = net::ReadFrame(&conn.value());
+    ASSERT_TRUE(dir.ok());
+    EXPECT_EQ(dir.value().type, net::kDir);
+  }
+  // A well-behaved client still gets correct answers.
+  auto rep = net::OpenRemoteContainer(server.value()->host_port());
+  ASSERT_TRUE(rep.ok()) << rep.status().ToString();
+  EXPECT_TRUE(rep.value()->OutNeighbors(0).ok());
+  EXPECT_GT(server.value()->stats().errors, 0u);
+}
+
+TEST_F(NetFaultTest, StopUnblocksSilentConnections) {
+  auto server = net::ShardServer::Serve(nullptr, SpanOf(*container_));
+  ASSERT_TRUE(server.ok());
+  // A client that connects and says nothing must not wedge Stop.
+  auto conn = Socket::ConnectTcp("127.0.0.1", server.value()->port(), 2000);
+  ASSERT_TRUE(conn.ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  auto start = std::chrono::steady_clock::now();
+  server.value()->Stop();
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(std::chrono::duration<double>(elapsed).count(), 5.0);
+}
+
+}  // namespace
+}  // namespace grepair

@@ -1,0 +1,294 @@
+// Differential proof that remote == local: an in-process ShardServer
+// on a loopback port must answer every query byte-identically to a
+// local open of the same GRSHARD2 container — for every sharded
+// inner codec, for single and batch entry points, at 1 and 8 client
+// threads, over shared and per-thread connections. Also pins the
+// remote QueryStats counters, remote prefetch, remote Serialize, and
+// the api::OpenRemote entry point. The sanitizer CI legs (ASan/UBSan
+// and TSan) run this file: the concurrency tests double as the
+// data-race net for the server/client threading.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "src/api/grepair_api.h"
+#include "src/net/remote_source.h"
+#include "src/net/shard_server.h"
+
+namespace grepair {
+namespace {
+
+// A served container: the serialized bytes plus the server exporting
+// them. Member order matters — the server (declared last) is
+// destroyed first, so it never outlives the bytes it serves.
+struct ServedContainer {
+  std::vector<uint8_t> bytes;
+  std::unique_ptr<net::ShardServer> server;
+
+  std::string host_port() const { return server->host_port(); }
+};
+
+// Compresses `gg` with sharded:<inner> into a v2 container and serves
+// it on an ephemeral loopback port.
+ServedContainer ServeCompressed(const std::string& inner,
+                                const GeneratedGraph& gg, int shards) {
+  ServedContainer served;
+  auto codec = api::CodecRegistry::Create("sharded:" + inner).ValueOrDie();
+  api::CodecOptions options;
+  options.Set("shards", std::to_string(shards));
+  auto rep = codec->Compress(gg.graph, gg.alphabet, options);
+  EXPECT_TRUE(rep.ok()) << rep.status().ToString();
+  auto* sharded = dynamic_cast<shard::ShardedRep*>(rep.value().get());
+  EXPECT_NE(sharded, nullptr);
+  served.bytes = sharded->SerializeV2();
+  auto server = net::ShardServer::Serve(nullptr, SpanOf(served.bytes));
+  EXPECT_TRUE(server.ok()) << server.status().ToString();
+  served.server = std::move(server).ValueOrDie();
+  return served;
+}
+
+template <typename T>
+void ExpectSameResult(const Result<T>& local, const Result<T>& remote,
+                      const std::string& what) {
+  ASSERT_EQ(local.ok(), remote.ok())
+      << what << ": local " << local.status().ToString() << " vs remote "
+      << remote.status().ToString();
+  if (local.ok()) {
+    EXPECT_EQ(local.value(), remote.value()) << what;
+  } else {
+    EXPECT_EQ(local.status().code(), remote.status().code()) << what;
+  }
+}
+
+TEST(RemoteShardTest, EveryShardedCodecAnswersIdenticallyRemoteVsLocal) {
+  GeneratedGraph gg = BarabasiAlbert(90, 3, 17);
+  for (const std::string& inner : api::CodecRegistry::BaseNames()) {
+    SCOPED_TRACE("inner codec " + inner);
+    ServedContainer served = ServeCompressed(inner, gg, 3);
+
+    auto local = shard::ShardedRep::Deserialize(SpanOf(served.bytes));
+    ASSERT_TRUE(local.ok()) << local.status().ToString();
+    auto remote = net::OpenRemoteContainer(served.host_port());
+    ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+    EXPECT_EQ(remote.value()->num_nodes(), local.value()->num_nodes());
+
+    // Single queries, every node, both directions.
+    for (uint64_t v = 0; v < gg.graph.num_nodes(); ++v) {
+      ExpectSameResult(local.value()->OutNeighbors(v),
+                       remote.value()->OutNeighbors(v),
+                       "out[" + std::to_string(v) + "]");
+      ExpectSameResult(local.value()->InNeighbors(v),
+                       remote.value()->InNeighbors(v),
+                       "in[" + std::to_string(v) + "]");
+    }
+    // Reachability over a deterministic pair sample.
+    std::vector<std::pair<uint64_t, uint64_t>> pairs;
+    for (uint64_t i = 0; i < 12; ++i) {
+      pairs.push_back({(i * 7) % gg.graph.num_nodes(),
+                       (i * 13 + 5) % gg.graph.num_nodes()});
+      ExpectSameResult(local.value()->Reachable(pairs.back().first,
+                                                pairs.back().second),
+                       remote.value()->Reachable(pairs.back().first,
+                                                 pairs.back().second),
+                       "reach " + std::to_string(i));
+    }
+    // Batch entry points.
+    std::vector<uint64_t> all_nodes(gg.graph.num_nodes());
+    for (uint64_t v = 0; v < all_nodes.size(); ++v) all_nodes[v] = v;
+    ExpectSameResult(local.value()->OutNeighborsBatch(all_nodes),
+                     remote.value()->OutNeighborsBatch(all_nodes),
+                     "out batch");
+    ExpectSameResult(local.value()->ReachableBatch(pairs),
+                     remote.value()->ReachableBatch(pairs), "reach batch");
+
+    // Full reconstruction agrees too.
+    auto local_graph = local.value()->Decompress();
+    auto remote_graph = remote.value()->Decompress();
+    ASSERT_EQ(local_graph.ok(), remote_graph.ok());
+    if (local_graph.ok()) {
+      EXPECT_TRUE(local_graph.value().EqualUpToEdgeOrder(
+          remote_graph.value()));
+    }
+  }
+}
+
+TEST(RemoteShardTest, RemoteSerializeMatchesLocalByteForByte) {
+  GeneratedGraph gg = BarabasiAlbert(60, 3, 23);
+  ServedContainer served = ServeCompressed("grepair", gg, 4);
+  auto local = shard::ShardedRep::Deserialize(SpanOf(served.bytes));
+  ASSERT_TRUE(local.ok());
+  auto remote = net::OpenRemoteContainer(served.host_port());
+  ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+  // Remote Serialize fetches every payload across the wire and must
+  // reproduce the byte-stable v1 form exactly.
+  EXPECT_EQ(remote.value()->Serialize(), local.value()->Serialize());
+  EXPECT_EQ(remote.value()->ByteSize(), local.value()->ByteSize());
+}
+
+TEST(RemoteShardTest, EightThreadsOnOneConnectionMatchTruth) {
+  GeneratedGraph gg = BarabasiAlbert(120, 3, 29);
+  ServedContainer served = ServeCompressed("grepair", gg, 4);
+
+  auto local = shard::ShardedRep::Deserialize(SpanOf(served.bytes));
+  ASSERT_TRUE(local.ok());
+  std::vector<std::vector<uint64_t>> truth(gg.graph.num_nodes());
+  for (uint64_t v = 0; v < gg.graph.num_nodes(); ++v) {
+    auto r = local.value()->OutNeighbors(v);
+    ASSERT_TRUE(r.ok());
+    truth[v] = r.value();
+  }
+
+  auto remote = net::OpenRemoteContainer(served.host_port());
+  ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+  auto* sharded = dynamic_cast<shard::ShardedRep*>(remote.value().get());
+  ASSERT_NE(sharded, nullptr);
+  sharded->set_query_threads(4);
+
+  std::vector<uint64_t> all_nodes(gg.graph.num_nodes());
+  for (uint64_t v = 0; v < all_nodes.size(); ++v) all_nodes[v] = v;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      if (t % 2 == 0) {
+        auto batch = remote.value()->OutNeighborsBatch(all_nodes);
+        if (!batch.ok()) {
+          ++failures;
+          return;
+        }
+        for (uint64_t v = 0; v < all_nodes.size(); ++v) {
+          if (batch.value()[v] != truth[v]) ++failures;
+        }
+      } else {
+        for (uint64_t v = t; v < all_nodes.size(); v += 3) {
+          auto r = remote.value()->OutNeighbors(v);
+          if (!r.ok() || r.value() != truth[v]) ++failures;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  // Concurrent faults still fetch each shard at most once.
+  auto stats = remote.value()->query_stats();
+  EXPECT_LE(stats.remote_fetches, sharded->num_shards());
+  EXPECT_GT(stats.remote_bytes, 0u);
+}
+
+TEST(RemoteShardTest, EightIndependentConnectionsMatchTruth) {
+  GeneratedGraph gg = BarabasiAlbert(80, 3, 31);
+  ServedContainer served = ServeCompressed("grepair", gg, 3);
+
+  auto local = shard::ShardedRep::Deserialize(SpanOf(served.bytes));
+  ASSERT_TRUE(local.ok());
+  std::vector<std::vector<uint64_t>> truth(gg.graph.num_nodes());
+  for (uint64_t v = 0; v < gg.graph.num_nodes(); ++v) {
+    auto r = local.value()->OutNeighbors(v);
+    ASSERT_TRUE(r.ok());
+    truth[v] = r.value();
+  }
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      auto rep = net::OpenRemoteContainer(served.host_port());
+      if (!rep.ok()) {
+        ++failures;
+        return;
+      }
+      for (uint64_t v = 0; v < truth.size(); ++v) {
+        auto r = rep.value()->OutNeighbors(v);
+        if (!r.ok() || r.value() != truth[v]) ++failures;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GE(served.server->stats().connections, 8u);
+}
+
+TEST(RemoteShardTest, RemotePrefetchWarmsShardsOverTheWire) {
+  GeneratedGraph gg = BarabasiAlbert(70, 3, 37);
+  ServedContainer served = ServeCompressed("grepair", gg, 3);
+  auto remote = net::OpenRemoteContainer(served.host_port());
+  ASSERT_TRUE(remote.ok());
+  auto* sharded = dynamic_cast<shard::ShardedRep*>(remote.value().get());
+  ASSERT_NE(sharded, nullptr);
+
+  sharded->set_prefetch_threads(2);
+  sharded->PrefetchAll();
+  sharded->WaitForPrefetch();
+  auto warm = remote.value()->query_stats();
+  EXPECT_GT(warm.shard_faults, 0u);
+  EXPECT_EQ(warm.remote_fetches, warm.shard_faults);
+
+  // Everything resident: queries cross no more wire.
+  for (uint64_t v = 0; v < gg.graph.num_nodes(); ++v) {
+    ASSERT_TRUE(remote.value()->OutNeighbors(v).ok());
+  }
+  EXPECT_EQ(remote.value()->query_stats().remote_fetches,
+            warm.remote_fetches);
+  sharded->set_prefetch_threads(0);
+}
+
+TEST(RemoteShardTest, ApiOpenRemoteEntryPoint) {
+  GeneratedGraph gg = BarabasiAlbert(50, 3, 41);
+  ServedContainer served = ServeCompressed("grepair", gg, 2);
+  auto rep = api::OpenRemote(served.host_port());
+  ASSERT_TRUE(rep.ok()) << rep.status().ToString();
+  auto out = rep.value()->OutNeighbors(0);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  auto local = shard::ShardedRep::Deserialize(SpanOf(served.bytes));
+  ASSERT_TRUE(local.ok());
+  auto local_out = local.value()->OutNeighbors(0);
+  ASSERT_TRUE(local_out.ok());
+  EXPECT_EQ(out.value(), local_out.value());
+  // The remote rep names its source.
+  auto* sharded = dynamic_cast<shard::ShardedRep*>(rep.value().get());
+  ASSERT_NE(sharded, nullptr);
+  EXPECT_STREQ(sharded->source_kind(), "remote");
+  EXPECT_TRUE(sharded->is_lazy());
+}
+
+TEST(RemoteShardTest, ServingRefusesV1AndNonShardedPayloads) {
+  GeneratedGraph gg = BarabasiAlbert(40, 3, 43);
+  auto codec = api::CodecRegistry::Create("sharded:grepair").ValueOrDie();
+  api::CodecOptions options;
+  options.Set("shards", "2");
+  auto rep = codec->Compress(gg.graph, gg.alphabet, options);
+  ASSERT_TRUE(rep.ok());
+
+  auto v1 = rep.value()->Serialize();  // GRSHARD1: no directory
+  auto v1_server = net::ShardServer::Serve(nullptr, SpanOf(v1));
+  ASSERT_FALSE(v1_server.ok());
+  EXPECT_EQ(v1_server.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(v1_server.status().message().find("v2"), std::string::npos);
+
+  std::vector<uint8_t> garbage = {0xDE, 0xAD, 0xBE, 0xEF};
+  auto bad_server = net::ShardServer::Serve(nullptr, SpanOf(garbage));
+  ASSERT_FALSE(bad_server.ok());
+}
+
+TEST(RemoteShardTest, ConnectErrorsAreCleanStatuses) {
+  // Malformed spec.
+  auto bad_spec = api::OpenRemote("not-a-host-port");
+  ASSERT_FALSE(bad_spec.ok());
+  EXPECT_EQ(bad_spec.status().code(), StatusCode::kInvalidArgument);
+
+  // A port that was just released: connection refused, not a hang.
+  uint16_t dead_port = 0;
+  {
+    auto listener = Socket::ListenTcp("127.0.0.1", 0, &dead_port);
+    ASSERT_TRUE(listener.ok()) << listener.status().ToString();
+  }
+  auto refused = api::OpenRemote(
+      "127.0.0.1:" + std::to_string(dead_port), /*io_timeout_ms=*/2000);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kUnavailable);
+}
+
+}  // namespace
+}  // namespace grepair

@@ -11,8 +11,10 @@
 //           [--options k=v,...] [--shards K] [--threads T]
 //           [--strategy edge-range|bfs]
 //   grepair backends
-//   grepair query <in> [--nodes 1,2,3] [--pairs 1:2,3:4] [--batch]
-//           [--cache-bytes N] [--threads T] [--prefetch P]
+//   grepair query <in>|--remote host:port [--nodes 1,2,3]
+//           [--pairs 1:2,3:4] [--batch] [--cache-bytes N] [--threads T]
+//           [--prefetch P]
+//   grepair serve <in> [--host H] [--port P]
 //   grepair info <in>
 //   grepair stats <in.grg>
 //   grepair reach <in.grg> <from> <to>
@@ -51,18 +53,28 @@
 // `decompress`/`query` on a v2 container materialize only the shards
 // they touch. `info` prints a container's directory — backend, shard
 // offsets/lengths/checksums — without decoding a single shard.
+//
+// Remote serving: `serve` exports a GRSHARD2 container over TCP (the
+// checksummed frame protocol of src/net/), and `query --remote
+// host:port` runs the exact same query paths against it — cold shards
+// fault across the network instead of from the local mapping, and the
+// answers are byte-identical to a local open of the same file.
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/api/grepair_api.h"
+#include "src/net/shard_server.h"
 #include "src/encoding/grammar_coder.h"
 #include "src/grepair/compressor.h"
 #include "src/query/neighborhood.h"
@@ -93,8 +105,9 @@ int Usage() {
       "[--options k=v,...]\n"
       "        [--shards K] [--threads T] [--strategy edge-range|bfs]\n"
       "  backends\n"
-      "  query <in> [--nodes 1,2,3] [--pairs 1:2,3:4] [--batch]\n"
-      "        [--cache-bytes N] [--threads T] [--prefetch P]\n"
+      "  query <in>|--remote host:port [--nodes 1,2,3] [--pairs 1:2,3:4]\n"
+      "        [--batch] [--cache-bytes N] [--threads T] [--prefetch P]\n"
+      "  serve <in> [--host H] [--port P]\n"
       "  info <in>\n"
       "  stats <in.grg>\n"
       "  reach <in.grg> <from> <to>\n"
@@ -572,15 +585,121 @@ void PrintNeighborLine(uint64_t node, const std::vector<uint64_t>& out) {
   std::printf("\n");
 }
 
+// The query half of `query`, shared by local files and --remote reps:
+// apply the sharded tuning knobs, run the node/pair queries (batched
+// or not), print answers plus the query-stats line.
+int RunQueries(std::unique_ptr<api::CompressedRep> rep,
+               const std::string& backend,
+               const std::vector<uint64_t>& nodes,
+               const std::vector<std::pair<uint64_t, uint64_t>>& pairs,
+               bool batch, int threads, bool have_cache_bytes,
+               uint64_t cache_bytes, int prefetch) {
+  if (auto* sharded = dynamic_cast<shard::ShardedRep*>(rep.get())) {
+    if (threads > 1) sharded->set_query_threads(threads);
+    if (have_cache_bytes) {
+      sharded->set_query_cache_bytes(static_cast<size_t>(cache_bytes));
+    }
+    if (prefetch > 0) sharded->set_prefetch_threads(prefetch);
+  } else if (threads > 1 || have_cache_bytes || prefetch > 0) {
+    std::fprintf(stderr,
+                 "note: --threads/--cache-bytes/--prefetch tune sharded "
+                 "containers; '%s' queries ignore them\n",
+                 backend.c_str());
+  }
+  std::printf("[%s] %llu nodes\n", backend.c_str(),
+              static_cast<unsigned long long>(rep->num_nodes()));
+
+  if (!nodes.empty()) {
+    if (batch) {
+      auto results = rep->OutNeighborsBatch(nodes);
+      if (!results.ok()) {
+        std::fprintf(stderr, "%s\n", results.status().ToString().c_str());
+        return 1;
+      }
+      for (size_t j = 0; j < nodes.size(); ++j) {
+        PrintNeighborLine(nodes[j], results.value()[j]);
+      }
+    } else {
+      for (uint64_t node : nodes) {
+        auto out = rep->OutNeighbors(node);
+        if (!out.ok()) {
+          std::fprintf(stderr, "%s\n", out.status().ToString().c_str());
+          return 1;
+        }
+        PrintNeighborLine(node, out.value());
+      }
+    }
+  }
+  if (!pairs.empty()) {
+    std::vector<uint8_t> verdicts;
+    if (batch) {
+      auto results = rep->ReachableBatch(pairs);
+      if (!results.ok()) {
+        std::fprintf(stderr, "%s\n", results.status().ToString().c_str());
+        return 1;
+      }
+      verdicts = std::move(results).ValueOrDie();
+    } else {
+      for (const auto& [from, to] : pairs) {
+        auto r = rep->Reachable(from, to);
+        if (!r.ok()) {
+          std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
+          return 1;
+        }
+        verdicts.push_back(r.value() ? 1 : 0);
+      }
+    }
+    for (size_t k = 0; k < pairs.size(); ++k) {
+      std::printf("reach %llu -> %llu: %s\n",
+                  static_cast<unsigned long long>(pairs[k].first),
+                  static_cast<unsigned long long>(pairs[k].second),
+                  verdicts[k] ? "yes" : "no");
+    }
+  }
+  api::QueryStats stats = rep->query_stats();
+  std::printf("stats: singles=%llu batch_calls=%llu batch_items=%llu "
+              "cache_hits=%llu cache_misses=%llu shard_decodes=%llu "
+              "evictions=%llu cache_bytes=%llu memo_entries=%llu "
+              "memo_hits=%llu shard_faults=%llu prefetched=%llu "
+              "bytes_hinted=%llu remote_fetches=%llu remote_bytes=%llu\n",
+              (unsigned long long)stats.single_queries,
+              (unsigned long long)stats.batch_calls,
+              (unsigned long long)stats.batch_items,
+              (unsigned long long)stats.cache_hits,
+              (unsigned long long)stats.cache_misses,
+              (unsigned long long)stats.shard_decodes,
+              (unsigned long long)stats.cache_evictions,
+              (unsigned long long)stats.cache_bytes_used,
+              (unsigned long long)stats.memo_entries,
+              (unsigned long long)stats.memo_hits,
+              (unsigned long long)stats.shard_faults,
+              (unsigned long long)stats.shards_prefetched,
+              (unsigned long long)stats.bytes_hinted,
+              (unsigned long long)stats.remote_fetches,
+              (unsigned long long)stats.remote_bytes);
+  return 0;
+}
+
 int CmdQuery(int argc, char** argv) {
   if (argc < 3) return Usage();
+  // `query <file>` or `query --remote host:port`: same flags, same
+  // query paths — only where cold shards fault from differs.
+  std::string remote_spec;
+  const char* in_path = argv[2];
+  int flag_start = 3;
+  if (std::strcmp(argv[2], "--remote") == 0) {
+    if (argc < 4) return Usage();
+    remote_spec = argv[3];
+    in_path = nullptr;
+    flag_start = 4;
+  }
   std::string nodes_spec, pairs_spec;
   bool batch = false;
   int threads = 0;
   int prefetch = 0;
   bool have_cache_bytes = false;
   uint64_t cache_bytes = 0;
-  for (int i = 3; i < argc; ++i) {
+  for (int i = flag_start; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--nodes" && i + 1 < argc) {
       nodes_spec = argv[++i];
@@ -616,20 +735,38 @@ int CmdQuery(int argc, char** argv) {
   if (!nodes_spec.empty() && !ParseNodeList(nodes_spec, &nodes)) return 2;
   if (!pairs_spec.empty() && !ParsePairList(pairs_spec, &pairs)) return 2;
 
-  auto file = MmapFile::Open(argv[2]);
+  std::string backend;
+  Result<std::unique_ptr<api::CompressedRep>> rep =
+      Status::Internal("rep not opened");
+  if (!remote_spec.empty()) {
+    rep = api::OpenRemote(remote_spec);
+    if (!rep.ok()) {
+      std::fprintf(stderr, "%s\n", rep.status().ToString().c_str());
+      return 1;
+    }
+    // The served container names its inner codec; report the same
+    // backend tag a local open of that file would.
+    if (auto* sharded =
+            dynamic_cast<shard::ShardedRep*>(rep.value().get())) {
+      backend = "sharded:" + sharded->inner_name();
+    } else {
+      backend = "remote";
+    }
+    return RunQueries(std::move(rep).ValueOrDie(), backend, nodes, pairs,
+                      batch, threads, have_cache_bytes, cache_bytes,
+                      prefetch);
+  }
+  auto file = MmapFile::Open(in_path);
   if (!file.ok()) {
     std::fprintf(stderr, "%s\n", file.status().ToString().c_str());
     return 1;
   }
   ByteSpan bytes = file.value()->span();
-  std::string backend;
-  Result<std::unique_ptr<api::CompressedRep>> rep =
-      Status::Internal("rep not opened");
   if (api::IsCodecContainer(bytes)) {
     ByteSpan payload;
     auto status = api::UnwrapCodecPayloadView(bytes, &backend, &payload);
     if (!status.ok()) {
-      std::fprintf(stderr, "%s: %s\n", argv[2], status.ToString().c_str());
+      std::fprintf(stderr, "%s: %s\n", in_path, status.ToString().c_str());
       return 1;
     }
     auto codec = api::CodecRegistry::Create(backend);
@@ -663,85 +800,56 @@ int CmdQuery(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", rep.status().ToString().c_str());
     return 1;
   }
-  if (auto* sharded = dynamic_cast<shard::ShardedRep*>(rep.value().get())) {
-    if (threads > 1) sharded->set_query_threads(threads);
-    if (have_cache_bytes) {
-      sharded->set_query_cache_bytes(static_cast<size_t>(cache_bytes));
-    }
-    if (prefetch > 0) sharded->set_prefetch_threads(prefetch);
-  } else if (threads > 1 || have_cache_bytes || prefetch > 0) {
-    std::fprintf(stderr,
-                 "note: --threads/--cache-bytes/--prefetch tune sharded "
-                 "containers; '%s' queries ignore them\n",
-                 backend.c_str());
-  }
-  std::printf("[%s] %llu nodes\n", backend.c_str(),
-              static_cast<unsigned long long>(rep.value()->num_nodes()));
+  return RunQueries(std::move(rep).ValueOrDie(), backend, nodes, pairs,
+                    batch, threads, have_cache_bytes, cache_bytes,
+                    prefetch);
+}
 
-  if (!nodes.empty()) {
-    if (batch) {
-      auto results = rep.value()->OutNeighborsBatch(nodes);
-      if (!results.ok()) {
-        std::fprintf(stderr, "%s\n", results.status().ToString().c_str());
-        return 1;
-      }
-      for (size_t j = 0; j < nodes.size(); ++j) {
-        PrintNeighborLine(nodes[j], results.value()[j]);
-      }
+// `serve`: export one GRSHARD2 container over TCP until SIGINT or
+// SIGTERM. The listening line goes to stdout (flushed) so scripts can
+// wait for it; everything after runs in the server's own threads.
+std::atomic<bool> g_serve_stop{false};
+
+void ServeSignalHandler(int) { g_serve_stop.store(true); }
+
+int CmdServe(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  net::ShardServer::Options options;
+  for (int i = 3; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--host" && i + 1 < argc) {
+      options.host = argv[++i];
+    } else if (arg == "--port" && i + 1 < argc) {
+      int port = 0;
+      if (!ParseCountFlag("--port", argv[++i], 65535, &port)) return 2;
+      options.port = static_cast<uint16_t>(port);
     } else {
-      for (uint64_t node : nodes) {
-        auto out = rep.value()->OutNeighbors(node);
-        if (!out.ok()) {
-          std::fprintf(stderr, "%s\n", out.status().ToString().c_str());
-          return 1;
-        }
-        PrintNeighborLine(node, out.value());
-      }
+      return Usage();
     }
   }
-  if (!pairs.empty()) {
-    std::vector<uint8_t> verdicts;
-    if (batch) {
-      auto results = rep.value()->ReachableBatch(pairs);
-      if (!results.ok()) {
-        std::fprintf(stderr, "%s\n", results.status().ToString().c_str());
-        return 1;
-      }
-      verdicts = std::move(results).ValueOrDie();
-    } else {
-      for (const auto& [from, to] : pairs) {
-        auto r = rep.value()->Reachable(from, to);
-        if (!r.ok()) {
-          std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
-          return 1;
-        }
-        verdicts.push_back(r.value() ? 1 : 0);
-      }
-    }
-    for (size_t k = 0; k < pairs.size(); ++k) {
-      std::printf("reach %llu -> %llu: %s\n",
-                  static_cast<unsigned long long>(pairs[k].first),
-                  static_cast<unsigned long long>(pairs[k].second),
-                  verdicts[k] ? "yes" : "no");
-    }
+  auto server = net::ShardServer::Start(argv[2], options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "%s\n", server.status().ToString().c_str());
+    return 1;
   }
-  api::QueryStats stats = rep.value()->query_stats();
-  std::printf("stats: singles=%llu batch_calls=%llu batch_items=%llu "
-              "cache_hits=%llu cache_misses=%llu shard_decodes=%llu "
-              "evictions=%llu cache_bytes=%llu memo_entries=%llu "
-              "memo_hits=%llu shard_faults=%llu prefetched=%llu\n",
-              (unsigned long long)stats.single_queries,
-              (unsigned long long)stats.batch_calls,
-              (unsigned long long)stats.batch_items,
-              (unsigned long long)stats.cache_hits,
-              (unsigned long long)stats.cache_misses,
-              (unsigned long long)stats.shard_decodes,
-              (unsigned long long)stats.cache_evictions,
-              (unsigned long long)stats.cache_bytes_used,
-              (unsigned long long)stats.memo_entries,
-              (unsigned long long)stats.memo_hits,
-              (unsigned long long)stats.shard_faults,
-              (unsigned long long)stats.shards_prefetched);
+  std::printf("serving %s on %s (inner=%s, %zu shards)\n", argv[2],
+              server.value()->host_port().c_str(),
+              server.value()->inner_name().c_str(),
+              server.value()->num_shards());
+  std::fflush(stdout);
+  std::signal(SIGINT, ServeSignalHandler);
+  std::signal(SIGTERM, ServeSignalHandler);
+  while (!g_serve_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  server.value()->Stop();
+  auto stats = server.value()->stats();
+  std::printf("served %llu request(s) on %llu connection(s), "
+              "%llu byte(s) sent, %llu error(s)\n",
+              (unsigned long long)stats.requests,
+              (unsigned long long)stats.connections,
+              (unsigned long long)stats.bytes_sent,
+              (unsigned long long)stats.errors);
   return 0;
 }
 
@@ -1087,6 +1195,7 @@ int main(int argc, char** argv) {
   if (cmd == "bench") return CmdBench(argc, argv);
   if (cmd == "backends") return CmdBackends();
   if (cmd == "query") return CmdQuery(argc, argv);
+  if (cmd == "serve") return CmdServe(argc, argv);
   if (cmd == "info") return CmdInfo(argc, argv);
   if (cmd == "stats") return CmdStats(argc, argv);
   if (cmd == "reach") return CmdReach(argc, argv);
