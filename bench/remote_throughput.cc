@@ -1,0 +1,300 @@
+// Remote shard-fault throughput through the multiplexed connection
+// pool, and the SSD tier's cold/warm split.
+//
+//   remote_throughput [--size N] [--shards K] [--threads T]
+//                     [--delay-ms D] [--min-pool-speedup X] [--dir PATH]
+//
+// Serves one sharded:grepair corpus from an in-process ShardServer
+// with a netem-style per-request service delay (--delay-ms, default
+// 10) so shard faults are latency-bound the way a real SSD/WAN hop is
+// — without the delay, loopback RTT is microseconds and every pool
+// size measures the same CPU-bound copy loop. Against that server it
+// measures cold fault throughput at pool sizes 1, 4 and 8 (eight
+// client threads striped over the node space in every run, so only
+// the pool width varies), then two tiered passes:
+//
+//   * cold + SSD cache  — every fault goes remote and lands on disk
+//   * SSD-warm          — a fresh client over the same cache directory;
+//                         the run FAILS unless remote_fetches == 0
+//
+// Exits nonzero when pool 8 is not at least --min-pool-speedup times
+// the pool-1 fault throughput (default 3; pass 0 to disable the gate
+// on machines where the structural margin does not hold), when any
+// answer differs from the local truth, or when the warm pass touches
+// the network.
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/serve/pool.h"
+#include "src/serve/registry.h"
+#include "src/serve/server.h"
+
+using namespace grepair;
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: remote_throughput [--size N] [--shards K] "
+               "[--threads T]\n"
+               "                         [--delay-ms D] "
+               "[--min-pool-speedup X] [--dir PATH]\n");
+  return 2;
+}
+
+struct RunResult {
+  double seconds = 0;
+  uint64_t remote_fetches = 0;
+  uint64_t remote_bytes = 0;
+  uint64_t tier_warm_hits = 0;
+  uint64_t tier_cold_fetches = 0;
+  uint64_t pool_peak_in_flight = 0;
+  uint64_t wrong_answers = 0;
+};
+
+// One cold client run: open a fresh rep against `target`, stripe the
+// node space over `threads` query threads, and compare every answer
+// to `truth`. A fresh rep means a fresh pool and empty in-memory shard
+// cache, so all shard faults in this run cross the wire (or hit the
+// SSD tier when `options` carries a cache dir).
+Result<RunResult> RunClient(const std::string& target,
+                            const serve::OpenOptions& options, int threads,
+                            const std::vector<std::vector<uint64_t>>& truth) {
+  auto rep = serve::OpenRemoteContainer(target, options);
+  if (!rep.ok()) return rep.status();
+
+  std::atomic<uint64_t> wrong{0};
+  std::atomic<bool> failed{false};
+  auto t0 = std::chrono::steady_clock::now();
+  // Block-partition the node space: shard membership correlates with
+  // node-id ranges, so contiguous blocks keep the threads faulting
+  // *different* shards concurrently (an interleaved stripe would make
+  // every thread start on the same hub shards and serialize on the
+  // single-flight fetch).
+  std::vector<std::thread> workers;
+  uint64_t n = truth.size();
+  for (int t = 0; t < threads; ++t) {
+    uint64_t begin = n * static_cast<uint64_t>(t) / threads;
+    uint64_t stop = n * (static_cast<uint64_t>(t) + 1) / threads;
+    workers.emplace_back([&, begin, stop] {
+      for (uint64_t v = begin; v < stop; ++v) {
+        auto r = rep.value()->OutNeighbors(v);
+        if (!r.ok()) {
+          failed.store(true);
+          return;
+        }
+        if (r.value() != truth[v]) wrong.fetch_add(1);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  auto t1 = std::chrono::steady_clock::now();
+  if (failed.load()) {
+    return Status::Internal("a query thread hit a transport error");
+  }
+
+  auto stats = rep.value()->query_stats();
+  RunResult result;
+  result.seconds = bench::Seconds(t0, t1);
+  result.remote_fetches = stats.remote_fetches;
+  result.remote_bytes = stats.remote_bytes;
+  result.tier_warm_hits = stats.tier_warm_hits;
+  result.tier_cold_fetches = stats.tier_cold_fetches;
+  result.pool_peak_in_flight = stats.pool_peak_in_flight;
+  result.wrong_answers = wrong.load();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint32_t size = 3000;
+  int shards = 32;
+  int threads = 8;
+  int delay_ms = 10;
+  double min_pool_speedup = 3.0;
+  std::string dir = "/tmp";
+  char* end = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--size") == 0 && i + 1 < argc) {
+      long v = std::strtol(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || v < 16 || v > 1000000) {
+        return Usage();
+      }
+      size = static_cast<uint32_t>(v);
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      long v = std::strtol(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || v < 2 || v > 256) {
+        return Usage();
+      }
+      shards = static_cast<int>(v);
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      long v = std::strtol(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || v < 1 || v > 64) {
+        return Usage();
+      }
+      threads = static_cast<int>(v);
+    } else if (std::strcmp(argv[i], "--delay-ms") == 0 && i + 1 < argc) {
+      long v = std::strtol(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || v < 0 || v > 1000) {
+        return Usage();
+      }
+      delay_ms = static_cast<int>(v);
+    } else if (std::strcmp(argv[i], "--min-pool-speedup") == 0 &&
+               i + 1 < argc) {
+      double v = std::strtod(argv[++i], &end);
+      if (end == argv[i] || *end != '\0' || v < 0.0) return Usage();
+      min_pool_speedup = v;
+    } else if (std::strcmp(argv[i], "--dir") == 0 && i + 1 < argc) {
+      dir = argv[++i];
+    } else {
+      return Usage();
+    }
+  }
+
+  GeneratedGraph gg = BarabasiAlbert(size, 3, 4242);
+  auto codec = api::CodecRegistry::Create("sharded:grepair").ValueOrDie();
+  api::CodecOptions copts;
+  copts.Set("shards", std::to_string(shards));
+  auto rep = codec->Compress(gg.graph, gg.alphabet, copts);
+  if (!rep.ok()) {
+    std::fprintf(stderr, "%s\n", rep.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<uint8_t> container =
+      dynamic_cast<shard::ShardedRep*>(rep.value().get())->SerializeV2();
+
+  // Local truth for every node, from an in-process open of the same
+  // bytes — every remote answer is checked against this.
+  auto local = shard::ShardedRep::Deserialize(SpanOf(container));
+  if (!local.ok()) {
+    std::fprintf(stderr, "%s\n", local.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<std::vector<uint64_t>> truth(gg.graph.num_nodes());
+  for (uint64_t v = 0; v < truth.size(); ++v) {
+    auto r = local.value()->OutNeighbors(v);
+    if (!r.ok()) {
+      std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
+      return 1;
+    }
+    truth[v] = r.value();
+  }
+
+  serve::CorpusRegistry registry;
+  Status added = registry.AddBytes("bench", SpanOf(container));
+  if (!added.ok()) {
+    std::fprintf(stderr, "%s\n", added.ToString().c_str());
+    return 1;
+  }
+  serve::ShardServer::Options sopts;
+  sopts.debug_shard_delay_ms = delay_ms;
+  auto server = serve::ShardServer::Start(std::move(registry), sopts);
+  if (!server.ok()) {
+    std::fprintf(stderr, "%s\n", server.status().ToString().c_str());
+    return 1;
+  }
+  std::string target = server.value()->host_port() + "/bench";
+  std::printf(
+      "corpus: %u nodes, %u edges, %d shards, %zu container bytes; "
+      "%d ms simulated service delay, %d query threads\n",
+      gg.graph.num_nodes(), gg.graph.num_edges(), shards, container.size(),
+      delay_ms, threads);
+
+  // --- Pool sweep: cold faults at widths 1, 4, 8 -------------------
+  const int kPools[] = {1, 4, 8};
+  double per_pool_throughput[3] = {0, 0, 0};
+  std::printf("%-12s %10s %12s %14s %14s\n", "", "time", "faults",
+              "faults/sec", "peak in-flight");
+  for (int p = 0; p < 3; ++p) {
+    serve::OpenOptions options;
+    options.pool_size = kPools[p];
+    auto run = RunClient(target, options, threads, truth);
+    if (!run.ok()) {
+      std::fprintf(stderr, "pool %d: %s\n", kPools[p],
+                   run.status().ToString().c_str());
+      return 1;
+    }
+    if (run.value().wrong_answers != 0) {
+      std::fprintf(stderr, "FAIL: pool %d returned %llu wrong answers\n",
+                   kPools[p],
+                   (unsigned long long)run.value().wrong_answers);
+      return 1;
+    }
+    per_pool_throughput[p] =
+        run.value().seconds > 0
+            ? static_cast<double>(run.value().remote_fetches) /
+                  run.value().seconds
+            : 0.0;
+    char label[32];
+    std::snprintf(label, sizeof label, "pool %d", kPools[p]);
+    std::printf("%-12s %8.1f ms %12llu %14.1f %14llu\n", label,
+                run.value().seconds * 1e3,
+                (unsigned long long)run.value().remote_fetches,
+                per_pool_throughput[p],
+                (unsigned long long)run.value().pool_peak_in_flight);
+  }
+  double speedup = per_pool_throughput[0] > 0
+                       ? per_pool_throughput[2] / per_pool_throughput[0]
+                       : 0.0;
+  std::printf("pool 8 vs pool 1 fault throughput: %.1fx (gate >= %.1fx)\n",
+              speedup, min_pool_speedup);
+
+  // --- SSD tier: cold populate, then a warm run that must never ----
+  // --- touch the network -------------------------------------------
+  std::string cache_dir = dir + "/remote_throughput_ssd_cache";
+  std::filesystem::remove_all(cache_dir);
+  serve::OpenOptions tier_options;
+  tier_options.pool_size = 8;
+  tier_options.ssd_cache_dir = cache_dir;
+  auto cold = RunClient(target, tier_options, threads, truth);
+  if (!cold.ok() || cold.value().wrong_answers != 0) {
+    std::fprintf(stderr, "SSD cold run failed\n");
+    return 1;
+  }
+  auto warm = RunClient(target, tier_options, threads, truth);
+  std::filesystem::remove_all(cache_dir);
+  if (!warm.ok() || warm.value().wrong_answers != 0) {
+    std::fprintf(stderr, "SSD warm run failed\n");
+    return 1;
+  }
+  std::printf(
+      "ssd cold: %8.1f ms, %llu remote fetches (%llu bytes), %llu tier "
+      "cold\n",
+      cold.value().seconds * 1e3,
+      (unsigned long long)cold.value().remote_fetches,
+      (unsigned long long)cold.value().remote_bytes,
+      (unsigned long long)cold.value().tier_cold_fetches);
+  std::printf(
+      "ssd warm: %8.1f ms, %llu remote fetches, %llu tier warm hits "
+      "(%.1fx cold run)\n",
+      warm.value().seconds * 1e3,
+      (unsigned long long)warm.value().remote_fetches,
+      (unsigned long long)warm.value().tier_warm_hits,
+      warm.value().seconds > 0 ? cold.value().seconds / warm.value().seconds
+                               : 0.0);
+  if (warm.value().remote_fetches != 0) {
+    std::fprintf(stderr,
+                 "FAIL: SSD-warm run fetched %llu shards remotely "
+                 "(expected 0)\n",
+                 (unsigned long long)warm.value().remote_fetches);
+    return 1;
+  }
+  if (min_pool_speedup > 0 && speedup < min_pool_speedup) {
+    std::fprintf(stderr,
+                 "FAIL: pool-8 fault throughput only %.1fx pool 1 "
+                 "(gate %.1fx; rerun with --min-pool-speedup 0 to waive)\n",
+                 speedup, min_pool_speedup);
+    return 1;
+  }
+  std::printf("remote_throughput: OK\n");
+  return 0;
+}

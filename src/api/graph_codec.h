@@ -110,6 +110,15 @@ struct QueryStats {
   uint64_t bytes_hinted = 0;    ///< madvise-hinted bytes (WILLNEED/SEQ)
   uint64_t remote_fetches = 0;  ///< shard payloads fetched over the network
   uint64_t remote_bytes = 0;    ///< payload bytes fetched over the network
+  // Connection-pool counters (serve::RemoteShardSource).
+  uint64_t pool_dials = 0;          ///< TCP connects (incl. redials)
+  uint64_t pool_redials = 0;        ///< reconnects after a broken link
+  uint64_t pool_peak_in_flight = 0; ///< max concurrent tagged requests
+  // Tiered SSD-cache counters (serve::TieredShardSource).
+  uint64_t tier_warm_hits = 0;      ///< shards served from the SSD cache
+  uint64_t tier_cold_fetches = 0;   ///< shards faulted through to inner
+  uint64_t tier_evictions = 0;      ///< cache files evicted by the budget
+  uint64_t tier_corrupt_drops = 0;  ///< cache files failing verification
 };
 
 /// \brief Uniform out-of-range check for query entry points: every

@@ -6,8 +6,8 @@
 //   * the sharded parallel-compression layer (PartitionGraph,
 //     ParallelCompressor, the "sharded:<inner>" meta-codecs) and the
 //     tagged container framing,
-//   * remote shard serving (api::OpenRemote over src/net/'s
-//     ShardServer / RemoteShardSource),
+//   * remote shard serving (api::OpenRemote over src/serve/'s
+//     multi-corpus ShardServer, connection pool and SSD shard tier),
 //   * CompressedGraph, the queryable gRePair representation,
 //   * hypergraph + alphabet types and text/SNAP graph IO,
 //   * the deterministic dataset generators used by the benches.

@@ -1,15 +1,29 @@
 #include "src/api/remote.h"
 
-#include "src/net/remote_source.h"
+#include "src/serve/pool.h"
 
 namespace grepair {
 namespace api {
 
 Result<std::unique_ptr<CompressedRep>> OpenRemote(
-    const std::string& host_port, int io_timeout_ms) {
-  net::RemoteShardSource::Options options;
+    const std::string& target, const RemoteOptions& options) {
+  serve::OpenOptions open;
+  open.io_timeout_ms = options.io_timeout_ms;
+  open.pool_size = options.pool_size;
+  open.ssd_cache_dir = options.ssd_cache_dir;
+  open.ssd_cache_bytes = options.ssd_cache_bytes;
+  return serve::OpenRemoteContainer(target, open);
+}
+
+Result<std::unique_ptr<CompressedRep>> OpenRemote(const std::string& target) {
+  return OpenRemote(target, RemoteOptions());
+}
+
+Result<std::unique_ptr<CompressedRep>> OpenRemote(const std::string& target,
+                                                  int io_timeout_ms) {
+  RemoteOptions options;
   options.io_timeout_ms = io_timeout_ms;
-  return net::OpenRemoteContainer(host_port, options);
+  return OpenRemote(target, options);
 }
 
 }  // namespace api

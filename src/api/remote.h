@@ -2,18 +2,23 @@
 // on another machine, behind the same CompressedRep interface as a
 // local file:
 //
-//   auto rep = grepair::api::OpenRemote("10.0.0.7:9000");
+//   auto rep = grepair::api::OpenRemote("10.0.0.7:9000/wikidata");
 //   rep.value()->OutNeighbors(42);   // faults one shard over TCP
 //
-// The returned rep is the lazy sharded rep: the directory is fetched
-// at open, each cold shard faults across the network on first touch
-// (checksum-verified like a local fault), and the prefetch pool,
-// query caches and QueryStats counters work unchanged —
-// remote_fetches/remote_bytes say what crossed the wire.
+// The target is "host:port[/corpus]" — the corpus name may be omitted
+// when the server hosts a single corpus. The returned rep is the lazy
+// sharded rep: the directory is fetched at open, each cold shard
+// faults over a multiplexed connection pool on first touch
+// (checksum-verified like a local fault), and the prefetch pool, query
+// caches and QueryStats counters work unchanged —
+// remote_fetches/remote_bytes say what crossed the wire, the pool_*
+// counters say how, and with an SSD cache dir configured the tier_*
+// counters say what local disk absorbed.
 
 #ifndef GREPAIR_API_REMOTE_H_
 #define GREPAIR_API_REMOTE_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 
@@ -23,11 +28,30 @@
 namespace grepair {
 namespace api {
 
-/// \brief Opens the GRSHARD2 container served at "host:port".
-/// `io_timeout_ms` bounds the connect and every shard fetch —
-/// a stalled or dead server is a kUnavailable Status, never a hang.
+/// \brief Knobs for OpenRemote. Defaults match a LAN frontend.
+struct RemoteOptions {
+  /// Bounds the connect and every shard fetch — a stalled or dead
+  /// server is a kUnavailable Status, never a hang.
+  int io_timeout_ms = 30000;
+  /// Connections in the multiplexed pool (clamped to [1, 64]).
+  int pool_size = 4;
+  /// When non-empty, shards are cached (checksummed, LRU) in this
+  /// local directory and served from it on later faults — including
+  /// after the server goes away.
+  std::string ssd_cache_dir;
+  /// Byte budget of the SSD cache.
+  uint64_t ssd_cache_bytes = 256ull << 20;
+};
+
+/// \brief Opens the GRSHARD2 corpus served at "host:port[/corpus]".
 Result<std::unique_ptr<CompressedRep>> OpenRemote(
-    const std::string& host_port, int io_timeout_ms = 30000);
+    const std::string& target, const RemoteOptions& options);
+Result<std::unique_ptr<CompressedRep>> OpenRemote(
+    const std::string& target);
+
+/// \brief Back-compat convenience: timeout-only overload.
+Result<std::unique_ptr<CompressedRep>> OpenRemote(const std::string& target,
+                                                  int io_timeout_ms);
 
 }  // namespace api
 }  // namespace grepair

@@ -4,14 +4,19 @@
 // Every message is one frame (little-endian):
 //
 //   u32  magic    "GRNF"  (0x464E5247)
-//   u8   version  1
+//   u8   version  1 or 2 (kProtoV1 / kProtoV2)
 //   u8   type     FrameType below
 //   u32  len      body byte length (<= kMaxFrameBody)
 //   ...  body     `len` bytes
 //   u64  checksum HashBytes over header + body (bytes [0, 10+len))
 //
-// Request/response pairs (client speaks first, one request in flight
-// per connection):
+// The header layout is identical in both protocol versions; only the
+// version byte and the set of legal types differ, so a v1 peer and a
+// v2 peer always stay frame-synchronized even when they disagree —
+// disagreement surfaces as a clean error frame, never as a desynced
+// stream.
+//
+// GRNF v1 (one request in flight per connection, single corpus):
 //
 //   kGetDir   c->s  empty body
 //   kDir      s->c  u64 directory offset + the container's raw
@@ -22,6 +27,25 @@
 //   kShard    s->c  u32 echoed shard index + the shard's payload bytes
 //   kError    s->c  u8 StatusCode + UTF-8 message (any request can
 //                   fail; the client surfaces it as that Status)
+//
+// GRNF v2 (multi-tenant, multiplexed; see src/net/README.md for the
+// full spec). A connection opens with a synchronous handshake, then
+// any number of tagged requests may be in flight concurrently; every
+// post-handshake body starts with a u64 request id the server echoes
+// verbatim so responses can arrive out of order:
+//
+//   kHello      c->s  u32 highest protocol version the client speaks
+//   kHelloOk    s->c  u32 negotiated version + u32 corpus count
+//   kOpenCorpus c->s  u64 req_id + u8 name_len + name bytes (an empty
+//                     name resolves iff the server hosts one corpus)
+//   kCorpusDir  s->c  u64 req_id + u32 corpus_id + u64 dir_off + the
+//                     corpus' raw GRSHARD2 directory bytes
+//   kGetShard2  c->s  u64 req_id + u32 corpus_id + u32 shard index
+//   kShard2     s->c  u64 req_id + u32 corpus_id + u32 echoed shard
+//                     index + the shard's payload bytes
+//   kGetStats   c->s  u64 req_id
+//   kStats      s->c  u64 req_id + serving stats (src/serve/stats.h)
+//   kError2     s->c  u64 req_id + u8 StatusCode + UTF-8 message
 //
 // The frame checksum fails closed on transport corruption; shard
 // payload integrity is additionally pinned end-to-end by the GRSHARD2
@@ -46,7 +70,8 @@ namespace grepair {
 namespace net {
 
 inline constexpr uint32_t kFrameMagic = 0x464E5247u;  // "GRNF"
-inline constexpr uint8_t kProtocolVersion = 1;
+inline constexpr uint8_t kProtoV1 = 1;
+inline constexpr uint8_t kProtoV2 = 2;
 inline constexpr size_t kFrameHeaderBytes = 10;
 inline constexpr size_t kFrameChecksumBytes = 8;
 
@@ -56,26 +81,50 @@ inline constexpr size_t kFrameChecksumBytes = 8;
 inline constexpr size_t kMaxFrameBody = 64u << 20;
 
 enum FrameType : uint8_t {
+  // GRNF v1 (PR 5).
   kGetDir = 1,
   kDir = 2,
   kGetShard = 3,
   kShard = 4,
   kError = 5,
+  // GRNF v2: handshake, corpus-addressed verbs, tagged requests.
+  kHello = 6,
+  kHelloOk = 7,
+  kOpenCorpus = 8,
+  kCorpusDir = 9,
+  kGetShard2 = 10,
+  kShard2 = 11,
+  kGetStats = 12,
+  kStats = 13,
+  kError2 = 14,
 };
+
+/// \brief The protocol version a frame type belongs to (0 for unknown
+/// types). A frame whose version byte disagrees with its type's
+/// version is malformed: every type is legal in exactly one version.
+uint8_t FrameVersionForType(uint8_t type);
 
 /// \brief One decoded frame.
 struct Frame {
+  uint8_t version = 0;
   uint8_t type = 0;
   std::vector<uint8_t> body;
 };
 
-/// \brief Encodes a complete frame (header + body + checksum).
+/// \brief Encodes a complete frame (header + body + checksum). The
+/// version byte is derived from the type via FrameVersionForType.
 std::vector<uint8_t> EncodeFrame(uint8_t type, ByteSpan body);
 
-/// \brief Validates a frame header (magic, version, known type, body
-/// bound). On success *type/*body_len receive the parsed fields.
-Status ValidateFrameHeader(const uint8_t* header, uint8_t* type,
-                           uint32_t* body_len);
+/// \brief Explicit-version encode, for tests that need to craft
+/// version/type mismatches a conforming peer would never send.
+std::vector<uint8_t> EncodeFrameWithVersion(uint8_t version, uint8_t type,
+                                            ByteSpan body);
+
+/// \brief Validates a frame header (magic, version 1 or 2, known type
+/// of that version, body bound). On success *version/*type/*body_len
+/// receive the parsed fields.
+Status ValidateFrameHeader(const uint8_t* header, uint8_t* version,
+                           uint8_t* type, uint32_t* body_len);
 
 /// \brief Decodes one frame from the front of `bytes` (checksum
 /// verified). *consumed (when non-null) receives the frame's total
@@ -97,6 +146,18 @@ std::vector<uint8_t> EncodeErrorBody(const Status& status);
 /// with "shard server: " so callers can tell remote from local
 /// failures). Malformed bodies decode to kCorruption.
 Status DecodeErrorBody(ByteSpan body);
+
+/// \brief kError2 body encoding: u64 req_id + u8 StatusCode + message.
+std::vector<uint8_t> EncodeErrorBody2(uint64_t req_id, const Status& status);
+
+/// \brief Decodes a kError2 body; *req_id (when non-null) receives the
+/// echoed request id (0 if the body is too short to carry one).
+Status DecodeErrorBody2(ByteSpan body, uint64_t* req_id = nullptr);
+
+/// \brief The request id leading a v2 tagged body (kOpenCorpus,
+/// kCorpusDir, kGetShard2, kShard2, kGetStats, kError2). kCorruption
+/// for untagged types or bodies shorter than 8 bytes.
+Result<uint64_t> FrameRequestId(const Frame& frame);
 
 }  // namespace net
 }  // namespace grepair

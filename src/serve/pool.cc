@@ -1,0 +1,639 @@
+#include "src/serve/pool.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/serve/registry.h"
+#include "src/serve/tiered.h"
+#include "src/util/hashing.h"
+#include "src/util/mmap_file.h"
+
+namespace grepair {
+namespace serve {
+
+using net::Frame;
+
+RemoteShardSource::RemoteShardSource(std::string host, uint16_t port,
+                                     std::string peer, std::string corpus,
+                                     const Options& options)
+    : host_(std::move(host)),
+      port_(port),
+      peer_(std::move(peer)),
+      corpus_(std::move(corpus)),
+      io_timeout_ms_(options.io_timeout_ms),
+      gate_jitter_(HashBytes(
+          reinterpret_cast<const uint8_t*>(peer_.data()), peer_.size())) {
+  int pool = std::max(1, std::min(64, options.pool_size));
+  conns_.reserve(pool);
+  for (int i = 0; i < pool; ++i) {
+    conns_.push_back(std::make_unique<Conn>());
+  }
+}
+
+Result<std::shared_ptr<RemoteShardSource>> RemoteShardSource::Connect(
+    const std::string& host_port, const std::string& corpus,
+    const Options& options) {
+  std::string host;
+  uint16_t port = 0;
+  GREPAIR_RETURN_IF_ERROR(ParseHostPort(host_port, &host, &port));
+  if (corpus.size() > kMaxCorpusNameBytes) {
+    return Status::InvalidArgument("corpus name is " +
+                                   std::to_string(corpus.size()) +
+                                   " bytes (max " +
+                                   std::to_string(kMaxCorpusNameBytes) + ")");
+  }
+  auto source = std::shared_ptr<RemoteShardSource>(new RemoteShardSource(
+      std::move(host), port, host_port, corpus, options));
+  // The first slot's dial doubles as the directory fetch: the
+  // handshake's kCorpusDir response is parsed into directory_ (the
+  // shard_lengths_ table is still empty, so no cross-check yet).
+  GREPAIR_RETURN_IF_ERROR(source->EnsureConnected(source->conns_[0].get()));
+  source->shard_lengths_.reserve(source->directory_.rows.size());
+  for (const auto& row : source->directory_.rows) {
+    source->shard_lengths_.push_back(row.length);
+  }
+  return source;
+}
+
+RemoteShardSource::~RemoteShardSource() {
+  // Break every connection (unparking reader threads and any stray
+  // waiters), then join the readers.
+  for (auto& conn : conns_) {
+    FailConnection(conn.get(),
+                   Status::Unavailable("remote source shutting down"));
+  }
+  for (auto& conn : conns_) {
+    if (conn->reader.joinable()) conn->reader.join();
+  }
+}
+
+shard::ParsedDirectory RemoteShardSource::TakeDirectory() {
+  return std::move(directory_);
+}
+
+Status RemoteShardSource::GateCheck() {
+  std::lock_guard<std::mutex> lock(gate_mu_);
+  auto now = std::chrono::steady_clock::now();
+  if (now < gate_next_dial_) {
+    auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                    gate_next_dial_ - now)
+                    .count();
+    return Status::Unavailable(
+        "not redialing " + peer_ + " for another " + std::to_string(left) +
+        "ms (backoff after " + std::to_string(gate_fail_streak_) +
+        " consecutive dial failure(s); last: " + gate_last_error_ + ")");
+  }
+  return Status::OK();
+}
+
+void RemoteShardSource::GateRecordFailure(const std::string& message) {
+  std::lock_guard<std::mutex> lock(gate_mu_);
+  gate_last_error_ = message;
+  ++gate_fail_streak_;
+  int shift = std::min(gate_fail_streak_ - 1, 20);
+  int64_t delay = static_cast<int64_t>(kBackoffBaseMs) << shift;
+  delay = std::min<int64_t>(delay, kBackoffMaxMs);
+  // Jitter in [delay/2, delay] so a fleet of frontends does not probe
+  // a recovering server in lockstep.
+  int64_t jittered =
+      delay / 2 +
+      static_cast<int64_t>(gate_jitter_.UniformBounded(
+          static_cast<uint64_t>(delay - delay / 2 + 1)));
+  gate_next_dial_ = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(jittered);
+}
+
+void RemoteShardSource::GateRecordSuccess() {
+  std::lock_guard<std::mutex> lock(gate_mu_);
+  gate_fail_streak_ = 0;
+  gate_next_dial_ = std::chrono::steady_clock::time_point{};
+  gate_last_error_.clear();
+}
+
+Status RemoteShardSource::DialAndHandshake(Socket* socket,
+                                           uint32_t* corpus_id,
+                                           shard::ParsedDirectory* dir) {
+  auto dialed = Socket::ConnectTcp(host_, port_, io_timeout_ms_);
+  if (!dialed.ok()) {
+    return Status::Unavailable("cannot reach " + peer_ + ": " +
+                               dialed.status().message());
+  }
+  Socket fresh = std::move(dialed).ValueOrDie();
+  // Handshake: kHello -> kHelloOk.
+  std::vector<uint8_t> hello;
+  PutU32LE(net::kProtoV2, &hello);
+  Status sent = net::WriteFrame(&fresh, net::kHello, SpanOf(hello));
+  if (!sent.ok()) {
+    return Status::Unavailable("handshake with " + peer_ +
+                               " failed: " + sent.message());
+  }
+  auto hello_ok = net::ReadFrame(&fresh);
+  if (!hello_ok.ok()) {
+    if (hello_ok.status().code() == StatusCode::kUnavailable) {
+      return Status::Unavailable("handshake with " + peer_ +
+                                 " failed: " + hello_ok.status().message());
+    }
+    return hello_ok.status();
+  }
+  if (hello_ok.value().type == net::kError) {
+    // A GRNF v1 server answers the unknown kHello verb with a v1
+    // error frame — surface its own words (they say to upgrade).
+    return net::DecodeErrorBody(SpanOf(hello_ok.value().body));
+  }
+  if (hello_ok.value().type != net::kHelloOk) {
+    return Status::Corruption("shard server answered the handshake with "
+                              "frame type " +
+                              std::to_string(hello_ok.value().type));
+  }
+  ByteSource hello_body(SpanOf(hello_ok.value().body), "HelloOk body");
+  uint32_t negotiated = 0;
+  uint32_t corpus_count = 0;
+  GREPAIR_RETURN_IF_ERROR(hello_body.ReadU32LE(&negotiated));
+  GREPAIR_RETURN_IF_ERROR(hello_body.ReadU32LE(&corpus_count));
+  if (negotiated != net::kProtoV2) {
+    return Status::Corruption("shard server negotiated unsupported "
+                              "protocol version " +
+                              std::to_string(negotiated));
+  }
+  // Open (or re-resolve) the corpus; the response carries the raw
+  // directory bytes, reparsed with the hardened parser every time.
+  uint64_t open_req = next_req_id_.fetch_add(1, std::memory_order_relaxed);
+  std::vector<uint8_t> open;
+  PutU64LE(open_req, &open);
+  open.push_back(static_cast<uint8_t>(corpus_.size()));
+  open.insert(open.end(), corpus_.begin(), corpus_.end());
+  sent = net::WriteFrame(&fresh, net::kOpenCorpus, SpanOf(open));
+  if (!sent.ok()) {
+    return Status::Unavailable("OpenCorpus to " + peer_ +
+                               " failed: " + sent.message());
+  }
+  auto reply = net::ReadFrame(&fresh);
+  if (!reply.ok()) {
+    if (reply.status().code() == StatusCode::kUnavailable) {
+      return Status::Unavailable("OpenCorpus response from " + peer_ +
+                                 " failed: " + reply.status().message());
+    }
+    return reply.status();
+  }
+  if (reply.value().type == net::kError2) {
+    return net::DecodeErrorBody2(SpanOf(reply.value().body));
+  }
+  if (reply.value().type != net::kCorpusDir) {
+    return Status::Corruption(
+        "shard server sent frame type " +
+        std::to_string(reply.value().type) + " where " +
+        std::to_string(net::kCorpusDir) + " was expected");
+  }
+  ByteSource dir_body(SpanOf(reply.value().body), "CorpusDir body");
+  uint64_t echoed_req = 0;
+  uint64_t dir_off = 0;
+  GREPAIR_RETURN_IF_ERROR(dir_body.ReadU64LE(&echoed_req));
+  GREPAIR_RETURN_IF_ERROR(dir_body.ReadU32LE(corpus_id));
+  GREPAIR_RETURN_IF_ERROR(dir_body.ReadU64LE(&dir_off));
+  if (echoed_req != open_req) {
+    return Status::Corruption("OpenCorpus response echoes request id " +
+                              std::to_string(echoed_req) + " (expected " +
+                              std::to_string(open_req) + ")");
+  }
+  auto parsed = shard::ParseV2Directory(dir_body.PeekRemaining(), dir_off);
+  if (!parsed.ok()) return parsed.status();
+  if (shard_lengths_.empty()) {
+    // First dial (single-threaded Connect): keep the verbatim wire
+    // bytes so the caller can persist them for offline warm opens.
+    ByteSpan raw = dir_body.PeekRemaining();
+    raw_directory_.assign(raw.begin(), raw.end());
+    raw_dir_off_ = dir_off;
+  }
+  // On a redial the directory must still describe the corpus this rep
+  // was built over — a restarted server serving different bytes under
+  // the same name must not slip through (the per-shard checksums
+  // would catch it at fault time, but catch it with a better story
+  // here).
+  if (!shard_lengths_.empty()) {
+    const auto& rows = parsed.value().rows;
+    bool same = rows.size() == shard_lengths_.size();
+    for (size_t i = 0; same && i < rows.size(); ++i) {
+      same = rows[i].length == shard_lengths_[i];
+    }
+    if (!same) {
+      return Status::Corruption(
+          "corpus \"" + corpus_ + "\" on " + peer_ +
+          " changed shape since connect (server restarted with "
+          "different data?); reopen the remote container");
+    }
+  }
+  *dir = std::move(parsed).ValueOrDie();
+  *socket = std::move(fresh);
+  return Status::OK();
+}
+
+Status RemoteShardSource::EnsureConnected(Conn* conn) {
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    if (conn->connected) return Status::OK();
+  }
+  std::lock_guard<std::mutex> dial_lock(conn->dial_mu);
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    if (conn->connected) return Status::OK();  // raced with another dialer
+    conn->socket.ShutdownBoth();
+  }
+  // The old reader (if any) is parked on a dead socket; collect it
+  // before replacing the socket it reads from.
+  if (conn->reader.joinable()) conn->reader.join();
+  GREPAIR_RETURN_IF_ERROR(GateCheck());
+  Socket fresh;
+  uint32_t corpus_id = 0;
+  shard::ParsedDirectory dir;
+  Status dialed = DialAndHandshake(&fresh, &corpus_id, &dir);
+  if (!dialed.ok()) {
+    // Only transport-level failures close the gate: a served error
+    // (unknown corpus, say) means the server is alive and answering.
+    if (dialed.code() == StatusCode::kUnavailable) {
+      GateRecordFailure(dialed.message());
+    }
+    return dialed;
+  }
+  GateRecordSuccess();
+  stat_dials_.fetch_add(1, std::memory_order_relaxed);
+  bool redial;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    redial = conn->ever_connected;
+    conn->socket = std::move(fresh);
+    conn->connected = true;
+    conn->ever_connected = true;
+    conn->corpus_id = corpus_id;
+  }
+  if (redial) stat_redials_.fetch_add(1, std::memory_order_relaxed);
+  if (shard_lengths_.empty()) directory_ = std::move(dir);
+  conn->reader = std::thread([this, conn] { ReaderLoop(conn); });
+  return Status::OK();
+}
+
+void RemoteShardSource::FailConnection(Conn* conn, const Status& status) {
+  std::vector<std::shared_ptr<Pending>> parked;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    conn->connected = false;
+    conn->socket.ShutdownBoth();
+    parked.reserve(conn->pending.size());
+    for (auto& entry : conn->pending) parked.push_back(entry.second);
+    conn->pending.clear();
+  }
+  for (auto& pending : parked) {
+    std::lock_guard<std::mutex> lock(pending->mu);
+    pending->status = status;
+    pending->done = true;
+    pending->cv.notify_all();
+  }
+}
+
+void RemoteShardSource::ReaderLoop(Conn* conn) {
+  for (;;) {
+    auto frame = net::ReadFrame(&conn->socket);
+    if (!frame.ok()) {
+      // Idle timeout, peer close, shutdown from FailConnection, or
+      // malformed bytes: this connection is done. Corruption is
+      // propagated so parked requests fail without a retry — a lying
+      // peer does not get a second chance.
+      Status status =
+          frame.status().code() == StatusCode::kCorruption
+              ? frame.status()
+              : Status::Unavailable("connection to " + peer_ +
+                                    " lost: " + frame.status().message());
+      FailConnection(conn, status);
+      return;
+    }
+    auto req_id = net::FrameRequestId(frame.value());
+    if (!req_id.ok()) {
+      FailConnection(
+          conn, Status::Corruption("shard server sent untagged frame type " +
+                                   std::to_string(frame.value().type) +
+                                   " on a multiplexed connection"));
+      return;
+    }
+    std::shared_ptr<Pending> pending;
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      auto it = conn->pending.find(req_id.value());
+      if (it != conn->pending.end()) {
+        pending = it->second;
+        conn->pending.erase(it);
+      }
+    }
+    // No waiter: the request hit its deadline and was abandoned —
+    // drop the late response on the floor.
+    if (pending == nullptr) continue;
+    std::lock_guard<std::mutex> lock(pending->mu);
+    pending->frame = std::move(frame).ValueOrDie();
+    pending->done = true;
+    pending->cv.notify_all();
+  }
+}
+
+Result<ByteSpan> RemoteShardSource::FetchShard(size_t shard,
+                                               std::vector<uint8_t>* owned) {
+  if (shard >= shard_lengths_.size()) {
+    return Status::Internal("shard index " + std::to_string(shard) +
+                            " out of range for remote source");
+  }
+  Conn* conn =
+      conns_[round_robin_.fetch_add(1, std::memory_order_relaxed) %
+             conns_.size()]
+          .get();
+  // Every request is a pure read, so a transport failure is retried
+  // exactly once on a fresh connection (servers reap idle peers; a
+  // redial-and-retry is the difference between surviving that and a
+  // permanently broken rep).
+  Status transport = Status::OK();
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    Status up = EnsureConnected(conn);
+    if (!up.ok()) return up;  // dial failures already name the peer
+    uint64_t req_id = next_req_id_.fetch_add(1, std::memory_order_relaxed);
+    auto pending = std::make_shared<Pending>();
+    uint32_t corpus_id = 0;
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      if (!conn->connected) {
+        transport = Status::Unavailable("connection to " + peer_ +
+                                        " broke before the request left");
+        continue;
+      }
+      corpus_id = conn->corpus_id;
+      conn->pending.emplace(req_id, pending);
+    }
+    uint64_t in_flight =
+        stat_in_flight_.fetch_add(1, std::memory_order_relaxed) + 1;
+    uint64_t peak = stat_peak_in_flight_.load(std::memory_order_relaxed);
+    while (in_flight > peak &&
+           !stat_peak_in_flight_.compare_exchange_weak(
+               peak, in_flight, std::memory_order_relaxed)) {
+    }
+    std::vector<uint8_t> request;
+    request.reserve(16);
+    PutU64LE(req_id, &request);
+    PutU32LE(corpus_id, &request);
+    PutU32LE(static_cast<uint32_t>(shard), &request);
+    Status sent;
+    {
+      std::lock_guard<std::mutex> send_lock(conn->send_mu);
+      sent = net::WriteFrame(&conn->socket, net::kGetShard2,
+                             SpanOf(request));
+    }
+    if (!sent.ok()) {
+      stat_in_flight_.fetch_sub(1, std::memory_order_relaxed);
+      FailConnection(conn, Status::Unavailable("request to " + peer_ +
+                                               " failed: " + sent.message()));
+      transport = Status::Unavailable("request to " + peer_ +
+                                      " failed: " + sent.message());
+      continue;
+    }
+    bool done = false;
+    {
+      std::unique_lock<std::mutex> lock(pending->mu);
+      done = pending->cv.wait_for(
+          lock, std::chrono::milliseconds(io_timeout_ms_),
+          [&pending] { return pending->done; });
+    }
+    stat_in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    if (!done) {
+      // Deadline missed: abandon the slot (the reader drops any late
+      // response) and break the connection — a stalled server stalls
+      // every request it holds.
+      {
+        std::lock_guard<std::mutex> lock(conn->mu);
+        conn->pending.erase(req_id);
+      }
+      transport = Status::Unavailable(
+          "request to " + peer_ + " missed its " +
+          std::to_string(io_timeout_ms_) + "ms deadline");
+      FailConnection(conn, transport);
+      continue;
+    }
+    if (!pending->status.ok()) {
+      if (pending->status.code() == StatusCode::kUnavailable) {
+        transport = pending->status;
+        continue;
+      }
+      return pending->status;  // corruption: never retried
+    }
+    Frame& frame = pending->frame;
+    if (frame.type == net::kError2) {
+      // A served error is a per-request failure, not a transport one:
+      // the stream stays in sync, later requests may succeed.
+      return net::DecodeErrorBody2(SpanOf(frame.body));
+    }
+    if (frame.type != net::kShard2) {
+      Status status = Status::Corruption(
+          "shard server sent frame type " + std::to_string(frame.type) +
+          " where " + std::to_string(net::kShard2) + " was expected");
+      FailConnection(conn, status);
+      return status;
+    }
+    ByteSource body(SpanOf(frame.body), "shard frame body");
+    uint64_t echoed_req = 0;
+    uint32_t echoed_corpus = 0;
+    uint32_t echoed_shard = 0;
+    GREPAIR_RETURN_IF_ERROR(body.ReadU64LE(&echoed_req));
+    GREPAIR_RETURN_IF_ERROR(body.ReadU32LE(&echoed_corpus));
+    GREPAIR_RETURN_IF_ERROR(body.ReadU32LE(&echoed_shard));
+    if (echoed_corpus != corpus_id || echoed_shard != shard) {
+      return Status::Corruption(
+          "shard server returned corpus " + std::to_string(echoed_corpus) +
+          " shard " + std::to_string(echoed_shard) + " where corpus " +
+          std::to_string(corpus_id) + " shard " + std::to_string(shard) +
+          " was requested");
+    }
+    ByteSpan payload = body.PeekRemaining();
+    // Length is re-checked (and the payload checksum verified) by the
+    // caller against the directory; the early check here just gives
+    // the error a transport-level voice.
+    if (payload.size != shard_lengths_[shard]) {
+      return Status::Corruption(
+          "shard " + std::to_string(shard) + " payload is " +
+          std::to_string(payload.size) + " byte(s), directory says " +
+          std::to_string(shard_lengths_[shard]));
+    }
+    stat_fetches_.fetch_add(1, std::memory_order_relaxed);
+    stat_bytes_.fetch_add(payload.size, std::memory_order_relaxed);
+    owned->assign(payload.begin(), payload.end());
+    return SpanOf(*owned);
+  }
+  return transport;
+}
+
+void RemoteShardSource::AddStats(api::QueryStats* stats) const {
+  stats->remote_fetches += stat_fetches_.load(std::memory_order_relaxed);
+  stats->remote_bytes += stat_bytes_.load(std::memory_order_relaxed);
+  stats->pool_dials += stat_dials_.load(std::memory_order_relaxed);
+  stats->pool_redials += stat_redials_.load(std::memory_order_relaxed);
+  uint64_t peak = stat_peak_in_flight_.load(std::memory_order_relaxed);
+  if (peak > stats->pool_peak_in_flight) stats->pool_peak_in_flight = peak;
+}
+
+Status SplitTarget(const std::string& target, std::string* host_port,
+                   std::string* corpus) {
+  size_t slash = target.find('/');
+  if (slash == std::string::npos) {
+    *host_port = target;
+    corpus->clear();
+  } else {
+    *host_port = target.substr(0, slash);
+    *corpus = target.substr(slash + 1);
+    if (corpus->find('/') != std::string::npos) {
+      return Status::InvalidArgument(
+          "remote target \"" + target +
+          "\" has more than one '/'; expected host:port[/corpus]");
+    }
+  }
+  std::string host;
+  uint16_t port = 0;
+  return ParseHostPort(*host_port, &host, &port);
+}
+
+namespace {
+
+// Every shard fault against a peer we could not reach. A warm SSD
+// tier stacked on top answers from disk; only a cache miss surfaces
+// this status.
+class OfflineShardSource : public shard::ShardSource {
+ public:
+  explicit OfflineShardSource(std::string peer) : peer_(std::move(peer)) {}
+
+  const char* kind() const override { return "offline"; }
+
+  Result<ByteSpan> FetchShard(size_t shard,
+                              std::vector<uint8_t>* owned) override {
+    (void)owned;
+    return Status::Unavailable(
+        "cannot reach " + peer_ + " and shard " + std::to_string(shard) +
+        " is not in the local SSD tier");
+  }
+
+ private:
+  std::string peer_;
+};
+
+// Sidecar file persisting a corpus directory next to the SSD shard
+// tier, so a warm cache stays openable after the server is gone:
+//   u32 magic "GRDC"   u32 version   u64 dir_off
+//   u32 len            len raw directory bytes
+//   u64 HashBytes over everything above
+// The payload re-runs through the hardened ParseV2Directory on load,
+// and the per-shard checksums it carries gate every cached payload —
+// a stale or tampered sidecar fails closed, never answers wrong.
+constexpr uint32_t kDirCacheMagic = 0x43445247;  // "GRDC"
+constexpr uint32_t kDirCacheVersion = 1;
+
+std::string DirCachePath(const std::string& cache_dir,
+                         const std::string& corpus) {
+  return cache_dir + "/" + (corpus.empty() ? "_default" : corpus) + ".grdir";
+}
+
+void SaveDirCache(const std::string& path, uint64_t dir_off, ByteSpan raw) {
+  std::vector<uint8_t> body;
+  body.reserve(20 + raw.size);
+  PutU32LE(kDirCacheMagic, &body);
+  PutU32LE(kDirCacheVersion, &body);
+  PutU64LE(dir_off, &body);
+  PutU32LE(static_cast<uint32_t>(raw.size), &body);
+  body.insert(body.end(), raw.begin(), raw.end());
+  PutU64LE(HashBytes(body.data(), body.size()), &body);
+  // Best effort: a failed write only costs the offline-open feature.
+  Status ignored = WriteFileBytes(path, body);
+  (void)ignored;
+}
+
+Result<shard::ParsedDirectory> LoadDirCache(const std::string& path) {
+  auto bytes = ReadFileBytes(path);
+  if (!bytes.ok()) return bytes.status();
+  const std::vector<uint8_t>& body = bytes.value();
+  if (body.size() < 28) {
+    return Status::Corruption("directory sidecar " + path + " is truncated");
+  }
+  uint64_t stored = 0;
+  for (int i = 0; i < 8; ++i) {
+    stored |= static_cast<uint64_t>(body[body.size() - 8 + i]) << (8 * i);
+  }
+  if (HashBytes(body.data(), body.size() - 8) != stored) {
+    return Status::Corruption("directory sidecar " + path +
+                              " fails its checksum");
+  }
+  ByteSource src(ByteSpan{body.data(), body.size() - 8}, "directory sidecar");
+  uint32_t magic = 0, version = 0, len = 0;
+  uint64_t dir_off = 0;
+  GREPAIR_RETURN_IF_ERROR(src.ReadU32LE(&magic));
+  GREPAIR_RETURN_IF_ERROR(src.ReadU32LE(&version));
+  GREPAIR_RETURN_IF_ERROR(src.ReadU64LE(&dir_off));
+  GREPAIR_RETURN_IF_ERROR(src.ReadU32LE(&len));
+  if (magic != kDirCacheMagic || version != kDirCacheVersion) {
+    return Status::Corruption("directory sidecar " + path +
+                              " has a bad magic or version");
+  }
+  if (src.PeekRemaining().size != len) {
+    return Status::Corruption("directory sidecar " + path +
+                              " length field disagrees with the file");
+  }
+  return shard::ParseV2Directory(src.PeekRemaining(), dir_off);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<api::CompressedRep>> OpenRemoteContainer(
+    const std::string& target, const OpenOptions& options) {
+  std::string host_port;
+  std::string corpus;
+  GREPAIR_RETURN_IF_ERROR(SplitTarget(target, &host_port, &corpus));
+  RemoteShardSource::Options pool_options;
+  pool_options.io_timeout_ms = options.io_timeout_ms;
+  pool_options.pool_size = options.pool_size;
+  auto source = RemoteShardSource::Connect(host_port, corpus, pool_options);
+  shard::ParsedDirectory dir;
+  std::shared_ptr<shard::ShardSource> stack;
+  bool save_sidecar = false;
+  uint64_t sidecar_dir_off = 0;
+  std::vector<uint8_t> sidecar_raw;
+  if (source.ok()) {
+    dir = source.value()->TakeDirectory();
+    if (!options.ssd_cache_dir.empty()) {
+      save_sidecar = true;
+      sidecar_dir_off = source.value()->raw_dir_off();
+      sidecar_raw = source.value()->raw_directory();
+    }
+    stack = std::move(source).ValueOrDie();
+  } else if (source.status().code() == StatusCode::kUnavailable &&
+             !options.ssd_cache_dir.empty()) {
+    // Peer down, but a tier may be warm: reopen over the persisted
+    // directory; any shard the tier does not hold stays kUnavailable.
+    auto cached =
+        LoadDirCache(DirCachePath(options.ssd_cache_dir, corpus));
+    if (!cached.ok()) return source.status();  // the dial is the story
+    dir = std::move(cached).ValueOrDie();
+    stack = std::make_shared<OfflineShardSource>(host_port);
+  } else {
+    return source.status();
+  }
+  if (!options.ssd_cache_dir.empty()) {
+    TieredShardSource::Options tier_options;
+    tier_options.cache_dir = options.ssd_cache_dir;
+    tier_options.max_bytes = options.ssd_cache_bytes;
+    auto tiered =
+        TieredShardSource::Create(std::move(stack), dir.rows, tier_options);
+    if (!tiered.ok()) return tiered.status();
+    stack = std::move(tiered).ValueOrDie();
+    if (save_sidecar) {
+      // After Create so the cache directory exists. The tier's disk
+      // scan ignores .grdir strangers.
+      SaveDirCache(DirCachePath(options.ssd_cache_dir, corpus),
+                   sidecar_dir_off, SpanOf(sidecar_raw));
+    }
+  }
+  auto rep = shard::ShardedRep::OpenFromSource(std::move(stack),
+                                               std::move(dir));
+  if (!rep.ok()) return rep.status();
+  return std::unique_ptr<api::CompressedRep>(std::move(rep).ValueOrDie());
+}
+
+}  // namespace serve
+}  // namespace grepair

@@ -1,0 +1,204 @@
+// serve::RemoteShardSource — the GRNF v2 network implementation of the
+// ShardSource seam, built for fleets: a bounded connection pool with
+// tagged-request multiplexing instead of PR 5's one mutex-serialized
+// socket.
+//
+// Connect() dials one pool slot, performs the kHello handshake, opens
+// the named corpus (fetching and reparsing its footer directory with
+// the same hardened parser the file path uses) and remembers the
+// corpus id. Each FetchShard picks a pool slot round-robin, tags the
+// request with a fresh u64 id, and parks on a per-request slot while a
+// per-connection reader thread dispatches responses by echoed id — so
+// many shard faults (prefetch pool, batch queries, concurrent
+// frontends) stay in flight at once across and within connections.
+//
+// Failure model, unchanged from PR 5 but per-request: every request is
+// a pure read, so a transport failure is retried exactly once on a
+// freshly dialed connection; corruption is never retried — a lying
+// peer does not get a second chance to lie. Each request carries a
+// deadline (io_timeout_ms); a deadline miss marks the connection
+// broken so its other in-flight requests fail fast to their own
+// single-redial path. Redials re-handshake and re-resolve the corpus
+// (a restarted server may have renumbered its registry) and verify the
+// re-fetched directory still matches shard-for-shard.
+//
+// Dead-server hygiene: dial attempts go through a shared
+// exponential-backoff gate with deterministic jitter. While the gate
+// is closed every fetch fails immediately with kUnavailable naming the
+// peer — a dead server is probed a few times a second at worst, not
+// hammered once per request.
+
+#ifndef GREPAIR_SERVE_POOL_H_
+#define GREPAIR_SERVE_POOL_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/net/frame.h"
+#include "src/shard/sharded_codec.h"
+#include "src/util/rng.h"
+#include "src/util/socket.h"
+#include "src/util/status.h"
+
+namespace grepair {
+namespace serve {
+
+/// \brief Redial backoff bounds (exposed for tests): the gate starts
+/// at kBackoffBaseMs after the first failed dial and doubles up to
+/// kBackoffMaxMs, with jitter in [delay/2, delay].
+inline constexpr int kBackoffBaseMs = 25;
+inline constexpr int kBackoffMaxMs = 2000;
+
+class RemoteShardSource : public shard::ShardSource {
+ public:
+  struct Options {
+    int io_timeout_ms = 30000;  ///< connect + per-request deadline
+    int pool_size = 4;          ///< connections (clamped to [1, 64])
+  };
+
+  /// \brief Dials "host:port", opens `corpus` (empty = the sole
+  /// served corpus) and fetches its directory. kUnavailable when the
+  /// peer is unreachable or stalls; kCorruption when it serves
+  /// malformed frames or a bad directory; kNotFound for an unknown
+  /// corpus name.
+  static Result<std::shared_ptr<RemoteShardSource>> Connect(
+      const std::string& host_port, const std::string& corpus,
+      const Options& options);
+
+  ~RemoteShardSource() override;
+
+  const char* kind() const override { return "remote"; }
+
+  /// \brief Moves out the directory fetched at connect time (what
+  /// ShardedRep::OpenFromSource consumes). The source retains only
+  /// the per-shard lengths it needs for verification — the node maps
+  /// live once, in the rep, not twice. Call at most once.
+  shard::ParsedDirectory TakeDirectory();
+
+  /// \brief The raw footer-directory bytes (and their in-container
+  /// offset) exactly as the server shipped them at connect time.
+  /// OpenRemoteContainer persists these next to the SSD shard tier so
+  /// a warm cache can be opened again after the server is gone.
+  const std::vector<uint8_t>& raw_directory() const {
+    return raw_directory_;
+  }
+  uint64_t raw_dir_off() const { return raw_dir_off_; }
+
+  Result<ByteSpan> FetchShard(size_t shard,
+                              std::vector<uint8_t>* owned) override;
+
+  void AddStats(api::QueryStats* stats) const override;
+
+ private:
+  // One parked request awaiting its tagged response.
+  struct Pending {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    Status status = Status::OK();
+    net::Frame frame;
+  };
+
+  // One pool slot: a socket, its reader thread, and the in-flight map.
+  struct Conn {
+    std::mutex mu;  // guards socket state + pending map
+    Socket socket;
+    bool connected = false;
+    bool ever_connected = false;
+    uint32_t corpus_id = 0;
+    std::unordered_map<uint64_t, std::shared_ptr<Pending>> pending;
+    std::mutex send_mu;  // serializes frame writes on this socket
+    std::mutex dial_mu;  // serializes (re)dials of this slot
+    std::thread reader;
+  };
+
+  RemoteShardSource(std::string host, uint16_t port, std::string peer,
+                    std::string corpus, const Options& options);
+
+  /// Dials + handshakes + opens the corpus on a fresh socket. On
+  /// success *socket/*corpus_id are set and *dir holds the re-fetched,
+  /// re-parsed directory.
+  Status DialAndHandshake(Socket* socket, uint32_t* corpus_id,
+                          shard::ParsedDirectory* dir);
+  /// Ensures `conn` has a live handshaked connection + reader,
+  /// redialing through the backoff gate when broken.
+  Status EnsureConnected(Conn* conn);
+  void ReaderLoop(Conn* conn);
+  /// Marks the connection broken and fails every pending request with
+  /// `status` (each parked fetch then runs its own redial attempt).
+  void FailConnection(Conn* conn, const Status& status);
+
+  // Backoff gate (shared across pool slots).
+  Status GateCheck();                      // kUnavailable while closed
+  void GateRecordFailure(const std::string& message);
+  void GateRecordSuccess();
+
+  std::string host_;
+  uint16_t port_ = 0;
+  std::string peer_;    // "host:port" for error context
+  std::string corpus_;  // name opened on every (re)dial
+  int io_timeout_ms_ = 30000;
+
+  std::vector<std::unique_ptr<Conn>> conns_;
+  std::atomic<uint64_t> next_req_id_{1};
+  std::atomic<uint64_t> round_robin_{0};
+
+  shard::ParsedDirectory directory_;     // until TakeDirectory
+  std::vector<uint8_t> raw_directory_;   // verbatim wire bytes
+  uint64_t raw_dir_off_ = 0;
+  std::vector<uint64_t> shard_lengths_;  // rows[i].length, kept always
+
+  std::mutex gate_mu_;
+  int gate_fail_streak_ = 0;
+  std::chrono::steady_clock::time_point gate_next_dial_{};
+  std::string gate_last_error_;
+  Rng gate_jitter_;  // deterministic, seeded from the peer address
+
+  mutable std::atomic<uint64_t> stat_fetches_{0};
+  mutable std::atomic<uint64_t> stat_bytes_{0};
+  mutable std::atomic<uint64_t> stat_dials_{0};
+  mutable std::atomic<uint64_t> stat_redials_{0};
+  mutable std::atomic<uint64_t> stat_in_flight_{0};
+  mutable std::atomic<uint64_t> stat_peak_in_flight_{0};
+};
+
+/// \brief Splits a remote target "host:port[/corpus]" (e.g.
+/// "10.0.0.7:9000/wikidata"); the corpus part is optional and may be
+/// empty only when the server hosts a single corpus.
+Status SplitTarget(const std::string& target, std::string* host_port,
+                   std::string* corpus);
+
+/// \brief Everything api::OpenRemote needs to wire the tier together.
+struct OpenOptions {
+  int io_timeout_ms = 30000;
+  int pool_size = 4;
+  /// When non-empty, a TieredShardSource backed by this directory is
+  /// stacked over the pool (see src/serve/tiered.h).
+  std::string ssd_cache_dir;
+  uint64_t ssd_cache_bytes = 256ull << 20;
+};
+
+/// \brief Opens the remote corpus at "host:port[/name]" as a lazy
+/// CompressedRep: shard metadata from the server's directory, payloads
+/// faulted over the pool (optionally through the SSD tier) on first
+/// touch. The convenience entry point is api::OpenRemote
+/// (src/api/remote.h).
+Result<std::unique_ptr<api::CompressedRep>> OpenRemoteContainer(
+    const std::string& target, const OpenOptions& options);
+inline Result<std::unique_ptr<api::CompressedRep>> OpenRemoteContainer(
+    const std::string& target) {
+  return OpenRemoteContainer(target, OpenOptions());
+}
+
+}  // namespace serve
+}  // namespace grepair
+
+#endif  // GREPAIR_SERVE_POOL_H_

@@ -1,0 +1,134 @@
+// serve::ShardServer — one process serving many GRSHARD2 corpora over
+// GRNF v2 (see src/net/README.md for the wire spec).
+//
+// The server owns a frozen CorpusRegistry: every container was mmapped
+// and validated at registration, so serving is O(directory) at startup
+// and O(payload bytes) per request — no shard is ever decoded
+// server-side, which is exactly the paper's point: the compressed form
+// is the wire form.
+//
+// A connection opens with a kHello/kHelloOk handshake; after that the
+// server answers tagged requests (kOpenCorpus, kGetShard2, kGetStats),
+// echoing each request id so a multiplexing client can run many shard
+// faults in flight per connection. A GRNF v1 peer — one that skips the
+// handshake and leads with kGetDir/kGetShard — gets a clean v1 error
+// frame telling it to upgrade; the frame header layout is shared
+// between versions, so the stream stays in sync and the old client
+// reports a readable error instead of wire corruption.
+//
+// Concurrency: one accept thread plus one thread per connection, each
+// handling that connection's requests sequentially (clients get
+// concurrency from the pool + pipelining, not from per-request server
+// threads). Stop() (and the destructor) shuts down the listener and
+// every live connection and joins all threads; it is safe to call
+// while requests are in flight.
+
+#ifndef GREPAIR_SERVE_SERVER_H_
+#define GREPAIR_SERVE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/net/frame.h"
+#include "src/serve/registry.h"
+#include "src/serve/stats.h"
+#include "src/util/socket.h"
+#include "src/util/status.h"
+
+namespace grepair {
+namespace serve {
+
+class ShardServer {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";  ///< bind address (loopback default)
+    uint16_t port = 0;               ///< 0 = pick an ephemeral port
+    int io_timeout_ms = 30000;       ///< per-connection send/recv bound
+    /// Artificial per-shard-request service delay. Benchmarks use this
+    /// to emulate storage/WAN latency on loopback (netem-style), so
+    /// connection-pool speedups are measurable on any machine. Leave 0
+    /// in production.
+    int debug_shard_delay_ms = 0;
+  };
+
+  /// \brief Takes ownership of a populated registry (≥1 corpus) and
+  /// starts serving it. The registry is frozen from here on.
+  static Result<std::unique_ptr<ShardServer>> Start(CorpusRegistry registry,
+                                                    const Options& options);
+  static Result<std::unique_ptr<ShardServer>> Start(
+      CorpusRegistry registry) {
+    return Start(std::move(registry), Options());
+  }
+
+  ~ShardServer();
+
+  ShardServer(const ShardServer&) = delete;
+  ShardServer& operator=(const ShardServer&) = delete;
+
+  const std::string& host() const { return host_; }
+  uint16_t port() const { return port_; }
+  std::string host_port() const {
+    return host_ + ":" + std::to_string(port_);
+  }
+  const CorpusRegistry& registry() const { return registry_; }
+
+  /// \brief Shuts the listener and every live connection down and
+  /// joins all worker threads. Idempotent.
+  void Stop();
+
+  /// \brief Snapshot of the serving counters, including the
+  /// per-corpus hit histograms (what the STATS verb serves).
+  ServerStatsSnapshot stats() const;
+
+ private:
+  ShardServer() = default;
+
+  Status Init(const Options& options);
+  void AcceptLoop();
+  void ServeConnection(size_t slot);
+  // One request -> one response frame (or error frame). Returns false
+  // when the connection must close (unsyncable input stream).
+  bool HandleFrame(Socket* socket, const net::Frame& frame);
+  bool HandleOpenCorpus(Socket* socket, uint64_t req_id, ByteSource* body);
+  bool HandleGetShard(Socket* socket, uint64_t req_id, ByteSource* body);
+  Status SendFrame(Socket* socket, uint8_t type, ByteSpan body);
+  // v2 tagged error (keeps the connection; the stream is in sync).
+  Status SendError(Socket* socket, uint64_t req_id, const Status& status);
+  // v1 error frame, for pre-handshake v1 peers.
+  Status SendErrorV1(Socket* socket, const Status& status);
+
+  CorpusRegistry registry_;
+
+  std::string host_;
+  uint16_t port_ = 0;
+  int io_timeout_ms_ = 30000;
+  int debug_shard_delay_ms_ = 0;
+  Socket listener_;
+  std::thread accept_thread_;
+  std::mutex stop_mutex_;  // serializes Stop callers
+  std::atomic<bool> stopping_{false};
+
+  // Live connections: sockets stay owned here so Stop can shut them
+  // down mid-recv; slots are append-only. Finished connections close
+  // their fd and park their slot in finished_slots_ for the accept
+  // loop to reap (join) — Stop joins whatever remains.
+  std::mutex conn_mutex_;
+  std::vector<std::unique_ptr<Socket>> conn_sockets_;
+  std::vector<std::thread> conn_threads_;
+  std::vector<size_t> finished_slots_;
+
+  mutable std::atomic<uint64_t> stat_connections_{0};
+  mutable std::atomic<uint64_t> stat_requests_{0};
+  mutable std::atomic<uint64_t> stat_bytes_sent_{0};
+  mutable std::atomic<uint64_t> stat_errors_{0};
+};
+
+}  // namespace serve
+}  // namespace grepair
+
+#endif  // GREPAIR_SERVE_SERVER_H_

@@ -1,0 +1,260 @@
+#include "src/serve/stats.h"
+
+#include <utility>
+
+#include "src/net/frame.h"
+#include "src/serve/registry.h"
+#include "src/util/socket.h"
+
+namespace grepair {
+namespace serve {
+
+std::vector<uint8_t> EncodeStatsBody(uint64_t req_id,
+                                     const ServerStatsSnapshot& snapshot) {
+  std::vector<uint8_t> body;
+  PutU64LE(req_id, &body);
+  PutU64LE(snapshot.connections, &body);
+  PutU64LE(snapshot.requests, &body);
+  PutU64LE(snapshot.bytes_sent, &body);
+  PutU64LE(snapshot.errors, &body);
+  PutU32LE(static_cast<uint32_t>(snapshot.corpora.size()), &body);
+  for (const CorpusServeStats& corpus : snapshot.corpora) {
+    body.push_back(static_cast<uint8_t>(corpus.name.size()));
+    body.insert(body.end(), corpus.name.begin(), corpus.name.end());
+    body.push_back(static_cast<uint8_t>(corpus.inner_name.size()));
+    body.insert(body.end(), corpus.inner_name.begin(),
+                corpus.inner_name.end());
+    PutU64LE(corpus.num_nodes, &body);
+    PutU64LE(corpus.requests, &body);
+    PutU32LE(static_cast<uint32_t>(corpus.shard_hits.size()), &body);
+    for (uint64_t hits : corpus.shard_hits) {
+      PutU64LE(hits, &body);
+    }
+  }
+  return body;
+}
+
+namespace {
+
+Status ReadWireString(ByteSource* src, const char* what, std::string* out) {
+  uint8_t len = 0;
+  GREPAIR_RETURN_IF_ERROR(src->ReadU8(&len));
+  ByteSpan rest = src->PeekRemaining();
+  if (rest.size < len) {
+    return Status::Corruption(std::string(what) + " length " +
+                              std::to_string(len) + " overruns the body (" +
+                              std::to_string(rest.size) + " byte(s) left)");
+  }
+  out->assign(rest.begin(), rest.begin() + len);
+  GREPAIR_RETURN_IF_ERROR(src->Skip(len));
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<ServerStatsSnapshot> DecodeStatsBody(ByteSpan body, uint64_t* req_id) {
+  if (req_id != nullptr) *req_id = 0;
+  ByteSource src(body, "stats frame body");
+  uint64_t id = 0;
+  GREPAIR_RETURN_IF_ERROR(src.ReadU64LE(&id));
+  if (req_id != nullptr) *req_id = id;
+  ServerStatsSnapshot snapshot;
+  GREPAIR_RETURN_IF_ERROR(src.ReadU64LE(&snapshot.connections));
+  GREPAIR_RETURN_IF_ERROR(src.ReadU64LE(&snapshot.requests));
+  GREPAIR_RETURN_IF_ERROR(src.ReadU64LE(&snapshot.bytes_sent));
+  GREPAIR_RETURN_IF_ERROR(src.ReadU64LE(&snapshot.errors));
+  uint32_t corpus_count = 0;
+  GREPAIR_RETURN_IF_ERROR(src.ReadU32LE(&corpus_count));
+  // Each corpus record is at least 22 bytes; a lying count cannot
+  // drive a giant reserve.
+  if (static_cast<uint64_t>(corpus_count) * 22 > src.PeekRemaining().size) {
+    return Status::Corruption("stats body claims " +
+                              std::to_string(corpus_count) +
+                              " corpora but only " +
+                              std::to_string(src.PeekRemaining().size) +
+                              " byte(s) remain");
+  }
+  snapshot.corpora.resize(corpus_count);
+  for (CorpusServeStats& corpus : snapshot.corpora) {
+    GREPAIR_RETURN_IF_ERROR(
+        ReadWireString(&src, "corpus name", &corpus.name));
+    GREPAIR_RETURN_IF_ERROR(
+        ReadWireString(&src, "inner codec name", &corpus.inner_name));
+    GREPAIR_RETURN_IF_ERROR(src.ReadU64LE(&corpus.num_nodes));
+    GREPAIR_RETURN_IF_ERROR(src.ReadU64LE(&corpus.requests));
+    uint32_t num_shards = 0;
+    GREPAIR_RETURN_IF_ERROR(src.ReadU32LE(&num_shards));
+    if (static_cast<uint64_t>(num_shards) * 8 > src.PeekRemaining().size) {
+      return Status::Corruption(
+          "stats body claims " + std::to_string(num_shards) +
+          " shard counters but only " +
+          std::to_string(src.PeekRemaining().size) + " byte(s) remain");
+    }
+    corpus.shard_hits.resize(num_shards);
+    for (uint64_t& hits : corpus.shard_hits) {
+      GREPAIR_RETURN_IF_ERROR(src.ReadU64LE(&hits));
+    }
+  }
+  if (src.PeekRemaining().size != 0) {
+    return Status::Corruption("stats body has " +
+                              std::to_string(src.PeekRemaining().size) +
+                              " trailing byte(s)");
+  }
+  return snapshot;
+}
+
+namespace {
+
+// A short-lived single-request admin connection: dial, handshake,
+// then one synchronous call per verb. Unlike the pool this never
+// redials — an operator command should report the failure it saw.
+struct AdminConn {
+  Socket socket;
+  std::string peer;
+};
+
+Status AdminDial(const std::string& host_port, int io_timeout_ms,
+                 AdminConn* conn) {
+  std::string host;
+  uint16_t port = 0;
+  GREPAIR_RETURN_IF_ERROR(ParseHostPort(host_port, &host, &port));
+  auto dialed = Socket::ConnectTcp(host, port, io_timeout_ms);
+  if (!dialed.ok()) {
+    return Status::Unavailable("cannot reach " + host_port + ": " +
+                               dialed.status().message());
+  }
+  conn->socket = std::move(dialed).ValueOrDie();
+  conn->peer = host_port;
+  std::vector<uint8_t> hello;
+  PutU32LE(net::kProtoV2, &hello);
+  GREPAIR_RETURN_IF_ERROR(
+      net::WriteFrame(&conn->socket, net::kHello, SpanOf(hello)));
+  auto reply = net::ReadFrame(&conn->socket);
+  if (!reply.ok()) {
+    if (reply.status().code() == StatusCode::kUnavailable) {
+      return Status::Unavailable("handshake with " + host_port +
+                                 " failed: " + reply.status().message());
+    }
+    return reply.status();
+  }
+  if (reply.value().type == net::kError) {
+    // A GRNF v1 server answers an unknown verb with a v1 error frame.
+    return net::DecodeErrorBody(SpanOf(reply.value().body));
+  }
+  if (reply.value().type != net::kHelloOk) {
+    return Status::Corruption("shard server answered the handshake with "
+                              "frame type " +
+                              std::to_string(reply.value().type));
+  }
+  ByteSource body(SpanOf(reply.value().body), "HelloOk body");
+  uint32_t negotiated = 0;
+  uint32_t corpus_count = 0;
+  GREPAIR_RETURN_IF_ERROR(body.ReadU32LE(&negotiated));
+  GREPAIR_RETURN_IF_ERROR(body.ReadU32LE(&corpus_count));
+  if (negotiated != net::kProtoV2) {
+    return Status::Corruption("shard server negotiated unsupported "
+                              "protocol version " +
+                              std::to_string(negotiated));
+  }
+  return Status::OK();
+}
+
+Result<net::Frame> AdminCall(AdminConn* conn, uint8_t type, ByteSpan body,
+                             uint8_t expect) {
+  Status sent = net::WriteFrame(&conn->socket, type, body);
+  if (!sent.ok()) {
+    return Status::Unavailable("request to " + conn->peer +
+                               " failed: " + sent.message());
+  }
+  auto reply = net::ReadFrame(&conn->socket);
+  if (!reply.ok()) {
+    if (reply.status().code() == StatusCode::kUnavailable) {
+      return Status::Unavailable("response from " + conn->peer +
+                                 " failed: " + reply.status().message());
+    }
+    return reply.status();
+  }
+  if (reply.value().type == net::kError2) {
+    return net::DecodeErrorBody2(SpanOf(reply.value().body));
+  }
+  if (reply.value().type == net::kError) {
+    return net::DecodeErrorBody(SpanOf(reply.value().body));
+  }
+  if (reply.value().type != expect) {
+    return Status::Corruption(
+        "shard server sent frame type " +
+        std::to_string(reply.value().type) + " where " +
+        std::to_string(expect) + " was expected");
+  }
+  return reply;
+}
+
+}  // namespace
+
+Result<ServerStatsSnapshot> FetchServerStats(const std::string& host_port,
+                                             int io_timeout_ms) {
+  AdminConn conn;
+  GREPAIR_RETURN_IF_ERROR(AdminDial(host_port, io_timeout_ms, &conn));
+  std::vector<uint8_t> request;
+  PutU64LE(1, &request);
+  auto reply =
+      AdminCall(&conn, net::kGetStats, SpanOf(request), net::kStats);
+  if (!reply.ok()) return reply.status();
+  uint64_t req_id = 0;
+  auto snapshot = DecodeStatsBody(SpanOf(reply.value().body), &req_id);
+  if (!snapshot.ok()) return snapshot.status();
+  if (req_id != 1) {
+    return Status::Corruption("stats response echoes request id " +
+                              std::to_string(req_id) + " (expected 1)");
+  }
+  return snapshot;
+}
+
+Result<shard::ParsedDirectory> FetchCorpusDirectory(
+    const std::string& host_port, const std::string& corpus,
+    int io_timeout_ms, std::string* resolved_name) {
+  if (corpus.size() > kMaxCorpusNameBytes) {
+    return Status::InvalidArgument("corpus name is " +
+                                   std::to_string(corpus.size()) +
+                                   " bytes (max " +
+                                   std::to_string(kMaxCorpusNameBytes) + ")");
+  }
+  AdminConn conn;
+  GREPAIR_RETURN_IF_ERROR(AdminDial(host_port, io_timeout_ms, &conn));
+  std::vector<uint8_t> request;
+  PutU64LE(1, &request);
+  request.push_back(static_cast<uint8_t>(corpus.size()));
+  request.insert(request.end(), corpus.begin(), corpus.end());
+  auto reply =
+      AdminCall(&conn, net::kOpenCorpus, SpanOf(request), net::kCorpusDir);
+  if (!reply.ok()) return reply.status();
+  ByteSource body(SpanOf(reply.value().body), "CorpusDir body");
+  uint64_t req_id = 0;
+  uint32_t corpus_id = 0;
+  uint64_t dir_off = 0;
+  GREPAIR_RETURN_IF_ERROR(body.ReadU64LE(&req_id));
+  GREPAIR_RETURN_IF_ERROR(body.ReadU32LE(&corpus_id));
+  GREPAIR_RETURN_IF_ERROR(body.ReadU64LE(&dir_off));
+  auto dir = shard::ParseV2Directory(body.PeekRemaining(), dir_off);
+  if (!dir.ok()) return dir.status();
+  if (resolved_name != nullptr) {
+    // The directory carries no name; the stats snapshot does, indexed
+    // by the dense corpus id the server just resolved.
+    resolved_name->clear();
+    std::vector<uint8_t> stats_request;
+    PutU64LE(2, &stats_request);
+    auto stats_reply = AdminCall(&conn, net::kGetStats, SpanOf(stats_request),
+                                 net::kStats);
+    if (stats_reply.ok()) {
+      auto snapshot = DecodeStatsBody(SpanOf(stats_reply.value().body),
+                                      nullptr);
+      if (snapshot.ok() && corpus_id < snapshot.value().corpora.size()) {
+        *resolved_name = snapshot.value().corpora[corpus_id].name;
+      }
+    }
+  }
+  return dir;
+}
+
+}  // namespace serve
+}  // namespace grepair

@@ -1,0 +1,81 @@
+// The GRNF v2 STATS verb's body codec, plus the small synchronous
+// admin client behind `grepair info --remote`.
+//
+// A kStats body is a point-in-time snapshot of one server process:
+// process-wide counters followed by one record per served corpus,
+// including the per-shard hit histogram — the hot-shard signal a
+// placement/affinity layer will feed on. The encoding is the usual
+// little-endian length-prefixed layout and the decoder applies the
+// same untrusted-input discipline as every other wire parser in this
+// tree (a stats frame crosses the same network as shard frames).
+//
+// Layout (after the u64 request id):
+//
+//   u64  connections     u64 requests    u64 bytes_sent   u64 errors
+//   u32  corpus_count
+//   per corpus:
+//     u8  name_len   + name bytes
+//     u8  inner_len  + inner codec name bytes
+//     u64 num_nodes
+//     u64 requests
+//     u32 num_shards + u64 hit-count per shard
+
+#ifndef GREPAIR_SERVE_STATS_H_
+#define GREPAIR_SERVE_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/shard/sharded_codec.h"
+#include "src/util/byte_io.h"
+#include "src/util/status.h"
+
+namespace grepair {
+namespace serve {
+
+/// \brief One corpus' slice of a server stats snapshot.
+struct CorpusServeStats {
+  std::string name;
+  std::string inner_name;
+  uint64_t num_nodes = 0;
+  uint64_t requests = 0;                ///< shard requests answered
+  std::vector<uint64_t> shard_hits;     ///< per-shard hit histogram
+};
+
+/// \brief A whole-process serving snapshot (the kStats payload).
+struct ServerStatsSnapshot {
+  uint64_t connections = 0;
+  uint64_t requests = 0;
+  uint64_t bytes_sent = 0;
+  uint64_t errors = 0;
+  std::vector<CorpusServeStats> corpora;
+};
+
+/// \brief Encodes a kStats body (u64 req_id + the snapshot).
+std::vector<uint8_t> EncodeStatsBody(uint64_t req_id,
+                                     const ServerStatsSnapshot& snapshot);
+
+/// \brief Decodes a kStats body; *req_id receives the echoed request
+/// id. Clean kCorruption on malformed bytes.
+Result<ServerStatsSnapshot> DecodeStatsBody(ByteSpan body, uint64_t* req_id);
+
+/// \brief Dials "host:port", performs the v2 handshake, and fetches a
+/// stats snapshot over one short-lived connection. kUnavailable names
+/// the peer when it is unreachable or stalls.
+Result<ServerStatsSnapshot> FetchServerStats(const std::string& host_port,
+                                             int io_timeout_ms = 30000);
+
+/// \brief Dials "host:port", resolves `corpus` (empty = the sole
+/// served corpus) and fetches + reparses its directory over one
+/// short-lived connection — `info --remote`'s way to inspect a corpus
+/// without a local copy. *resolved_name (when non-null) receives the
+/// corpus name the server reports for the id it resolved.
+Result<shard::ParsedDirectory> FetchCorpusDirectory(
+    const std::string& host_port, const std::string& corpus,
+    int io_timeout_ms = 30000, std::string* resolved_name = nullptr);
+
+}  // namespace serve
+}  // namespace grepair
+
+#endif  // GREPAIR_SERVE_STATS_H_

@@ -384,8 +384,6 @@ Result<ByteSpan> ShardedRep::VerifiedPayload(
     auto fetched = source_->FetchShard(shard, owned);
     if (!fetched.ok()) return fetched.status();
     payload = fetched.value();
-    stat_remote_fetches_.fetch_add(1, std::memory_order_relaxed);
-    stat_remote_bytes_.fetch_add(payload.size, std::memory_order_relaxed);
     if (payload.size != entry.length) {
       return Status::Corruption(
           "shard " + std::to_string(shard) + " fetch returned " +
@@ -1015,9 +1013,9 @@ api::QueryStats ShardedRep::query_stats() const {
   stats.shards_prefetched =
       stat_prefetched_.load(std::memory_order_relaxed);
   stats.bytes_hinted = stat_hinted_.load(std::memory_order_relaxed);
-  stats.remote_fetches =
-      stat_remote_fetches_.load(std::memory_order_relaxed);
-  stats.remote_bytes = stat_remote_bytes_.load(std::memory_order_relaxed);
+  // Network/pool/tier counters live with the source stack: the rep
+  // cannot tell an SSD-warm hit from a WAN fetch, but the sources can.
+  if (source_ != nullptr) source_->AddStats(&stats);
   {
     std::lock_guard<std::mutex> lock(cache_mutex_);
     stats.cache_bytes_used = cache_bytes_used_ + result_bytes_used_;

@@ -145,6 +145,13 @@ class ShardSource {
   /// readahead that random point-query faults want. Returns bytes
   /// covered.
   virtual uint64_t AdviseNormal() { return 0; }
+
+  /// \brief Folds this source's own counters (network fetches, pool
+  /// dials, cache tiers) into *stats. Local sources are free: the
+  /// default is a no-op. Layered sources (TieredShardSource) forward
+  /// to their inner source so the whole stack reports through one
+  /// call. Must be safe to call concurrently with FetchShard.
+  virtual void AddStats(api::QueryStats* stats) const { (void)stats; }
 };
 
 /// \brief Directory metadata of one shard inside a container, as
@@ -469,8 +476,6 @@ class ShardedRep : public api::CompressedRep {
   mutable std::atomic<uint64_t> stat_faults_{0};
   mutable std::atomic<uint64_t> stat_prefetched_{0};
   mutable std::atomic<uint64_t> stat_hinted_{0};
-  mutable std::atomic<uint64_t> stat_remote_fetches_{0};
-  mutable std::atomic<uint64_t> stat_remote_bytes_{0};
 
   // Prefetch pool; guarded by prefetch_mutex_ (knob retunes race with
   // batch enqueues). Declared last so workers are joined before the

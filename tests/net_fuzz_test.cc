@@ -12,6 +12,7 @@
 
 #include "src/api/grepair_api.h"
 #include "src/net/frame.h"
+#include "src/serve/stats.h"
 #include "src/util/rng.h"
 
 namespace grepair {
@@ -63,10 +64,15 @@ void CheckFrameParse(ByteSpan bytes) {
   if (frame.ok()) {
     EXPECT_LE(consumed, bytes.size);
     EXPECT_GE(frame.value().type, net::kGetDir);
-    EXPECT_LE(frame.value().type, net::kError);
-    // A decoded frame re-encodes to the exact bytes it came from.
-    auto reencoded =
-        net::EncodeFrame(frame.value().type, SpanOf(frame.value().body));
+    EXPECT_LE(frame.value().type, net::kError2);
+    // The version byte always agrees with the type (a mismatch is
+    // rejected as corruption), and a decoded frame re-encodes to the
+    // exact bytes it came from.
+    EXPECT_EQ(frame.value().version,
+              net::FrameVersionForType(frame.value().type));
+    auto reencoded = net::EncodeFrameWithVersion(
+        frame.value().version, frame.value().type,
+        SpanOf(frame.value().body));
     EXPECT_EQ(reencoded,
               std::vector<uint8_t>(bytes.data, bytes.data + consumed));
   } else {
@@ -75,22 +81,57 @@ void CheckFrameParse(ByteSpan bytes) {
   }
 }
 
-TEST(NetFuzzTest, FrameParserSurvivesMutation) {
-  // Seed corpus: one golden frame per type, plus an empty-body edge.
+// One golden frame per verb of both protocol generations, plus
+// empty-body edges.
+std::vector<std::vector<uint8_t>> GoldenFrameSeeds() {
   std::vector<uint8_t> payload(300);
   for (size_t i = 0; i < payload.size(); ++i) {
     payload[i] = static_cast<uint8_t>(i * 7);
   }
-  std::vector<std::vector<uint8_t>> seeds = {
+  std::vector<uint8_t> hello;
+  PutU32LE(net::kProtoV2, &hello);
+  std::vector<uint8_t> hello_ok = hello;
+  PutU32LE(3, &hello_ok);
+  std::vector<uint8_t> open_corpus;
+  PutU64LE(42, &open_corpus);
+  open_corpus.push_back(3);
+  open_corpus.insert(open_corpus.end(), {'w', 'e', 'b'});
+  std::vector<uint8_t> corpus_dir;
+  PutU64LE(42, &corpus_dir);
+  PutU32LE(1, &corpus_dir);
+  PutU64LE(128, &corpus_dir);
+  corpus_dir.insert(corpus_dir.end(), payload.begin(), payload.end());
+  std::vector<uint8_t> get_shard2;
+  PutU64LE(43, &get_shard2);
+  PutU32LE(1, &get_shard2);
+  PutU32LE(2, &get_shard2);
+  std::vector<uint8_t> shard2 = get_shard2;
+  shard2.insert(shard2.end(), payload.begin(), payload.end());
+  std::vector<uint8_t> get_stats;
+  PutU64LE(44, &get_stats);
+  return {
       net::EncodeFrame(net::kGetDir, ByteSpan{}),
-      net::EncodeFrame(net::kGetShard,
-                       ByteSpan(payload.data(), 4)),
+      net::EncodeFrame(net::kGetShard, ByteSpan(payload.data(), 4)),
       net::EncodeFrame(net::kDir, SpanOf(payload)),
       net::EncodeFrame(net::kShard, SpanOf(payload)),
       net::EncodeFrame(net::kError,
                        SpanOf(net::EncodeErrorBody(
                            Status::InvalidArgument("seed error")))),
+      net::EncodeFrame(net::kHello, SpanOf(hello)),
+      net::EncodeFrame(net::kHelloOk, SpanOf(hello_ok)),
+      net::EncodeFrame(net::kOpenCorpus, SpanOf(open_corpus)),
+      net::EncodeFrame(net::kCorpusDir, SpanOf(corpus_dir)),
+      net::EncodeFrame(net::kGetShard2, SpanOf(get_shard2)),
+      net::EncodeFrame(net::kShard2, SpanOf(shard2)),
+      net::EncodeFrame(net::kGetStats, SpanOf(get_stats)),
+      net::EncodeFrame(net::kError2,
+                       SpanOf(net::EncodeErrorBody2(
+                           99, Status::NotFound("seed error 2")))),
   };
+}
+
+TEST(NetFuzzTest, FrameParserSurvivesMutation) {
+  std::vector<std::vector<uint8_t>> seeds = GoldenFrameSeeds();
   // Golden path first: every seed decodes to itself.
   for (const auto& seed : seeds) {
     size_t consumed = 0;
@@ -114,7 +155,21 @@ TEST(NetFuzzTest, FrameParserSurvivesMutation) {
   }
 }
 
-TEST(NetFuzzTest, ErrorBodyDecoderSurvivesNoise) {
+TEST(NetFuzzTest, VersionTypeMismatchIsRejected) {
+  // Every type is legal in exactly one protocol version; a frame
+  // claiming the other version is corruption even with a valid
+  // checksum (a conforming peer never sends it).
+  for (uint8_t type = net::kGetDir; type <= net::kError2; ++type) {
+    uint8_t right = net::FrameVersionForType(type);
+    uint8_t wrong = right == net::kProtoV1 ? net::kProtoV2 : net::kProtoV1;
+    auto bytes = net::EncodeFrameWithVersion(wrong, type, ByteSpan{});
+    auto frame = net::DecodeFrame(SpanOf(bytes));
+    ASSERT_FALSE(frame.ok()) << "type " << int(type);
+    EXPECT_EQ(frame.status().code(), StatusCode::kCorruption);
+  }
+}
+
+TEST(NetFuzzTest, ErrorBodyDecodersSurviveNoise) {
   Rng rng(0xABCD1234);
   for (int iter = 0; iter < 2000; ++iter) {
     std::vector<uint8_t> body(rng.UniformBounded(48));
@@ -124,6 +179,62 @@ TEST(NetFuzzTest, ErrorBodyDecoderSurvivesNoise) {
     Status decoded = net::DecodeErrorBody(SpanOf(body));
     EXPECT_FALSE(decoded.ok());  // an error frame is never OK
     EXPECT_FALSE(decoded.message().empty());
+    uint64_t req_id = 0;
+    Status decoded2 = net::DecodeErrorBody2(SpanOf(body), &req_id);
+    EXPECT_FALSE(decoded2.ok());
+    EXPECT_FALSE(decoded2.message().empty());
+  }
+}
+
+TEST(NetFuzzTest, StatsBodyDecoderSurvivesMutation) {
+  // Golden stats body: two corpora with histograms.
+  serve::ServerStatsSnapshot snapshot;
+  snapshot.connections = 3;
+  snapshot.requests = 17;
+  snapshot.bytes_sent = 4096;
+  snapshot.errors = 1;
+  snapshot.corpora.resize(2);
+  snapshot.corpora[0].name = "web";
+  snapshot.corpora[0].inner_name = "grepair";
+  snapshot.corpora[0].num_nodes = 1000;
+  snapshot.corpora[0].requests = 12;
+  snapshot.corpora[0].shard_hits = {4, 0, 8};
+  snapshot.corpora[1].name = "cite";
+  snapshot.corpora[1].inner_name = "k2";
+  snapshot.corpora[1].num_nodes = 50;
+  snapshot.corpora[1].requests = 5;
+  snapshot.corpora[1].shard_hits = {5};
+  auto body = serve::EncodeStatsBody(9, snapshot);
+
+  // Golden round-trip.
+  uint64_t req_id = 0;
+  auto decoded = serve::DecodeStatsBody(SpanOf(body), &req_id);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(req_id, 9u);
+  ASSERT_EQ(decoded.value().corpora.size(), 2u);
+  EXPECT_EQ(decoded.value().corpora[0].name, "web");
+  EXPECT_EQ(decoded.value().corpora[1].shard_hits,
+            (std::vector<uint64_t>{5}));
+
+  Rng rng(0x57A75BAD);
+  for (int iter = 0; iter < 2000; ++iter) {
+    auto mutated = Mutate(body, &rng);
+    auto parsed = serve::DecodeStatsBody(SpanOf(mutated), nullptr);
+    if (!parsed.ok()) {
+      EXPECT_EQ(parsed.status().code(), StatusCode::kCorruption);
+      EXPECT_FALSE(parsed.status().message().empty());
+    }
+  }
+  // Pure noise.
+  for (int iter = 0; iter < 1000; ++iter) {
+    std::vector<uint8_t> noise(rng.UniformBounded(96));
+    for (auto& b : noise) {
+      b = static_cast<uint8_t>(rng.UniformBounded(256));
+    }
+    auto parsed = serve::DecodeStatsBody(SpanOf(noise), nullptr);
+    if (!parsed.ok()) {
+      EXPECT_FALSE(parsed.status().message().empty());
+    }
   }
 }
 

@@ -1,12 +1,13 @@
-// Differential proof that remote == local: an in-process ShardServer
-// on a loopback port must answer every query byte-identically to a
-// local open of the same GRSHARD2 container — for every sharded
-// inner codec, for single and batch entry points, at 1 and 8 client
-// threads, over shared and per-thread connections. Also pins the
-// remote QueryStats counters, remote prefetch, remote Serialize, and
-// the api::OpenRemote entry point. The sanitizer CI legs (ASan/UBSan
-// and TSan) run this file: the concurrency tests double as the
-// data-race net for the server/client threading.
+// Differential proof that remote == local: an in-process
+// serve::ShardServer on a loopback port must answer every query
+// byte-identically to a local open of the same GRSHARD2 container —
+// for every sharded inner codec, for single and batch entry points,
+// at 1 and 8 client threads, over shared and per-thread connections,
+// at pool sizes 1 and 4. Also pins the remote QueryStats counters,
+// remote prefetch, remote Serialize, and the api::OpenRemote entry
+// point. The sanitizer CI legs (ASan/UBSan and TSan) run this file:
+// the concurrency tests double as the data-race net for the
+// server/pool threading.
 
 #include <gtest/gtest.h>
 
@@ -14,36 +15,44 @@
 #include <thread>
 
 #include "src/api/grepair_api.h"
-#include "src/net/remote_source.h"
-#include "src/net/shard_server.h"
+#include "src/serve/pool.h"
+#include "src/serve/registry.h"
+#include "src/serve/server.h"
 
 namespace grepair {
 namespace {
 
 // A served container: the serialized bytes plus the server exporting
 // them. Member order matters — the server (declared last) is
-// destroyed first, so it never outlives the bytes it serves.
+// destroyed first, so it never outlives the bytes it serves
+// (CorpusRegistry::AddBytes borrows; the caller keeps storage alive).
 struct ServedContainer {
   std::vector<uint8_t> bytes;
-  std::unique_ptr<net::ShardServer> server;
+  std::unique_ptr<serve::ShardServer> server;
 
   std::string host_port() const { return server->host_port(); }
 };
 
-// Compresses `gg` with sharded:<inner> into a v2 container and serves
-// it on an ephemeral loopback port.
-ServedContainer ServeCompressed(const std::string& inner,
-                                const GeneratedGraph& gg, int shards) {
-  ServedContainer served;
+std::vector<uint8_t> CompressSharded(const std::string& inner,
+                                     const GeneratedGraph& gg, int shards) {
   auto codec = api::CodecRegistry::Create("sharded:" + inner).ValueOrDie();
   api::CodecOptions options;
   options.Set("shards", std::to_string(shards));
   auto rep = codec->Compress(gg.graph, gg.alphabet, options);
   EXPECT_TRUE(rep.ok()) << rep.status().ToString();
-  auto* sharded = dynamic_cast<shard::ShardedRep*>(rep.value().get());
-  EXPECT_NE(sharded, nullptr);
-  served.bytes = sharded->SerializeV2();
-  auto server = net::ShardServer::Serve(nullptr, SpanOf(served.bytes));
+  return dynamic_cast<shard::ShardedRep*>(rep.value().get())->SerializeV2();
+}
+
+// Compresses `gg` with sharded:<inner> into a v2 container and serves
+// it as the sole corpus "g" on an ephemeral loopback port.
+ServedContainer ServeCompressed(const std::string& inner,
+                                const GeneratedGraph& gg, int shards) {
+  ServedContainer served;
+  served.bytes = CompressSharded(inner, gg, shards);
+  serve::CorpusRegistry registry;
+  auto added = registry.AddBytes("g", SpanOf(served.bytes));
+  EXPECT_TRUE(added.ok()) << added.ToString();
+  auto server = serve::ShardServer::Start(std::move(registry));
   EXPECT_TRUE(server.ok()) << server.status().ToString();
   served.server = std::move(server).ValueOrDie();
   return served;
@@ -70,7 +79,7 @@ TEST(RemoteShardTest, EveryShardedCodecAnswersIdenticallyRemoteVsLocal) {
 
     auto local = shard::ShardedRep::Deserialize(SpanOf(served.bytes));
     ASSERT_TRUE(local.ok()) << local.status().ToString();
-    auto remote = net::OpenRemoteContainer(served.host_port());
+    auto remote = serve::OpenRemoteContainer(served.host_port());
     ASSERT_TRUE(remote.ok()) << remote.status().ToString();
     EXPECT_EQ(remote.value()->num_nodes(), local.value()->num_nodes());
 
@@ -119,7 +128,7 @@ TEST(RemoteShardTest, RemoteSerializeMatchesLocalByteForByte) {
   ServedContainer served = ServeCompressed("grepair", gg, 4);
   auto local = shard::ShardedRep::Deserialize(SpanOf(served.bytes));
   ASSERT_TRUE(local.ok());
-  auto remote = net::OpenRemoteContainer(served.host_port());
+  auto remote = serve::OpenRemoteContainer(served.host_port());
   ASSERT_TRUE(remote.ok()) << remote.status().ToString();
   // Remote Serialize fetches every payload across the wire and must
   // reproduce the byte-stable v1 form exactly.
@@ -127,7 +136,7 @@ TEST(RemoteShardTest, RemoteSerializeMatchesLocalByteForByte) {
   EXPECT_EQ(remote.value()->ByteSize(), local.value()->ByteSize());
 }
 
-TEST(RemoteShardTest, EightThreadsOnOneConnectionMatchTruth) {
+TEST(RemoteShardTest, EightThreadsOnOnePoolMatchTruth) {
   GeneratedGraph gg = BarabasiAlbert(120, 3, 29);
   ServedContainer served = ServeCompressed("grepair", gg, 4);
 
@@ -140,44 +149,51 @@ TEST(RemoteShardTest, EightThreadsOnOneConnectionMatchTruth) {
     truth[v] = r.value();
   }
 
-  auto remote = net::OpenRemoteContainer(served.host_port());
-  ASSERT_TRUE(remote.ok()) << remote.status().ToString();
-  auto* sharded = dynamic_cast<shard::ShardedRep*>(remote.value().get());
-  ASSERT_NE(sharded, nullptr);
-  sharded->set_query_threads(4);
+  for (int pool_size : {1, 4}) {
+    SCOPED_TRACE("pool size " + std::to_string(pool_size));
+    serve::OpenOptions options;
+    options.pool_size = pool_size;
+    auto remote = serve::OpenRemoteContainer(served.host_port(), options);
+    ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+    auto* sharded = dynamic_cast<shard::ShardedRep*>(remote.value().get());
+    ASSERT_NE(sharded, nullptr);
+    sharded->set_query_threads(4);
 
-  std::vector<uint64_t> all_nodes(gg.graph.num_nodes());
-  for (uint64_t v = 0; v < all_nodes.size(); ++v) all_nodes[v] = v;
-  std::atomic<int> failures{0};
-  std::vector<std::thread> threads;
-  for (int t = 0; t < 8; ++t) {
-    threads.emplace_back([&, t] {
-      if (t % 2 == 0) {
-        auto batch = remote.value()->OutNeighborsBatch(all_nodes);
-        if (!batch.ok()) {
-          ++failures;
-          return;
+    std::vector<uint64_t> all_nodes(gg.graph.num_nodes());
+    for (uint64_t v = 0; v < all_nodes.size(); ++v) all_nodes[v] = v;
+    std::atomic<int> failures{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 8; ++t) {
+      threads.emplace_back([&, t] {
+        if (t % 2 == 0) {
+          auto batch = remote.value()->OutNeighborsBatch(all_nodes);
+          if (!batch.ok()) {
+            ++failures;
+            return;
+          }
+          for (uint64_t v = 0; v < all_nodes.size(); ++v) {
+            if (batch.value()[v] != truth[v]) ++failures;
+          }
+        } else {
+          for (uint64_t v = t; v < all_nodes.size(); v += 3) {
+            auto r = remote.value()->OutNeighbors(v);
+            if (!r.ok() || r.value() != truth[v]) ++failures;
+          }
         }
-        for (uint64_t v = 0; v < all_nodes.size(); ++v) {
-          if (batch.value()[v] != truth[v]) ++failures;
-        }
-      } else {
-        for (uint64_t v = t; v < all_nodes.size(); v += 3) {
-          auto r = remote.value()->OutNeighbors(v);
-          if (!r.ok() || r.value() != truth[v]) ++failures;
-        }
-      }
-    });
+      });
+    }
+    for (auto& th : threads) th.join();
+    EXPECT_EQ(failures.load(), 0);
+    // Concurrent faults still fetch each shard at most once.
+    auto stats = remote.value()->query_stats();
+    EXPECT_LE(stats.remote_fetches, sharded->num_shards());
+    EXPECT_GT(stats.remote_bytes, 0u);
+    EXPECT_GE(stats.pool_dials, 1u);
+    EXPECT_EQ(stats.pool_redials, 0u);
   }
-  for (auto& th : threads) th.join();
-  EXPECT_EQ(failures.load(), 0);
-  // Concurrent faults still fetch each shard at most once.
-  auto stats = remote.value()->query_stats();
-  EXPECT_LE(stats.remote_fetches, sharded->num_shards());
-  EXPECT_GT(stats.remote_bytes, 0u);
 }
 
-TEST(RemoteShardTest, EightIndependentConnectionsMatchTruth) {
+TEST(RemoteShardTest, EightIndependentClientsMatchTruth) {
   GeneratedGraph gg = BarabasiAlbert(80, 3, 31);
   ServedContainer served = ServeCompressed("grepair", gg, 3);
 
@@ -194,7 +210,9 @@ TEST(RemoteShardTest, EightIndependentConnectionsMatchTruth) {
   std::vector<std::thread> threads;
   for (int t = 0; t < 8; ++t) {
     threads.emplace_back([&] {
-      auto rep = net::OpenRemoteContainer(served.host_port());
+      serve::OpenOptions options;
+      options.pool_size = 1;
+      auto rep = serve::OpenRemoteContainer(served.host_port(), options);
       if (!rep.ok()) {
         ++failures;
         return;
@@ -213,7 +231,7 @@ TEST(RemoteShardTest, EightIndependentConnectionsMatchTruth) {
 TEST(RemoteShardTest, RemotePrefetchWarmsShardsOverTheWire) {
   GeneratedGraph gg = BarabasiAlbert(70, 3, 37);
   ServedContainer served = ServeCompressed("grepair", gg, 3);
-  auto remote = net::OpenRemoteContainer(served.host_port());
+  auto remote = serve::OpenRemoteContainer(served.host_port());
   ASSERT_TRUE(remote.ok());
   auto* sharded = dynamic_cast<shard::ShardedRep*>(remote.value().get());
   ASSERT_NE(sharded, nullptr);
@@ -237,20 +255,26 @@ TEST(RemoteShardTest, RemotePrefetchWarmsShardsOverTheWire) {
 TEST(RemoteShardTest, ApiOpenRemoteEntryPoint) {
   GeneratedGraph gg = BarabasiAlbert(50, 3, 41);
   ServedContainer served = ServeCompressed("grepair", gg, 2);
-  auto rep = api::OpenRemote(served.host_port());
-  ASSERT_TRUE(rep.ok()) << rep.status().ToString();
-  auto out = rep.value()->OutNeighbors(0);
-  ASSERT_TRUE(out.ok()) << out.status().ToString();
-  auto local = shard::ShardedRep::Deserialize(SpanOf(served.bytes));
-  ASSERT_TRUE(local.ok());
-  auto local_out = local.value()->OutNeighbors(0);
-  ASSERT_TRUE(local_out.ok());
-  EXPECT_EQ(out.value(), local_out.value());
-  // The remote rep names its source.
-  auto* sharded = dynamic_cast<shard::ShardedRep*>(rep.value().get());
-  ASSERT_NE(sharded, nullptr);
-  EXPECT_STREQ(sharded->source_kind(), "remote");
-  EXPECT_TRUE(sharded->is_lazy());
+  // Both the bare "host:port" form (sole corpus) and the explicit
+  // "host:port/name" form resolve.
+  for (const std::string target :
+       {served.host_port(), served.host_port() + "/g"}) {
+    SCOPED_TRACE("target " + target);
+    auto rep = api::OpenRemote(target);
+    ASSERT_TRUE(rep.ok()) << rep.status().ToString();
+    auto out = rep.value()->OutNeighbors(0);
+    ASSERT_TRUE(out.ok()) << out.status().ToString();
+    auto local = shard::ShardedRep::Deserialize(SpanOf(served.bytes));
+    ASSERT_TRUE(local.ok());
+    auto local_out = local.value()->OutNeighbors(0);
+    ASSERT_TRUE(local_out.ok());
+    EXPECT_EQ(out.value(), local_out.value());
+    // The remote rep names its source.
+    auto* sharded = dynamic_cast<shard::ShardedRep*>(rep.value().get());
+    ASSERT_NE(sharded, nullptr);
+    EXPECT_STREQ(sharded->source_kind(), "remote");
+    EXPECT_TRUE(sharded->is_lazy());
+  }
 }
 
 TEST(RemoteShardTest, ServingRefusesV1AndNonShardedPayloads) {
@@ -262,14 +286,19 @@ TEST(RemoteShardTest, ServingRefusesV1AndNonShardedPayloads) {
   ASSERT_TRUE(rep.ok());
 
   auto v1 = rep.value()->Serialize();  // GRSHARD1: no directory
-  auto v1_server = net::ShardServer::Serve(nullptr, SpanOf(v1));
-  ASSERT_FALSE(v1_server.ok());
-  EXPECT_EQ(v1_server.status().code(), StatusCode::kInvalidArgument);
-  EXPECT_NE(v1_server.status().message().find("v2"), std::string::npos);
+  serve::CorpusRegistry registry;
+  Status v1_added = registry.AddBytes("g", SpanOf(v1));
+  ASSERT_FALSE(v1_added.ok());
+  EXPECT_EQ(v1_added.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(v1_added.message().find("v2"), std::string::npos);
 
   std::vector<uint8_t> garbage = {0xDE, 0xAD, 0xBE, 0xEF};
-  auto bad_server = net::ShardServer::Serve(nullptr, SpanOf(garbage));
-  ASSERT_FALSE(bad_server.ok());
+  EXPECT_FALSE(registry.AddBytes("bad", SpanOf(garbage)).ok());
+
+  // A registry that ends up empty refuses to start serving.
+  auto server = serve::ShardServer::Start(std::move(registry));
+  ASSERT_FALSE(server.ok());
+  EXPECT_EQ(server.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST(RemoteShardTest, ConnectErrorsAreCleanStatuses) {
@@ -278,16 +307,19 @@ TEST(RemoteShardTest, ConnectErrorsAreCleanStatuses) {
   ASSERT_FALSE(bad_spec.ok());
   EXPECT_EQ(bad_spec.status().code(), StatusCode::kInvalidArgument);
 
-  // A port that was just released: connection refused, not a hang.
+  // A port that was just released: connection refused, not a hang —
+  // and the failure names the unreachable peer.
   uint16_t dead_port = 0;
   {
     auto listener = Socket::ListenTcp("127.0.0.1", 0, &dead_port);
     ASSERT_TRUE(listener.ok()) << listener.status().ToString();
   }
-  auto refused = api::OpenRemote(
-      "127.0.0.1:" + std::to_string(dead_port), /*io_timeout_ms=*/2000);
+  std::string peer = "127.0.0.1:" + std::to_string(dead_port);
+  auto refused = api::OpenRemote(peer, /*io_timeout_ms=*/2000);
   ASSERT_FALSE(refused.ok());
   EXPECT_EQ(refused.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(refused.status().message().find(peer), std::string::npos)
+      << refused.status().ToString();
 }
 
 }  // namespace

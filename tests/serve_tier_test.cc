@@ -1,0 +1,527 @@
+// The multi-tenant serving tier end to end: one serve::ShardServer
+// hosting several corpora must answer every client byte-identically
+// to local opens of the same containers, under 8-thread interleaved
+// load; the SSD shard tier must keep answering with the server gone,
+// fail closed on corrupt or truncated cache files (refetching
+// remotely), and honor its LRU byte budget; the redial backoff gate
+// must fail fast and name the dead peer; corpus discovery and the
+// GRNF STATS verb round-trip. Runs under the ASan/UBSan and TSan CI
+// legs — the interleaved-tenant test doubles as the data-race net for
+// the registry's shared-server path.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <thread>
+
+#include "src/api/grepair_api.h"
+#include "src/serve/pool.h"
+#include "src/util/mmap_file.h"
+#include "src/serve/registry.h"
+#include "src/serve/server.h"
+#include "src/serve/stats.h"
+#include "src/serve/tiered.h"
+
+namespace grepair {
+namespace {
+
+std::vector<uint8_t> CompressSharded(const GeneratedGraph& gg, int shards) {
+  auto codec = api::CodecRegistry::Create("sharded:grepair").ValueOrDie();
+  api::CodecOptions options;
+  options.Set("shards", std::to_string(shards));
+  auto rep = codec->Compress(gg.graph, gg.alphabet, options);
+  EXPECT_TRUE(rep.ok()) << rep.status().ToString();
+  return dynamic_cast<shard::ShardedRep*>(rep.value().get())->SerializeV2();
+}
+
+std::vector<std::vector<uint64_t>> LocalTruth(
+    const std::vector<uint8_t>& container, uint64_t num_nodes) {
+  auto local = shard::ShardedRep::Deserialize(SpanOf(container));
+  EXPECT_TRUE(local.ok()) << local.status().ToString();
+  std::vector<std::vector<uint64_t>> truth(num_nodes);
+  for (uint64_t v = 0; v < num_nodes; ++v) {
+    auto r = local.value()->OutNeighbors(v);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    truth[v] = r.value();
+  }
+  return truth;
+}
+
+// A fresh per-test scratch directory, removed on destruction.
+struct ScratchDir {
+  explicit ScratchDir(const std::string& tag)
+      : path(::testing::TempDir() + "grepair_serve_" + tag) {
+    std::filesystem::remove_all(path);
+    std::filesystem::create_directories(path);
+  }
+  ~ScratchDir() { std::filesystem::remove_all(path); }
+  std::string path;
+};
+
+// Bytes the shard tier holds on disk (the .grdir directory sidecar
+// is bookkeeping, not cached payload, and sits outside the budget).
+uint64_t DiskBytes(const std::string& dir) {
+  uint64_t total = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".shard") {
+      total += entry.file_size();
+    }
+  }
+  return total;
+}
+
+// Per-shard payload lengths of a serialized container, via the same
+// directory parse the server performs.
+std::vector<shard::ShardDirEntry> DirectoryRows(
+    const std::vector<uint8_t>& container) {
+  uint64_t dir_off = 0;
+  auto region = shard::LocateV2DirectoryRegion(SpanOf(container), &dir_off);
+  EXPECT_TRUE(region.ok());
+  auto dir = shard::ParseV2Directory(region.value(), dir_off);
+  EXPECT_TRUE(dir.ok());
+  return std::move(dir).ValueOrDie().rows;
+}
+
+size_t CountDataShards(const std::vector<shard::ShardDirEntry>& rows) {
+  size_t n = 0;
+  for (const auto& row : rows) {
+    if (row.length > 0) ++n;
+  }
+  return n;
+}
+
+TEST(ServeTierTest, TwoTenantsEightThreadsByteIdenticalPerCorpus) {
+  GeneratedGraph web = BarabasiAlbert(110, 3, 71);
+  GeneratedGraph cite = ErdosRenyi(90, 360, 73);
+  std::vector<uint8_t> web_bytes = CompressSharded(web, 4);
+  std::vector<uint8_t> cite_bytes = CompressSharded(cite, 3);
+  auto web_truth = LocalTruth(web_bytes, web.graph.num_nodes());
+  auto cite_truth = LocalTruth(cite_bytes, cite.graph.num_nodes());
+
+  serve::CorpusRegistry registry;
+  ASSERT_TRUE(registry.AddBytes("web", SpanOf(web_bytes)).ok());
+  ASSERT_TRUE(registry.AddBytes("cite", SpanOf(cite_bytes)).ok());
+  auto server = serve::ShardServer::Start(std::move(registry));
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  // One shared rep per tenant, four threads each, interleaved single
+  // and batch queries: the server must never cross-serve corpora.
+  serve::OpenOptions options;
+  options.pool_size = 2;
+  auto web_rep =
+      serve::OpenRemoteContainer(server.value()->host_port() + "/web",
+                                 options);
+  ASSERT_TRUE(web_rep.ok()) << web_rep.status().ToString();
+  auto cite_rep =
+      serve::OpenRemoteContainer(server.value()->host_port() + "/cite",
+                                 options);
+  ASSERT_TRUE(cite_rep.ok()) << cite_rep.status().ToString();
+  EXPECT_EQ(web_rep.value()->num_nodes(), web.graph.num_nodes());
+  EXPECT_EQ(cite_rep.value()->num_nodes(), cite.graph.num_nodes());
+
+  std::atomic<int> failures{0};
+  auto worker = [&failures](api::CompressedRep* rep,
+                            const std::vector<std::vector<uint64_t>>& truth,
+                            int stride) {
+    if (stride % 2 == 0) {
+      std::vector<uint64_t> all(truth.size());
+      for (uint64_t v = 0; v < all.size(); ++v) all[v] = v;
+      auto batch = rep->OutNeighborsBatch(all);
+      if (!batch.ok()) {
+        ++failures;
+        return;
+      }
+      for (uint64_t v = 0; v < all.size(); ++v) {
+        if (batch.value()[v] != truth[v]) ++failures;
+      }
+    } else {
+      for (uint64_t v = static_cast<uint64_t>(stride); v < truth.size();
+           v += 3) {
+        auto r = rep->OutNeighbors(v);
+        if (!r.ok() || r.value() != truth[v]) ++failures;
+      }
+    }
+  };
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back(worker, web_rep.value().get(), std::cref(web_truth),
+                         t);
+    threads.emplace_back(worker, cite_rep.value().get(),
+                         std::cref(cite_truth), t);
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // The server attributed traffic to the right tenants.
+  auto stats = server.value()->stats();
+  ASSERT_EQ(stats.corpora.size(), 2u);
+  EXPECT_EQ(stats.corpora[0].name, "web");
+  EXPECT_EQ(stats.corpora[1].name, "cite");
+  for (const auto& corpus : stats.corpora) {
+    EXPECT_GT(corpus.requests, 0u) << corpus.name;
+    uint64_t histogram_sum = 0;
+    for (uint64_t hits : corpus.shard_hits) histogram_sum += hits;
+    EXPECT_EQ(histogram_sum, corpus.requests) << corpus.name;
+  }
+}
+
+TEST(ServeTierTest, AmbiguousAndUnknownCorpusNamesFailClosed) {
+  GeneratedGraph gg = BarabasiAlbert(50, 3, 79);
+  std::vector<uint8_t> a = CompressSharded(gg, 2);
+  std::vector<uint8_t> b = CompressSharded(gg, 3);
+  serve::CorpusRegistry registry;
+  ASSERT_TRUE(registry.AddBytes("a", SpanOf(a)).ok());
+  ASSERT_TRUE(registry.AddBytes("b", SpanOf(b)).ok());
+  auto server = serve::ShardServer::Start(std::move(registry));
+  ASSERT_TRUE(server.ok());
+
+  // No name against a two-tenant server: ambiguous, names the options.
+  auto ambiguous = api::OpenRemote(server.value()->host_port());
+  ASSERT_FALSE(ambiguous.ok());
+  EXPECT_EQ(ambiguous.status().code(), StatusCode::kInvalidArgument);
+
+  // Unknown name: kNotFound listing what is served.
+  auto unknown = api::OpenRemote(server.value()->host_port() + "/nope");
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_EQ(unknown.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(unknown.status().message().find("a"), std::string::npos);
+  EXPECT_NE(unknown.status().message().find("b"), std::string::npos);
+
+  // Both real names still resolve.
+  EXPECT_TRUE(api::OpenRemote(server.value()->host_port() + "/a").ok());
+  EXPECT_TRUE(api::OpenRemote(server.value()->host_port() + "/b").ok());
+}
+
+TEST(ServeTierTest, DirectoryDiscoveryServesEveryContainer) {
+  ScratchDir scratch("discovery");
+  GeneratedGraph web = BarabasiAlbert(60, 3, 83);
+  GeneratedGraph cite = BarabasiAlbert(40, 3, 89);
+  ASSERT_TRUE(WriteFileBytes(scratch.path + "/web.grc",
+                             CompressSharded(web, 3))
+                  .ok());
+  ASSERT_TRUE(WriteFileBytes(scratch.path + "/cite.grc",
+                             CompressSharded(cite, 2))
+                  .ok());
+  // Sidecar noise a corpus directory might hold: not servable, skipped.
+  ASSERT_TRUE(WriteFileBytes(scratch.path + "/README.txt",
+                             std::vector<uint8_t>{'h', 'i'})
+                  .ok());
+  std::filesystem::create_directories(scratch.path + "/subdir");
+
+  serve::CorpusRegistry registry;
+  std::vector<std::string> added;
+  ASSERT_TRUE(registry.DiscoverDirectory(scratch.path, &added).ok());
+  EXPECT_EQ(added, (std::vector<std::string>{"cite", "web"}));
+  ASSERT_EQ(registry.size(), 2u);
+
+  auto server = serve::ShardServer::Start(std::move(registry));
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  auto rep = api::OpenRemote(server.value()->host_port() + "/web");
+  ASSERT_TRUE(rep.ok()) << rep.status().ToString();
+  EXPECT_EQ(rep.value()->num_nodes(), web.graph.num_nodes());
+}
+
+TEST(ServeTierTest, SsdWarmCacheAnswersWithServerStopped) {
+  ScratchDir scratch("warm");
+  GeneratedGraph gg = BarabasiAlbert(80, 3, 97);
+  std::vector<uint8_t> bytes = CompressSharded(gg, 3);
+  auto truth = LocalTruth(bytes, gg.graph.num_nodes());
+  size_t data_shards = CountDataShards(DirectoryRows(bytes));
+
+  serve::CorpusRegistry registry;
+  ASSERT_TRUE(registry.AddBytes("g", SpanOf(bytes)).ok());
+  auto server = serve::ShardServer::Start(std::move(registry));
+  ASSERT_TRUE(server.ok());
+
+  serve::OpenOptions options;
+  options.ssd_cache_dir = scratch.path + "/cache";
+
+  // Pass 1 (cold): every shard faults over the wire and lands on disk.
+  {
+    auto rep = serve::OpenRemoteContainer(server.value()->host_port(),
+                                          options);
+    ASSERT_TRUE(rep.ok()) << rep.status().ToString();
+    for (uint64_t v = 0; v < truth.size(); ++v) {
+      auto r = rep.value()->OutNeighbors(v);
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      EXPECT_EQ(r.value(), truth[v]);
+    }
+    auto stats = rep.value()->query_stats();
+    EXPECT_EQ(stats.tier_cold_fetches, data_shards);
+    EXPECT_EQ(stats.remote_fetches, data_shards);
+    EXPECT_EQ(stats.tier_warm_hits, 0u);
+  }
+
+  // Pass 2 (warm): open while the server is still up (the directory
+  // crosses the wire), then stop it. Every payload must come off the
+  // SSD tier — zero remote fetches with the server gone.
+  auto rep = serve::OpenRemoteContainer(server.value()->host_port(),
+                                        options);
+  ASSERT_TRUE(rep.ok()) << rep.status().ToString();
+  server.value()->Stop();
+  for (uint64_t v = 0; v < truth.size(); ++v) {
+    auto r = rep.value()->OutNeighbors(v);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r.value(), truth[v]);
+  }
+  auto stats = rep.value()->query_stats();
+  EXPECT_EQ(stats.tier_warm_hits, data_shards);
+  EXPECT_EQ(stats.tier_cold_fetches, 0u);
+  EXPECT_EQ(stats.remote_fetches, 0u);
+  EXPECT_EQ(stats.remote_bytes, 0u);
+}
+
+TEST(ServeTierTest, OfflineOpenFromWarmTierAfterServerDies) {
+  ScratchDir scratch("offline");
+  GeneratedGraph gg = BarabasiAlbert(70, 3, 131);
+  std::vector<uint8_t> bytes = CompressSharded(gg, 3);
+  auto truth = LocalTruth(bytes, gg.graph.num_nodes());
+
+  serve::CorpusRegistry registry;
+  ASSERT_TRUE(registry.AddBytes("g", SpanOf(bytes)).ok());
+  auto server = serve::ShardServer::Start(std::move(registry));
+  ASSERT_TRUE(server.ok());
+  std::string peer = server.value()->host_port();
+
+  serve::OpenOptions options;
+  options.ssd_cache_dir = scratch.path + "/cache";
+
+  // Warm the tier (this also persists the directory sidecar).
+  {
+    auto rep = serve::OpenRemoteContainer(peer, options);
+    ASSERT_TRUE(rep.ok());
+    for (uint64_t v = 0; v < truth.size(); ++v) {
+      ASSERT_TRUE(rep.value()->OutNeighbors(v).ok());
+    }
+  }
+  server.value()->Stop();
+
+  // A brand-new client against the dead peer: the open itself must
+  // succeed off the persisted directory, and every query answers from
+  // the SSD tier without touching the network.
+  auto rep = serve::OpenRemoteContainer(peer, options);
+  ASSERT_TRUE(rep.ok()) << rep.status().ToString();
+  auto* sharded = dynamic_cast<shard::ShardedRep*>(rep.value().get());
+  ASSERT_NE(sharded, nullptr);
+  EXPECT_STREQ(sharded->source_kind(), "tiered-ssd");
+  for (uint64_t v = 0; v < truth.size(); ++v) {
+    auto r = rep.value()->OutNeighbors(v);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r.value(), truth[v]);
+  }
+  auto stats = rep.value()->query_stats();
+  EXPECT_EQ(stats.remote_fetches, 0u);
+  EXPECT_GT(stats.tier_warm_hits, 0u);
+
+  // Without the tier, the same dead peer is still a clean failure.
+  auto no_tier = serve::OpenRemoteContainer(peer, serve::OpenOptions());
+  ASSERT_FALSE(no_tier.ok());
+  EXPECT_EQ(no_tier.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(ServeTierTest, CorruptOrTruncatedCacheFilesFailClosedAndRefetch) {
+  ScratchDir scratch("corrupt");
+  GeneratedGraph gg = BarabasiAlbert(70, 3, 101);
+  std::vector<uint8_t> bytes = CompressSharded(gg, 3);
+  auto truth = LocalTruth(bytes, gg.graph.num_nodes());
+
+  serve::CorpusRegistry registry;
+  ASSERT_TRUE(registry.AddBytes("g", SpanOf(bytes)).ok());
+  auto server = serve::ShardServer::Start(std::move(registry));
+  ASSERT_TRUE(server.ok());
+
+  serve::OpenOptions options;
+  options.ssd_cache_dir = scratch.path + "/cache";
+
+  // Warm the cache.
+  {
+    auto rep = serve::OpenRemoteContainer(server.value()->host_port(),
+                                          options);
+    ASSERT_TRUE(rep.ok());
+    for (uint64_t v = 0; v < truth.size(); ++v) {
+      ASSERT_TRUE(rep.value()->OutNeighbors(v).ok());
+    }
+  }
+
+  // Vandalize every cached shard: flip a byte in one file, truncate
+  // the next, alternating — both must be caught by the read-time
+  // re-hash, deleted, and refetched from the server.
+  size_t vandalized = 0;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(options.ssd_cache_dir)) {
+    if (!entry.is_regular_file()) continue;
+    if (entry.path().extension() != ".shard") continue;  // dir sidecar
+    std::string path = entry.path().string();
+    auto cached = ReadFileBytes(path);
+    ASSERT_TRUE(cached.ok());
+    std::vector<uint8_t> mutated = std::move(cached).ValueOrDie();
+    if (vandalized % 2 == 0) {
+      mutated[mutated.size() / 2] ^= 0x40;  // bit flip
+    } else {
+      mutated.resize(mutated.size() / 2);  // truncation
+    }
+    ASSERT_TRUE(WriteFileBytes(path, mutated).ok());
+    ++vandalized;
+  }
+  ASSERT_GT(vandalized, 0u);
+
+  auto rep = serve::OpenRemoteContainer(server.value()->host_port(),
+                                        options);
+  ASSERT_TRUE(rep.ok()) << rep.status().ToString();
+  for (uint64_t v = 0; v < truth.size(); ++v) {
+    auto r = rep.value()->OutNeighbors(v);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r.value(), truth[v]) << "node " << v;
+  }
+  auto stats = rep.value()->query_stats();
+  EXPECT_EQ(stats.tier_corrupt_drops, vandalized);
+  EXPECT_EQ(stats.tier_warm_hits, 0u);
+  EXPECT_EQ(stats.tier_cold_fetches, vandalized);
+  EXPECT_EQ(stats.remote_fetches, vandalized);
+
+  // The refetch repaired the cache: a fresh open is warm again.
+  auto repaired = serve::OpenRemoteContainer(server.value()->host_port(),
+                                             options);
+  ASSERT_TRUE(repaired.ok());
+  for (uint64_t v = 0; v < truth.size(); ++v) {
+    ASSERT_TRUE(repaired.value()->OutNeighbors(v).ok());
+  }
+  EXPECT_EQ(repaired.value()->query_stats().tier_warm_hits, vandalized);
+  EXPECT_EQ(repaired.value()->query_stats().remote_fetches, 0u);
+}
+
+TEST(ServeTierTest, LruEvictionHonorsTheByteBudget) {
+  ScratchDir scratch("lru");
+  GeneratedGraph gg = BarabasiAlbert(140, 3, 103);
+  std::vector<uint8_t> bytes = CompressSharded(gg, 6);
+  auto truth = LocalTruth(bytes, gg.graph.num_nodes());
+  auto rows = DirectoryRows(bytes);
+  uint64_t total = 0, largest = 0;
+  for (const auto& row : rows) {
+    total += row.length;
+    largest = std::max(largest, row.length);
+  }
+  ASSERT_GT(total, largest * 2) << "need several data shards";
+
+  serve::CorpusRegistry registry;
+  ASSERT_TRUE(registry.AddBytes("g", SpanOf(bytes)).ok());
+  auto server = serve::ShardServer::Start(std::move(registry));
+  ASSERT_TRUE(server.ok());
+
+  // Budget: room for the largest shard but nowhere near all of them.
+  serve::OpenOptions options;
+  options.ssd_cache_dir = scratch.path + "/cache";
+  options.ssd_cache_bytes = largest + total / 4;
+  auto rep = serve::OpenRemoteContainer(server.value()->host_port(),
+                                        options);
+  ASSERT_TRUE(rep.ok()) << rep.status().ToString();
+  for (uint64_t v = 0; v < truth.size(); ++v) {
+    auto r = rep.value()->OutNeighbors(v);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r.value(), truth[v]);
+  }
+  auto stats = rep.value()->query_stats();
+  EXPECT_GT(stats.tier_evictions, 0u);
+  EXPECT_LE(DiskBytes(options.ssd_cache_dir), options.ssd_cache_bytes);
+}
+
+TEST(ServeTierTest, DeadPeerFailsFastWithBackoffAndNamesThePeer) {
+  GeneratedGraph gg = BarabasiAlbert(90, 3, 107);
+  std::vector<uint8_t> bytes = CompressSharded(gg, 3);
+  serve::CorpusRegistry registry;
+  ASSERT_TRUE(registry.AddBytes("g", SpanOf(bytes)).ok());
+  auto server = serve::ShardServer::Start(std::move(registry));
+  ASSERT_TRUE(server.ok());
+  std::string peer = server.value()->host_port();
+
+  serve::OpenOptions options;
+  options.pool_size = 1;
+  options.io_timeout_ms = 2000;
+  auto rep = serve::OpenRemoteContainer(peer, options);
+  ASSERT_TRUE(rep.ok()) << rep.status().ToString();
+  EXPECT_EQ(rep.value()->num_nodes(), gg.graph.num_nodes());
+
+  // Kill the server before any shard is materialized (a single hub
+  // query would warm every shard the hub's edges touch, leaving
+  // nothing remote to fail on).
+  server.value()->Stop();
+
+  // The first fetch must fail kUnavailable and the message must name
+  // the dead peer (the operator needs to know *which* host is down).
+  auto first = rep.value()->OutNeighbors(0);
+  ASSERT_FALSE(first.ok()) << "shard fetch against a dead peer succeeded";
+  EXPECT_EQ(first.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(first.status().message().find(peer), std::string::npos)
+      << first.status().ToString();
+
+  // With the backoff gate closed, repeated fetches fail immediately
+  // instead of re-dialing the dead peer per request.
+  auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < 25; ++i) {
+    auto r = rep.value()->OutNeighbors(gg.graph.num_nodes() - 1);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+    EXPECT_NE(r.status().message().find(peer), std::string::npos);
+  }
+  auto elapsed = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  // 25 gated failures must cost far less than 25 full redial attempts;
+  // the bound is loose (CI machines stall) but pins the fail-fast path.
+  EXPECT_LT(elapsed, 5.0);
+  auto stats = rep.value()->query_stats();
+  EXPECT_LT(stats.pool_redials, 25u);
+}
+
+TEST(ServeTierTest, StatsVerbReportsPerCorpusHotShardHistograms) {
+  GeneratedGraph web = BarabasiAlbert(60, 3, 109);
+  GeneratedGraph cite = BarabasiAlbert(45, 3, 113);
+  std::vector<uint8_t> web_bytes = CompressSharded(web, 3);
+  std::vector<uint8_t> cite_bytes = CompressSharded(cite, 2);
+  serve::CorpusRegistry registry;
+  ASSERT_TRUE(registry.AddBytes("web", SpanOf(web_bytes)).ok());
+  ASSERT_TRUE(registry.AddBytes("cite", SpanOf(cite_bytes)).ok());
+  auto server = serve::ShardServer::Start(std::move(registry));
+  ASSERT_TRUE(server.ok());
+
+  // Touch only "web".
+  auto rep = api::OpenRemote(server.value()->host_port() + "/web");
+  ASSERT_TRUE(rep.ok());
+  for (uint64_t v = 0; v < web.graph.num_nodes(); ++v) {
+    ASSERT_TRUE(rep.value()->OutNeighbors(v).ok());
+  }
+
+  auto stats = serve::FetchServerStats(server.value()->host_port());
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  ASSERT_EQ(stats.value().corpora.size(), 2u);
+  const auto& web_stats = stats.value().corpora[0];
+  const auto& cite_stats = stats.value().corpora[1];
+  EXPECT_EQ(web_stats.name, "web");
+  EXPECT_EQ(web_stats.inner_name, "grepair");
+  EXPECT_EQ(web_stats.num_nodes, web.graph.num_nodes());
+  EXPECT_GT(web_stats.requests, 0u);
+  uint64_t web_hits = 0;
+  for (uint64_t h : web_stats.shard_hits) web_hits += h;
+  EXPECT_EQ(web_hits, web_stats.requests);
+  EXPECT_EQ(cite_stats.name, "cite");
+  EXPECT_EQ(cite_stats.requests, 0u);
+
+  // The directory fetched over the admin path matches a local parse.
+  std::string resolved;
+  auto dir = serve::FetchCorpusDirectory(server.value()->host_port(), "web",
+                                         /*io_timeout_ms=*/5000, &resolved);
+  ASSERT_TRUE(dir.ok()) << dir.status().ToString();
+  EXPECT_EQ(resolved, "web");
+  auto local_rows = DirectoryRows(web_bytes);
+  ASSERT_EQ(dir.value().rows.size(), local_rows.size());
+  for (size_t i = 0; i < local_rows.size(); ++i) {
+    EXPECT_EQ(dir.value().rows[i].offset, local_rows[i].offset);
+    EXPECT_EQ(dir.value().rows[i].length, local_rows[i].length);
+    EXPECT_EQ(dir.value().rows[i].checksum, local_rows[i].checksum);
+  }
+}
+
+}  // namespace
+}  // namespace grepair

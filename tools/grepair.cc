@@ -11,11 +11,13 @@
 //           [--options k=v,...] [--shards K] [--threads T]
 //           [--strategy edge-range|bfs]
 //   grepair backends
-//   grepair query <in>|--remote host:port [--nodes 1,2,3]
+//   grepair query <in>|--remote host:port[/corpus] [--nodes 1,2,3]
 //           [--pairs 1:2,3:4] [--batch] [--cache-bytes N] [--threads T]
-//           [--prefetch P]
-//   grepair serve <in> [--host H] [--port P]
-//   grepair info <in>
+//           [--prefetch P] [--pool N] [--ssd-cache DIR]
+//           [--ssd-cache-bytes N]
+//   grepair serve [<file>|<dir>]... [--corpus name=path]
+//           [--host H] [--port P]
+//   grepair info <in> | info --remote host:port[/corpus]
 //   grepair stats <in.grg>
 //   grepair reach <in.grg> <from> <to>
 //   grepair neighbors <in.grg> <node>
@@ -54,11 +56,17 @@
 // they touch. `info` prints a container's directory — backend, shard
 // offsets/lengths/checksums — without decoding a single shard.
 //
-// Remote serving: `serve` exports a GRSHARD2 container over TCP (the
-// checksummed frame protocol of src/net/), and `query --remote
-// host:port` runs the exact same query paths against it — cold shards
-// fault across the network instead of from the local mapping, and the
-// answers are byte-identical to a local open of the same file.
+// Remote serving: `serve` exports GRSHARD2 containers over TCP (the
+// GRNF v2 frame protocol of src/net/ + src/serve/). One server hosts
+// many corpora: `--corpus name=path` registers each explicitly, and a
+// bare directory argument auto-discovers every servable container in
+// it (named by file basename). `query --remote host:port/corpus` runs
+// the exact same query paths against a served corpus — cold shards
+// fault across the connection pool (`--pool`), optionally through a
+// checksummed local SSD shard cache (`--ssd-cache`), and the answers
+// are byte-identical to a local open of the same file. `info --remote`
+// asks a running server for its per-corpus serving stats and hot-shard
+// histograms over the GRNF STATS verb.
 
 #include <algorithm>
 #include <atomic>
@@ -73,13 +81,18 @@
 #include <thread>
 #include <vector>
 
+#include <sys/stat.h>
+
 #include "src/api/grepair_api.h"
-#include "src/net/shard_server.h"
 #include "src/encoding/grammar_coder.h"
 #include "src/grepair/compressor.h"
 #include "src/query/neighborhood.h"
 #include "src/query/reachability.h"
 #include "src/query/speedup.h"
+#include "src/serve/pool.h"
+#include "src/serve/registry.h"
+#include "src/serve/server.h"
+#include "src/serve/stats.h"
 
 using namespace grepair;
 
@@ -105,10 +118,13 @@ int Usage() {
       "[--options k=v,...]\n"
       "        [--shards K] [--threads T] [--strategy edge-range|bfs]\n"
       "  backends\n"
-      "  query <in>|--remote host:port [--nodes 1,2,3] [--pairs 1:2,3:4]\n"
-      "        [--batch] [--cache-bytes N] [--threads T] [--prefetch P]\n"
-      "  serve <in> [--host H] [--port P]\n"
-      "  info <in>\n"
+      "  query <in>|--remote host:port[/corpus] [--nodes 1,2,3]\n"
+      "        [--pairs 1:2,3:4] [--batch] [--cache-bytes N] [--threads T]\n"
+      "        [--prefetch P] [--pool N] [--ssd-cache DIR]\n"
+      "        [--ssd-cache-bytes N]\n"
+      "  serve [<file>|<dir>]... [--corpus name=path] [--host H] "
+      "[--port P]\n"
+      "  info <in> | info --remote host:port[/corpus]\n"
       "  stats <in.grg>\n"
       "  reach <in.grg> <from> <to>\n"
       "  neighbors <in.grg> <node>\n"
@@ -677,6 +693,24 @@ int RunQueries(std::unique_ptr<api::CompressedRep> rep,
               (unsigned long long)stats.bytes_hinted,
               (unsigned long long)stats.remote_fetches,
               (unsigned long long)stats.remote_bytes);
+  // The serving-tier counters get their own line: pool dials/redials
+  // and the SSD tier's hit/miss/eviction/corruption counts are zero
+  // for purely local opens, and the warm-vs-remote split is the number
+  // CI asserts on (an SSD-warm run must show remote_fetches=0).
+  if (stats.pool_dials != 0 || stats.tier_warm_hits != 0 ||
+      stats.tier_cold_fetches != 0 || stats.tier_corrupt_drops != 0) {
+    std::printf("tier: pool_dials=%llu pool_redials=%llu "
+                "pool_peak_in_flight=%llu tier_warm_hits=%llu "
+                "tier_cold_fetches=%llu tier_evictions=%llu "
+                "tier_corrupt_drops=%llu\n",
+                (unsigned long long)stats.pool_dials,
+                (unsigned long long)stats.pool_redials,
+                (unsigned long long)stats.pool_peak_in_flight,
+                (unsigned long long)stats.tier_warm_hits,
+                (unsigned long long)stats.tier_cold_fetches,
+                (unsigned long long)stats.tier_evictions,
+                (unsigned long long)stats.tier_corrupt_drops);
+  }
   return 0;
 }
 
@@ -699,6 +733,8 @@ int CmdQuery(int argc, char** argv) {
   int prefetch = 0;
   bool have_cache_bytes = false;
   uint64_t cache_bytes = 0;
+  api::RemoteOptions remote_options;
+  bool have_remote_flags = false;
   for (int i = flag_start; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--nodes" && i + 1 < argc) {
@@ -722,9 +758,31 @@ int CmdQuery(int argc, char** argv) {
       if (!ParseCountFlag("--prefetch", argv[++i], 64, &prefetch)) {
         return 2;
       }
+    } else if (arg == "--pool" && i + 1 < argc) {
+      if (!ParseCountFlag("--pool", argv[++i], 64,
+                          &remote_options.pool_size)) {
+        return 2;
+      }
+      have_remote_flags = true;
+    } else if (arg == "--ssd-cache" && i + 1 < argc) {
+      remote_options.ssd_cache_dir = argv[++i];
+      have_remote_flags = true;
+    } else if (arg == "--ssd-cache-bytes" && i + 1 < argc) {
+      if (!ParseU64(argv[++i], &remote_options.ssd_cache_bytes)) {
+        std::fprintf(stderr, "--ssd-cache-bytes expects a byte count, "
+                             "got '%s'\n", argv[i]);
+        return 2;
+      }
+      have_remote_flags = true;
     } else {
       return Usage();
     }
+  }
+  if (have_remote_flags && remote_spec.empty()) {
+    std::fprintf(stderr,
+                 "--pool/--ssd-cache/--ssd-cache-bytes tune the remote "
+                 "tier; they require --remote\n");
+    return 2;
   }
   if (nodes_spec.empty() && pairs_spec.empty()) {
     std::fprintf(stderr, "query needs --nodes and/or --pairs\n");
@@ -739,7 +797,7 @@ int CmdQuery(int argc, char** argv) {
   Result<std::unique_ptr<api::CompressedRep>> rep =
       Status::Internal("rep not opened");
   if (!remote_spec.empty()) {
-    rep = api::OpenRemote(remote_spec);
+    rep = api::OpenRemote(remote_spec, remote_options);
     if (!rep.ok()) {
       std::fprintf(stderr, "%s\n", rep.status().ToString().c_str());
       return 1;
@@ -805,17 +863,31 @@ int CmdQuery(int argc, char** argv) {
                     prefetch);
 }
 
-// `serve`: export one GRSHARD2 container over TCP until SIGINT or
-// SIGTERM. The listening line goes to stdout (flushed) so scripts can
-// wait for it; everything after runs in the server's own threads.
+// `serve`: export GRSHARD2 containers over TCP until SIGINT or
+// SIGTERM. Corpora come from repeatable `--corpus name=path` flags
+// and/or bare arguments — a file registers under its basename (minus
+// extension), a directory is scanned for every servable container.
+// The listening line goes to stdout (flushed) so scripts can wait for
+// it; everything after runs in the server's own threads.
 std::atomic<bool> g_serve_stop{false};
 
 void ServeSignalHandler(int) { g_serve_stop.store(true); }
 
+// Basename minus the last extension, the same naming rule
+// CorpusRegistry::DiscoverDirectory applies inside a directory.
+std::string CorpusNameForPath(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  std::string base =
+      slash == std::string::npos ? path : path.substr(slash + 1);
+  size_t dot = base.rfind('.');
+  if (dot == std::string::npos || dot == 0) return base;
+  return base.substr(0, dot);
+}
+
 int CmdServe(int argc, char** argv) {
-  if (argc < 3) return Usage();
-  net::ShardServer::Options options;
-  for (int i = 3; i < argc; ++i) {
+  serve::ShardServer::Options options;
+  serve::CorpusRegistry registry;
+  for (int i = 2; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--host" && i + 1 < argc) {
       options.host = argv[++i];
@@ -823,19 +895,58 @@ int CmdServe(int argc, char** argv) {
       int port = 0;
       if (!ParseCountFlag("--port", argv[++i], 65535, &port)) return 2;
       options.port = static_cast<uint16_t>(port);
+    } else if (arg == "--corpus" && i + 1 < argc) {
+      std::string spec = argv[++i];
+      size_t eq = spec.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 == spec.size()) {
+        std::fprintf(stderr, "--corpus expects name=path, got '%s'\n",
+                     spec.c_str());
+        return 2;
+      }
+      auto status = registry.AddFile(spec.substr(0, eq), spec.substr(eq + 1));
+      if (!status.ok()) {
+        std::fprintf(stderr, "%s\n", status.ToString().c_str());
+        return 1;
+      }
+    } else if (!arg.empty() && arg[0] != '-') {
+      struct stat st;
+      if (stat(arg.c_str(), &st) != 0) {
+        std::fprintf(stderr, "serve: cannot stat %s: %s\n", arg.c_str(),
+                     std::strerror(errno));
+        return 1;
+      }
+      Status status = S_ISDIR(st.st_mode)
+                          ? registry.DiscoverDirectory(arg)
+                          : registry.AddFile(CorpusNameForPath(arg), arg);
+      if (!status.ok()) {
+        std::fprintf(stderr, "%s\n", status.ToString().c_str());
+        return 1;
+      }
     } else {
       return Usage();
     }
   }
-  auto server = net::ShardServer::Start(argv[2], options);
+  if (registry.empty()) {
+    std::fprintf(stderr,
+                 "serve needs at least one corpus (--corpus name=path, a "
+                 "container file, or a directory of containers)\n");
+    return 2;
+  }
+  size_t num_corpora = registry.size();
+  auto server = serve::ShardServer::Start(std::move(registry), options);
   if (!server.ok()) {
     std::fprintf(stderr, "%s\n", server.status().ToString().c_str());
     return 1;
   }
-  std::printf("serving %s on %s (inner=%s, %zu shards)\n", argv[2],
-              server.value()->host_port().c_str(),
-              server.value()->inner_name().c_str(),
-              server.value()->num_shards());
+  std::printf("serving %zu corpus(es) on %s\n", num_corpora,
+              server.value()->host_port().c_str());
+  for (size_t i = 0; i < num_corpora; ++i) {
+    const serve::Corpus& corpus = server.value()->registry().at(i);
+    std::printf("  %s: inner=%s, %zu shards, %llu nodes\n",
+                corpus.name.c_str(), corpus.inner_name.c_str(),
+                corpus.rows.size(),
+                (unsigned long long)corpus.num_nodes);
+  }
   std::fflush(stdout);
   std::signal(SIGINT, ServeSignalHandler);
   std::signal(SIGTERM, ServeSignalHandler);
@@ -850,6 +961,74 @@ int CmdServe(int argc, char** argv) {
               (unsigned long long)stats.connections,
               (unsigned long long)stats.bytes_sent,
               (unsigned long long)stats.errors);
+  for (const auto& corpus : stats.corpora) {
+    std::printf("  %s: %llu request(s)\n", corpus.name.c_str(),
+                (unsigned long long)corpus.requests);
+  }
+  return 0;
+}
+
+// `info --remote host:port[/corpus]`: asks a running shard server
+// over the GRNF STATS verb. Without a corpus name it prints the
+// serving totals and the corpus list; with one it additionally fetches
+// that corpus's footer directory (the same bytes `info <file>` reads
+// locally) and prints the shard table with the server's hot-shard hit
+// histogram alongside.
+int CmdInfoRemote(const std::string& target) {
+  std::string host_port, corpus;
+  auto split = serve::SplitTarget(target, &host_port, &corpus);
+  if (!split.ok()) {
+    std::fprintf(stderr, "%s\n", split.ToString().c_str());
+    return 2;
+  }
+  auto stats = serve::FetchServerStats(host_port);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "%s\n", stats.status().ToString().c_str());
+    return 1;
+  }
+  const serve::ServerStatsSnapshot& snapshot = stats.value();
+  std::printf("shard server %s: %zu corpus(es), %llu connection(s), "
+              "%llu request(s), %llu byte(s) sent, %llu error(s)\n",
+              host_port.c_str(), snapshot.corpora.size(),
+              (unsigned long long)snapshot.connections,
+              (unsigned long long)snapshot.requests,
+              (unsigned long long)snapshot.bytes_sent,
+              (unsigned long long)snapshot.errors);
+  for (const auto& c : snapshot.corpora) {
+    std::printf("  %s: inner=%s nodes=%llu shards=%zu requests=%llu\n",
+                c.name.c_str(), c.inner_name.c_str(),
+                (unsigned long long)c.num_nodes, c.shard_hits.size(),
+                (unsigned long long)c.requests);
+  }
+  if (corpus.empty() && snapshot.corpora.size() != 1) return 0;
+  std::string resolved;
+  auto dir = serve::FetchCorpusDirectory(host_port, corpus,
+                                         /*io_timeout_ms=*/30000, &resolved);
+  if (!dir.ok()) {
+    std::fprintf(stderr, "%s\n", dir.status().ToString().c_str());
+    return 1;
+  }
+  const std::vector<uint64_t>* hits = nullptr;
+  for (const auto& c : snapshot.corpora) {
+    if (c.name == resolved) hits = &c.shard_hits;
+  }
+  std::printf("corpus %s: inner=%s nodes=%llu shards=%zu\n",
+              resolved.empty() ? corpus.c_str() : resolved.c_str(),
+              dir.value().inner_name.c_str(),
+              (unsigned long long)dir.value().num_nodes,
+              dir.value().rows.size());
+  std::printf("%6s %10s %10s %18s %10s %10s\n", "shard", "offset", "length",
+              "checksum", "nodes", "hits");
+  for (size_t i = 0; i < dir.value().rows.size(); ++i) {
+    const auto& s = dir.value().rows[i];
+    std::printf("%6zu %10llu %10llu 0x%016llx %10llu %10llu\n", i,
+                (unsigned long long)s.offset, (unsigned long long)s.length,
+                (unsigned long long)s.checksum,
+                (unsigned long long)s.node_count,
+                (unsigned long long)(hits != nullptr && i < hits->size()
+                                         ? (*hits)[i]
+                                         : 0));
+  }
   return 0;
 }
 
@@ -859,6 +1038,10 @@ int CmdServe(int argc, char** argv) {
 // (or a v1 header scan). No inner rep is ever constructed.
 int CmdInfo(int argc, char** argv) {
   if (argc < 3) return Usage();
+  if (std::strcmp(argv[2], "--remote") == 0) {
+    if (argc < 4) return Usage();
+    return CmdInfoRemote(argv[3]);
+  }
   auto file = MmapFile::Open(argv[2]);
   if (!file.ok()) {
     std::fprintf(stderr, "%s\n", file.status().ToString().c_str());
