@@ -285,6 +285,11 @@ Result<SlhrGrammar> DecodeGrammar(ByteSpan bytes) {
   const uint32_t num_labels =
       static_cast<uint32_t>(num_terminals + num_rules);
   std::vector<Hypergraph> rule_bodies;
+  // Capped reserve: honest inputs skip the realloc churn on the hot
+  // decode path, while a lying count can still only claim a bounded
+  // up-front slab.
+  rule_bodies.reserve(
+      static_cast<size_t>(std::min<uint64_t>(num_rules, 4096)));
   for (uint64_t j = 0; j < num_rules; ++j) {
     uint32_t rank = 0;
     Hypergraph body;
@@ -306,8 +311,10 @@ Result<SlhrGrammar> DecodeGrammar(ByteSpan bytes) {
   if (num_perms > total_bits) {
     return Status::Corruption("perm count exceeds input size");
   }
-  // Grown per decoded entry, not sized up front (see rule_bodies).
+  // Grown per decoded entry, not sized up front (see rule_bodies),
+  // with the same bounded reserve to avoid realloc churn.
   std::vector<std::vector<uint8_t>> perms;
+  perms.reserve(static_cast<size_t>(std::min<uint64_t>(num_perms, 4096)));
   for (uint64_t i = 0; i < num_perms; ++i) {
     uint64_t len = 0;
     GREPAIR_RETURN_IF_ERROR(EliasDeltaDecode(&r, &len));

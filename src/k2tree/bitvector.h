@@ -28,6 +28,22 @@ class RankBitVector {
     ++size_;
   }
 
+  /// \brief Appends `nbits` (0..64) bits taken MSB-first from `word`:
+  /// the first appended bit is bit 63. This is the word-at-a-time
+  /// deserialization path — a 64-bit stream chunk lands as one
+  /// bit-reversal plus one push instead of 64 PushBack calls; the
+  /// unaligned/partial cases fall back to the per-bit loop.
+  void PushWord(uint64_t word, size_t nbits) {
+    if (nbits == 64 && size_ % 64 == 0) {
+      words_.push_back(ReverseBits64(word));
+      size_ += 64;
+      return;
+    }
+    for (size_t j = 0; j < nbits; ++j) {
+      PushBack((word >> (63 - j)) & 1u);
+    }
+  }
+
   /// \brief Random access.
   bool Get(size_t i) const { return (words_[i / 64] >> (i % 64)) & 1u; }
 
@@ -53,6 +69,18 @@ class RankBitVector {
   static RankBitVector FromWords(std::vector<uint64_t> words, size_t size);
 
  private:
+  // Maps a stream-order (MSB-first) chunk onto the LSB-first internal
+  // packing: swap adjacent bits, pairs, nibbles, then bytes.
+  static uint64_t ReverseBits64(uint64_t v) {
+    v = ((v >> 1) & 0x5555555555555555ull) |
+        ((v & 0x5555555555555555ull) << 1);
+    v = ((v >> 2) & 0x3333333333333333ull) |
+        ((v & 0x3333333333333333ull) << 2);
+    v = ((v >> 4) & 0x0F0F0F0F0F0F0F0Full) |
+        ((v & 0x0F0F0F0F0F0F0F0Full) << 4);
+    return __builtin_bswap64(v);
+  }
+
   std::vector<uint64_t> words_;
   std::vector<uint64_t> super_ranks_;  // ones before each 8-word superblock
   size_t size_ = 0;

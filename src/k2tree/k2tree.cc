@@ -223,16 +223,37 @@ Result<K2Tree> K2Tree::Deserialize(BitReader* reader) {
   uint64_t size = k;
   while (size < need) size *= k;
   tree.size_ = size;
-  for (uint64_t i = 0; i + 1 < t_bits; ++i) {
-    bool bit = false;
-    GREPAIR_RETURN_IF_ERROR(reader->ReadBit(&bit));
-    tree.t_.PushBack(bit);
-  }
-  for (uint64_t i = 0; i + 1 < l_bits; ++i) {
-    bool bit = false;
-    GREPAIR_RETURN_IF_ERROR(reader->ReadBit(&bit));
-    tree.l_.PushBack(bit);
-  }
+  // Bitmaps load in 64-bit chunks: one bounds-checked ReadBits + one
+  // PushWord per word instead of a ReadBit/PushBack pair per bit. The
+  // per-bit loop is retained behind the scalar-oracle switch so the
+  // differential tests (and the decode_throughput baseline) exercise
+  // the whole bit-at-a-time path, not just the Elias codes.
+  auto read_bitmap = [&](RankBitVector* bv, uint64_t nbits) -> Status {
+    if (EliasDecodeScalarForTest()) {
+      bool bit = false;
+      for (uint64_t i = 0; i < nbits; ++i) {
+        GREPAIR_RETURN_IF_ERROR(reader->ReadBit(&bit));
+        bv->PushBack(bit);
+      }
+      return Status::OK();
+    }
+    uint64_t i = 0;
+    uint64_t w = 0;
+    for (; i + 64 <= nbits; i += 64) {
+      GREPAIR_RETURN_IF_ERROR(reader->ReadBits(64, &w));
+      bv->PushWord(w, 64);
+    }
+    const int rem = static_cast<int>(nbits - i);
+    if (rem > 0) {
+      GREPAIR_RETURN_IF_ERROR(reader->ReadBits(rem, &w));
+      // ReadBits returns the bits right-aligned; PushWord wants the
+      // first-read bit at position 63.
+      bv->PushWord(w << (64 - rem), static_cast<size_t>(rem));
+    }
+    return Status::OK();
+  };
+  GREPAIR_RETURN_IF_ERROR(read_bitmap(&tree.t_, t_bits - 1));
+  GREPAIR_RETURN_IF_ERROR(read_bitmap(&tree.l_, l_bits - 1));
   tree.t_.Finalize();
   tree.l_.Finalize();
   return tree;

@@ -1,6 +1,5 @@
 #include "src/query/node_map.h"
 
-#include <algorithm>
 #include <cassert>
 
 namespace grepair {
@@ -8,23 +7,24 @@ namespace grepair {
 NodeMap::NodeMap(const SlhrGrammar& grammar)
     : grammar_(&grammar), gen_(ComputeGeneratedSizes(grammar)) {
   const Hypergraph& start = grammar.start();
-  start_prefix_.resize(start.num_edges() + 1);
+  std::vector<uint64_t> start_prefix(start.num_edges() + 1);
   uint64_t acc = start.num_nodes();
   for (EdgeId e = 0; e < start.num_edges(); ++e) {
-    start_prefix_[e] = acc;
+    start_prefix[e] = acc;
     Label l = start.edge(e).label;
     if (grammar.IsNonterminal(l)) {
       acc += gen_.gen_nodes[grammar.RuleIndex(l)];
     }
   }
-  start_prefix_[start.num_edges()] = acc;
+  start_prefix[start.num_edges()] = acc;
   total_nodes_ = acc;
+  start_prefix_ = EliasFanoIndex(start_prefix);
 
-  rule_child_prefix_.resize(grammar.num_rules());
+  rule_child_prefix_.reserve(grammar.num_rules());
+  std::vector<uint64_t> prefix;
   for (uint32_t j = 0; j < grammar.num_rules(); ++j) {
     const Hypergraph& rhs = grammar.rhs_by_index(j);
-    auto& prefix = rule_child_prefix_[j];
-    prefix.resize(rhs.num_edges() + 1);
+    prefix.assign(rhs.num_edges() + 1, 0);
     uint64_t sum = 0;
     for (EdgeId e = 0; e < rhs.num_edges(); ++e) {
       prefix[e] = sum;
@@ -34,6 +34,7 @@ NodeMap::NodeMap(const SlhrGrammar& grammar)
       }
     }
     prefix[rhs.num_edges()] = sum;
+    rule_child_prefix_.emplace_back(prefix);
   }
 }
 
@@ -45,11 +46,17 @@ GPath NodeMap::PathOf(uint64_t id) const {
     path.node = static_cast<NodeId>(id);
     return path;
   }
-  // Binary search: last start edge whose block base is <= id.
-  auto it = std::upper_bound(start_prefix_.begin(), start_prefix_.end(), id);
-  EdgeId e = static_cast<EdgeId>(it - start_prefix_.begin()) - 1;
+  // Succinct predecessor: last start edge whose block base is <= id.
+  // The sentinel (total) is never picked because id < total_nodes_,
+  // and id >= |V_S| = start_prefix[0] guarantees a predecessor exists.
+  size_t e_idx = 0;
+  uint64_t base = 0;
+  bool found = start_prefix_.PredecessorOrEqual(id, &e_idx, &base);
+  assert(found);
+  (void)found;
+  EdgeId e = static_cast<EdgeId>(e_idx);
   path.start_edge = e;
-  uint64_t offset = id - start_prefix_[e];
+  uint64_t offset = id - base;
 
   Label label = start.edge(e).label;
   for (;;) {
@@ -63,11 +70,17 @@ GPath NodeMap::PathOf(uint64_t id) const {
       return path;
     }
     offset -= internal;
-    const auto& prefix = rule_child_prefix_[j];
-    auto cit = std::upper_bound(prefix.begin(), prefix.end(), offset);
-    EdgeId child = static_cast<EdgeId>(cit - prefix.begin()) - 1;
+    // offset < sum of child blocks here, so the sentinel entry is
+    // never the predecessor and a child always exists (prefix[0] == 0).
+    size_t child_idx = 0;
+    uint64_t child_base = 0;
+    bool ok =
+        rule_child_prefix_[j].PredecessorOrEqual(offset, &child_idx, &child_base);
+    assert(ok);
+    (void)ok;
+    EdgeId child = static_cast<EdgeId>(child_idx);
     path.steps.push_back(child);
-    offset -= prefix[child];
+    offset -= child_base;
     label = rhs.edge(child).label;
     assert(grammar_->IsNonterminal(label));
   }
@@ -78,13 +91,13 @@ uint64_t NodeMap::IdOf(const GPath& path) const {
   if (path.start_edge == kInvalidEdge) {
     return path.node;
   }
-  uint64_t id = start_prefix_[path.start_edge];
+  uint64_t id = start_prefix_.Get(path.start_edge);
   Label label = start.edge(path.start_edge).label;
   for (uint32_t step : path.steps) {
     uint32_t j = grammar_->RuleIndex(label);
     const Hypergraph& rhs = grammar_->rhs_by_index(j);
     id += rhs.num_nodes() - rhs.ext().size();
-    id += rule_child_prefix_[j][step];
+    id += rule_child_prefix_[j].Get(step);
     label = rhs.edge(step).label;
   }
   const Hypergraph& rhs = grammar_->rhs(label);

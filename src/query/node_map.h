@@ -7,8 +7,11 @@
 // internals first, then the child blocks in rhs edge order). A
 // G-representation ("GPath") addresses a node by the start edge, the
 // chain of nonterminal rhs-edge indices, and the node inside the final
-// right-hand side. PathOf runs in O(log l + h) via binary search over
-// the start-edge block prefix sums and per-rule child prefix sums;
+// right-hand side. The block-base prefix sums (start-edge blocks and
+// per-rule child blocks) are stored as Elias-Fano indexes, so each
+// descent step in PathOf is an O(1)-expected succinct predecessor
+// query instead of a std::upper_bound binary search, and the index
+// costs ~2 bits per edge over entropy instead of 8 bytes per edge;
 // IdOf runs in O(h) (Section V's getID).
 
 #ifndef GREPAIR_QUERY_NODE_MAP_H_
@@ -19,6 +22,7 @@
 
 #include "src/grammar/derivation.h"
 #include "src/grammar/grammar.h"
+#include "src/util/rank_select.h"
 
 namespace grepair {
 
@@ -64,20 +68,22 @@ class NodeMap {
   /// \brief Global id of the start-graph block base for `start_edge`
   /// (the first id generated under it).
   uint64_t BlockBase(EdgeId start_edge) const {
-    return start_prefix_[start_edge];
+    return start_prefix_.Get(start_edge);
   }
 
  private:
   const SlhrGrammar* grammar_;
   GeneratedSizes gen_;
   uint64_t total_nodes_ = 0;
-  /// start_prefix_[e]: first derived id of start edge e's block (equals
-  /// |V_S| + sum of earlier blocks); defined for all edges (terminal
-  /// edges get empty blocks).
-  std::vector<uint64_t> start_prefix_;
-  /// Per rule: prefix sums over rhs edges of generated node counts,
-  /// used to descend in O(log) per level.
-  std::vector<std::vector<uint64_t>> rule_child_prefix_;
+  /// Elias-Fano over start_prefix[e] = first derived id of start edge
+  /// e's block (equals |V_S| + sum of earlier blocks); defined for all
+  /// edges (terminal edges get empty blocks), with a sentinel entry
+  /// holding the total so predecessor semantics match upper_bound - 1.
+  EliasFanoIndex start_prefix_;
+  /// Per rule: Elias-Fano over the prefix sums (with sentinel) of
+  /// generated node counts across rhs edges, used to descend in O(1)
+  /// expected per level.
+  std::vector<EliasFanoIndex> rule_child_prefix_;
 };
 
 }  // namespace grepair

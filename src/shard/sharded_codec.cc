@@ -10,6 +10,7 @@
 #include "src/api/codec_registry.h"
 #include "src/shard/parallel_compressor.h"
 #include "src/shard/partitioner.h"
+#include "src/util/arena.h"
 #include "src/util/byte_io.h"
 #include "src/util/elias.h"
 #include "src/util/hashing.h"
@@ -145,12 +146,39 @@ Status RejectNestedInner(const std::string& inner_name) {
 
 // A shard's decoded adjacency. Built from the inner rep's Decompress
 // once, then shared read-only by every query that touches the shard:
-// out[local] / in[local] are this shard's sorted, deduplicated
+// Out(local) / In(local) are this shard's sorted, deduplicated
 // global-id neighbor contributions for the node at local index.
+//
+// Storage is a CSR layout (offsets + one flat id array per direction)
+// carved out of a single arena block sized by a counting pass, so a
+// shard fault does one allocation instead of one per node per
+// direction. The spans point into the arena and share its lifetime.
 struct ShardedRep::ShardNeighborhoods {
-  std::vector<std::vector<uint64_t>> out;
-  std::vector<std::vector<uint64_t>> in;
+  struct Span {
+    const uint64_t* data = nullptr;
+    size_t size = 0;
+    const uint64_t* begin() const { return data; }
+    const uint64_t* end() const { return data + size; }
+  };
+
+  Span Out(size_t local) const {
+    return {out_data + out_off[local],
+            static_cast<size_t>(out_off[local + 1] - out_off[local])};
+  }
+  Span In(size_t local) const {
+    return {in_data + in_off[local],
+            static_cast<size_t>(in_off[local + 1] - in_off[local])};
+  }
+
+  Arena arena;
+  const uint64_t* out_off = nullptr;  // n + 1 entries
+  const uint64_t* in_off = nullptr;   // n + 1 entries
+  uint64_t* out_data = nullptr;
+  uint64_t* in_data = nullptr;
   size_t bytes = 0;
+
+  explicit ShardNeighborhoods(size_t reserve_bytes)
+      : arena(reserve_bytes) {}
 };
 
 namespace {
@@ -170,33 +198,71 @@ constexpr uint32_t kUncacheable = ~0u;
 // Decodes shard `entry` via `rep` into its neighborhood form; null on
 // any decode/consistency failure (callers fall back to per-node
 // routing, which surfaces the error through the normal query path).
+// Sorts and deduplicates each CSR row of (off, data) in place,
+// compacting rows forward and rewriting the offsets to the shrunken
+// rows. `n` is the row count.
+void SortDedupCompact(uint64_t* off, uint64_t* data, size_t n) {
+  uint64_t write = 0;
+  for (size_t u = 0; u < n; ++u) {
+    uint64_t* row = data + off[u];
+    uint64_t* row_end = data + off[u + 1];
+    std::sort(row, row_end);
+    uint64_t* uniq_end = std::unique(row, row_end);
+    uint64_t row_start = write;
+    // write <= off[u], so the forward copy never overtakes the source.
+    for (uint64_t* p = row; p != uniq_end; ++p) data[write++] = *p;
+    off[u] = row_start;
+  }
+  off[n] = write;
+}
+
 std::shared_ptr<const ShardedRep::ShardNeighborhoods> DecodeNeighborhoods(
     const ShardedRep::Entry& entry, const api::CompressedRep& rep) {
   auto local = rep.Decompress();
   if (!local.ok()) return nullptr;
   size_t n = entry.nodes.size();
   if (local.value().num_nodes() != n) return nullptr;
-  auto sn = std::make_shared<ShardedRep::ShardNeighborhoods>();
-  sn->out.resize(n);
-  sn->in.resize(n);
+
+  // Counting pass: per-node degrees (and validation), so the arena can
+  // be sized exactly and the whole decoded form costs one allocation.
+  std::vector<uint64_t> out_deg(n + 1, 0), in_deg(n + 1, 0);
+  size_t total = 0;
   for (const HEdge& e : local.value().edges()) {
     if (e.att.size() != 2) continue;  // hyperedges carry no direction
     NodeId u = e.att[0], v = e.att[1];
     if (u >= n || v >= n) return nullptr;
-    sn->out[u].push_back(entry.nodes[v]);
-    sn->in[v].push_back(entry.nodes[u]);
+    ++out_deg[u + 1];
+    ++in_deg[v + 1];
+    ++total;
   }
-  size_t items = 0;
-  for (auto* lists : {&sn->out, &sn->in}) {
-    for (auto& list : *lists) {
-      std::sort(list.begin(), list.end());
-      list.erase(std::unique(list.begin(), list.end()), list.end());
-      items += list.size();
-    }
+
+  const size_t reserve =
+      (2 * (n + 1) + 2 * total) * sizeof(uint64_t) + alignof(uint64_t);
+  auto sn = std::make_shared<ShardedRep::ShardNeighborhoods>(reserve);
+  uint64_t* out_off = sn->arena.AllocateArray<uint64_t>(n + 1);
+  uint64_t* in_off = sn->arena.AllocateArray<uint64_t>(n + 1);
+  sn->out_data = sn->arena.AllocateArray<uint64_t>(total);
+  sn->in_data = sn->arena.AllocateArray<uint64_t>(total);
+  for (size_t u = 0; u < n; ++u) {
+    out_off[u + 1] = out_off[u] + out_deg[u + 1];
+    in_off[u + 1] = in_off[u] + in_deg[u + 1];
   }
-  // Footprint estimate: elements + two vector headers per node.
-  sn->bytes = items * sizeof(uint64_t) +
-              2 * n * sizeof(std::vector<uint64_t>);
+
+  // Fill pass: reuse the degree arrays as write cursors.
+  std::copy(out_off, out_off + n, out_deg.begin());
+  std::copy(in_off, in_off + n, in_deg.begin());
+  for (const HEdge& e : local.value().edges()) {
+    if (e.att.size() != 2) continue;
+    NodeId u = e.att[0], v = e.att[1];
+    sn->out_data[out_deg[u]++] = entry.nodes[v];
+    sn->in_data[in_deg[v]++] = entry.nodes[u];
+  }
+
+  SortDedupCompact(out_off, sn->out_data, n);
+  SortDedupCompact(in_off, sn->in_data, n);
+  sn->out_off = out_off;
+  sn->in_off = in_off;
+  sn->bytes = sn->arena.bytes_reserved();
   return sn;
 }
 
@@ -767,7 +833,7 @@ Result<std::vector<uint64_t>> ShardedRep::RoutedNeighbors(uint64_t node,
     auto cached = GetOrDecodeShard(i, 1);
     if (cached != nullptr) {
       stat_hits_.fetch_add(1, std::memory_order_relaxed);
-      const auto& list = out ? cached->out[local] : cached->in[local];
+      const auto list = out ? cached->Out(local) : cached->In(local);
       all.insert(all.end(), list.begin(), list.end());
       continue;
     }
@@ -940,15 +1006,18 @@ Result<std::vector<std::vector<uint64_t>>> ShardedRep::OutNeighborsBatch(
   for (size_t i = 0; i < shard_count; ++i) {
     for (size_t k = 0; k < groups[i].size(); ++k) {
       size_t u = groups[i][k].first;
-      const std::vector<uint64_t>& list =
-          used_cache[i] != nullptr ? used_cache[i]->out[groups[i][k].second]
-                                   : partial[i][k];
-      auto& dest = uniq_results[u];
-      if (dest.empty()) {
-        dest = list;
+      const uint64_t* list_begin;
+      const uint64_t* list_end;
+      if (used_cache[i] != nullptr) {
+        const auto span = used_cache[i]->Out(groups[i][k].second);
+        list_begin = span.begin();
+        list_end = span.end();
       } else {
-        dest.insert(dest.end(), list.begin(), list.end());
+        list_begin = partial[i][k].data();
+        list_end = list_begin + partial[i][k].size();
       }
+      auto& dest = uniq_results[u];
+      dest.insert(dest.end(), list_begin, list_end);
     }
   }
   for (size_t u = 0; u < uniq.size(); ++u) {

@@ -1,0 +1,94 @@
+// Bump allocator for decode scratch and decoded-form storage.
+//
+// A shard fault used to materialize its adjacency as ~2n heap-owned
+// std::vectors (one per node per direction); the allocator traffic
+// dominated the decode once the Elias path went word-at-a-time. An
+// Arena turns that into one (or a few) block allocations: callers
+// carve arrays out of the block and the whole decoded form is freed in
+// one shot when the owner dies. No per-object destructors run — only
+// trivially-destructible payloads belong here.
+
+#ifndef GREPAIR_UTIL_ARENA_H_
+#define GREPAIR_UTIL_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace grepair {
+
+/// \brief Append-only block allocator; everything is freed together
+/// when the arena is destroyed. Not thread-safe.
+class Arena {
+ public:
+  /// \brief `reserve_bytes` sizes the first block; sizing it to the
+  /// total need (computable for CSR layouts after a counting pass)
+  /// makes the whole arena a single allocation.
+  explicit Arena(size_t reserve_bytes = kDefaultBlockBytes) {
+    AddBlock(reserve_bytes < kMinBlockBytes ? kMinBlockBytes
+                                            : reserve_bytes);
+  }
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// \brief Zero-initialized array of `n` Ts carved from the arena.
+  /// Returns a valid (dereferenceable-for-zero-length) pointer even
+  /// for n == 0.
+  template <typename T>
+  T* AllocateArray(size_t n) {
+    static_assert(std::is_trivially_destructible<T>::value,
+                  "arena never runs destructors");
+    void* p = AllocateRaw(n * sizeof(T), alignof(T));
+    T* arr = static_cast<T*>(p);
+    for (size_t i = 0; i < n; ++i) arr[i] = T();
+    return arr;
+  }
+
+  /// \brief Total bytes handed out (the decoded form's footprint for
+  /// cache accounting; block slack is not counted).
+  size_t bytes_allocated() const { return bytes_allocated_; }
+
+  /// \brief Total bytes held by the arena's blocks.
+  size_t bytes_reserved() const { return bytes_reserved_; }
+
+ private:
+  static constexpr size_t kDefaultBlockBytes = 4096;
+  static constexpr size_t kMinBlockBytes = 64;
+
+  void AddBlock(size_t bytes) {
+    blocks_.emplace_back(new uint8_t[bytes]);
+    cur_ = blocks_.back().get();
+    end_ = cur_ + bytes;
+    bytes_reserved_ += bytes;
+  }
+
+  void* AllocateRaw(size_t bytes, size_t align) {
+    uintptr_t p = reinterpret_cast<uintptr_t>(cur_);
+    size_t pad = (align - p % align) % align;
+    if (bytes + pad > static_cast<size_t>(end_ - cur_)) {
+      // New block: doubling growth, large requests get their own block.
+      size_t next = bytes_reserved_ < bytes ? bytes : bytes_reserved_;
+      AddBlock(next < kMinBlockBytes ? kMinBlockBytes : next + align);
+      p = reinterpret_cast<uintptr_t>(cur_);
+      pad = (align - p % align) % align;
+    }
+    cur_ += pad;
+    void* out = cur_;
+    cur_ += bytes;
+    bytes_allocated_ += bytes;
+    return out;
+  }
+
+  std::vector<std::unique_ptr<uint8_t[]>> blocks_;
+  uint8_t* cur_ = nullptr;
+  uint8_t* end_ = nullptr;
+  size_t bytes_allocated_ = 0;
+  size_t bytes_reserved_ = 0;
+};
+
+}  // namespace grepair
+
+#endif  // GREPAIR_UTIL_ARENA_H_

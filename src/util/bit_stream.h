@@ -10,6 +10,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 #include "src/util/status.h"
@@ -69,6 +70,15 @@ class BitWriter {
 };
 
 /// \brief Sequential reader over a bit buffer produced by BitWriter.
+///
+/// Two read disciplines share one cursor:
+///   * the checked scalar calls (ReadBit / ReadBits), and
+///   * the word-at-a-time lookahead pair Peek64 / Consume that the
+///     branchless Elias decoders in elias.cc are built on: Peek64
+///     surfaces the next 64 bits MSB-aligned (zero-padded past the
+///     stream end) so a single __builtin_clzll replaces a per-bit
+///     unary-prefix loop, and Consume advances past however many bits
+///     the caller actually claimed.
 class BitReader {
  public:
   /// \brief Reads from `data` without copying; `data` must outlive the
@@ -84,6 +94,55 @@ class BitReader {
   /// \brief Current read position in bits.
   size_t position() const { return pos_; }
 
+  /// \brief Bits left before the stream ends (0 when past the end,
+  /// which AlignToByte can legitimately produce on a ragged tail).
+  size_t BitsAvailable() const {
+    return pos_ >= bit_count_ ? 0 : bit_count_ - pos_;
+  }
+
+  /// \brief The next 64 bits at the cursor, MSB-aligned: the bit that
+  /// ReadBit would return next is bit 63 of the result. Bits past the
+  /// stream end read as zero (the mask keeps buffer padding — or
+  /// neighboring bytes when the reader spans a sub-window of a larger
+  /// buffer — from leaking into decoded values). Does not advance.
+  uint64_t Peek64() const {
+    const size_t avail = BitsAvailable();
+    if (avail == 0) return 0;
+    const size_t byte_pos = pos_ >> 3;
+    const int bit_off = static_cast<int>(pos_ & 7);
+    const size_t total_bytes = (bit_count_ + 7) >> 3;
+    uint64_t hi;
+    if (byte_pos + 8 <= total_bytes) {
+      // Single unaligned load + byte swap on the fast path; the slow
+      // path assembles the ragged tail byte by byte.
+      std::memcpy(&hi, data_ + byte_pos, 8);
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+      // Stream bytes are already MSB-first in memory order.
+#else
+      hi = __builtin_bswap64(hi);
+#endif
+    } else {
+      hi = 0;
+      for (size_t i = byte_pos; i < total_bytes; ++i) {
+        hi |= static_cast<uint64_t>(data_[i]) << (56 - 8 * (i - byte_pos));
+      }
+    }
+    uint64_t w = hi;
+    if (bit_off != 0) {
+      w = hi << bit_off;
+      if (byte_pos + 8 < total_bytes) {
+        w |= static_cast<uint64_t>(data_[byte_pos + 8]) >> (8 - bit_off);
+      }
+    }
+    if (avail < 64) w &= ~0ull << (64 - avail);
+    return w;
+  }
+
+  /// \brief Advances the cursor `n` bits. The caller must have
+  /// verified `HasBits(n)` (typically by locating a set bit inside
+  /// Peek64's masked window, which cannot lie past the end).
+  void Consume(size_t n) { pos_ += n; }
+
   /// \brief Reads one bit into `*bit`.
   Status ReadBit(bool* bit) {
     if (!HasBits(1)) return Status::OutOfRange("bit stream exhausted");
@@ -93,7 +152,24 @@ class BitReader {
   }
 
   /// \brief Reads `num_bits` (0..64) into `*value`, MSB first.
+  ///
+  /// Word-at-a-time: one Peek64 + shift instead of a per-bit loop.
   Status ReadBits(int num_bits, uint64_t* value) {
+    if (!HasBits(static_cast<size_t>(num_bits))) {
+      return Status::OutOfRange("bit stream exhausted");
+    }
+    if (num_bits == 0) {
+      *value = 0;
+      return Status::OK();
+    }
+    *value = Peek64() >> (64 - num_bits);
+    pos_ += static_cast<size_t>(num_bits);
+    return Status::OK();
+  }
+
+  /// \brief Bit-at-a-time ReadBits, kept as the differential oracle
+  /// for the word path (tests decode every stream both ways).
+  Status ReadBitsScalar(int num_bits, uint64_t* value) {
     if (!HasBits(static_cast<size_t>(num_bits))) {
       return Status::OutOfRange("bit stream exhausted");
     }

@@ -3,6 +3,15 @@
 // The paper stores rule edge lists with variable-length delta codes
 // (Section III-C2): node IDs, labels and edge counts are all delta-coded.
 // Codes are defined for integers >= 1; callers shift 0-based IDs by one.
+//
+// Decoding is the hot query path (every shard fault, node-map parse and
+// rule expansion bottoms out here), so EliasGammaDecode/EliasDeltaDecode
+// run word-at-a-time: they count the unary prefix with one
+// __builtin_clzll over BitReader::Peek64's 64-bit lookahead window
+// instead of a per-bit loop. The original bit-at-a-time implementations
+// are retained as *Scalar differential oracles — tests require the two
+// to be bit-identical (values, statuses and cursor positions) on every
+// input, valid or corrupt.
 
 #ifndef GREPAIR_UTIL_ELIAS_H_
 #define GREPAIR_UTIL_ELIAS_H_
@@ -14,30 +23,60 @@
 
 namespace grepair {
 
-/// \brief Number of bits in the binary representation of `n` (n >= 1).
+/// \brief Number of bits in the binary representation of `n`.
+///
+/// Defined for all inputs: returns 0 for n == 0 (callers encoding must
+/// still pass n >= 1; see the encoder contracts below). The n == 0
+/// guard exists because __builtin_clzll(0) is undefined behavior the
+/// moment release builds compile the old assert out.
 int BitLength(uint64_t n);
 
 /// \brief Appends the Elias gamma code of `n` (n >= 1) to `writer`.
 ///
 /// gamma(n) = (len(n)-1) zero bits, then the len(n) bits of n.
+/// n == 0 is not representable: the call fails closed by appending
+/// nothing.
 void EliasGammaEncode(uint64_t n, BitWriter* writer);
 
 /// \brief Appends the Elias delta code of `n` (n >= 1) to `writer`.
 ///
 /// delta(n) = gamma(len(n)), then the binary of n without its leading
-/// 1-bit. Asymptotically log n + 2 log log n bits.
+/// 1-bit. Asymptotically log n + 2 log log n bits. n == 0 is not
+/// representable: the call fails closed by appending nothing.
 void EliasDeltaEncode(uint64_t n, BitWriter* writer);
 
-/// \brief Decodes an Elias gamma code into `*n`.
+/// \brief Decodes an Elias gamma code into `*n` (word-at-a-time).
 Status EliasGammaDecode(BitReader* reader, uint64_t* n);
 
-/// \brief Decodes an Elias delta code into `*n`.
+/// \brief Decodes an Elias delta code into `*n` (word-at-a-time).
 Status EliasDeltaDecode(BitReader* reader, uint64_t* n);
 
-/// \brief Bit cost of gamma(n) without encoding it.
+/// \brief Bit-at-a-time gamma decoder: the differential oracle the
+/// fast path is tested against. Identical outputs, statuses and cursor
+/// movement on every input.
+Status EliasGammaDecodeScalar(BitReader* reader, uint64_t* n);
+
+/// \brief Bit-at-a-time delta decoder (differential oracle).
+Status EliasDeltaDecodeScalar(BitReader* reader, uint64_t* n);
+
+/// \brief Test-only switch: when true, EliasGammaDecode and
+/// EliasDeltaDecode dispatch to their scalar oracles, so whole parsers
+/// (DecodeGrammar, container opens) can be run differentially against
+/// golden fixtures without a second code path of their own. Not
+/// thread-safe: flip it only from a single-threaded test before any
+/// decoding starts, and restore it afterwards.
+void SetEliasDecodeScalarForTest(bool scalar);
+
+/// \brief Reads the test-only switch. Word-at-a-time readers outside
+/// this file (e.g. the k2 bitmap chunk loop) consult it so the scalar
+/// mode exercises the full bit-at-a-time decode path, not just the
+/// Elias codes.
+bool EliasDecodeScalarForTest();
+
+/// \brief Bit cost of gamma(n) without encoding it (0 for n == 0).
 int EliasGammaLength(uint64_t n);
 
-/// \brief Bit cost of delta(n) without encoding it.
+/// \brief Bit cost of delta(n) without encoding it (0 for n == 0).
 int EliasDeltaLength(uint64_t n);
 
 }  // namespace grepair

@@ -1,0 +1,306 @@
+// Succinct rank/select bitvector and an Elias-Fano monotone-sequence
+// index built on it.
+//
+// The query path addresses val(G) nodes through prefix-sum arrays
+// (start-edge block bases, per-rule child block bases). Binary search
+// over those arrays was the per-node cost driver; EliasFanoIndex
+// replaces it with a high-bits bucket lookup (two Select0 calls on the
+// upper-bits bitvector) plus a search over the handful of elements
+// sharing the bucket — O(1) expected instead of O(log n), at ~2 bits
+// per element over the information-theoretic minimum.
+//
+// RankSelectBitVector is the substrate: 512-bit superblock rank
+// directory (same layout family as k2tree/bitvector.h) plus sampled
+// select hints for both bit values, so Select1/Select0 scan at most a
+// few superblocks. Bits are packed LSB-first within words, matching
+// RankBitVector.
+
+#ifndef GREPAIR_UTIL_RANK_SELECT_H_
+#define GREPAIR_UTIL_RANK_SELECT_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace grepair {
+
+/// \brief Immutable bit vector with O(1) Rank1 and sampled
+/// Select1/Select0 after construction.
+class RankSelectBitVector {
+ public:
+  RankSelectBitVector() = default;
+
+  /// \brief Takes ownership of LSB-first packed `words` holding
+  /// `num_bits` valid bits; trailing bits of the last word are
+  /// ignored (masked internally, so callers may leave them dirty).
+  RankSelectBitVector(std::vector<uint64_t> words, size_t num_bits)
+      : words_(std::move(words)), size_(num_bits) {
+    assert(words_.size() * 64 >= size_);
+    // Mask the ragged tail once so Select0's inverted popcounts never
+    // see garbage past the end.
+    if (size_ % 64 != 0 && !words_.empty()) {
+      words_.back() &= (1ull << (size_ % 64)) - 1;
+    }
+    BuildDirectory();
+  }
+
+  bool Get(size_t i) const {
+    return (words_[i / 64] >> (i % 64)) & 1u;
+  }
+
+  size_t size() const { return size_; }
+  size_t num_ones() const { return num_ones_; }
+  size_t num_zeros() const { return size_ - num_ones_; }
+
+  /// \brief Set bits in positions [0, i).
+  size_t Rank1(size_t i) const {
+    size_t word = i / 64;
+    size_t super = word / kWordsPerSuper;
+    size_t rank = super_[super];
+    for (size_t w = super * kWordsPerSuper; w < word; ++w) {
+      rank += static_cast<size_t>(__builtin_popcountll(words_[w]));
+    }
+    if (i % 64 != 0) {
+      rank += static_cast<size_t>(
+          __builtin_popcountll(words_[word] & ((1ull << (i % 64)) - 1)));
+    }
+    return rank;
+  }
+
+  /// \brief Position of the (k+1)-th set bit (k zero-indexed);
+  /// requires k < num_ones().
+  size_t Select1(size_t k) const { return SelectImpl(k, /*ones=*/true); }
+
+  /// \brief Position of the (k+1)-th clear bit (k zero-indexed);
+  /// requires k < num_zeros().
+  size_t Select0(size_t k) const { return SelectImpl(k, /*ones=*/false); }
+
+  size_t MemoryBytes() const {
+    return (words_.size() + super_.size()) * 8 +
+           (sel1_sample_.size() + sel0_sample_.size()) * 4;
+  }
+
+ private:
+  static constexpr size_t kWordsPerSuper = 8;   // 512-bit superblocks
+  static constexpr size_t kSelectSample = 256;  // one hint per 256 hits
+
+  // Bits of `value` polarity in words_[w], counting only positions
+  // < size_ (zeros past the end must not exist).
+  uint64_t PolarityWord(size_t w, bool ones) const {
+    uint64_t word = ones ? words_[w] : ~words_[w];
+    size_t base = w * 64;
+    if (base + 64 > size_) {
+      word &= size_ > base ? (1ull << (size_ - base)) - 1 : 0;
+    }
+    return word;
+  }
+
+  void BuildDirectory() {
+    size_t num_super = words_.size() / kWordsPerSuper + 1;
+    super_.assign(num_super + 1, 0);
+    size_t ones = 0;
+    for (size_t w = 0; w < words_.size(); ++w) {
+      if (w % kWordsPerSuper == 0) super_[w / kWordsPerSuper] = ones;
+      ones += static_cast<size_t>(__builtin_popcountll(words_[w]));
+    }
+    // Boundaries at or past the last word hold the grand total; a
+    // boundary inside the word array was already set by the loop.
+    for (size_t s = (words_.size() + kWordsPerSuper - 1) / kWordsPerSuper;
+         s <= num_super; ++s) {
+      super_[s] = ones;
+    }
+    num_ones_ = ones;
+    // Select hints: superblock index containing every kSelectSample-th
+    // hit of each polarity.
+    BuildSelectSamples(&sel1_sample_, /*ones=*/true);
+    BuildSelectSamples(&sel0_sample_, /*ones=*/false);
+  }
+
+  // Ones (or zeros) strictly before superblock boundary s.
+  size_t SuperCount(size_t s, bool ones) const {
+    size_t boundary = s * kWordsPerSuper * 64;
+    if (boundary > size_) boundary = size_;
+    return ones ? super_[s] : boundary - super_[s];
+  }
+
+  void BuildSelectSamples(std::vector<uint32_t>* samples, bool ones) {
+    samples->clear();
+    size_t total = ones ? num_ones_ : size_ - num_ones_;
+    size_t num_super = super_.size() - 1;
+    size_t s = 0;
+    for (size_t k = 0; k < total; k += kSelectSample) {
+      while (s + 1 <= num_super && SuperCount(s + 1, ones) <= k) ++s;
+      samples->push_back(static_cast<uint32_t>(s));
+    }
+  }
+
+  size_t SelectImpl(size_t k, bool ones) const {
+    assert(k < (ones ? num_ones_ : size_ - num_ones_));
+    const std::vector<uint32_t>& samples = ones ? sel1_sample_ : sel0_sample_;
+    size_t s = samples[k / kSelectSample];
+    size_t num_super = super_.size() - 1;
+    while (s + 1 <= num_super && SuperCount(s + 1, ones) <= k) ++s;
+    size_t rank = SuperCount(s, ones);
+    size_t w = s * kWordsPerSuper;
+    for (;; ++w) {
+      uint64_t word = PolarityWord(w, ones);
+      size_t count = static_cast<size_t>(__builtin_popcountll(word));
+      if (rank + count > k) {
+        // The hit is inside this word: walk bytes, then bits.
+        size_t r = k - rank;
+        size_t bit = 0;
+        for (;;) {
+          size_t byte_count = static_cast<size_t>(
+              __builtin_popcountll(word & 0xFF));
+          if (r < byte_count) break;
+          r -= byte_count;
+          word >>= 8;
+          bit += 8;
+        }
+        for (;; ++bit, word >>= 1) {
+          if (word & 1u) {
+            if (r == 0) return w * 64 + bit;
+            --r;
+          }
+        }
+      }
+      rank += count;
+    }
+  }
+
+  std::vector<uint64_t> words_;
+  std::vector<size_t> super_;  // ones before each superblock boundary
+  std::vector<uint32_t> sel1_sample_;
+  std::vector<uint32_t> sel0_sample_;
+  size_t size_ = 0;
+  size_t num_ones_ = 0;
+};
+
+/// \brief Elias-Fano encoding of a non-decreasing uint64 sequence with
+/// O(1)-expected predecessor queries — the node-map replacement for
+/// std::upper_bound over prefix-sum arrays.
+class EliasFanoIndex {
+ public:
+  EliasFanoIndex() = default;
+
+  /// \brief Builds from `sorted` (non-decreasing; duplicates allowed).
+  explicit EliasFanoIndex(const std::vector<uint64_t>& sorted) {
+    n_ = sorted.size();
+    if (n_ == 0) return;
+    const uint64_t universe = sorted.back();
+    // Canonical parameter: low bits ~ log2(universe / n) makes the
+    // upper-bits vector ~2n bits.
+    const uint64_t per = universe / n_;
+    low_bits_ = per >= 2 ? BitLengthLocal(per) - 1 : 0;
+    max_upper_ = universe >> low_bits_;
+
+    const size_t upper_bits = n_ + static_cast<size_t>(max_upper_) + 1;
+    std::vector<uint64_t> upper_words((upper_bits + 63) / 64, 0);
+    if (low_bits_ > 0) {
+      low_words_.assign((n_ * static_cast<size_t>(low_bits_) + 63) / 64, 0);
+    }
+    uint64_t prev = 0;
+    for (size_t i = 0; i < n_; ++i) {
+      const uint64_t v = sorted[i];
+      assert(v >= prev);
+      prev = v;
+      const size_t pos = i + static_cast<size_t>(v >> low_bits_);
+      upper_words[pos / 64] |= 1ull << (pos % 64);
+      if (low_bits_ > 0) SetLow(i, v & ((1ull << low_bits_) - 1));
+    }
+    upper_ = RankSelectBitVector(std::move(upper_words), upper_bits);
+  }
+
+  size_t size() const { return n_; }
+
+  /// \brief Random access: the i-th value.
+  uint64_t Get(size_t i) const {
+    const uint64_t upper = static_cast<uint64_t>(upper_.Select1(i) - i);
+    return (upper << low_bits_) | Low(i);
+  }
+
+  /// \brief Largest i with value[i] <= x: the predecessor query PathOf
+  /// descends on. Returns false when x < value[0] (no predecessor).
+  bool PredecessorOrEqual(uint64_t x, size_t* index, uint64_t* value) const {
+    if (n_ == 0) return false;
+    const uint64_t hb = x >> low_bits_;
+    if (hb > max_upper_) {
+      *index = n_ - 1;
+      *value = Get(n_ - 1);
+      return true;
+    }
+    // count(upper <= k) = Select0(k) - k: elements sharing bucket hb
+    // live in [begin, end).
+    const size_t end = upper_.Select0(static_cast<size_t>(hb)) -
+                       static_cast<size_t>(hb);
+    const size_t begin =
+        hb == 0 ? 0
+                : upper_.Select0(static_cast<size_t>(hb) - 1) -
+                      (static_cast<size_t>(hb) - 1);
+    if (begin < end) {
+      // All of [begin, end) share the high bits hb; binary-search the
+      // low bits (duplicate-heavy buckets stay logarithmic).
+      const uint64_t xlow = x & LowMask();
+      size_t lo = begin, hi = end;  // first index with low > xlow
+      while (lo < hi) {
+        const size_t mid = lo + (hi - lo) / 2;
+        if (Low(mid) <= xlow) {
+          lo = mid + 1;
+        } else {
+          hi = mid;
+        }
+      }
+      if (lo > begin) {
+        *index = lo - 1;
+        *value = (hb << low_bits_) | Low(lo - 1);
+        return true;
+      }
+    }
+    if (begin == 0) return false;  // x precedes every element
+    *index = begin - 1;
+    *value = Get(begin - 1);
+    return true;
+  }
+
+  size_t MemoryBytes() const {
+    return low_words_.size() * 8 + upper_.MemoryBytes();
+  }
+
+ private:
+  static int BitLengthLocal(uint64_t v) {
+    return v == 0 ? 0 : 64 - __builtin_clzll(v);
+  }
+
+  uint64_t LowMask() const {
+    return low_bits_ == 0 ? 0 : (1ull << low_bits_) - 1;
+  }
+
+  uint64_t Low(size_t i) const {
+    if (low_bits_ == 0) return 0;
+    const size_t bitpos = i * static_cast<size_t>(low_bits_);
+    const size_t word = bitpos / 64;
+    const int off = static_cast<int>(bitpos % 64);
+    uint64_t v = low_words_[word] >> off;
+    if (off + low_bits_ > 64) v |= low_words_[word + 1] << (64 - off);
+    return v & LowMask();
+  }
+
+  void SetLow(size_t i, uint64_t v) {
+    const size_t bitpos = i * static_cast<size_t>(low_bits_);
+    const size_t word = bitpos / 64;
+    const int off = static_cast<int>(bitpos % 64);
+    low_words_[word] |= v << off;
+    if (off + low_bits_ > 64) low_words_[word + 1] |= v >> (64 - off);
+  }
+
+  size_t n_ = 0;
+  int low_bits_ = 0;
+  uint64_t max_upper_ = 0;
+  std::vector<uint64_t> low_words_;
+  RankSelectBitVector upper_;
+};
+
+}  // namespace grepair
+
+#endif  // GREPAIR_UTIL_RANK_SELECT_H_

@@ -407,5 +407,73 @@ TEST(ShardedContainerTest, EveryBitFlipFailsCleanlyOrStaysConsistent) {
   }
 }
 
+// RAII guard so a failing differential cannot leave the scalar switch
+// on for later tests in the binary.
+struct ScopedScalarDecode {
+  ScopedScalarDecode() { SetEliasDecodeScalarForTest(true); }
+  ~ScopedScalarDecode() { SetEliasDecodeScalarForTest(false); }
+};
+
+TEST(GoldenDifferentialTest, FixturesDecodeIdenticallyUnderScalarOracle) {
+  // Whole-parser differential over every golden container fixture:
+  // decode with the word-at-a-time Elias engine (default), then again
+  // with every decode routed through the scalar oracles, and require
+  // the same graph and byte-identical re-serialization. This catches a
+  // fast/scalar divergence anywhere in a real container parse, not
+  // just in a synthetic stream.
+  struct Fixture {
+    const char* codec;
+    std::vector<uint8_t> bytes;
+  };
+  const std::vector<Fixture> fixtures = {
+      {"sharded:k2", GoldenSharded()},
+      {"sharded:k2", GoldenShardedV2()},
+  };
+  for (const auto& fixture : fixtures) {
+    auto codec = api::CodecRegistry::Create(fixture.codec).ValueOrDie();
+
+    auto fast_rep = codec->Deserialize(fixture.bytes);
+    ASSERT_TRUE(fast_rep.ok()) << fast_rep.status().ToString();
+    auto fast_graph = fast_rep.value()->Decompress();
+    ASSERT_TRUE(fast_graph.ok()) << fast_graph.status().ToString();
+    auto fast_bytes = fast_rep.value()->Serialize();
+
+    std::vector<uint8_t> scalar_bytes;
+    {
+      ScopedScalarDecode scalar_mode;
+      auto scalar_rep = codec->Deserialize(fixture.bytes);
+      ASSERT_TRUE(scalar_rep.ok()) << scalar_rep.status().ToString();
+      auto scalar_graph = scalar_rep.value()->Decompress();
+      ASSERT_TRUE(scalar_graph.ok()) << scalar_graph.status().ToString();
+      EXPECT_TRUE(fast_graph.value().EqualUpToEdgeOrder(scalar_graph.value()));
+      scalar_bytes = scalar_rep.value()->Serialize();
+    }
+    EXPECT_EQ(fast_bytes, scalar_bytes)
+        << fixture.codec << ": fast and scalar decodes re-serialize "
+        << "differently";
+  }
+}
+
+TEST(GoldenDifferentialTest, CorruptFixturesFailIdenticallyUnderOracle) {
+  // The differential contract covers errors too: every truncation of
+  // a golden fixture must produce the same ok/error outcome under the
+  // fast and scalar decode paths.
+  auto good = GoldenShardedV2();
+  auto codec = api::CodecRegistry::Create("sharded:k2").ValueOrDie();
+  for (size_t len = 0; len < good.size(); ++len) {
+    std::vector<uint8_t> cut(good.begin(), good.begin() + len);
+    auto fast = codec->Deserialize(cut);
+    bool fast_decompress_ok = false;
+    if (fast.ok()) fast_decompress_ok = fast.value()->Decompress().ok();
+    ScopedScalarDecode scalar_mode;
+    auto scalar = codec->Deserialize(cut);
+    bool scalar_decompress_ok = false;
+    if (scalar.ok()) scalar_decompress_ok = scalar.value()->Decompress().ok();
+    EXPECT_EQ(fast.ok(), scalar.ok()) << "truncation to " << len;
+    EXPECT_EQ(fast_decompress_ok, scalar_decompress_ok)
+        << "truncation to " << len;
+  }
+}
+
 }  // namespace
 }  // namespace grepair

@@ -200,6 +200,40 @@ TEST(EncodingTest, HugeClaimedCountsRejectedWithoutAllocating) {
   EXPECT_EQ(decoded2.status().code(), StatusCode::kCorruption);
 }
 
+TEST(EncodingTest, ZeroHasNoEliasCodeAndFailsClosed) {
+  // Regression: BitLength(0) used to hit __builtin_clzll(0) — UB the
+  // moment release builds compiled the guard assert out. All the
+  // n == 0 entry points must now be defined: lengths report 0 and the
+  // encoders append nothing.
+  EXPECT_EQ(BitLength(0), 0);
+  EXPECT_EQ(EliasGammaLength(0), 0);
+  EXPECT_EQ(EliasDeltaLength(0), 0);
+
+  BitWriter w;
+  EliasGammaEncode(0, &w);
+  EXPECT_EQ(w.bit_size(), 0u);
+  EliasDeltaEncode(0, &w);
+  EXPECT_EQ(w.bit_size(), 0u);
+
+  // The writer still works afterwards, and the stream holds only what
+  // the valid calls produced.
+  EliasDeltaEncode(5, &w);
+  EXPECT_EQ(w.bit_size(), static_cast<size_t>(EliasDeltaLength(5)));
+  BitReader r(w.bytes());
+  uint64_t v = 0;
+  ASSERT_TRUE(EliasDeltaDecode(&r, &v).ok());
+  EXPECT_EQ(v, 5u);
+}
+
+TEST(EncodingTest, BitLengthBoundaries) {
+  EXPECT_EQ(BitLength(1), 1);
+  EXPECT_EQ(BitLength(2), 2);
+  EXPECT_EQ(BitLength(3), 2);
+  EXPECT_EQ(BitLength((1ull << 63) - 1), 63);
+  EXPECT_EQ(BitLength(1ull << 63), 64);
+  EXPECT_EQ(BitLength(~0ull), 64);
+}
+
 TEST(EncodingTest, BitsPerEdgeHelper) {
   EXPECT_DOUBLE_EQ(BitsPerEdge(100, 100), 8.0);
   EXPECT_DOUBLE_EQ(BitsPerEdge(0, 10), 0.0);

@@ -1,0 +1,172 @@
+// Tests for the succinct rank/select bitvector and the Elias-Fano
+// index that replaced NodeMap's binary searches: exhaustive checks
+// against naive reference implementations on structured and random
+// bit patterns, and predecessor semantics (upper_bound - 1 contract)
+// on duplicate-heavy prefix arrays.
+
+#include "src/util/rank_select.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace grepair {
+namespace {
+
+std::vector<uint64_t> PackBits(const std::vector<bool>& bits) {
+  std::vector<uint64_t> words((bits.size() + 63) / 64, 0);
+  for (size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i]) words[i / 64] |= 1ull << (i % 64);
+  }
+  return words;
+}
+
+// Checks every Rank1 / Select1 / Select0 answer against a linear scan.
+void CheckAgainstReference(const std::vector<bool>& bits) {
+  RankSelectBitVector bv(PackBits(bits), bits.size());
+  ASSERT_EQ(bv.size(), bits.size());
+  size_t ones = 0;
+  for (size_t i = 0; i < bits.size(); ++i) {
+    ASSERT_EQ(bv.Rank1(i), ones) << "rank at " << i;
+    ASSERT_EQ(bv.Get(i), bits[i]) << "get at " << i;
+    if (bits[i]) ++ones;
+  }
+  ASSERT_EQ(bv.Rank1(bits.size()), ones);
+  ASSERT_EQ(bv.num_ones(), ones);
+  ASSERT_EQ(bv.num_zeros(), bits.size() - ones);
+  size_t k1 = 0, k0 = 0;
+  for (size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i]) {
+      ASSERT_EQ(bv.Select1(k1), i) << "select1 " << k1;
+      ++k1;
+    } else {
+      ASSERT_EQ(bv.Select0(k0), i) << "select0 " << k0;
+      ++k0;
+    }
+  }
+}
+
+TEST(RankSelectBitVectorTest, StructuredPatterns) {
+  CheckAgainstReference({});
+  CheckAgainstReference({true});
+  CheckAgainstReference({false});
+  // All-ones and all-zeros across word and superblock boundaries.
+  for (size_t n : {63u, 64u, 65u, 511u, 512u, 513u, 1200u}) {
+    CheckAgainstReference(std::vector<bool>(n, true));
+    CheckAgainstReference(std::vector<bool>(n, false));
+    std::vector<bool> alternating(n);
+    for (size_t i = 0; i < n; ++i) alternating[i] = (i % 2 == 0);
+    CheckAgainstReference(alternating);
+  }
+}
+
+TEST(RankSelectBitVectorTest, RandomDensities) {
+  std::mt19937_64 rng(0x5eed);
+  for (double density : {0.01, 0.3, 0.5, 0.9, 0.99}) {
+    std::bernoulli_distribution coin(density);
+    std::vector<bool> bits(2777);  // ragged tail, >4 superblocks
+    for (size_t i = 0; i < bits.size(); ++i) bits[i] = coin(rng);
+    CheckAgainstReference(bits);
+  }
+}
+
+TEST(RankSelectBitVectorTest, DirtyTailBitsAreMasked) {
+  // Caller leaves garbage past num_bits; Select0 must not see it.
+  std::vector<uint64_t> words = {~0ull};
+  RankSelectBitVector bv(std::move(words), 10);
+  EXPECT_EQ(bv.num_ones(), 10u);
+  EXPECT_EQ(bv.num_zeros(), 0u);
+  EXPECT_EQ(bv.Select1(9), 9u);
+}
+
+// Reference predecessor: largest i with sorted[i] <= x, i.e.
+// upper_bound(x) - 1 — exactly what NodeMap's PathOf descends on.
+bool RefPredecessor(const std::vector<uint64_t>& sorted, uint64_t x,
+                    size_t* index, uint64_t* value) {
+  auto it = std::upper_bound(sorted.begin(), sorted.end(), x);
+  if (it == sorted.begin()) return false;
+  *index = static_cast<size_t>(it - sorted.begin()) - 1;
+  *value = sorted[*index];
+  return true;
+}
+
+void CheckEliasFano(const std::vector<uint64_t>& sorted,
+                    const std::vector<uint64_t>& probes) {
+  EliasFanoIndex ef(sorted);
+  ASSERT_EQ(ef.size(), sorted.size());
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    ASSERT_EQ(ef.Get(i), sorted[i]) << "get at " << i;
+  }
+  for (uint64_t x : probes) {
+    size_t ref_idx = 0, ef_idx = 0;
+    uint64_t ref_val = 0, ef_val = 0;
+    bool ref_found = RefPredecessor(sorted, x, &ref_idx, &ref_val);
+    bool ef_found = ef.PredecessorOrEqual(x, &ef_idx, &ef_val);
+    ASSERT_EQ(ef_found, ref_found) << "probe " << x;
+    if (ref_found) {
+      ASSERT_EQ(ef_idx, ref_idx) << "probe " << x;
+      ASSERT_EQ(ef_val, ref_val) << "probe " << x;
+    }
+  }
+}
+
+std::vector<uint64_t> DenseProbesAround(const std::vector<uint64_t>& sorted) {
+  std::vector<uint64_t> probes;
+  for (uint64_t v : sorted) {
+    if (v > 0) probes.push_back(v - 1);
+    probes.push_back(v);
+    probes.push_back(v + 1);
+  }
+  probes.push_back(0);
+  return probes;
+}
+
+TEST(EliasFanoIndexTest, EmptyAndSingleton) {
+  EliasFanoIndex empty{std::vector<uint64_t>{}};
+  size_t idx = 0;
+  uint64_t val = 0;
+  EXPECT_FALSE(empty.PredecessorOrEqual(7, &idx, &val));
+
+  CheckEliasFano({0}, {0, 1, 100});
+  CheckEliasFano({42}, {0, 41, 42, 43, ~0ull});
+}
+
+TEST(EliasFanoIndexTest, PrefixArrayWithEmptyBlocks) {
+  // The NodeMap shape: prefix sums where terminal edges contribute
+  // empty blocks (duplicates), including leading and trailing runs.
+  CheckEliasFano({5, 5, 5, 8, 8, 20, 20, 20},
+                 DenseProbesAround({5, 5, 5, 8, 8, 20, 20, 20}));
+  CheckEliasFano({0, 0, 0, 0}, {0, 1, 2});
+  CheckEliasFano({0, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 7},
+                 DenseProbesAround({0, 3, 7}));
+}
+
+TEST(EliasFanoIndexTest, RandomMonotoneSequences) {
+  std::mt19937_64 rng(0xef);
+  for (uint64_t max_gap : {1ull, 3ull, 1000ull, 1ull << 40}) {
+    std::vector<uint64_t> sorted;
+    uint64_t v = rng() % 5;
+    for (int i = 0; i < 700; ++i) {
+      sorted.push_back(v);
+      v += rng() % (max_gap + 1);
+    }
+    std::vector<uint64_t> probes = DenseProbesAround(sorted);
+    for (int i = 0; i < 200; ++i) {
+      probes.push_back(rng() % (sorted.back() + 2));
+    }
+    CheckEliasFano(sorted, probes);
+  }
+}
+
+TEST(EliasFanoIndexTest, LargeUniverse) {
+  // Values near 2^64: exercises the max low_bits_ parameterization.
+  std::vector<uint64_t> sorted = {1ull << 40, 1ull << 50, 1ull << 63,
+                                  (1ull << 63) + 12345, ~0ull - 1, ~0ull};
+  CheckEliasFano(sorted, DenseProbesAround(sorted));
+}
+
+}  // namespace
+}  // namespace grepair

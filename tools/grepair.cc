@@ -319,7 +319,11 @@ int CmdCompress(int argc, char** argv) {
       }
       legacy_flags = true;
     } else if (arg == "--max-rank" && i + 1 < argc) {
-      options.max_rank = std::atoi(argv[++i]);
+      // [1, 63] mirrors Compress's own validation (compressor.cc).
+      if (!ParseCountFlag("--max-rank", argv[++i], 63,
+                          &options.max_rank)) {
+        return 2;
+      }
       legacy_flags = true;
     } else if (arg == "--no-prune") {
       options.prune = false;
@@ -539,12 +543,13 @@ int CmdDecompress(int argc, char** argv) {
 // Strict unsigned integer parse for query ids and byte budgets; atoi
 // would silently accept "12abc" and negative values.
 bool ParseU64(const std::string& text, uint64_t* out) {
-  if (text.empty()) return false;
+  // Leading digit required: strtoull alone would accept whitespace,
+  // '+' and (wrapping!) '-' prefixes.
+  if (text.empty() || text[0] < '0' || text[0] > '9') return false;
   errno = 0;
   char* end = nullptr;
   unsigned long long v = std::strtoull(text.c_str(), &end, 10);
-  if (errno != 0 || end == text.c_str() || *end != '\0' ||
-      text[0] == '-') {
+  if (errno != 0 || end == text.c_str() || *end != '\0') {
     return false;
   }
   *out = static_cast<uint64_t>(v);
@@ -1122,8 +1127,13 @@ int CmdReach(int argc, char** argv) {
     return 1;
   }
   ReachabilityIndex index(grammar.value());
-  uint64_t from = std::strtoull(argv[3], nullptr, 10);
-  uint64_t to = std::strtoull(argv[4], nullptr, 10);
+  uint64_t from = 0, to = 0;
+  if (!ParseU64(argv[3], &from) || !ParseU64(argv[4], &to)) {
+    std::fprintf(stderr,
+                 "reach expects two non-negative node ids, got '%s' '%s'\n",
+                 argv[3], argv[4]);
+    return 2;
+  }
   if (from >= index.node_map().num_nodes() ||
       to >= index.node_map().num_nodes()) {
     std::fprintf(stderr, "node out of range (val has %llu nodes)\n",
@@ -1146,7 +1156,12 @@ int CmdNeighbors(int argc, char** argv) {
     return 1;
   }
   NeighborhoodIndex index(grammar.value());
-  uint64_t node = std::strtoull(argv[3], nullptr, 10);
+  uint64_t node = 0;
+  if (!ParseU64(argv[3], &node)) {
+    std::fprintf(stderr, "neighbors expects a non-negative node id, got '%s'\n",
+                 argv[3]);
+    return 2;
+  }
   if (node >= index.node_map().num_nodes()) {
     std::fprintf(stderr, "node out of range\n");
     return 1;
@@ -1202,7 +1217,19 @@ bool MakeGenerated(const std::string& kind, uint32_t size,
 
 int CmdGen(int argc, char** argv) {
   if (argc < 4) return Usage();
-  uint32_t size = argc >= 5 ? static_cast<uint32_t>(std::atoi(argv[4])) : 0;
+  uint32_t size = 0;
+  if (argc >= 5) {
+    // atoi would wrap negatives/overflow through the uint32_t cast
+    // into enormous generator sizes.
+    uint64_t parsed = 0;
+    if (!ParseU64(argv[4], &parsed) || parsed > 0xFFFFFFFFull) {
+      std::fprintf(stderr,
+                   "gen expects a size in [0, 4294967295], got '%s'\n",
+                   argv[4]);
+      return 2;
+    }
+    size = static_cast<uint32_t>(parsed);
+  }
   GeneratedGraph g;
   if (!MakeGenerated(argv[2], size, &g)) return Usage();
   auto status = SaveGraphText(g.graph, g.alphabet, argv[3]);
