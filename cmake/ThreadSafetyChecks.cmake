@@ -1,0 +1,62 @@
+# Configure-time proof that the thread-safety annotations in
+# src/util/sync.h are live, not decorative: under Clang, two
+# deliberately racy TUs (tests/negative_compile/) must FAIL to compile
+# with -Werror=thread-safety, and a correctly locked control TU must
+# compile. A toolchain or macro regression that silently turns the
+# analysis off (annotations no-op, flag dropped, include broken) trips
+# the control or lets a violation through, and the configure aborts.
+#
+# Under non-Clang compilers the annotations expand to nothing and there
+# is nothing to prove; the checks are skipped.
+
+function(grepair_check_thread_safety)
+  if(NOT CMAKE_CXX_COMPILER_ID STREQUAL "Clang")
+    message(STATUS "Thread-safety negative-compile checks: skipped "
+                   "(${CMAKE_CXX_COMPILER_ID} has no -Wthread-safety)")
+    return()
+  endif()
+
+  set(ts_dir ${CMAKE_SOURCE_DIR}/tests/negative_compile)
+  set(ts_flags -Wthread-safety -Werror=thread-safety)
+
+  # The control proves the harness itself works (include paths, C++17,
+  # the analysis flag): correctly locked code must compile.
+  try_compile(ts_control_ok ${CMAKE_BINARY_DIR}/ts_checks/control
+    ${ts_dir}/positive_control.cc
+    COMPILE_DEFINITIONS "${ts_flags}"
+    CMAKE_FLAGS "-DINCLUDE_DIRECTORIES=${CMAKE_SOURCE_DIR}"
+    LINK_LIBRARIES Threads::Threads
+    CXX_STANDARD 17
+    OUTPUT_VARIABLE ts_control_out)
+  if(NOT ts_control_ok)
+    message(FATAL_ERROR "Thread-safety control TU failed to compile — the "
+      "negative-compile harness is broken, not the annotations:\n"
+      "${ts_control_out}")
+  endif()
+
+  # Each violation TU must be rejected, and rejected by the analysis
+  # (the diagnostic names -Wthread-safety), not by some unrelated
+  # compile error that would make the check vacuous.
+  foreach(violation guarded_by_violation missing_requires)
+    try_compile(ts_${violation}_ok ${CMAKE_BINARY_DIR}/ts_checks/${violation}
+      ${ts_dir}/${violation}.cc
+      COMPILE_DEFINITIONS "${ts_flags}"
+      CMAKE_FLAGS "-DINCLUDE_DIRECTORIES=${CMAKE_SOURCE_DIR}"
+      LINK_LIBRARIES Threads::Threads
+      CXX_STANDARD 17
+      OUTPUT_VARIABLE ts_${violation}_out)
+    if(ts_${violation}_ok)
+      message(FATAL_ERROR "tests/negative_compile/${violation}.cc compiled "
+        "under -Werror=thread-safety — the analysis is not rejecting "
+        "violations (annotation macros disabled?)")
+    endif()
+    if(NOT ts_${violation}_out MATCHES "thread-safety")
+      message(FATAL_ERROR "tests/negative_compile/${violation}.cc failed to "
+        "compile for a reason other than the thread-safety analysis:\n"
+        "${ts_${violation}_out}")
+    endif()
+  endforeach()
+
+  message(STATUS "Thread-safety negative-compile checks: control compiles, "
+                 "2/2 violations rejected")
+endfunction()

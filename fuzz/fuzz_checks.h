@@ -1,0 +1,193 @@
+// Shared invariant checks for the untrusted-input parsers, used from
+// two harnesses that must never drift apart:
+//
+//   * the libFuzzer targets in fuzz/*_fuzzer.cc (coverage-guided,
+//     CI-smoked over the checked-in seed corpora, run long locally),
+//   * the bounded-budget GTest battery in tests/net_fuzz_test.cc
+//     (mutation fuzzing that runs in every ctest invocation).
+//
+// Each check returns nullptr when every invariant holds and a static
+// description of the first violated invariant otherwise; the fuzzer
+// aborts on non-null (so the crash reproducer IS the counterexample)
+// and the GTest battery turns the same message into a test failure.
+// Memory safety itself is the sanitizers' job — these checks pin the
+// semantic contract: parsers either succeed and uphold the documented
+// invariants, or fail with a clean, non-empty corruption Status.
+
+#ifndef GREPAIR_FUZZ_FUZZ_CHECKS_H_
+#define GREPAIR_FUZZ_FUZZ_CHECKS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/net/frame.h"
+#include "src/shard/sharded_codec.h"
+#include "src/util/bit_stream.h"
+#include "src/util/byte_io.h"
+#include "src/util/elias.h"
+#include "src/util/status.h"
+
+namespace grepair {
+namespace fuzz {
+
+/// \brief GRNF wire-frame decode: ok frames re-encode byte-identically
+/// and carry the type's protocol version; failures are non-empty
+/// kCorruption. Returns nullptr or the violated invariant.
+inline const char* CheckFrameParse(ByteSpan bytes) {
+  size_t consumed = 0;
+  auto frame = net::DecodeFrame(bytes, &consumed);
+  if (!frame.ok()) {
+    if (frame.status().code() != StatusCode::kCorruption) {
+      return "frame decode failed with a code other than kCorruption";
+    }
+    if (frame.status().message().empty()) {
+      return "frame decode failed with an empty status message";
+    }
+    return nullptr;
+  }
+  if (consumed > bytes.size) {
+    return "frame decode claims to have consumed more bytes than given";
+  }
+  if (frame.value().type < net::kGetDir || frame.value().type > net::kError2) {
+    return "decoded frame type is outside the known verb range";
+  }
+  // The version byte always agrees with the type (a mismatch is
+  // rejected as corruption), and a decoded frame re-encodes to the
+  // exact bytes it came from.
+  if (frame.value().version != net::FrameVersionForType(frame.value().type)) {
+    return "decoded frame version disagrees with its type's version";
+  }
+  auto reencoded = net::EncodeFrameWithVersion(
+      frame.value().version, frame.value().type, SpanOf(frame.value().body));
+  if (reencoded !=
+      std::vector<uint8_t>(bytes.data, bytes.data + consumed)) {
+    return "re-encoding a decoded frame did not reproduce its input bytes";
+  }
+  return nullptr;
+}
+
+/// \brief GRSHARD2 directory parse: a successful parse must uphold the
+/// invariants queries rely on (row/node-map agreement, strictly
+/// increasing in-range node IDs, payload ranges confined to
+/// [8, dir_off)); failures are non-empty kCorruption.
+inline const char* CheckDirectoryParse(ByteSpan dir, uint64_t dir_off) {
+  auto parsed = shard::ParseV2Directory(dir, dir_off);
+  if (!parsed.ok()) {
+    if (parsed.status().code() != StatusCode::kCorruption) {
+      return "directory parse failed with a code other than kCorruption";
+    }
+    if (parsed.status().message().empty()) {
+      return "directory parse failed with an empty status message";
+    }
+    return nullptr;
+  }
+  const shard::ParsedDirectory& d = parsed.value();
+  if (d.rows.size() != d.node_maps.size()) {
+    return "directory row count disagrees with node-map count";
+  }
+  for (size_t i = 0; i < d.rows.size(); ++i) {
+    if (d.rows[i].node_count != d.node_maps[i].size()) {
+      return "directory node_count disagrees with the node map's length";
+    }
+    for (size_t k = 0; k < d.node_maps[i].size(); ++k) {
+      if (d.node_maps[i][k] >= d.num_nodes) {
+        return "node map contains an ID >= num_nodes";
+      }
+      if (k > 0 && d.node_maps[i][k - 1] >= d.node_maps[i][k]) {
+        return "node map is not strictly increasing";
+      }
+    }
+    if (d.rows[i].length > 0) {
+      if (d.rows[i].offset < 8) {
+        return "shard payload overlaps the container header";
+      }
+      if (d.rows[i].offset + d.rows[i].length > dir_off) {
+        return "shard payload range reaches into the directory";
+      }
+    }
+  }
+  return nullptr;
+}
+
+/// \brief The GRSHARD2 directory fuzzer's input framing: the first 8
+/// bytes are the little-endian dir_off the parser is told, the rest is
+/// the directory region. Seeds (fuzz/gen_corpus.cc) use the same shape.
+inline const char* CheckFramedDirectoryInput(const uint8_t* data,
+                                             size_t size) {
+  if (size < 8) return nullptr;  // not enough bytes for the dir_off
+  uint64_t dir_off = 0;
+  for (int i = 0; i < 8; ++i) {
+    dir_off |= static_cast<uint64_t>(data[i]) << (8 * i);
+  }
+  return CheckDirectoryParse(ByteSpan(data + 8, size - 8), dir_off);
+}
+
+/// \brief Differential check of the word-at-a-time bit-stream/Elias
+/// decoders against their bit-at-a-time scalar oracles: on ANY input
+/// the two must produce identical values, identical statuses (code and
+/// message) and identical cursor positions after every single decode.
+inline const char* CheckEliasDifferential(const uint8_t* data, size_t size) {
+  const size_t bit_count = size * 8;
+
+  // Gamma then delta: decode the whole stream twice, lock-step.
+  for (int use_delta = 0; use_delta < 2; ++use_delta) {
+    BitReader fast(data, bit_count);
+    BitReader scalar(data, bit_count);
+    for (;;) {
+      uint64_t fast_value = 0;
+      uint64_t scalar_value = 0;
+      Status fast_status =
+          use_delta ? EliasDeltaDecode(&fast, &fast_value)
+                    : EliasGammaDecode(&fast, &fast_value);
+      Status scalar_status =
+          use_delta ? EliasDeltaDecodeScalar(&scalar, &scalar_value)
+                    : EliasGammaDecodeScalar(&scalar, &scalar_value);
+      if (fast_status.code() != scalar_status.code()) {
+        return "fast and scalar Elias decoders disagree on the status code";
+      }
+      if (fast_status.message() != scalar_status.message()) {
+        return "fast and scalar Elias decoders disagree on the message";
+      }
+      if (fast.position() != scalar.position()) {
+        return "fast and scalar Elias decoders left different cursors";
+      }
+      if (!fast_status.ok()) break;
+      if (fast_value != scalar_value) {
+        return "fast and scalar Elias decoders decoded different values";
+      }
+      // Every successful decode consumes >= 1 bit, so this terminates.
+    }
+  }
+
+  // ReadBits vs ReadBitsScalar with widths walked from the input so
+  // the fuzzer explores the 0/64/straddle edges.
+  {
+    BitReader fast(data, bit_count);
+    BitReader scalar(data, bit_count);
+    int width = 0;
+    for (;;) {
+      uint64_t fast_value = 0;
+      uint64_t scalar_value = 0;
+      Status fast_status = fast.ReadBits(width, &fast_value);
+      Status scalar_status = scalar.ReadBitsScalar(width, &scalar_value);
+      if (fast_status.code() != scalar_status.code()) {
+        return "ReadBits and ReadBitsScalar disagree on the status code";
+      }
+      if (fast.position() != scalar.position()) {
+        return "ReadBits and ReadBitsScalar left different cursors";
+      }
+      if (!fast_status.ok()) break;
+      if (fast_value != scalar_value) {
+        return "ReadBits and ReadBitsScalar read different values";
+      }
+      if (width == 0 && fast.BitsAvailable() == 0) break;
+      width = (width + 7) % 65;  // 0,7,14,...,63,5,... covers 0..64
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace fuzz
+}  // namespace grepair
+
+#endif  // GREPAIR_FUZZ_FUZZ_CHECKS_H_

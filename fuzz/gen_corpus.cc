@@ -1,0 +1,125 @@
+// Deterministic seed-corpus generator for the fuzz targets. Usage:
+//
+//   gen_corpus <corpus_root>
+//
+// writes fuzz inputs under <corpus_root>/{frame,shard_directory,elias}
+// — the directories checked in at fuzz/corpus and replayed by the
+// ctest fuzz_smoke_* tests. Seeds are golden-path encodings (every
+// verb of both frame protocol generations, real GRSHARD2 directories,
+// well-formed Elias streams plus the degenerate all-zeros/all-ones
+// edges), so coverage-guided runs start from deep inside the parsers
+// instead of fighting the magic bytes. Rerun after a format change and
+// commit the diff.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "fuzz/golden_seeds.h"
+#include "src/util/bit_stream.h"
+#include "src/util/elias.h"
+
+namespace grepair {
+namespace {
+
+void WriteSeed(const std::filesystem::path& dir, const std::string& name,
+               const std::vector<uint8_t>& bytes) {
+  std::ofstream out(dir / name, std::ios::binary);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) {
+    std::fprintf(stderr, "failed to write %s\n", (dir / name).c_str());
+    std::exit(1);
+  }
+}
+
+// The shard_directory target's input framing: 8-byte LE dir_off, then
+// the raw directory region of a real container.
+std::vector<uint8_t> FramedDirectorySeed(uint32_t nodes, uint32_t shards,
+                                         uint64_t rng_seed) {
+  std::vector<uint8_t> container =
+      fuzz::GoldenContainerBytes(nodes, shards, rng_seed);
+  uint64_t dir_off = 0;
+  auto region = shard::LocateV2DirectoryRegion(SpanOf(container), &dir_off);
+  if (!region.ok()) {
+    std::fprintf(stderr, "locate failed: %s\n",
+                 region.status().ToString().c_str());
+    std::exit(1);
+  }
+  std::vector<uint8_t> framed;
+  PutU64LE(dir_off, &framed);
+  framed.insert(framed.end(), region.value().begin(), region.value().end());
+  return framed;
+}
+
+std::vector<uint8_t> EliasStream(const std::vector<uint64_t>& values,
+                                 bool delta) {
+  BitWriter w;
+  for (uint64_t v : values) {
+    if (delta) {
+      EliasDeltaEncode(v, &w);
+    } else {
+      EliasGammaEncode(v, &w);
+    }
+  }
+  return w.TakeBytes();
+}
+
+}  // namespace
+}  // namespace grepair
+
+int main(int argc, char** argv) {
+  using grepair::EliasStream;
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <corpus_root>\n", argv[0]);
+    return 1;
+  }
+  const std::filesystem::path root(argv[1]);
+  const auto frame_dir = root / "frame";
+  const auto dir_dir = root / "shard_directory";
+  const auto elias_dir = root / "elias";
+  std::filesystem::create_directories(frame_dir);
+  std::filesystem::create_directories(dir_dir);
+  std::filesystem::create_directories(elias_dir);
+
+  auto frames = grepair::fuzz::GoldenFrameSeeds();
+  for (size_t i = 0; i < frames.size(); ++i) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "frame_%02zu.bin", i);
+    grepair::WriteSeed(frame_dir, name, frames[i]);
+  }
+
+  grepair::WriteSeed(dir_dir, "dir_ba50_shards3.bin",
+                     grepair::FramedDirectorySeed(50, 3, 61));
+  grepair::WriteSeed(dir_dir, "dir_ba120_shards5.bin",
+                     grepair::FramedDirectorySeed(120, 5, 7));
+
+  // Well-formed streams across the value range, then the adversarial
+  // shapes the word-at-a-time decoders special-case: long unary
+  // prefixes (all zeros), dense stop bits (all ones), and the 64-bit
+  // extremes where the lookahead-window math saturates.
+  std::vector<uint64_t> small;
+  for (uint64_t v = 1; v <= 100; ++v) small.push_back(v);
+  std::vector<uint64_t> powers;
+  for (int s = 0; s < 64; ++s) powers.push_back(1ull << s);
+  std::vector<uint64_t> extremes = {1, 2, 3, (1ull << 63) - 1, 1ull << 63,
+                                    ~0ull - 1, ~0ull};
+  grepair::WriteSeed(elias_dir, "gamma_small.bin", EliasStream(small, false));
+  grepair::WriteSeed(elias_dir, "delta_small.bin", EliasStream(small, true));
+  grepair::WriteSeed(elias_dir, "gamma_powers.bin", EliasStream(powers, false));
+  grepair::WriteSeed(elias_dir, "delta_powers.bin", EliasStream(powers, true));
+  grepair::WriteSeed(elias_dir, "gamma_extremes.bin",
+                     EliasStream(extremes, false));
+  grepair::WriteSeed(elias_dir, "delta_extremes.bin",
+                     EliasStream(extremes, true));
+  grepair::WriteSeed(elias_dir, "zeros.bin", std::vector<uint8_t>(24, 0x00));
+  grepair::WriteSeed(elias_dir, "ones.bin", std::vector<uint8_t>(24, 0xFF));
+  grepair::WriteSeed(elias_dir, "empty.bin", {});
+
+  std::printf("corpus written under %s\n", root.c_str());
+  return 0;
+}

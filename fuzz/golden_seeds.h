@@ -1,0 +1,96 @@
+// Golden-path fixtures shared by the GTest mutation battery
+// (tests/net_fuzz_test.cc) and the seed-corpus generator
+// (fuzz/gen_corpus.cc), so the seeds the coverage-guided fuzzers start
+// from are exactly the ones the always-on test fuzzing mutates.
+
+#ifndef GREPAIR_FUZZ_GOLDEN_SEEDS_H_
+#define GREPAIR_FUZZ_GOLDEN_SEEDS_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/api/grepair_api.h"
+#include "src/net/frame.h"
+#include "src/shard/sharded_codec.h"
+#include "src/util/byte_io.h"
+#include "src/util/status.h"
+
+namespace grepair {
+namespace fuzz {
+
+/// \brief One golden frame per verb of both protocol generations, plus
+/// empty-body edges.
+inline std::vector<std::vector<uint8_t>> GoldenFrameSeeds() {
+  std::vector<uint8_t> payload(300);
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<uint8_t>(i * 7);
+  }
+  std::vector<uint8_t> hello;
+  PutU32LE(net::kProtoV2, &hello);
+  std::vector<uint8_t> hello_ok = hello;
+  PutU32LE(3, &hello_ok);
+  std::vector<uint8_t> open_corpus;
+  PutU64LE(42, &open_corpus);
+  open_corpus.push_back(3);
+  open_corpus.insert(open_corpus.end(), {'w', 'e', 'b'});
+  std::vector<uint8_t> corpus_dir;
+  PutU64LE(42, &corpus_dir);
+  PutU32LE(1, &corpus_dir);
+  PutU64LE(128, &corpus_dir);
+  corpus_dir.insert(corpus_dir.end(), payload.begin(), payload.end());
+  std::vector<uint8_t> get_shard2;
+  PutU64LE(43, &get_shard2);
+  PutU32LE(1, &get_shard2);
+  PutU32LE(2, &get_shard2);
+  std::vector<uint8_t> shard2 = get_shard2;
+  shard2.insert(shard2.end(), payload.begin(), payload.end());
+  std::vector<uint8_t> get_stats;
+  PutU64LE(44, &get_stats);
+  return {
+      net::EncodeFrame(net::kGetDir, ByteSpan{}),
+      net::EncodeFrame(net::kGetShard, ByteSpan(payload.data(), 4)),
+      net::EncodeFrame(net::kDir, SpanOf(payload)),
+      net::EncodeFrame(net::kShard, SpanOf(payload)),
+      net::EncodeFrame(net::kError,
+                       SpanOf(net::EncodeErrorBody(
+                           Status::InvalidArgument("seed error")))),
+      net::EncodeFrame(net::kHello, SpanOf(hello)),
+      net::EncodeFrame(net::kHelloOk, SpanOf(hello_ok)),
+      net::EncodeFrame(net::kOpenCorpus, SpanOf(open_corpus)),
+      net::EncodeFrame(net::kCorpusDir, SpanOf(corpus_dir)),
+      net::EncodeFrame(net::kGetShard2, SpanOf(get_shard2)),
+      net::EncodeFrame(net::kShard2, SpanOf(shard2)),
+      net::EncodeFrame(net::kGetStats, SpanOf(get_stats)),
+      net::EncodeFrame(net::kError2,
+                       SpanOf(net::EncodeErrorBody2(
+                           99, Status::NotFound("seed error 2")))),
+  };
+}
+
+/// \brief A small real GRSHARD2 container (BarabasiAlbert graph,
+/// sharded:grepair codec) whose directory region seeds the directory
+/// fuzzing. Dies on failure: these are fixed golden parameters, so a
+/// failure is a build problem, not an input problem.
+inline std::vector<uint8_t> GoldenContainerBytes(uint32_t nodes,
+                                                 uint32_t shards,
+                                                 uint64_t rng_seed) {
+  GeneratedGraph gg = BarabasiAlbert(nodes, 3, rng_seed);
+  auto codec = api::CodecRegistry::Create("sharded:grepair").ValueOrDie();
+  api::CodecOptions options;
+  options.Set("shards", std::to_string(shards));
+  auto rep = codec->Compress(gg.graph, gg.alphabet, options);
+  if (!rep.ok()) {
+    std::fprintf(stderr, "golden container compress failed: %s\n",
+                 rep.status().ToString().c_str());
+    std::abort();
+  }
+  return dynamic_cast<shard::ShardedRep*>(rep.value().get())->SerializeV2();
+}
+
+}  // namespace fuzz
+}  // namespace grepair
+
+#endif  // GREPAIR_FUZZ_GOLDEN_SEEDS_H_

@@ -5,6 +5,7 @@
 #include <mutex>
 
 #include "src/shard/sharded_codec.h"
+#include "src/util/sync.h"
 
 namespace grepair {
 namespace api {
@@ -19,14 +20,17 @@ void RegisterBuiltinCodecs();
 
 namespace {
 
+// Guarded by RegistryMutex(); function-local statics cannot carry
+// GUARDED_BY, so every access below pairs FactoryMap() with a
+// MutexLock on RegistryMutex() by convention.
 std::map<std::string, CodecRegistry::Factory>& FactoryMap() {
   static auto* factories =
       new std::map<std::string, CodecRegistry::Factory>();
   return *factories;
 }
 
-std::mutex& RegistryMutex() {
-  static auto* mutex = new std::mutex();
+Mutex& RegistryMutex() {
+  static auto* mutex = new Mutex();
   return *mutex;
 }
 
@@ -38,7 +42,7 @@ void EnsureBuiltins() {
 }  // namespace
 
 bool CodecRegistry::Register(const std::string& name, Factory factory) {
-  std::lock_guard<std::mutex> lock(RegistryMutex());
+  MutexLock lock(RegistryMutex());
   FactoryMap()[name] = factory;
   return true;
 }
@@ -48,7 +52,7 @@ Result<std::unique_ptr<GraphCodec>> CodecRegistry::Create(
   EnsureBuiltins();
   Factory factory = nullptr;
   {
-    std::lock_guard<std::mutex> lock(RegistryMutex());
+    MutexLock lock(RegistryMutex());
     auto it = FactoryMap().find(name);
     if (it != FactoryMap().end()) factory = it->second;
   }
@@ -81,7 +85,7 @@ Result<std::unique_ptr<GraphCodec>> CodecRegistry::Create(
 
 std::vector<std::string> CodecRegistry::Names() {
   EnsureBuiltins();
-  std::lock_guard<std::mutex> lock(RegistryMutex());
+  MutexLock lock(RegistryMutex());
   std::vector<std::string> names;
   names.reserve(FactoryMap().size());
   for (const auto& [name, factory] : FactoryMap()) names.push_back(name);

@@ -31,14 +31,14 @@ NeighborhoodIndex::DescendMemo(Label label, uint32_t pos, bool out) const {
   // Warm fast path: concurrent lookups share the lock.
   uint64_t key = MemoKey(node_map_.grammar().RuleIndex(label), pos, out);
   {
-    std::shared_lock<std::shared_mutex> read_lock(memo_mutex_);
+    ReaderMutexLock read_lock(memo_mutex_);
     auto it = memo_.find(key);
     if (it != memo_.end()) {
       memo_hits_.fetch_add(1, std::memory_order_relaxed);
       return it->second;
     }
   }
-  std::unique_lock<std::shared_mutex> write_lock(memo_mutex_);
+  WriterMutexLock write_lock(memo_mutex_);
   return DescendMemoLocked(label, pos, out);
 }
 

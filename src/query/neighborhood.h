@@ -27,11 +27,11 @@
 
 #include <atomic>
 #include <cstdint>
-#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "src/query/node_map.h"
+#include "src/util/sync.h"
 
 namespace grepair {
 
@@ -91,14 +91,16 @@ class NeighborhoodIndex {
   /// the index's lifetime (entries are never removed or mutated once
   /// built). Exposed for the query walker; not a user entry point.
   const std::vector<RelNeighbor>& DescendMemo(Label label, uint32_t pos,
-                                              bool out) const;
+                                              bool out) const
+      GREPAIR_LOCKS_EXCLUDED(memo_mutex_);
 
  private:
   std::vector<uint64_t> NeighborsImpl(uint64_t id, bool out) const;
 
   const std::vector<RelNeighbor>& DescendMemoLocked(Label label,
                                                     uint32_t pos,
-                                                    bool out) const;
+                                                    bool out) const
+      GREPAIR_REQUIRES(memo_mutex_);
 
   NodeMap node_map_;
   /// incidence_[0] covers S; incidence_[1 + j] covers rule j.
@@ -109,8 +111,9 @@ class NeighborhoodIndex {
   /// only (unordered_map never invalidates value references). Shared
   /// mutex: warm-path lookups from concurrent queries take the shared
   /// side and do not serialize each other; only builds are exclusive.
-  mutable std::shared_mutex memo_mutex_;
-  mutable std::unordered_map<uint64_t, std::vector<RelNeighbor>> memo_;
+  mutable SharedMutex memo_mutex_;
+  mutable std::unordered_map<uint64_t, std::vector<RelNeighbor>> memo_
+      GREPAIR_GUARDED_BY(memo_mutex_);
   mutable std::atomic<uint64_t> memo_entries_{0};
   mutable std::atomic<uint64_t> memo_hits_{0};
 };

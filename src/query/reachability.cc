@@ -85,13 +85,13 @@ const std::vector<std::vector<NodeId>>& ReachabilityIndex::LevelAdjacency(
                 (reverse ? 1 : 0);
   {
     // Warm fast path: concurrent lookups share the lock.
-    std::shared_lock<std::shared_mutex> read_lock(memo_mutex_);
+    ReaderMutexLock read_lock(memo_mutex_);
     if (rule_adj_[slot] != nullptr) {
       memo_hits_.fetch_add(1, std::memory_order_relaxed);
       return *rule_adj_[slot];
     }
   }
-  std::unique_lock<std::shared_mutex> write_lock(memo_mutex_);
+  WriterMutexLock write_lock(memo_mutex_);
   if (rule_adj_[slot] == nullptr) {
     rule_adj_[slot] =
         std::make_unique<const std::vector<std::vector<NodeId>>>(

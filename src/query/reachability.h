@@ -27,10 +27,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <shared_mutex>
 #include <vector>
 
 #include "src/query/node_map.h"
+#include "src/util/sync.h"
 
 namespace grepair {
 
@@ -75,7 +75,8 @@ class ReachabilityIndex {
   // through that rule (build-once; reps are immutable so it is never
   // invalidated).
   const std::vector<std::vector<NodeId>>& LevelAdjacency(Label label,
-                                                         bool reverse) const;
+                                                         bool reverse) const
+      GREPAIR_LOCKS_EXCLUDED(memo_mutex_);
 
   const SlhrGrammar* grammar_;
   NodeMap node_map_;
@@ -87,9 +88,9 @@ class ReachabilityIndex {
   // installation; the pointed-to adjacency never changes after that.
   // Shared mutex: warm-path reads from concurrent queries share the
   // lock; only the one-time builds are exclusive.
-  mutable std::shared_mutex memo_mutex_;
+  mutable SharedMutex memo_mutex_;
   mutable std::vector<std::unique_ptr<const std::vector<std::vector<NodeId>>>>
-      rule_adj_;
+      rule_adj_ GREPAIR_GUARDED_BY(memo_mutex_);
   mutable std::atomic<uint64_t> memo_entries_{0};
   mutable std::atomic<uint64_t> memo_hits_{0};
 };

@@ -72,7 +72,7 @@ shard::ParsedDirectory RemoteShardSource::TakeDirectory() {
 }
 
 Status RemoteShardSource::GateCheck() {
-  std::lock_guard<std::mutex> lock(gate_mu_);
+  MutexLock lock(gate_mu_);
   auto now = std::chrono::steady_clock::now();
   if (now < gate_next_dial_) {
     auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
@@ -87,7 +87,7 @@ Status RemoteShardSource::GateCheck() {
 }
 
 void RemoteShardSource::GateRecordFailure(const std::string& message) {
-  std::lock_guard<std::mutex> lock(gate_mu_);
+  MutexLock lock(gate_mu_);
   gate_last_error_ = message;
   ++gate_fail_streak_;
   int shift = std::min(gate_fail_streak_ - 1, 20);
@@ -104,7 +104,7 @@ void RemoteShardSource::GateRecordFailure(const std::string& message) {
 }
 
 void RemoteShardSource::GateRecordSuccess() {
-  std::lock_guard<std::mutex> lock(gate_mu_);
+  MutexLock lock(gate_mu_);
   gate_fail_streak_ = 0;
   gate_next_dial_ = std::chrono::steady_clock::time_point{};
   gate_last_error_.clear();
@@ -229,12 +229,12 @@ Status RemoteShardSource::DialAndHandshake(Socket* socket,
 
 Status RemoteShardSource::EnsureConnected(Conn* conn) {
   {
-    std::lock_guard<std::mutex> lock(conn->mu);
+    MutexLock lock(conn->mu);
     if (conn->connected) return Status::OK();
   }
-  std::lock_guard<std::mutex> dial_lock(conn->dial_mu);
+  MutexLock dial_lock(conn->dial_mu);
   {
-    std::lock_guard<std::mutex> lock(conn->mu);
+    MutexLock lock(conn->mu);
     if (conn->connected) return Status::OK();  // raced with another dialer
     conn->socket.ShutdownBoth();
   }
@@ -258,7 +258,7 @@ Status RemoteShardSource::EnsureConnected(Conn* conn) {
   stat_dials_.fetch_add(1, std::memory_order_relaxed);
   bool redial;
   {
-    std::lock_guard<std::mutex> lock(conn->mu);
+    MutexLock lock(conn->mu);
     redial = conn->ever_connected;
     conn->socket = std::move(fresh);
     conn->connected = true;
@@ -274,7 +274,7 @@ Status RemoteShardSource::EnsureConnected(Conn* conn) {
 void RemoteShardSource::FailConnection(Conn* conn, const Status& status) {
   std::vector<std::shared_ptr<Pending>> parked;
   {
-    std::lock_guard<std::mutex> lock(conn->mu);
+    MutexLock lock(conn->mu);
     conn->connected = false;
     conn->socket.ShutdownBoth();
     parked.reserve(conn->pending.size());
@@ -282,10 +282,10 @@ void RemoteShardSource::FailConnection(Conn* conn, const Status& status) {
     conn->pending.clear();
   }
   for (auto& pending : parked) {
-    std::lock_guard<std::mutex> lock(pending->mu);
+    MutexLock lock(pending->mu);
     pending->status = status;
     pending->done = true;
-    pending->cv.notify_all();
+    pending->cv.NotifyAll();
   }
 }
 
@@ -315,7 +315,7 @@ void RemoteShardSource::ReaderLoop(Conn* conn) {
     }
     std::shared_ptr<Pending> pending;
     {
-      std::lock_guard<std::mutex> lock(conn->mu);
+      MutexLock lock(conn->mu);
       auto it = conn->pending.find(req_id.value());
       if (it != conn->pending.end()) {
         pending = it->second;
@@ -325,10 +325,10 @@ void RemoteShardSource::ReaderLoop(Conn* conn) {
     // No waiter: the request hit its deadline and was abandoned —
     // drop the late response on the floor.
     if (pending == nullptr) continue;
-    std::lock_guard<std::mutex> lock(pending->mu);
+    MutexLock lock(pending->mu);
     pending->frame = std::move(frame).ValueOrDie();
     pending->done = true;
-    pending->cv.notify_all();
+    pending->cv.NotifyAll();
   }
 }
 
@@ -354,7 +354,7 @@ Result<ByteSpan> RemoteShardSource::FetchShard(size_t shard,
     auto pending = std::make_shared<Pending>();
     uint32_t corpus_id = 0;
     {
-      std::lock_guard<std::mutex> lock(conn->mu);
+      MutexLock lock(conn->mu);
       if (!conn->connected) {
         transport = Status::Unavailable("connection to " + peer_ +
                                         " broke before the request left");
@@ -377,7 +377,7 @@ Result<ByteSpan> RemoteShardSource::FetchShard(size_t shard,
     PutU32LE(static_cast<uint32_t>(shard), &request);
     Status sent;
     {
-      std::lock_guard<std::mutex> send_lock(conn->send_mu);
+      MutexLock send_lock(conn->send_mu);
       sent = net::WriteFrame(&conn->socket, net::kGetShard2,
                              SpanOf(request));
     }
@@ -389,12 +389,25 @@ Result<ByteSpan> RemoteShardSource::FetchShard(size_t shard,
                                       " failed: " + sent.message());
       continue;
     }
+    // The wait is an explicit deadline loop (not a predicate lambda)
+    // so the analysis sees every read of the guarded fields under the
+    // lock; the response is copied out before the lock drops — the
+    // reader thread owned those fields until it flipped `done`.
     bool done = false;
+    Status response_status = Status::OK();
+    Frame frame;
     {
-      std::unique_lock<std::mutex> lock(pending->mu);
-      done = pending->cv.wait_for(
-          lock, std::chrono::milliseconds(io_timeout_ms_),
-          [&pending] { return pending->done; });
+      MutexLock lock(pending->mu);
+      auto deadline = std::chrono::steady_clock::now() +
+                      std::chrono::milliseconds(io_timeout_ms_);
+      while (!pending->done) {
+        if (!pending->cv.WaitUntil(lock, deadline)) break;  // timeout
+      }
+      done = pending->done;
+      if (done) {
+        response_status = pending->status;
+        frame = std::move(pending->frame);
+      }
     }
     stat_in_flight_.fetch_sub(1, std::memory_order_relaxed);
     if (!done) {
@@ -402,7 +415,7 @@ Result<ByteSpan> RemoteShardSource::FetchShard(size_t shard,
       // response) and break the connection — a stalled server stalls
       // every request it holds.
       {
-        std::lock_guard<std::mutex> lock(conn->mu);
+        MutexLock lock(conn->mu);
         conn->pending.erase(req_id);
       }
       transport = Status::Unavailable(
@@ -411,14 +424,13 @@ Result<ByteSpan> RemoteShardSource::FetchShard(size_t shard,
       FailConnection(conn, transport);
       continue;
     }
-    if (!pending->status.ok()) {
-      if (pending->status.code() == StatusCode::kUnavailable) {
-        transport = pending->status;
+    if (!response_status.ok()) {
+      if (response_status.code() == StatusCode::kUnavailable) {
+        transport = response_status;
         continue;
       }
-      return pending->status;  // corruption: never retried
+      return response_status;  // corruption: never retried
     }
-    Frame& frame = pending->frame;
     if (frame.type == net::kError2) {
       // A served error is a per-request failure, not a transport one:
       // the stream stays in sync, later requests may succeed.

@@ -33,10 +33,8 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -47,6 +45,7 @@
 #include "src/util/rng.h"
 #include "src/util/socket.h"
 #include "src/util/status.h"
+#include "src/util/sync.h"
 
 namespace grepair {
 namespace serve {
@@ -100,23 +99,32 @@ class RemoteShardSource : public shard::ShardSource {
  private:
   // One parked request awaiting its tagged response.
   struct Pending {
-    std::mutex mu;
-    std::condition_variable cv;
-    bool done = false;
-    Status status = Status::OK();
-    net::Frame frame;
+    Mutex mu;
+    CondVar cv;
+    bool done GREPAIR_GUARDED_BY(mu) = false;
+    Status status GREPAIR_GUARDED_BY(mu) = Status::OK();
+    net::Frame frame GREPAIR_GUARDED_BY(mu);
   };
 
   // One pool slot: a socket, its reader thread, and the in-flight map.
   struct Conn {
-    std::mutex mu;  // guards socket state + pending map
+    Mutex mu;  // guards connection state + pending map
+    // Deliberately not GUARDED_BY(mu): the reader thread recvs on the
+    // socket lock-free while FailConnection shuts the fd down under mu
+    // (shutdown-vs-recv is the documented unpark protocol), and writes
+    // are serialized by send_mu. The fd itself is only replaced under
+    // dial_mu with the old reader joined.
     Socket socket;
-    bool connected = false;
-    bool ever_connected = false;
-    uint32_t corpus_id = 0;
-    std::unordered_map<uint64_t, std::shared_ptr<Pending>> pending;
-    std::mutex send_mu;  // serializes frame writes on this socket
-    std::mutex dial_mu;  // serializes (re)dials of this slot
+    bool connected GREPAIR_GUARDED_BY(mu) = false;
+    bool ever_connected GREPAIR_GUARDED_BY(mu) = false;
+    uint32_t corpus_id GREPAIR_GUARDED_BY(mu) = 0;
+    std::unordered_map<uint64_t, std::shared_ptr<Pending>> pending
+        GREPAIR_GUARDED_BY(mu);
+    Mutex send_mu;  // serializes frame writes on this socket
+    Mutex dial_mu;  // serializes (re)dials of this slot
+    // Written/joined only under dial_mu (or in the destructor, when no
+    // other thread can touch the slot); not expressible as GUARDED_BY
+    // because the destructor legitimately joins lock-free.
     std::thread reader;
   };
 
@@ -130,16 +138,19 @@ class RemoteShardSource : public shard::ShardSource {
                           shard::ParsedDirectory* dir);
   /// Ensures `conn` has a live handshaked connection + reader,
   /// redialing through the backoff gate when broken.
-  Status EnsureConnected(Conn* conn);
-  void ReaderLoop(Conn* conn);
+  Status EnsureConnected(Conn* conn)
+      GREPAIR_LOCKS_EXCLUDED(conn->mu, conn->dial_mu, gate_mu_);
+  void ReaderLoop(Conn* conn) GREPAIR_LOCKS_EXCLUDED(conn->mu);
   /// Marks the connection broken and fails every pending request with
   /// `status` (each parked fetch then runs its own redial attempt).
-  void FailConnection(Conn* conn, const Status& status);
+  void FailConnection(Conn* conn, const Status& status)
+      GREPAIR_LOCKS_EXCLUDED(conn->mu);
 
   // Backoff gate (shared across pool slots).
-  Status GateCheck();                      // kUnavailable while closed
-  void GateRecordFailure(const std::string& message);
-  void GateRecordSuccess();
+  Status GateCheck() GREPAIR_LOCKS_EXCLUDED(gate_mu_);
+  void GateRecordFailure(const std::string& message)
+      GREPAIR_LOCKS_EXCLUDED(gate_mu_);
+  void GateRecordSuccess() GREPAIR_LOCKS_EXCLUDED(gate_mu_);
 
   std::string host_;
   uint16_t port_ = 0;
@@ -156,11 +167,14 @@ class RemoteShardSource : public shard::ShardSource {
   uint64_t raw_dir_off_ = 0;
   std::vector<uint64_t> shard_lengths_;  // rows[i].length, kept always
 
-  std::mutex gate_mu_;
-  int gate_fail_streak_ = 0;
-  std::chrono::steady_clock::time_point gate_next_dial_{};
-  std::string gate_last_error_;
-  Rng gate_jitter_;  // deterministic, seeded from the peer address
+  Mutex gate_mu_;
+  int gate_fail_streak_ GREPAIR_GUARDED_BY(gate_mu_) = 0;
+  std::chrono::steady_clock::time_point gate_next_dial_
+      GREPAIR_GUARDED_BY(gate_mu_){};
+  std::string gate_last_error_ GREPAIR_GUARDED_BY(gate_mu_);
+  // Deterministic, seeded from the peer address; drawn only under
+  // gate_mu_.
+  Rng gate_jitter_ GREPAIR_GUARDED_BY(gate_mu_);
 
   mutable std::atomic<uint64_t> stat_fetches_{0};
   mutable std::atomic<uint64_t> stat_bytes_{0};

@@ -37,7 +37,7 @@ ShardServer::~ShardServer() { Stop(); }
 void ShardServer::Stop() {
   // One teardown at a time; later callers wait for it and return to a
   // fully stopped server (the destructor relies on that).
-  std::lock_guard<std::mutex> stop_lock(stop_mutex_);
+  MutexLock stop_lock(stop_mutex_);
   if (stopping_.exchange(true)) return;
   // Unblock the accept loop and every parked recv. Shutdown only —
   // Close() writes the fd and would race the accept thread's read of
@@ -50,7 +50,7 @@ void ShardServer::Stop() {
     (void)wake;  // accepted (and dropped) or refused — either unparks
   }
   {
-    std::lock_guard<std::mutex> lock(conn_mutex_);
+    MutexLock lock(conn_mutex_);
     for (auto& socket : conn_sockets_) {
       if (socket != nullptr) socket->ShutdownBoth();
     }
@@ -62,7 +62,7 @@ void ShardServer::Stop() {
   // handles out first (stopping_ is set, so no new threads appear).
   std::vector<std::thread> threads;
   {
-    std::lock_guard<std::mutex> lock(conn_mutex_);
+    MutexLock lock(conn_mutex_);
     threads.swap(conn_threads_);
   }
   for (auto& t : threads) {
@@ -87,7 +87,7 @@ void ShardServer::AcceptLoop() {
     // exit; this bounds the thread handles a long-lived server holds).
     std::vector<std::thread> finished;
     {
-      std::lock_guard<std::mutex> lock(conn_mutex_);
+      MutexLock lock(conn_mutex_);
       if (stopping_.load(std::memory_order_relaxed)) break;
       for (size_t slot : finished_slots_) {
         finished.push_back(std::move(conn_threads_[slot]));
@@ -98,8 +98,8 @@ void ShardServer::AcceptLoop() {
           std::make_unique<Socket>(std::move(conn).ValueOrDie()));
       conn_threads_.emplace_back([this, slot] { ServeConnection(slot); });
     }
-    for (auto& t : finished) {
-      if (t.joinable()) t.join();
+    for (auto& reaped : finished) {
+      if (reaped.joinable()) reaped.join();
     }
   }
 }
@@ -107,7 +107,7 @@ void ShardServer::AcceptLoop() {
 void ShardServer::ServeConnection(size_t slot) {
   Socket* socket;
   {
-    std::lock_guard<std::mutex> lock(conn_mutex_);
+    MutexLock lock(conn_mutex_);
     socket = conn_sockets_[slot].get();
   }
   while (!stopping_.load(std::memory_order_relaxed)) {
@@ -131,7 +131,7 @@ void ShardServer::ServeConnection(size_t slot) {
   // Release the descriptor now (a long-running server must not hold
   // one fd per past connection until Stop) and offer this thread's
   // handle to the accept loop for reaping.
-  std::lock_guard<std::mutex> lock(conn_mutex_);
+  MutexLock lock(conn_mutex_);
   socket->Close();
   finished_slots_.push_back(slot);
 }

@@ -29,7 +29,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -39,6 +38,7 @@
 #include "src/serve/stats.h"
 #include "src/util/socket.h"
 #include "src/util/status.h"
+#include "src/util/sync.h"
 
 namespace grepair {
 namespace serve {
@@ -79,7 +79,7 @@ class ShardServer {
 
   /// \brief Shuts the listener and every live connection down and
   /// joins all worker threads. Idempotent.
-  void Stop();
+  void Stop() GREPAIR_LOCKS_EXCLUDED(stop_mutex_, conn_mutex_);
 
   /// \brief Snapshot of the serving counters, including the
   /// per-corpus hit histograms (what the STATS verb serves).
@@ -89,8 +89,8 @@ class ShardServer {
   ShardServer() = default;
 
   Status Init(const Options& options);
-  void AcceptLoop();
-  void ServeConnection(size_t slot);
+  void AcceptLoop() GREPAIR_LOCKS_EXCLUDED(conn_mutex_);
+  void ServeConnection(size_t slot) GREPAIR_LOCKS_EXCLUDED(conn_mutex_);
   // One request -> one response frame (or error frame). Returns false
   // when the connection must close (unsyncable input stream).
   bool HandleFrame(Socket* socket, const net::Frame& frame);
@@ -110,17 +110,21 @@ class ShardServer {
   int debug_shard_delay_ms_ = 0;
   Socket listener_;
   std::thread accept_thread_;
-  std::mutex stop_mutex_;  // serializes Stop callers
+  Mutex stop_mutex_;  // serializes Stop callers (guards no fields)
   std::atomic<bool> stopping_{false};
 
   // Live connections: sockets stay owned here so Stop can shut them
   // down mid-recv; slots are append-only. Finished connections close
   // their fd and park their slot in finished_slots_ for the accept
-  // loop to reap (join) — Stop joins whatever remains.
-  std::mutex conn_mutex_;
-  std::vector<std::unique_ptr<Socket>> conn_sockets_;
-  std::vector<std::thread> conn_threads_;
-  std::vector<size_t> finished_slots_;
+  // loop to reap (join) — Stop joins whatever remains. The Socket
+  // objects the unique_ptrs point at are NOT guarded: a connection
+  // thread reads its own socket lock-free while Stop shuts the fd
+  // down, which is the documented shutdown-vs-recv protocol.
+  Mutex conn_mutex_;
+  std::vector<std::unique_ptr<Socket>> conn_sockets_
+      GREPAIR_GUARDED_BY(conn_mutex_);
+  std::vector<std::thread> conn_threads_ GREPAIR_GUARDED_BY(conn_mutex_);
+  std::vector<size_t> finished_slots_ GREPAIR_GUARDED_BY(conn_mutex_);
 
   mutable std::atomic<uint64_t> stat_connections_{0};
   mutable std::atomic<uint64_t> stat_requests_{0};

@@ -131,7 +131,7 @@ Status TieredShardSource::SeedFromDisk() {
   std::sort(found.begin(), found.end(), [](const Found& a, const Found& b) {
     return a.mtime != b.mtime ? a.mtime < b.mtime : a.name < b.name;
   });
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const Found& f : found) {
     InsertLocked(f.name, f.bytes);
   }
@@ -200,7 +200,7 @@ Result<ByteSpan> TieredShardSource::FetchShard(size_t shard,
         HashBytes(bytes.data(), bytes.size()) == checksums_[shard]) {
       stat_warm_hits_.fetch_add(1, std::memory_order_relaxed);
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         TouchLocked(filename);
       }
       *owned = std::move(cached).ValueOrDie();
@@ -210,7 +210,7 @@ Result<ByteSpan> TieredShardSource::FetchShard(size_t shard,
     stat_corrupt_drops_.fetch_add(1, std::memory_order_relaxed);
     std::remove(path.c_str());
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       EraseLocked(filename);
     }
   }
@@ -229,7 +229,7 @@ Result<ByteSpan> TieredShardSource::FetchShard(size_t shard,
         std::to_string(tmp_counter_.fetch_add(1, std::memory_order_relaxed));
     if (WriteSpanToFile(tmp, payload).ok()) {
       if (std::rename(tmp.c_str(), path.c_str()) == 0) {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         InsertLocked(filename, payload.size);
       } else {
         std::remove(tmp.c_str());
@@ -250,7 +250,7 @@ void TieredShardSource::AddStats(api::QueryStats* stats) const {
 }
 
 uint64_t TieredShardSource::cache_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return total_bytes_;
 }
 

@@ -30,13 +30,13 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "src/shard/sharded_codec.h"
 #include "src/util/status.h"
+#include "src/util/sync.h"
 
 namespace grepair {
 namespace serve {
@@ -59,7 +59,8 @@ class TieredShardSource : public shard::ShardSource {
   const char* kind() const override { return "tiered-ssd"; }
 
   Result<ByteSpan> FetchShard(size_t shard,
-                              std::vector<uint8_t>* owned) override;
+                              std::vector<uint8_t>* owned) override
+      GREPAIR_LOCKS_EXCLUDED(mu_);
 
   // Advise calls are about the inner source's own storage.
   uint64_t AdviseShard(size_t shard) override {
@@ -71,7 +72,7 @@ class TieredShardSource : public shard::ShardSource {
   void AddStats(api::QueryStats* stats) const override;
 
   /// \brief Current cache footprint in bytes (tests/bench).
-  uint64_t cache_bytes() const;
+  uint64_t cache_bytes() const GREPAIR_LOCKS_EXCLUDED(mu_);
 
  private:
   TieredShardSource(std::shared_ptr<shard::ShardSource> inner,
@@ -80,13 +81,14 @@ class TieredShardSource : public shard::ShardSource {
         cache_dir_(std::move(cache_dir)),
         max_bytes_(max_bytes) {}
 
-  Status SeedFromDisk();
+  Status SeedFromDisk() GREPAIR_LOCKS_EXCLUDED(mu_);
   std::string PathFor(size_t shard) const;
   /// Registers `filename` (size `bytes`) as most-recently-used and
-  /// evicts past the budget. Caller must hold mu_.
-  void InsertLocked(const std::string& filename, uint64_t bytes);
-  void TouchLocked(const std::string& filename);
-  void EraseLocked(const std::string& filename);
+  /// evicts past the budget.
+  void InsertLocked(const std::string& filename, uint64_t bytes)
+      GREPAIR_REQUIRES(mu_);
+  void TouchLocked(const std::string& filename) GREPAIR_REQUIRES(mu_);
+  void EraseLocked(const std::string& filename) GREPAIR_REQUIRES(mu_);
 
   std::shared_ptr<shard::ShardSource> inner_;
   std::string cache_dir_;
@@ -97,15 +99,15 @@ class TieredShardSource : public shard::ShardSource {
   std::vector<uint64_t> lengths_;
   std::vector<uint64_t> checksums_;
 
-  mutable std::mutex mu_;  // guards the LRU index
+  mutable Mutex mu_;  // guards the LRU index
   // Front = most recent. The map's value is (LRU position, file size).
   struct IndexEntry {
     std::list<std::string>::iterator lru_it;
     uint64_t bytes = 0;
   };
-  std::list<std::string> lru_;
-  std::unordered_map<std::string, IndexEntry> index_;
-  uint64_t total_bytes_ = 0;
+  std::list<std::string> lru_ GREPAIR_GUARDED_BY(mu_);
+  std::unordered_map<std::string, IndexEntry> index_ GREPAIR_GUARDED_BY(mu_);
+  uint64_t total_bytes_ GREPAIR_GUARDED_BY(mu_) = 0;
 
   mutable std::atomic<uint64_t> stat_warm_hits_{0};
   mutable std::atomic<uint64_t> stat_cold_fetches_{0};

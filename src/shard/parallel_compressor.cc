@@ -3,8 +3,9 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
-#include <mutex>
 #include <thread>
+
+#include "src/util/sync.h"
 
 namespace grepair {
 namespace shard {
@@ -23,8 +24,8 @@ void RunIndexedOnPool(size_t count, int threads,
   // calling thread after the join, so e.g. a bad_alloc during a
   // shard task behaves the same at threads=8 as at threads=1.
   std::atomic<size_t> next{0};
-  std::mutex error_mutex;
-  std::exception_ptr first_error;
+  Mutex error_mutex;
+  std::exception_ptr first_error;  // guarded by error_mutex until join
   auto worker = [&]() {
     for (;;) {
       size_t i = next.fetch_add(1, std::memory_order_relaxed);
@@ -32,7 +33,7 @@ void RunIndexedOnPool(size_t count, int threads,
       try {
         fn(i);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
+        MutexLock lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
       }
     }

@@ -1,7 +1,6 @@
 #include "src/shard/sharded_codec.h"
 
 #include <algorithm>
-#include <condition_variable>
 #include <cstring>
 #include <deque>
 #include <thread>
@@ -285,54 +284,58 @@ class ShardedRep::Prefetcher {
 
   ~Prefetcher() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       stop_ = true;
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
     for (auto& t : workers_) t.join();
   }
 
-  void Enqueue(const std::vector<size_t>& shards) {
+  void Enqueue(const std::vector<size_t>& shards)
+      GREPAIR_LOCKS_EXCLUDED(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       for (size_t s : shards) {
         queue_.push_back(s);
         ++pending_;
       }
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
 
-  void WaitIdle() {
-    std::unique_lock<std::mutex> lock(mu_);
-    idle_cv_.wait(lock, [this] { return pending_ == 0 || stop_; });
+  void WaitIdle() GREPAIR_LOCKS_EXCLUDED(mu_) {
+    MutexLock lock(mu_);
+    while (pending_ != 0 && !stop_) idle_cv_.Wait(lock);
   }
 
  private:
-  void Worker() {
-    std::unique_lock<std::mutex> lock(mu_);
+  void Worker() GREPAIR_LOCKS_EXCLUDED(mu_) {
+    MutexLock lock(mu_);
     while (true) {
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      while (!stop_ && queue_.empty()) cv_.Wait(lock);
       if (stop_) break;
       size_t shard = queue_.front();
       queue_.pop_front();
-      lock.unlock();
+      // The fault itself runs unlocked so workers fault in parallel;
+      // the scoped lock is released and re-acquired around it with
+      // the analysis tracking the gap.
+      lock.Unlock();
       rep_->PrefetchOne(shard);
-      lock.lock();
-      if (--pending_ == 0) idle_cv_.notify_all();
+      lock.Lock();
+      if (--pending_ == 0) idle_cv_.NotifyAll();
     }
     // Wake any WaitIdle caller racing a shutdown (queued work is
     // dropped; nobody can observe the rep after destruction anyway).
-    idle_cv_.notify_all();
+    idle_cv_.NotifyAll();
   }
 
   const ShardedRep* rep_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::condition_variable idle_cv_;
-  std::deque<size_t> queue_;
-  size_t pending_ = 0;
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  CondVar idle_cv_;
+  std::deque<size_t> queue_ GREPAIR_GUARDED_BY(mu_);
+  size_t pending_ GREPAIR_GUARDED_BY(mu_) = 0;
+  bool stop_ GREPAIR_GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 
@@ -350,7 +353,7 @@ ShardedRep::ShardedRep(std::string inner_name, uint32_t inner_capabilities,
           new std::atomic<const api::CompressedRep*>[entries_.size() == 0
                                                          ? 1
                                                          : entries_.size()]),
-      fault_mutexes_(new std::mutex[entries_.size() == 0 ? 1
+      fault_mutexes_(new Mutex[entries_.size() == 0 ? 1
                                                          : entries_.size()]),
       cache_slots_(entries_.size()),
       cache_last_use_(entries_.size(), 0),
@@ -373,7 +376,7 @@ void ShardedRep::set_query_threads(int threads) {
 }
 
 void ShardedRep::set_prefetch_threads(int threads) {
-  std::lock_guard<std::mutex> lock(prefetch_mutex_);
+  MutexLock lock(prefetch_mutex_);
   prefetcher_.reset();  // join the old pool before any resize
   if (threads > 0) {
     prefetcher_ = std::make_unique<Prefetcher>(this, std::min(threads, 64));
@@ -388,7 +391,7 @@ void ShardedRep::Prefetch(const std::vector<size_t>& shards) const {
   }
   if (valid.empty()) return;
   {
-    std::lock_guard<std::mutex> lock(prefetch_mutex_);
+    MutexLock lock(prefetch_mutex_);
     if (prefetcher_ != nullptr) {
       prefetcher_->Enqueue(valid);
       return;
@@ -408,7 +411,7 @@ void ShardedRep::PrefetchAll() const {
 }
 
 void ShardedRep::WaitForPrefetch() const {
-  std::lock_guard<std::mutex> lock(prefetch_mutex_);
+  MutexLock lock(prefetch_mutex_);
   if (prefetcher_ != nullptr) prefetcher_->WaitIdle();
 }
 
@@ -497,7 +500,7 @@ Result<const api::CompressedRep*> ShardedRep::ShardRepFor(
   // Fault path: per-shard mutex so concurrent touches of one shard
   // deserialize (and, for remote sources, fetch) it exactly once
   // while other shards fault in parallel.
-  std::lock_guard<std::mutex> lock(fault_mutexes_[shard]);
+  MutexLock lock(fault_mutexes_[shard]);
   if (lazy_slots_[shard] != nullptr) {
     return static_cast<const api::CompressedRep*>(lazy_slots_[shard].get());
   }
@@ -560,7 +563,7 @@ void ShardedRep::set_query_cache_bytes(size_t bytes) {
   cache_bytes_limit_.store(bytes, std::memory_order_relaxed);
   // Shrink both tiers to the new budget immediately, LRU first, and
   // let previously uncacheable shards try again under the new budget.
-  std::lock_guard<std::mutex> lock(cache_mutex_);
+  MutexLock lock(cache_mutex_);
   EvictShardsLocked(ShardBudget(bytes));
   EvictResultsLocked(ResultBudget(bytes));
   std::fill(cache_miss_credit_.begin(), cache_miss_credit_.end(), 0u);
@@ -568,7 +571,7 @@ void ShardedRep::set_query_cache_bytes(size_t bytes) {
 
 std::shared_ptr<const std::vector<uint64_t>> ShardedRep::LookupResult(
     uint64_t key) const {
-  std::lock_guard<std::mutex> lock(cache_mutex_);
+  MutexLock lock(cache_mutex_);
   auto it = results_.find(key);
   if (it == results_.end()) return nullptr;
   result_lru_.splice(result_lru_.begin(), result_lru_, it->second.lru_it);
@@ -579,7 +582,7 @@ void ShardedRep::StoreResult(
     uint64_t key,
     std::shared_ptr<const std::vector<uint64_t>> value) const {
   size_t bytes = value->size() * sizeof(uint64_t) + 80;  // + map overhead
-  std::lock_guard<std::mutex> lock(cache_mutex_);
+  MutexLock lock(cache_mutex_);
   size_t budget =
       ResultBudget(cache_bytes_limit_.load(std::memory_order_relaxed));
   if (budget == 0 || bytes > budget) return;
@@ -601,7 +604,7 @@ ShardedRep::GetOrDecodeShard(size_t shard, size_t pending) const {
     return nullptr;
   }
   {
-    std::lock_guard<std::mutex> lock(cache_mutex_);
+    MutexLock lock(cache_mutex_);
     if (cache_slots_[shard] != nullptr) {
       cache_last_use_[shard] = ++cache_tick_;
       return cache_slots_[shard];
@@ -626,7 +629,7 @@ ShardedRep::GetOrDecodeShard(size_t shard, size_t pending) const {
   if (decoded == nullptr) return nullptr;
   stat_decodes_.fetch_add(1, std::memory_order_relaxed);
 
-  std::lock_guard<std::mutex> lock(cache_mutex_);
+  MutexLock lock(cache_mutex_);
   if (cache_slots_[shard] != nullptr) return cache_slots_[shard];
   size_t budget =
       ShardBudget(cache_bytes_limit_.load(std::memory_order_relaxed));
@@ -672,7 +675,7 @@ std::vector<uint8_t> ShardedRep::Serialize() const {
       // The per-shard fault mutex upholds ShardSource's contract
       // (FetchShard is never called concurrently for one shard) when
       // a serialize races a query faulting the same shard.
-      std::lock_guard<std::mutex> shard_lock(fault_mutexes_[i]);
+      MutexLock shard_lock(fault_mutexes_[i]);
       auto verified = VerifiedPayload(i, &fetched);
       if (!verified.ok()) return {};
       payload = verified.value();
@@ -692,7 +695,7 @@ std::vector<uint8_t> ShardedRep::SerializeV2() const {
     dir[i].node_count = entries_[i].nodes.size();
     if (!entries_[i].has_payload()) continue;
     std::vector<uint8_t> fetched;
-    std::lock_guard<std::mutex> shard_lock(fault_mutexes_[i]);
+    MutexLock shard_lock(fault_mutexes_[i]);
     auto verified = VerifiedPayload(i, &fetched);
     if (!verified.ok()) return {};
     ByteSpan payload = verified.value();
@@ -756,6 +759,7 @@ Result<Hypergraph> ShardedRep::Decompress() const {
   struct SequentialHint {
     ShardSource* source;
     ~SequentialHint() {
+      // Best effort: a failed madvise only costs readahead tuning.
       if (source != nullptr) (void)source->AdviseNormal();
     }
   } hint{nullptr};
@@ -946,7 +950,7 @@ Result<std::vector<std::vector<uint64_t>>> ShardedRep::OutNeighborsBatch(
       if (!groups[i].empty() && !ShardResident(i)) cold.push_back(i);
     }
     if (!cold.empty()) {
-      std::lock_guard<std::mutex> lock(prefetch_mutex_);
+      MutexLock lock(prefetch_mutex_);
       if (prefetcher_ != nullptr) prefetcher_->Enqueue(cold);
     }
   }
@@ -1086,7 +1090,7 @@ api::QueryStats ShardedRep::query_stats() const {
   // cannot tell an SSD-warm hit from a WAN fetch, but the sources can.
   if (source_ != nullptr) source_->AddStats(&stats);
   {
-    std::lock_guard<std::mutex> lock(cache_mutex_);
+    MutexLock lock(cache_mutex_);
     stats.cache_bytes_used = cache_bytes_used_ + result_bytes_used_;
   }
   // Aggregate the inner reps' memo-table counters (grepair inners

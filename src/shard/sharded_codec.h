@@ -82,7 +82,6 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -93,6 +92,7 @@
 #include "src/util/byte_io.h"
 #include "src/util/mmap_file.h"
 #include "src/util/status.h"
+#include "src/util/sync.h"
 
 namespace grepair {
 namespace shard {
@@ -428,10 +428,14 @@ class ShardedRep : public api::CompressedRep {
   // for the rep's lifetime.
   std::unique_ptr<api::GraphCodec> inner_codec_;  // null = eager rep
   std::shared_ptr<ShardSource> source_;
+  // lazy_slots_[i] is written only under fault_mutexes_[i]; a
+  // per-element capability is not expressible with GUARDED_BY (one
+  // mutex object per array slot), so the invariant is enforced by
+  // code review + the lock-free published pointer below.
   mutable std::vector<std::shared_ptr<api::CompressedRep>> lazy_slots_;
   mutable std::unique_ptr<std::atomic<const api::CompressedRep*>[]>
       lazy_published_;
-  mutable std::unique_ptr<std::mutex[]> fault_mutexes_;
+  mutable std::unique_ptr<Mutex[]> fault_mutexes_;
 
   /// Tier-1 node-result cache: merged, sorted answers of single
   /// queries keyed by (node, direction). Shares the byte budget with
@@ -443,28 +447,35 @@ class ShardedRep : public api::CompressedRep {
   };
 
   std::shared_ptr<const std::vector<uint64_t>> LookupResult(
-      uint64_t key) const;
+      uint64_t key) const GREPAIR_LOCKS_EXCLUDED(cache_mutex_);
   void StoreResult(uint64_t key,
-                   std::shared_ptr<const std::vector<uint64_t>> value) const;
+                   std::shared_ptr<const std::vector<uint64_t>> value) const
+      GREPAIR_LOCKS_EXCLUDED(cache_mutex_);
 
-  /// LRU eviction down to `target` bytes per tier; cache_mutex_ held.
-  void EvictShardsLocked(size_t target) const;
-  void EvictResultsLocked(size_t target) const;
+  /// LRU eviction down to `target` bytes per tier.
+  void EvictShardsLocked(size_t target) const
+      GREPAIR_REQUIRES(cache_mutex_);
+  void EvictResultsLocked(size_t target) const
+      GREPAIR_REQUIRES(cache_mutex_);
 
   // Cache state: one decoded-neighborhood slot per shard plus LRU
   // stamps, and the node-result LRU map, all guarded by cache_mutex_;
   // the pointed-to data is immutable, so readers only hold the lock
   // for the lookup.
-  mutable std::mutex cache_mutex_;
+  mutable Mutex cache_mutex_;
   mutable std::vector<std::shared_ptr<const ShardNeighborhoods>>
-      cache_slots_;
-  mutable std::vector<uint64_t> cache_last_use_;
-  mutable std::vector<uint32_t> cache_miss_credit_;
-  mutable uint64_t cache_tick_ = 0;
-  mutable size_t cache_bytes_used_ = 0;
-  mutable std::list<uint64_t> result_lru_;  // most recent first
-  mutable std::unordered_map<uint64_t, ResultEntry> results_;
-  mutable size_t result_bytes_used_ = 0;
+      cache_slots_ GREPAIR_GUARDED_BY(cache_mutex_);
+  mutable std::vector<uint64_t> cache_last_use_
+      GREPAIR_GUARDED_BY(cache_mutex_);
+  mutable std::vector<uint32_t> cache_miss_credit_
+      GREPAIR_GUARDED_BY(cache_mutex_);
+  mutable uint64_t cache_tick_ GREPAIR_GUARDED_BY(cache_mutex_) = 0;
+  mutable size_t cache_bytes_used_ GREPAIR_GUARDED_BY(cache_mutex_) = 0;
+  mutable std::list<uint64_t> result_lru_
+      GREPAIR_GUARDED_BY(cache_mutex_);  // most recent first
+  mutable std::unordered_map<uint64_t, ResultEntry> results_
+      GREPAIR_GUARDED_BY(cache_mutex_);
+  mutable size_t result_bytes_used_ GREPAIR_GUARDED_BY(cache_mutex_) = 0;
 
   mutable std::atomic<uint64_t> stat_singles_{0};
   mutable std::atomic<uint64_t> stat_batch_calls_{0};
@@ -480,8 +491,9 @@ class ShardedRep : public api::CompressedRep {
   // Prefetch pool; guarded by prefetch_mutex_ (knob retunes race with
   // batch enqueues). Declared last so workers are joined before the
   // state they touch is torn down.
-  mutable std::mutex prefetch_mutex_;
-  mutable std::unique_ptr<Prefetcher> prefetcher_;
+  mutable Mutex prefetch_mutex_;
+  mutable std::unique_ptr<Prefetcher> prefetcher_
+      GREPAIR_GUARDED_BY(prefetch_mutex_);
 };
 
 /// \brief The "sharded:<inner>" meta-codec.

@@ -201,6 +201,7 @@ class EliasFanoIndex {
       low_words_.assign((n_ * static_cast<size_t>(low_bits_) + 63) / 64, 0);
     }
     uint64_t prev = 0;
+    (void)prev;  // read only by the assert below (compiled out in NDEBUG)
     for (size_t i = 0; i < n_; ++i) {
       const uint64_t v = sorted[i];
       assert(v >= prev);

@@ -102,8 +102,8 @@ TEST_P(CodecRoundTrip, RejectsUnknownOption) {
 
 INSTANTIATE_TEST_SUITE_P(AllCodecs, CodecRoundTrip,
                          ::testing::ValuesIn(CodecRegistry::Names()),
-                         [](const auto& info) {
-                           std::string name = info.param;
+                         [](const auto& suite_info) {
+                           std::string name = suite_info.param;
                            std::replace(name.begin(), name.end(), '-', '_');
                            std::replace(name.begin(), name.end(), ':', '_');
                            return name;

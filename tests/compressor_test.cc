@@ -248,8 +248,8 @@ INSTANTIATE_TEST_SUITE_P(
         SweepParam{"games", NodeOrderKind::kFp, 5, true, false},
         SweepParam{"dblp", NodeOrderKind::kFp, 4, true, true},
         SweepParam{"dblp", NodeOrderKind::kRandom, 4, true, true}),
-    [](const auto& info) {
-      const SweepParam& p = info.param;
+    [](const auto& suite_info) {
+      const SweepParam& p = suite_info.param;
       std::string name = std::string(p.dataset) + "_" +
                          NodeOrderKindName(p.order) + "_r" +
                          std::to_string(p.max_rank);

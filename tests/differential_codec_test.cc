@@ -123,8 +123,8 @@ TEST_P(DifferentialRoundTrip, EveryDatasetRoundTripsExactly) {
 
 INSTANTIATE_TEST_SUITE_P(AllCodecs, DifferentialRoundTrip,
                          ::testing::ValuesIn(CodecRegistry::Names()),
-                         [](const auto& info) {
-                           std::string name = info.param;
+                         [](const auto& suite_info) {
+                           std::string name = suite_info.param;
                            std::replace(name.begin(), name.end(), '-', '_');
                            std::replace(name.begin(), name.end(), ':', '_');
                            return name;
@@ -175,8 +175,8 @@ TEST_P(ShardedAgreesWithInner, SameGraphBothStrategies) {
 
 INSTANTIATE_TEST_SUITE_P(BaseCodecs, ShardedAgreesWithInner,
                          ::testing::ValuesIn(CodecRegistry::BaseNames()),
-                         [](const auto& info) {
-                           std::string name = info.param;
+                         [](const auto& suite_info) {
+                           std::string name = suite_info.param;
                            std::replace(name.begin(), name.end(), '-', '_');
                            return name;
                          });
@@ -231,8 +231,8 @@ TEST_P(AdversarialIdSweep, OutOfRangeIdsRejectUniformly) {
 
 INSTANTIATE_TEST_SUITE_P(AllCodecs, AdversarialIdSweep,
                          ::testing::ValuesIn(CodecRegistry::Names()),
-                         [](const auto& info) {
-                           std::string name = info.param;
+                         [](const auto& suite_info) {
+                           std::string name = suite_info.param;
                            std::replace(name.begin(), name.end(), '-', '_');
                            std::replace(name.begin(), name.end(), ':', '_');
                            return name;

@@ -128,8 +128,8 @@ std::vector<FuzzParam> MakeFuzzParams() {
 
 INSTANTIATE_TEST_SUITE_P(Battery, FuzzRoundTrip,
                          ::testing::ValuesIn(MakeFuzzParams()),
-                         [](const auto& info) {
-                           const FuzzParam& p = info.param;
+                         [](const auto& suite_info) {
+                           const FuzzParam& p = suite_info.param;
                            return "n" + std::to_string(p.nodes) + "_e" +
                                   std::to_string(p.edges) + "_l" +
                                   std::to_string(p.labels);

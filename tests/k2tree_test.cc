@@ -121,11 +121,11 @@ INSTANTIATE_TEST_SUITE_P(
                       K2Param{3, 81, 81, 0.03}, K2Param{4, 256, 256, 0.01},
                       K2Param{2, 5, 5, 0.5},     // tiny and dense
                       K2Param{2, 1, 8, 0.5}),    // single row
-    [](const auto& info) {
-      return "k" + std::to_string(info.param.k) + "_" +
-             std::to_string(info.param.rows) + "x" +
-             std::to_string(info.param.cols) + "_d" +
-             std::to_string(static_cast<int>(info.param.density * 1000));
+    [](const auto& suite_info) {
+      return "k" + std::to_string(suite_info.param.k) + "_" +
+             std::to_string(suite_info.param.rows) + "x" +
+             std::to_string(suite_info.param.cols) + "_d" +
+             std::to_string(static_cast<int>(suite_info.param.density * 1000));
     });
 
 TEST(K2TreeTest, EmptyMatrix) {

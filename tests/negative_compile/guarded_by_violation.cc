@@ -1,0 +1,27 @@
+// Negative-compile TU: reads and writes a GREPAIR_GUARDED_BY field
+// without holding its mutex. Clang's thread-safety analysis MUST
+// reject this under -Werror=thread-safety; the configure-time harness
+// in cmake/ThreadSafetyChecks.cmake fails the build if it compiles.
+
+#include "src/util/sync.h"
+
+namespace {
+
+class Counter {
+ public:
+  // VIOLATION: value_ is guarded by mu_, which is not held here.
+  void Increment() { ++value_; }
+  int Get() { return value_; }
+
+ private:
+  grepair::Mutex mu_;
+  int value_ GREPAIR_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  return c.Get() == 1 ? 0 : 1;
+}

@@ -1,0 +1,28 @@
+// Negative-compile TU: calls a GREPAIR_REQUIRES(mu_) method without
+// holding mu_. Clang's thread-safety analysis MUST reject this under
+// -Werror=thread-safety; the configure-time harness in
+// cmake/ThreadSafetyChecks.cmake fails the build if it compiles.
+
+#include "src/util/sync.h"
+
+namespace {
+
+class Counter {
+ public:
+  // VIOLATION: IncrementLocked requires mu_, which is not held here.
+  void Increment() { IncrementLocked(); }
+
+ private:
+  void IncrementLocked() GREPAIR_REQUIRES(mu_) { ++value_; }
+
+  grepair::Mutex mu_;
+  int value_ GREPAIR_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Positive control for the thread-safety negative-compile harness
+// (cmake/ThreadSafetyChecks.cmake): the same access patterns as the
+// violation TUs, but correctly locked. This TU MUST compile under
+// -Werror=thread-safety; if it does not, the harness (include paths,
+// flags, sync.h itself) is broken and the violation checks prove
+// nothing.
+
+#include "src/util/sync.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() GREPAIR_LOCKS_EXCLUDED(mu_) {
+    grepair::MutexLock lock(mu_);
+    IncrementLocked();
+  }
+
+  int Get() GREPAIR_LOCKS_EXCLUDED(mu_) {
+    grepair::MutexLock lock(mu_);
+    return value_;
+  }
+
+ private:
+  void IncrementLocked() GREPAIR_REQUIRES(mu_) { ++value_; }
+
+  grepair::Mutex mu_;
+  int value_ GREPAIR_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  return c.Get() == 1 ? 0 : 1;
+}

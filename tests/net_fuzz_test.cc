@@ -1,15 +1,20 @@
-// Bounded-budget fuzzing of the two parsers a hostile network peer
-// can reach: the GRNF wire-frame parser and the GRSHARD2 directory
-// parser (the bytes a shard server ships at connect time). Seeds come
-// from golden-path encodings of real frames and containers (in the
-// style of tests/fuzz_roundtrip_test.cc); each iteration mutates a
-// seed (bit flips, truncations, extensions, splices) and asserts the
-// parsers either succeed or fail with a clean, non-empty Status —
-// never crash, hang, or over-read (the ASan/UBSan CI leg is the
-// memory-safety oracle). Budgets are fixed and small enough for ctest.
+// Bounded-budget fuzzing of the parsers a hostile network peer can
+// reach: the GRNF wire-frame parser and the GRSHARD2 directory parser
+// (the bytes a shard server ships at connect time), plus the
+// bit-stream/Elias decode differential. The invariant checks and the
+// golden seeds are shared with the coverage-guided libFuzzer targets
+// (fuzz/fuzz_checks.h, fuzz/golden_seeds.h), so this always-on ctest
+// battery and the long-running fuzzers can never drift apart; each
+// iteration mutates a seed (bit flips, truncations, extensions,
+// splices) and asserts the shared invariants — parsers either succeed
+// or fail with a clean, non-empty Status, never crash, hang, or
+// over-read (the ASan/UBSan CI leg is the memory-safety oracle).
+// Budgets are fixed and small enough for ctest.
 
 #include <gtest/gtest.h>
 
+#include "fuzz/fuzz_checks.h"
+#include "fuzz/golden_seeds.h"
 #include "src/api/grepair_api.h"
 #include "src/net/frame.h"
 #include "src/serve/stats.h"
@@ -56,82 +61,20 @@ std::vector<uint8_t> Mutate(const std::vector<uint8_t>& seed, Rng* rng) {
   return bytes;
 }
 
-// Every parse outcome must be clean: ok, or a non-empty corruption
-// message. (Crashes/overreads are caught by the sanitizer legs.)
+// The shared checks return nullptr when every invariant holds, or a
+// description of the first violation (see fuzz/fuzz_checks.h).
 void CheckFrameParse(ByteSpan bytes) {
-  size_t consumed = 0;
-  auto frame = net::DecodeFrame(bytes, &consumed);
-  if (frame.ok()) {
-    EXPECT_LE(consumed, bytes.size);
-    EXPECT_GE(frame.value().type, net::kGetDir);
-    EXPECT_LE(frame.value().type, net::kError2);
-    // The version byte always agrees with the type (a mismatch is
-    // rejected as corruption), and a decoded frame re-encodes to the
-    // exact bytes it came from.
-    EXPECT_EQ(frame.value().version,
-              net::FrameVersionForType(frame.value().type));
-    auto reencoded = net::EncodeFrameWithVersion(
-        frame.value().version, frame.value().type,
-        SpanOf(frame.value().body));
-    EXPECT_EQ(reencoded,
-              std::vector<uint8_t>(bytes.data, bytes.data + consumed));
-  } else {
-    EXPECT_EQ(frame.status().code(), StatusCode::kCorruption);
-    EXPECT_FALSE(frame.status().message().empty());
-  }
+  const char* violated = fuzz::CheckFrameParse(bytes);
+  EXPECT_TRUE(violated == nullptr) << violated;
 }
 
-// One golden frame per verb of both protocol generations, plus
-// empty-body edges.
-std::vector<std::vector<uint8_t>> GoldenFrameSeeds() {
-  std::vector<uint8_t> payload(300);
-  for (size_t i = 0; i < payload.size(); ++i) {
-    payload[i] = static_cast<uint8_t>(i * 7);
-  }
-  std::vector<uint8_t> hello;
-  PutU32LE(net::kProtoV2, &hello);
-  std::vector<uint8_t> hello_ok = hello;
-  PutU32LE(3, &hello_ok);
-  std::vector<uint8_t> open_corpus;
-  PutU64LE(42, &open_corpus);
-  open_corpus.push_back(3);
-  open_corpus.insert(open_corpus.end(), {'w', 'e', 'b'});
-  std::vector<uint8_t> corpus_dir;
-  PutU64LE(42, &corpus_dir);
-  PutU32LE(1, &corpus_dir);
-  PutU64LE(128, &corpus_dir);
-  corpus_dir.insert(corpus_dir.end(), payload.begin(), payload.end());
-  std::vector<uint8_t> get_shard2;
-  PutU64LE(43, &get_shard2);
-  PutU32LE(1, &get_shard2);
-  PutU32LE(2, &get_shard2);
-  std::vector<uint8_t> shard2 = get_shard2;
-  shard2.insert(shard2.end(), payload.begin(), payload.end());
-  std::vector<uint8_t> get_stats;
-  PutU64LE(44, &get_stats);
-  return {
-      net::EncodeFrame(net::kGetDir, ByteSpan{}),
-      net::EncodeFrame(net::kGetShard, ByteSpan(payload.data(), 4)),
-      net::EncodeFrame(net::kDir, SpanOf(payload)),
-      net::EncodeFrame(net::kShard, SpanOf(payload)),
-      net::EncodeFrame(net::kError,
-                       SpanOf(net::EncodeErrorBody(
-                           Status::InvalidArgument("seed error")))),
-      net::EncodeFrame(net::kHello, SpanOf(hello)),
-      net::EncodeFrame(net::kHelloOk, SpanOf(hello_ok)),
-      net::EncodeFrame(net::kOpenCorpus, SpanOf(open_corpus)),
-      net::EncodeFrame(net::kCorpusDir, SpanOf(corpus_dir)),
-      net::EncodeFrame(net::kGetShard2, SpanOf(get_shard2)),
-      net::EncodeFrame(net::kShard2, SpanOf(shard2)),
-      net::EncodeFrame(net::kGetStats, SpanOf(get_stats)),
-      net::EncodeFrame(net::kError2,
-                       SpanOf(net::EncodeErrorBody2(
-                           99, Status::NotFound("seed error 2")))),
-  };
+void CheckDirectoryParse(ByteSpan dir, uint64_t dir_off) {
+  const char* violated = fuzz::CheckDirectoryParse(dir, dir_off);
+  EXPECT_TRUE(violated == nullptr) << violated;
 }
 
 TEST(NetFuzzTest, FrameParserSurvivesMutation) {
-  std::vector<std::vector<uint8_t>> seeds = GoldenFrameSeeds();
+  std::vector<std::vector<uint8_t>> seeds = fuzz::GoldenFrameSeeds();
   // Golden path first: every seed decodes to itself.
   for (const auto& seed : seeds) {
     size_t consumed = 0;
@@ -238,42 +181,8 @@ TEST(NetFuzzTest, StatsBodyDecoderSurvivesMutation) {
   }
 }
 
-// A small real container whose directory region seeds the fuzzer.
-std::vector<uint8_t> GoldenContainer() {
-  GeneratedGraph gg = BarabasiAlbert(50, 3, 61);
-  auto codec = api::CodecRegistry::Create("sharded:grepair").ValueOrDie();
-  api::CodecOptions options;
-  options.Set("shards", "3");
-  auto rep = codec->Compress(gg.graph, gg.alphabet, options);
-  EXPECT_TRUE(rep.ok()) << rep.status().ToString();
-  return dynamic_cast<shard::ShardedRep*>(rep.value().get())->SerializeV2();
-}
-
-void CheckDirectoryParse(ByteSpan dir, uint64_t dir_off) {
-  auto parsed = shard::ParseV2Directory(dir, dir_off);
-  if (!parsed.ok()) {
-    EXPECT_EQ(parsed.status().code(), StatusCode::kCorruption);
-    EXPECT_FALSE(parsed.status().message().empty());
-    return;
-  }
-  // A successful parse must uphold the invariants queries rely on.
-  const shard::ParsedDirectory& d = parsed.value();
-  ASSERT_EQ(d.rows.size(), d.node_maps.size());
-  for (size_t i = 0; i < d.rows.size(); ++i) {
-    EXPECT_EQ(d.rows[i].node_count, d.node_maps[i].size());
-    for (size_t k = 0; k < d.node_maps[i].size(); ++k) {
-      EXPECT_LT(d.node_maps[i][k], d.num_nodes);
-      if (k > 0) EXPECT_LT(d.node_maps[i][k - 1], d.node_maps[i][k]);
-    }
-    if (d.rows[i].length > 0) {
-      EXPECT_GE(d.rows[i].offset, 8u);
-      EXPECT_LE(d.rows[i].offset + d.rows[i].length, dir_off);
-    }
-  }
-}
-
 TEST(NetFuzzTest, DirectoryParserSurvivesMutation) {
-  auto container = GoldenContainer();
+  auto container = fuzz::GoldenContainerBytes(50, 3, 61);
   uint64_t dir_off = 0;
   auto region = shard::LocateV2DirectoryRegion(SpanOf(container), &dir_off);
   ASSERT_TRUE(region.ok()) << region.status().ToString();
@@ -309,7 +218,7 @@ TEST(NetFuzzTest, DirectoryParserSurvivesMutation) {
 }
 
 TEST(NetFuzzTest, WholeContainerMutationStaysFailClosed) {
-  auto container = GoldenContainer();
+  auto container = fuzz::GoldenContainerBytes(50, 3, 61);
   Rng rng(0xC0FFEE11);
   for (int iter = 0; iter < 800; ++iter) {
     auto mutated = Mutate(container, &rng);
@@ -321,6 +230,38 @@ TEST(NetFuzzTest, WholeContainerMutationStaysFailClosed) {
     if (!rep.ok()) {
       EXPECT_FALSE(rep.status().message().empty());
     }
+  }
+}
+
+TEST(NetFuzzTest, EliasDifferentialSurvivesMutation) {
+  // The fuzzer-shared differential: the word-at-a-time bit-stream and
+  // Elias decoders must agree with their scalar oracles — values,
+  // statuses and cursor positions — on every input, valid or corrupt
+  // (fuzz/elias_stream_fuzzer.cc runs the same check coverage-guided).
+  BitWriter w;
+  for (uint64_t v = 1; v <= 200; ++v) EliasDeltaEncode(v, &w);
+  for (int s = 0; s < 64; ++s) EliasGammaEncode(1ull << s, &w);
+  const std::vector<uint8_t> seed = w.TakeBytes();
+
+  const char* golden = fuzz::CheckEliasDifferential(seed.data(), seed.size());
+  EXPECT_TRUE(golden == nullptr) << golden;
+
+  Rng rng(0xD1FFD1FF);
+  for (int iter = 0; iter < 1500; ++iter) {
+    auto mutated = Mutate(seed, &rng);
+    const char* violated =
+        fuzz::CheckEliasDifferential(mutated.data(), mutated.size());
+    EXPECT_TRUE(violated == nullptr) << violated;
+  }
+  // Pure noise, including the empty buffer.
+  for (int iter = 0; iter < 500; ++iter) {
+    std::vector<uint8_t> noise(rng.UniformBounded(48));
+    for (auto& b : noise) {
+      b = static_cast<uint8_t>(rng.UniformBounded(256));
+    }
+    const char* violated =
+        fuzz::CheckEliasDifferential(noise.data(), noise.size());
+    EXPECT_TRUE(violated == nullptr) << violated;
   }
 }
 

@@ -130,7 +130,7 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(NodeOrderKind::kNatural, NodeOrderKind::kBfs,
                       NodeOrderKind::kDfs, NodeOrderKind::kRandom,
                       NodeOrderKind::kFp0, NodeOrderKind::kFp),
-    [](const auto& info) { return NodeOrderKindName(info.param); });
+    [](const auto& suite_info) { return NodeOrderKindName(suite_info.param); });
 
 TEST(NodeOrderTest, Fp0SortsByDegree) {
   Hypergraph g(4);

@@ -161,7 +161,7 @@ INSTANTIATE_TEST_SUITE_P(
                       QueryCase{"a_plus_b", &MakeAPlusB},
                       QueryCase{"alt_star", &MakeAltStar},
                       QueryCase{"any_any_a", &MakeAnyAnyA}),
-    [](const auto& info) { return std::string(info.param.name); });
+    [](const auto& suite_info) { return std::string(suite_info.param.name); });
 
 TEST(PathQueryTest, VersionGraphLabeledPaths) {
   // Game positions: labeled edges within repeated components.

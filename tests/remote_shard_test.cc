@@ -257,7 +257,7 @@ TEST(RemoteShardTest, ApiOpenRemoteEntryPoint) {
   ServedContainer served = ServeCompressed("grepair", gg, 2);
   // Both the bare "host:port" form (sole corpus) and the explicit
   // "host:port/name" form resolve.
-  for (const std::string target :
+  for (const std::string& target :
        {served.host_port(), served.host_port() + "/g"}) {
     SCOPED_TRACE("target " + target);
     auto rep = api::OpenRemote(target);

@@ -94,8 +94,8 @@ INSTANTIATE_TEST_SUITE_P(
                       SweepCase{"copies", 4, true},
                       SweepCase{"copies", 2, true},
                       SweepCase{"games", 4, true}),
-    [](const auto& info) {
-      const SweepCase& c = info.param;
+    [](const auto& suite_info) {
+      const SweepCase& c = suite_info.param;
       std::string name = std::string(c.dataset) + "_r" +
                          std::to_string(c.max_rank) +
                          (c.prune ? "_prune" : "_noprune");

@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Cached clang-tidy over the whole tree (src/ tools/ tests/ bench/
+# fuzz/), using the .clang-tidy at the repo root with
+# warnings-as-errors. A file is re-checked only when the hash of its
+# contents + the tidy config + the tidy version changes, so a warm run
+# on an unchanged tree is pure cache lookups — this is what keeps the
+# CI static-analysis leg under a few minutes and a local pre-commit
+# run near-instant.
+#
+# Usage: tools/run_clang_tidy_cached.sh [build_dir] [jobs]
+#   build_dir: a configured CMake build tree with
+#              CMAKE_EXPORT_COMPILE_COMMANDS=ON (default: build)
+#   jobs:      parallel tidy processes (default: nproc)
+#
+# Cache: .cache/clang-tidy/ under the repo root (override with
+# GREPAIR_TIDY_CACHE_DIR), one empty marker file per clean hash.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+JOBS="${2:-$(nproc)}"
+TIDY="${CLANG_TIDY:-clang-tidy}"
+CACHE_DIR="${GREPAIR_TIDY_CACHE_DIR:-.cache/clang-tidy}"
+
+if ! command -v "$TIDY" > /dev/null; then
+  echo "error: $TIDY not found (set CLANG_TIDY or install clang-tidy)" >&2
+  exit 1
+fi
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "error: $BUILD_DIR/compile_commands.json missing — configure with" >&2
+  echo "  cmake -B $BUILD_DIR -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
+  exit 1
+fi
+
+mkdir -p "$CACHE_DIR"
+# Any config or tool change invalidates the whole cache.
+CONFIG_HASH=$("$TIDY" --version 2>/dev/null | cat - .clang-tidy | sha256sum |
+  cut -c1-16)
+
+# Only first-party TUs; gtest/benchmark TUs from FetchContent never
+# appear because we list files from git, not from compile_commands.
+# tests/negative_compile/ is excluded: those TUs are REQUIRED to fail
+# compilation (cmake/ThreadSafetyChecks.cmake) and are in no target,
+# so they have no compile command for tidy to use.
+mapfile -t FILES < <(git ls-files 'src/*.cc' 'tools/*.cc' 'tests/*.cc' \
+  'bench/*.cc' 'fuzz/*.cc' ':!tests/negative_compile')
+
+run_one() {
+  file="$1"
+  hash=$(sha256sum "$file" | cut -c1-16)
+  marker="$CACHE_DIR/${CONFIG_HASH}-${hash}-$(basename "$file")"
+  if [ -e "$marker" ]; then
+    return 0
+  fi
+  if out=$("$TIDY" -p "$BUILD_DIR" --quiet "$file" 2>&1); then
+    touch "$marker"
+    return 0
+  fi
+  printf '== %s ==\n%s\n' "$file" "$out"
+  return 1
+}
+export -f run_one
+export BUILD_DIR TIDY CACHE_DIR CONFIG_HASH
+
+echo "clang-tidy over ${#FILES[@]} files ($JOBS jobs, cache $CACHE_DIR)"
+if ! printf '%s\n' "${FILES[@]}" |
+  xargs -P "$JOBS" -I{} bash -c 'run_one "$@"' _ {}; then
+  echo "clang-tidy found issues (see above)" >&2
+  exit 1
+fi
+echo "clang-tidy clean"
