@@ -13,6 +13,8 @@
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "src/api/grepair_api.h"
 #include "src/datasets/paper_datasets.h"
@@ -126,6 +128,65 @@ inline double RunHn(const GeneratedGraph& gg) {
 inline double RunAdjRePair(const GeneratedGraph& gg) {
   return RunCodec("repair-adj", gg).bpe;
 }
+
+/// \brief Flat key→value metrics sink for `--json <out>`: CI uploads
+/// the file as a build artifact (BENCH_*.json) so runs are diffable
+/// across commits. Insertion order is preserved; values are numbers or
+/// strings only — benches emit scalars, not structure.
+class JsonWriter {
+ public:
+  void Add(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", value);
+    rows_.emplace_back(key, buf);
+  }
+  void Add(const std::string& key, uint64_t value) {
+    rows_.emplace_back(key, std::to_string(value));
+  }
+  void Add(const std::string& key, int value) {
+    rows_.emplace_back(key, std::to_string(value));
+  }
+  void Add(const std::string& key, const std::string& value) {
+    rows_.emplace_back(key, "\"" + Escaped(value) + "\"");
+  }
+
+  /// Writes `{ "k": v, ... }`; false (with a stderr note) on IO error.
+  bool WriteTo(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n");
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      std::fprintf(f, "  \"%s\": %s%s\n", Escaped(rows_[i].first).c_str(),
+                   rows_[i].second.c_str(),
+                   i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "}\n");
+    bool ok = std::fclose(f) == 0;
+    if (!ok) std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return ok;
+  }
+
+ private:
+  static std::string Escaped(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (static_cast<unsigned char>(c) < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof buf, "\\u%04x", c);
+        out += buf;
+        continue;
+      }
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::vector<std::pair<std::string, std::string>> rows_;
+};
 
 inline void PrintHeader(const std::string& title) {
   std::printf("\n== %s ==\n", title.c_str());

@@ -3,7 +3,7 @@
 // dblp container.
 //
 //   decode_throughput [--size N] [--shards K] [--iters I]
-//                     [--min-speedup X] [--dir PATH]
+//                     [--min-speedup X] [--dir PATH] [--json OUT]
 //
 // For each container codec, builds a GRSHARD2 container over the same
 // dblp graph, slices the per-shard payload spans out of its footer
@@ -53,7 +53,8 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: decode_throughput [--size N] [--shards K] [--iters I]\n"
-               "                         [--min-speedup X] [--dir PATH]\n");
+               "                         [--min-speedup X] [--dir PATH]\n"
+               "                         [--json OUT]\n");
   return 2;
 }
 
@@ -202,6 +203,7 @@ int main(int argc, char** argv) {
   int iters = 30;
   double min_speedup = 2.0;
   std::string dir = "/tmp";
+  std::string json_path;
   char* end = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--size") == 0 && i + 1 < argc) {
@@ -228,6 +230,8 @@ int main(int argc, char** argv) {
       min_speedup = v;
     } else if (std::strcmp(argv[i], "--dir") == 0 && i + 1 < argc) {
       dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
     } else {
       return Usage();
     }
@@ -283,6 +287,21 @@ int main(int argc, char** argv) {
   double speedup = k2_fast / k2_scalar;
   std::printf("decode speedup (fast vs scalar, sharded:k2): %.2fx "
               "(gate >= %.1fx)\n", speedup, min_speedup);
+  if (!json_path.empty()) {
+    bench::JsonWriter json;
+    json.Add("bench", std::string("decode_throughput"));
+    json.Add("dataset", gg.name);
+    json.Add("shards", shards);
+    json.Add("iters", iters);
+    json.Add("k2_scalar_edges_per_sec", k2_scalar);
+    json.Add("k2_fast_edges_per_sec", k2_fast);
+    json.Add("k2_speedup", speedup);
+    json.Add("grepair_scalar_edges_per_sec", gr_scalar);
+    json.Add("grepair_fast_edges_per_sec", gr_fast);
+    json.Add("grepair_speedup", gr_scalar > 0 ? gr_fast / gr_scalar : 0.0);
+    json.Add("min_speedup", min_speedup);
+    if (!json.WriteTo(json_path)) return 1;
+  }
   if (min_speedup == 0.0) {
     std::printf("PASS (gate waived)\n");
     return 0;

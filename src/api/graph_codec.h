@@ -119,6 +119,13 @@ struct QueryStats {
   uint64_t tier_cold_fetches = 0;   ///< shards faulted through to inner
   uint64_t tier_evictions = 0;      ///< cache files evicted by the budget
   uint64_t tier_corrupt_drops = 0;  ///< cache files failing verification
+  // Placement / batched-I/O counters (serve::PlacementController,
+  // util::IoEngine). shards_pinned / pinned_bytes are the *current*
+  // placement (like cache_bytes_used), not cumulative totals.
+  uint64_t shards_pinned = 0;     ///< shards under the pin budget now
+  uint64_t pinned_bytes = 0;      ///< payload bytes under the pin budget
+  uint64_t uring_batches = 0;     ///< io_uring submission rounds issued
+  uint64_t affinity_switches = 0; ///< shard fetches served off-affinity
 };
 
 /// \brief Uniform out-of-range check for query entry points: every

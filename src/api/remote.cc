@@ -12,6 +12,9 @@ Result<std::unique_ptr<CompressedRep>> OpenRemote(
   open.pool_size = options.pool_size;
   open.ssd_cache_dir = options.ssd_cache_dir;
   open.ssd_cache_bytes = options.ssd_cache_bytes;
+  open.replicas = options.replicas;
+  open.pin_bytes = options.pin_bytes;
+  open.warm_from_histogram = options.warm_from_histogram;
   return serve::OpenRemoteContainer(target, open);
 }
 

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/api/graph_codec.h"
 #include "src/util/status.h"
@@ -41,6 +42,15 @@ struct RemoteOptions {
   std::string ssd_cache_dir;
   /// Byte budget of the SSD cache.
   uint64_t ssd_cache_bytes = 256ull << 20;
+  /// Additional "host:port" replicas serving the same corpus; shard
+  /// fetches are routed shard-id-mod-N with failover (the affinity
+  /// layer, see src/serve/pool.h).
+  std::vector<std::string> replicas;
+  /// Client-side pin budget (ShardedRep::ApplyPlacement); 0 = off.
+  uint64_t pin_bytes = 0;
+  /// Warm the tier and prefetch hot shards at open time from the best
+  /// available histogram (persisted sidecar or a fresh STATS call).
+  bool warm_from_histogram = true;
 };
 
 /// \brief Opens the GRSHARD2 corpus served at "host:port[/corpus]".

@@ -1,0 +1,201 @@
+#include "src/serve/placement.h"
+
+#include <algorithm>
+
+#include "src/util/byte_io.h"
+#include "src/util/hashing.h"
+#include "src/util/mmap_file.h"
+
+namespace grepair {
+namespace serve {
+
+namespace {
+
+// Sidecar envelope ("GRDC"):
+//   u32 magic   u32 version   u64 dir_off
+//   u32 len     len raw directory bytes
+//   v2 only: u64 histogram_epoch  u32 shard_count  u64 x count hits
+//   u64 HashBytes over everything above
+constexpr uint32_t kDirSidecarMagic = 0x43445247;  // "GRDC"
+constexpr uint32_t kDirSidecarV1 = 1;
+constexpr uint32_t kDirSidecarV2 = 2;
+
+// Histograms come off disk: bound the allocation-driving count by the
+// wire's own size (8 bytes per slot) like every other untrusted
+// parser in the tree. A GRSHARD2 directory tops out at kMaxShards+1
+// anyway, so honest files never get near a suspicious count.
+constexpr uint32_t kMaxSidecarShards = 1u << 20;
+
+}  // namespace
+
+std::vector<size_t> RankByHeat(const std::vector<uint64_t>& histogram) {
+  std::vector<size_t> ranked;
+  ranked.reserve(histogram.size());
+  for (size_t i = 0; i < histogram.size(); ++i) {
+    if (histogram[i] > 0) ranked.push_back(i);
+  }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [&histogram](size_t a, size_t b) {
+                     if (histogram[a] != histogram[b]) {
+                       return histogram[a] > histogram[b];
+                     }
+                     return a < b;
+                   });
+  return ranked;
+}
+
+std::string DirSidecarPath(const std::string& cache_dir,
+                           const std::string& corpus) {
+  return cache_dir + "/" + (corpus.empty() ? "_default" : corpus) +
+         ".grdir";
+}
+
+void SaveDirSidecar(const std::string& path, const DirSidecar& sidecar) {
+  std::vector<uint8_t> body;
+  body.reserve(32 + sidecar.raw_directory.size() +
+               8 * sidecar.histogram.size());
+  PutU32LE(kDirSidecarMagic, &body);
+  PutU32LE(kDirSidecarV2, &body);
+  PutU64LE(sidecar.dir_off, &body);
+  PutU32LE(static_cast<uint32_t>(sidecar.raw_directory.size()), &body);
+  body.insert(body.end(), sidecar.raw_directory.begin(),
+              sidecar.raw_directory.end());
+  PutU64LE(sidecar.histogram_epoch, &body);
+  PutU32LE(static_cast<uint32_t>(sidecar.histogram.size()), &body);
+  for (uint64_t hits : sidecar.histogram) PutU64LE(hits, &body);
+  PutU64LE(HashBytes(body.data(), body.size()), &body);
+  // Best effort: a failed write only costs a feature, never an answer.
+  Status ignored = WriteFileBytes(path, body);
+  (void)ignored;
+}
+
+Result<DirSidecar> LoadDirSidecar(const std::string& path) {
+  auto bytes = ReadFileBytes(path);
+  if (!bytes.ok()) return bytes.status();
+  const std::vector<uint8_t>& body = bytes.value();
+  if (body.size() < 28) {
+    return Status::Corruption("directory sidecar " + path +
+                              " is truncated");
+  }
+  uint64_t stored = 0;
+  for (int i = 0; i < 8; ++i) {
+    stored |= static_cast<uint64_t>(body[body.size() - 8 + i]) << (8 * i);
+  }
+  if (HashBytes(body.data(), body.size() - 8) != stored) {
+    return Status::Corruption("directory sidecar " + path +
+                              " fails its checksum");
+  }
+  ByteSource src(ByteSpan{body.data(), body.size() - 8},
+                 "directory sidecar");
+  uint32_t magic = 0, version = 0, len = 0;
+  DirSidecar sidecar;
+  GREPAIR_RETURN_IF_ERROR(src.ReadU32LE(&magic));
+  GREPAIR_RETURN_IF_ERROR(src.ReadU32LE(&version));
+  GREPAIR_RETURN_IF_ERROR(src.ReadU64LE(&sidecar.dir_off));
+  GREPAIR_RETURN_IF_ERROR(src.ReadU32LE(&len));
+  if (magic != kDirSidecarMagic ||
+      (version != kDirSidecarV1 && version != kDirSidecarV2)) {
+    return Status::Corruption("directory sidecar " + path +
+                              " has a bad magic or version");
+  }
+  ByteSpan raw;
+  GREPAIR_RETURN_IF_ERROR(src.ReadSpan(len, &raw));
+  sidecar.raw_directory.assign(raw.begin(), raw.end());
+  if (version == kDirSidecarV2) {
+    uint32_t count = 0;
+    GREPAIR_RETURN_IF_ERROR(src.ReadU64LE(&sidecar.histogram_epoch));
+    GREPAIR_RETURN_IF_ERROR(src.ReadU32LE(&count));
+    if (count > kMaxSidecarShards ||
+        src.PeekRemaining().size < static_cast<size_t>(count) * 8) {
+      return Status::Corruption("directory sidecar " + path +
+                                " histogram count disagrees with the file");
+    }
+    sidecar.histogram.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      uint64_t hits = 0;
+      GREPAIR_RETURN_IF_ERROR(src.ReadU64LE(&hits));
+      sidecar.histogram.push_back(hits);
+    }
+  }
+  GREPAIR_RETURN_IF_ERROR(src.ExpectExhausted("directory sidecar"));
+  return sidecar;
+}
+
+void PlacementController::Refresh(const CorpusRegistry& registry) {
+  // Gather every hot candidate across corpora. The registry is frozen
+  // (spans and rows immutable), the histograms are atomics — no lock
+  // needed to read.
+  struct Candidate {
+    uint64_t heat;
+    uint32_t corpus;
+    uint32_t shard;
+    uint64_t length;
+  };
+  std::vector<Candidate> candidates;
+  for (size_t c = 0; c < registry.size(); ++c) {
+    const Corpus& corpus = registry.at(c);
+    for (size_t s = 0; s < corpus.rows.size(); ++s) {
+      uint64_t heat =
+          corpus.shard_hits[s].load(std::memory_order_relaxed);
+      uint64_t length = corpus.rows[s].length;
+      if (heat == 0 || length == 0) continue;
+      candidates.push_back({heat, static_cast<uint32_t>(c),
+                            static_cast<uint32_t>(s), length});
+    }
+  }
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const Candidate& a, const Candidate& b) {
+                     if (a.heat != b.heat) return a.heat > b.heat;
+                     if (a.corpus != b.corpus) return a.corpus < b.corpus;
+                     return a.shard < b.shard;
+                   });
+  // Greedy fill hot-first: a shard that overflows the remaining budget
+  // is skipped, not a stopper, so small hot shards behind a big
+  // lukewarm one still make the cut.
+  std::set<uint64_t> want;
+  uint64_t planned_bytes = 0;
+  uint64_t planned_shards = 0;
+  for (const Candidate& cand : candidates) {
+    if (planned_bytes + cand.length > budget_bytes_) continue;
+    want.insert((static_cast<uint64_t>(cand.corpus) << 32) | cand.shard);
+    planned_bytes += cand.length;
+    ++planned_shards;
+  }
+  MutexLock lock(mu_);
+  // Unpin fallen-out shards first so the transient locked footprint
+  // never exceeds the budget, then pin the newcomers.
+  for (auto it = pinned_.begin(); it != pinned_.end();) {
+    if (want.count(*it)) {
+      ++it;
+      continue;
+    }
+    uint32_t c = static_cast<uint32_t>(*it >> 32);
+    uint32_t s = static_cast<uint32_t>(*it & 0xffffffffu);
+    if (c < registry.size()) {
+      const Corpus& corpus = registry.at(c);
+      if (s < corpus.rows.size()) {
+        (void)UnpinBytes(corpus.payload.subspan(corpus.rows[s].offset,
+                                                corpus.rows[s].length));
+        corpus.shard_pinned[s].store(0, std::memory_order_relaxed);
+      }
+    }
+    it = pinned_.erase(it);
+  }
+  for (uint64_t key : want) {
+    if (pinned_.count(key)) continue;
+    uint32_t c = static_cast<uint32_t>(key >> 32);
+    uint32_t s = static_cast<uint32_t>(key & 0xffffffffu);
+    const Corpus& corpus = registry.at(c);
+    // mlock is best-effort; the flag and the accounting record the
+    // placement decision either way (see the header's coverage note).
+    (void)PinBytes(corpus.payload.subspan(corpus.rows[s].offset,
+                                          corpus.rows[s].length));
+    corpus.shard_pinned[s].store(1, std::memory_order_relaxed);
+    pinned_.insert(key);
+  }
+  shards_pinned_.store(planned_shards, std::memory_order_relaxed);
+  pinned_bytes_.store(planned_bytes, std::memory_order_relaxed);
+}
+
+}  // namespace serve
+}  // namespace grepair

@@ -1,0 +1,120 @@
+// Histogram-driven shard placement: turning the per-shard hit
+// histograms the STATS verb already collects into residency decisions.
+//
+// Two consumers share this header:
+//
+//  * Server side — PlacementController watches a frozen CorpusRegistry
+//    and keeps the hottest shard payloads pinned (mlock, best-effort)
+//    under a byte budget. Ranking is deterministic (heat descending,
+//    then corpus/shard id ascending), so an unchanged histogram makes
+//    Refresh a no-op and tests can predict the placement exactly.
+//
+//  * Client side — the `.grdir` sidecar the SSD tier writes next to
+//    its cache gains the histogram (DirSidecar, format v2): a client
+//    that reopens a corpus knows which shards were hot *before* it
+//    issues the first query, so OpenRemoteContainer can warm the tier
+//    and prefetch hot shards at open time instead of rediscovering
+//    the working set one cold fault at a time. v1 sidecars (directory
+//    only) still load; their histogram is simply empty.
+//
+// The "pinned" accounting everywhere in this layer is placement
+// *coverage* — which shards the budget selected — not an mlock
+// guarantee: RLIMIT_MEMLOCK is tight in containers, so the lock
+// syscalls are best-effort while the decision stays deterministic.
+
+#ifndef GREPAIR_SERVE_PLACEMENT_H_
+#define GREPAIR_SERVE_PLACEMENT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/serve/registry.h"
+#include "src/util/status.h"
+#include "src/util/sync.h"
+
+namespace grepair {
+namespace serve {
+
+/// \brief Shard ids ordered by heat: hits descending, id ascending as
+/// the tie-break, shards with zero hits omitted. The one ranking both
+/// the server-side controller and the client-side open-time warmer
+/// use, so their notions of "hot" agree.
+std::vector<size_t> RankByHeat(const std::vector<uint64_t>& histogram);
+
+/// \brief A persisted corpus directory plus the hit histogram that was
+/// current when it was saved — the `.grdir` sidecar's contents.
+struct DirSidecar {
+  uint64_t dir_off = 0;                ///< directory offset in container
+  std::vector<uint8_t> raw_directory;  ///< raw v2 directory bytes
+  uint64_t histogram_epoch = 0;  ///< server's corpus request counter at
+                                 ///< save time (0 = no histogram yet)
+  std::vector<uint64_t> histogram;  ///< per-shard hits at save time
+};
+
+/// \brief Sidecar path for `corpus` inside `cache_dir` (the empty
+/// corpus name maps to "_default", mirroring the tier's layout).
+std::string DirSidecarPath(const std::string& cache_dir,
+                           const std::string& corpus);
+
+/// \brief Writes the sidecar (format v2: directory + histogram,
+/// checksummed). Best-effort — a failed write only costs the
+/// offline-open and open-time-warming features.
+void SaveDirSidecar(const std::string& path, const DirSidecar& sidecar);
+
+/// \brief Loads and verifies a sidecar. Understands both format v1
+/// (directory only; histogram comes back empty with epoch 0) and v2.
+/// kCorruption on checksum/layout damage — a tampered sidecar fails
+/// closed. The raw directory still needs ParseV2Directory; the loader
+/// only peels the envelope.
+Result<DirSidecar> LoadDirSidecar(const std::string& path);
+
+/// \brief Server-side placement engine: ranks every (corpus, shard)
+/// pair by its hit count, greedily fills the byte budget hot-first,
+/// and pins/unpins registry payload spans to match. Also maintains
+/// each Corpus' shard_pinned flags so the STATS verb can report the
+/// placement to clients.
+///
+/// Thread-safe: connection threads may call Refresh concurrently with
+/// each other and with stats readers (the registry is frozen, the
+/// histograms are atomics, and the pin set is under a mutex).
+class PlacementController {
+ public:
+  /// \brief `budget_bytes` caps the summed payload length of pinned
+  /// shards. 0 disables pinning (Refresh only clears leftovers).
+  explicit PlacementController(uint64_t budget_bytes)
+      : budget_bytes_(budget_bytes) {}
+
+  ~PlacementController() = default;
+  PlacementController(const PlacementController&) = delete;
+  PlacementController& operator=(const PlacementController&) = delete;
+
+  /// \brief Re-ranks from the registry's current histograms and
+  /// adjusts the pinned set. Idempotent for an unchanged histogram.
+  void Refresh(const CorpusRegistry& registry)
+      GREPAIR_LOCKS_EXCLUDED(mu_);
+
+  /// \brief Current placement size (shards / payload bytes covered by
+  /// the budget). Snapshot-safe without the mutex.
+  uint64_t shards_pinned() const {
+    return shards_pinned_.load(std::memory_order_relaxed);
+  }
+  uint64_t pinned_bytes() const {
+    return pinned_bytes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const uint64_t budget_bytes_;
+  Mutex mu_;
+  /// Pinned (corpus << 32 | shard) keys, the diff base for Refresh.
+  std::set<uint64_t> pinned_ GREPAIR_GUARDED_BY(mu_);
+  std::atomic<uint64_t> shards_pinned_{0};
+  std::atomic<uint64_t> pinned_bytes_{0};
+};
+
+}  // namespace serve
+}  // namespace grepair
+
+#endif  // GREPAIR_SERVE_PLACEMENT_H_

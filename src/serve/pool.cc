@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/serve/placement.h"
 #include "src/serve/registry.h"
+#include "src/serve/stats.h"
 #include "src/serve/tiered.h"
 #include "src/util/hashing.h"
 #include "src/util/mmap_file.h"
@@ -527,67 +529,63 @@ class OfflineShardSource : public shard::ShardSource {
   std::string peer_;
 };
 
-// Sidecar file persisting a corpus directory next to the SSD shard
-// tier, so a warm cache stays openable after the server is gone:
-//   u32 magic "GRDC"   u32 version   u64 dir_off
-//   u32 len            len raw directory bytes
-//   u64 HashBytes over everything above
-// The payload re-runs through the hardened ParseV2Directory on load,
-// and the per-shard checksums it carries gate every cached payload —
-// a stale or tampered sidecar fails closed, never answers wrong.
-constexpr uint32_t kDirCacheMagic = 0x43445247;  // "GRDC"
-constexpr uint32_t kDirCacheVersion = 1;
+// Affinity router over N replicas serving the same corpus. Shard s
+// lives on replica s % N — a stable mapping, so each replica's page
+// cache (and SSD tier, server-side) sees a disjoint working set
+// instead of every replica faulting everything. An unreachable home
+// replica fails over to the next in ring order; every shard served
+// off its home replica counts one affinity switch.
+class ReplicaShardSource : public shard::ShardSource {
+ public:
+  explicit ReplicaShardSource(
+      std::vector<std::shared_ptr<RemoteShardSource>> replicas)
+      : replicas_(std::move(replicas)) {}
 
-std::string DirCachePath(const std::string& cache_dir,
-                         const std::string& corpus) {
-  return cache_dir + "/" + (corpus.empty() ? "_default" : corpus) + ".grdir";
-}
+  const char* kind() const override { return "replica-affinity"; }
 
-void SaveDirCache(const std::string& path, uint64_t dir_off, ByteSpan raw) {
-  std::vector<uint8_t> body;
-  body.reserve(20 + raw.size);
-  PutU32LE(kDirCacheMagic, &body);
-  PutU32LE(kDirCacheVersion, &body);
-  PutU64LE(dir_off, &body);
-  PutU32LE(static_cast<uint32_t>(raw.size), &body);
-  body.insert(body.end(), raw.begin(), raw.end());
-  PutU64LE(HashBytes(body.data(), body.size()), &body);
-  // Best effort: a failed write only costs the offline-open feature.
-  Status ignored = WriteFileBytes(path, body);
-  (void)ignored;
-}
+  Result<ByteSpan> FetchShard(size_t shard,
+                              std::vector<uint8_t>* owned) override {
+    size_t home = shard % replicas_.size();
+    Status last = Status::OK();
+    for (size_t hop = 0; hop < replicas_.size(); ++hop) {
+      size_t pick = (home + hop) % replicas_.size();
+      auto fetched = replicas_[pick]->FetchShard(shard, owned);
+      if (fetched.ok()) {
+        if (hop > 0) {
+          stat_switches_.fetch_add(1, std::memory_order_relaxed);
+        }
+        return fetched;
+      }
+      last = fetched.status();
+      // Only an unreachable replica justifies going off-affinity; a
+      // corrupt or lying one must not be papered over by a twin.
+      if (last.code() != StatusCode::kUnavailable) return last;
+    }
+    return last;
+  }
 
-Result<shard::ParsedDirectory> LoadDirCache(const std::string& path) {
-  auto bytes = ReadFileBytes(path);
-  if (!bytes.ok()) return bytes.status();
-  const std::vector<uint8_t>& body = bytes.value();
-  if (body.size() < 28) {
-    return Status::Corruption("directory sidecar " + path + " is truncated");
+  void AddStats(api::QueryStats* stats) const override {
+    stats->affinity_switches +=
+        stat_switches_.load(std::memory_order_relaxed);
+    for (const auto& replica : replicas_) replica->AddStats(stats);
   }
-  uint64_t stored = 0;
-  for (int i = 0; i < 8; ++i) {
-    stored |= static_cast<uint64_t>(body[body.size() - 8 + i]) << (8 * i);
+
+ private:
+  std::vector<std::shared_ptr<RemoteShardSource>> replicas_;
+  mutable std::atomic<uint64_t> stat_switches_{0};
+};
+
+// Picks `corpus`'s record out of a stats snapshot (by name, or the
+// sole corpus when the name is empty); null when absent.
+const CorpusServeStats* FindCorpusStats(const ServerStatsSnapshot& snapshot,
+                                        const std::string& corpus) {
+  if (corpus.empty()) {
+    return snapshot.corpora.size() == 1 ? &snapshot.corpora[0] : nullptr;
   }
-  if (HashBytes(body.data(), body.size() - 8) != stored) {
-    return Status::Corruption("directory sidecar " + path +
-                              " fails its checksum");
+  for (const CorpusServeStats& record : snapshot.corpora) {
+    if (record.name == corpus) return &record;
   }
-  ByteSource src(ByteSpan{body.data(), body.size() - 8}, "directory sidecar");
-  uint32_t magic = 0, version = 0, len = 0;
-  uint64_t dir_off = 0;
-  GREPAIR_RETURN_IF_ERROR(src.ReadU32LE(&magic));
-  GREPAIR_RETURN_IF_ERROR(src.ReadU32LE(&version));
-  GREPAIR_RETURN_IF_ERROR(src.ReadU64LE(&dir_off));
-  GREPAIR_RETURN_IF_ERROR(src.ReadU32LE(&len));
-  if (magic != kDirCacheMagic || version != kDirCacheVersion) {
-    return Status::Corruption("directory sidecar " + path +
-                              " has a bad magic or version");
-  }
-  if (src.PeekRemaining().size != len) {
-    return Status::Corruption("directory sidecar " + path +
-                              " length field disagrees with the file");
-  }
-  return shard::ParseV2Directory(src.PeekRemaining(), dir_off);
+  return nullptr;
 }
 
 }  // namespace
@@ -597,35 +595,101 @@ Result<std::unique_ptr<api::CompressedRep>> OpenRemoteContainer(
   std::string host_port;
   std::string corpus;
   GREPAIR_RETURN_IF_ERROR(SplitTarget(target, &host_port, &corpus));
+  // Replica ring: the target's endpoint is replica 0, --replica
+  // endpoints follow in the order given (the order IS the affinity
+  // mapping, so every client must list replicas identically).
+  std::vector<std::string> endpoints{host_port};
+  for (const std::string& replica : options.replicas) {
+    std::string host;
+    uint16_t port = 0;
+    GREPAIR_RETURN_IF_ERROR(ParseHostPort(replica, &host, &port));
+    if (replica != host_port) endpoints.push_back(replica);
+  }
   RemoteShardSource::Options pool_options;
   pool_options.io_timeout_ms = options.io_timeout_ms;
   pool_options.pool_size = options.pool_size;
-  auto source = RemoteShardSource::Connect(host_port, corpus, pool_options);
+
+  // The persisted sidecar, when present, carries last session's
+  // histogram — the open-time warming signal for a cold process.
+  DirSidecar prior;
+  bool have_prior = false;
+  if (!options.ssd_cache_dir.empty()) {
+    auto loaded = LoadDirSidecar(
+        DirSidecarPath(options.ssd_cache_dir, corpus));
+    if (loaded.ok()) {
+      prior = std::move(loaded).ValueOrDie();
+      have_prior = true;
+    }
+  }
+
+  std::vector<std::shared_ptr<RemoteShardSource>> replicas;
+  Status first_error = Status::OK();
+  for (const std::string& endpoint : endpoints) {
+    auto source = RemoteShardSource::Connect(endpoint, corpus, pool_options);
+    if (source.ok()) {
+      replicas.push_back(std::move(source).ValueOrDie());
+    } else if (first_error.ok()) {
+      first_error = source.status();
+    }
+  }
+
   shard::ParsedDirectory dir;
   std::shared_ptr<shard::ShardSource> stack;
+  bool online = !replicas.empty();
+  DirSidecar sidecar;  // what gets (re)persisted this open
   bool save_sidecar = false;
-  uint64_t sidecar_dir_off = 0;
-  std::vector<uint8_t> sidecar_raw;
-  if (source.ok()) {
-    dir = source.value()->TakeDirectory();
+  if (online) {
+    dir = replicas[0]->TakeDirectory();
     if (!options.ssd_cache_dir.empty()) {
       save_sidecar = true;
-      sidecar_dir_off = source.value()->raw_dir_off();
-      sidecar_raw = source.value()->raw_directory();
+      sidecar.dir_off = replicas[0]->raw_dir_off();
+      sidecar.raw_directory = replicas[0]->raw_directory();
     }
-    stack = std::move(source).ValueOrDie();
-  } else if (source.status().code() == StatusCode::kUnavailable &&
-             !options.ssd_cache_dir.empty()) {
-    // Peer down, but a tier may be warm: reopen over the persisted
-    // directory; any shard the tier does not hold stays kUnavailable.
-    auto cached =
-        LoadDirCache(DirCachePath(options.ssd_cache_dir, corpus));
-    if (!cached.ok()) return source.status();  // the dial is the story
+    if (replicas.size() == 1) {
+      stack = replicas[0];
+    } else {
+      stack = std::make_shared<ReplicaShardSource>(replicas);
+    }
+  } else if (first_error.code() == StatusCode::kUnavailable && have_prior) {
+    // Every peer down, but a tier may be warm: reopen over the
+    // persisted directory; any shard the tier does not hold stays
+    // kUnavailable.
+    auto cached = shard::ParseV2Directory(SpanOf(prior.raw_directory),
+                                          prior.dir_off);
+    if (!cached.ok()) return first_error;  // the dial is the story
     dir = std::move(cached).ValueOrDie();
     stack = std::make_shared<OfflineShardSource>(host_port);
   } else {
-    return source.status();
+    return first_error;
   }
+
+  // Pick the histogram to warm from: a fresh STATS snapshot from
+  // replica 0 when online (one extra round-trip, gated on anyone
+  // wanting it), else the sidecar's. Between the two, the higher
+  // epoch — a freshly restarted server's near-empty histogram must
+  // not shadow a rich persisted one.
+  std::vector<uint64_t> histogram;
+  uint64_t histogram_epoch = 0;
+  bool want_histogram =
+      options.warm_from_histogram || save_sidecar || options.pin_bytes > 0;
+  if (online && want_histogram) {
+    auto stats = FetchServerStats(endpoints[0], options.io_timeout_ms);
+    if (stats.ok()) {
+      const CorpusServeStats* record =
+          FindCorpusStats(stats.value(), corpus);
+      if (record != nullptr) {
+        histogram = record->shard_hits;
+        histogram_epoch = record->histogram_epoch;
+      }
+    }
+  }
+  if (have_prior && prior.histogram.size() == dir.rows.size() &&
+      (histogram.empty() || prior.histogram_epoch > histogram_epoch)) {
+    histogram = prior.histogram;
+    histogram_epoch = prior.histogram_epoch;
+  }
+  if (histogram.size() != dir.rows.size()) histogram.clear();
+
   if (!options.ssd_cache_dir.empty()) {
     TieredShardSource::Options tier_options;
     tier_options.cache_dir = options.ssd_cache_dir;
@@ -637,13 +701,30 @@ Result<std::unique_ptr<api::CompressedRep>> OpenRemoteContainer(
     if (save_sidecar) {
       // After Create so the cache directory exists. The tier's disk
       // scan ignores .grdir strangers.
-      SaveDirCache(DirCachePath(options.ssd_cache_dir, corpus),
-                   sidecar_dir_off, SpanOf(sidecar_raw));
+      sidecar.histogram = histogram;
+      sidecar.histogram_epoch = histogram_epoch;
+      SaveDirSidecar(DirSidecarPath(options.ssd_cache_dir, corpus),
+                     sidecar);
     }
   }
   auto rep = shard::ShardedRep::OpenFromSource(std::move(stack),
                                                std::move(dir));
   if (!rep.ok()) return rep.status();
+  if (!histogram.empty()) {
+    std::vector<size_t> ranked = RankByHeat(histogram);
+    if (options.warm_from_histogram && !ranked.empty()) {
+      // Open-time warming: fault the known-hot shards through the
+      // stack (SSD tier first, network behind it) on a small pool so
+      // the first real queries find them resident. Asynchronous — the
+      // open returns while the warm-up streams in; a later
+      // set_prefetch_threads joins this pool first.
+      rep.value()->set_prefetch_threads(4);
+      rep.value()->Prefetch(ranked);
+    }
+    if (options.pin_bytes > 0) {
+      (void)rep.value()->ApplyPlacement(ranked, options.pin_bytes);
+    }
+  }
   return std::unique_ptr<api::CompressedRep>(std::move(rep).ValueOrDie());
 }
 

@@ -198,6 +198,22 @@ struct OpenOptions {
   /// stacked over the pool (see src/serve/tiered.h).
   std::string ssd_cache_dir;
   uint64_t ssd_cache_bytes = 256ull << 20;
+  /// Additional "host:port" replicas serving the same corpus. Shard
+  /// fetches are routed by affinity (shard id mod replica count, the
+  /// target's own endpoint counting as replica 0) so each replica's
+  /// page cache sees a stable shard subset; an unreachable home
+  /// replica fails over to the next (counted as an affinity switch).
+  std::vector<std::string> replicas;
+  /// Client-side pin budget in bytes, applied to the opened rep via
+  /// ShardedRep::ApplyPlacement using the warm histogram. Only
+  /// sources holding local bytes can pin, so this matters for local
+  /// opens; remote stacks report zero pinned. 0 disables.
+  uint64_t pin_bytes = 0;
+  /// Open-time warming: rank shards by the best histogram available
+  /// (the persisted `.grdir` sidecar's, or a fresh STATS snapshot
+  /// when the server is reachable) and prefetch the hot ones before
+  /// the first query. Costs one STATS round-trip when online.
+  bool warm_from_histogram = true;
 };
 
 /// \brief Opens the remote corpus at "host:port[/name]" as a lazy

@@ -18,7 +18,11 @@
 //     u8  inner_len  + inner codec name bytes
 //     u64 num_nodes
 //     u64 requests
-//     u32 num_shards + u64 hit-count per shard
+//     u64 histogram_epoch (the corpus request counter the histogram
+//                          was snapshot at — a client persisting it
+//                          can tell fresher from staler)
+//     u32 num_shards + per shard: u64 hit-count, u8 pinned flag
+//                     (1 = under the server's pin budget right now)
 
 #ifndef GREPAIR_SERVE_STATS_H_
 #define GREPAIR_SERVE_STATS_H_
@@ -40,7 +44,13 @@ struct CorpusServeStats {
   std::string inner_name;
   uint64_t num_nodes = 0;
   uint64_t requests = 0;                ///< shard requests answered
+  /// The corpus request counter this histogram snapshot corresponds
+  /// to — lets a client persisting histograms prefer the fresher one.
+  uint64_t histogram_epoch = 0;
   std::vector<uint64_t> shard_hits;     ///< per-shard hit histogram
+  /// Per-shard placement flags (same length as shard_hits): 1 when
+  /// the shard is under the server's pin budget.
+  std::vector<uint8_t> shard_pinned;
 };
 
 /// \brief A whole-process serving snapshot (the kStats payload).

@@ -69,6 +69,25 @@ class TieredShardSource : public shard::ShardSource {
   uint64_t AdviseSequential() override { return inner_->AdviseSequential(); }
   uint64_t AdviseNormal() override { return inner_->AdviseNormal(); }
 
+  // Pinning is about bytes this stack holds locally: the tier's cache
+  // files are disk, not memory, so the calls forward to the inner
+  // source (a remote inner returns 0 — nothing pinnable client-side).
+  uint64_t PinShard(size_t shard) override {
+    return inner_->PinShard(shard);
+  }
+  uint64_t UnpinShard(size_t shard) override {
+    return inner_->UnpinShard(shard);
+  }
+
+  /// \brief Batched warm-up of cached shards: every requested shard
+  /// whose cache file is present is read end-to-end through the
+  /// IoEngine (io_uring batches when available) so the page cache is
+  /// hot before the per-shard faults re-read and verify the bytes.
+  /// Shards not in the cache are left for the inner source's faults.
+  /// Returns the number of io_uring submission rounds.
+  uint64_t WarmShards(const std::vector<size_t>& shards) override
+      GREPAIR_LOCKS_EXCLUDED(mu_);
+
   void AddStats(api::QueryStats* stats) const override;
 
   /// \brief Current cache footprint in bytes (tests/bench).

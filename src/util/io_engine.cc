@@ -1,0 +1,336 @@
+#include "src/util/io_engine.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#if defined(__linux__) && __has_include(<linux/io_uring.h>)
+#define GREPAIR_HAVE_IO_URING 1
+#else
+#define GREPAIR_HAVE_IO_URING 0
+#endif
+
+#if GREPAIR_HAVE_IO_URING
+#include <linux/io_uring.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#elif !defined(_WIN32)
+#include <unistd.h>
+#endif
+
+namespace grepair {
+
+namespace {
+
+#if !defined(_WIN32)
+std::string ErrnoText() { return std::string(std::strerror(errno)); }
+
+// The fallback (and the completion fixup for short io_uring reads):
+// a retrying pread loop that treats EOF inside the request as
+// corruption — shard lengths come from a checksummed directory, so a
+// file shorter than its directory says is damaged, not "done early".
+Status PreadFully(IoReadRequest* req) {
+  if (req->fd < 0 || req->dst == nullptr) {
+    return Status::InvalidArgument(
+        "batched read needs an open fd and a destination buffer");
+  }
+  size_t done = 0;
+  while (done < req->length) {
+    ssize_t n = ::pread(req->fd, req->dst + done, req->length - done,
+                        static_cast<off_t>(req->offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Corruption("pread of " + std::to_string(req->length) +
+                                " byte(s) at offset " +
+                                std::to_string(req->offset) +
+                                " failed: " + ErrnoText());
+    }
+    if (n == 0) {
+      return Status::Corruption(
+          "unexpected EOF at offset " + std::to_string(req->offset + done) +
+          " (" + std::to_string(req->length) + " byte(s) requested)");
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+#else
+Status PreadFully(IoReadRequest* req) {
+  (void)req;
+  return Status::Unimplemented("batched reads need POSIX pread");
+}
+#endif
+
+#if GREPAIR_HAVE_IO_URING
+constexpr unsigned kUringQueueDepth = 64;
+
+int SysUringSetup(unsigned entries, struct io_uring_params* params) {
+  return static_cast<int>(syscall(__NR_io_uring_setup, entries, params));
+}
+
+int SysUringEnter(int fd, unsigned to_submit, unsigned min_complete,
+                  unsigned flags) {
+  return static_cast<int>(syscall(__NR_io_uring_enter, fd, to_submit,
+                                  min_complete, flags, nullptr, 0));
+}
+#endif
+
+}  // namespace
+
+#if GREPAIR_HAVE_IO_URING
+
+struct IoEngine::Ring {
+  int fd = -1;
+  void* sq_ptr = nullptr;
+  size_t sq_bytes = 0;
+  void* cq_ptr = nullptr;
+  size_t cq_bytes = 0;
+  struct io_uring_sqe* sqe_array = nullptr;
+  size_t sqe_bytes = 0;
+  bool single_mmap = false;
+  unsigned sq_entries = 0;
+  // Pointers into the shared rings (offsets from io_uring_params).
+  unsigned* sq_tail = nullptr;
+  unsigned* sq_mask = nullptr;
+  unsigned* sq_index = nullptr;  // the SQ index array
+  unsigned* cq_head = nullptr;
+  unsigned* cq_tail = nullptr;
+  unsigned* cq_mask = nullptr;
+  struct io_uring_cqe* cqes = nullptr;
+
+  ~Ring() {
+    if (sqe_array != nullptr) munmap(sqe_array, sqe_bytes);
+    if (cq_ptr != nullptr && !single_mmap) munmap(cq_ptr, cq_bytes);
+    if (sq_ptr != nullptr) munmap(sq_ptr, sq_bytes);
+    if (fd >= 0) close(fd);
+  }
+
+  // Submits `count` reads (all validated, nonzero length) as one ring
+  // batch and reaps their completions, filling per-request statuses.
+  // Returns non-OK only when the ring machinery itself failed — then
+  // per-request statuses are NOT all set and the caller must salvage
+  // through the pread fallback (re-reading a buffer the kernel may
+  // also write is benign: both read the same immutable file bytes).
+  Status SubmitAndReap(IoReadRequest** chunk, unsigned count) {
+    unsigned tail = __atomic_load_n(sq_tail, __ATOMIC_RELAXED);
+    unsigned mask = *sq_mask;
+    for (unsigned i = 0; i < count; ++i) {
+      unsigned slot = (tail + i) & mask;
+      struct io_uring_sqe* sqe = &sqe_array[slot];
+      std::memset(sqe, 0, sizeof(*sqe));
+      sqe->opcode = IORING_OP_READ;
+      sqe->fd = chunk[i]->fd;
+      sqe->addr = reinterpret_cast<uint64_t>(chunk[i]->dst);
+      sqe->len = chunk[i]->length;
+      sqe->off = chunk[i]->offset;
+      sqe->user_data = i;
+      sq_index[slot] = slot;
+    }
+    __atomic_store_n(sq_tail, tail + count, __ATOMIC_RELEASE);
+    unsigned submitted = 0;
+    while (submitted < count) {
+      int n = SysUringEnter(fd, count - submitted, 0, 0);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status::Internal("io_uring_enter(submit) failed: " +
+                                ErrnoText());
+      }
+      submitted += static_cast<unsigned>(n);
+    }
+    unsigned reaped = 0;
+    while (reaped < count) {
+      unsigned head = __atomic_load_n(cq_head, __ATOMIC_ACQUIRE);
+      unsigned reap_tail = __atomic_load_n(cq_tail, __ATOMIC_ACQUIRE);
+      if (head == reap_tail) {
+        int n = SysUringEnter(fd, 0, 1, IORING_ENTER_GETEVENTS);
+        if (n < 0 && errno != EINTR) {
+          return Status::Internal("io_uring_enter(wait) failed: " +
+                                  ErrnoText());
+        }
+        continue;
+      }
+      unsigned mask_cq = *cq_mask;
+      while (head != reap_tail && reaped < count) {
+        const struct io_uring_cqe* cqe = &cqes[head & mask_cq];
+        uint64_t idx = cqe->user_data;
+        int res = cqe->res;
+        ++head;
+        ++reaped;
+        if (idx >= count) continue;  // not ours; should not happen
+        IoReadRequest* req = chunk[idx];
+        if (res < 0) {
+          req->status = Status::Corruption(
+              "io_uring read of " + std::to_string(req->length) +
+              " byte(s) at offset " + std::to_string(req->offset) +
+              " failed: " + std::string(std::strerror(-res)));
+        } else if (static_cast<uint32_t>(res) < req->length) {
+          // Short read (EOF shows as res < len too): finish — or
+          // fail — through the pread path for one uniform error story.
+          IoReadRequest rest = *req;
+          rest.offset += static_cast<uint64_t>(res);
+          rest.dst += res;
+          rest.length -= static_cast<uint32_t>(res);
+          req->status = PreadFully(&rest);
+        } else {
+          req->status = Status::OK();
+        }
+      }
+      __atomic_store_n(cq_head, head, __ATOMIC_RELEASE);
+    }
+    return Status::OK();
+  }
+};
+
+#else  // !GREPAIR_HAVE_IO_URING
+
+struct IoEngine::Ring {};
+
+#endif
+
+IoEngine::IoEngine() = default;
+IoEngine::~IoEngine() = default;
+
+IoEngine& IoEngine::Default() {
+  static IoEngine* engine = new IoEngine();
+  return *engine;
+}
+
+bool IoEngine::uring_available() const {
+  const_cast<IoEngine*>(this)->ProbeOnce();
+  return available_.load(std::memory_order_acquire) &&
+         !force_fallback_.load(std::memory_order_relaxed);
+}
+
+void IoEngine::ProbeOnce() {
+  if (probed_.load(std::memory_order_acquire)) return;
+  MutexLock probe_lock(probe_mu_);
+  if (probed_.load(std::memory_order_relaxed)) return;
+#if GREPAIR_HAVE_IO_URING
+  struct io_uring_params params;
+  std::memset(&params, 0, sizeof(params));
+  // The probe IS the setup: a kernel (or seccomp policy) refusing it —
+  // ENOSYS, EPERM, EINVAL — permanently selects the pread fallback.
+  int fd = SysUringSetup(kUringQueueDepth, &params);
+  if (fd >= 0) {
+    auto ring = std::make_unique<Ring>();
+    ring->fd = fd;
+    ring->sq_entries = params.sq_entries;
+    ring->sq_bytes = params.sq_off.array +
+                     params.sq_entries * sizeof(unsigned);
+    ring->cq_bytes = params.cq_off.cqes +
+                     params.cq_entries * sizeof(struct io_uring_cqe);
+    ring->single_mmap = (params.features & IORING_FEAT_SINGLE_MMAP) != 0;
+    if (ring->single_mmap) {
+      ring->sq_bytes = ring->cq_bytes =
+          std::max(ring->sq_bytes, ring->cq_bytes);
+    }
+    void* sq = mmap(nullptr, ring->sq_bytes, PROT_READ | PROT_WRITE,
+                    MAP_SHARED | MAP_POPULATE, fd, IORING_OFF_SQ_RING);
+    ring->sq_ptr = sq == MAP_FAILED ? nullptr : sq;
+    if (ring->sq_ptr != nullptr) {
+      if (ring->single_mmap) {
+        ring->cq_ptr = ring->sq_ptr;
+      } else {
+        void* cq = mmap(nullptr, ring->cq_bytes, PROT_READ | PROT_WRITE,
+                        MAP_SHARED | MAP_POPULATE, fd, IORING_OFF_CQ_RING);
+        ring->cq_ptr = cq == MAP_FAILED ? nullptr : cq;
+      }
+    }
+    if (ring->cq_ptr != nullptr) {
+      ring->sqe_bytes = params.sq_entries * sizeof(struct io_uring_sqe);
+      void* sqes = mmap(nullptr, ring->sqe_bytes, PROT_READ | PROT_WRITE,
+                        MAP_SHARED | MAP_POPULATE, fd, IORING_OFF_SQES);
+      ring->sqe_array = sqes == MAP_FAILED
+                            ? nullptr
+                            : static_cast<struct io_uring_sqe*>(sqes);
+    }
+    if (ring->sqe_array != nullptr) {
+      uint8_t* sq_base = static_cast<uint8_t*>(ring->sq_ptr);
+      uint8_t* cq_base = static_cast<uint8_t*>(ring->cq_ptr);
+      ring->sq_tail =
+          reinterpret_cast<unsigned*>(sq_base + params.sq_off.tail);
+      ring->sq_mask =
+          reinterpret_cast<unsigned*>(sq_base + params.sq_off.ring_mask);
+      ring->sq_index =
+          reinterpret_cast<unsigned*>(sq_base + params.sq_off.array);
+      ring->cq_head =
+          reinterpret_cast<unsigned*>(cq_base + params.cq_off.head);
+      ring->cq_tail =
+          reinterpret_cast<unsigned*>(cq_base + params.cq_off.tail);
+      ring->cq_mask =
+          reinterpret_cast<unsigned*>(cq_base + params.cq_off.ring_mask);
+      ring->cqes = reinterpret_cast<struct io_uring_cqe*>(
+          cq_base + params.cq_off.cqes);
+      {
+        MutexLock lock(ring_mu_);
+        ring_ = std::move(ring);
+      }
+      available_.store(true, std::memory_order_release);
+    }
+    // A partially mmap'd ring unwinds through ~Ring (unmapped
+    // pointers are null there) and leaves the fallback selected.
+  }
+#endif
+  probed_.store(true, std::memory_order_release);
+}
+
+uint64_t IoEngine::ReadBatch(std::vector<IoReadRequest>* reads) {
+  if (reads == nullptr || reads->empty()) return 0;
+  ProbeOnce();
+#if GREPAIR_HAVE_IO_URING
+  if (available_.load(std::memory_order_acquire) &&
+      !force_fallback_.load(std::memory_order_relaxed)) {
+    uint64_t batches = 0;
+    bool ring_ok = true;
+    MutexLock lock(ring_mu_);
+    if (ring_ != nullptr) {
+      std::vector<IoReadRequest*> chunk;
+      chunk.reserve(ring_->sq_entries);
+      size_t next = 0;
+      while (next < reads->size()) {
+        chunk.clear();
+        size_t salvage_from = next;
+        while (next < reads->size() && chunk.size() < ring_->sq_entries) {
+          IoReadRequest* req = &(*reads)[next++];
+          if (req->fd < 0 || req->dst == nullptr) {
+            req->status = Status::InvalidArgument(
+                "batched read needs an open fd and a destination buffer");
+          } else if (req->length == 0) {
+            req->status = Status::OK();
+          } else if (ring_ok) {
+            chunk.push_back(req);
+          } else {
+            req->status = PreadFully(req);
+          }
+        }
+        if (chunk.empty()) continue;
+        Status round = ring_->SubmitAndReap(
+            chunk.data(), static_cast<unsigned>(chunk.size()));
+        if (round.ok()) {
+          ++batches;
+        } else {
+          // Ring machinery failure (not a per-read error): the ring
+          // state is suspect, so finish this call — and the rest of
+          // the process — on the fallback.
+          ring_ok = false;
+          next = salvage_from;
+        }
+      }
+      if (!ring_ok) available_.store(false, std::memory_order_release);
+      return batches;
+    }
+  }
+#endif
+  for (IoReadRequest& req : *reads) {
+    if (req.fd >= 0 && req.dst != nullptr && req.length == 0) {
+      req.status = Status::OK();
+      continue;
+    }
+    req.status = PreadFully(&req);
+  }
+  return 0;
+}
+
+}  // namespace grepair

@@ -1,0 +1,96 @@
+// IoEngine — batched positional reads for the shard-faulting path.
+//
+// The serving tier's cold-open cost is N independent shard reads
+// issued one blocking call at a time (a page fault or pread per
+// shard). IoEngine turns a batch of reads into one submission round:
+// on Linux kernels with io_uring (5.6+ for IORING_OP_READ) the whole
+// batch goes through a single io_uring_enter(2), submission and
+// completion rings mmap'd once per process; everywhere else — older
+// kernels, seccomp filters that deny the io_uring syscalls, non-Linux
+// builds — the same call degrades to a plain pread(2) loop with
+// identical results.
+//
+// The io_uring path is compile-time optional (<linux/io_uring.h>
+// present) AND runtime-detected: the first use probes io_uring_setup
+// and a failed probe (ENOSYS, EPERM, EINVAL) permanently selects the
+// fallback. Callers can observe which path ran via the batch count
+// ReadBatch returns — it feeds QueryStats::uring_batches — and tests
+// force the fallback with set_force_fallback to verify the two paths
+// byte-identical.
+//
+// Thread-safety: ReadBatch is safe to call concurrently; the ring is
+// guarded by one mutex (submission batching is the point — one lock
+// per batch, not per read).
+
+#ifndef GREPAIR_UTIL_IO_ENGINE_H_
+#define GREPAIR_UTIL_IO_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/util/status.h"
+#include "src/util/sync.h"
+
+namespace grepair {
+
+/// \brief One positional read in a batch. The caller owns `dst` (at
+/// least `length` bytes) and keeps it alive across ReadBatch.
+struct IoReadRequest {
+  int fd = -1;           ///< open descriptor to read from
+  uint64_t offset = 0;   ///< absolute file offset
+  uint8_t* dst = nullptr;///< destination buffer, caller-owned
+  uint32_t length = 0;   ///< bytes to read (short reads are errors)
+  Status status;         ///< per-read outcome, filled by ReadBatch
+};
+
+class IoEngine {
+ public:
+  IoEngine();
+  ~IoEngine();
+
+  IoEngine(const IoEngine&) = delete;
+  IoEngine& operator=(const IoEngine&) = delete;
+
+  /// \brief Process-wide shared engine (one ring for all sources).
+  static IoEngine& Default();
+
+  /// \brief Executes every read in `reads`, filling each request's
+  /// `status` (OK only when exactly `length` bytes arrived). Returns
+  /// the number of io_uring submission batches used — 0 means the
+  /// pread fallback served the whole call. Requests with a negative
+  /// fd or null dst fail with kInvalidArgument; other requests in the
+  /// batch still run.
+  uint64_t ReadBatch(std::vector<IoReadRequest>* reads)
+      GREPAIR_LOCKS_EXCLUDED(ring_mu_);
+
+  /// \brief True when the io_uring probe succeeded on this kernel (and
+  /// the fallback is not forced).
+  bool uring_available() const;
+
+  /// \brief Test hook: route every ReadBatch through the pread
+  /// fallback regardless of kernel support.
+  void set_force_fallback(bool force) {
+    force_fallback_.store(force, std::memory_order_relaxed);
+  }
+
+ private:
+  struct Ring;  // the mmap'd submission/completion rings (io_engine.cc)
+
+  void ProbeOnce() GREPAIR_LOCKS_EXCLUDED(probe_mu_, ring_mu_);
+
+  std::atomic<bool> probed_{false};
+  std::atomic<bool> available_{false};
+  std::atomic<bool> force_fallback_{false};
+
+  Mutex probe_mu_;  // serializes the one-time probe
+  // One ring per engine; a batch holds the lock across its whole
+  // submission round (that amortization is the point).
+  Mutex ring_mu_;
+  std::unique_ptr<Ring> ring_ GREPAIR_GUARDED_BY(ring_mu_);
+};
+
+}  // namespace grepair
+
+#endif  // GREPAIR_UTIL_IO_ENGINE_H_

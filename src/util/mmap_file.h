@@ -68,6 +68,18 @@ class MmapFile {
   /// faults want. Returns bytes covered, 0 when not mapped/refused.
   size_t AdviseNormal() const;
 
+  /// \brief mlock(2) over the page-aligned range covering
+  /// [offset, offset+length) — a placement controller pins hot shard
+  /// payloads resident with this. Returns the bytes actually locked
+  /// (0 on the heap fallback, an empty range, or a refused mlock —
+  /// RLIMIT_MEMLOCK is tight in containers, so pinning is best-effort
+  /// by design and callers account the *intent* separately).
+  size_t Pin(size_t offset, size_t length) const;
+
+  /// \brief munlock(2) over the same page-aligned range; returns the
+  /// bytes unlocked (0 when not mapped or refused).
+  size_t Unpin(size_t offset, size_t length) const;
+
  private:
   MmapFile() = default;
 
@@ -77,6 +89,14 @@ class MmapFile {
   bool mapped_ = false;               // true: munmap on destruction
   std::vector<uint8_t> fallback_;     // owns the bytes when !mapped_
 };
+
+/// \brief mlock / munlock over the page-aligned range covering `span`
+/// (any readable memory, mapped or heap — the server-side placement
+/// path pins registry payload spans that may not sit in an MmapFile).
+/// Returns bytes locked/unlocked; 0 when refused (best-effort, like
+/// every madvise in this layer).
+size_t PinBytes(ByteSpan span);
+size_t UnpinBytes(ByteSpan span);
 
 /// \brief Status-ful whole-file read into an owned buffer (for writers
 /// and small inputs where a mapping is overkill). Errors name the path.

@@ -242,8 +242,10 @@ Status ParseHostPort(const std::string& spec, std::string* host,
   // getaddrinfo.
   if (!spec.empty() && spec[0] == '[') {
     size_t close = spec.find(']');
-    if (close == std::string::npos || close + 1 >= spec.size() ||
-        spec[close + 1] != ':' ||
+    // close == 1 is the empty bracket pair "[]:9000" — no host to
+    // dial; rejected like any other malformed spec.
+    if (close == std::string::npos || close == 1 ||
+        close + 1 >= spec.size() || spec[close + 1] != ':' ||
         !ParsePortText(spec.substr(close + 2), port)) {
       return Status::InvalidArgument("expected [host]:port, got '" + spec +
                                      "'");

@@ -446,6 +446,66 @@ TEST_F(NetFaultTest, V2ServerRejectsV1ClientCleanly) {
   EXPECT_TRUE(rep.value()->OutNeighbors(0).ok());
 }
 
+// Address parsing regressions: bracketed IPv6 literals must survive
+// both layers — ParseHostPort (the dial path) and SplitTarget (the
+// target/corpus split used by OpenRemote and --replica).
+TEST(AddressParsing, BracketedIpv6HostPort) {
+  std::string host;
+  uint16_t port = 0;
+  ASSERT_TRUE(ParseHostPort("[::1]:9000", &host, &port).ok());
+  EXPECT_EQ(host, "::1");
+  EXPECT_EQ(port, 9000);
+
+  ASSERT_TRUE(ParseHostPort("[2001:db8::42]:443", &host, &port).ok());
+  EXPECT_EQ(host, "2001:db8::42");
+  EXPECT_EQ(port, 443);
+
+  // Unbracketed IPv6 keeps the historical reading: everything before
+  // the last colon is the host.
+  ASSERT_TRUE(ParseHostPort("::1:9000", &host, &port).ok());
+  EXPECT_EQ(host, "::1");
+  EXPECT_EQ(port, 9000);
+}
+
+TEST(AddressParsing, MalformedBracketSpecsAreRejected) {
+  std::string host;
+  uint16_t port = 0;
+  const char* bad[] = {
+      "[]:9000",       // empty bracket pair: no host to dial
+      "[::1]",         // no port
+      "[::1]:",        // empty port
+      "[::1]9000",     // missing separator colon
+      "[::1:9000",     // unterminated bracket
+      "[::1]:0",       // port 0
+      "[::1]:99999",   // port out of range
+      "[::1]:-1",      // negative port
+  };
+  for (const char* spec : bad) {
+    EXPECT_EQ(ParseHostPort(spec, &host, &port).code(),
+              StatusCode::kInvalidArgument)
+        << "accepted '" << spec << "'";
+  }
+}
+
+TEST(AddressParsing, SplitTargetKeepsIpv6Brackets) {
+  std::string host_port, corpus;
+  ASSERT_TRUE(
+      serve::SplitTarget("[::1]:9000/wikidata", &host_port, &corpus).ok());
+  EXPECT_EQ(host_port, "[::1]:9000");
+  EXPECT_EQ(corpus, "wikidata");
+
+  ASSERT_TRUE(serve::SplitTarget("[::1]:9000", &host_port, &corpus).ok());
+  EXPECT_EQ(host_port, "[::1]:9000");
+  EXPECT_EQ(corpus, "");
+
+  // The host:port half that SplitTarget hands back must itself parse.
+  std::string host;
+  uint16_t port = 0;
+  ASSERT_TRUE(ParseHostPort(host_port, &host, &port).ok());
+  EXPECT_EQ(host, "::1");
+  EXPECT_EQ(port, 9000);
+}
+
 TEST_F(NetFaultTest, StopUnblocksSilentConnections) {
   auto server = StartRealServer(*container_);
   // A client that connects and says nothing must not wedge Stop.

@@ -475,6 +475,187 @@ TEST(ServeTierTest, DeadPeerFailsFastWithBackoffAndNamesThePeer) {
   EXPECT_LT(stats.pool_redials, 25u);
 }
 
+// Inner source that must never be reached: the seeding tests exercise
+// the cache index alone.
+class NullShardSource : public shard::ShardSource {
+ public:
+  const char* kind() const override { return "null"; }
+  Result<ByteSpan> FetchShard(size_t, std::vector<uint8_t>*) override {
+    return Status::Unavailable("null source reached");
+  }
+};
+
+// LRU seeding determinism: cache files that share an mtime (coarse
+// filesystem clocks make this common after a bulk warm) must enter the
+// LRU in name order, so which files survive a tighter budget is a
+// function of the directory contents, not readdir order or hash-map
+// iteration. Two seedings over identical files must evict identically.
+TEST(ServeTierTest, SeedFromDiskBreaksMtimeTiesByName) {
+  GeneratedGraph gg = BarabasiAlbert(50, 3, 127);
+  std::vector<uint8_t> bytes = CompressSharded(gg, 2);
+  auto rows = DirectoryRows(bytes);
+
+  const std::vector<std::string> names = {
+      "0a-64.shard", "0b-64.shard", "0c-64.shard",
+      "0d-64.shard", "0e-64.shard", "0f-64.shard",
+  };
+  auto seed_and_list = [&](const std::string& dir) {
+    std::filesystem::create_directories(dir);
+    std::vector<uint8_t> blob(64, 0x5a);
+    for (const auto& name : names) {
+      EXPECT_TRUE(WriteFileBytes(dir + "/" + name, blob).ok());
+    }
+    // Force one shared mtime: the tie the sort must break by name.
+    auto stamp = std::filesystem::last_write_time(dir + "/" + names[0]);
+    for (const auto& name : names) {
+      std::filesystem::last_write_time(dir + "/" + name, stamp);
+    }
+    serve::TieredShardSource::Options options;
+    options.cache_dir = dir;
+    options.max_bytes = 3 * 64;  // room for half the files
+    auto tier = serve::TieredShardSource::Create(
+        std::make_shared<NullShardSource>(), rows, options);
+    EXPECT_TRUE(tier.ok()) << tier.status().ToString();
+    EXPECT_EQ(tier.value()->cache_bytes(), 3u * 64);
+    std::vector<std::string> survivors;
+    for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+      if (entry.path().extension() == ".shard") {
+        survivors.push_back(entry.path().filename().string());
+      }
+    }
+    std::sort(survivors.begin(), survivors.end());
+    return survivors;
+  };
+
+  ScratchDir scratch_a("seed_tie_a");
+  ScratchDir scratch_b("seed_tie_b");
+  auto first = seed_and_list(scratch_a.path + "/cache");
+  auto second = seed_and_list(scratch_b.path + "/cache");
+  // Ties insert in ascending name order, so the lexicographically
+  // largest names are most-recently-used and survive the budget.
+  EXPECT_EQ(first, (std::vector<std::string>{"0d-64.shard", "0e-64.shard",
+                                             "0f-64.shard"}));
+  EXPECT_EQ(second, first);
+}
+
+// Placement churn under load: 8 threads interleave ApplyPlacement
+// (pin/unpin diffs against a moving ranking), histogram-style Prefetch
+// (LocalShardSource::WarmShards through the IoEngine), and point
+// queries on one shared mmap-backed rep. Then the same thread shape
+// drives a budget-constrained SSD tier, so WarmShards races LRU
+// eviction. Answers must stay byte-identical throughout and the final
+// unpin must leave nothing pinned. Runs under the TSan CI leg.
+TEST(ServeTierTest, EightThreadPinPrefetchEvictionStress) {
+  ScratchDir scratch("pin_stress");
+  GeneratedGraph gg = BarabasiAlbert(140, 3, 137);
+  std::vector<uint8_t> bytes = CompressSharded(gg, 8);
+  auto truth = LocalTruth(bytes, gg.graph.num_nodes());
+  auto rows = DirectoryRows(bytes);
+  uint64_t total = 0, largest = 0;
+  for (const auto& row : rows) {
+    total += row.length;
+    largest = std::max(largest, row.length);
+  }
+
+  // --- Local leg: real mlock-backed pin/unpin + io_uring warms -----
+  std::string path = scratch.path + "/stress.grc";
+  ASSERT_TRUE(
+      WriteFileBytes(path, api::WrapCodecPayload("sharded:grepair", bytes))
+          .ok());
+  auto opened = api::OpenCompressedFile(path);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  auto* sharded = dynamic_cast<shard::ShardedRep*>(opened.value().get());
+  ASSERT_NE(sharded, nullptr);
+  sharded->set_prefetch_threads(2);
+
+  std::vector<size_t> all_shards(sharded->num_shards());
+  for (size_t s = 0; s < all_shards.size(); ++s) all_shards[s] = s;
+
+  std::atomic<int> failures{0};
+  {
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 2; ++t) {
+      threads.emplace_back([&, t] {  // placement churn
+        const uint64_t budgets[] = {0, total / 4, largest, total};
+        for (int i = 0; i < 40; ++i) {
+          std::vector<size_t> ranked = all_shards;
+          std::rotate(ranked.begin(),
+                      ranked.begin() + (i + t) % ranked.size(),
+                      ranked.end());
+          sharded->ApplyPlacement(ranked, budgets[i % 4]);
+        }
+      });
+    }
+    for (int t = 0; t < 2; ++t) {
+      threads.emplace_back([&] {  // histogram-style warming
+        for (int i = 0; i < 20; ++i) {
+          sharded->Prefetch(all_shards);
+          sharded->WaitForPrefetch();
+        }
+      });
+    }
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back([&, t] {  // readers
+        for (uint64_t v = static_cast<uint64_t>(t); v < truth.size();
+             v += 4) {
+          auto r = sharded->OutNeighbors(v);
+          if (!r.ok() || r.value() != truth[v]) ++failures;
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+
+  // Deterministic end state: pin everything, then nothing.
+  auto pinned = sharded->ApplyPlacement(all_shards, total);
+  EXPECT_EQ(pinned.shards_pinned, CountDataShards(rows));
+  EXPECT_EQ(pinned.pinned_bytes, total);
+  auto released = sharded->ApplyPlacement({}, 0);
+  EXPECT_EQ(released.shards_pinned, 0u);
+  EXPECT_EQ(released.pinned_bytes, 0u);
+  EXPECT_EQ(sharded->query_stats().shards_pinned, 0u);
+
+  // --- Tiered leg: WarmShards racing LRU eviction ------------------
+  serve::CorpusRegistry registry;
+  ASSERT_TRUE(registry.AddBytes("g", SpanOf(bytes)).ok());
+  auto server = serve::ShardServer::Start(std::move(registry));
+  ASSERT_TRUE(server.ok());
+  serve::OpenOptions options;
+  options.ssd_cache_dir = scratch.path + "/cache";
+  options.ssd_cache_bytes = largest + total / 4;  // forces evictions
+  auto remote = serve::OpenRemoteContainer(server.value()->host_port(),
+                                           options);
+  ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+  auto* tiered_rep =
+      dynamic_cast<shard::ShardedRep*>(remote.value().get());
+  ASSERT_NE(tiered_rep, nullptr);
+  tiered_rep->set_prefetch_threads(2);
+  {
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 2; ++t) {
+      threads.emplace_back([&] {  // tier warms race evictions
+        for (int i = 0; i < 10; ++i) {
+          tiered_rep->Prefetch(all_shards);
+          tiered_rep->WaitForPrefetch();
+        }
+      });
+    }
+    for (int t = 0; t < 6; ++t) {
+      threads.emplace_back([&, t] {
+        for (uint64_t v = static_cast<uint64_t>(t); v < truth.size();
+             v += 6) {
+          auto r = tiered_rep->OutNeighbors(v);
+          if (!r.ok() || r.value() != truth[v]) ++failures;
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_LE(DiskBytes(options.ssd_cache_dir), options.ssd_cache_bytes);
+}
+
 TEST(ServeTierTest, StatsVerbReportsPerCorpusHotShardHistograms) {
   GeneratedGraph web = BarabasiAlbert(60, 3, 109);
   GeneratedGraph cite = BarabasiAlbert(45, 3, 113);

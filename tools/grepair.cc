@@ -121,9 +121,11 @@ int Usage() {
       "  query <in>|--remote host:port[/corpus] [--nodes 1,2,3]\n"
       "        [--pairs 1:2,3:4] [--batch] [--cache-bytes N] [--threads T]\n"
       "        [--prefetch P] [--pool N] [--ssd-cache DIR]\n"
-      "        [--ssd-cache-bytes N]\n"
+      "        [--ssd-cache-bytes N] [--replica host:port]...\n"
+      "        [--pin-bytes N] [--warm-from-histogram 0|1]\n"
       "  serve [<file>|<dir>]... [--corpus name=path] [--host H] "
       "[--port P]\n"
+      "        [--pin-bytes N]\n"
       "  info <in> | info --remote host:port[/corpus]\n"
       "  stats <in.grg>\n"
       "  reach <in.grg> <from> <to>\n"
@@ -614,14 +616,23 @@ int RunQueries(std::unique_ptr<api::CompressedRep> rep,
                const std::vector<uint64_t>& nodes,
                const std::vector<std::pair<uint64_t, uint64_t>>& pairs,
                bool batch, int threads, bool have_cache_bytes,
-               uint64_t cache_bytes, int prefetch) {
+               uint64_t cache_bytes, int prefetch, uint64_t pin_bytes) {
   if (auto* sharded = dynamic_cast<shard::ShardedRep*>(rep.get())) {
     if (threads > 1) sharded->set_query_threads(threads);
     if (have_cache_bytes) {
       sharded->set_query_cache_bytes(static_cast<size_t>(cache_bytes));
     }
     if (prefetch > 0) sharded->set_prefetch_threads(prefetch);
-  } else if (threads > 1 || have_cache_bytes || prefetch > 0) {
+    if (pin_bytes > 0) {
+      // Local opens have no histogram yet; pin in shard-id order until
+      // the budget is spent (remote opens pin by the server histogram
+      // inside OpenRemote instead).
+      std::vector<size_t> ranked(sharded->num_shards());
+      for (size_t s = 0; s < ranked.size(); ++s) ranked[s] = s;
+      (void)sharded->ApplyPlacement(ranked, pin_bytes);
+    }
+  } else if (threads > 1 || have_cache_bytes || prefetch > 0 ||
+             pin_bytes > 0) {
     std::fprintf(stderr,
                  "note: --threads/--cache-bytes/--prefetch tune sharded "
                  "containers; '%s' queries ignore them\n",
@@ -716,6 +727,18 @@ int RunQueries(std::unique_ptr<api::CompressedRep> rep,
                 (unsigned long long)stats.tier_evictions,
                 (unsigned long long)stats.tier_corrupt_drops);
   }
+  // The placement/batched-IO counters likewise only appear when the
+  // engine did something: pinned shards, io_uring rounds, or
+  // off-affinity fetches.
+  if (stats.shards_pinned != 0 || stats.pinned_bytes != 0 ||
+      stats.uring_batches != 0 || stats.affinity_switches != 0) {
+    std::printf("placement: shards_pinned=%llu pinned_bytes=%llu "
+                "uring_batches=%llu affinity_switches=%llu\n",
+                (unsigned long long)stats.shards_pinned,
+                (unsigned long long)stats.pinned_bytes,
+                (unsigned long long)stats.uring_batches,
+                (unsigned long long)stats.affinity_switches);
+  }
   return 0;
 }
 
@@ -738,6 +761,7 @@ int CmdQuery(int argc, char** argv) {
   int prefetch = 0;
   bool have_cache_bytes = false;
   uint64_t cache_bytes = 0;
+  uint64_t pin_bytes = 0;
   api::RemoteOptions remote_options;
   bool have_remote_flags = false;
   for (int i = flag_start; i < argc; ++i) {
@@ -779,14 +803,34 @@ int CmdQuery(int argc, char** argv) {
         return 2;
       }
       have_remote_flags = true;
+    } else if (arg == "--replica" && i + 1 < argc) {
+      remote_options.replicas.push_back(argv[++i]);
+      have_remote_flags = true;
+    } else if (arg == "--pin-bytes" && i + 1 < argc) {
+      if (!ParseU64(argv[++i], &pin_bytes)) {
+        std::fprintf(stderr, "--pin-bytes expects a byte count, got "
+                             "'%s'\n", argv[i]);
+        return 2;
+      }
+      remote_options.pin_bytes = pin_bytes;
+    } else if (arg == "--warm-from-histogram" && i + 1 < argc) {
+      std::string value = argv[++i];
+      if (value != "0" && value != "1") {
+        std::fprintf(stderr, "--warm-from-histogram expects 0 or 1, got "
+                             "'%s'\n", value.c_str());
+        return 2;
+      }
+      remote_options.warm_from_histogram = value == "1";
+      have_remote_flags = true;
     } else {
       return Usage();
     }
   }
   if (have_remote_flags && remote_spec.empty()) {
     std::fprintf(stderr,
-                 "--pool/--ssd-cache/--ssd-cache-bytes tune the remote "
-                 "tier; they require --remote\n");
+                 "--pool/--ssd-cache/--ssd-cache-bytes/--replica/"
+                 "--warm-from-histogram tune the remote tier; they "
+                 "require --remote\n");
     return 2;
   }
   if (nodes_spec.empty() && pairs_spec.empty()) {
@@ -815,9 +859,11 @@ int CmdQuery(int argc, char** argv) {
     } else {
       backend = "remote";
     }
+    // OpenRemote already applied the pin budget using the server's
+    // histogram — don't re-place with the id-order fallback.
     return RunQueries(std::move(rep).ValueOrDie(), backend, nodes, pairs,
                       batch, threads, have_cache_bytes, cache_bytes,
-                      prefetch);
+                      prefetch, /*pin_bytes=*/0);
   }
   auto file = MmapFile::Open(in_path);
   if (!file.ok()) {
@@ -865,7 +911,7 @@ int CmdQuery(int argc, char** argv) {
   }
   return RunQueries(std::move(rep).ValueOrDie(), backend, nodes, pairs,
                     batch, threads, have_cache_bytes, cache_bytes,
-                    prefetch);
+                    prefetch, pin_bytes);
 }
 
 // `serve`: export GRSHARD2 containers over TCP until SIGINT or
@@ -900,6 +946,12 @@ int CmdServe(int argc, char** argv) {
       int port = 0;
       if (!ParseCountFlag("--port", argv[++i], 65535, &port)) return 2;
       options.port = static_cast<uint16_t>(port);
+    } else if (arg == "--pin-bytes" && i + 1 < argc) {
+      if (!ParseU64(argv[++i], &options.pin_bytes)) {
+        std::fprintf(stderr, "--pin-bytes expects a byte count, got "
+                             "'%s'\n", argv[i]);
+        return 2;
+      }
     } else if (arg == "--corpus" && i + 1 < argc) {
       std::string spec = argv[++i];
       size_t eq = spec.find('=');
@@ -1014,25 +1066,43 @@ int CmdInfoRemote(const std::string& target) {
     return 1;
   }
   const std::vector<uint64_t>* hits = nullptr;
+  const std::vector<uint8_t>* pinned = nullptr;
   for (const auto& c : snapshot.corpora) {
-    if (c.name == resolved) hits = &c.shard_hits;
+    if (c.name == resolved) {
+      hits = &c.shard_hits;
+      pinned = &c.shard_pinned;
+    }
   }
   std::printf("corpus %s: inner=%s nodes=%llu shards=%zu\n",
               resolved.empty() ? corpus.c_str() : resolved.c_str(),
               dir.value().inner_name.c_str(),
               (unsigned long long)dir.value().num_nodes,
               dir.value().rows.size());
-  std::printf("%6s %10s %10s %18s %10s %10s\n", "shard", "offset", "length",
-              "checksum", "nodes", "hits");
+  // heat = this shard's share of all hits; pinned reflects the
+  // server's current placement (blank when it has no pin budget).
+  uint64_t total_hits = 0;
+  if (hits != nullptr) {
+    for (uint64_t h : *hits) total_hits += h;
+  }
+  std::printf("%6s %10s %10s %18s %10s %10s %7s %7s\n", "shard", "offset",
+              "length", "checksum", "nodes", "hits", "heat", "pinned");
   for (size_t i = 0; i < dir.value().rows.size(); ++i) {
     const auto& s = dir.value().rows[i];
-    std::printf("%6zu %10llu %10llu 0x%016llx %10llu %10llu\n", i,
-                (unsigned long long)s.offset, (unsigned long long)s.length,
+    uint64_t shard_hit_count =
+        hits != nullptr && i < hits->size() ? (*hits)[i] : 0;
+    double heat = total_hits > 0
+                      ? 100.0 * static_cast<double>(shard_hit_count) /
+                            static_cast<double>(total_hits)
+                      : 0.0;
+    bool is_pinned =
+        pinned != nullptr && i < pinned->size() && (*pinned)[i] != 0;
+    std::printf("%6zu %10llu %10llu 0x%016llx %10llu %10llu %6.1f%% %7s\n",
+                i, (unsigned long long)s.offset,
+                (unsigned long long)s.length,
                 (unsigned long long)s.checksum,
                 (unsigned long long)s.node_count,
-                (unsigned long long)(hits != nullptr && i < hits->size()
-                                         ? (*hits)[i]
-                                         : 0));
+                (unsigned long long)shard_hit_count, heat,
+                is_pinned ? "yes" : "-");
   }
   return 0;
 }
