@@ -1,0 +1,160 @@
+// Overlay and fold overhead on the hot query path.
+//
+// A mutable corpus answers queries through a delta overlay until the
+// background fold drains it into the shard grammars. The serving story
+// only holds together if the overlay is cheap: this bench measures
+// warm batched out-neighbor throughput on a sharded corpus (a) before
+// any edits, (b) with a live overlay, and (c) after FoldOverlay, and
+// GATES on (b) <= 1.5x (a). CI runs this on every Release build and
+// uploads the JSON next to the other bench artifacts, so an overlay
+// regression shows up as a red build, not a slow quarter.
+//
+//   bench_delta_fold [--json out.json]
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <random>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/shard/delta_overlay.h"
+
+using namespace grepair;
+using namespace grepair::bench;
+
+namespace {
+
+constexpr double kGateRatio = 1.5;
+constexpr int kTrials = 7;
+constexpr uint32_t kEdits = 256;
+
+// Minimum-of-kTrials wall time for one full batch sweep, in seconds.
+// Minimum (not mean) because we are gating: transient scheduler noise
+// must not fail the build, only a real per-query regression should.
+double SweepSeconds(const api::CompressedRep& rep,
+                    const std::vector<uint64_t>& nodes) {
+  double best = 1e30;
+  for (int t = 0; t < kTrials; ++t) {
+    auto start = std::chrono::steady_clock::now();
+    auto result = rep.OutNeighborsBatch(nodes);
+    double s = Seconds(start, std::chrono::steady_clock::now());
+    if (!result.ok()) {
+      std::fprintf(stderr, "batch query failed: %s\n",
+                   result.status().ToString().c_str());
+      std::exit(1);
+    }
+    best = std::min(best, s);
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+
+  GeneratedGraph gg = BarabasiAlbert(4000, 8, 71);
+  const uint64_t n = gg.graph.num_nodes();
+  auto codec = api::CodecRegistry::Create("sharded:grepair").ValueOrDie();
+  api::CodecOptions options;
+  options.Set("shards", "4");
+  options.Set("threads", "4");
+  auto compressed = codec->Compress(gg.graph, gg.alphabet, options);
+  if (!compressed.ok()) {
+    std::fprintf(stderr, "compress failed: %s\n",
+                 compressed.status().ToString().c_str());
+    return 1;
+  }
+  auto* rep = dynamic_cast<shard::ShardedRep*>(compressed.value().get());
+
+  std::vector<uint64_t> nodes(n);
+  for (uint64_t v = 0; v < n; ++v) nodes[v] = v;
+
+  // (a) warm base: the first sweep pays shard decoding, the timed
+  // sweeps run against cached CSRs — the steady serving state.
+  (void)rep->OutNeighborsBatch(nodes);
+  double base_s = SweepSeconds(*rep, nodes);
+
+  // (b) live overlay: half deletes of real edges, half fresh adds,
+  // spread across the id space so many batch rows pay the merge.
+  std::mt19937_64 rng(1234);
+  std::vector<shard::EdgeEdit> edits;
+  const auto& edge_list = gg.graph.edges();
+  while (edits.size() < kEdits / 2 && !edge_list.empty()) {
+    const HEdge& e = edge_list[rng() % edge_list.size()];
+    if (e.att.size() == 2) {
+      edits.push_back(shard::EdgeEdit::Delete(e.att[0], e.att[1]));
+    }
+  }
+  while (edits.size() < kEdits) {
+    uint64_t u = rng() % n, v = rng() % n;
+    if (u != v) edits.push_back(shard::EdgeEdit::Add(u, v, 0));
+  }
+  auto applied = rep->ApplyEdits(edits);
+  if (!applied.ok()) {
+    std::fprintf(stderr, "ApplyEdits failed: %s\n",
+                 applied.ToString().c_str());
+    return 1;
+  }
+  (void)rep->OutNeighborsBatch(nodes);
+  double overlay_s = SweepSeconds(*rep, nodes);
+
+  // (c) fold, then re-measure: the overlay is gone, queries should be
+  // back at (or near) base cost.
+  auto fold_start = std::chrono::steady_clock::now();
+  auto folded = rep->FoldOverlay();
+  double fold_s = Seconds(fold_start, std::chrono::steady_clock::now());
+  if (!folded.ok()) {
+    std::fprintf(stderr, "FoldOverlay failed: %s\n",
+                 folded.ToString().c_str());
+    return 1;
+  }
+  (void)rep->OutNeighborsBatch(nodes);
+  double postfold_s = SweepSeconds(*rep, nodes);
+
+  double ratio = overlay_s / base_s;
+  double to_ns = 1e9 / (double)n;
+  api::QueryStats stats = rep->query_stats();
+
+  PrintHeader("delta overlay / fold overhead (sharded:grepair, "
+              "BA 4000x8, 256 edits)");
+  std::printf("%-28s %10.1f ns/query\n", "warm base batch",
+              base_s * to_ns);
+  std::printf("%-28s %10.1f ns/query  (%.2fx base)\n",
+              "warm overlay batch", overlay_s * to_ns, ratio);
+  std::printf("%-28s %10.1f ns/query\n", "post-fold batch",
+              postfold_s * to_ns);
+  std::printf("%-28s %10.3f s  (%llu edits folded)\n", "fold",
+              fold_s, (unsigned long long)stats.folded_edits);
+  bool pass = ratio <= kGateRatio;
+  std::printf("gate: overlay <= %.1fx base — %s\n", kGateRatio,
+              pass ? "PASS" : "FAIL");
+
+  if (!json_path.empty()) {
+    JsonWriter json;
+    json.Add("num_nodes", n);
+    json.Add("edits", (uint64_t)kEdits);
+    json.Add("base_ns_per_query", base_s * to_ns);
+    json.Add("overlay_ns_per_query", overlay_s * to_ns);
+    json.Add("postfold_ns_per_query", postfold_s * to_ns);
+    json.Add("overlay_over_base_ratio", ratio);
+    json.Add("fold_seconds", fold_s);
+    json.Add("folded_edits", stats.folded_edits);
+    json.Add("shard_folds", stats.shard_folds);
+    json.Add("gate_ratio", kGateRatio);
+    json.Add("gate_pass", pass ? 1 : 0);
+    if (!json.WriteTo(json_path)) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+  }
+  return pass ? 0 : 1;
+}

@@ -6,6 +6,9 @@
 
 #include "src/api/codec_registry.h"
 #include "src/api/graph_codec.h"
+#include "src/shard/delta_overlay.h"
+#include "src/shard/sharded_codec.h"
+#include "src/util/hashing.h"
 
 namespace grepair {
 namespace api {
@@ -75,6 +78,57 @@ Result<std::unique_ptr<CompressedRep>> OpenCompressedFile(
   if (!codec.ok()) return codec.status();
   if (backend_name != nullptr) *backend_name = name;
   return codec.value()->OpenPayload(std::move(file).ValueOrDie(), payload);
+}
+
+Result<std::unique_ptr<CompressedRep>> OpenVersioned(
+    const std::string& base_path,
+    const std::vector<std::string>& delta_paths,
+    std::string* backend_name) {
+  std::string name;
+  auto rep = OpenCompressedFile(base_path, &name);
+  if (!rep.ok()) return rep.status();
+  auto* sharded = dynamic_cast<shard::ShardedRep*>(rep.value().get());
+  if (sharded == nullptr) {
+    return Status::InvalidArgument(
+        base_path + " is not a sharded container; deltas need one");
+  }
+  if (backend_name != nullptr) *backend_name = name;
+  if (delta_paths.empty()) return rep;
+
+  // Lineage walk: delta[i] records the hash + size of the *entire*
+  // previous file in the chain (the base for i == 0), so a swapped or
+  // regenerated intermediate is caught before its payload is trusted.
+  uint64_t prev_hash = 0;
+  uint64_t prev_size = 0;
+  {
+    auto base_file = MmapFile::Open(base_path);
+    if (!base_file.ok()) return base_file.status();
+    ByteSpan span = base_file.value()->span();
+    prev_hash = HashBytes(span.data, span.size);
+    prev_size = span.size;
+  }
+  for (const std::string& path : delta_paths) {
+    auto file = MmapFile::Open(path);
+    if (!file.ok()) return file.status();
+    ByteSpan span = file.value()->span();
+    auto delta = shard::DecodeDeltaContainer(span, path);
+    if (!delta.ok()) return delta.status();
+    if (delta.value().base_hash != prev_hash ||
+        delta.value().base_size != prev_size) {
+      return Status::Corruption(
+          path + " does not continue this chain (expected predecessor " +
+          HexU64(delta.value().base_hash) + "/" +
+          std::to_string(delta.value().base_size) + " bytes, have " +
+          HexU64(prev_hash) + "/" + std::to_string(prev_size) + ")");
+    }
+    // Deltas are cumulative: each ApplyDelta fully replaces the edit
+    // state, so applying every link in order just re-verifies lineage
+    // and lands on the newest version.
+    GREPAIR_RETURN_IF_ERROR(sharded->ApplyDelta(delta.value()));
+    prev_hash = HashBytes(span.data, span.size);
+    prev_size = span.size;
+  }
+  return rep;
 }
 
 }  // namespace api

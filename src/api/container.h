@@ -61,6 +61,21 @@ Status UnwrapCodecPayloadView(ByteSpan bytes, std::string* name,
 Result<std::unique_ptr<CompressedRep>> OpenCompressedFile(
     const std::string& path, std::string* backend_name = nullptr);
 
+/// \brief Opens a versioned corpus: `base_path` (a backend-tagged
+/// sharded GRSHARD2 container) plus zero or more GRSHARD3 delta files
+/// in chain order. Each delta's lineage is verified before anything is
+/// trusted — its recorded (hash, size) of the previous chain file must
+/// match the bytes on disk, its directory checksum must match the
+/// base's, and its own trailing checksum must hold. Deltas are
+/// cumulative, so the corpus the last delta describes is what queries
+/// see. kInvalidArgument when the base is not a sharded container;
+/// kCorruption on any chain mismatch (fail closed — a wrong-base delta
+/// is never partially applied).
+Result<std::unique_ptr<CompressedRep>> OpenVersioned(
+    const std::string& base_path,
+    const std::vector<std::string>& delta_paths,
+    std::string* backend_name = nullptr);
+
 }  // namespace api
 }  // namespace grepair
 

@@ -126,6 +126,13 @@ struct QueryStats {
   uint64_t pinned_bytes = 0;      ///< payload bytes under the pin budget
   uint64_t uring_batches = 0;     ///< io_uring submission rounds issued
   uint64_t affinity_switches = 0; ///< shard fetches served off-affinity
+  // Mutable-corpus counters (shard::DeltaOverlay + folding).
+  // overlay_edits is the *current* residual edit count (like
+  // cache_bytes_used); the others are cumulative.
+  uint64_t overlay_edits = 0;   ///< adds + kills resident in the overlay
+  uint64_t overlay_merges = 0;  ///< answers merged through the overlay
+  uint64_t shard_folds = 0;     ///< shard grammars recompressed by folds
+  uint64_t folded_edits = 0;    ///< edits folded into shard grammars
 };
 
 /// \brief Uniform out-of-range check for query entry points: every

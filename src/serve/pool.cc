@@ -640,6 +640,16 @@ Result<std::unique_ptr<api::CompressedRep>> OpenRemoteContainer(
   bool save_sidecar = false;
   if (online) {
     dir = replicas[0]->TakeDirectory();
+    // Fail closed on a stale sidecar: the persisted directory must be
+    // byte-equivalent (checksum) to what the server just shipped. A
+    // corpus rebuilt in place keeps the sidecar path and often the
+    // shard count, so the histogram size/epoch gate below is not
+    // enough — warm state of a replaced corpus must never be trusted.
+    if (have_prior &&
+        HashBytes(prior.raw_directory.data(), prior.raw_directory.size()) !=
+            dir.dir_checksum) {
+      have_prior = false;
+    }
     if (!options.ssd_cache_dir.empty()) {
       save_sidecar = true;
       sidecar.dir_off = replicas[0]->raw_dir_off();

@@ -3,6 +3,8 @@
 #include <chrono>
 #include <utility>
 
+#include "src/util/hashing.h"
+
 namespace grepair {
 namespace serve {
 
@@ -351,9 +353,16 @@ ServerStatsSnapshot ShardServer::stats() const {
     out.inner_name = corpus.inner_name;
     out.num_nodes = corpus.num_nodes;
     out.requests = corpus.requests.load(std::memory_order_relaxed);
-    // The histogram is a point-in-time read of live counters; stamping
-    // it with the request total says *when* it was taken.
-    out.histogram_epoch = out.requests;
+    // The histogram is a point-in-time read of live counters. The low
+    // word of the epoch says *when* it was taken (the request total);
+    // the high word says *of which corpus version* (the directory
+    // hash), so a client comparing a persisted sidecar's epoch against
+    // a live one never prefers warm data from a replaced corpus —
+    // version bumps always change the epoch.
+    out.histogram_epoch =
+        (HashBytes(corpus.dir_region.data, corpus.dir_region.size)
+         << 32) |
+        (out.requests & 0xFFFFFFFFull);
     out.shard_hits.resize(corpus.rows.size());
     out.shard_pinned.resize(corpus.rows.size());
     for (size_t k = 0; k < corpus.rows.size(); ++k) {

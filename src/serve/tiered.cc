@@ -49,27 +49,6 @@ Status EnsureDirectory(const std::string& path) {
   return Status::OK();
 }
 
-// Plain fwrite of a span (WriteFileBytes wants an owned vector; cache
-// payloads are often borrowed spans and need no extra copy). The
-// cache is best-effort durable: no fsync — a file that loses a power
-// race is caught by the read-time checksum and refetched.
-Status WriteSpanToFile(const std::string& path, ByteSpan bytes) {
-  FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) {
-    return Status::InvalidArgument("cannot open " + path +
-                                   " for writing: " + std::strerror(errno));
-  }
-  size_t wrote =
-      bytes.size == 0 ? 0 : std::fwrite(bytes.data, 1, bytes.size, f);
-  bool ok = wrote == bytes.size && std::fflush(f) == 0;
-  std::fclose(f);
-  if (!ok) {
-    std::remove(path.c_str());
-    return Status::InvalidArgument("short write to " + path);
-  }
-  return Status::OK();
-}
-
 }  // namespace
 
 Result<std::shared_ptr<TieredShardSource>> TieredShardSource::Create(
@@ -204,8 +183,13 @@ Result<ByteSpan> TieredShardSource::FetchShard(size_t shard,
         HashBytes(bytes.data(), bytes.size()) == checksums_[shard]) {
       stat_warm_hits_.fetch_add(1, std::memory_order_relaxed);
       {
+        // InsertLocked, not TouchLocked: a valid file on disk that is
+        // absent from the index (seeded externally, or raced past
+        // SeedFromDisk) must start being byte-accounted here, or the
+        // on-disk footprint silently outgrows the budget. For indexed
+        // entries this degenerates to a touch.
         MutexLock lock(mu_);
-        TouchLocked(filename);
+        InsertLocked(filename, bytes.size());
       }
       *owned = std::move(cached).ValueOrDie();
       return SpanOf(*owned);
@@ -223,21 +207,16 @@ Result<ByteSpan> TieredShardSource::FetchShard(size_t shard,
   ByteSpan payload = fetched.value();
   stat_cold_fetches_.fetch_add(1, std::memory_order_relaxed);
   // Only verified bytes are cached (the caller re-verifies anyway;
-  // this keeps a lying inner source from poisoning the disk). Written
-  // to a tmp sibling and renamed into place so a crash mid-write
-  // never leaves a truncated file under the real name.
+  // this keeps a lying inner source from poisoning the disk). The
+  // write is tmp+rename (WriteFileBytesAtomic) so a crash mid-write
+  // never leaves a truncated file under the real name. Best-effort
+  // durable by design: no fsync — a file that loses a power race is
+  // caught by the read-time checksum and refetched.
   if (payload.size == lengths_[shard] &&
       HashBytes(payload.data, payload.size) == checksums_[shard]) {
-    std::string tmp =
-        path + ".tmp" +
-        std::to_string(tmp_counter_.fetch_add(1, std::memory_order_relaxed));
-    if (WriteSpanToFile(tmp, payload).ok()) {
-      if (std::rename(tmp.c_str(), path.c_str()) == 0) {
-        MutexLock lock(mu_);
-        InsertLocked(filename, payload.size);
-      } else {
-        std::remove(tmp.c_str());
-      }
+    if (WriteFileBytesAtomic(path, payload).ok()) {
+      MutexLock lock(mu_);
+      InsertLocked(filename, payload.size);
     }
   }
   return payload;

@@ -12,11 +12,13 @@
 // truncated cache file fails closed — it is deleted, counted, and the
 // fetch falls through to the inner source.
 //
-// Writes are crash-safe: the payload is written to a ".tmp" sibling
-// and rename(2)d into place, so a crash mid-write leaves at worst a
-// tmp file (ignored and eventually overwritten), never a truncated
-// cache entry under the real name. A byte budget is enforced LRU:
-// inserting past the budget evicts the stalest entries' files.
+// Writes are crash-safe: the payload goes through WriteFileBytesAtomic
+// (a ".tmp" sibling rename(2)d into place — the helper this cache
+// pioneered, now hoisted into src/util/mmap_file.h), so a crash
+// mid-write leaves at worst a tmp file (ignored and eventually
+// overwritten), never a truncated cache entry under the real name. A
+// byte budget is enforced LRU: inserting past the budget evicts the
+// stalest entries' files.
 //
 // Counters (cold fetches, warm hits, corrupt drops, evictions) flow
 // into QueryStats through the AddStats seam, and the inner source's
@@ -132,7 +134,6 @@ class TieredShardSource : public shard::ShardSource {
   mutable std::atomic<uint64_t> stat_cold_fetches_{0};
   mutable std::atomic<uint64_t> stat_evictions_{0};
   mutable std::atomic<uint64_t> stat_corrupt_drops_{0};
-  std::atomic<uint64_t> tmp_counter_{0};
 };
 
 }  // namespace serve

@@ -1,0 +1,363 @@
+#include "src/shard/delta_overlay.h"
+
+#include <algorithm>
+#include <cstring>
+#include <set>
+#include <tuple>
+#include <utility>
+
+#include "src/util/hashing.h"
+
+namespace grepair {
+namespace shard {
+
+const char kDeltaContainerMagic[8] = {'G', 'R', 'S', 'H',
+                                      'A', 'R', 'D', '3'};
+
+namespace {
+
+bool EdgeLess(const DeltaEdge& a, const DeltaEdge& b) {
+  return std::tie(a.u, a.v, a.label) < std::tie(b.u, b.v, b.label);
+}
+
+bool PairLess(const DeltaPair& a, const DeltaPair& b) {
+  return std::tie(a.u, a.v) < std::tie(b.u, b.v);
+}
+
+// The [first == u] slice of a run sorted by (u, ...). The u+1 probe
+// must not wrap, so the max id is special-cased to "rest of the run".
+template <typename Run, typename T, typename Less>
+std::pair<typename Run::const_iterator, typename Run::const_iterator>
+SliceFor(const Run& run, uint32_t u, T lo, T hi, Less less) {
+  auto begin = std::lower_bound(run.begin(), run.end(), lo, less);
+  auto end = (u == ~0u)
+                 ? run.end()
+                 : std::lower_bound(begin, run.end(), hi, less);
+  return {begin, end};
+}
+
+std::pair<std::vector<DeltaEdge>::const_iterator,
+          std::vector<DeltaEdge>::const_iterator>
+EdgeSlice(const std::vector<DeltaEdge>& run, uint32_t u) {
+  return SliceFor(run, u, DeltaEdge{u, 0, 0}, DeltaEdge{u + 1, 0, 0},
+                  EdgeLess);
+}
+
+std::pair<std::vector<DeltaPair>::const_iterator,
+          std::vector<DeltaPair>::const_iterator>
+PairSlice(const std::vector<DeltaPair>& run, uint32_t u) {
+  return SliceFor(run, u, DeltaPair{u, 0}, DeltaPair{u + 1, 0}, PairLess);
+}
+
+// Shared core of MergeOut/MergeIn: (base \ kill slice) union (second
+// field of the add slice, deduplicated).
+std::vector<uint64_t> MergeSlices(
+    std::vector<uint64_t> base,
+    std::vector<DeltaPair>::const_iterator kb,
+    std::vector<DeltaPair>::const_iterator ke, const uint32_t* add_seconds,
+    size_t add_count) {
+  std::vector<uint64_t> out;
+  out.reserve(base.size() + add_count);
+  auto ki = kb;
+  for (uint64_t id : base) {
+    while (ki != ke && static_cast<uint64_t>(ki->v) < id) ++ki;
+    if (ki != ke && static_cast<uint64_t>(ki->v) == id) continue;
+    out.push_back(id);
+  }
+  size_t mid = out.size();
+  uint64_t last = ~0ull;  // outside the u32 id domain
+  for (size_t i = 0; i < add_count; ++i) {
+    if (add_seconds[i] != last) {
+      out.push_back(add_seconds[i]);
+      last = add_seconds[i];
+    }
+  }
+  std::inplace_merge(out.begin(), out.begin() + static_cast<long>(mid),
+                     out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace
+
+void DeltaOverlay::BuildDerivedRuns() {
+  adds_in_.clear();
+  adds_in_.reserve(adds_out_.size());
+  uint64_t max_ref = 0;
+  bool any = false;
+  for (const DeltaEdge& e : adds_out_) {
+    adds_in_.push_back(DeltaPair{e.v, e.u});
+    max_ref = std::max<uint64_t>(max_ref, std::max(e.u, e.v));
+    any = true;
+  }
+  std::sort(adds_in_.begin(), adds_in_.end(), PairLess);
+  // Two labels on the same pair collapse to one (v, u) entry — the
+  // in-direction run answers "which sources", not "which edges".
+  adds_in_.erase(std::unique(adds_in_.begin(), adds_in_.end()),
+                 adds_in_.end());
+  kills_in_.clear();
+  kills_in_.reserve(kills_out_.size());
+  for (const DeltaPair& p : kills_out_) {
+    kills_in_.push_back(DeltaPair{p.v, p.u});
+    max_ref = std::max<uint64_t>(max_ref, std::max(p.u, p.v));
+    any = true;
+  }
+  std::sort(kills_in_.begin(), kills_in_.end(), PairLess);
+  min_num_nodes_ = any ? max_ref + 1 : 0;
+}
+
+Result<std::shared_ptr<const DeltaOverlay>> DeltaOverlay::Apply(
+    const DeltaOverlay* base, const std::vector<EdgeEdit>& edits) {
+  std::set<std::tuple<uint32_t, uint32_t, uint32_t>> adds;
+  std::set<std::pair<uint32_t, uint32_t>> kills;
+  if (base != nullptr) {
+    for (const DeltaEdge& e : base->adds_out_) {
+      adds.emplace(e.u, e.v, e.label);
+    }
+    for (const DeltaPair& p : base->kills_out_) {
+      kills.emplace(p.u, p.v);
+    }
+  }
+  for (const EdgeEdit& edit : edits) {
+    if (edit.kind == EdgeEdit::kAdd) {
+      if (edit.u == edit.v) {
+        return Status::InvalidArgument(
+            "cannot add self-loop edge " + std::to_string(edit.u) + " -> " +
+            std::to_string(edit.v) + " (excluded by the graph model)");
+      }
+      adds.emplace(edit.u, edit.v, edit.label);
+    } else {
+      kills.emplace(edit.u, edit.v);
+      // A delete erases pending adds of the pair, every label.
+      adds.erase(adds.lower_bound(std::make_tuple(edit.u, edit.v, 0u)),
+                 adds.upper_bound(std::make_tuple(edit.u, edit.v, ~0u)));
+    }
+  }
+  auto overlay = std::shared_ptr<DeltaOverlay>(new DeltaOverlay());
+  overlay->adds_out_.reserve(adds.size());
+  for (const auto& t : adds) {
+    overlay->adds_out_.push_back(
+        DeltaEdge{std::get<0>(t), std::get<1>(t), std::get<2>(t)});
+  }
+  overlay->kills_out_.reserve(kills.size());
+  for (const auto& p : kills) {
+    overlay->kills_out_.push_back(DeltaPair{p.first, p.second});
+  }
+  overlay->BuildDerivedRuns();
+  return std::shared_ptr<const DeltaOverlay>(std::move(overlay));
+}
+
+Result<std::shared_ptr<const DeltaOverlay>> DeltaOverlay::FromRuns(
+    std::vector<DeltaEdge> adds, std::vector<DeltaPair> kills) {
+  for (size_t i = 0; i < adds.size(); ++i) {
+    if (adds[i].u == adds[i].v) {
+      return Status::Corruption("overlay add run has self-loop at entry " +
+                                std::to_string(i));
+    }
+    if (i > 0 && !EdgeLess(adds[i - 1], adds[i])) {
+      return Status::Corruption(
+          "overlay add run unsorted or duplicated at entry " +
+          std::to_string(i));
+    }
+  }
+  for (size_t i = 1; i < kills.size(); ++i) {
+    if (!PairLess(kills[i - 1], kills[i])) {
+      return Status::Corruption(
+          "overlay kill run unsorted or duplicated at entry " +
+          std::to_string(i));
+    }
+  }
+  auto overlay = std::shared_ptr<DeltaOverlay>(new DeltaOverlay());
+  overlay->adds_out_ = std::move(adds);
+  overlay->kills_out_ = std::move(kills);
+  overlay->BuildDerivedRuns();
+  return std::shared_ptr<const DeltaOverlay>(std::move(overlay));
+}
+
+std::vector<uint64_t> DeltaOverlay::MergeOut(
+    uint64_t node, std::vector<uint64_t> base) const {
+  if (node > ~0u) return base;  // beyond the u32 edit domain
+  uint32_t u = static_cast<uint32_t>(node);
+  auto kills = PairSlice(kills_out_, u);
+  auto adds = EdgeSlice(adds_out_, u);
+  if (kills.first == kills.second && adds.first == adds.second) return base;
+  std::vector<uint32_t> add_targets;
+  add_targets.reserve(static_cast<size_t>(adds.second - adds.first));
+  for (auto it = adds.first; it != adds.second; ++it) {
+    add_targets.push_back(it->v);  // sorted; labels may repeat a target
+  }
+  return MergeSlices(std::move(base), kills.first, kills.second,
+                     add_targets.data(), add_targets.size());
+}
+
+std::vector<uint64_t> DeltaOverlay::MergeIn(
+    uint64_t node, std::vector<uint64_t> base) const {
+  if (node > ~0u) return base;
+  uint32_t v = static_cast<uint32_t>(node);
+  auto kills = PairSlice(kills_in_, v);
+  auto adds = PairSlice(adds_in_, v);
+  if (kills.first == kills.second && adds.first == adds.second) return base;
+  std::vector<uint32_t> add_sources;
+  add_sources.reserve(static_cast<size_t>(adds.second - adds.first));
+  for (auto it = adds.first; it != adds.second; ++it) {
+    add_sources.push_back(it->v);  // (v, u) entries: ->v is the source
+  }
+  return MergeSlices(std::move(base), kills.first, kills.second,
+                     add_sources.data(), add_sources.size());
+}
+
+bool DeltaOverlay::IsKilled(uint64_t u, uint64_t v) const {
+  if (u > ~0u || v > ~0u) return false;
+  DeltaPair probe{static_cast<uint32_t>(u), static_cast<uint32_t>(v)};
+  return std::binary_search(kills_out_.begin(), kills_out_.end(), probe,
+                            PairLess);
+}
+
+bool DeltaOverlay::TouchesOut(uint64_t node) const {
+  if (node > ~0u) return false;
+  uint32_t u = static_cast<uint32_t>(node);
+  auto kills = PairSlice(kills_out_, u);
+  if (kills.first != kills.second) return true;
+  auto adds = EdgeSlice(adds_out_, u);
+  return adds.first != adds.second;
+}
+
+bool DeltaOverlay::TouchesIn(uint64_t node) const {
+  if (node > ~0u) return false;
+  uint32_t v = static_cast<uint32_t>(node);
+  auto kills = PairSlice(kills_in_, v);
+  if (kills.first != kills.second) return true;
+  auto adds = PairSlice(adds_in_, v);
+  return adds.first != adds.second;
+}
+
+bool IsDeltaContainer(ByteSpan bytes) {
+  return bytes.size >= sizeof(kDeltaContainerMagic) &&
+         std::memcmp(bytes.data, kDeltaContainerMagic,
+                     sizeof(kDeltaContainerMagic)) == 0;
+}
+
+std::vector<uint8_t> EncodeDeltaContainer(const DeltaContainer& delta) {
+  ByteSink sink;
+  sink.Append(ByteSpan(
+      reinterpret_cast<const uint8_t*>(kDeltaContainerMagic),
+      sizeof(kDeltaContainerMagic)));
+  sink.PutU64LE(delta.base_hash);
+  sink.PutU64LE(delta.base_size);
+  sink.PutU64LE(delta.base_dir_checksum);
+  sink.PutU64LE(delta.num_nodes);
+  sink.PutU32LE(static_cast<uint32_t>(delta.shards.size()));
+  for (const DeltaContainer::ChangedShard& shard : delta.shards) {
+    sink.PutU32LE(shard.index);
+    sink.PutU64LE(shard.payload.size());
+    sink.PutU64LE(shard.checksum);
+    sink.Append(shard.payload);
+  }
+  sink.PutU32LE(static_cast<uint32_t>(delta.adds.size()));
+  for (const DeltaEdge& e : delta.adds) {
+    sink.PutU32LE(e.u);
+    sink.PutU32LE(e.v);
+    sink.PutU32LE(e.label);
+  }
+  sink.PutU32LE(static_cast<uint32_t>(delta.kills.size()));
+  for (const DeltaPair& p : delta.kills) {
+    sink.PutU32LE(p.u);
+    sink.PutU32LE(p.v);
+  }
+  std::vector<uint8_t> bytes = sink.TakeBytes();
+  PutU64LE(HashBytes(bytes.data(), bytes.size()), &bytes);
+  return bytes;
+}
+
+Result<DeltaContainer> DecodeDeltaContainer(ByteSpan bytes,
+                                            const std::string& context) {
+  const std::string where = context.empty() ? "delta container" : context;
+  if (!IsDeltaContainer(bytes)) {
+    return Status::InvalidArgument(where +
+                                   ": not a GRSHARD3 delta container");
+  }
+  // The trailing checksum gates everything: a torn or tampered delta
+  // is rejected before any field is trusted.
+  if (bytes.size < sizeof(kDeltaContainerMagic) + 8) {
+    return Status::Corruption(where + ": truncated delta container");
+  }
+  size_t body_len = bytes.size - 8;
+  uint64_t stored = 0;
+  for (int i = 0; i < 8; ++i) {
+    stored |= static_cast<uint64_t>(bytes[body_len + i]) << (8 * i);
+  }
+  if (HashBytes(bytes.data, body_len) != stored) {
+    return Status::Corruption(where + ": delta container checksum mismatch");
+  }
+  ByteSource src(ByteSpan(bytes.data + sizeof(kDeltaContainerMagic),
+                          body_len - sizeof(kDeltaContainerMagic)),
+                 where);
+  DeltaContainer delta;
+  GREPAIR_RETURN_IF_ERROR(src.ReadU64LE(&delta.base_hash));
+  GREPAIR_RETURN_IF_ERROR(src.ReadU64LE(&delta.base_size));
+  GREPAIR_RETURN_IF_ERROR(src.ReadU64LE(&delta.base_dir_checksum));
+  GREPAIR_RETURN_IF_ERROR(src.ReadU64LE(&delta.num_nodes));
+  uint32_t shard_count = 0;
+  GREPAIR_RETURN_IF_ERROR(src.ReadU32LE(&shard_count));
+  if (shard_count > src.remaining() / (4 + 8 + 8)) {
+    return Status::Corruption(where + ": implausible changed-shard count " +
+                              std::to_string(shard_count));
+  }
+  delta.shards.reserve(shard_count);
+  for (uint32_t i = 0; i < shard_count; ++i) {
+    DeltaContainer::ChangedShard shard;
+    uint64_t length = 0;
+    GREPAIR_RETURN_IF_ERROR(src.ReadU32LE(&shard.index));
+    GREPAIR_RETURN_IF_ERROR(src.ReadU64LE(&length));
+    GREPAIR_RETURN_IF_ERROR(src.ReadU64LE(&shard.checksum));
+    if (!delta.shards.empty() && shard.index <= delta.shards.back().index) {
+      return Status::Corruption(where +
+                                ": changed-shard indices not ascending");
+    }
+    ByteSpan payload;
+    GREPAIR_RETURN_IF_ERROR(src.ReadSpan(length, &payload));
+    if (HashBytes(payload.data, payload.size) != shard.checksum) {
+      return Status::Corruption(where + ": changed shard " +
+                                std::to_string(shard.index) +
+                                " payload checksum mismatch");
+    }
+    shard.payload = payload.ToVector();
+    delta.shards.push_back(std::move(shard));
+  }
+  uint32_t add_count = 0;
+  GREPAIR_RETURN_IF_ERROR(src.ReadU32LE(&add_count));
+  if (add_count > src.remaining() / 12) {
+    return Status::Corruption(where + ": implausible add count " +
+                              std::to_string(add_count));
+  }
+  delta.adds.reserve(add_count);
+  for (uint32_t i = 0; i < add_count; ++i) {
+    DeltaEdge e;
+    GREPAIR_RETURN_IF_ERROR(src.ReadU32LE(&e.u));
+    GREPAIR_RETURN_IF_ERROR(src.ReadU32LE(&e.v));
+    GREPAIR_RETURN_IF_ERROR(src.ReadU32LE(&e.label));
+    delta.adds.push_back(e);
+  }
+  uint32_t kill_count = 0;
+  GREPAIR_RETURN_IF_ERROR(src.ReadU32LE(&kill_count));
+  if (kill_count > src.remaining() / 8) {
+    return Status::Corruption(where + ": implausible kill count " +
+                              std::to_string(kill_count));
+  }
+  delta.kills.reserve(kill_count);
+  for (uint32_t i = 0; i < kill_count; ++i) {
+    DeltaPair p;
+    GREPAIR_RETURN_IF_ERROR(src.ReadU32LE(&p.u));
+    GREPAIR_RETURN_IF_ERROR(src.ReadU32LE(&p.v));
+    delta.kills.push_back(p);
+  }
+  GREPAIR_RETURN_IF_ERROR(src.ExpectExhausted("delta container"));
+  // Run sortedness is part of the format; FromRuns re-checks on the
+  // consuming side, but a decode must already fail closed.
+  auto runs = DeltaOverlay::FromRuns(delta.adds, delta.kills);
+  if (!runs.ok()) return runs.status();
+  return delta;
+}
+
+}  // namespace shard
+}  // namespace grepair

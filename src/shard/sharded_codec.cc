@@ -4,7 +4,9 @@
 #include <cstring>
 #include <deque>
 #include <limits>
+#include <set>
 #include <thread>
+#include <tuple>
 #include <unordered_set>
 
 #include "src/api/codec_registry.h"
@@ -369,6 +371,11 @@ ShardedRep::ShardedRep(std::string inner_name, uint32_t inner_capabilities,
   for (size_t i = 0; i < slots; ++i) {
     lazy_published_[i].store(nullptr, std::memory_order_relaxed);
   }
+  folded_published_.reset(new std::atomic<const FoldedShard*>[slots]);
+  for (size_t i = 0; i < slots; ++i) {
+    folded_published_[i].store(nullptr, std::memory_order_relaxed);
+  }
+  total_nodes_.store(num_nodes_, std::memory_order_relaxed);
 }
 
 ShardedRep::~ShardedRep() = default;
@@ -513,6 +520,18 @@ void ShardedRep::PrefetchOne(size_t shard) const {
 
 Result<ByteSpan> ShardedRep::VerifiedPayload(
     size_t shard, std::vector<uint8_t>* owned) const {
+  // A folded shard's bytes supersede the base container's: they were
+  // produced (and hashed) locally by the fold, and stay alive for the
+  // rep's lifetime.
+  if (const FoldedShard* folded = FoldedFor(shard)) {
+    ByteSpan payload = SpanOf(folded->payload);
+    uint64_t actual = HashBytes(payload.data, payload.size);
+    if (actual != folded->checksum) {
+      return Status::Corruption("folded shard " + std::to_string(shard) +
+                                " payload checksum mismatch");
+    }
+    return payload;
+  }
   const Entry& entry = entries_[shard];
   ByteSpan payload = entry.payload_bytes();
   if (payload.size == 0 && entry.length > 0) {
@@ -552,6 +571,11 @@ Result<ByteSpan> ShardedRep::VerifiedPayload(
 Result<const api::CompressedRep*> ShardedRep::ShardRepFor(
     size_t shard, bool* faulted) const {
   if (faulted != nullptr) *faulted = false;
+  // Folded grammar first: once a fold has recompressed this shard,
+  // its rep is the shard's truth (base payload + folded edits).
+  if (const FoldedShard* folded = FoldedFor(shard)) {
+    return static_cast<const api::CompressedRep*>(folded->rep.get());
+  }
   const Entry& entry = entries_[shard];
   if (entry.rep != nullptr) {
     return static_cast<const api::CompressedRep*>(entry.rep.get());
@@ -652,9 +676,14 @@ std::shared_ptr<const std::vector<uint64_t>> ShardedRep::LookupResult(
 
 void ShardedRep::StoreResult(
     uint64_t key,
-    std::shared_ptr<const std::vector<uint64_t>> value) const {
+    std::shared_ptr<const std::vector<uint64_t>> value,
+    uint64_t edit_epoch) const {
   size_t bytes = value->size() * sizeof(uint64_t) + 80;  // + map overhead
   MutexLock lock(cache_mutex_);
+  // Edits landed while this answer was computed: it reflects the old
+  // corpus, and the memo flush that accompanied the epoch bump may
+  // already have run — never let the stale answer in behind it.
+  if (edit_epoch_.load(std::memory_order_relaxed) != edit_epoch) return;
   size_t budget =
       ResultBudget(cache_bytes_limit_.load(std::memory_order_relaxed));
   if (budget == 0 || bytes > budget) return;
@@ -692,7 +721,11 @@ ShardedRep::GetOrDecodeShard(size_t shard, size_t pending) const {
   // Decode outside the lock: it runs inner decompression (and on lazy
   // reps may fault the shard in first) and must not serialize
   // concurrent queries on other shards. A racing decode of the same
-  // shard wastes work but stays correct (first insert wins).
+  // shard wastes work but stays correct (first insert wins). The fold
+  // epoch is captured before the rep is resolved: if a fold publishes
+  // while we decode, the result below came from the pre-fold grammar
+  // and must not be cached past the publish's invalidation.
+  uint64_t fold_epoch = fold_epoch_.load(std::memory_order_acquire);
   auto rep = ShardRepFor(shard);
   if (!rep.ok() || rep.value() == nullptr) {
     return nullptr;  // fault errors resurface via per-node routing
@@ -703,6 +736,12 @@ ShardedRep::GetOrDecodeShard(size_t shard, size_t pending) const {
 
   MutexLock lock(cache_mutex_);
   if (cache_slots_[shard] != nullptr) return cache_slots_[shard];
+  if (fold_epoch_.load(std::memory_order_relaxed) != fold_epoch) {
+    // Usable for this call (the caller's overlay snapshot predates the
+    // fold, so the pre-fold view merges correctly), but stale for any
+    // query that snapshots the post-fold residual.
+    return decoded;
+  }
   size_t budget =
       ShardBudget(cache_bytes_limit_.load(std::memory_order_relaxed));
   // A shard that cannot fit the budget must not flush everyone else
@@ -776,7 +815,11 @@ std::vector<uint8_t> ShardedRep::SerializeV2() const {
     // Entries with a directory checksum were just verified against it
     // by VerifiedPayload — reuse it instead of hashing the bytes a
     // second time; only eager entries (checksum 0) compute fresh.
-    dir[i].checksum = entries_[i].checksum != 0
+    // Folded shards carry their fold-time checksum (the base entry's
+    // no longer matches the bytes VerifiedPayload just returned).
+    const FoldedShard* folded = FoldedFor(i);
+    dir[i].checksum = folded != nullptr ? folded->checksum
+                      : entries_[i].checksum != 0
                           ? entries_[i].checksum
                           : HashBytes(payload.data, payload.size);
     out.insert(out.end(), payload.begin(), payload.end());
@@ -808,7 +851,8 @@ std::vector<uint8_t> ShardedRep::SerializeV2() const {
 
 size_t ShardedRep::ByteSize() const {
   size_t size = 8 + 1 + inner_name_.size() + 8 + 4;  // container header
-  for (const Entry& entry : entries_) {
+  for (size_t s = 0; s < entries_.size(); ++s) {
+    const Entry& entry = entries_[s];
     size_t map_bits = 0;
     uint64_t prev = 0;
     for (size_t i = 0; i < entry.nodes.size(); ++i) {
@@ -816,13 +860,26 @@ size_t ShardedRep::ByteSize() const {
       map_bits += EliasDeltaLength(i == 0 ? shifted : shifted - prev);
       prev = shifted;
     }
+    const FoldedShard* folded = FoldedFor(s);
     size += 8 + (map_bits + 7) / 8 + 8 +
-            static_cast<size_t>(entry.payload_length());
+            (folded != nullptr
+                 ? folded->payload.size()
+                 : static_cast<size_t>(entry.payload_length()));
   }
   return size;
 }
 
 Result<Hypergraph> ShardedRep::Decompress() const {
+  // Holding fold_mu_ keeps the folded-shard set stable for the whole
+  // walk, so the residual overlay snapshot below is exactly the set of
+  // edits the shard payloads do NOT contain — a fold publishing
+  // mid-walk would otherwise double-apply its adds.
+  MutexLock fold_lock(fold_mu_);
+  std::shared_ptr<const DeltaOverlay> overlay;
+  {
+    MutexLock lock(overlay_mu_);
+    if (overlay_ != nullptr && !overlay_->empty()) overlay = overlay_;
+  }
   size_t count = entries_.size();
   // A full decompression walks every payload front to back: tell the
   // kernel so readahead runs ahead of the workers. Restored to
@@ -856,7 +913,7 @@ Result<Hypergraph> ShardedRep::Decompress() const {
     }
   });
 
-  Hypergraph global(static_cast<uint32_t>(num_nodes_));
+  Hypergraph global(static_cast<uint32_t>(num_nodes()));
   for (size_t i = 0; i < count; ++i) {
     const Entry& entry = entries_[i];
     if (!entry.has_payload()) continue;
@@ -879,6 +936,33 @@ Result<Hypergraph> ShardedRep::Decompress() const {
       global.AddEdge(edge.label, std::move(att));
     }
   }
+  if (overlay != nullptr) {
+    // Kills remove every base copy of their pair; adds then contribute
+    // exactly the edges the base does not already hold (the logical
+    // corpus is a set union, so an add that duplicates a surviving
+    // base edge must not produce a second copy).
+    global.RemoveEdgesIf([&](const HEdge& e) {
+      return e.att.size() == 2 && overlay->IsKilled(e.att[0], e.att[1]);
+    });
+    const std::vector<DeltaEdge>& adds = overlay->adds();
+    std::vector<uint8_t> present(adds.size(), 0);
+    for (const HEdge& e : global.edges()) {
+      if (e.att.size() != 2) continue;
+      DeltaEdge probe{e.att[0], e.att[1], e.label};
+      auto it = std::lower_bound(
+          adds.begin(), adds.end(), probe,
+          [](const DeltaEdge& a, const DeltaEdge& b) {
+            return std::tie(a.u, a.v, a.label) < std::tie(b.u, b.v, b.label);
+          });
+      if (it != adds.end() && *it == probe) {
+        present[static_cast<size_t>(it - adds.begin())] = 1;
+      }
+    }
+    for (size_t k = 0; k < adds.size(); ++k) {
+      if (present[k]) continue;
+      global.AddSimpleEdge(adds[k].u, adds[k].v, adds[k].label);
+    }
+  }
   return global;
 }
 
@@ -893,11 +977,20 @@ Result<std::vector<uint64_t>> ShardedRep::RoutedNeighbors(uint64_t node,
     return Status::Unimplemented("inner codec '" + inner_name_ +
                                  "' does not answer neighbor queries");
   }
-  GREPAIR_RETURN_IF_ERROR(api::CheckNodeId(node, num_nodes_));
+  GREPAIR_RETURN_IF_ERROR(api::CheckNodeId(node, num_nodes()));
   uint64_t result_key = node * 2 + (out ? 1 : 0);
   if (auto memoized = LookupResult(result_key)) {
     stat_hits_.fetch_add(1, std::memory_order_relaxed);
     return *memoized;
+  }
+  // Reader protocol (see PublishFolds): the edit epoch is read before
+  // the overlay, the overlay before any shard state. A fold that
+  // publishes after the snapshot only makes shard views newer, and
+  // re-applying the snapshot's edits over a folded view is idempotent.
+  uint64_t edit_epoch = edit_epoch_.load(std::memory_order_acquire);
+  std::shared_ptr<const DeltaOverlay> overlay;
+  if (has_overlay_.load(std::memory_order_acquire)) {
+    overlay = overlay_snapshot();
   }
   std::vector<uint64_t> all;
   for (size_t i = 0; i < entries_.size(); ++i) {
@@ -928,8 +1021,14 @@ Result<std::vector<uint64_t>> ShardedRep::RoutedNeighbors(uint64_t node,
   }
   std::sort(all.begin(), all.end());
   all.erase(std::unique(all.begin(), all.end()), all.end());
+  if (overlay != nullptr &&
+      (out ? overlay->TouchesOut(node) : overlay->TouchesIn(node))) {
+    all = out ? overlay->MergeOut(node, std::move(all))
+              : overlay->MergeIn(node, std::move(all));
+    stat_overlay_merges_.fetch_add(1, std::memory_order_relaxed);
+  }
   auto value = std::make_shared<std::vector<uint64_t>>(std::move(all));
-  StoreResult(result_key, value);
+  StoreResult(result_key, value, edit_epoch);
   return *value;
 }
 
@@ -948,8 +1047,8 @@ Result<bool> ShardedRep::ReachableImpl(uint64_t from, uint64_t to) const {
     return Status::Unimplemented(
         "sharded reachability needs an inner codec with neighbor queries");
   }
-  GREPAIR_RETURN_IF_ERROR(api::CheckNodeId(from, num_nodes_));
-  GREPAIR_RETURN_IF_ERROR(api::CheckNodeId(to, num_nodes_));
+  GREPAIR_RETURN_IF_ERROR(api::CheckNodeId(from, num_nodes()));
+  GREPAIR_RETURN_IF_ERROR(api::CheckNodeId(to, num_nodes()));
   if (from == to) return true;
   // Cross-shard BFS over routed neighbor queries. The visited set is
   // sized by what the search touches, not by the container's
@@ -982,10 +1081,18 @@ Result<std::vector<std::vector<uint64_t>>> ShardedRep::OutNeighborsBatch(
                                  "' does not answer neighbor queries");
   }
   for (uint64_t node : nodes) {
-    GREPAIR_RETURN_IF_ERROR(api::CheckNodeId(node, num_nodes_));
+    GREPAIR_RETURN_IF_ERROR(api::CheckNodeId(node, num_nodes()));
   }
   stat_batch_calls_.fetch_add(1, std::memory_order_relaxed);
   stat_batch_items_.fetch_add(nodes.size(), std::memory_order_relaxed);
+
+  // Overlay snapshot before any shard state (reader protocol; see
+  // RoutedNeighbors). The batch path never memoizes, so no edit epoch
+  // is needed here.
+  std::shared_ptr<const DeltaOverlay> overlay;
+  if (has_overlay_.load(std::memory_order_acquire)) {
+    overlay = overlay_snapshot();
+  }
 
   // Answer each distinct node once; real batch workloads repeat hot
   // nodes, and duplicates are expanded from the unique answers at the
@@ -1102,6 +1209,11 @@ Result<std::vector<std::vector<uint64_t>>> ShardedRep::OutNeighborsBatch(
       std::sort(list.begin(), list.end());
       list.erase(std::unique(list.begin(), list.end()), list.end());
     }
+    if (overlay != nullptr && overlay->TouchesOut(uniq[u])) {
+      uniq_results[u] =
+          overlay->MergeOut(uniq[u], std::move(uniq_results[u]));
+      stat_overlay_merges_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
 
   std::vector<std::vector<uint64_t>> results(nodes.size());
@@ -1121,8 +1233,8 @@ Result<std::vector<uint8_t>> ShardedRep::ReachableBatch(
         "sharded reachability needs an inner codec with neighbor queries");
   }
   for (const auto& [from, to] : pairs) {
-    GREPAIR_RETURN_IF_ERROR(api::CheckNodeId(from, num_nodes_));
-    GREPAIR_RETURN_IF_ERROR(api::CheckNodeId(to, num_nodes_));
+    GREPAIR_RETURN_IF_ERROR(api::CheckNodeId(from, num_nodes()));
+    GREPAIR_RETURN_IF_ERROR(api::CheckNodeId(to, num_nodes()));
   }
   stat_batch_calls_.fetch_add(1, std::memory_order_relaxed);
   stat_batch_items_.fetch_add(pairs.size(), std::memory_order_relaxed);
@@ -1164,6 +1276,14 @@ api::QueryStats ShardedRep::query_stats() const {
   // Network/pool/tier counters live with the source stack: the rep
   // cannot tell an SSD-warm hit from a WAN fetch, but the sources can.
   if (source_ != nullptr) source_->AddStats(&stats);
+  stats.overlay_merges =
+      stat_overlay_merges_.load(std::memory_order_relaxed);
+  stats.shard_folds = stat_shard_folds_.load(std::memory_order_relaxed);
+  stats.folded_edits = stat_folded_edits_.load(std::memory_order_relaxed);
+  {
+    MutexLock lock(overlay_mu_);
+    if (overlay_ != nullptr) stats.overlay_edits = overlay_->edit_count();
+  }
   {
     MutexLock lock(cache_mutex_);
     stats.cache_bytes_used = cache_bytes_used_ + result_bytes_used_;
@@ -1173,6 +1293,7 @@ api::QueryStats ShardedRep::query_stats() const {
   // consulted — stats must never fault a shard in.
   for (size_t i = 0; i < entries_.size(); ++i) {
     const api::CompressedRep* rep = entries_[i].rep.get();
+    if (const FoldedShard* folded = FoldedFor(i)) rep = folded->rep.get();
     if (rep == nullptr) {
       rep = lazy_published_[i].load(std::memory_order_acquire);
     }
@@ -1182,6 +1303,429 @@ api::QueryStats ShardedRep::query_stats() const {
     stats.memo_hits += inner.memo_hits;
   }
   return stats;
+}
+
+// ---------------------------------------------------------------------------
+// Mutable corpus: overlay edits, folds, GRSHARD3 deltas
+
+std::shared_ptr<const DeltaOverlay> ShardedRep::overlay_snapshot() const {
+  {
+    MutexLock lock(overlay_mu_);
+    if (overlay_ != nullptr) return overlay_;
+  }
+  // Clean rep: hand out a shared empty snapshot so callers never
+  // branch on null.
+  static const std::shared_ptr<const DeltaOverlay>* kEmpty =
+      new std::shared_ptr<const DeltaOverlay>(
+          DeltaOverlay::Apply(nullptr, {}).ValueOrDie());
+  return *kEmpty;
+}
+
+Status ShardedRep::ApplyEdits(const std::vector<EdgeEdit>& edits) {
+  if (edits.empty()) return Status::OK();
+  // fold_mu_ keeps the overlay stable against a concurrent fold's
+  // publish (the fold planner snapshots the overlay and swaps in its
+  // residual; an edit landing in between would be lost).
+  MutexLock fold_lock(fold_mu_);
+  uint64_t overlay_bytes = 0;
+  {
+    MutexLock lock(overlay_mu_);
+    auto next = DeltaOverlay::Apply(overlay_.get(), edits);
+    if (!next.ok()) return next.status();
+    overlay_ = std::move(next).ValueOrDie();
+    has_overlay_.store(!overlay_->empty(), std::memory_order_release);
+    overlay_bytes = overlay_->ByteSize();
+    uint64_t min_nodes = overlay_->min_num_nodes();
+    uint64_t cur = total_nodes_.load(std::memory_order_relaxed);
+    while (min_nodes > cur &&
+           !total_nodes_.compare_exchange_weak(cur, min_nodes,
+                                               std::memory_order_release,
+                                               std::memory_order_relaxed)) {
+    }
+    // The memo holds pre-edit answers; flush it inside the same
+    // critical section the epoch bump lands in, so an in-flight query
+    // can neither hit a stale entry nor store one behind the flush.
+    MutexLock cache_lock(cache_mutex_);
+    edit_epoch_.fetch_add(1, std::memory_order_release);
+    results_.clear();
+    result_lru_.clear();
+    result_bytes_used_ = 0;
+  }
+  uint64_t budget = overlay_budget_bytes_.load(std::memory_order_relaxed);
+  if (budget != ~0ull && overlay_bytes > budget) {
+    return FoldOverlayLocked();
+  }
+  return Status::OK();
+}
+
+Status ShardedRep::FoldOverlay() {
+  MutexLock fold_lock(fold_mu_);
+  return FoldOverlayLocked();
+}
+
+Status ShardedRep::FoldOverlayLocked() {
+  std::shared_ptr<const DeltaOverlay> snap;
+  {
+    MutexLock lock(overlay_mu_);
+    snap = overlay_;
+  }
+  if (snap == nullptr || snap->empty()) return Status::OK();
+
+  const size_t shard_count = entries_.size();
+  std::vector<std::vector<DeltaPair>> shard_kills(shard_count);
+  std::vector<std::vector<DeltaEdge>> shard_adds(shard_count);
+  std::vector<DeltaPair> residual_kills;
+  std::vector<DeltaEdge> residual_adds;
+
+  // Kill eligibility: a kill folds only into the *unique* shard whose
+  // node map holds both endpoints — with the pair resolvable in two or
+  // more shards, folding into one would leave another shard's base
+  // copy alive and the residual kill gone. No shard holding both
+  // endpoints means no base copy exists: the kill is spent (Apply
+  // already erased pending adds of the pair).
+  for (const DeltaPair& kill : snap->kills()) {
+    size_t owner = shard_count;
+    int owners = 0;
+    for (size_t i = 0; i < shard_count; ++i) {
+      const Entry& e = entries_[i];
+      if (!e.has_payload()) continue;
+      if (!ShardMayContain(e.nodes, kill.u) ||
+          !ShardMayContain(e.nodes, kill.v)) {
+        continue;
+      }
+      if (LocalId(e.nodes, kill.u) == kInvalidNode) continue;
+      if (LocalId(e.nodes, kill.v) == kInvalidNode) continue;
+      owner = i;
+      if (++owners > 1) break;
+    }
+    if (owners == 0) continue;
+    if (owners > 1) {
+      residual_kills.push_back(kill);
+      continue;
+    }
+    shard_kills[owner].push_back(kill);
+  }
+
+  // Add eligibility: the first shard holding both endpoints takes the
+  // edge — unless the pair has a residual kill, in which case the
+  // query-time merge (which applies kills to base answers) would
+  // re-kill the folded edge; such adds stay residual with their kill.
+  // Adds referencing fresh nodes (no shard holds them) stay residual
+  // until a future full recompression.
+  for (const DeltaEdge& add : snap->adds()) {
+    size_t owner = shard_count;
+    for (size_t i = 0; i < shard_count; ++i) {
+      const Entry& e = entries_[i];
+      if (!e.has_payload()) continue;
+      if (!ShardMayContain(e.nodes, add.u) ||
+          !ShardMayContain(e.nodes, add.v)) {
+        continue;
+      }
+      if (LocalId(e.nodes, add.u) == kInvalidNode) continue;
+      if (LocalId(e.nodes, add.v) == kInvalidNode) continue;
+      owner = i;
+      break;
+    }
+    bool killed_residual = std::binary_search(
+        residual_kills.begin(), residual_kills.end(),
+        DeltaPair{add.u, add.v}, [](const DeltaPair& a, const DeltaPair& b) {
+          return std::tie(a.u, a.v) < std::tie(b.u, b.v);
+        });
+    if (owner == shard_count || killed_residual) {
+      residual_adds.push_back(add);
+      continue;
+    }
+    shard_adds[owner].push_back(add);
+  }
+
+  std::vector<size_t> work;
+  for (size_t i = 0; i < shard_count; ++i) {
+    if (!shard_kills[i].empty() || !shard_adds[i].empty()) work.push_back(i);
+  }
+  if (work.empty()) {
+    // Only ineligible edits: the residual equals the snapshot minus
+    // spent kills. Publishing just that still shrinks the overlay.
+    if (residual_kills.size() == snap->kill_count() &&
+        residual_adds.size() == snap->add_count()) {
+      return Status::OK();  // nothing changed at all
+    }
+    auto residual = DeltaOverlay::FromRuns(std::move(residual_adds),
+                                           std::move(residual_kills));
+    if (!residual.ok()) return residual.status();
+    PublishFolds({}, std::move(residual).ValueOrDie(),
+                 /*replace_all=*/false, /*bump_edit_epoch=*/false);
+    return Status::OK();
+  }
+
+  // Recompress the touched shards on the compression pool. A shard
+  // whose fold fails keeps its edits residual (fail-soft, never
+  // lossy); the base container file is never touched, so a crash at
+  // any point here leaves the on-disk corpus exactly as it was.
+  std::vector<std::shared_ptr<FoldedShard>> folded(shard_count);
+  RunIndexedOnPool(work.size(), decompress_threads_, [&](size_t w) {
+    size_t i = work[w];
+    std::shared_ptr<FoldedShard> out;
+    if (FoldOneShard(i, shard_kills[i], shard_adds[i], &out).ok()) {
+      folded[i] = std::move(out);
+    }
+  });
+
+  std::vector<std::pair<size_t, std::shared_ptr<FoldedShard>>> publish;
+  uint64_t folded_edits = 0;
+  for (size_t i : work) {
+    if (folded[i] != nullptr) {
+      publish.emplace_back(i, folded[i]);
+      folded_edits += shard_kills[i].size() + shard_adds[i].size();
+    } else {
+      residual_kills.insert(residual_kills.end(), shard_kills[i].begin(),
+                            shard_kills[i].end());
+      residual_adds.insert(residual_adds.end(), shard_adds[i].begin(),
+                           shard_adds[i].end());
+    }
+  }
+  // Re-sort: failed shards' edits were appended out of order.
+  std::sort(residual_kills.begin(), residual_kills.end(),
+            [](const DeltaPair& a, const DeltaPair& b) {
+              return std::tie(a.u, a.v) < std::tie(b.u, b.v);
+            });
+  std::sort(residual_adds.begin(), residual_adds.end(),
+            [](const DeltaEdge& a, const DeltaEdge& b) {
+              return std::tie(a.u, a.v, a.label) <
+                     std::tie(b.u, b.v, b.label);
+            });
+  auto residual = DeltaOverlay::FromRuns(std::move(residual_adds),
+                                         std::move(residual_kills));
+  if (!residual.ok()) return residual.status();
+
+  size_t fold_count = publish.size();
+  PublishFolds(std::move(publish), std::move(residual).ValueOrDie(),
+               /*replace_all=*/false, /*bump_edit_epoch=*/false);
+  stat_shard_folds_.fetch_add(fold_count, std::memory_order_relaxed);
+  stat_folded_edits_.fetch_add(folded_edits, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status ShardedRep::FoldOneShard(size_t shard,
+                                const std::vector<DeltaPair>& kills,
+                                const std::vector<DeltaEdge>& adds,
+                                std::shared_ptr<FoldedShard>* out) const {
+  const Entry& entry = entries_[shard];
+  auto rep = ShardRepFor(shard);
+  if (!rep.ok()) return rep.status();
+  if (rep.value() == nullptr) {
+    return Status::Internal("cannot fold into an edgeless shard");
+  }
+  auto local_r = rep.value()->Decompress();
+  if (!local_r.ok()) return local_r.status();
+  Hypergraph local = std::move(local_r).ValueOrDie();
+  if (local.num_nodes() != entry.nodes.size()) {
+    return Status::Corruption(
+        "shard " + std::to_string(shard) +
+        " decompressed node count does not match its node map");
+  }
+
+  if (!kills.empty()) {
+    std::vector<std::pair<NodeId, NodeId>> killed;
+    killed.reserve(kills.size());
+    for (const DeltaPair& k : kills) {
+      killed.emplace_back(LocalId(entry.nodes, k.u),
+                          LocalId(entry.nodes, k.v));
+    }
+    std::sort(killed.begin(), killed.end());
+    local.RemoveEdgesIf([&](const HEdge& e) {
+      return e.att.size() == 2 &&
+             std::binary_search(killed.begin(), killed.end(),
+                                std::make_pair(e.att[0], e.att[1]));
+    });
+  }
+  // Set semantics: an add that duplicates a surviving local edge must
+  // not produce a second copy (the merge rule is a union).
+  std::set<std::tuple<NodeId, NodeId, Label>> present;
+  for (const HEdge& e : local.edges()) {
+    if (e.att.size() == 2) present.insert({e.att[0], e.att[1], e.label});
+  }
+  for (const DeltaEdge& a : adds) {
+    NodeId lu = LocalId(entry.nodes, a.u);
+    NodeId lv = LocalId(entry.nodes, a.v);
+    if (!present.insert({lu, lv, a.label}).second) continue;
+    local.AddSimpleEdge(lu, lv, a.label);
+  }
+
+  // Synthesize the alphabet the recompression needs: ranks from the
+  // edges actually present (first observation wins; unobserved labels
+  // default to rank 2, matching simple-graph alphabets).
+  uint32_t max_label = 0;
+  for (const HEdge& e : local.edges()) {
+    max_label = std::max(max_label, e.label);
+  }
+  std::vector<int> ranks(static_cast<size_t>(max_label) + 1, 2);
+  std::vector<uint8_t> seen(static_cast<size_t>(max_label) + 1, 0);
+  for (const HEdge& e : local.edges()) {
+    if (!seen[e.label]) {
+      seen[e.label] = 1;
+      ranks[e.label] = static_cast<int>(e.att.size());
+    }
+  }
+  Alphabet alphabet;
+  for (size_t l = 0; l < ranks.size(); ++l) {
+    alphabet.Add("l" + std::to_string(l), ranks[l]);
+  }
+
+  const api::GraphCodec* codec = inner_codec_.get();
+  std::unique_ptr<api::GraphCodec> created;
+  if (codec == nullptr) {
+    auto r = api::CodecRegistry::Create(inner_name_);
+    if (!r.ok()) return r.status();
+    created = std::move(r).ValueOrDie();
+    codec = created.get();
+  }
+  auto compressed = codec->Compress(local, alphabet, api::CodecOptions());
+  if (!compressed.ok()) return compressed.status();
+  auto f = std::make_shared<FoldedShard>();
+  f->rep = std::move(compressed).ValueOrDie();
+  if (f->rep->num_nodes() != entry.nodes.size()) {
+    return Status::Internal("folded shard changed its node count");
+  }
+  f->payload = f->rep->Serialize();
+  if (f->payload.empty()) {
+    return Status::Internal("folded shard serialized to nothing");
+  }
+  f->checksum = HashBytes(f->payload.data(), f->payload.size());
+  *out = std::move(f);
+  return Status::OK();
+}
+
+void ShardedRep::PublishFolds(
+    std::vector<std::pair<size_t, std::shared_ptr<FoldedShard>>> folds,
+    std::shared_ptr<const DeltaOverlay> residual, bool replace_all,
+    bool bump_edit_epoch) {
+  MutexLock lock(overlay_mu_);
+  std::vector<uint8_t> changed(entries_.size(), 0);
+  for (auto& fold : folds) {
+    changed[fold.first] = 1;
+    folded_keep_.push_back(fold.second);
+    folded_published_[fold.first].store(fold.second.get(),
+                                        std::memory_order_release);
+  }
+  if (replace_all) {
+    // Deltas are cumulative against the base: shards the new set does
+    // not change revert to their base grammar.
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      if (!changed[i] &&
+          folded_published_[i].load(std::memory_order_relaxed) != nullptr) {
+        folded_published_[i].store(nullptr, std::memory_order_release);
+        changed[i] = 1;  // its cache slot is stale too
+      }
+    }
+  }
+  overlay_ = residual;
+  has_overlay_.store(residual != nullptr && !residual->empty(),
+                     std::memory_order_release);
+
+  MutexLock cache_lock(cache_mutex_);
+  // The epoch bump and the slot eviction sit in the same critical
+  // section: an in-flight decode of a pre-fold grammar sees the moved
+  // epoch at store time and drops its result instead of re-caching
+  // stale adjacency behind this invalidation.
+  fold_epoch_.fetch_add(1, std::memory_order_release);
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (!changed[i]) continue;
+    if (cache_slots_[i] != nullptr) {
+      cache_bytes_used_ -= cache_slots_[i]->bytes;
+      cache_slots_[i] = nullptr;
+      stat_evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+    cache_miss_credit_[i] = 0;  // folded payload may now fit the budget
+  }
+  if (bump_edit_epoch) {
+    edit_epoch_.fetch_add(1, std::memory_order_release);
+    results_.clear();
+    result_lru_.clear();
+    result_bytes_used_ = 0;
+  }
+}
+
+Status ShardedRep::ApplyDelta(const DeltaContainer& delta) {
+  MutexLock fold_lock(fold_mu_);
+  if (!is_lazy() || directory_checksum_ == 0) {
+    return Status::InvalidArgument(
+        "deltas apply to v2 (GRSHARD2) containers only");
+  }
+  if (delta.base_dir_checksum != directory_checksum_) {
+    return Status::Corruption(
+        "delta does not bind to this base: directory checksum " +
+        HexU64(delta.base_dir_checksum) + " != " +
+        HexU64(directory_checksum_));
+  }
+  if (delta.num_nodes > 0xFFFFFFFFull) {
+    return Status::Corruption("delta node count out of range");
+  }
+  std::vector<std::pair<size_t, std::shared_ptr<FoldedShard>>> publish;
+  for (const DeltaContainer::ChangedShard& shard : delta.shards) {
+    if (shard.index >= entries_.size()) {
+      return Status::Corruption("delta shard index out of range");
+    }
+    const Entry& entry = entries_[shard.index];
+    if (!entry.has_payload()) {
+      return Status::Corruption("delta changes an edgeless shard");
+    }
+    auto f = std::make_shared<FoldedShard>();
+    f->payload = shard.payload;
+    f->checksum = shard.checksum;  // verified by DecodeDeltaContainer
+    auto rep = inner_codec_->DeserializeSpan(SpanOf(f->payload));
+    if (!rep.ok()) return rep.status();
+    if (rep.value()->num_nodes() != entry.nodes.size()) {
+      return Status::Corruption(
+          "delta shard " + std::to_string(shard.index) +
+          " node count does not match the base node map");
+    }
+    f->rep = std::move(rep).ValueOrDie();
+    publish.emplace_back(shard.index, std::move(f));
+  }
+  auto residual = DeltaOverlay::FromRuns(delta.adds, delta.kills);
+  if (!residual.ok()) return residual.status();
+
+  uint64_t min_nodes =
+      std::max(delta.num_nodes, residual.value()->min_num_nodes());
+  uint64_t cur = total_nodes_.load(std::memory_order_relaxed);
+  while (min_nodes > cur &&
+         !total_nodes_.compare_exchange_weak(cur, min_nodes,
+                                             std::memory_order_release,
+                                             std::memory_order_relaxed)) {
+  }
+  PublishFolds(std::move(publish), std::move(residual).ValueOrDie(),
+               /*replace_all=*/true, /*bump_edit_epoch=*/true);
+  return Status::OK();
+}
+
+Result<DeltaContainer> ShardedRep::BuildDelta(uint64_t base_hash,
+                                              uint64_t base_size) const {
+  if (directory_checksum_ == 0) {
+    return Status::InvalidArgument(
+        "deltas can only be built over a v2 (GRSHARD2) base");
+  }
+  DeltaContainer out;
+  out.base_hash = base_hash;
+  out.base_size = base_size;
+  out.base_dir_checksum = directory_checksum_;
+  out.num_nodes = num_nodes();
+  // Folded set and residual change together under overlay_mu_
+  // (PublishFolds), so one lock hold captures a consistent pair.
+  MutexLock lock(overlay_mu_);
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    const FoldedShard* f = FoldedFor(i);
+    if (f == nullptr) continue;
+    DeltaContainer::ChangedShard cs;
+    cs.index = static_cast<uint32_t>(i);
+    cs.checksum = f->checksum;
+    cs.payload = f->payload;
+    out.shards.push_back(std::move(cs));
+  }
+  if (overlay_ != nullptr) {
+    out.adds = overlay_->adds();
+    out.kills = overlay_->kills();
+  }
+  return out;
 }
 
 // ---------------------------------------------------------------------------
@@ -1378,6 +1922,11 @@ Result<ParsedDirectory> ParseV2Directory(ByteSpan dir_bytes,
     parsed.node_maps.push_back(std::move(nodes));
   }
   GREPAIR_RETURN_IF_ERROR(dir.ExpectExhausted("sharded v2 directory"));
+  // The corpus version identity: equals the v2 trailer's checksum for
+  // a local file (LocateV2DirectoryRegion just verified that), and is
+  // the independent recomputation over the shipped region for a
+  // remote directory. GRSHARD3 deltas bind to this value.
+  parsed.dir_checksum = HashBytes(dir_bytes.data, dir_bytes.size);
   return parsed;
 }
 
@@ -1586,6 +2135,7 @@ Result<std::unique_ptr<ShardedRep>> ShardedRep::ParseV2(
                                           dir.value().num_nodes,
                                           std::move(entries));
   rep->inner_codec_ = std::move(inner).ValueOrDie();
+  rep->directory_checksum_ = dir.value().dir_checksum;
   rep->source_ = std::make_shared<LocalShardSource>(
       std::move(file), std::move(owned), std::move(payloads));
   return rep;
@@ -1617,6 +2167,7 @@ Result<std::unique_ptr<ShardedRep>> ShardedRep::OpenFromSource(
                                           dir.num_nodes,
                                           std::move(entries));
   rep->inner_codec_ = std::move(inner).ValueOrDie();
+  rep->directory_checksum_ = dir.dir_checksum;
   rep->source_ = std::move(source);
   return rep;
 }

@@ -89,6 +89,7 @@
 
 #include "src/api/graph_codec.h"
 #include "src/graph/hypergraph.h"
+#include "src/shard/delta_overlay.h"
 #include "src/util/byte_io.h"
 #include "src/util/mmap_file.h"
 #include "src/util/status.h"
@@ -103,6 +104,11 @@ extern const char kShardContainerMagicV2[8];  ///< "GRSHARD2" (lazy/footer)
 
 /// \brief Default byte budget of the per-shard query cache.
 inline constexpr size_t kDefaultQueryCacheBytes = 64ull << 20;
+
+/// \brief Default overlay byte budget: once a rep's resident delta
+/// overlay outgrows this, ApplyEdits folds eligible edits back into
+/// their shards' inner grammars (background recompression).
+inline constexpr uint64_t kDefaultOverlayBudgetBytes = 1ull << 20;
 
 /// \brief Where a lazy ShardedRep's payload bytes come from — the
 /// seam the local mmap backing store, the remote TCP client
@@ -212,6 +218,11 @@ struct ParsedDirectory {
   uint64_t num_nodes = 0;
   std::vector<ShardDirEntry> rows;
   std::vector<std::vector<NodeId>> node_maps;  ///< rows.size() entries
+  /// Checksum of the raw directory bytes (the v2 trailer's value; a
+  /// remote client recomputes it over the shipped region). This is a
+  /// corpus *version identity*: GRSHARD3 deltas bind to it, and the
+  /// serve tier compares it before trusting a persisted sidecar.
+  uint64_t dir_checksum = 0;
 };
 
 /// \brief Locates the checksummed footer directory of a GRSHARD2
@@ -283,7 +294,13 @@ class ShardedRep : public api::CompressedRep {
 
   size_t ByteSize() const override;
   Result<Hypergraph> Decompress() const override;
-  uint64_t num_nodes() const override { return num_nodes_; }
+
+  /// \brief Node count including nodes created by overlay adds (equal
+  /// to the base container's count until an edit references a fresh
+  /// id; never shrinks — deletes kill edges, not nodes).
+  uint64_t num_nodes() const override {
+    return total_nodes_.load(std::memory_order_acquire);
+  }
 
   Result<std::vector<uint64_t>> OutNeighbors(uint64_t node) const override;
   Result<std::vector<uint64_t>> InNeighbors(uint64_t node) const override;
@@ -387,6 +404,70 @@ class ShardedRep : public api::CompressedRep {
                             uint64_t budget_bytes) const
       GREPAIR_LOCKS_EXCLUDED(pin_mutex_);
 
+  // --- Mutable-corpus surface (delta overlays, folds, GRSHARD3) ---
+
+  /// \brief Applies `edits` (in order) to this rep's delta overlay.
+  /// Queries issued after this returns see the mutated corpus; the
+  /// node-result memo is flushed (shard caches stay — they hold base
+  /// data the overlay merges over). When the overlay's ByteSize
+  /// exceeds the fold budget, eligible edits are folded back into
+  /// their shards' inner grammars before returning (see FoldOverlay).
+  /// Adds may reference fresh node ids (num_nodes grows); a self-loop
+  /// add is kInvalidArgument. Safe to call concurrently with queries;
+  /// concurrent ApplyEdits calls serialize on the overlay lock.
+  Status ApplyEdits(const std::vector<EdgeEdit>& edits);
+
+  /// \brief Folds every eligible overlay edit into its owning shard's
+  /// inner grammar: the shard is decompressed, mutated, recompressed
+  /// through the inner codec on the compression thread pool, and the
+  /// new payload swapped in under the per-shard fault mutexes. An edit
+  /// is eligible when its endpoints resolve into base shards — a kill
+  /// needs a *unique* shard containing both endpoints (parallel node
+  /// copies elsewhere would resurface the edge), an add needs any
+  /// shard containing both and no residual kill of its pair. Edits
+  /// that stay behind (fresh-node adds, multi-shard kills) remain in
+  /// the residual overlay; answers are identical before and after.
+  /// Purely in-memory and crash-safe by construction: the base
+  /// container file is never touched. A shard whose recompression
+  /// fails keeps its edits residual (fail-soft, never lossy).
+  Status FoldOverlay();
+
+  /// \brief Fold budget for ApplyEdits' automatic folding (bytes of
+  /// resident overlay; default kDefaultOverlayBudgetBytes, ~0ull
+  /// disables automatic folds).
+  void set_overlay_budget_bytes(uint64_t bytes) {
+    overlay_budget_bytes_.store(bytes, std::memory_order_relaxed);
+  }
+  uint64_t overlay_budget_bytes() const {
+    return overlay_budget_bytes_.load(std::memory_order_relaxed);
+  }
+
+  /// \brief Current resident overlay (never null; empty when clean).
+  std::shared_ptr<const DeltaOverlay> overlay_snapshot() const
+      GREPAIR_LOCKS_EXCLUDED(overlay_mu_);
+
+  /// \brief The base container's directory checksum (v2 trailer value
+  /// or its remote recomputation); 0 for v1/eager reps, which cannot
+  /// anchor deltas.
+  uint64_t directory_checksum() const { return directory_checksum_; }
+
+  /// \brief Installs a decoded GRSHARD3 delta: verifies it binds to
+  /// this base (directory checksum), swaps in the changed shards'
+  /// payloads (re-verified, eagerly deserialized through the inner
+  /// codec) and replaces the overlay with the delta's residual runs.
+  /// Deltas are cumulative, so applying a chain in order or only its
+  /// newest link yields the same corpus. kInvalidArgument on an eager
+  /// (v1) base, kCorruption on any mismatch — fail closed.
+  Status ApplyDelta(const DeltaContainer& delta);
+
+  /// \brief Emits this rep's current edits as a GRSHARD3 delta
+  /// container body: all folded shards plus the full residual overlay.
+  /// `base_hash`/`base_size` identify the previous file in the chain
+  /// (callers hash it; this rep cannot know which file it came from).
+  Result<DeltaContainer> BuildDelta(uint64_t base_hash,
+                                    uint64_t base_size) const
+      GREPAIR_LOCKS_EXCLUDED(overlay_mu_);
+
   /// \brief Byte budget of the decoded-neighborhood cache; 0 disables
   /// caching entirely (every query routes to the inner reps).
   void set_query_cache_bytes(size_t bytes);
@@ -457,6 +538,52 @@ class ShardedRep : public api::CompressedRep {
   std::shared_ptr<const ShardNeighborhoods> GetOrDecodeShard(
       size_t shard, size_t pending) const;
 
+  /// One shard's grammar after a fold: the recompressed payload, its
+  /// checksum, and the eager inner rep. Immutable once published;
+  /// retained (folded_keep_) for the rep's lifetime so the lock-free
+  /// published pointer stays valid like lazy_published_ does.
+  struct FoldedShard {
+    std::vector<uint8_t> payload;
+    uint64_t checksum = 0;
+    std::shared_ptr<api::CompressedRep> rep;
+  };
+
+  /// The current folded payload of `shard`, or nullptr when the shard
+  /// still carries its base grammar. Acquire-load of the published
+  /// pointer; consulted before the base entry everywhere payload
+  /// bytes or inner reps are read.
+  const FoldedShard* FoldedFor(size_t shard) const {
+    return folded_published_ == nullptr
+               ? nullptr
+               : folded_published_[shard].load(std::memory_order_acquire);
+  }
+
+  /// Publishes folded shards + the residual overlay as one atomic
+  /// step (under overlay_mu_, nesting cache_mutex_ for the
+  /// invalidations), so readers that snapshot the overlay first can
+  /// never observe residual runs without the folds they depend on.
+  /// `replace_all` additionally reverts shards absent from `folds` to
+  /// their base grammar (the ApplyDelta path — deltas are cumulative);
+  /// `bump_edit_epoch` flushes the node-result memo inside the same
+  /// critical section when the publish changes logical answers.
+  void PublishFolds(
+      std::vector<std::pair<size_t, std::shared_ptr<FoldedShard>>> folds,
+      std::shared_ptr<const DeltaOverlay> residual, bool replace_all,
+      bool bump_edit_epoch) GREPAIR_REQUIRES(fold_mu_)
+      GREPAIR_LOCKS_EXCLUDED(overlay_mu_, cache_mutex_);
+
+  /// FoldOverlay's body, for callers already holding fold_mu_
+  /// (ApplyEdits' automatic fold).
+  Status FoldOverlayLocked() GREPAIR_REQUIRES(fold_mu_);
+
+  /// Folds one shard: decompress (through the current folded rep when
+  /// one exists), apply `kills` then `adds` (global ids; set
+  /// semantics), recompress through the inner codec, serialize. On
+  /// success *out carries the new payload + eager rep.
+  Status FoldOneShard(size_t shard, const std::vector<DeltaPair>& kills,
+                      const std::vector<DeltaEdge>& adds,
+                      std::shared_ptr<FoldedShard>* out) const;
+
   std::string inner_name_;
   uint32_t inner_capabilities_ = 0;
   uint64_t num_nodes_ = 0;
@@ -497,8 +624,12 @@ class ShardedRep : public api::CompressedRep {
 
   std::shared_ptr<const std::vector<uint64_t>> LookupResult(
       uint64_t key) const GREPAIR_LOCKS_EXCLUDED(cache_mutex_);
+  /// Memoizes a node answer computed while edit_epoch_ was
+  /// `edit_epoch`: the store is dropped when the epoch has moved
+  /// (edits landed mid-query), so the memo never caches stale answers.
   void StoreResult(uint64_t key,
-                   std::shared_ptr<const std::vector<uint64_t>> value) const
+                   std::shared_ptr<const std::vector<uint64_t>> value,
+                   uint64_t edit_epoch) const
       GREPAIR_LOCKS_EXCLUDED(cache_mutex_);
 
   /// LRU eviction down to `target` bytes per tier.
@@ -539,6 +670,44 @@ class ShardedRep : public api::CompressedRep {
   mutable std::atomic<uint64_t> stat_uring_batches_{0};
   mutable std::atomic<uint64_t> stat_shards_pinned_{0};
   mutable std::atomic<uint64_t> stat_pinned_bytes_{0};
+
+  // Mutable-corpus state. Lock order: overlay_mu_ before cache_mutex_
+  // (PublishFolds nests the cache invalidation inside the overlay
+  // swap; query paths take the two locks sequentially, never nested
+  // the other way). The overlay pointer itself is swapped under
+  // overlay_mu_ and each snapshot is immutable, so queries hold the
+  // lock only for the pointer copy.
+  mutable Mutex overlay_mu_;
+  std::shared_ptr<const DeltaOverlay> overlay_
+      GREPAIR_GUARDED_BY(overlay_mu_);
+  std::atomic<bool> has_overlay_{false};  // lock-free clean-rep fast path
+  std::atomic<uint64_t> total_nodes_{0};  // >= num_nodes_, grown by adds
+  std::atomic<uint64_t> overlay_budget_bytes_{kDefaultOverlayBudgetBytes};
+  uint64_t directory_checksum_ = 0;  // set at parse; immutable after
+  // Serializes FoldOverlay/ApplyDelta bodies; Decompress holds it too
+  // so its (folded shards, residual overlay) capture is consistent —
+  // a fold publishing mid-walk would double-apply its adds. Taken
+  // before overlay_mu_ when both are held.
+  mutable Mutex fold_mu_;
+  // folded_published_[i] mirrors lazy_published_: written only inside
+  // PublishFolds (under overlay_mu_), read lock-free with acquire.
+  // folded_keep_ retains every published FoldedShard for the rep's
+  // lifetime — the documented cost of lock-free readers (a corpus
+  // folds a few times, not millions).
+  mutable std::unique_ptr<std::atomic<const FoldedShard*>[]>
+      folded_published_;
+  std::vector<std::shared_ptr<FoldedShard>> folded_keep_
+      GREPAIR_GUARDED_BY(overlay_mu_);
+  // Epochs pair in-flight computations with the state they read:
+  // a memo store is dropped when edit_epoch_ moved since the query
+  // began, a shard-cache store when fold_epoch_ moved since the
+  // decode began. Both bumped under cache_mutex_; checked there too.
+  mutable std::atomic<uint64_t> edit_epoch_{0};
+  mutable std::atomic<uint64_t> fold_epoch_{0};
+
+  mutable std::atomic<uint64_t> stat_overlay_merges_{0};
+  mutable std::atomic<uint64_t> stat_shard_folds_{0};
+  mutable std::atomic<uint64_t> stat_folded_edits_{0};
 
   // Current placement (ApplyPlacement diffs new rankings against it).
   mutable Mutex pin_mutex_;

@@ -1,6 +1,7 @@
 #include "src/util/mmap_file.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -271,24 +272,42 @@ Result<std::vector<uint8_t>> ReadFileBytes(const std::string& path) {
   return bytes;
 }
 
-Status WriteFileBytes(const std::string& path,
-                      const std::vector<uint8_t>& bytes) {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
+Status WriteFileBytesAtomic(const std::string& path, ByteSpan bytes) {
+  // The counter keeps concurrent writers to the same destination from
+  // clobbering each other's temporaries; rename serializes who wins.
+  static std::atomic<uint64_t> tmp_counter{0};
+  std::string tmp =
+      path + ".tmp" + std::to_string(tmp_counter.fetch_add(1));
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (f == nullptr) {
-    return Status::InvalidArgument("cannot write " + path + ": " +
+    return Status::InvalidArgument("cannot write " + tmp + ": " +
                                    ErrnoText());
   }
-  // bytes.data() may be null for an empty vector; fwrite's nonnull
+  // bytes.data may be null for an empty span; fwrite's nonnull
   // contract makes that UB even with size 0.
   size_t written =
-      bytes.empty() ? 0 : std::fwrite(bytes.data(), 1, bytes.size(), f);
-  bool bad = written != bytes.size() || std::fclose(f) != 0;
+      bytes.size == 0 ? 0 : std::fwrite(bytes.data, 1, bytes.size, f);
+  bool bad = written != bytes.size;
+  bad = std::fflush(f) != 0 || bad;
+  bad = std::fclose(f) != 0 || bad;
   if (bad) {
-    return Status::Internal("short write to " + path + " (" +
+    std::remove(tmp.c_str());
+    return Status::Internal("short write to " + tmp + " (" +
                             std::to_string(written) + " of " +
-                            std::to_string(bytes.size()) + " bytes)");
+                            std::to_string(bytes.size) + " bytes)");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    Status status = Status::Internal("cannot rename " + tmp + " to " +
+                                     path + ": " + ErrnoText());
+    std::remove(tmp.c_str());
+    return status;
   }
   return Status::OK();
+}
+
+Status WriteFileBytes(const std::string& path,
+                      const std::vector<uint8_t>& bytes) {
+  return WriteFileBytesAtomic(path, SpanOf(bytes));
 }
 
 }  // namespace grepair

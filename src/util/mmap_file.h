@@ -102,7 +102,17 @@ size_t UnpinBytes(ByteSpan span);
 /// and small inputs where a mapping is overkill). Errors name the path.
 Result<std::vector<uint8_t>> ReadFileBytes(const std::string& path);
 
-/// \brief Status-ful whole-file write; errors name the path.
+/// \brief Atomic whole-file write: the bytes land in a uniquely named
+/// temporary sibling first and are rename(2)d over `path` only after a
+/// flushed, full-length close, so readers never observe a torn file —
+/// they see either the old contents or the new, never a prefix. The
+/// temporary is removed on any failure. Errors name the path. Every
+/// container/sidecar writer in the tree funnels through here (hoisted
+/// from the tiered SSD cache, which pioneered the tmp+rename dance).
+Status WriteFileBytesAtomic(const std::string& path, ByteSpan bytes);
+
+/// \brief Status-ful whole-file write; errors name the path. Atomic:
+/// delegates to WriteFileBytesAtomic.
 Status WriteFileBytes(const std::string& path,
                       const std::vector<uint8_t>& bytes);
 

@@ -1,0 +1,217 @@
+// Unit tests for the DeltaOverlay edit snapshot and the GRSHARD3
+// delta-container codec (src/shard/delta_overlay.h).
+//
+// The overlay's merge rule — out(u) = (base \ killed) u adds — and its
+// edit-ordering semantics (a delete erases pending adds of its pair, a
+// later add resurrects exactly one edge) are pinned here on small
+// hand-checked cases; tests/dynamic_corpus_test.cc proves the same
+// rules differentially against full recompression. The container codec
+// tests exercise the fail-closed contract: every mutated byte must
+// surface as kCorruption, never as a silently different corpus.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/shard/delta_overlay.h"
+#include "src/util/hashing.h"
+
+namespace grepair {
+namespace shard {
+namespace {
+
+using Edits = std::vector<EdgeEdit>;
+
+std::shared_ptr<const DeltaOverlay> MustApply(const DeltaOverlay* base,
+                                              const Edits& edits) {
+  auto result = DeltaOverlay::Apply(base, edits);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(result).ValueOrDie();
+}
+
+TEST(DeltaOverlayTest, EmptyOverlayIsInert) {
+  auto overlay = MustApply(nullptr, {});
+  EXPECT_TRUE(overlay->empty());
+  EXPECT_EQ(overlay->ByteSize(), 0u);
+  EXPECT_EQ(overlay->min_num_nodes(), 0u);
+  EXPECT_FALSE(overlay->TouchesOut(0));
+  EXPECT_FALSE(overlay->IsKilled(1, 2));
+  std::vector<uint64_t> base = {3, 5, 9};
+  EXPECT_EQ(overlay->MergeOut(1, base), base);
+  EXPECT_EQ(overlay->MergeIn(1, base), base);
+}
+
+TEST(DeltaOverlayTest, AddsUnionIntoBaseSorted) {
+  auto overlay = MustApply(
+      nullptr, {EdgeEdit::Add(1, 7), EdgeEdit::Add(1, 2), EdgeEdit::Add(4, 0)});
+  EXPECT_EQ(overlay->add_count(), 3u);
+  EXPECT_EQ(overlay->min_num_nodes(), 8u);  // node 7 is the max id
+  EXPECT_TRUE(overlay->TouchesOut(1));
+  EXPECT_TRUE(overlay->TouchesIn(2));
+  EXPECT_TRUE(overlay->TouchesIn(0));
+  EXPECT_FALSE(overlay->TouchesOut(2));
+  EXPECT_EQ(overlay->MergeOut(1, {5}), (std::vector<uint64_t>{2, 5, 7}));
+  EXPECT_EQ(overlay->MergeIn(0, {}), (std::vector<uint64_t>{4}));
+  // Untouched node: base passes through untouched.
+  EXPECT_EQ(overlay->MergeOut(9, {1, 2}), (std::vector<uint64_t>{1, 2}));
+}
+
+TEST(DeltaOverlayTest, MergeIsIdempotentOnAlreadyMergedBase) {
+  auto overlay =
+      MustApply(nullptr, {EdgeEdit::Add(1, 2), EdgeEdit::Delete(1, 9)});
+  // A base answer that already reflects the edits (2 present, 9 gone)
+  // must merge to itself — this is what makes the query-time re-merge
+  // over a folded shard harmless.
+  std::vector<uint64_t> merged = {2, 5};
+  EXPECT_EQ(overlay->MergeOut(1, merged), merged);
+}
+
+TEST(DeltaOverlayTest, KillRemovesAllLabelsOfPair) {
+  auto overlay = MustApply(nullptr, {EdgeEdit::Delete(3, 4)});
+  EXPECT_TRUE(overlay->IsKilled(3, 4));
+  EXPECT_FALSE(overlay->IsKilled(4, 3));
+  EXPECT_EQ(overlay->MergeOut(3, {1, 4, 8}), (std::vector<uint64_t>{1, 8}));
+  EXPECT_EQ(overlay->MergeIn(4, {3}), (std::vector<uint64_t>{}));
+}
+
+TEST(DeltaOverlayTest, DeleteErasesPendingAddsOfPair) {
+  auto overlay = MustApply(nullptr, {EdgeEdit::Add(1, 2, 5),
+                                     EdgeEdit::Add(1, 2, 6),
+                                     EdgeEdit::Delete(1, 2)});
+  // Both pending adds die with the pair; the kill itself stays (base
+  // copies of 1->2 must not survive either).
+  EXPECT_EQ(overlay->add_count(), 0u);
+  EXPECT_EQ(overlay->kill_count(), 1u);
+  EXPECT_EQ(overlay->MergeOut(1, {2, 9}), (std::vector<uint64_t>{9}));
+}
+
+TEST(DeltaOverlayTest, AddAfterDeleteResurrectsOneEdge) {
+  auto overlay = MustApply(nullptr, {EdgeEdit::Delete(1, 2),
+                                     EdgeEdit::Add(1, 2, 7)});
+  // The kill still applies to base edges, but the union re-adds the
+  // pair: net out-neighbor answer contains 2 again.
+  EXPECT_EQ(overlay->add_count(), 1u);
+  EXPECT_EQ(overlay->kill_count(), 1u);
+  EXPECT_EQ(overlay->MergeOut(1, {2}), (std::vector<uint64_t>{2}));
+  EXPECT_EQ(overlay->MergeOut(1, {}), (std::vector<uint64_t>{2}));
+}
+
+TEST(DeltaOverlayTest, DuplicateAddsCoalesce) {
+  auto overlay = MustApply(nullptr, {EdgeEdit::Add(1, 2, 3),
+                                     EdgeEdit::Add(1, 2, 3)});
+  EXPECT_EQ(overlay->add_count(), 1u);
+}
+
+TEST(DeltaOverlayTest, SelfLoopAddRejected) {
+  auto result = DeltaOverlay::Apply(nullptr, {EdgeEdit::Add(5, 5)});
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DeltaOverlayTest, ApplyStacksOnBaseOverlay) {
+  auto first = MustApply(nullptr, {EdgeEdit::Add(1, 2), EdgeEdit::Add(3, 4)});
+  auto second = MustApply(first.get(), {EdgeEdit::Delete(1, 2),
+                                        EdgeEdit::Add(5, 6)});
+  EXPECT_EQ(second->add_count(), 2u);  // (3,4) and (5,6); (1,2) erased
+  EXPECT_EQ(second->kill_count(), 1u);
+  EXPECT_EQ(second->MergeOut(1, {}), (std::vector<uint64_t>{}));
+  EXPECT_EQ(second->MergeOut(3, {}), (std::vector<uint64_t>{4}));
+  // The base snapshot is immutable: still answers its own state.
+  EXPECT_EQ(first->MergeOut(1, {}), (std::vector<uint64_t>{2}));
+}
+
+TEST(DeltaOverlayTest, FromRunsRejectsUnsortedAndDuplicates) {
+  // Wire data funnels through FromRuns; disorder is kCorruption.
+  auto unsorted = DeltaOverlay::FromRuns(
+      {DeltaEdge{2, 1, 0}, DeltaEdge{1, 2, 0}}, {});
+  EXPECT_EQ(unsorted.status().code(), StatusCode::kCorruption);
+  auto dup_kills = DeltaOverlay::FromRuns(
+      {}, {DeltaPair{1, 2}, DeltaPair{1, 2}});
+  EXPECT_EQ(dup_kills.status().code(), StatusCode::kCorruption);
+  auto ok = DeltaOverlay::FromRuns(
+      {DeltaEdge{1, 2, 0}, DeltaEdge{1, 2, 1}}, {DeltaPair{4, 0}});
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(ok.value()->add_count(), 2u);
+}
+
+DeltaContainer SampleDelta() {
+  DeltaContainer delta;
+  delta.base_hash = 0x1234567890abcdefull;
+  delta.base_size = 4096;
+  delta.base_dir_checksum = 0xfeedface;
+  delta.num_nodes = 1000;
+  DeltaContainer::ChangedShard shard;
+  shard.index = 2;
+  shard.payload = {1, 2, 3, 4, 5};
+  shard.checksum = HashBytes(shard.payload.data(), shard.payload.size());
+  delta.shards.push_back(std::move(shard));
+  delta.adds = {DeltaEdge{1, 2, 0}, DeltaEdge{7, 3, 9}};
+  delta.kills = {DeltaPair{0, 4}};
+  return delta;
+}
+
+TEST(DeltaContainerTest, EncodeDecodeRoundTrip) {
+  DeltaContainer delta = SampleDelta();
+  auto bytes = EncodeDeltaContainer(delta);
+  ASSERT_TRUE(IsDeltaContainer(SpanOf(bytes)));
+  auto back = DecodeDeltaContainer(SpanOf(bytes), "test");
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  const DeltaContainer& d = back.value();
+  EXPECT_EQ(d.base_hash, delta.base_hash);
+  EXPECT_EQ(d.base_size, delta.base_size);
+  EXPECT_EQ(d.base_dir_checksum, delta.base_dir_checksum);
+  EXPECT_EQ(d.num_nodes, delta.num_nodes);
+  ASSERT_EQ(d.shards.size(), 1u);
+  EXPECT_EQ(d.shards[0].index, 2u);
+  EXPECT_EQ(d.shards[0].payload, delta.shards[0].payload);
+  EXPECT_EQ(d.adds, delta.adds);
+  EXPECT_EQ(d.kills, delta.kills);
+}
+
+TEST(DeltaContainerTest, NotADeltaIsInvalidArgument) {
+  std::vector<uint8_t> bytes = {'G', 'R', 'P', 'C', 'O', 'D', 'E', 'C', 0};
+  auto result = DecodeDeltaContainer(SpanOf(bytes), "test");
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DeltaContainerTest, EveryFlippedByteFailsClosed) {
+  auto bytes = EncodeDeltaContainer(SampleDelta());
+  // Flip each byte after the magic in turn: the decode must never
+  // succeed (trailing checksum, shard checksum, or run sortedness
+  // catches it), and must fail with kCorruption, not a crash.
+  for (size_t i = 8; i < bytes.size(); ++i) {
+    std::vector<uint8_t> mutated = bytes;
+    mutated[i] ^= 0x5a;
+    auto result = DecodeDeltaContainer(SpanOf(mutated), "flip");
+    EXPECT_FALSE(result.ok()) << "byte " << i << " flip decoded";
+    if (!result.ok()) {
+      EXPECT_EQ(result.status().code(), StatusCode::kCorruption)
+          << "byte " << i << ": " << result.status().ToString();
+    }
+  }
+}
+
+TEST(DeltaContainerTest, EveryTruncationFailsClosed) {
+  auto bytes = EncodeDeltaContainer(SampleDelta());
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    auto result = DecodeDeltaContainer(ByteSpan{bytes.data(), len}, "trunc");
+    EXPECT_FALSE(result.ok()) << "prefix of " << len << " bytes decoded";
+  }
+}
+
+TEST(DeltaContainerTest, DescendingShardIndicesRejected) {
+  DeltaContainer delta = SampleDelta();
+  DeltaContainer::ChangedShard earlier;
+  earlier.index = 1;  // after index 2 — violates strict ascent
+  earlier.payload = {9};
+  earlier.checksum = HashBytes(earlier.payload.data(), 1);
+  delta.shards.push_back(std::move(earlier));
+  auto bytes = EncodeDeltaContainer(delta);
+  auto result = DecodeDeltaContainer(SpanOf(bytes), "order");
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace shard
+}  // namespace grepair

@@ -1,0 +1,611 @@
+// Dynamic-corpus differential suite: the overlay/fold/delta write
+// path of the sharded stack (src/shard/delta_overlay.h +
+// ShardedRep::ApplyEdits/FoldOverlay/ApplyDelta/BuildDelta +
+// api::OpenVersioned) proven equivalent to recompressing the mutated
+// graph from scratch.
+//
+// For every registered base codec, a random edit stream applied
+// through the overlay must answer every query — singles, batches,
+// reachability, full Decompress — identically to a fresh
+// sharded:<inner> compression of the mutated graph, single-threaded
+// and under 8 concurrent query threads, before and after folding the
+// overlay into the shard grammars. The GRSHARD3 chain tests prove a
+// written delta file reproduces the same corpus through
+// api::OpenVersioned, that lineage tampering fails closed, that a
+// SIGKILL mid-fold never damages the base container, and that the
+// atomic write path leaves no torn or stray files. Runs under the
+// ASan/UBSan and TSan CI legs.
+
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <filesystem>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/api/grepair_api.h"
+#include "src/util/hashing.h"
+#include "src/util/mmap_file.h"
+
+namespace grepair {
+namespace {
+
+using shard::EdgeEdit;
+
+// Ground truth for a mutated corpus: the rank-2 edge list under the
+// overlay's set-based semantics (delete kills every copy of the pair,
+// an add lands only when the exact triple is absent).
+struct TruthCorpus {
+  uint32_t num_nodes = 0;
+  std::vector<std::array<uint32_t, 3>> edges;  // (u, v, label)
+
+  static TruthCorpus FromGraph(const Hypergraph& g) {
+    TruthCorpus truth;
+    truth.num_nodes = g.num_nodes();
+    for (const HEdge& e : g.edges()) {
+      if (e.att.size() == 2) {
+        truth.edges.push_back({e.att[0], e.att[1], e.label});
+      }
+    }
+    return truth;
+  }
+
+  bool HasTriple(uint32_t u, uint32_t v, uint32_t label) const {
+    for (const auto& e : edges) {
+      if (e[0] == u && e[1] == v && e[2] == label) return true;
+    }
+    return false;
+  }
+
+  bool HasPair(uint32_t u, uint32_t v) const {
+    for (const auto& e : edges) {
+      if (e[0] == u && e[1] == v) return true;
+    }
+    return false;
+  }
+
+  void Apply(const EdgeEdit& edit) {
+    if (edit.kind == EdgeEdit::kDelete) {
+      edges.erase(std::remove_if(edges.begin(), edges.end(),
+                                 [&](const std::array<uint32_t, 3>& e) {
+                                   return e[0] == edit.u && e[1] == edit.v;
+                                 }),
+                  edges.end());
+      return;
+    }
+    if (!HasTriple(edit.u, edit.v, edit.label)) {
+      edges.push_back({edit.u, edit.v, edit.label});
+      num_nodes = std::max(num_nodes, std::max(edit.u, edit.v) + 1);
+    }
+  }
+
+  Hypergraph ToHypergraph() const {
+    Hypergraph g(num_nodes);
+    for (const auto& e : edges) g.AddSimpleEdge(e[0], e[1], e[2]);
+    return g;
+  }
+
+  std::vector<uint64_t> OutOf(uint32_t u) const {
+    std::vector<uint64_t> out;
+    for (const auto& e : edges) {
+      if (e[0] == u) out.push_back(e[1]);
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+  }
+};
+
+// A deterministic mixed edit stream: ~60% adds of absent pairs, ~30%
+// kills of live pairs, ~10% kill-then-re-add (the resurrection case).
+// Mutates `truth` in step so it stays the ground truth.
+std::vector<EdgeEdit> MakeEdits(TruthCorpus* truth, std::mt19937* rng,
+                                size_t count,
+                                const std::vector<uint32_t>& labels) {
+  std::vector<EdgeEdit> edits;
+  uint32_t n = truth->num_nodes;
+  auto random_label = [&]() -> uint32_t {
+    return labels[(*rng)() % labels.size()];
+  };
+  while (edits.size() < count) {
+    uint32_t roll = (*rng)() % 10;
+    if (roll < 6 || truth->edges.empty()) {
+      uint32_t u = (*rng)() % n, v = (*rng)() % n;
+      if (u == v) continue;
+      edits.push_back(EdgeEdit::Add(u, v, random_label()));
+    } else {
+      const auto& victim = truth->edges[(*rng)() % truth->edges.size()];
+      edits.push_back(EdgeEdit::Delete(victim[0], victim[1]));
+      if (roll == 9) {
+        edits.push_back(
+            EdgeEdit::Add(victim[0], victim[1], random_label()));
+      }
+    }
+  }
+  for (const EdgeEdit& e : edits) truth->Apply(e);
+  return edits;
+}
+
+std::vector<uint32_t> LabelsOf(const Hypergraph& g) {
+  std::vector<uint32_t> labels;
+  for (const HEdge& e : g.edges()) labels.push_back(e.label);
+  std::sort(labels.begin(), labels.end());
+  labels.erase(std::unique(labels.begin(), labels.end()), labels.end());
+  if (labels.empty()) labels.push_back(0);
+  return labels;
+}
+
+using LabeledEdge = std::pair<Label, std::vector<NodeId>>;
+
+std::vector<LabeledEdge> LabeledEdgeSet(const Hypergraph& g) {
+  std::vector<LabeledEdge> edges;
+  for (const HEdge& e : g.edges()) edges.push_back({e.label, e.att});
+  std::sort(edges.begin(), edges.end());
+  return edges;
+}
+
+std::vector<std::pair<NodeId, NodeId>> UnlabeledEdgeSet(const Hypergraph& g) {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (const HEdge& e : g.edges()) {
+    if (e.att.size() == 2) edges.push_back({e.att[0], e.att[1]});
+  }
+  std::sort(edges.begin(), edges.end());
+  return edges;
+}
+
+struct ScratchDir {
+  explicit ScratchDir(const std::string& tag)
+      : path(::testing::TempDir() + "grepair_dyn_" + tag) {
+    std::filesystem::remove_all(path);
+    std::filesystem::create_directories(path);
+  }
+  ~ScratchDir() { std::filesystem::remove_all(path); }
+  std::string path;
+};
+
+// Compares every query surface the codec supports on `edited` (the
+// overlay path) against `fresh` (a from-scratch compression of the
+// mutated graph): out/in-neighbor singles over all nodes, one full
+// batch, a reachability sweep, with `threads` workers issuing the
+// singles concurrently when threads > 1.
+void ExpectQueriesAgree(api::CompressedRep* edited,
+                        api::CompressedRep* fresh, uint32_t caps,
+                        int threads, const std::string& tag) {
+  ASSERT_EQ(edited->num_nodes(), fresh->num_nodes()) << tag;
+  uint64_t n = edited->num_nodes();
+
+  if (caps & api::kNeighborQueries) {
+    std::atomic<int> failures{0};
+    auto sweep = [&](int stride) {
+      for (uint64_t v = static_cast<uint64_t>(stride); v < n;
+           v += static_cast<uint64_t>(threads)) {
+        auto eo = edited->OutNeighbors(v);
+        auto fo = fresh->OutNeighbors(v);
+        if (!eo.ok() || !fo.ok() || eo.value() != fo.value()) {
+          ++failures;
+          continue;
+        }
+        auto ei = edited->InNeighbors(v);
+        auto fi = fresh->InNeighbors(v);
+        if (!ei.ok() || !fi.ok() || ei.value() != fi.value()) ++failures;
+      }
+    };
+    if (threads <= 1) {
+      sweep(0);
+    } else {
+      std::vector<std::thread> workers;
+      for (int t = 0; t < threads; ++t) workers.emplace_back(sweep, t);
+      for (auto& w : workers) w.join();
+    }
+    EXPECT_EQ(failures.load(), 0) << tag << " (singles)";
+
+    std::vector<uint64_t> all(n);
+    for (uint64_t v = 0; v < n; ++v) all[v] = v;
+    auto eb = edited->OutNeighborsBatch(all);
+    auto fb = fresh->OutNeighborsBatch(all);
+    ASSERT_TRUE(eb.ok()) << tag << ": " << eb.status().ToString();
+    ASSERT_TRUE(fb.ok()) << tag << ": " << fb.status().ToString();
+    EXPECT_EQ(eb.value(), fb.value()) << tag << " (batch)";
+  }
+
+  if (caps & api::kReachabilityQueries) {
+    std::vector<std::pair<uint64_t, uint64_t>> pairs;
+    for (uint64_t i = 0; i < 40 && n > 1; ++i) {
+      pairs.push_back({(i * 7) % n, (i * 13 + 1) % n});
+    }
+    for (const auto& p : pairs) {
+      auto er = edited->Reachable(p.first, p.second);
+      auto fr = fresh->Reachable(p.first, p.second);
+      ASSERT_TRUE(er.ok()) << tag << ": " << er.status().ToString();
+      ASSERT_TRUE(fr.ok()) << tag << ": " << fr.status().ToString();
+      EXPECT_EQ(er.value(), fr.value())
+          << tag << " reach " << p.first << "->" << p.second;
+    }
+    auto erb = edited->ReachableBatch(pairs);
+    auto frb = fresh->ReachableBatch(pairs);
+    ASSERT_TRUE(erb.ok()) << tag << ": " << erb.status().ToString();
+    ASSERT_TRUE(frb.ok()) << tag << ": " << frb.status().ToString();
+    EXPECT_EQ(erb.value(), frb.value()) << tag << " (reach batch)";
+  }
+}
+
+void ExpectDecompressAgrees(api::CompressedRep* edited,
+                            api::CompressedRep* fresh, bool labeled,
+                            const std::string& tag) {
+  auto eg = edited->Decompress();
+  auto fg = fresh->Decompress();
+  ASSERT_TRUE(eg.ok()) << tag << ": " << eg.status().ToString();
+  ASSERT_TRUE(fg.ok()) << tag << ": " << fg.status().ToString();
+  EXPECT_EQ(eg.value().num_nodes(), fg.value().num_nodes()) << tag;
+  if (labeled) {
+    EXPECT_EQ(LabeledEdgeSet(eg.value()), LabeledEdgeSet(fg.value())) << tag;
+  } else {
+    EXPECT_EQ(UnlabeledEdgeSet(eg.value()), UnlabeledEdgeSet(fg.value()))
+        << tag;
+  }
+}
+
+// The tentpole property, per base codec: overlay edits == recompress.
+class DynamicDifferential : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DynamicDifferential, EditStreamMatchesRecompress) {
+  auto sharded = api::CodecRegistry::Create("sharded:" + GetParam());
+  ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+  bool labeled = sharded.value()->capabilities() & api::kSupportsLabels;
+  uint32_t caps = sharded.value()->capabilities();
+
+  std::vector<std::pair<std::string, GeneratedGraph>> datasets;
+  datasets.push_back({"er", ErdosRenyi(80, 240, 17)});
+  datasets.push_back({"rdf", RdfEntities(40, 6, 12, 19)});  // labeled
+
+  api::CodecOptions options;
+  options.Set("shards", "4");
+  options.Set("threads", "2");
+
+  bool ran_any = false;
+  for (auto& [name, gg] : datasets) {
+    SCOPED_TRACE(name);
+    auto rep = sharded.value()->Compress(gg.graph, gg.alphabet, options);
+    if (!rep.ok()) {
+      EXPECT_EQ(rep.status().code(), StatusCode::kInvalidArgument)
+          << rep.status().ToString();
+      continue;
+    }
+    ran_any = true;
+    auto* edited = dynamic_cast<shard::ShardedRep*>(rep.value().get());
+    ASSERT_NE(edited, nullptr);
+
+    TruthCorpus truth = TruthCorpus::FromGraph(gg.graph);
+    std::vector<uint32_t> labels = LabelsOf(gg.graph);
+    std::mt19937 rng(4242);
+    // Three chunks so later edits stack on an existing overlay.
+    for (int chunk = 0; chunk < 3; ++chunk) {
+      auto edits = MakeEdits(&truth, &rng, 30, labels);
+      auto applied = edited->ApplyEdits(edits);
+      ASSERT_TRUE(applied.ok()) << applied.ToString();
+    }
+    ASSERT_GT(edited->query_stats().overlay_edits, 0u);
+
+    auto fresh = sharded.value()->Compress(truth.ToHypergraph(),
+                                           gg.alphabet, options);
+    ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+
+    ExpectQueriesAgree(edited, fresh.value().get(), caps, 1,
+                       name + "/overlay/1t");
+    ExpectQueriesAgree(edited, fresh.value().get(), caps, 8,
+                       name + "/overlay/8t");
+    ExpectDecompressAgrees(edited, fresh.value().get(), labeled,
+                           name + "/overlay");
+    // Triangulate the out-neighbor answers against the raw edge list.
+    if (caps & api::kNeighborQueries) {
+      for (uint32_t v = 0; v < truth.num_nodes; v += 9) {
+        auto out = edited->OutNeighbors(v);
+        ASSERT_TRUE(out.ok());
+        EXPECT_EQ(out.value(), truth.OutOf(v)) << name << " node " << v;
+      }
+    }
+
+    // Fold the overlay into the shard grammars and re-prove all of it:
+    // folded answers must be indistinguishable from overlay answers.
+    auto folded = edited->FoldOverlay();
+    ASSERT_TRUE(folded.ok()) << folded.ToString();
+    ExpectQueriesAgree(edited, fresh.value().get(), caps, 1,
+                       name + "/folded/1t");
+    ExpectQueriesAgree(edited, fresh.value().get(), caps, 8,
+                       name + "/folded/8t");
+    ExpectDecompressAgrees(edited, fresh.value().get(), labeled,
+                           name + "/folded");
+  }
+  EXPECT_TRUE(ran_any) << GetParam() << " rejected every dataset";
+}
+
+INSTANTIATE_TEST_SUITE_P(BaseCodecs, DynamicDifferential,
+                         ::testing::ValuesIn(api::CodecRegistry::BaseNames()),
+                         [](const auto& suite_info) {
+                           std::string name = suite_info.param;
+                           std::replace(name.begin(), name.end(), '-', '_');
+                           return name;
+                         });
+
+// Edits may reference nodes past the base corpus: num_nodes grows,
+// queries on fresh nodes answer, and recompress still agrees.
+TEST(DynamicCorpusTest, FreshNodeAddsGrowTheCorpus) {
+  GeneratedGraph gg = BarabasiAlbert(60, 3, 23);
+  auto codec = api::CodecRegistry::Create("sharded:grepair").ValueOrDie();
+  api::CodecOptions options;
+  options.Set("shards", "3");
+  auto rep = codec->Compress(gg.graph, gg.alphabet, options);
+  ASSERT_TRUE(rep.ok()) << rep.status().ToString();
+  auto* edited = dynamic_cast<shard::ShardedRep*>(rep.value().get());
+  uint32_t n = gg.graph.num_nodes();
+
+  TruthCorpus truth = TruthCorpus::FromGraph(gg.graph);
+  std::vector<EdgeEdit> edits = {EdgeEdit::Add(5, n + 4),
+                                 EdgeEdit::Add(n + 4, n + 9),
+                                 EdgeEdit::Add(n + 9, 0)};
+  for (const auto& e : edits) truth.Apply(e);
+  ASSERT_TRUE(edited->ApplyEdits(edits).ok());
+  EXPECT_EQ(edited->num_nodes(), n + 10);
+
+  auto fresh = codec->Compress(truth.ToHypergraph(), gg.alphabet, options);
+  ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+  ExpectQueriesAgree(edited, fresh.value().get(), codec->capabilities(), 1,
+                     "fresh-nodes");
+  EXPECT_EQ(edited->OutNeighbors(n + 9).ValueOrDie(),
+            (std::vector<uint64_t>{0}));
+  // Folding keeps fresh-node edges residual (no shard owns them) but
+  // must not lose them.
+  ASSERT_TRUE(edited->FoldOverlay().ok());
+  EXPECT_EQ(edited->OutNeighbors(n + 4).ValueOrDie(),
+            (std::vector<uint64_t>{static_cast<uint64_t>(n) + 9}));
+}
+
+// ApplyEdits folds automatically once the overlay outgrows the byte
+// budget; with a single shard every in-range edit is fold-eligible, so
+// the overlay must drain to empty and the fold counters move.
+TEST(DynamicCorpusTest, BudgetTriggersAutomaticFold) {
+  GeneratedGraph gg = ErdosRenyi(70, 210, 31);
+  auto codec = api::CodecRegistry::Create("sharded:grepair").ValueOrDie();
+  api::CodecOptions options;
+  options.Set("shards", "1");
+  auto rep = codec->Compress(gg.graph, gg.alphabet, options);
+  ASSERT_TRUE(rep.ok()) << rep.status().ToString();
+  auto* edited = dynamic_cast<shard::ShardedRep*>(rep.value().get());
+  edited->set_overlay_budget_bytes(1);
+
+  TruthCorpus truth = TruthCorpus::FromGraph(gg.graph);
+  std::mt19937 rng(777);
+  std::vector<uint32_t> labels = LabelsOf(gg.graph);
+  for (int chunk = 0; chunk < 4; ++chunk) {
+    auto edits = MakeEdits(&truth, &rng, 10, labels);
+    ASSERT_TRUE(edited->ApplyEdits(edits).ok());
+  }
+  auto stats = edited->query_stats();
+  EXPECT_GT(stats.shard_folds, 0u);
+  EXPECT_GT(stats.folded_edits, 0u);
+  EXPECT_EQ(stats.overlay_edits, 0u) << "single-shard fold must drain";
+
+  auto fresh = codec->Compress(truth.ToHypergraph(), gg.alphabet, options);
+  ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+  ExpectQueriesAgree(edited, fresh.value().get(), codec->capabilities(), 4,
+                     "auto-fold");
+}
+
+// GRSHARD3 files end to end: a two-link chain written to disk reopens
+// through api::OpenVersioned onto the same corpus; every lineage or
+// payload tamper fails closed; a delta is far smaller than the base.
+TEST(DynamicCorpusTest, DeltaChainRoundTripsThroughFiles) {
+  ScratchDir scratch("chain");
+  GeneratedGraph gg = ErdosRenyi(90, 270, 37);
+  auto codec = api::CodecRegistry::Create("sharded:grepair").ValueOrDie();
+  api::CodecOptions options;
+  options.Set("shards", "4");
+  auto rep = codec->Compress(gg.graph, gg.alphabet, options);
+  ASSERT_TRUE(rep.ok()) << rep.status().ToString();
+  auto* base_rep = dynamic_cast<shard::ShardedRep*>(rep.value().get());
+
+  std::string base_path = scratch.path + "/base.grc";
+  auto container =
+      api::WrapCodecPayload("sharded:grepair", base_rep->SerializeV2());
+  ASSERT_TRUE(WriteFileBytesAtomic(base_path, SpanOf(container)).ok());
+
+  auto hash_of = [](const std::string& path) {
+    auto file = MmapFile::Open(path);
+    EXPECT_TRUE(file.ok());
+    ByteSpan span = file.value()->span();
+    return std::make_pair(HashBytes(span.data, span.size),
+                          static_cast<uint64_t>(span.size));
+  };
+
+  TruthCorpus truth = TruthCorpus::FromGraph(gg.graph);
+  std::mt19937 rng(91);
+  std::vector<uint32_t> labels = LabelsOf(gg.graph);
+
+  // Link 1: open the base file, edit, write d1.
+  std::string d1 = scratch.path + "/v1.grs3";
+  {
+    auto opened = api::OpenVersioned(base_path, {});
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+    auto* sharded = dynamic_cast<shard::ShardedRep*>(opened.value().get());
+    auto edits = MakeEdits(&truth, &rng, 25, labels);
+    ASSERT_TRUE(sharded->ApplyEdits(edits).ok());
+    auto [h, s] = hash_of(base_path);
+    auto delta = sharded->BuildDelta(h, s);
+    ASSERT_TRUE(delta.ok()) << delta.status().ToString();
+    auto bytes = shard::EncodeDeltaContainer(delta.value());
+    ASSERT_TRUE(WriteFileBytesAtomic(d1, SpanOf(bytes)).ok());
+    // Shipping the diff must beat re-shipping the whole base.
+    EXPECT_LT(bytes.size(), container.size() / 2);
+  }
+
+  // Link 2: open base+d1 (forcing a fold first so d1 carries shards),
+  // edit again, write d2.
+  std::string d2 = scratch.path + "/v2.grs3";
+  {
+    auto opened = api::OpenVersioned(base_path, {d1});
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+    auto* sharded = dynamic_cast<shard::ShardedRep*>(opened.value().get());
+    ASSERT_TRUE(sharded->FoldOverlay().ok());
+    auto edits = MakeEdits(&truth, &rng, 25, labels);
+    ASSERT_TRUE(sharded->ApplyEdits(edits).ok());
+    auto [h, s] = hash_of(d1);
+    auto delta = sharded->BuildDelta(h, s);
+    ASSERT_TRUE(delta.ok()) << delta.status().ToString();
+    ASSERT_TRUE(WriteFileBytesAtomic(
+                    d2, SpanOf(shard::EncodeDeltaContainer(delta.value())))
+                    .ok());
+  }
+
+  // The full chain reproduces the mutated corpus exactly.
+  auto chained = api::OpenVersioned(base_path, {d1, d2});
+  ASSERT_TRUE(chained.ok()) << chained.status().ToString();
+  auto fresh = codec->Compress(truth.ToHypergraph(), gg.alphabet, options);
+  ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+  ExpectQueriesAgree(chained.value().get(), fresh.value().get(),
+                     codec->capabilities(), 8, "chain");
+  ExpectDecompressAgrees(chained.value().get(), fresh.value().get(),
+                         /*labeled=*/true, "chain");
+
+  // Lineage violations fail closed: a skipped link, a tampered delta,
+  // a delta aimed at a non-sharded base.
+  auto skipped = api::OpenVersioned(base_path, {d2});
+  EXPECT_EQ(skipped.status().code(), StatusCode::kCorruption);
+
+  auto d1_bytes = ReadFileBytes(d1).ValueOrDie();
+  d1_bytes[d1_bytes.size() / 2] ^= 0x20;
+  std::string d1_bad = scratch.path + "/v1_bad.grs3";
+  ASSERT_TRUE(WriteFileBytesAtomic(d1_bad, SpanOf(d1_bytes)).ok());
+  auto tampered = api::OpenVersioned(base_path, {d1_bad, d2});
+  EXPECT_EQ(tampered.status().code(), StatusCode::kCorruption);
+
+  auto plain = api::CodecRegistry::Create("grepair").ValueOrDie();
+  auto plain_rep = plain->Compress(gg.graph, gg.alphabet);
+  ASSERT_TRUE(plain_rep.ok());
+  std::string plain_path = scratch.path + "/plain.grc";
+  ASSERT_TRUE(WriteFileBytesAtomic(
+                  plain_path,
+                  SpanOf(api::WrapCodecPayload(
+                      "grepair", plain_rep.value()->Serialize())))
+                  .ok());
+  auto not_sharded = api::OpenVersioned(plain_path, {d1});
+  EXPECT_EQ(not_sharded.status().code(), StatusCode::kInvalidArgument);
+}
+
+// A process killed mid-fold must never damage the base container:
+// folds are in-memory swaps and delta writes are tmp+rename, so the
+// base file reopens bit-identical afterwards.
+TEST(DynamicCorpusTest, KillMidFoldLeavesBaseIntact) {
+  ScratchDir scratch("crash");
+  GeneratedGraph gg = ErdosRenyi(80, 240, 41);
+  auto codec = api::CodecRegistry::Create("sharded:grepair").ValueOrDie();
+  api::CodecOptions options;
+  options.Set("shards", "3");
+  auto rep = codec->Compress(gg.graph, gg.alphabet, options);
+  ASSERT_TRUE(rep.ok()) << rep.status().ToString();
+  std::string base_path = scratch.path + "/base.grc";
+  ASSERT_TRUE(
+      WriteFileBytesAtomic(
+          base_path,
+          SpanOf(api::WrapCodecPayload(
+              "sharded:grepair",
+              dynamic_cast<shard::ShardedRep*>(rep.value().get())
+                  ->SerializeV2())))
+          .ok());
+  auto before = ReadFileBytes(base_path).ValueOrDie();
+
+  pid_t child = fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    // Child: fold continuously against the mapped base until killed.
+    auto opened = api::OpenVersioned(base_path, {});
+    if (!opened.ok()) _exit(3);
+    auto* sharded = dynamic_cast<shard::ShardedRep*>(opened.value().get());
+    sharded->set_overlay_budget_bytes(1);  // every ApplyEdits folds
+    uint32_t n = static_cast<uint32_t>(sharded->num_nodes());
+    for (uint32_t i = 0;; ++i) {
+      std::vector<EdgeEdit> edits = {
+          EdgeEdit::Add(i % n, (i * 7 + 1) % n),
+          EdgeEdit::Delete((i * 3) % n, (i * 5 + 2) % n)};
+      if (edits[0].u == edits[0].v) edits[0].v = (edits[0].v + 1) % n;
+      if (edits[0].u == edits[0].v) continue;
+      (void)sharded->ApplyEdits(edits);
+    }
+    _exit(0);  // unreachable
+  }
+  // Give the child time to get folds in flight, then kill it cold.
+  usleep(60 * 1000);
+  ASSERT_EQ(kill(child, SIGKILL), 0);
+  int wstatus = 0;
+  ASSERT_EQ(waitpid(child, &wstatus, 0), child);
+  ASSERT_TRUE(WIFSIGNALED(wstatus));
+
+  auto after = ReadFileBytes(base_path).ValueOrDie();
+  EXPECT_EQ(before, after) << "fold mutated the base container";
+  auto reopened = api::OpenVersioned(base_path, {});
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_TRUE(reopened.value()->OutNeighbors(0).ok());
+}
+
+// Torn-write regression for the atomic file writer every container and
+// sidecar write funnels through: overwrites are all-or-nothing with no
+// stray temp files, and a failed write never creates the target.
+TEST(DynamicCorpusTest, AtomicWritesLeaveNoTornOrStrayFiles) {
+  ScratchDir scratch("atomic");
+  std::string target = scratch.path + "/c.bin";
+  std::vector<uint8_t> old_bytes(1024, 0xAA);
+  ASSERT_TRUE(WriteFileBytesAtomic(target, SpanOf(old_bytes)).ok());
+  std::vector<uint8_t> new_bytes(4096, 0xBB);
+  ASSERT_TRUE(WriteFileBytesAtomic(target, SpanOf(new_bytes)).ok());
+  EXPECT_EQ(ReadFileBytes(target).ValueOrDie(), new_bytes);
+  // The directory holds exactly the target — no .tmp leftovers.
+  size_t entries = 0;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(scratch.path)) {
+    ++entries;
+    EXPECT_EQ(entry.path().filename().string(), "c.bin");
+  }
+  EXPECT_EQ(entries, 1u);
+
+  // Failure path: a write into a missing directory errors and leaves
+  // nothing behind (in particular no half-written target to mistake
+  // for a container later).
+  std::string missing = scratch.path + "/nodir/c.bin";
+  EXPECT_FALSE(WriteFileBytesAtomic(missing, SpanOf(new_bytes)).ok());
+  EXPECT_FALSE(std::filesystem::exists(scratch.path + "/nodir"));
+
+  // The legacy entry point routes through the same atomic path.
+  ASSERT_TRUE(WriteFileBytes(target, old_bytes).ok());
+  EXPECT_EQ(ReadFileBytes(target).ValueOrDie(), old_bytes);
+}
+
+// A v1 (eager) container has no directory checksum, so it can neither
+// anchor nor accept deltas — both directions must reject, not corrupt.
+TEST(DynamicCorpusTest, EagerContainersRejectDeltas) {
+  GeneratedGraph gg = BarabasiAlbert(50, 3, 43);
+  auto codec = api::CodecRegistry::Create("sharded:grepair").ValueOrDie();
+  api::CodecOptions options;
+  options.Set("shards", "2");
+  auto rep = codec->Compress(gg.graph, gg.alphabet, options);
+  ASSERT_TRUE(rep.ok());
+  auto* sharded = dynamic_cast<shard::ShardedRep*>(rep.value().get());
+  // A freshly compressed rep was never opened from a v2 container.
+  EXPECT_EQ(sharded->directory_checksum(), 0u);
+  EXPECT_EQ(sharded->BuildDelta(1, 2).status().code(),
+            StatusCode::kInvalidArgument);
+  shard::DeltaContainer delta;
+  delta.base_dir_checksum = 12345;
+  delta.num_nodes = gg.graph.num_nodes();
+  EXPECT_EQ(sharded->ApplyDelta(delta).code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace grepair

@@ -17,6 +17,7 @@
 #include <thread>
 
 #include "src/api/grepair_api.h"
+#include "src/serve/placement.h"
 #include "src/serve/pool.h"
 #include "src/util/mmap_file.h"
 #include "src/serve/registry.h"
@@ -702,6 +703,143 @@ TEST(ServeTierTest, StatsVerbReportsPerCorpusHotShardHistograms) {
     EXPECT_EQ(dir.value().rows[i].length, local_rows[i].length);
     EXPECT_EQ(dir.value().rows[i].checksum, local_rows[i].checksum);
   }
+}
+
+// Regression: a corpus rebuilt in place keeps its sidecar path and
+// often its shard count, so the size/epoch gates alone would let a
+// stale sidecar's histogram warm (or pin) the wrong shards. The open
+// must compare the persisted directory's checksum against what the
+// server ships and drop the prior outright on mismatch.
+TEST(ServeTierTest, StaleSidecarFailsClosedOnRebuiltCorpus) {
+  ScratchDir scratch("stale");
+  GeneratedGraph old_gg = BarabasiAlbert(80, 3, 127);
+  GeneratedGraph new_gg = ErdosRenyi(80, 320, 137);
+  std::vector<uint8_t> old_bytes = CompressSharded(old_gg, 4);
+  std::vector<uint8_t> new_bytes = CompressSharded(new_gg, 4);
+  // Same slot count (so the histogram-size gate passes), different
+  // contents (so the checksums differ).
+  auto old_rows = DirectoryRows(old_bytes);
+  auto new_rows = DirectoryRows(new_bytes);
+  ASSERT_EQ(old_rows.size(), new_rows.size());
+
+  // Persist a sidecar for the OLD corpus with a rich histogram and an
+  // epoch no fresh server snapshot can beat: absent the checksum gate,
+  // this is exactly the prior the epoch comparison would prefer.
+  serve::DirSidecar stale;
+  {
+    uint64_t dir_off = 0;
+    auto region = shard::LocateV2DirectoryRegion(SpanOf(old_bytes),
+                                                 &dir_off);
+    ASSERT_TRUE(region.ok());
+    stale.dir_off = dir_off;
+    stale.raw_directory.assign(region.value().begin(),
+                               region.value().end());
+    stale.histogram.assign(old_rows.size(), 999);
+    stale.histogram_epoch = ~0ull;
+  }
+  std::string cache_dir = scratch.path + "/cache";
+  std::filesystem::create_directories(cache_dir);
+  serve::SaveDirSidecar(serve::DirSidecarPath(cache_dir, ""), stale);
+
+  // Serve the NEW corpus and open through the poisoned cache dir.
+  serve::CorpusRegistry registry;
+  ASSERT_TRUE(registry.AddBytes("g", SpanOf(new_bytes)).ok());
+  auto server = serve::ShardServer::Start(std::move(registry));
+  ASSERT_TRUE(server.ok());
+  auto truth = LocalTruth(new_bytes, new_gg.graph.num_nodes());
+
+  serve::OpenOptions options;
+  options.ssd_cache_dir = cache_dir;
+  options.warm_from_histogram = true;
+  auto rep = serve::OpenRemoteContainer(server.value()->host_port(),
+                                        options);
+  ASSERT_TRUE(rep.ok()) << rep.status().ToString();
+  for (uint64_t v = 0; v < truth.size(); ++v) {
+    auto r = rep.value()->OutNeighbors(v);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r.value(), truth[v]) << "node " << v;
+  }
+
+  // The re-persisted sidecar must describe the NEW corpus: its
+  // directory bytes are the served ones and the stale histogram (999s
+  // under a maximal epoch) was discarded, not carried forward.
+  auto saved = serve::LoadDirSidecar(serve::DirSidecarPath(cache_dir, ""));
+  ASSERT_TRUE(saved.ok()) << saved.status().ToString();
+  uint64_t dir_off = 0;
+  auto new_region = shard::LocateV2DirectoryRegion(SpanOf(new_bytes),
+                                                   &dir_off);
+  ASSERT_TRUE(new_region.ok());
+  EXPECT_EQ(saved.value().raw_directory,
+            std::vector<uint8_t>(new_region.value().begin(),
+                                 new_region.value().end()));
+  EXPECT_NE(saved.value().histogram_epoch, ~0ull);
+  for (uint64_t hits : saved.value().histogram) {
+    EXPECT_NE(hits, 999u) << "stale histogram survived the rebuild";
+  }
+}
+
+// Regression: dropping a corrupt cache file and refetching its shard
+// must release the dead file's bytes from the LRU accounting. With a
+// budget of exactly the corpus size, a leak double-counts every
+// refetched shard and forces spurious evictions.
+TEST(ServeTierTest, RefetchAfterCorruptionKeepsByteAccountingExact) {
+  ScratchDir scratch("refetch");
+  GeneratedGraph gg = BarabasiAlbert(90, 3, 139);
+  std::vector<uint8_t> bytes = CompressSharded(gg, 4);
+  auto truth = LocalTruth(bytes, gg.graph.num_nodes());
+  uint64_t total = 0;
+  for (const auto& row : DirectoryRows(bytes)) total += row.length;
+
+  serve::CorpusRegistry registry;
+  ASSERT_TRUE(registry.AddBytes("g", SpanOf(bytes)).ok());
+  auto server = serve::ShardServer::Start(std::move(registry));
+  ASSERT_TRUE(server.ok());
+
+  serve::OpenOptions options;
+  options.ssd_cache_dir = scratch.path + "/cache";
+  options.ssd_cache_bytes = total;  // exactly enough for every shard
+
+  // Warm every shard, then flip a byte in each cached file (size
+  // unchanged, so accounting totals are comparable).
+  {
+    auto rep = serve::OpenRemoteContainer(server.value()->host_port(),
+                                          options);
+    ASSERT_TRUE(rep.ok());
+    for (uint64_t v = 0; v < truth.size(); ++v) {
+      ASSERT_TRUE(rep.value()->OutNeighbors(v).ok());
+    }
+    EXPECT_EQ(rep.value()->query_stats().tier_evictions, 0u);
+  }
+  size_t vandalized = 0;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(options.ssd_cache_dir)) {
+    if (!entry.is_regular_file()) continue;
+    if (entry.path().extension() != ".shard") continue;
+    auto cached = ReadFileBytes(entry.path().string());
+    ASSERT_TRUE(cached.ok());
+    std::vector<uint8_t> mutated = std::move(cached).ValueOrDie();
+    mutated[mutated.size() / 2] ^= 0x10;
+    ASSERT_TRUE(WriteFileBytes(entry.path().string(), mutated).ok());
+    ++vandalized;
+  }
+  ASSERT_GT(vandalized, 0u);
+
+  // Refetch everything. Correct accounting: each drop frees the dead
+  // file's bytes before its replacement lands, so the budget that fit
+  // the corpus once still fits it — zero evictions, disk at par.
+  auto rep = serve::OpenRemoteContainer(server.value()->host_port(),
+                                        options);
+  ASSERT_TRUE(rep.ok()) << rep.status().ToString();
+  for (uint64_t v = 0; v < truth.size(); ++v) {
+    auto r = rep.value()->OutNeighbors(v);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r.value(), truth[v]);
+  }
+  auto stats = rep.value()->query_stats();
+  EXPECT_EQ(stats.tier_corrupt_drops, vandalized);
+  EXPECT_EQ(stats.tier_evictions, 0u)
+      << "refetch-after-corruption double-counted bytes";
+  EXPECT_LE(DiskBytes(options.ssd_cache_dir), total);
 }
 
 }  // namespace

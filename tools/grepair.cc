@@ -14,7 +14,10 @@
 //   grepair query <in>|--remote host:port[/corpus] [--nodes 1,2,3]
 //           [--pairs 1:2,3:4] [--batch] [--cache-bytes N] [--threads T]
 //           [--prefetch P] [--pool N] [--ssd-cache DIR]
-//           [--ssd-cache-bytes N]
+//           [--ssd-cache-bytes N] [--delta file.grs3]...
+//   grepair append <base> [chain.grs3]... --edits <file> -o <out.grs3>
+//           [--fold-budget BYTES]
+//   grepair diff <base> <delta.grs3>...
 //   grepair serve [<file>|<dir>]... [--corpus name=path]
 //           [--host H] [--port P]
 //   grepair info <in> | info --remote host:port[/corpus]
@@ -56,6 +59,16 @@
 // they touch. `info` prints a container's directory — backend, shard
 // offsets/lengths/checksums — without decoding a single shard.
 //
+// Versioned corpora: `append` replays a text edit stream (`a u v
+// [label]` / `d u v`, '#' comments) against a GRSHARD2 base (plus any
+// earlier deltas) and writes a GRSHARD3 delta container — changed
+// shards and residual overlay runs only, chained to the base by
+// content hash. `query --delta` (repeatable) opens base + chain via
+// api::OpenVersioned, verifying lineage before anything is trusted;
+// it composes with --remote, where the deltas are read locally and
+// applied over the served base. `diff` prints each delta's size,
+// changed-shard count, and edit counts against the full base reship.
+//
 // Remote serving: `serve` exports GRSHARD2 containers over TCP (the
 // GRNF v2 frame protocol of src/net/ + src/serve/). One server hosts
 // many corpora: `--corpus name=path` registers each explicitly, and a
@@ -93,6 +106,7 @@
 #include "src/serve/registry.h"
 #include "src/serve/server.h"
 #include "src/serve/stats.h"
+#include "src/util/hashing.h"
 
 using namespace grepair;
 
@@ -123,6 +137,10 @@ int Usage() {
       "        [--prefetch P] [--pool N] [--ssd-cache DIR]\n"
       "        [--ssd-cache-bytes N] [--replica host:port]...\n"
       "        [--pin-bytes N] [--warm-from-histogram 0|1]\n"
+      "        [--delta file.grs3]...\n"
+      "  append <base> [chain.grs3]... --edits <file> -o <out.grs3>\n"
+      "         [--fold-budget BYTES]\n"
+      "  diff <base> <delta.grs3>...\n"
       "  serve [<file>|<dir>]... [--corpus name=path] [--host H] "
       "[--port P]\n"
       "        [--pin-bytes N]\n"
@@ -762,6 +780,7 @@ int CmdQuery(int argc, char** argv) {
   bool have_cache_bytes = false;
   uint64_t cache_bytes = 0;
   uint64_t pin_bytes = 0;
+  std::vector<std::string> delta_paths;
   api::RemoteOptions remote_options;
   bool have_remote_flags = false;
   for (int i = flag_start; i < argc; ++i) {
@@ -822,6 +841,8 @@ int CmdQuery(int argc, char** argv) {
       }
       remote_options.warm_from_histogram = value == "1";
       have_remote_flags = true;
+    } else if (arg == "--delta" && i + 1 < argc) {
+      delta_paths.push_back(argv[++i]);
     } else {
       return Usage();
     }
@@ -853,17 +874,73 @@ int CmdQuery(int argc, char** argv) {
     }
     // The served container names its inner codec; report the same
     // backend tag a local open of that file would.
-    if (auto* sharded =
-            dynamic_cast<shard::ShardedRep*>(rep.value().get())) {
+    auto* sharded = dynamic_cast<shard::ShardedRep*>(rep.value().get());
+    if (sharded != nullptr) {
       backend = "sharded:" + sharded->inner_name();
     } else {
       backend = "remote";
+    }
+    // Deltas over a served base: the base file lives on the server, so
+    // the first link's (hash, size) cannot be checked here — the
+    // delta's recorded directory checksum against the served directory
+    // (inside ApplyDelta) is the anchor instead. Later links still
+    // chain hash-to-hash through the local delta files.
+    if (!delta_paths.empty()) {
+      if (sharded == nullptr) {
+        std::fprintf(stderr,
+                     "--delta needs a sharded corpus; %s is not one\n",
+                     remote_spec.c_str());
+        return 1;
+      }
+      uint64_t prev_hash = 0, prev_size = 0;
+      bool have_prev = false;
+      for (const std::string& path : delta_paths) {
+        auto delta_file = MmapFile::Open(path);
+        if (!delta_file.ok()) {
+          std::fprintf(stderr, "%s\n",
+                       delta_file.status().ToString().c_str());
+          return 1;
+        }
+        ByteSpan span = delta_file.value()->span();
+        auto delta = shard::DecodeDeltaContainer(span, path);
+        if (!delta.ok()) {
+          std::fprintf(stderr, "%s\n", delta.status().ToString().c_str());
+          return 1;
+        }
+        if (have_prev && (delta.value().base_hash != prev_hash ||
+                          delta.value().base_size != prev_size)) {
+          std::fprintf(stderr,
+                       "%s does not continue the delta chain\n",
+                       path.c_str());
+          return 1;
+        }
+        auto applied = sharded->ApplyDelta(delta.value());
+        if (!applied.ok()) {
+          std::fprintf(stderr, "%s\n", applied.ToString().c_str());
+          return 1;
+        }
+        prev_hash = HashBytes(span.data, span.size);
+        prev_size = span.size;
+        have_prev = true;
+      }
     }
     // OpenRemote already applied the pin budget using the server's
     // histogram — don't re-place with the id-order fallback.
     return RunQueries(std::move(rep).ValueOrDie(), backend, nodes, pairs,
                       batch, threads, have_cache_bytes, cache_bytes,
                       prefetch, /*pin_bytes=*/0);
+  }
+  if (!delta_paths.empty()) {
+    // Versioned open: base + chain, lineage verified link by link
+    // before any delta payload is trusted.
+    rep = api::OpenVersioned(in_path, delta_paths, &backend);
+    if (!rep.ok()) {
+      std::fprintf(stderr, "%s\n", rep.status().ToString().c_str());
+      return 1;
+    }
+    return RunQueries(std::move(rep).ValueOrDie(), backend, nodes, pairs,
+                      batch, threads, have_cache_bytes, cache_bytes,
+                      prefetch, pin_bytes);
   }
   auto file = MmapFile::Open(in_path);
   if (!file.ok()) {
@@ -912,6 +989,174 @@ int CmdQuery(int argc, char** argv) {
   return RunQueries(std::move(rep).ValueOrDie(), backend, nodes, pairs,
                     batch, threads, have_cache_bytes, cache_bytes,
                     prefetch, pin_bytes);
+}
+
+// `append`: replay a text edit stream against a versioned corpus and
+// write the result as a GRSHARD3 delta container. Edit lines are
+// `a u v [label]` (append a rank-2 edge) or `d u v` (delete every
+// rank-2 edge u -> v); '#' starts a comment, blank lines are skipped.
+// The produced delta chains to the *last* input file (the base when no
+// chain files are given) by whole-file hash + size, and is cumulative:
+// it carries every edit since the base, so shipping only the newest
+// link reproduces the full corpus.
+bool ParseEditsFile(const std::string& path,
+                    std::vector<shard::EdgeEdit>* edits) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open edits file %s\n", path.c_str());
+    return false;
+  }
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    char op = 0;
+    unsigned long long u = 0, v = 0, label = 0;
+    int fields = std::sscanf(line.c_str(), " %c %llu %llu %llu",
+                             &op, &u, &v, &label);
+    if (fields <= 0) continue;  // blank / comment-only line
+    bool ok = u <= 0xFFFFFFFFull && v <= 0xFFFFFFFFull &&
+              label <= 0xFFFFFFFFull;
+    if (ok && op == 'a' && (fields == 3 || fields == 4)) {
+      edits->push_back(shard::EdgeEdit::Add(
+          static_cast<uint32_t>(u), static_cast<uint32_t>(v),
+          static_cast<uint32_t>(label)));
+    } else if (ok && op == 'd' && fields == 3) {
+      edits->push_back(shard::EdgeEdit::Delete(
+          static_cast<uint32_t>(u), static_cast<uint32_t>(v)));
+    } else {
+      std::fprintf(stderr, "%s:%zu: expected 'a u v [label]' or "
+                           "'d u v', got '%s'\n",
+                   path.c_str(), line_no, line.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+int CmdAppend(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  std::string base_path = argv[2];
+  std::vector<std::string> chain;
+  std::string edits_path, out_path;
+  uint64_t fold_budget = 0;
+  bool have_fold_budget = false;
+  for (int i = 3; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--edits" && i + 1 < argc) {
+      edits_path = argv[++i];
+    } else if ((arg == "-o" || arg == "--out") && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--fold-budget" && i + 1 < argc) {
+      if (!ParseU64(argv[++i], &fold_budget)) {
+        std::fprintf(stderr, "--fold-budget expects a byte count, got "
+                             "'%s'\n", argv[i]);
+        return 2;
+      }
+      have_fold_budget = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Usage();
+    } else {
+      chain.push_back(arg);  // an earlier delta in the chain
+    }
+  }
+  if (edits_path.empty() || out_path.empty()) {
+    std::fprintf(stderr, "append needs --edits <file> and -o <out>\n");
+    return 2;
+  }
+  std::vector<shard::EdgeEdit> edits;
+  if (!ParseEditsFile(edits_path, &edits)) return 1;
+
+  std::string backend;
+  auto rep = api::OpenVersioned(base_path, chain, &backend);
+  if (!rep.ok()) {
+    std::fprintf(stderr, "%s\n", rep.status().ToString().c_str());
+    return 1;
+  }
+  auto* sharded = dynamic_cast<shard::ShardedRep*>(rep.value().get());
+  if (have_fold_budget) sharded->set_overlay_budget_bytes(fold_budget);
+  auto applied = sharded->ApplyEdits(edits);
+  if (!applied.ok()) {
+    std::fprintf(stderr, "%s\n", applied.ToString().c_str());
+    return 1;
+  }
+  // The new delta chains to the newest existing file: the base when
+  // this is the first delta, else the last chain link.
+  const std::string& prev_path = chain.empty() ? base_path : chain.back();
+  uint64_t prev_hash = 0, prev_size = 0;
+  {
+    auto prev = MmapFile::Open(prev_path);
+    if (!prev.ok()) {
+      std::fprintf(stderr, "%s\n", prev.status().ToString().c_str());
+      return 1;
+    }
+    ByteSpan span = prev.value()->span();
+    prev_hash = HashBytes(span.data, span.size);
+    prev_size = span.size;
+  }
+  auto delta = sharded->BuildDelta(prev_hash, prev_size);
+  if (!delta.ok()) {
+    std::fprintf(stderr, "%s\n", delta.status().ToString().c_str());
+    return 1;
+  }
+  if (!WriteBytes(out_path, shard::EncodeDeltaContainer(delta.value()))) {
+    return 1;
+  }
+  std::printf("append: %s <- %zu edits (%zu changed shards, %zu adds + "
+              "%zu kills residual) backend=%s\n",
+              out_path.c_str(), edits.size(),
+              delta.value().shards.size(), delta.value().adds.size(),
+              delta.value().kills.size(), backend.c_str());
+  return 0;
+}
+
+// `diff`: size a delta chain against re-shipping the whole base. Pure
+// container inspection — nothing is decoded, so it works on corrupt
+// payloads too (the trailing checksum is still verified).
+int CmdDiff(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  uint64_t base_size = 0;
+  {
+    auto base = MmapFile::Open(argv[2]);
+    if (!base.ok()) {
+      std::fprintf(stderr, "%s\n", base.status().ToString().c_str());
+      return 1;
+    }
+    base_size = base.value()->span().size;
+  }
+  std::printf("base: %s %llu bytes\n", argv[2],
+              (unsigned long long)base_size);
+  for (int i = 3; i < argc; ++i) {
+    auto file = MmapFile::Open(argv[i]);
+    if (!file.ok()) {
+      std::fprintf(stderr, "%s\n", file.status().ToString().c_str());
+      return 1;
+    }
+    ByteSpan span = file.value()->span();
+    auto delta = shard::DecodeDeltaContainer(span, argv[i]);
+    if (!delta.ok()) {
+      std::fprintf(stderr, "%s\n", delta.status().ToString().c_str());
+      return 1;
+    }
+    uint64_t payload = 0;
+    for (const auto& shard : delta.value().shards) {
+      payload += shard.payload.size();
+    }
+    double pct = base_size == 0
+                     ? 0.0
+                     : 100.0 * (double)span.size / (double)base_size;
+    std::printf("delta: %s %llu bytes (%.2f%% of base) shards=%zu "
+                "shard_payload=%llu adds=%zu kills=%zu base=%s/%llu\n",
+                argv[i], (unsigned long long)span.size, pct,
+                delta.value().shards.size(),
+                (unsigned long long)payload, delta.value().adds.size(),
+                delta.value().kills.size(),
+                HexU64(delta.value().base_hash).c_str(),
+                (unsigned long long)delta.value().base_size);
+  }
+  return 0;
 }
 
 // `serve`: export GRSHARD2 containers over TCP until SIGINT or
@@ -1475,6 +1720,8 @@ int main(int argc, char** argv) {
   if (cmd == "bench") return CmdBench(argc, argv);
   if (cmd == "backends") return CmdBackends();
   if (cmd == "query") return CmdQuery(argc, argv);
+  if (cmd == "append") return CmdAppend(argc, argv);
+  if (cmd == "diff") return CmdDiff(argc, argv);
   if (cmd == "serve") return CmdServe(argc, argv);
   if (cmd == "info") return CmdInfo(argc, argv);
   if (cmd == "stats") return CmdStats(argc, argv);
